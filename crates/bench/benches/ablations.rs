@@ -1,0 +1,103 @@
+//! Ablation benches called out in DESIGN.md:
+//!
+//! * A1 — cross-boundary strategy vs. post-boundary concatenation for
+//!   cross-partition queries (validates the §IV-A claim that the concatenation
+//!   factor dominates).
+//! * A2 — multi-stage scheme: CH-stage query vs. H2H-stage query on the same
+//!   MHL (the gap is what the intermediate stages buy during maintenance).
+//! * A3 — TD-partitioning vs. region-growing partitioning: final-stage query
+//!   latency of PostMHL vs. PMHL (Theorem 1: PostMHL reaches the H2H optimum).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use htsp_core::{Mhl, Pmhl, PmhlConfig, PostMhl, PostMhlConfig};
+use htsp_graph::gen::{grid_with_diagonals, WeightRange};
+use htsp_graph::{DynamicSpIndex, QuerySet};
+
+fn ablation_cross_boundary(c: &mut Criterion) {
+    let g = grid_with_diagonals(32, 32, WeightRange::new(1, 100), 0.1, 42);
+    let queries = QuerySet::random(&g, 256, 9);
+    let mut pmhl = Pmhl::build(
+        &g,
+        PmhlConfig {
+            num_partitions: 8,
+            num_threads: 4,
+            seed: 1,
+        },
+    );
+    let mut group = c.benchmark_group("ablation_cross_boundary");
+    group.sample_size(10);
+    // Stage 3 = post-boundary (concatenation for cross-partition queries).
+    group.bench_function("post_boundary_concatenation", |b| {
+        let mut it = queries.as_slice().iter().cycle();
+        b.iter(|| {
+            let q = it.next().unwrap();
+            pmhl.distance_at_stage(&g, 3, q.source, q.target)
+        })
+    });
+    // Stage 4 = cross-boundary (flat 2-hop join).
+    group.bench_function("cross_boundary_2hop", |b| {
+        let mut it = queries.as_slice().iter().cycle();
+        b.iter(|| {
+            let q = it.next().unwrap();
+            pmhl.distance_at_stage(&g, 4, q.source, q.target)
+        })
+    });
+    group.finish();
+}
+
+fn ablation_multistage(c: &mut Criterion) {
+    let g = grid_with_diagonals(32, 32, WeightRange::new(1, 100), 0.1, 42);
+    let queries = QuerySet::random(&g, 256, 11);
+    let mut mhl = Mhl::build(&g);
+    let mut group = c.benchmark_group("ablation_multistage");
+    group.sample_size(10);
+    for (name, stage) in [("bidijkstra_stage", 0usize), ("ch_stage", 1), ("h2h_stage", 2)] {
+        group.bench_function(name, |b| {
+            let mut it = queries.as_slice().iter().cycle();
+            b.iter(|| {
+                let q = it.next().unwrap();
+                mhl.distance_at_stage(&g, stage, q.source, q.target)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablation_td_partitioning(c: &mut Criterion) {
+    let g = grid_with_diagonals(32, 32, WeightRange::new(1, 100), 0.1, 42);
+    let queries = QuerySet::random(&g, 256, 13);
+    let mut pmhl = Pmhl::build(
+        &g,
+        PmhlConfig {
+            num_partitions: 8,
+            num_threads: 4,
+            seed: 1,
+        },
+    );
+    let mut postmhl = PostMhl::build(&g, PostMhlConfig::default());
+    let mut group = c.benchmark_group("ablation_td_partitioning");
+    group.sample_size(10);
+    group.bench_function("pmhl_region_growing_final_stage", |b| {
+        let mut it = queries.as_slice().iter().cycle();
+        b.iter(|| {
+            let q = it.next().unwrap();
+            pmhl.distance(&g, q.source, q.target)
+        })
+    });
+    group.bench_function("postmhl_td_partitioning_final_stage", |b| {
+        let mut it = queries.as_slice().iter().cycle();
+        b.iter(|| {
+            let q = it.next().unwrap();
+            postmhl.distance(&g, q.source, q.target)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_cross_boundary,
+    ablation_multistage,
+    ablation_td_partitioning
+);
+criterion_main!(benches);

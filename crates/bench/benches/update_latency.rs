@@ -1,0 +1,54 @@
+//! Fig. 11(c): batch-update (index maintenance) latency per algorithm.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use htsp_baselines::{DchBaseline, Dh2hBaseline};
+use htsp_core::{Pmhl, PmhlConfig, PostMhl, PostMhlConfig};
+use htsp_graph::gen::{grid_with_diagonals, WeightRange};
+use htsp_graph::{DynamicSpIndex, UpdateGenerator};
+use htsp_psp::{NChP, PTdP};
+
+fn bench_updates(c: &mut Criterion) {
+    let g = grid_with_diagonals(32, 32, WeightRange::new(1, 100), 0.1, 42);
+    let mut group = c.benchmark_group("update_latency");
+    group.sample_size(10);
+
+    macro_rules! bench_alg {
+        ($name:expr, $build:expr) => {{
+            group.bench_function($name, |b| {
+                b.iter_batched(
+                    || {
+                        let idx = $build;
+                        let mut gen = UpdateGenerator::new(3);
+                        let batch = gen.generate(&g, 100);
+                        let mut updated = g.clone();
+                        updated.apply_batch(&batch);
+                        (idx, updated, batch)
+                    },
+                    |(mut idx, updated, batch)| idx.apply_batch(&updated, &batch),
+                    criterion::BatchSize::LargeInput,
+                )
+            });
+        }};
+    }
+
+    bench_alg!("DCH", DchBaseline::build(&g));
+    bench_alg!("DH2H", Dh2hBaseline::build(&g));
+    bench_alg!("N-CH-P", NChP::build(&g, 8, 1));
+    bench_alg!("P-TD-P", PTdP::build(&g, 8, 1));
+    bench_alg!(
+        "PMHL",
+        Pmhl::build(
+            &g,
+            PmhlConfig {
+                num_partitions: 8,
+                num_threads: 4,
+                seed: 1
+            }
+        )
+    );
+    bench_alg!("PostMHL", PostMhl::build(&g, PostMhlConfig::default()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates);
+criterion_main!(benches);

@@ -1,0 +1,161 @@
+//! # htsp-bench
+//!
+//! Experiment harness regenerating the tables and figures of the paper's
+//! evaluation section (§VII) at laptop scale.
+//!
+//! The `htsp-experiments` binary (see `src/bin/experiments.rs`) exposes one
+//! subcommand per experiment (Exp. 1 – Exp. 8 plus the dataset table), and the
+//! Criterion benches under `benches/` cover the micro-level measurements
+//! (index construction, query latency per algorithm, update latency per
+//! algorithm, and the ablations listed in DESIGN.md).
+//!
+//! This library crate holds the shared plumbing: dataset presets, algorithm
+//! registry, and table formatting.
+
+#![warn(missing_docs)]
+
+use htsp_baselines::{BiDijkstraBaseline, DchBaseline, Dh2hBaseline, ToainBaseline};
+use htsp_core::{Pmhl, PmhlConfig, PostMhl, PostMhlConfig};
+use htsp_graph::{gen, DynamicSpIndex, Graph};
+use htsp_partition::TdPartitionConfig;
+use htsp_psp::{NChP, PTdP};
+use htsp_throughput::{SystemConfig, ThroughputHarness, ThroughputResult};
+
+/// Which algorithms to instantiate for an experiment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlgorithmSet {
+    /// Every algorithm of the paper's comparison (Fig. 11/12).
+    All,
+    /// Only the paper's contributions (PMHL + PostMHL).
+    OursOnly,
+    /// Everything except the slowest baselines (used on larger presets).
+    Fast,
+}
+
+/// The named experiment datasets: laptop-scale stand-ins for Table I.
+pub fn datasets() -> Vec<(String, Graph)> {
+    gen::Preset::all()
+        .iter()
+        .map(|p| (p.name().to_string(), p.build(42)))
+        .collect()
+}
+
+/// A small/medium pair used by most experiments (keeps runtimes short).
+pub fn default_experiment_graphs() -> Vec<(String, Graph)> {
+    vec![
+        (
+            gen::Preset::Tiny.name().to_string(),
+            gen::Preset::Tiny.build(42),
+        ),
+        (
+            gen::Preset::Small.name().to_string(),
+            gen::Preset::Small.build(42),
+        ),
+    ]
+}
+
+/// Builds the requested algorithm instances over `graph`.
+///
+/// `k` is the partition count for the partitioned indexes and `threads` the
+/// maintenance thread count.
+pub fn build_algorithms(
+    graph: &Graph,
+    set: AlgorithmSet,
+    k: usize,
+    threads: usize,
+) -> Vec<Box<dyn DynamicSpIndex>> {
+    let mut out: Vec<Box<dyn DynamicSpIndex>> = Vec::new();
+    let pmhl_cfg = PmhlConfig {
+        num_partitions: k,
+        num_threads: threads,
+        seed: 1,
+    };
+    let postmhl_cfg = PostMhlConfig {
+        partitioning: TdPartitionConfig {
+            bandwidth: 16,
+            expected_partitions: (k * 4).max(8),
+            beta_lower: 0.1,
+            beta_upper: 2.0,
+        },
+        num_threads: threads,
+    };
+    match set {
+        AlgorithmSet::OursOnly => {
+            out.push(Box::new(Pmhl::build(graph, pmhl_cfg)));
+            out.push(Box::new(PostMhl::build(graph, postmhl_cfg)));
+        }
+        AlgorithmSet::Fast => {
+            out.push(Box::new(DchBaseline::build(graph)));
+            out.push(Box::new(Dh2hBaseline::build(graph)));
+            out.push(Box::new(NChP::build(graph, k, 1)));
+            out.push(Box::new(PTdP::build(graph, k, 1)));
+            out.push(Box::new(Pmhl::build(graph, pmhl_cfg)));
+            out.push(Box::new(PostMhl::build(graph, postmhl_cfg)));
+        }
+        AlgorithmSet::All => {
+            out.push(Box::new(BiDijkstraBaseline::new(graph.num_vertices())));
+            out.push(Box::new(DchBaseline::build(graph)));
+            out.push(Box::new(Dh2hBaseline::build(graph)));
+            out.push(Box::new(ToainBaseline::build(graph, 64)));
+            out.push(Box::new(NChP::build(graph, k, 1)));
+            out.push(Box::new(PTdP::build(graph, k, 1)));
+            out.push(Box::new(Pmhl::build(graph, pmhl_cfg)));
+            out.push(Box::new(PostMhl::build(graph, postmhl_cfg)));
+        }
+    }
+    out
+}
+
+/// Runs the throughput harness for every algorithm in `set` and returns the
+/// per-algorithm results.
+pub fn run_throughput_comparison(
+    graph: &Graph,
+    set: AlgorithmSet,
+    config: SystemConfig,
+    k: usize,
+    threads: usize,
+    num_batches: usize,
+) -> Vec<ThroughputResult> {
+    let harness = ThroughputHarness::new(config, 7, num_batches);
+    build_algorithms(graph, set, k, threads)
+        .into_iter()
+        .map(|mut alg| harness.run(graph, alg.as_mut()))
+        .collect()
+}
+
+/// Formats one result row of the throughput comparison tables.
+pub fn format_result_row(name: &str, r: &ThroughputResult) -> String {
+    format!(
+        "{:<12} | t_u = {:>9.4} s | t_q = {:>10.3} µs | |L| = {:>8.2} MB | λ*_q = {:>12.1} q/s",
+        name,
+        r.avg_update_time,
+        r.avg_query_time * 1e6,
+        r.index_size_bytes as f64 / (1024.0 * 1024.0),
+        r.throughput(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_presets_are_available() {
+        let d = datasets();
+        assert_eq!(d.len(), 4);
+        for (name, g) in &d {
+            assert!(!name.is_empty());
+            assert!(g.num_vertices() >= 1000);
+        }
+    }
+
+    #[test]
+    fn algorithm_registry_builds_ours() {
+        let g = gen::grid(8, 8, gen::WeightRange::new(1, 20), 3);
+        let algs = build_algorithms(&g, AlgorithmSet::OursOnly, 4, 2);
+        assert_eq!(algs.len(), 2);
+        let names: Vec<_> = algs.iter().map(|a| a.name()).collect();
+        assert!(names.contains(&"PMHL"));
+        assert!(names.contains(&"PostMHL"));
+    }
+}

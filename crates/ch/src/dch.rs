@@ -1,0 +1,275 @@
+//! Dynamic CH maintenance (DCH): the bottom-up shortcut update.
+//!
+//! When a batch of edge-weight changes arrives, the shortcut weights of the
+//! hierarchy must be repaired so that the invariant
+//!
+//! ```text
+//! sc(v, u) = min( |e(v, u)|, min over x with {v, u} ⊆ N_up(x) of sc(x, v) + sc(x, u) )
+//! ```
+//!
+//! holds again for every upward arc. The repair processes vertices in
+//! ascending rank order ("bottom-up"): whenever a shortcut of a lower-ranked
+//! vertex changes, it invalidates every pair of its upward neighbors, which
+//! are re-derived when their own (higher) rank is reached. This is the
+//! shortcut-centric paradigm of DCH [32], which is also the first phase of
+//! DH2H maintenance [33] (Lemma 4), and runs identically for weight increases
+//! and decreases because each affected shortcut is recomputed from all of its
+//! supports.
+
+use crate::hierarchy::{ContractionHierarchy, ShortcutMode};
+use htsp_graph::{EdgeUpdate, Graph, VertexId, Weight, INF};
+use rustc_hash::FxHashSet;
+
+/// A shortcut whose weight changed during maintenance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShortcutChange {
+    /// Lower-ranked endpoint (the vertex that stores the shortcut).
+    pub from: VertexId,
+    /// Higher-ranked endpoint.
+    pub to: VertexId,
+    /// Weight before the repair.
+    pub old: Weight,
+    /// Weight after the repair.
+    pub new: Weight,
+}
+
+impl ContractionHierarchy {
+    /// Repairs the shortcut weights after the edge updates in `batch` have
+    /// already been applied to `graph` (U-Stage 1). Returns every shortcut
+    /// whose weight actually changed, which downstream consumers (DH2H label
+    /// update, PSP overlay update) use to locate affected index regions.
+    ///
+    /// # Panics
+    /// Panics if the hierarchy was built with [`ShortcutMode::WitnessPruned`];
+    /// dynamic maintenance requires the all-pairs shortcut set.
+    pub fn apply_batch(&mut self, graph: &Graph, batch: &[EdgeUpdate]) -> Vec<ShortcutChange> {
+        assert!(
+            matches!(self.mode(), ShortcutMode::AllPairs),
+            "dynamic maintenance requires ShortcutMode::AllPairs"
+        );
+        let n = self.num_vertices();
+        // affected[v] = set of upward partners whose shortcut must be
+        // re-derived when v's rank is reached.
+        let mut affected: Vec<FxHashSet<u32>> = vec![FxHashSet::default(); n];
+        let mut min_rank = u32::MAX;
+        for upd in batch {
+            let (a, b) = graph.edge_endpoints(upd.edge);
+            let (lo, hi) = if self.order().higher(a, b) {
+                (b, a)
+            } else {
+                (a, b)
+            };
+            affected[lo.index()].insert(hi.0);
+            min_rank = min_rank.min(self.order().rank(lo));
+        }
+        if min_rank == u32::MAX {
+            return Vec::new();
+        }
+        let mut changes = Vec::new();
+        for r in min_rank..n as u32 {
+            let v = self.order().vertex_at(r);
+            if affected[v.index()].is_empty() {
+                continue;
+            }
+            let partners: Vec<u32> = affected[v.index()].iter().copied().collect();
+            affected[v.index()].clear();
+            for u_raw in partners {
+                let u = VertexId(u_raw);
+                let old = match self.shortcut_weight(v, u) {
+                    Some(w) => w,
+                    None => continue, // not an upward arc (can happen for pruned graphs)
+                };
+                let new = self.recompute_shortcut(graph, v, u);
+                if new != old {
+                    // Write the new weight.
+                    for arc in self.up_arcs_mut(v).iter_mut() {
+                        if arc.0 == u {
+                            arc.1 = new;
+                            break;
+                        }
+                    }
+                    changes.push(ShortcutChange {
+                        from: v,
+                        to: u,
+                        old,
+                        new,
+                    });
+                    // Every pair of v's upward neighbors containing u is
+                    // supported by this shortcut: invalidate them.
+                    let ups: Vec<VertexId> =
+                        self.up_arcs(v).iter().map(|&(w, _)| w).collect();
+                    for &w in &ups {
+                        if w == u {
+                            continue;
+                        }
+                        let (lo, hi) = if self.order().higher(w, u) { (u, w) } else { (w, u) };
+                        affected[lo.index()].insert(hi.0);
+                    }
+                }
+            }
+        }
+        changes
+    }
+
+    /// Re-derives `sc(v, u)` from the original edge (if any) and all
+    /// supporting lower-ranked vertices.
+    fn recompute_shortcut(&self, graph: &Graph, v: VertexId, u: VertexId) -> Weight {
+        let mut best: u64 = match graph.find_edge(v, u) {
+            Some((_, w)) => w as u64,
+            None => INF.0 as u64,
+        };
+        for &x in self.down_neighbors(v) {
+            // x has v among its upward neighbors; check it also has u.
+            let mut w_xv = None;
+            let mut w_xu = None;
+            for &(y, w) in self.up_arcs(x) {
+                if y == v {
+                    w_xv = Some(w);
+                } else if y == u {
+                    w_xu = Some(w);
+                }
+            }
+            if let (Some(a), Some(b)) = (w_xv, w_xu) {
+                let cand = a as u64 + b as u64;
+                if cand < best {
+                    best = cand;
+                }
+            }
+        }
+        best.min(INF.0 as u64) as Weight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ordering::OrderingStrategy;
+    use crate::query::ChQuery;
+    use htsp_graph::gen::{grid, grid_with_diagonals, WeightRange};
+    use htsp_graph::{QuerySet, UpdateGenerator};
+    use htsp_search::dijkstra_distance;
+
+    fn check_queries(g: &Graph, ch: &ContractionHierarchy, count: usize, seed: u64) {
+        let qs = QuerySet::random(g, count, seed);
+        let mut q = ChQuery::new(g.num_vertices());
+        for query in &qs {
+            assert_eq!(
+                q.distance(ch, query.source, query.target),
+                dijkstra_distance(g, query.source, query.target),
+                "mismatch for {:?}",
+                query
+            );
+        }
+    }
+
+    #[test]
+    fn decrease_updates_keep_ch_exact() {
+        let mut g = grid(8, 8, WeightRange::new(10, 40), 7);
+        let mut ch =
+            ContractionHierarchy::build(&g, OrderingStrategy::MinDegree, ShortcutMode::AllPairs);
+        let mut gen = UpdateGenerator::new(3);
+        gen.decrease_fraction = 1.0; // decreases only
+        let batch = gen.generate(&g, 20);
+        g.apply_batch(&batch);
+        let changes = ch.apply_batch(&g, batch.as_slice());
+        assert!(!changes.is_empty(), "weight decreases should change shortcuts");
+        check_queries(&g, &ch, 120, 5);
+    }
+
+    #[test]
+    fn increase_updates_keep_ch_exact() {
+        let mut g = grid(8, 8, WeightRange::new(10, 40), 9);
+        let mut ch =
+            ContractionHierarchy::build(&g, OrderingStrategy::MinDegree, ShortcutMode::AllPairs);
+        let mut gen = UpdateGenerator::new(4);
+        gen.decrease_fraction = 0.0; // increases only
+        let batch = gen.generate(&g, 20);
+        g.apply_batch(&batch);
+        ch.apply_batch(&g, batch.as_slice());
+        check_queries(&g, &ch, 120, 6);
+    }
+
+    #[test]
+    fn mixed_update_batches_over_multiple_rounds() {
+        let mut g = grid_with_diagonals(7, 7, WeightRange::new(5, 50), 0.15, 2);
+        let mut ch =
+            ContractionHierarchy::build(&g, OrderingStrategy::MinDegree, ShortcutMode::AllPairs);
+        let mut gen = UpdateGenerator::new(11);
+        for round in 0..4 {
+            let batch = gen.generate(&g, 15);
+            g.apply_batch(&batch);
+            ch.apply_batch(&g, batch.as_slice());
+            check_queries(&g, &ch, 80, 100 + round);
+        }
+    }
+
+    #[test]
+    fn updated_ch_matches_freshly_built_ch() {
+        let mut g = grid(6, 6, WeightRange::new(5, 25), 13);
+        let order = crate::ordering::mde_order(&g);
+        let mut ch = ContractionHierarchy::build_with_order(&g, order.clone(), ShortcutMode::AllPairs);
+        let mut gen = UpdateGenerator::new(8);
+        let batch = gen.generate(&g, 12);
+        g.apply_batch(&batch);
+        ch.apply_batch(&g, batch.as_slice());
+        // Rebuild from scratch with the same order: shortcut weights must agree.
+        let fresh = ContractionHierarchy::build_with_order(&g, order, ShortcutMode::AllPairs);
+        for v in g.vertices() {
+            let mut a: Vec<_> = ch.up_arcs(v).to_vec();
+            let mut b: Vec<_> = fresh.up_arcs(v).to_vec();
+            a.sort_by_key(|&(u, _)| u.0);
+            b.sort_by_key(|&(u, _)| u.0);
+            assert_eq!(a, b, "shortcut arrays of {v} diverge after update");
+        }
+    }
+
+    #[test]
+    fn empty_batch_changes_nothing() {
+        let g = grid(5, 5, WeightRange::new(1, 9), 1);
+        let mut ch =
+            ContractionHierarchy::build(&g, OrderingStrategy::MinDegree, ShortcutMode::AllPairs);
+        let changes = ch.apply_batch(&g, &[]);
+        assert!(changes.is_empty());
+    }
+
+    #[test]
+    fn noop_update_reports_no_changes() {
+        let g = grid(5, 5, WeightRange::new(4, 4), 1);
+        let mut ch =
+            ContractionHierarchy::build(&g, OrderingStrategy::MinDegree, ShortcutMode::AllPairs);
+        // An "update" that sets the same weight.
+        let (e, _, _, w) = g.edges().next().unwrap();
+        let upd = EdgeUpdate::new(e, w, w);
+        let changes = ch.apply_batch(&g, &[upd]);
+        assert!(changes.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires ShortcutMode::AllPairs")]
+    fn witness_pruned_mode_rejects_updates() {
+        let g = grid(4, 4, WeightRange::new(1, 9), 1);
+        let mut ch = ContractionHierarchy::build(
+            &g,
+            OrderingStrategy::MinDegree,
+            ShortcutMode::WitnessPruned { hop_limit: 16 },
+        );
+        let (e, _, _, w) = g.edges().next().unwrap();
+        let _ = ch.apply_batch(&g, &[EdgeUpdate::new(e, w, w + 1)]);
+    }
+
+    #[test]
+    fn shortcut_change_records_old_and_new() {
+        let mut g = grid(5, 5, WeightRange::new(10, 10), 1);
+        let mut ch =
+            ContractionHierarchy::build(&g, OrderingStrategy::MinDegree, ShortcutMode::AllPairs);
+        let (e, a, b, w) = g.edges().next().unwrap();
+        g.set_edge_weight(e, 3);
+        let changes = ch.apply_batch(&g, &[EdgeUpdate::new(e, w, 3)]);
+        let direct = changes
+            .iter()
+            .find(|c| (c.from == a || c.from == b) && (c.to == a || c.to == b))
+            .expect("the updated edge's own shortcut must change");
+        assert_eq!(direct.old, 10);
+        assert_eq!(direct.new, 3);
+    }
+}

@@ -1,0 +1,391 @@
+//! CH construction: vertex contraction and the upward shortcut graph.
+
+use crate::ordering::{mde_order, OrderingStrategy, VertexOrder};
+use htsp_graph::{Dist, Graph, VertexId, Weight, INF};
+use rustc_hash::FxHashMap;
+
+/// Controls which shortcuts are materialized during contraction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShortcutMode {
+    /// Insert a shortcut for every pair of higher-ranked neighbors (MDE-style;
+    /// required for dynamic maintenance and shared with the tree
+    /// decomposition — Lemma 4).
+    AllPairs,
+    /// Classic CH witness pruning: skip the shortcut if a path avoiding the
+    /// contracted vertex is at most as short. `hop_limit` bounds the witness
+    /// search (number of settled vertices); use `usize::MAX` for exact.
+    WitnessPruned {
+        /// Maximum settled vertices per witness search.
+        hop_limit: usize,
+    },
+}
+
+/// A contraction hierarchy: for every vertex, its *upward* neighbors (all
+/// ranked higher) and the shortcut weight to each.
+///
+/// With [`ShortcutMode::AllPairs`] the upward neighbor set of `v` is exactly
+/// the tree-decomposition neighbor set `X(v).N` of the paper, and the shortcut
+/// weights are the `X(v).sc` array (Fig. 8).
+#[derive(Clone, Debug)]
+pub struct ContractionHierarchy {
+    order: VertexOrder,
+    /// `up[v]` = (higher-ranked neighbor, shortcut weight), sorted by rank
+    /// ascending.
+    up: Vec<Vec<(VertexId, Weight)>>,
+    /// `down[v]` = vertices that list `v` among their upward neighbors.
+    down: Vec<Vec<VertexId>>,
+    mode: ShortcutMode,
+    /// Number of shortcuts that do not correspond to an original edge.
+    extra_shortcuts: usize,
+}
+
+impl ContractionHierarchy {
+    /// Builds a CH over `graph` using the given ordering strategy and shortcut
+    /// mode.
+    pub fn build(graph: &Graph, strategy: OrderingStrategy, mode: ShortcutMode) -> Self {
+        let order = match strategy {
+            OrderingStrategy::MinDegree => mde_order(graph),
+            OrderingStrategy::Given(o) => {
+                assert_eq!(
+                    o.len(),
+                    graph.num_vertices(),
+                    "given order does not cover the graph"
+                );
+                o
+            }
+        };
+        Self::build_with_order(graph, order, mode)
+    }
+
+    /// Builds a CH with an explicit [`VertexOrder`].
+    pub fn build_with_order(graph: &Graph, order: VertexOrder, mode: ShortcutMode) -> Self {
+        let n = graph.num_vertices();
+        assert_eq!(order.len(), n);
+        // Contraction graph: adjacency maps restricted to uncontracted
+        // vertices, with current (possibly shortcut) weights.
+        let mut adj: Vec<FxHashMap<u32, Weight>> = vec![FxHashMap::default(); n];
+        for (_, u, v, w) in graph.edges() {
+            insert_min(&mut adj[u.index()], v.0, w);
+            insert_min(&mut adj[v.index()], u.0, w);
+        }
+        let mut up: Vec<Vec<(VertexId, Weight)>> = vec![Vec::new(); n];
+        let mut extra_shortcuts = 0usize;
+        let original_edges = graph.num_edges();
+
+        for r in 0..n as u32 {
+            let v = order.vertex_at(r);
+            let vi = v.index();
+            // All remaining neighbors are higher-ranked by construction.
+            let mut nbrs: Vec<(VertexId, Weight)> = adj[vi]
+                .iter()
+                .map(|(&u, &w)| (VertexId(u), w))
+                .collect();
+            nbrs.sort_by_key(|&(u, _)| order.rank(u));
+            // Record the upward arcs of v.
+            up[vi] = nbrs.clone();
+            // Insert shortcuts among the neighbors.
+            for i in 0..nbrs.len() {
+                let (a, wa) = nbrs[i];
+                for &(b, wb) in &nbrs[i + 1..] {
+                    let via = (wa as u64 + wb as u64).min(u32::MAX as u64 - 1) as Weight;
+                    let keep = match mode {
+                        ShortcutMode::AllPairs => true,
+                        ShortcutMode::WitnessPruned { hop_limit } => {
+                            // A shortcut is needed unless a witness path that
+                            // avoids v is at most as short. The witness search
+                            // runs on the *current contraction graph* restricted
+                            // to uncontracted vertices; searching the original
+                            // graph is also correct but slower. We approximate
+                            // with a bounded search over the contraction maps.
+                            !has_witness(&adj, &order, v, a, b, Dist(via), hop_limit)
+                        }
+                    };
+                    if keep {
+                        let existed = adj[a.index()].contains_key(&b.0);
+                        let improved = insert_min(&mut adj[a.index()], b.0, via);
+                        insert_min(&mut adj[b.index()], a.0, via);
+                        if !existed && improved {
+                            extra_shortcuts += 1;
+                        }
+                    }
+                }
+            }
+            // Remove v from the contraction graph.
+            let nbr_ids: Vec<u32> = adj[vi].keys().copied().collect();
+            for u in nbr_ids {
+                adj[u as usize].remove(&v.0);
+            }
+            adj[vi].clear();
+            adj[vi].shrink_to_fit();
+        }
+        let mut down: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+        for v in 0..n {
+            for &(u, _) in &up[v] {
+                down[u.index()].push(VertexId::from_index(v));
+            }
+        }
+        let _ = original_edges;
+        ContractionHierarchy {
+            order,
+            up,
+            down,
+            mode,
+            extra_shortcuts,
+        }
+    }
+
+    /// The contraction order.
+    pub fn order(&self) -> &VertexOrder {
+        &self.order
+    }
+
+    /// The shortcut mode used at construction time.
+    pub fn mode(&self) -> ShortcutMode {
+        self.mode
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.up.len()
+    }
+
+    /// Upward arcs of `v`: higher-ranked neighbors and shortcut weights,
+    /// sorted by rank ascending. This is the `X(v).N` / `X(v).sc` pair of the
+    /// tree decomposition when built with [`ShortcutMode::AllPairs`].
+    #[inline]
+    pub fn up_arcs(&self, v: VertexId) -> &[(VertexId, Weight)] {
+        &self.up[v.index()]
+    }
+
+    /// Vertices whose upward arcs include `v` (the "supporters" used by the
+    /// bottom-up shortcut update).
+    #[inline]
+    pub fn down_neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.down[v.index()]
+    }
+
+    /// Current weight of the upward shortcut from `v` to `u`, if present.
+    pub fn shortcut_weight(&self, v: VertexId, u: VertexId) -> Option<Weight> {
+        self.up[v.index()]
+            .iter()
+            .find(|&&(x, _)| x == u)
+            .map(|&(_, w)| w)
+    }
+
+    /// Mutable access used by the dynamic-update module.
+    pub(crate) fn up_arcs_mut(&mut self, v: VertexId) -> &mut Vec<(VertexId, Weight)> {
+        &mut self.up[v.index()]
+    }
+
+    /// Total number of upward arcs (original edges + shortcuts).
+    pub fn num_arcs(&self) -> usize {
+        self.up.iter().map(|a| a.len()).sum()
+    }
+
+    /// Number of shortcut arcs that are not original edges (approximate for
+    /// witness-pruned mode).
+    pub fn num_extra_shortcuts(&self) -> usize {
+        self.extra_shortcuts
+    }
+
+    /// Approximate index size in bytes (arcs dominate).
+    pub fn index_size_bytes(&self) -> usize {
+        self.num_arcs() * std::mem::size_of::<(VertexId, Weight)>()
+            + self.num_vertices() * std::mem::size_of::<u32>()
+    }
+
+    /// Computes the shortest distance between `s` and `t` with a bidirectional
+    /// upward search. Convenience wrapper around [`crate::query::ChQuery`].
+    pub fn distance(&self, s: VertexId, t: VertexId) -> Dist {
+        crate::query::ChQuery::new(self.num_vertices()).distance(self, s, t)
+    }
+}
+
+/// Inserts `key -> w` keeping the minimum; returns `true` if the map changed.
+#[inline]
+fn insert_min(map: &mut FxHashMap<u32, Weight>, key: u32, w: Weight) -> bool {
+    match map.get_mut(&key) {
+        Some(cur) => {
+            if w < *cur {
+                *cur = w;
+                true
+            } else {
+                false
+            }
+        }
+        None => {
+            map.insert(key, w);
+            true
+        }
+    }
+}
+
+/// Bounded Dijkstra on the live contraction graph, avoiding `skip`, to decide
+/// whether the shortcut `a — b` (length `limit`) is redundant.
+fn has_witness(
+    adj: &[FxHashMap<u32, Weight>],
+    order: &VertexOrder,
+    skip: VertexId,
+    a: VertexId,
+    b: VertexId,
+    limit: Dist,
+    hop_limit: usize,
+) -> bool {
+    let _ = order;
+    let mut dist: FxHashMap<u32, Dist> = FxHashMap::default();
+    let mut heap = std::collections::BinaryHeap::new();
+    dist.insert(a.0, Dist::ZERO);
+    heap.push(std::cmp::Reverse((Dist::ZERO, a.0)));
+    let mut settled = 0usize;
+    while let Some(std::cmp::Reverse((d, v))) = heap.pop() {
+        if d > *dist.get(&v).unwrap_or(&INF) {
+            continue;
+        }
+        if d > limit {
+            break;
+        }
+        if v == b.0 {
+            // Found a path at most as long as the candidate shortcut; note the
+            // comparison is <= because ties make the shortcut redundant.
+            return d <= limit;
+        }
+        settled += 1;
+        if settled >= hop_limit {
+            break;
+        }
+        for (&u, &w) in &adj[v as usize] {
+            if u == skip.0 {
+                continue;
+            }
+            let nd = d.saturating_add_weight(w);
+            if nd <= limit && nd < *dist.get(&u).unwrap_or(&INF) {
+                dist.insert(u, nd);
+                heap.push(std::cmp::Reverse((nd, u)));
+            }
+        }
+    }
+    dist.get(&b.0).map_or(false, |&d| d <= limit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htsp_graph::gen::{grid, random_geometric, WeightRange};
+    use htsp_graph::QuerySet;
+    use htsp_search::dijkstra_distance;
+
+    fn check_all_queries(g: &Graph, ch: &ContractionHierarchy, n_queries: usize, seed: u64) {
+        let qs = QuerySet::random(g, n_queries, seed);
+        let mut query = crate::query::ChQuery::new(g.num_vertices());
+        for q in &qs {
+            let expect = dijkstra_distance(g, q.source, q.target);
+            let got = query.distance(ch, q.source, q.target);
+            assert_eq!(got, expect, "CH distance mismatch for {:?}", q);
+        }
+    }
+
+    #[test]
+    fn all_pairs_ch_exact_on_grid() {
+        let g = grid(8, 8, WeightRange::new(1, 20), 5);
+        let ch = ContractionHierarchy::build(&g, OrderingStrategy::MinDegree, ShortcutMode::AllPairs);
+        check_all_queries(&g, &ch, 150, 11);
+    }
+
+    #[test]
+    fn witness_pruned_ch_exact_on_grid() {
+        let g = grid(8, 8, WeightRange::new(1, 20), 5);
+        let ch = ContractionHierarchy::build(
+            &g,
+            OrderingStrategy::MinDegree,
+            ShortcutMode::WitnessPruned {
+                hop_limit: usize::MAX,
+            },
+        );
+        check_all_queries(&g, &ch, 150, 12);
+    }
+
+    #[test]
+    fn witness_pruning_never_adds_more_arcs() {
+        let g = grid(10, 10, WeightRange::new(1, 9), 3);
+        let all = ContractionHierarchy::build(&g, OrderingStrategy::MinDegree, ShortcutMode::AllPairs);
+        let pruned = ContractionHierarchy::build(
+            &g,
+            OrderingStrategy::MinDegree,
+            ShortcutMode::WitnessPruned {
+                hop_limit: usize::MAX,
+            },
+        );
+        assert!(pruned.num_arcs() <= all.num_arcs());
+    }
+
+    #[test]
+    fn all_pairs_ch_exact_on_geometric() {
+        let g = random_geometric(220, 3, WeightRange::new(1, 50), 19);
+        let ch = ContractionHierarchy::build(&g, OrderingStrategy::MinDegree, ShortcutMode::AllPairs);
+        check_all_queries(&g, &ch, 100, 23);
+    }
+
+    #[test]
+    fn up_arcs_point_to_higher_ranks() {
+        let g = grid(6, 6, WeightRange::new(1, 7), 2);
+        let ch = ContractionHierarchy::build(&g, OrderingStrategy::MinDegree, ShortcutMode::AllPairs);
+        for v in g.vertices() {
+            for &(u, _) in ch.up_arcs(v) {
+                assert!(ch.order().higher(u, v), "{u} should outrank {v}");
+            }
+            // Sorted ascending by rank.
+            let ranks: Vec<u32> = ch.up_arcs(v).iter().map(|&(u, _)| ch.order().rank(u)).collect();
+            let mut sorted = ranks.clone();
+            sorted.sort_unstable();
+            assert_eq!(ranks, sorted);
+        }
+    }
+
+    #[test]
+    fn down_neighbors_are_inverse_of_up() {
+        let g = grid(5, 5, WeightRange::new(1, 7), 2);
+        let ch = ContractionHierarchy::build(&g, OrderingStrategy::MinDegree, ShortcutMode::AllPairs);
+        for v in g.vertices() {
+            for &(u, _) in ch.up_arcs(v) {
+                assert!(ch.down_neighbors(u).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn given_order_is_respected() {
+        let g = grid(4, 4, WeightRange::new(1, 9), 2);
+        // Reverse-id order.
+        let n = g.num_vertices();
+        let ranks: Vec<u32> = (0..n).map(|v| (n - 1 - v) as u32).collect();
+        let order = VertexOrder::from_ranks(ranks);
+        let ch = ContractionHierarchy::build(
+            &g,
+            OrderingStrategy::Given(order.clone()),
+            ShortcutMode::AllPairs,
+        );
+        assert_eq!(ch.order(), &order);
+        check_all_queries(&g, &ch, 60, 9);
+    }
+
+    #[test]
+    fn shortcut_weight_lookup() {
+        let g = grid(4, 4, WeightRange::new(2, 2), 2);
+        let ch = ContractionHierarchy::build(&g, OrderingStrategy::MinDegree, ShortcutMode::AllPairs);
+        // Every original edge (u, v) must appear as an upward arc of the
+        // lower-ranked endpoint with weight <= original.
+        for (_, u, v, w) in g.edges() {
+            let (lo, hi) = if ch.order().higher(u, v) { (v, u) } else { (u, v) };
+            let sc = ch.shortcut_weight(lo, hi).expect("edge must be an upward arc");
+            assert!(sc <= w);
+        }
+    }
+
+    #[test]
+    fn index_size_is_positive() {
+        let g = grid(5, 5, WeightRange::new(1, 9), 2);
+        let ch = ContractionHierarchy::build(&g, OrderingStrategy::MinDegree, ShortcutMode::AllPairs);
+        assert!(ch.index_size_bytes() > 0);
+        assert!(ch.num_arcs() >= g.num_edges());
+    }
+}

@@ -1,0 +1,250 @@
+//! Vertex ordering for contraction.
+//!
+//! The paper uses Minimum Degree Elimination (MDE, §II) to produce both the
+//! CH contraction order and the tree decomposition, so the two indexes share
+//! shortcuts (Lemma 4). The PSP indexes additionally need a *boundary-first*
+//! order (§IV-B), which is supplied as an explicit rank vector.
+
+use htsp_graph::{Graph, VertexId};
+use rustc_hash::FxHashSet;
+use std::collections::BinaryHeap;
+
+/// A total order over vertices: `rank[v]` is the contraction position of `v`
+/// (0 = contracted first = least important).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VertexOrder {
+    rank: Vec<u32>,
+    by_rank: Vec<VertexId>,
+}
+
+impl VertexOrder {
+    /// Builds an order from a rank vector (must be a permutation of `0..n`).
+    pub fn from_ranks(rank: Vec<u32>) -> Self {
+        let n = rank.len();
+        let mut by_rank = vec![VertexId(0); n];
+        let mut seen = vec![false; n];
+        for (v, &r) in rank.iter().enumerate() {
+            assert!((r as usize) < n, "rank {r} out of range");
+            assert!(!seen[r as usize], "duplicate rank {r}");
+            seen[r as usize] = true;
+            by_rank[r as usize] = VertexId::from_index(v);
+        }
+        VertexOrder { rank, by_rank }
+    }
+
+    /// Builds an order from the contraction sequence (first element is
+    /// contracted first).
+    pub fn from_sequence(seq: Vec<VertexId>) -> Self {
+        let n = seq.len();
+        let mut rank = vec![u32::MAX; n];
+        for (r, &v) in seq.iter().enumerate() {
+            assert!(v.index() < n, "vertex {v} out of range");
+            assert_eq!(rank[v.index()], u32::MAX, "vertex {v} appears twice");
+            rank[v.index()] = r as u32;
+        }
+        VertexOrder {
+            rank,
+            by_rank: seq,
+        }
+    }
+
+    /// Number of vertices covered by the order.
+    pub fn len(&self) -> usize {
+        self.rank.len()
+    }
+
+    /// Returns `true` if the order covers no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.rank.is_empty()
+    }
+
+    /// Rank of `v` (higher = more important = contracted later).
+    #[inline]
+    pub fn rank(&self, v: VertexId) -> u32 {
+        self.rank[v.index()]
+    }
+
+    /// The vertex with rank `r`.
+    #[inline]
+    pub fn vertex_at(&self, r: u32) -> VertexId {
+        self.by_rank[r as usize]
+    }
+
+    /// Returns `true` if `u` is ranked higher (more important) than `v`.
+    #[inline]
+    pub fn higher(&self, u: VertexId, v: VertexId) -> bool {
+        self.rank(u) > self.rank(v)
+    }
+
+    /// Contraction sequence, least important first.
+    pub fn sequence(&self) -> &[VertexId] {
+        &self.by_rank
+    }
+
+    /// Raw rank vector.
+    pub fn ranks(&self) -> &[u32] {
+        &self.rank
+    }
+}
+
+/// How to obtain the contraction order.
+#[derive(Clone, Debug)]
+pub enum OrderingStrategy {
+    /// Minimum Degree Elimination on the contraction graph (the paper's
+    /// default, §II).
+    MinDegree,
+    /// A caller-supplied order (used for boundary-first PSP orders, §IV-B).
+    Given(VertexOrder),
+}
+
+/// Computes an MDE order: repeatedly contracts a vertex of minimum current
+/// degree in the contraction graph (where contraction connects all remaining
+/// neighbors of the removed vertex into a clique).
+///
+/// Ties are broken by vertex id for determinism. The degree bookkeeping uses a
+/// lazy priority queue: stale entries are skipped when popped.
+pub fn mde_order(graph: &Graph) -> VertexOrder {
+    let n = graph.num_vertices();
+    // Contraction adjacency as hash sets (weights do not matter for ordering).
+    let mut adj: Vec<FxHashSet<u32>> = vec![FxHashSet::default(); n];
+    for (_, u, v, _) in graph.edges() {
+        adj[u.index()].insert(v.0);
+        adj[v.index()].insert(u.0);
+    }
+    // Max-heap of Reverse((degree, vertex)) == min-heap.
+    let mut heap: BinaryHeap<std::cmp::Reverse<(usize, u32)>> = BinaryHeap::with_capacity(n);
+    for v in 0..n {
+        heap.push(std::cmp::Reverse((adj[v].len(), v as u32)));
+    }
+    let mut contracted = vec![false; n];
+    let mut seq = Vec::with_capacity(n);
+    while let Some(std::cmp::Reverse((deg, v))) = heap.pop() {
+        let vi = v as usize;
+        if contracted[vi] {
+            continue;
+        }
+        if adj[vi].len() != deg {
+            // Stale entry; reinsert with the current degree.
+            heap.push(std::cmp::Reverse((adj[vi].len(), v)));
+            continue;
+        }
+        contracted[vi] = true;
+        seq.push(VertexId(v));
+        // Connect remaining neighbors into a clique.
+        let nbrs: Vec<u32> = adj[vi].iter().copied().filter(|&u| !contracted[u as usize]).collect();
+        for (i, &a) in nbrs.iter().enumerate() {
+            let ai = a as usize;
+            adj[ai].remove(&v);
+            for &b in &nbrs[i + 1..] {
+                let bi = b as usize;
+                if adj[ai].insert(b) {
+                    adj[bi].insert(a);
+                }
+            }
+        }
+        for &a in &nbrs {
+            heap.push(std::cmp::Reverse((adj[a as usize].len(), a)));
+        }
+        adj[vi].clear();
+    }
+    VertexOrder::from_sequence(seq)
+}
+
+/// Computes a *boundary-first* MDE order: all vertices in `boundary` receive
+/// higher ranks than every non-boundary vertex, and within each class the
+/// relative order follows MDE on the full graph.
+///
+/// This is the ordering required by the PSP indexes (§IV-B, Boundary-first
+/// Property) and used by PMHL construction (Algorithm 3, line 2).
+pub fn boundary_first_order(graph: &Graph, boundary: &FxHashSet<VertexId>) -> VertexOrder {
+    let base = mde_order(graph);
+    let mut non_boundary: Vec<VertexId> = Vec::new();
+    let mut bound: Vec<VertexId> = Vec::new();
+    for &v in base.sequence() {
+        if boundary.contains(&v) {
+            bound.push(v);
+        } else {
+            non_boundary.push(v);
+        }
+    }
+    non_boundary.extend(bound);
+    VertexOrder::from_sequence(non_boundary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htsp_graph::gen::{grid, WeightRange};
+    use htsp_graph::GraphBuilder;
+
+    #[test]
+    fn from_ranks_roundtrip() {
+        let order = VertexOrder::from_ranks(vec![2, 0, 1]);
+        assert_eq!(order.rank(VertexId(0)), 2);
+        assert_eq!(order.vertex_at(2), VertexId(0));
+        assert_eq!(order.vertex_at(0), VertexId(1));
+        assert!(order.higher(VertexId(0), VertexId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate rank")]
+    fn duplicate_rank_rejected() {
+        let _ = VertexOrder::from_ranks(vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn from_sequence_matches_from_ranks() {
+        let a = VertexOrder::from_sequence(vec![VertexId(1), VertexId(2), VertexId(0)]);
+        let b = VertexOrder::from_ranks(vec![2, 0, 1]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mde_order_is_a_permutation() {
+        let g = grid(8, 8, WeightRange::default(), 3);
+        let order = mde_order(&g);
+        assert_eq!(order.len(), g.num_vertices());
+        let mut ranks: Vec<u32> = order.ranks().to_vec();
+        ranks.sort_unstable();
+        assert_eq!(ranks, (0..g.num_vertices() as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mde_contracts_low_degree_first() {
+        // A star: the leaves (degree 1) must all be contracted before the hub.
+        let mut b = GraphBuilder::new(6);
+        for i in 1..6 {
+            b.add_edge(VertexId(0), VertexId(i), 1);
+        }
+        let g = b.build();
+        let order = mde_order(&g);
+        // The hub can only become minimum-degree once most leaves are gone.
+        assert!(
+            order.rank(VertexId(0)) >= 4,
+            "hub must be contracted after most leaves (rank {})",
+            order.rank(VertexId(0))
+        );
+    }
+
+    #[test]
+    fn mde_is_deterministic() {
+        let g = grid(10, 10, WeightRange::default(), 3);
+        assert_eq!(mde_order(&g), mde_order(&g));
+    }
+
+    #[test]
+    fn boundary_first_order_puts_boundary_on_top() {
+        let g = grid(6, 6, WeightRange::default(), 3);
+        let boundary: FxHashSet<VertexId> =
+            [VertexId(0), VertexId(17), VertexId(35)].into_iter().collect();
+        let order = boundary_first_order(&g, &boundary);
+        let n = g.num_vertices() as u32;
+        for v in g.vertices() {
+            if boundary.contains(&v) {
+                assert!(order.rank(v) >= n - 3, "boundary vertex {v} ranked too low");
+            } else {
+                assert!(order.rank(v) < n - 3, "interior vertex {v} ranked too high");
+            }
+        }
+    }
+}

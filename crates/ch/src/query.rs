@@ -1,0 +1,170 @@
+//! CH query processing: bidirectional upward search on the shortcut graph.
+//!
+//! The search only follows arcs from lower-ranked to higher-ranked vertices
+//! (§III-A). On an undirected graph both directions use the same upward arcs.
+//! A direction stops expanding once its frontier minimum can no longer improve
+//! the best meeting distance; the query finishes when both directions stop.
+
+use crate::hierarchy::ContractionHierarchy;
+use htsp_graph::{Dist, VertexId, INF};
+use htsp_search::MinHeap;
+
+/// Reusable CH query state (buffers survive across queries).
+#[derive(Clone, Debug)]
+pub struct ChQuery {
+    dist_f: Vec<Dist>,
+    dist_b: Vec<Dist>,
+    touched: Vec<VertexId>,
+    heap_f: MinHeap,
+    heap_b: MinHeap,
+}
+
+impl ChQuery {
+    /// Creates query state for hierarchies over `n` vertices.
+    pub fn new(n: usize) -> Self {
+        ChQuery {
+            dist_f: vec![INF; n],
+            dist_b: vec![INF; n],
+            touched: Vec::new(),
+            heap_f: MinHeap::new(),
+            heap_b: MinHeap::new(),
+        }
+    }
+
+    fn reset(&mut self, n: usize) {
+        if self.dist_f.len() < n {
+            self.dist_f.resize(n, INF);
+            self.dist_b.resize(n, INF);
+        }
+        for v in self.touched.drain(..) {
+            self.dist_f[v.index()] = INF;
+            self.dist_b[v.index()] = INF;
+        }
+        self.heap_f.clear();
+        self.heap_b.clear();
+    }
+
+    /// Shortest distance between `s` and `t` on the hierarchy `ch`.
+    pub fn distance(&mut self, ch: &ContractionHierarchy, s: VertexId, t: VertexId) -> Dist {
+        if s == t {
+            return Dist::ZERO;
+        }
+        let n = ch.num_vertices();
+        self.reset(n);
+        self.dist_f[s.index()] = Dist::ZERO;
+        self.dist_b[t.index()] = Dist::ZERO;
+        self.touched.push(s);
+        self.touched.push(t);
+        self.heap_f.push(Dist::ZERO, s);
+        self.heap_b.push(Dist::ZERO, t);
+        let mut best = INF;
+
+        loop {
+            let top_f = self.heap_f.peek().map(|(d, _)| d).unwrap_or(INF);
+            let top_b = self.heap_b.peek().map(|(d, _)| d).unwrap_or(INF);
+            let forward_active = top_f < best;
+            let backward_active = top_b < best;
+            if !forward_active && !backward_active {
+                break;
+            }
+            // Expand the direction with the smaller frontier minimum among the
+            // still-active ones.
+            let forward = if forward_active && backward_active {
+                top_f <= top_b
+            } else {
+                forward_active
+            };
+            let (heap, dist_this, dist_other) = if forward {
+                (&mut self.heap_f, &mut self.dist_f, &self.dist_b)
+            } else {
+                (&mut self.heap_b, &mut self.dist_b, &self.dist_f)
+            };
+            let (d, v) = match heap.pop() {
+                Some(x) => x,
+                None => break,
+            };
+            if d > dist_this[v.index()] {
+                continue; // stale
+            }
+            // Meeting point check.
+            let other = dist_other[v.index()];
+            if other.is_finite() {
+                let cand = d.saturating_add(other);
+                if cand < best {
+                    best = cand;
+                }
+            }
+            for &(u, w) in ch.up_arcs(v) {
+                let nd = d.saturating_add_weight(w);
+                if nd < dist_this[u.index()] {
+                    if dist_this[u.index()].is_inf() && dist_other[u.index()].is_inf() {
+                        self.touched.push(u);
+                    } else if dist_this[u.index()].is_inf() {
+                        self.touched.push(u);
+                    }
+                    dist_this[u.index()] = nd;
+                    heap.push(nd, u);
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::ShortcutMode;
+    use crate::ordering::OrderingStrategy;
+    use htsp_graph::gen::{grid_with_diagonals, WeightRange};
+    use htsp_graph::{GraphBuilder, QuerySet};
+    use htsp_search::dijkstra_distance;
+
+    #[test]
+    fn query_reuse_is_consistent() {
+        let g = grid_with_diagonals(7, 7, WeightRange::new(1, 15), 0.2, 4);
+        let ch = crate::ContractionHierarchy::build(
+            &g,
+            OrderingStrategy::MinDegree,
+            ShortcutMode::AllPairs,
+        );
+        let qs = QuerySet::random(&g, 120, 3);
+        let mut q = ChQuery::new(g.num_vertices());
+        for query in &qs {
+            assert_eq!(
+                q.distance(&ch, query.source, query.target),
+                dijkstra_distance(&g, query.source, query.target)
+            );
+        }
+    }
+
+    #[test]
+    fn disconnected_pair_is_inf() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(VertexId(0), VertexId(1), 2);
+        b.add_edge(VertexId(2), VertexId(3), 2);
+        let g = b.build();
+        let ch = crate::ContractionHierarchy::build(
+            &g,
+            OrderingStrategy::MinDegree,
+            ShortcutMode::AllPairs,
+        );
+        let mut q = ChQuery::new(4);
+        assert_eq!(q.distance(&ch, VertexId(0), VertexId(3)), INF);
+        assert_eq!(q.distance(&ch, VertexId(0), VertexId(1)), Dist(2));
+    }
+
+    #[test]
+    fn same_vertex_is_zero() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(VertexId(0), VertexId(1), 2);
+        let g = b.build();
+        let ch = crate::ContractionHierarchy::build(
+            &g,
+            OrderingStrategy::MinDegree,
+            ShortcutMode::AllPairs,
+        );
+        let mut q = ChQuery::new(2);
+        assert_eq!(q.distance(&ch, VertexId(1), VertexId(1)), Dist(0));
+    }
+}

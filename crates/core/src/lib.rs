@@ -1,0 +1,34 @@
+//! # htsp-core
+//!
+//! The paper's primary contribution: multi-stage partitioned hub-labeling
+//! indexes for high-throughput shortest-distance queries on large dynamic road
+//! networks.
+//!
+//! * [`Mhl`] — Multi-stage Hierarchical 2-hop Labeling (§V-A): a single H2H
+//!   index extended with its shortcut arrays so that, while the labels are
+//!   being repaired after an update batch, queries can already be served by
+//!   BiDijkstra (stage 1) and by a CH search on the repaired shortcut arrays
+//!   (stage 2), before the full H2H query speed returns (stage 3).
+//! * [`Pmhl`] — Partitioned MHL (§V): one MHL per partition plus an overlay
+//!   MHL, maintained in parallel across partitions, with no-boundary,
+//!   post-boundary and cross-boundary indexes released stage by stage
+//!   (Figure 7: five update stages, five query stages).
+//! * [`PostMhl`] — Post-partitioned MHL (§VI): a single MDE tree decomposition
+//!   partitioned by TD-partitioning (Algorithm 2), holding the overlay,
+//!   post-boundary (`dis` to in-partition ancestors + `disB` boundary arrays)
+//!   and cross-boundary (`dis` to overlay ancestors) indexes in one structure
+//!   (Figure 8), with H2H-equivalent final query speed (Theorem 1) and
+//!   partition-parallel maintenance.
+//!
+//! All three implement [`htsp_graph::DynamicSpIndex`], so the throughput
+//! harness treats them uniformly with the baselines.
+
+#![warn(missing_docs)]
+
+pub mod mhl;
+pub mod pmhl;
+pub mod postmhl;
+
+pub use mhl::Mhl;
+pub use pmhl::{Pmhl, PmhlConfig};
+pub use postmhl::{PostMhl, PostMhlConfig};

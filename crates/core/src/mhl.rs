@@ -1,0 +1,168 @@
+//! MHL: Multi-stage Hierarchical 2-hop Labeling (§V-A).
+//!
+//! Lemma 4 observes that DH2H's bottom-up shortcut update produces exactly the
+//! shortcuts DCH needs, so the CH-style query can be released as soon as the
+//! shortcut phase finishes, long before the label phase completes. MHL
+//! packages that observation for a non-partitioned index: it is an H2H index
+//! whose maintenance is split into the two phases, tracking which query
+//! machinery (BiDijkstra → CH → H2H) is currently consistent with the latest
+//! batch.
+
+use htsp_ch::ChQuery;
+use htsp_graph::{
+    Dist, DynamicSpIndex, Graph, UpdateBatch, UpdateTimeline, VertexId,
+};
+use htsp_search::BiDijkstra;
+use htsp_td::H2HIndex;
+use std::time::Instant;
+
+/// The query stages of MHL, fastest-available last.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MhlStage {
+    /// Only the graph has the new weights; queries fall back to BiDijkstra.
+    BiDijkstra,
+    /// Shortcut arrays repaired; CH queries are correct.
+    Ch,
+    /// Labels repaired; full H2H query speed.
+    H2h,
+}
+
+/// The multi-stage (non-partitioned) hub labeling index.
+pub struct Mhl {
+    h2h: H2HIndex,
+    ch_query: ChQuery,
+    bidij: BiDijkstra,
+    stage: MhlStage,
+}
+
+impl Mhl {
+    /// Builds the index from scratch.
+    pub fn build(graph: &Graph) -> Self {
+        let h2h = H2HIndex::build(graph);
+        let n = graph.num_vertices();
+        Mhl {
+            h2h,
+            ch_query: ChQuery::new(n),
+            bidij: BiDijkstra::new(n),
+            stage: MhlStage::H2h,
+        }
+    }
+
+    /// The stage whose query machinery is currently consistent.
+    pub fn stage(&self) -> MhlStage {
+        self.stage
+    }
+
+    /// The underlying H2H index.
+    pub fn h2h(&self) -> &H2HIndex {
+        &self.h2h
+    }
+
+    /// Answers a query with the machinery of a specific stage (used by the
+    /// QPS-evolution experiment to measure each stage's query time).
+    pub fn distance_with(&mut self, graph: &Graph, stage: MhlStage, s: VertexId, t: VertexId) -> Dist {
+        match stage {
+            MhlStage::BiDijkstra => self.bidij.distance(graph, s, t),
+            MhlStage::Ch => self
+                .ch_query
+                .distance(self.h2h.decomposition().hierarchy(), s, t),
+            MhlStage::H2h => self.h2h.distance(s, t),
+        }
+    }
+}
+
+impl DynamicSpIndex for Mhl {
+    fn name(&self) -> &'static str {
+        "MHL"
+    }
+
+    fn num_query_stages(&self) -> usize {
+        3
+    }
+
+    fn apply_batch(&mut self, graph: &Graph, batch: &UpdateBatch) -> UpdateTimeline {
+        let mut timeline = UpdateTimeline::default();
+        // U-Stage 1: the caller already refreshed the graph; BiDijkstra is
+        // immediately available.
+        self.stage = MhlStage::BiDijkstra;
+        timeline.push("U1: on-spot edge update", std::time::Duration::ZERO);
+
+        // U-Stage 2: bottom-up shortcut update → CH query available.
+        let t = Instant::now();
+        let changes = self.h2h.update_shortcuts(graph, batch.as_slice());
+        self.stage = MhlStage::Ch;
+        timeline.push("U2: shortcut update", t.elapsed());
+
+        // U-Stage 3: top-down label update → H2H query available.
+        let t = Instant::now();
+        let changed: Vec<VertexId> = changes.iter().map(|c| c.from).collect();
+        self.h2h.update_labels_for(&changed);
+        self.stage = MhlStage::H2h;
+        timeline.push("U3: label update", t.elapsed());
+        timeline
+    }
+
+    fn distance(&mut self, graph: &Graph, s: VertexId, t: VertexId) -> Dist {
+        let stage = self.stage;
+        self.distance_with(graph, stage, s, t)
+    }
+
+    fn distance_at_stage(&mut self, graph: &Graph, stage: usize, s: VertexId, t: VertexId) -> Dist {
+        let stage = match stage {
+            0 => MhlStage::BiDijkstra,
+            1 => MhlStage::Ch,
+            _ => MhlStage::H2h,
+        };
+        self.distance_with(graph, stage, s, t)
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        self.h2h.index_size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htsp_graph::gen::{grid, WeightRange};
+    use htsp_graph::{QuerySet, UpdateGenerator};
+    use htsp_search::dijkstra_distance;
+
+    #[test]
+    fn all_stages_answer_exactly_after_updates() {
+        let mut g = grid(8, 8, WeightRange::new(5, 40), 3);
+        let mut mhl = Mhl::build(&g);
+        let mut gen = UpdateGenerator::new(7);
+        for round in 0..2 {
+            let batch = gen.generate(&g, 20);
+            g.apply_batch(&batch);
+            let timeline = mhl.apply_batch(&g, &batch);
+            assert_eq!(timeline.stages.len(), 3);
+            assert_eq!(mhl.stage(), MhlStage::H2h);
+            let qs = QuerySet::random(&g, 60, 11 + round);
+            for q in &qs {
+                let expect = dijkstra_distance(&g, q.source, q.target);
+                for stage in 0..3 {
+                    assert_eq!(
+                        mhl.distance_at_stage(&g, stage, q.source, q.target),
+                        expect,
+                        "stage {stage} mismatch for {:?}",
+                        q
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn final_stage_is_h2h_and_size_reported() {
+        let g = grid(6, 6, WeightRange::new(1, 9), 5);
+        let mut mhl = Mhl::build(&g);
+        assert_eq!(mhl.num_query_stages(), 3);
+        assert!(mhl.index_size_bytes() > 0);
+        assert_eq!(
+            mhl.distance(&g, VertexId(0), VertexId(35)),
+            dijkstra_distance(&g, VertexId(0), VertexId(35))
+        );
+    }
+}

@@ -1,0 +1,452 @@
+//! PMHL: Partitioned Multi-stage Hub Labeling (§V).
+//!
+//! PMHL maintains, over a planar partition of the road network:
+//!
+//! * the **no-boundary** indexes `{L_i}` (one MHL per partition, boundary-first
+//!   local order) and the overlay MHL `L̃`;
+//! * the **post-boundary** indexes `{L'_i}` over the extended partitions;
+//! * the **cross-boundary** index `L*`.
+//!
+//! After every update batch the five update stages of Figure 7 run in order,
+//! each releasing a faster query stage: BiDijkstra → partitioned CH →
+//! no-boundary → post-boundary → cross-boundary. Per-partition work inside
+//! U-Stages 2 and 3 runs on a configurable number of threads, which is the
+//! lever behind the thread-scaling experiment (Fig. 15).
+
+use htsp_ch::{ContractionHierarchy, ShortcutChange};
+use htsp_graph::{
+    Dist, DynamicSpIndex, Graph, UpdateBatch, UpdateTimeline, VertexId, INF,
+};
+use htsp_partition::partition_region_growing;
+use htsp_psp::{
+    no_boundary::no_boundary_distance, CrossBoundaryIndex, OverlayGraph, PartitionIndex,
+    Partitioned, PchSearcher, PostBoundaryIndexes,
+};
+use htsp_search::BiDijkstra;
+use htsp_td::{H2HIndex, TreeDecomposition};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// PMHL construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct PmhlConfig {
+    /// Number of partitions `k` (Exp. 1 sweeps this).
+    pub num_partitions: usize,
+    /// Number of worker threads for partition-parallel maintenance.
+    pub num_threads: usize,
+    /// Partitioner seed.
+    pub seed: u64,
+}
+
+impl Default for PmhlConfig {
+    fn default() -> Self {
+        PmhlConfig {
+            num_partitions: 8,
+            num_threads: 4,
+            seed: 1,
+        }
+    }
+}
+
+/// The query stage currently available (fastest machinery consistent with the
+/// latest batch).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PmhlStage {
+    /// Q-Stage 1: index-free BiDijkstra.
+    BiDijkstra,
+    /// Q-Stage 2: partitioned CH search on the union shortcut arrays.
+    Pch,
+    /// Q-Stage 3: no-boundary query (concatenation).
+    NoBoundary,
+    /// Q-Stage 4: post-boundary query (same-partition via `L'_i`).
+    PostBoundary,
+    /// Q-Stage 5: cross-boundary query (2-hop, no concatenation).
+    CrossBoundary,
+}
+
+/// The Partitioned Multi-stage Hub Labeling index.
+pub struct Pmhl {
+    config: PmhlConfig,
+    partitioned: Partitioned,
+    partition_indexes: Vec<PartitionIndex>,
+    overlay: OverlayGraph,
+    overlay_index: H2HIndex,
+    post: PostBoundaryIndexes,
+    cross: CrossBoundaryIndex,
+    bidij: BiDijkstra,
+    pch: PchSearcher,
+    stage: PmhlStage,
+}
+
+impl Pmhl {
+    /// Builds PMHL over `graph` (Algorithm 3: partition, boundary-first order,
+    /// no-boundary → post-boundary → cross-boundary construction).
+    pub fn build(graph: &Graph, config: PmhlConfig) -> Self {
+        let pr = partition_region_growing(graph, config.num_partitions, config.seed);
+        let partitioned = Partitioned::build(graph.clone(), pr);
+        // Steps 1-3: no-boundary index {L_i} and overlay index L̃.
+        let partition_indexes: Vec<PartitionIndex> = partitioned
+            .subgraphs
+            .iter()
+            .map(PartitionIndex::build)
+            .collect();
+        let chs: Vec<&ContractionHierarchy> =
+            partition_indexes.iter().map(|p| p.hierarchy()).collect();
+        let overlay = OverlayGraph::build(&partitioned, &chs);
+        let overlay_index = H2HIndex::from_decomposition(TreeDecomposition::build(&overlay.graph));
+        // Steps 4-5: post-boundary indexes {L'_i}.
+        let post = PostBoundaryIndexes::build(&partitioned, &overlay, &overlay_index);
+        // Step 6: cross-boundary index L*.
+        let cross = CrossBoundaryIndex::build(&partitioned, &overlay, &overlay_index, &post);
+        let n = graph.num_vertices();
+        Pmhl {
+            config,
+            partitioned,
+            partition_indexes,
+            overlay,
+            overlay_index,
+            post,
+            cross,
+            bidij: BiDijkstra::new(n),
+            pch: PchSearcher::new(n),
+            stage: PmhlStage::CrossBoundary,
+        }
+    }
+
+    /// The currently available query stage.
+    pub fn stage(&self) -> PmhlStage {
+        self.stage
+    }
+
+    /// Number of boundary vertices `|B|` (reported by Exp. 1).
+    pub fn num_boundary(&self) -> usize {
+        self.partitioned.partition.num_boundary()
+    }
+
+    /// The partition layout.
+    pub fn partitioned(&self) -> &Partitioned {
+        &self.partitioned
+    }
+
+    fn distance_with(&mut self, graph: &Graph, stage: PmhlStage, s: VertexId, t: VertexId) -> Dist {
+        if s == t {
+            return Dist::ZERO;
+        }
+        match stage {
+            PmhlStage::BiDijkstra => self.bidij.distance(graph, s, t),
+            PmhlStage::Pch => {
+                let refs: Vec<&ContractionHierarchy> =
+                    self.partition_indexes.iter().map(|p| p.hierarchy()).collect();
+                let overlay_h = self.overlay_index.decomposition().hierarchy();
+                self.pch
+                    .distance(&self.partitioned, &refs, &self.overlay, overlay_h, s, t)
+            }
+            PmhlStage::NoBoundary => no_boundary_distance(
+                &self.partitioned,
+                &self.partition_indexes,
+                &self.overlay,
+                &self.overlay_index,
+                s,
+                t,
+            ),
+            PmhlStage::PostBoundary => {
+                if self.partitioned.partition.same_partition(s, t) {
+                    let pi = self.partitioned.partition.partition_of(s);
+                    self.post.same_partition_distance(&self.partitioned, pi, s, t)
+                } else {
+                    self.cross_by_concatenation(s, t)
+                }
+            }
+            PmhlStage::CrossBoundary => {
+                if self.partitioned.partition.same_partition(s, t) {
+                    let pi = self.partitioned.partition.partition_of(s);
+                    self.post.same_partition_distance(&self.partitioned, pi, s, t)
+                } else {
+                    self.cross.cross_distance(s, t)
+                }
+            }
+        }
+    }
+
+    /// Cross-partition query by `L'_i`/`L̃`/`L'_j` concatenation (the
+    /// post-boundary cross-partition path, Q-Stage 4).
+    fn cross_by_concatenation(&self, s: VertexId, t: VertexId) -> Dist {
+        let to_boundary = |v: VertexId| -> Vec<(VertexId, Dist)> {
+            if self.partitioned.partition.is_boundary(v) {
+                return vec![(v, Dist::ZERO)];
+            }
+            let pi = self.partitioned.partition.partition_of(v);
+            let sub = &self.partitioned.subgraphs[pi];
+            let lv = sub.to_local(v).expect("vertex in its partition");
+            sub.boundary_local
+                .iter()
+                .map(|&lb| (sub.to_global(lb), self.post.distance_to_boundary(pi, lv, lb)))
+                .collect()
+        };
+        let from_s = to_boundary(s);
+        let from_t = to_boundary(t);
+        let mut best = INF;
+        for &(bp, dp) in &from_s {
+            if dp.is_inf() {
+                continue;
+            }
+            let lbp = match self.overlay.to_local(bp) {
+                Some(l) => l,
+                None => continue,
+            };
+            for &(bq, dq) in &from_t {
+                if dq.is_inf() {
+                    continue;
+                }
+                let mid = if bp == bq {
+                    Dist::ZERO
+                } else {
+                    match self.overlay.to_local(bq) {
+                        Some(lbq) => self.overlay_index.distance(lbp, lbq),
+                        None => INF,
+                    }
+                };
+                let cand = dp.saturating_add(mid).saturating_add(dq);
+                if cand < best {
+                    best = cand;
+                }
+            }
+        }
+        best
+    }
+}
+
+impl DynamicSpIndex for Pmhl {
+    fn name(&self) -> &'static str {
+        "PMHL"
+    }
+
+    fn num_query_stages(&self) -> usize {
+        5
+    }
+
+    fn apply_batch(&mut self, _graph: &Graph, batch: &UpdateBatch) -> UpdateTimeline {
+        let threads = self.config.num_threads.max(1);
+        let mut timeline = UpdateTimeline::default();
+
+        // U-Stage 1: on-spot edge update of the global graph and the
+        // per-partition copies.
+        let t0 = Instant::now();
+        let routed = self.partitioned.apply_batch(batch);
+        self.stage = PmhlStage::BiDijkstra;
+        timeline.push("U1: on-spot edge update", t0.elapsed());
+
+        // U-Stage 2: no-boundary shortcut update — each affected partition on
+        // its own thread, then the overlay shortcut arrays.
+        let t1 = Instant::now();
+        let per_part: Mutex<Vec<(usize, Vec<ShortcutChange>)>> = Mutex::new(Vec::new());
+        {
+            let partitioned = &self.partitioned;
+            let routed_ref = &routed;
+            let per_part_ref = &per_part;
+            let mut jobs: Vec<(usize, &mut PartitionIndex)> = self
+                .partition_indexes
+                .iter_mut()
+                .enumerate()
+                .filter(|(i, _)| !routed_ref.intra[*i].is_empty())
+                .collect();
+            let chunk = jobs.len().div_ceil(threads).max(1);
+            std::thread::scope(|scope| {
+                for chunk_jobs in jobs.chunks_mut(chunk) {
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        for (i, idx) in chunk_jobs.iter_mut() {
+                            let changes = idx.h2h.update_shortcuts(
+                                &partitioned.subgraphs[*i].graph,
+                                routed_ref.intra[*i].as_slice(),
+                            );
+                            local.push((*i, changes));
+                        }
+                        per_part_ref.lock().unwrap().extend(local);
+                    });
+                }
+            });
+        }
+        let per_part = per_part.into_inner().unwrap();
+        let overlay_batch = self
+            .overlay
+            .apply_changes(&self.partitioned, &routed.inter, &per_part);
+        let overlay_sc_changes = self
+            .overlay_index
+            .update_shortcuts(&self.overlay.graph, overlay_batch.as_slice());
+        self.stage = PmhlStage::Pch;
+        timeline.push("U2: no-boundary shortcut update", t1.elapsed());
+
+        // U-Stage 3: no-boundary label update — partitions in parallel, then
+        // the overlay labels.
+        let t2 = Instant::now();
+        {
+            let mut changed_by_partition: rustc_hash::FxHashMap<usize, Vec<VertexId>> =
+                rustc_hash::FxHashMap::default();
+            for (i, changes) in &per_part {
+                let changed: Vec<VertexId> = changes.iter().map(|c| c.from).collect();
+                if !changed.is_empty() {
+                    changed_by_partition.insert(*i, changed);
+                }
+            }
+            let mut jobs: Vec<(&mut PartitionIndex, Vec<VertexId>)> = self
+                .partition_indexes
+                .iter_mut()
+                .enumerate()
+                .filter_map(|(i, idx)| changed_by_partition.remove(&i).map(|c| (idx, c)))
+                .collect();
+            let chunk = jobs.len().div_ceil(threads).max(1);
+            std::thread::scope(|scope| {
+                for chunk_jobs in jobs.chunks_mut(chunk) {
+                    scope.spawn(move || {
+                        for (idx, changed) in chunk_jobs.iter_mut() {
+                            idx.h2h.update_labels_for(changed);
+                        }
+                    });
+                }
+            });
+        }
+        let overlay_changed_sc: Vec<VertexId> =
+            overlay_sc_changes.iter().map(|c| c.from).collect();
+        let (overlay_label_changed, _) = self.overlay_index.update_labels_for(&overlay_changed_sc);
+        self.stage = PmhlStage::NoBoundary;
+        timeline.push("U3: no-boundary label update", t2.elapsed());
+
+        // U-Stage 4: post-boundary index update.
+        let t3 = Instant::now();
+        let (post_changed, _) = self.post.update(
+            &self.partitioned,
+            &self.overlay,
+            &self.overlay_index,
+            &routed.intra,
+        );
+        self.stage = PmhlStage::PostBoundary;
+        timeline.push("U4: post-boundary index update", t3.elapsed());
+
+        // U-Stage 5: cross-boundary index update.
+        let t4 = Instant::now();
+        self.cross.update(
+            &self.partitioned,
+            &self.overlay,
+            &self.overlay_index,
+            &self.post,
+            &overlay_label_changed,
+            &post_changed,
+        );
+        self.stage = PmhlStage::CrossBoundary;
+        timeline.push("U5: cross-boundary index update", t4.elapsed());
+        timeline
+    }
+
+    fn distance(&mut self, graph: &Graph, s: VertexId, t: VertexId) -> Dist {
+        let stage = self.stage;
+        self.distance_with(graph, stage, s, t)
+    }
+
+    fn distance_at_stage(&mut self, graph: &Graph, stage: usize, s: VertexId, t: VertexId) -> Dist {
+        let stage = match stage {
+            0 => PmhlStage::BiDijkstra,
+            1 => PmhlStage::Pch,
+            2 => PmhlStage::NoBoundary,
+            3 => PmhlStage::PostBoundary,
+            _ => PmhlStage::CrossBoundary,
+        };
+        self.distance_with(graph, stage, s, t)
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        self.partition_indexes
+            .iter()
+            .map(|p| p.index_size_bytes())
+            .sum::<usize>()
+            + self.overlay_index.index_size_bytes()
+            + self.post.index_size_bytes()
+            + self.cross.index_size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htsp_graph::gen::{grid, WeightRange};
+    use htsp_graph::{QuerySet, UpdateGenerator};
+    use htsp_search::dijkstra_distance;
+
+    fn check_all_stages(pmhl: &mut Pmhl, g: &Graph, count: usize, seed: u64) {
+        let qs = QuerySet::random(g, count, seed);
+        for q in &qs {
+            let expect = dijkstra_distance(g, q.source, q.target);
+            for stage in 0..5 {
+                assert_eq!(
+                    pmhl.distance_at_stage(g, stage, q.source, q.target),
+                    expect,
+                    "PMHL stage {stage} mismatch for {:?}",
+                    q
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn freshly_built_pmhl_is_exact_at_every_stage() {
+        let g = grid(9, 9, WeightRange::new(1, 20), 41);
+        let mut pmhl = Pmhl::build(
+            &g,
+            PmhlConfig {
+                num_partitions: 4,
+                num_threads: 2,
+                seed: 3,
+            },
+        );
+        assert_eq!(pmhl.stage(), PmhlStage::CrossBoundary);
+        assert_eq!(pmhl.num_query_stages(), 5);
+        assert!(pmhl.index_size_bytes() > 0);
+        assert!(pmhl.num_boundary() > 0);
+        check_all_stages(&mut pmhl, &g, 60, 5);
+    }
+
+    #[test]
+    fn pmhl_stays_exact_across_update_batches() {
+        let mut g = grid(9, 9, WeightRange::new(5, 40), 43);
+        let mut pmhl = Pmhl::build(
+            &g,
+            PmhlConfig {
+                num_partitions: 4,
+                num_threads: 2,
+                seed: 7,
+            },
+        );
+        let mut gen = UpdateGenerator::new(11);
+        for round in 0..3 {
+            let batch = gen.generate(&g, 20);
+            g.apply_batch(&batch);
+            let timeline = pmhl.apply_batch(&g, &batch);
+            assert_eq!(timeline.stages.len(), 5, "five update stages expected");
+            assert_eq!(pmhl.stage(), PmhlStage::CrossBoundary);
+            check_all_stages(&mut pmhl, &g, 40, 100 + round);
+        }
+    }
+
+    #[test]
+    fn single_threaded_and_multi_threaded_agree() {
+        let mut g1 = grid(8, 8, WeightRange::new(5, 30), 47);
+        let mut g2 = g1.clone();
+        let mut a = Pmhl::build(&g1, PmhlConfig { num_partitions: 4, num_threads: 1, seed: 5 });
+        let mut b = Pmhl::build(&g2, PmhlConfig { num_partitions: 4, num_threads: 4, seed: 5 });
+        let mut gen1 = UpdateGenerator::new(13);
+        let mut gen2 = UpdateGenerator::new(13);
+        let batch1 = gen1.generate(&g1, 15);
+        let batch2 = gen2.generate(&g2, 15);
+        g1.apply_batch(&batch1);
+        g2.apply_batch(&batch2);
+        a.apply_batch(&g1, &batch1);
+        b.apply_batch(&g2, &batch2);
+        let qs = QuerySet::random(&g1, 50, 9);
+        for q in &qs {
+            assert_eq!(
+                a.distance(&g1, q.source, q.target),
+                b.distance(&g2, q.source, q.target)
+            );
+        }
+    }
+}

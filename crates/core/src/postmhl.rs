@@ -1,0 +1,760 @@
+//! PostMHL: Post-partitioned Multi-stage Hub Labeling (§VI).
+//!
+//! PostMHL starts from a *global* MDE tree decomposition (so the final query
+//! stage reaches the H2H-equivalent optimum promised by Theorem 1) and derives
+//! the partition structure from it with TD-partitioning (Algorithm 2). One
+//! tree holds all three index components of Figure 8:
+//!
+//! * the **overlay index** — the distance arrays of the overlay vertices
+//!   (every vertex that is not inside a chosen partition subtree);
+//! * the **post-boundary index** — for every in-partition vertex, the distance
+//!   array entries towards its in-partition ancestors plus the boundary array
+//!   `disB` towards its partition's boundary vertices;
+//! * the **cross-boundary index** — the distance array entries towards the
+//!   overlay ancestors.
+//!
+//! Maintenance (Figure 9) is staged: on-spot edge update → shortcut-array
+//! update → overlay label update → post-boundary update (per partition, in
+//! parallel) → cross-boundary update (per partition, in parallel). Each stage
+//! releases a faster query stage: BiDijkstra → PCH → post-boundary →
+//! cross-boundary (plain H2H query).
+
+use htsp_ch::ChQuery;
+use htsp_graph::{
+    Dist, DynamicSpIndex, Graph, UpdateBatch, UpdateTimeline, VertexId, INF,
+};
+use htsp_partition::{td_partition, TdPartition, TdPartitionConfig};
+use htsp_search::BiDijkstra;
+use htsp_td::{H2HIndex, TreeDecomposition};
+use rustc_hash::FxHashMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// PostMHL construction parameters (the `τ`, `k_e`, `β_l`, `β_u` of
+/// Algorithm 2 plus the maintenance thread count).
+#[derive(Clone, Copy, Debug)]
+pub struct PostMhlConfig {
+    /// TD-partitioning parameters.
+    pub partitioning: TdPartitionConfig,
+    /// Number of worker threads for the partition-parallel label stages.
+    pub num_threads: usize,
+}
+
+impl Default for PostMhlConfig {
+    fn default() -> Self {
+        PostMhlConfig {
+            partitioning: TdPartitionConfig::default(),
+            num_threads: 4,
+        }
+    }
+}
+
+/// The currently available query stage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PostMhlStage {
+    /// Q-Stage 1: index-free BiDijkstra.
+    BiDijkstra,
+    /// Q-Stage 2: partitioned CH search on the shared shortcut arrays.
+    Pch,
+    /// Q-Stage 3: post-boundary query (`disB` + in-partition labels + overlay).
+    PostBoundary,
+    /// Q-Stage 4: cross-boundary query (full H2H, the Theorem 1 optimum).
+    CrossBoundary,
+}
+
+/// The Post-partitioned Multi-stage Hub Labeling index.
+pub struct PostMhl {
+    config: PostMhlConfig,
+    /// Own copy of the graph (kept in sync with update batches).
+    graph: Graph,
+    /// The global MDE tree decomposition (shared shortcut arrays).
+    td: TreeDecomposition,
+    /// Full distance arrays (`X(v).dis`), indexed by vertex then ancestor depth.
+    dis: Vec<Vec<Dist>>,
+    /// Boundary arrays (`X(v).disB`): for in-partition vertices only, the
+    /// global distance to each boundary vertex of its partition (in the order
+    /// of [`TdPartition::boundary`]).
+    disb: Vec<Vec<Dist>>,
+    /// The TD-partitioning result.
+    tdp: TdPartition,
+    bidij: BiDijkstra,
+    ch_query: ChQuery,
+    stage: PostMhlStage,
+}
+
+impl PostMhl {
+    /// Builds PostMHL (Algorithm 4): MDE tree decomposition, TD-partitioning,
+    /// overlay / post-boundary / cross-boundary indexes.
+    pub fn build(graph: &Graph, config: PostMhlConfig) -> Self {
+        let h2h = H2HIndex::build(graph);
+        let (td, dis) = h2h.into_parts();
+        let tdp = td_partition(&td, &config.partitioning);
+        // At build time every dis entry is a correct global distance, so the
+        // boundary arrays are plain copies of the corresponding entries.
+        let n = graph.num_vertices();
+        let mut disb = vec![Vec::new(); n];
+        for pi in 0..tdp.num_partitions() {
+            let boundary = tdp.boundary(pi);
+            for &v in tdp.vertices(pi) {
+                disb[v.index()] = boundary
+                    .iter()
+                    .map(|&b| dis[v.index()][td.depth(b) as usize])
+                    .collect();
+            }
+        }
+        PostMhl {
+            config,
+            graph: graph.clone(),
+            bidij: BiDijkstra::new(n),
+            ch_query: ChQuery::new(n),
+            td,
+            dis,
+            disb,
+            tdp,
+            stage: PostMhlStage::CrossBoundary,
+        }
+    }
+
+    /// The currently available query stage.
+    pub fn stage(&self) -> PostMhlStage {
+        self.stage
+    }
+
+    /// Number of partitions produced by TD-partitioning.
+    pub fn num_partitions(&self) -> usize {
+        self.tdp.num_partitions()
+    }
+
+    /// Number of overlay vertices (Exp. 8 reports this against `τ`).
+    pub fn num_overlay_vertices(&self) -> usize {
+        self.tdp.overlay_vertices().len()
+    }
+
+    /// The TD-partitioning result.
+    pub fn partitioning(&self) -> &TdPartition {
+        &self.tdp
+    }
+
+    /// Full H2H distance query over the global labels (the cross-boundary /
+    /// final stage; identical machinery to DH2H, per Remark 2).
+    fn h2h_distance(&self, s: VertexId, t: VertexId) -> Dist {
+        if s == t {
+            return Dist::ZERO;
+        }
+        let x = match self.td.lca(s, t) {
+            Some(x) => x,
+            None => return INF,
+        };
+        if x == s {
+            return self.dis[t.index()][self.td.depth(s) as usize];
+        }
+        if x == t {
+            return self.dis[s.index()][self.td.depth(t) as usize];
+        }
+        let ds = &self.dis[s.index()];
+        let dt = &self.dis[t.index()];
+        let mut best = INF;
+        let xd = self.td.depth(x) as usize;
+        let cand = ds[xd].saturating_add(dt[xd]);
+        if cand < best {
+            best = cand;
+        }
+        for &(u, _) in self.td.bag(x) {
+            let i = self.td.depth(u) as usize;
+            let cand = ds[i].saturating_add(dt[i]);
+            if cand < best {
+                best = cand;
+            }
+        }
+        best
+    }
+
+    /// Overlay distance between two overlay vertices: a plain H2H query, valid
+    /// as soon as the overlay labels are updated (their LCA and bag members
+    /// are overlay vertices too, because the overlay set is upward-closed).
+    fn overlay_distance(&self, a: VertexId, b: VertexId) -> Dist {
+        self.h2h_distance(a, b)
+    }
+
+    /// Post-boundary query (Q-Stage 3): same-partition pairs use the
+    /// in-partition labels plus `disB`; all other pairs concatenate `disB`
+    /// arrays through the overlay.
+    fn post_boundary_distance(&self, s: VertexId, t: VertexId) -> Dist {
+        if s == t {
+            return Dist::ZERO;
+        }
+        let ps = self.tdp.partition_of(s);
+        let pt = self.tdp.partition_of(t);
+        match (ps, pt) {
+            (Some(pi), Some(pj)) if pi == pj => {
+                let boundary = self.tdp.boundary(pi);
+                let mut best = INF;
+                // Route through any boundary vertex of the shared partition.
+                for j in 0..boundary.len() {
+                    let cand = self.disb[s.index()][j].saturating_add(self.disb[t.index()][j]);
+                    if cand < best {
+                        best = cand;
+                    }
+                }
+                // Route through the in-partition separator (the LCA's bag
+                // members inside the partition; their label entries belong to
+                // the post-boundary index and are already repaired).
+                if let Some(x) = self.td.lca(s, t) {
+                    if self.tdp.partition_of(x) == Some(pi) {
+                        let xd = self.td.depth(x) as usize;
+                        let cand = self.dis[s.index()][xd].saturating_add(self.dis[t.index()][xd]);
+                        if cand < best {
+                            best = cand;
+                        }
+                        for &(u, _) in self.td.bag(x) {
+                            if self.tdp.partition_of(u) != Some(pi) {
+                                continue;
+                            }
+                            let i = self.td.depth(u) as usize;
+                            let cand =
+                                self.dis[s.index()][i].saturating_add(self.dis[t.index()][i]);
+                            if cand < best {
+                                best = cand;
+                            }
+                        }
+                    }
+                }
+                best
+            }
+            _ => {
+                // Cross-partition (or overlay endpoints): concatenate through
+                // the boundary vertices using disB and the overlay labels.
+                let sides = |v: VertexId| -> Vec<(VertexId, Dist)> {
+                    match self.tdp.partition_of(v) {
+                        None => vec![(v, Dist::ZERO)],
+                        Some(pi) => self
+                            .tdp
+                            .boundary(pi)
+                            .iter()
+                            .enumerate()
+                            .map(|(j, &b)| (b, self.disb[v.index()][j]))
+                            .collect(),
+                    }
+                };
+                let from_s = sides(s);
+                let from_t = sides(t);
+                let mut best = INF;
+                for &(bp, dp) in &from_s {
+                    if dp.is_inf() {
+                        continue;
+                    }
+                    for &(bq, dq) in &from_t {
+                        if dq.is_inf() {
+                            continue;
+                        }
+                        let mid = if bp == bq {
+                            Dist::ZERO
+                        } else {
+                            self.overlay_distance(bp, bq)
+                        };
+                        let cand = dp.saturating_add(mid).saturating_add(dq);
+                        if cand < best {
+                            best = cand;
+                        }
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    fn distance_with(&mut self, stage: PostMhlStage, s: VertexId, t: VertexId) -> Dist {
+        match stage {
+            PostMhlStage::BiDijkstra => {
+                let graph = &self.graph;
+                self.bidij.distance(graph, s, t)
+            }
+            PostMhlStage::Pch => self.ch_query.distance(self.td.hierarchy(), s, t),
+            PostMhlStage::PostBoundary => self.post_boundary_distance(s, t),
+            PostMhlStage::CrossBoundary => self.h2h_distance(s, t),
+        }
+    }
+
+    /// Recomputes the labels of the overlay vertices affected by the shortcut
+    /// changes (U-Stage 3). Returns a flag per vertex telling whether any
+    /// ancestor's label (or its own) changed — consumed by the partition
+    /// stages to decide which partitions to repair.
+    fn update_overlay_labels(&mut self, sc_changed: &[bool]) -> Vec<bool> {
+        let n = self.td.num_vertices();
+        // anc_or_self_changed[v] = some label on the root path down to and
+        // including v changed in this round.
+        let mut anc_or_self_changed = vec![false; n];
+        let topdown: Vec<VertexId> = self.td.topdown_order().to_vec();
+        let mut path_cache: Vec<VertexId> = Vec::new();
+        for v in topdown {
+            if self.tdp.partition_of(v).is_some() {
+                continue; // partition subtrees are handled in U-Stages 4-5
+            }
+            let parent_changed = self
+                .td
+                .parent(v)
+                .map(|p| anc_or_self_changed[p.index()])
+                .unwrap_or(false);
+            let need = parent_changed || sc_changed[v.index()];
+            let mut self_changed = false;
+            if need {
+                path_cache.clear();
+                path_cache.extend(self.td.ancestors(v));
+                let new_label = compute_full_label(&self.td, &self.dis, v, &path_cache);
+                if new_label != self.dis[v.index()] {
+                    self.dis[v.index()] = new_label;
+                    self_changed = true;
+                }
+            }
+            anc_or_self_changed[v.index()] = parent_changed || self_changed;
+        }
+        anc_or_self_changed
+    }
+}
+
+/// Recomputes the full distance array of `v` from its bag and the labels of
+/// its ancestors (identical to the H2H minimum-distance recurrence).
+fn compute_full_label(
+    td: &TreeDecomposition,
+    dis: &[Vec<Dist>],
+    v: VertexId,
+    path: &[VertexId],
+) -> Vec<Dist> {
+    let depth_v = td.depth(v) as usize;
+    let mut label = vec![INF; depth_v + 1];
+    label[depth_v] = Dist::ZERO;
+    for (d, &a) in path.iter().enumerate() {
+        let mut best = INF;
+        for &(u, w) in td.bag(v) {
+            let du = td.depth(u) as usize;
+            let rest = if du == d {
+                Dist::ZERO
+            } else if d < du {
+                dis[u.index()][d]
+            } else {
+                dis[a.index()][du]
+            };
+            let cand = rest.saturating_add_weight(w);
+            if cand < best {
+                best = cand;
+            }
+        }
+        label[d] = best;
+    }
+    label
+}
+
+/// Output of one partition's post-boundary pass: the new `disB` rows and the
+/// new in-partition segments (depth ≥ root depth) of the `dis` rows.
+struct PostPassResult {
+    partition: usize,
+    /// `(vertex, new disB row, new in-partition dis segment)`.
+    rows: Vec<(VertexId, Vec<Dist>, Vec<Dist>)>,
+}
+
+/// Output of one partition's cross-boundary pass: the new overlay segments
+/// (depth < root depth) of the `dis` rows.
+struct CrossPassResult {
+    rows: Vec<(VertexId, Vec<Dist>)>,
+}
+
+impl DynamicSpIndex for PostMhl {
+    fn name(&self) -> &'static str {
+        "PostMHL"
+    }
+
+    fn num_query_stages(&self) -> usize {
+        4
+    }
+
+    fn apply_batch(&mut self, _graph: &Graph, batch: &UpdateBatch) -> UpdateTimeline {
+        let threads = self.config.num_threads.max(1);
+        let mut timeline = UpdateTimeline::default();
+
+        // U-Stage 1: on-spot edge update of the internal graph copy.
+        let t0 = Instant::now();
+        self.graph.apply_batch(batch);
+        self.stage = PostMhlStage::BiDijkstra;
+        timeline.push("U1: on-spot edge update", t0.elapsed());
+
+        // U-Stage 2: shortcut-array update (shared by every component).
+        let t1 = Instant::now();
+        let changes = self
+            .td
+            .hierarchy_mut()
+            .apply_batch(&self.graph, batch.as_slice());
+        self.stage = PostMhlStage::Pch;
+        timeline.push("U2: shortcut array update", t1.elapsed());
+
+        let n = self.td.num_vertices();
+        let mut sc_changed = vec![false; n];
+        for c in &changes {
+            sc_changed[c.from.index()] = true;
+        }
+
+        // U-Stage 3: overlay label update.
+        let t2 = Instant::now();
+        let anc_changed = self.update_overlay_labels(&sc_changed);
+        timeline.push("U3: overlay index update", t2.elapsed());
+
+        // Determine the affected partitions: a partition must be repaired if
+        // any of its members' shortcuts changed, or if any ancestor of its
+        // root (all overlay vertices, including its boundary set) changed.
+        let mut affected: Vec<usize> = Vec::new();
+        for pi in 0..self.tdp.num_partitions() {
+            let root = self.tdp.roots()[pi];
+            let root_parent_changed = self
+                .td
+                .parent(root)
+                .map(|p| anc_changed[p.index()])
+                .unwrap_or(false);
+            let member_sc_changed = self
+                .tdp
+                .vertices(pi)
+                .iter()
+                .any(|&v| sc_changed[v.index()]);
+            if root_parent_changed || member_sc_changed {
+                affected.push(pi);
+            }
+        }
+
+        // U-Stage 4: post-boundary update (disB + in-partition label entries),
+        // one thread per affected partition.
+        let t3 = Instant::now();
+        let post_results: Mutex<Vec<PostPassResult>> = Mutex::new(Vec::new());
+        {
+            let this = &*self;
+            let post_results_ref = &post_results;
+            let chunk = affected.len().div_ceil(threads).max(1);
+            std::thread::scope(|scope| {
+                for chunk_parts in affected.chunks(chunk) {
+                    scope.spawn(move || {
+                        for &pi in chunk_parts {
+                            let res = this.post_boundary_pass(pi);
+                            post_results_ref.lock().unwrap().push(res);
+                        }
+                    });
+                }
+            });
+        }
+        for res in post_results.into_inner().unwrap() {
+            let root_depth = self.td.depth(self.tdp.roots()[res.partition]) as usize;
+            for (v, new_disb, new_seg) in res.rows {
+                self.disb[v.index()] = new_disb;
+                let row = &mut self.dis[v.index()];
+                row[root_depth..].copy_from_slice(&new_seg);
+            }
+        }
+        self.stage = PostMhlStage::PostBoundary;
+        timeline.push("U4: post-boundary index update", t3.elapsed());
+
+        // U-Stage 5: cross-boundary update (overlay-ancestor label entries),
+        // one thread per affected partition.
+        let t4 = Instant::now();
+        let cross_results: Mutex<Vec<CrossPassResult>> = Mutex::new(Vec::new());
+        {
+            let this = &*self;
+            let cross_results_ref = &cross_results;
+            let chunk = affected.len().div_ceil(threads).max(1);
+            std::thread::scope(|scope| {
+                for chunk_parts in affected.chunks(chunk) {
+                    scope.spawn(move || {
+                        for &pi in chunk_parts {
+                            let res = this.cross_boundary_pass(pi);
+                            cross_results_ref.lock().unwrap().push(res);
+                        }
+                    });
+                }
+            });
+        }
+        for res in cross_results.into_inner().unwrap() {
+            for (v, new_seg) in res.rows {
+                let row = &mut self.dis[v.index()];
+                row[..new_seg.len()].copy_from_slice(&new_seg);
+            }
+        }
+        self.stage = PostMhlStage::CrossBoundary;
+        timeline.push("U5: cross-boundary index update", t4.elapsed());
+        timeline
+    }
+
+    fn distance(&mut self, _graph: &Graph, s: VertexId, t: VertexId) -> Dist {
+        let stage = self.stage;
+        self.distance_with(stage, s, t)
+    }
+
+    fn distance_at_stage(&mut self, _graph: &Graph, stage: usize, s: VertexId, t: VertexId) -> Dist {
+        let stage = match stage {
+            0 => PostMhlStage::BiDijkstra,
+            1 => PostMhlStage::Pch,
+            2 => PostMhlStage::PostBoundary,
+            _ => PostMhlStage::CrossBoundary,
+        };
+        self.distance_with(stage, s, t)
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        let labels: usize = self.dis.iter().map(|d| d.len()).sum::<usize>()
+            + self.disb.iter().map(|d| d.len()).sum::<usize>();
+        labels * std::mem::size_of::<Dist>() + self.td.hierarchy().index_size_bytes()
+    }
+}
+
+impl PostMhl {
+    /// Post-boundary pass over one partition subtree (Algorithm 4 lines
+    /// 13-31, restricted to `disB` and the in-partition ancestor entries).
+    /// Reads the *current* overlay labels and the rows it has itself produced;
+    /// never reads another partition's rows.
+    fn post_boundary_pass(&self, pi: usize) -> PostPassResult {
+        let root = self.tdp.roots()[pi];
+        let root_depth = self.td.depth(root) as usize;
+        let boundary = self.tdp.boundary(pi);
+        let nb = boundary.len();
+        // D: all-pair boundary distances from the (already updated) overlay.
+        let mut d_matrix = vec![vec![Dist::ZERO; nb]; nb];
+        for i in 0..nb {
+            for j in (i + 1)..nb {
+                let d = self.overlay_distance(boundary[i], boundary[j]);
+                d_matrix[i][j] = d;
+                d_matrix[j][i] = d;
+            }
+        }
+        let b_pos: FxHashMap<VertexId, usize> =
+            boundary.iter().enumerate().map(|(j, &b)| (b, j)).collect();
+
+        // Subtree members in top-down order (parents before children).
+        let members = self.subtree_topdown(root);
+        let mut new_disb: FxHashMap<u32, Vec<Dist>> = FxHashMap::default();
+        let mut new_seg: FxHashMap<u32, Vec<Dist>> = FxHashMap::default();
+        let mut rows = Vec::with_capacity(members.len());
+        for &v in &members {
+            let depth_v = self.td.depth(v) as usize;
+            let bag = self.td.bag(v);
+            // Boundary array.
+            let mut disb_row = vec![INF; nb];
+            for (j, row) in disb_row.iter_mut().enumerate() {
+                let mut best = INF;
+                for &(u, w) in bag {
+                    let rest = match b_pos.get(&u) {
+                        Some(&k) => d_matrix[k][j],
+                        None => {
+                            if self.tdp.partition_of(u) == Some(pi) {
+                                // In-partition ancestor: read its new disB row.
+                                match new_disb.get(&u.0) {
+                                    Some(r) => r[j],
+                                    None => self.disb[u.index()][j],
+                                }
+                            } else {
+                                // Overlay ancestor outside B_i: go through the
+                                // overlay (its distance to the boundary vertex).
+                                self.overlay_distance(u, boundary[j])
+                            }
+                        }
+                    };
+                    let cand = rest.saturating_add_weight(w);
+                    if cand < best {
+                        best = cand;
+                    }
+                }
+                *row = best;
+            }
+            // In-partition ancestor entries (depths root_depth .. depth_v).
+            let anc = self.td.ancestors(v);
+            let mut seg = vec![INF; depth_v + 1 - root_depth];
+            *seg.last_mut().unwrap() = Dist::ZERO; // d(v, v)
+            for d in root_depth..depth_v {
+                let a = anc[d];
+                let mut best = INF;
+                for &(u, w) in bag {
+                    let du = self.td.depth(u) as usize;
+                    let rest = if let Some(&k) = b_pos.get(&u) {
+                        // Overlay neighbor: distance from the in-partition
+                        // ancestor `a` to that boundary vertex, via disB.
+                        match new_disb.get(&a.0) {
+                            Some(r) => r[k],
+                            None => self.disb[a.index()][k],
+                        }
+                    } else if self.tdp.partition_of(u) != Some(pi) {
+                        self.overlay_distance(u, a)
+                    } else if du == d {
+                        Dist::ZERO
+                    } else if d < du {
+                        // `a` is an ancestor of `u`: u's in-partition entry.
+                        match new_seg.get(&u.0) {
+                            Some(r) => r[d - root_depth],
+                            None => self.dis[u.index()][d],
+                        }
+                    } else {
+                        // `u` is an ancestor of `a`: a's in-partition entry.
+                        match new_seg.get(&a.0) {
+                            Some(r) => r[du - root_depth],
+                            None => self.dis[a.index()][du],
+                        }
+                    };
+                    let cand = rest.saturating_add_weight(w);
+                    if cand < best {
+                        best = cand;
+                    }
+                }
+                seg[d - root_depth] = best;
+            }
+            new_disb.insert(v.0, disb_row.clone());
+            new_seg.insert(v.0, seg.clone());
+            rows.push((v, disb_row, seg));
+        }
+        PostPassResult {
+            partition: pi,
+            rows,
+        }
+    }
+
+    /// Cross-boundary pass over one partition subtree: recomputes the label
+    /// entries towards the overlay ancestors (depths `0 .. root_depth`).
+    fn cross_boundary_pass(&self, pi: usize) -> CrossPassResult {
+        let root = self.tdp.roots()[pi];
+        let root_depth = self.td.depth(root) as usize;
+        let members = self.subtree_topdown(root);
+        let mut new_prefix: FxHashMap<u32, Vec<Dist>> = FxHashMap::default();
+        let mut rows = Vec::with_capacity(members.len());
+        for &v in &members {
+            let bag = self.td.bag(v);
+            let anc = self.td.ancestors(v);
+            let mut prefix = vec![INF; root_depth];
+            for (d, slot) in prefix.iter_mut().enumerate() {
+                let a = anc[d];
+                let mut best = INF;
+                for &(u, w) in bag {
+                    let du = self.td.depth(u) as usize;
+                    let rest = if self.tdp.partition_of(u) == Some(pi) {
+                        // In-partition neighbor: its (new) cross entry at depth d.
+                        match new_prefix.get(&u.0) {
+                            Some(r) => r[d],
+                            None => self.dis[u.index()][d],
+                        }
+                    } else if du == d {
+                        Dist::ZERO
+                    } else if d < du {
+                        self.dis[u.index()][d]
+                    } else {
+                        self.dis[a.index()][du]
+                    };
+                    let cand = rest.saturating_add_weight(w);
+                    if cand < best {
+                        best = cand;
+                    }
+                }
+                *slot = best;
+            }
+            new_prefix.insert(v.0, prefix.clone());
+            rows.push((v, prefix));
+        }
+        CrossPassResult { rows }
+    }
+
+    /// The vertices of `root`'s subtree in an order where parents precede
+    /// children.
+    fn subtree_topdown(&self, root: VertexId) -> Vec<VertexId> {
+        let mut out = Vec::new();
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(root);
+        while let Some(v) = queue.pop_front() {
+            out.push(v);
+            for &c in self.td.children(v) {
+                queue.push_back(c);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htsp_graph::gen::{grid, WeightRange};
+    use htsp_graph::{QuerySet, UpdateGenerator};
+    use htsp_search::dijkstra_distance;
+
+    fn config(ke: usize, tau: usize, threads: usize) -> PostMhlConfig {
+        PostMhlConfig {
+            partitioning: TdPartitionConfig {
+                bandwidth: tau,
+                expected_partitions: ke,
+                beta_lower: 0.1,
+                beta_upper: 2.0,
+            },
+            num_threads: threads,
+        }
+    }
+
+    fn check_all_stages(idx: &mut PostMhl, g: &Graph, count: usize, seed: u64) {
+        let qs = QuerySet::random(g, count, seed);
+        for q in &qs {
+            let expect = dijkstra_distance(g, q.source, q.target);
+            for stage in 0..4 {
+                assert_eq!(
+                    idx.distance_at_stage(g, stage, q.source, q.target),
+                    expect,
+                    "PostMHL stage {stage} mismatch for {:?}",
+                    q
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn freshly_built_postmhl_is_exact_at_every_stage() {
+        let g = grid(10, 10, WeightRange::new(1, 20), 51);
+        let mut idx = PostMhl::build(&g, config(8, 12, 2));
+        assert!(idx.num_partitions() >= 2);
+        assert!(idx.num_overlay_vertices() > 0);
+        assert_eq!(idx.num_query_stages(), 4);
+        assert!(idx.index_size_bytes() > 0);
+        check_all_stages(&mut idx, &g, 80, 3);
+    }
+
+    #[test]
+    fn postmhl_stays_exact_across_update_batches() {
+        let mut g = grid(10, 10, WeightRange::new(5, 40), 53);
+        let mut idx = PostMhl::build(&g, config(8, 12, 2));
+        let mut gen = UpdateGenerator::new(29);
+        for round in 0..3 {
+            let batch = gen.generate(&g, 25);
+            g.apply_batch(&batch);
+            let timeline = idx.apply_batch(&g, &batch);
+            assert_eq!(timeline.stages.len(), 5);
+            assert_eq!(idx.stage(), PostMhlStage::CrossBoundary);
+            check_all_stages(&mut idx, &g, 50, 200 + round);
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_answers() {
+        let mut g1 = grid(9, 9, WeightRange::new(5, 30), 57);
+        let mut g2 = g1.clone();
+        let mut a = PostMhl::build(&g1, config(8, 12, 1));
+        let mut b = PostMhl::build(&g2, config(8, 12, 4));
+        let mut gen1 = UpdateGenerator::new(31);
+        let mut gen2 = UpdateGenerator::new(31);
+        let batch1 = gen1.generate(&g1, 20);
+        let batch2 = gen2.generate(&g2, 20);
+        g1.apply_batch(&batch1);
+        g2.apply_batch(&batch2);
+        a.apply_batch(&g1, &batch1);
+        b.apply_batch(&g2, &batch2);
+        let qs = QuerySet::random(&g1, 60, 17);
+        for q in &qs {
+            assert_eq!(
+                a.distance(&g1, q.source, q.target),
+                b.distance(&g2, q.source, q.target)
+            );
+        }
+    }
+
+    #[test]
+    fn larger_bandwidth_means_smaller_overlay() {
+        let g = grid(12, 12, WeightRange::new(1, 20), 59);
+        let small = PostMhl::build(&g, config(16, 6, 1));
+        let large = PostMhl::build(&g, config(16, 24, 1));
+        assert!(large.num_overlay_vertices() <= small.num_overlay_vertices());
+    }
+}

@@ -1,0 +1,135 @@
+//! The common interface implemented by every dynamic shortest-distance index
+//! in this repository (BiDijkstra, DCH, DH2H, N-CH-P, P-TD-P, TOAIN, PMHL,
+//! PostMHL).
+//!
+//! The throughput harness (crate `htsp-throughput`) drives all algorithms
+//! through this trait: it applies an update batch, observes the *staged*
+//! availability timeline the index reports (Figure 1 of the paper), measures
+//! per-stage query latency, and feeds both into the throughput model of
+//! Lemma 1.
+
+use crate::graph::Graph;
+use crate::queries::Query;
+use crate::types::{Dist, VertexId};
+use crate::updates::UpdateBatch;
+use std::time::Duration;
+
+/// One completed update stage: after `elapsed_in_stage` of work the stage's
+/// index became available and queries can run at that stage's speed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StageReport {
+    /// Human-readable stage name (e.g. `"U2: no-boundary shortcut update"`).
+    pub name: String,
+    /// Time spent inside this stage.
+    pub duration: Duration,
+}
+
+/// The timeline of one maintenance round: the stage list in completion order.
+#[derive(Clone, Debug, Default)]
+pub struct UpdateTimeline {
+    /// Stages in the order they completed.
+    pub stages: Vec<StageReport>,
+}
+
+impl UpdateTimeline {
+    /// Creates a timeline with a single stage (for single-stage indexes).
+    pub fn single(name: impl Into<String>, duration: Duration) -> Self {
+        UpdateTimeline {
+            stages: vec![StageReport {
+                name: name.into(),
+                duration,
+            }],
+        }
+    }
+
+    /// Adds a stage.
+    pub fn push(&mut self, name: impl Into<String>, duration: Duration) {
+        self.stages.push(StageReport {
+            name: name.into(),
+            duration,
+        });
+    }
+
+    /// Total update time `t_u`.
+    pub fn total(&self) -> Duration {
+        self.stages.iter().map(|s| s.duration).sum()
+    }
+
+    /// Cumulative time until the end of stage `i` (0-based).
+    pub fn elapsed_until(&self, i: usize) -> Duration {
+        self.stages.iter().take(i + 1).map(|s| s.duration).sum()
+    }
+}
+
+/// A dynamic shortest-distance index driven by the throughput harness.
+///
+/// The contract mirrors the paper's system model (§II): when a batch arrives
+/// the caller first applies it to the graph (U-Stage 1 happens inside
+/// [`DynamicSpIndex::apply_batch`] implementations that need it), then the
+/// index repairs itself; queries issued afterwards must reflect the new
+/// weights exactly (no staleness).
+pub trait DynamicSpIndex {
+    /// Short algorithm name used in experiment tables (e.g. `"PostMHL"`).
+    fn name(&self) -> &'static str;
+
+    /// Repairs the index after `batch` has been applied to `graph`.
+    /// Returns the staged availability timeline.
+    fn apply_batch(&mut self, graph: &Graph, batch: &UpdateBatch) -> UpdateTimeline;
+
+    /// Number of query stages this index exposes (1 for single-stage indexes).
+    fn num_query_stages(&self) -> usize {
+        1
+    }
+
+    /// Answers `q(s, t)` with the fastest fully-updated machinery (the final
+    /// query stage).
+    fn distance(&mut self, graph: &Graph, s: VertexId, t: VertexId) -> Dist;
+
+    /// Answers `q(s, t)` using the machinery available at query stage `stage`
+    /// (0-based; stage `num_query_stages() - 1` equals [`Self::distance`]).
+    ///
+    /// Single-stage indexes ignore `stage`.
+    fn distance_at_stage(
+        &mut self,
+        graph: &Graph,
+        stage: usize,
+        s: VertexId,
+        t: VertexId,
+    ) -> Dist {
+        let _ = stage;
+        self.distance(graph, s, t)
+    }
+
+    /// Approximate index size in bytes (0 for index-free algorithms).
+    fn index_size_bytes(&self) -> usize {
+        0
+    }
+
+    /// Convenience: answers a [`Query`].
+    fn query(&mut self, graph: &Graph, q: &Query) -> Dist {
+        self.distance(graph, q.source, q.target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_accumulates() {
+        let mut t = UpdateTimeline::default();
+        t.push("a", Duration::from_millis(5));
+        t.push("b", Duration::from_millis(7));
+        assert_eq!(t.total(), Duration::from_millis(12));
+        assert_eq!(t.elapsed_until(0), Duration::from_millis(5));
+        assert_eq!(t.elapsed_until(1), Duration::from_millis(12));
+        assert_eq!(t.stages.len(), 2);
+    }
+
+    #[test]
+    fn single_stage_timeline() {
+        let t = UpdateTimeline::single("only", Duration::from_micros(3));
+        assert_eq!(t.stages.len(), 1);
+        assert_eq!(t.total(), Duration::from_micros(3));
+    }
+}

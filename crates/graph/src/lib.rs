@@ -1,0 +1,50 @@
+//! # htsp-graph
+//!
+//! Dynamic weighted road-network graph model used by every index in the HTSP
+//! reproduction (PMHL, PostMHL, and all baselines).
+//!
+//! The crate provides:
+//!
+//! * [`Graph`] — an undirected, positively weighted graph with adjacency-list
+//!   storage, mutable edge weights, and O(deg) weight lookup. Vertices are
+//!   compact [`VertexId`]s (`u32`), distances are [`Dist`]s (`u32` with a
+//!   saturating `INF` sentinel), matching the paper's model in §II.
+//! * [`updates`] — edge-weight *increase* / *decrease* update batches
+//!   ([`UpdateBatch`]) and a seeded random generator following the paper's
+//!   protocol (§VII-A: pick edges uniformly, halve or double their weight).
+//! * [`gen`] — synthetic road-like network generators (grid, ring-radial city
+//!   model, random geometric graph) used as laptop-scale substitutes for the
+//!   DIMACS / NavInfo datasets of Table I.
+//! * [`dimacs`] — a reader/writer for the DIMACS `.gr` format so the real
+//!   datasets can be dropped in when available.
+//! * [`queries`] — shortest-distance query workloads: uniform random pairs and
+//!   Poisson-process arrival timestamps (§II system model).
+//!
+//! # Quick example
+//!
+//! ```
+//! use htsp_graph::{gen, Graph, VertexId};
+//!
+//! // An 8x8 grid road network with travel-time weights in [1, 10].
+//! let g: Graph = gen::grid(8, 8, gen::WeightRange::new(1, 10), 42);
+//! assert_eq!(g.num_vertices(), 64);
+//! assert!(g.num_edges() > 0);
+//! let v = VertexId(0);
+//! assert!(g.degree(v) >= 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dimacs;
+pub mod gen;
+pub mod graph;
+pub mod index_api;
+pub mod queries;
+pub mod types;
+pub mod updates;
+
+pub use graph::{Graph, GraphBuilder, NeighborIter};
+pub use index_api::{DynamicSpIndex, StageReport, UpdateTimeline};
+pub use queries::{Query, QuerySet, QueryWorkload};
+pub use types::{Dist, EdgeId, VertexId, Weight, INF};
+pub use updates::{EdgeUpdate, UpdateBatch, UpdateGenerator, UpdateKind};

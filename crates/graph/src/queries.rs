@@ -1,0 +1,245 @@
+//! Shortest-distance query workloads.
+//!
+//! Following the system model of §II and the evaluation protocol of §VII-A,
+//! queries are uniformly random `(s, t)` pairs arriving as a Poisson process
+//! with rate `λ_q`. A [`QuerySet`] is just the pairs; a [`QueryWorkload`]
+//! additionally carries arrival timestamps so the throughput simulator can
+//! model queueing delay against the QoS constraint `R*_q`.
+
+use crate::graph::Graph;
+use crate::types::VertexId;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A single shortest-distance query `q(s, t)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Query {
+    /// Source vertex.
+    pub source: VertexId,
+    /// Target vertex.
+    pub target: VertexId,
+}
+
+impl Query {
+    /// Creates a query.
+    pub fn new(source: VertexId, target: VertexId) -> Self {
+        Query { source, target }
+    }
+}
+
+/// A set of queries without timing information.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct QuerySet {
+    queries: Vec<Query>,
+}
+
+impl QuerySet {
+    /// Creates an empty query set.
+    pub fn new() -> Self {
+        QuerySet {
+            queries: Vec::new(),
+        }
+    }
+
+    /// Generates `count` uniformly random queries over the vertices of
+    /// `graph`, excluding trivial `s == t` pairs.
+    pub fn random(graph: &Graph, count: usize, seed: u64) -> Self {
+        let n = graph.num_vertices();
+        assert!(n >= 2, "need at least two vertices to generate queries");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut queries = Vec::with_capacity(count);
+        while queries.len() < count {
+            let s = rng.gen_range(0..n);
+            let t = rng.gen_range(0..n);
+            if s != t {
+                queries.push(Query::new(VertexId::from_index(s), VertexId::from_index(t)));
+            }
+        }
+        QuerySet { queries }
+    }
+
+    /// Generates `count` *local* queries: the target is drawn from vertices
+    /// whose id is within `radius` of the source id. For grid-based synthetic
+    /// networks this approximates same-city / same-partition queries (the
+    /// query class the post-boundary strategy optimizes, §V-C).
+    pub fn random_local(graph: &Graph, count: usize, radius: usize, seed: u64) -> Self {
+        let n = graph.num_vertices();
+        assert!(n >= 2, "need at least two vertices to generate queries");
+        let radius = radius.max(1);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut queries = Vec::with_capacity(count);
+        while queries.len() < count {
+            let s = rng.gen_range(0..n);
+            let lo = s.saturating_sub(radius);
+            let hi = (s + radius).min(n - 1);
+            let t = rng.gen_range(lo..=hi);
+            if s != t {
+                queries.push(Query::new(VertexId::from_index(s), VertexId::from_index(t)));
+            }
+        }
+        QuerySet { queries }
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Returns `true` if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Iterator over the queries.
+    pub fn iter(&self) -> impl Iterator<Item = &Query> {
+        self.queries.iter()
+    }
+
+    /// Slice of the queries.
+    pub fn as_slice(&self) -> &[Query] {
+        &self.queries
+    }
+
+    /// Adds a query.
+    pub fn push(&mut self, q: Query) {
+        self.queries.push(q);
+    }
+}
+
+impl<'a> IntoIterator for &'a QuerySet {
+    type Item = &'a Query;
+    type IntoIter = std::slice::Iter<'a, Query>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.queries.iter()
+    }
+}
+
+/// A timed query workload: queries plus Poisson arrival times (seconds).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct QueryWorkload {
+    /// The queries, in arrival order.
+    pub queries: Vec<Query>,
+    /// Arrival time of each query, in seconds from the period start,
+    /// non-decreasing.
+    pub arrival_times: Vec<f64>,
+}
+
+impl QueryWorkload {
+    /// Generates a Poisson-process workload with arrival rate `lambda_q`
+    /// (queries per second) over a horizon of `duration` seconds.
+    pub fn poisson(graph: &Graph, lambda_q: f64, duration: f64, seed: u64) -> Self {
+        assert!(lambda_q > 0.0, "arrival rate must be positive");
+        assert!(duration > 0.0, "duration must be positive");
+        let n = graph.num_vertices();
+        assert!(n >= 2, "need at least two vertices");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut queries = Vec::new();
+        let mut arrival_times = Vec::new();
+        let mut t = 0.0f64;
+        loop {
+            // Exponential inter-arrival times with rate lambda_q.
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            t += -u.ln() / lambda_q;
+            if t >= duration {
+                break;
+            }
+            let s = rng.gen_range(0..n);
+            let mut d = rng.gen_range(0..n);
+            if d == s {
+                d = (d + 1) % n;
+            }
+            queries.push(Query::new(VertexId::from_index(s), VertexId::from_index(d)));
+            arrival_times.push(t);
+        }
+        QueryWorkload {
+            queries,
+            arrival_times,
+        }
+    }
+
+    /// Number of queries in the workload.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Returns `true` if the workload has no queries.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Empirical arrival rate (queries per second).
+    pub fn empirical_rate(&self, duration: f64) -> f64 {
+        self.queries.len() as f64 / duration
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{grid, WeightRange};
+
+    #[test]
+    fn random_queries_have_distinct_endpoints() {
+        let g = grid(8, 8, WeightRange::default(), 1);
+        let qs = QuerySet::random(&g, 100, 42);
+        assert_eq!(qs.len(), 100);
+        for q in &qs {
+            assert_ne!(q.source, q.target);
+            assert!(q.source.index() < g.num_vertices());
+            assert!(q.target.index() < g.num_vertices());
+        }
+    }
+
+    #[test]
+    fn random_queries_deterministic() {
+        let g = grid(8, 8, WeightRange::default(), 1);
+        let a = QuerySet::random(&g, 50, 7);
+        let b = QuerySet::random(&g, 50, 7);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn local_queries_stay_close() {
+        let g = grid(16, 16, WeightRange::default(), 1);
+        let qs = QuerySet::random_local(&g, 200, 10, 3);
+        for q in &qs {
+            let d = q.source.index().abs_diff(q.target.index());
+            assert!(d <= 10, "local query spans {d} ids");
+        }
+    }
+
+    #[test]
+    fn poisson_workload_times_are_sorted_and_rate_is_close() {
+        let g = grid(8, 8, WeightRange::default(), 1);
+        let w = QueryWorkload::poisson(&g, 500.0, 10.0, 5);
+        assert!(!w.is_empty());
+        for pair in w.arrival_times.windows(2) {
+            assert!(pair[0] <= pair[1]);
+        }
+        assert!(w.arrival_times.iter().all(|&t| t < 10.0));
+        let rate = w.empirical_rate(10.0);
+        assert!(
+            (rate - 500.0).abs() / 500.0 < 0.2,
+            "empirical rate {rate} far from 500"
+        );
+    }
+
+    #[test]
+    fn poisson_workload_deterministic() {
+        let g = grid(8, 8, WeightRange::default(), 1);
+        let a = QueryWorkload::poisson(&g, 100.0, 5.0, 9);
+        let b = QueryWorkload::poisson(&g, 100.0, 5.0, 9);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.queries, b.queries);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival rate must be positive")]
+    fn poisson_rejects_zero_rate() {
+        let g = grid(4, 4, WeightRange::default(), 1);
+        let _ = QueryWorkload::poisson(&g, 0.0, 5.0, 9);
+    }
+}

@@ -1,0 +1,303 @@
+//! Edge-weight update batches.
+//!
+//! The paper's system model (§II) collects graph changes into a batch `U`
+//! every `δt` seconds; each change is an edge-weight *increase* or *decrease*
+//! (the topology never changes). The evaluation (§VII-A) generates batches by
+//! selecting edges uniformly at random and either halving (`0.5×`) or doubling
+//! (`2×`) their weight — [`UpdateGenerator`] reproduces that protocol.
+
+use crate::graph::Graph;
+use crate::types::{EdgeId, Weight};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// The direction of a weight change.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UpdateKind {
+    /// The edge weight decreased (shortest distances can only shrink).
+    Decrease,
+    /// The edge weight increased (shortest distances can only grow).
+    Increase,
+    /// The new weight equals the old weight (no-op; kept for bookkeeping).
+    Unchanged,
+}
+
+/// A single edge-weight update.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeUpdate {
+    /// The edge whose weight changes.
+    pub edge: EdgeId,
+    /// The weight before the update.
+    pub old_weight: Weight,
+    /// The weight after the update.
+    pub new_weight: Weight,
+}
+
+impl EdgeUpdate {
+    /// Creates a new update record.
+    pub fn new(edge: EdgeId, old_weight: Weight, new_weight: Weight) -> Self {
+        EdgeUpdate {
+            edge,
+            old_weight,
+            new_weight,
+        }
+    }
+
+    /// Classifies the update as increase / decrease / unchanged.
+    pub fn kind(&self) -> UpdateKind {
+        use std::cmp::Ordering::*;
+        match self.new_weight.cmp(&self.old_weight) {
+            Less => UpdateKind::Decrease,
+            Greater => UpdateKind::Increase,
+            Equal => UpdateKind::Unchanged,
+        }
+    }
+}
+
+/// A batch of edge-weight updates collected over one update interval `δt`.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct UpdateBatch {
+    updates: Vec<EdgeUpdate>,
+}
+
+impl UpdateBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        UpdateBatch {
+            updates: Vec::new(),
+        }
+    }
+
+    /// Creates a batch from a list of updates.
+    pub fn from_updates(updates: Vec<EdgeUpdate>) -> Self {
+        UpdateBatch { updates }
+    }
+
+    /// Appends an update.
+    pub fn push(&mut self, u: EdgeUpdate) {
+        self.updates.push(u);
+    }
+
+    /// Number of updates in the batch (`|U|` in the paper).
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// Returns `true` if the batch contains no updates.
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+
+    /// Iterator over the updates.
+    pub fn iter(&self) -> impl Iterator<Item = &EdgeUpdate> {
+        self.updates.iter()
+    }
+
+    /// Slice view of the updates.
+    pub fn as_slice(&self) -> &[EdgeUpdate] {
+        &self.updates
+    }
+
+    /// Counts `(decreases, increases)` in the batch.
+    pub fn counts(&self) -> (usize, usize) {
+        let mut dec = 0;
+        let mut inc = 0;
+        for u in &self.updates {
+            match u.kind() {
+                UpdateKind::Decrease => dec += 1,
+                UpdateKind::Increase => inc += 1,
+                UpdateKind::Unchanged => {}
+            }
+        }
+        (dec, inc)
+    }
+
+    /// Splits the batch into `(decrease_only, increase_only)` sub-batches.
+    ///
+    /// DCH and DH2H maintenance handle the two directions with different
+    /// algorithms (§III), so indexes typically process all decreases first and
+    /// then all increases.
+    pub fn split_by_kind(&self) -> (UpdateBatch, UpdateBatch) {
+        let mut dec = UpdateBatch::new();
+        let mut inc = UpdateBatch::new();
+        for &u in &self.updates {
+            match u.kind() {
+                UpdateKind::Decrease => dec.push(u),
+                UpdateKind::Increase => inc.push(u),
+                UpdateKind::Unchanged => {}
+            }
+        }
+        (dec, inc)
+    }
+}
+
+impl<'a> IntoIterator for &'a UpdateBatch {
+    type Item = &'a EdgeUpdate;
+    type IntoIter = std::slice::Iter<'a, EdgeUpdate>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.updates.iter()
+    }
+}
+
+/// Seeded generator of random update batches following the paper's protocol.
+///
+/// For each batch, `|U|` distinct edges are drawn uniformly at random; each
+/// drawn edge's weight is set to `max(1, w/2)` with probability
+/// `decrease_fraction` and to `min(2·w, cap)` otherwise.
+#[derive(Clone, Debug)]
+pub struct UpdateGenerator {
+    rng: ChaCha8Rng,
+    /// Probability that a selected edge receives a *decrease* update.
+    pub decrease_fraction: f64,
+    /// Upper clamp applied to increased weights to avoid unbounded growth when
+    /// the same generator is used for many consecutive batches.
+    pub weight_cap: Weight,
+}
+
+impl UpdateGenerator {
+    /// Creates a generator with the paper's defaults: 50% decreases, weights
+    /// capped at `1_000_000`.
+    pub fn new(seed: u64) -> Self {
+        UpdateGenerator {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            decrease_fraction: 0.5,
+            weight_cap: 1_000_000,
+        }
+    }
+
+    /// Generates one batch of `volume` updates against the *current* weights
+    /// of `graph`. The graph itself is not modified.
+    pub fn generate(&mut self, graph: &Graph, volume: usize) -> UpdateBatch {
+        let m = graph.num_edges();
+        assert!(m > 0, "cannot generate updates for an edgeless graph");
+        let volume = volume.min(m);
+        let mut ids: Vec<usize> = (0..m).collect();
+        ids.shuffle(&mut self.rng);
+        ids.truncate(volume);
+        let mut batch = UpdateBatch::new();
+        for idx in ids {
+            let e = EdgeId::from_index(idx);
+            let old = graph.edge_weight(e);
+            let new = if self.rng.gen_bool(self.decrease_fraction) {
+                (old / 2).max(1)
+            } else {
+                (old.saturating_mul(2)).min(self.weight_cap).max(1)
+            };
+            batch.push(EdgeUpdate::new(e, old, new));
+        }
+        batch
+    }
+
+    /// Generates `count` consecutive batches, applying each to a scratch copy
+    /// of the graph so later batches see the effect of earlier ones (the
+    /// paper generates 10 such batches per dataset).
+    pub fn generate_sequence(
+        &mut self,
+        graph: &Graph,
+        volume: usize,
+        count: usize,
+    ) -> Vec<UpdateBatch> {
+        let mut scratch = graph.clone();
+        let mut batches = Vec::with_capacity(count);
+        for _ in 0..count {
+            let b = self.generate(&scratch, volume);
+            scratch.apply_batch(&b);
+            batches.push(b);
+        }
+        batches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{grid, WeightRange};
+
+    #[test]
+    fn update_kind_classification() {
+        let e = EdgeId(0);
+        assert_eq!(EdgeUpdate::new(e, 10, 5).kind(), UpdateKind::Decrease);
+        assert_eq!(EdgeUpdate::new(e, 5, 10).kind(), UpdateKind::Increase);
+        assert_eq!(EdgeUpdate::new(e, 5, 5).kind(), UpdateKind::Unchanged);
+    }
+
+    #[test]
+    fn batch_counts_and_split() {
+        let e = EdgeId(0);
+        let batch = UpdateBatch::from_updates(vec![
+            EdgeUpdate::new(e, 10, 5),
+            EdgeUpdate::new(e, 10, 20),
+            EdgeUpdate::new(e, 7, 7),
+            EdgeUpdate::new(e, 4, 2),
+        ]);
+        assert_eq!(batch.counts(), (2, 1));
+        let (dec, inc) = batch.split_by_kind();
+        assert_eq!(dec.len(), 2);
+        assert_eq!(inc.len(), 1);
+    }
+
+    #[test]
+    fn generator_respects_volume_and_halve_double_protocol() {
+        let g = grid(10, 10, WeightRange::new(2, 100), 7);
+        let mut gen = UpdateGenerator::new(99);
+        let batch = gen.generate(&g, 30);
+        assert_eq!(batch.len(), 30);
+        for u in batch.iter() {
+            let old = u.old_weight;
+            assert!(
+                u.new_weight == (old / 2).max(1) || u.new_weight == (old * 2).min(1_000_000),
+                "update {:?} is not a halve/double of {}",
+                u,
+                old
+            );
+            assert!(u.new_weight >= 1);
+        }
+    }
+
+    #[test]
+    fn generator_selects_distinct_edges() {
+        let g = grid(6, 6, WeightRange::new(1, 10), 3);
+        let mut gen = UpdateGenerator::new(1);
+        let batch = gen.generate(&g, g.num_edges());
+        let mut edges: Vec<u32> = batch.iter().map(|u| u.edge.0).collect();
+        edges.sort_unstable();
+        edges.dedup();
+        assert_eq!(edges.len(), g.num_edges());
+    }
+
+    #[test]
+    fn generator_volume_clamped_to_edge_count() {
+        let g = grid(3, 3, WeightRange::new(1, 10), 3);
+        let mut gen = UpdateGenerator::new(1);
+        let batch = gen.generate(&g, 10_000);
+        assert_eq!(batch.len(), g.num_edges());
+    }
+
+    #[test]
+    fn generator_is_deterministic_for_same_seed() {
+        let g = grid(8, 8, WeightRange::new(1, 50), 11);
+        let b1 = UpdateGenerator::new(42).generate(&g, 20);
+        let b2 = UpdateGenerator::new(42).generate(&g, 20);
+        assert_eq!(b1.as_slice(), b2.as_slice());
+        let b3 = UpdateGenerator::new(43).generate(&g, 20);
+        assert_ne!(b1.as_slice(), b3.as_slice());
+    }
+
+    #[test]
+    fn sequence_batches_chain_weights() {
+        let g = grid(6, 6, WeightRange::new(8, 8), 5);
+        let mut gen = UpdateGenerator::new(5);
+        let batches = gen.generate_sequence(&g, g.num_edges(), 2);
+        assert_eq!(batches.len(), 2);
+        // The second batch must start from the weights produced by the first.
+        let mut scratch = g.clone();
+        scratch.apply_batch(&batches[0]);
+        for u in batches[1].iter() {
+            assert_eq!(u.old_weight, scratch.edge_weight(u.edge));
+        }
+    }
+}

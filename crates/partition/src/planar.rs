@@ -1,0 +1,285 @@
+//! Balanced edge-cut partitioning by seeded region growing plus a
+//! boundary-reducing refinement pass — the PUNCH [61] substitute used to
+//! build PMHL partitions (§V-C).
+//!
+//! The algorithm:
+//!
+//! 1. **Seeding.** `k` seeds are chosen by farthest-point sampling in hop
+//!    distance, so they spread across the network.
+//! 2. **Region growing.** A multi-source BFS grows all regions simultaneously;
+//!    each step the smallest region expands first, which keeps partition sizes
+//!    balanced (the balance matters for thread-parallel index maintenance).
+//! 3. **Refinement.** A few Kernighan–Lin-style sweeps move boundary vertices
+//!    to a neighboring partition when that strictly reduces the number of cut
+//!    edges without violating the balance bound.
+
+use crate::result::PartitionResult;
+use htsp_graph::{Graph, VertexId};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::VecDeque;
+
+/// Partitions `graph` into `k` balanced connected-ish regions.
+///
+/// `seed` controls the seeding randomness; results are deterministic for a
+/// given seed. `k` is clamped to the number of vertices.
+pub fn partition_region_growing(graph: &Graph, k: usize, seed: u64) -> PartitionResult {
+    let n = graph.num_vertices();
+    assert!(n > 0, "cannot partition an empty graph");
+    let k = k.clamp(1, n);
+    let seeds = farthest_point_seeds(graph, k, seed);
+
+    // Multi-source balanced BFS.
+    let mut part_of = vec![u32::MAX; n];
+    let mut frontiers: Vec<VecDeque<VertexId>> = vec![VecDeque::new(); k];
+    let mut sizes = vec![0usize; k];
+    for (i, &s) in seeds.iter().enumerate() {
+        part_of[s.index()] = i as u32;
+        frontiers[i].push_back(s);
+        sizes[i] = 1;
+    }
+    let mut assigned = k.min(n);
+    while assigned < n {
+        // Pick the non-empty frontier of the currently smallest region.
+        let mut best: Option<usize> = None;
+        for i in 0..k {
+            if !frontiers[i].is_empty()
+                && best.map_or(true, |b| sizes[i] < sizes[b])
+            {
+                best = Some(i);
+            }
+        }
+        let i = match best {
+            Some(i) => i,
+            None => {
+                // All frontiers empty but unassigned vertices remain
+                // (disconnected graph): seed the smallest region with an
+                // arbitrary unassigned vertex.
+                let v = (0..n).find(|&v| part_of[v] == u32::MAX).unwrap();
+                let i = (0..k).min_by_key(|&i| sizes[i]).unwrap();
+                part_of[v] = i as u32;
+                sizes[i] += 1;
+                assigned += 1;
+                frontiers[i].push_back(VertexId::from_index(v));
+                continue;
+            }
+        };
+        // Expand one vertex of region i.
+        if let Some(v) = frontiers[i].pop_front() {
+            for arc in graph.arcs(v) {
+                if part_of[arc.to.index()] == u32::MAX {
+                    part_of[arc.to.index()] = i as u32;
+                    sizes[i] += 1;
+                    assigned += 1;
+                    frontiers[i].push_back(arc.to);
+                }
+            }
+            // Keep v in the frontier until its neighborhood is exhausted? A
+            // single pass is enough because we pushed all unassigned
+            // neighbors already.
+        }
+    }
+
+    // Refinement sweeps.
+    let max_size = (n + k - 1) / k * 2; // allow up to 2x the average size
+    refine(graph, &mut part_of, k, max_size, 3);
+
+    PartitionResult::from_assignment(graph, part_of, k)
+}
+
+/// Farthest-point sampling in hop distance: the first seed is random, each
+/// subsequent seed maximizes the hop distance to the already chosen seeds.
+fn farthest_point_seeds(graph: &Graph, k: usize, seed: u64) -> Vec<VertexId> {
+    let n = graph.num_vertices();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let first = VertexId::from_index(rng.gen_range(0..n));
+    let mut seeds = vec![first];
+    let mut hop = vec![u32::MAX; n];
+    bfs_update_hops(graph, first, &mut hop);
+    while seeds.len() < k {
+        // Pick the vertex with maximum hop distance to the nearest seed
+        // (unreached vertices of other components count as farthest).
+        let mut best_v = 0usize;
+        let mut best_d = 0u32;
+        let mut found_unreached = false;
+        for v in 0..n {
+            if seeds.iter().any(|s| s.index() == v) {
+                continue;
+            }
+            if hop[v] == u32::MAX {
+                best_v = v;
+                found_unreached = true;
+                break;
+            }
+            if hop[v] >= best_d {
+                best_d = hop[v];
+                best_v = v;
+            }
+        }
+        let next = VertexId::from_index(best_v);
+        seeds.push(next);
+        let _ = found_unreached;
+        bfs_update_hops(graph, next, &mut hop);
+    }
+    seeds
+}
+
+/// Updates `hop[v] = min(hop[v], hops from src)` via BFS.
+fn bfs_update_hops(graph: &Graph, src: VertexId, hop: &mut [u32]) {
+    let mut queue = VecDeque::new();
+    hop[src.index()] = 0;
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        let d = hop[v.index()];
+        for arc in graph.arcs(v) {
+            if hop[arc.to.index()] > d + 1 {
+                hop[arc.to.index()] = d + 1;
+                queue.push_back(arc.to);
+            }
+        }
+    }
+}
+
+/// Kernighan–Lin-style boundary refinement: moves a boundary vertex to an
+/// adjacent partition when that strictly reduces the number of cut edges and
+/// respects the size cap.
+fn refine(graph: &Graph, part_of: &mut [u32], k: usize, max_size: usize, sweeps: usize) {
+    let n = graph.num_vertices();
+    let mut sizes = vec![0usize; k];
+    for &p in part_of.iter() {
+        sizes[p as usize] += 1;
+    }
+    for _ in 0..sweeps {
+        let mut moved = 0usize;
+        for v in 0..n {
+            let vid = VertexId::from_index(v);
+            let cur = part_of[v] as usize;
+            if sizes[cur] <= 1 {
+                continue;
+            }
+            // Count neighbors per partition.
+            let mut counts: Vec<(usize, usize)> = Vec::new(); // (partition, count)
+            for arc in graph.arcs(vid) {
+                let p = part_of[arc.to.index()] as usize;
+                match counts.iter_mut().find(|(q, _)| *q == p) {
+                    Some((_, c)) => *c += 1,
+                    None => counts.push((p, 1)),
+                }
+            }
+            let own = counts
+                .iter()
+                .find(|(q, _)| *q == cur)
+                .map(|&(_, c)| c)
+                .unwrap_or(0);
+            // Best alternative partition.
+            if let Some(&(best_p, best_c)) = counts
+                .iter()
+                .filter(|(q, _)| *q != cur)
+                .max_by_key(|&&(_, c)| c)
+            {
+                if best_c > own && sizes[best_p] < max_size {
+                    part_of[v] = best_p as u32;
+                    sizes[cur] -= 1;
+                    sizes[best_p] += 1;
+                    moved += 1;
+                }
+            }
+        }
+        if moved == 0 {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htsp_graph::gen::{grid, random_geometric, WeightRange};
+
+    #[test]
+    fn partitions_cover_and_balance_grid() {
+        let g = grid(16, 16, WeightRange::new(1, 9), 3);
+        let pr = partition_region_growing(&g, 8, 7);
+        pr.validate(&g).unwrap();
+        assert_eq!(pr.num_partitions(), 8);
+        let avg = g.num_vertices() / 8;
+        for i in 0..8 {
+            assert!(!pr.vertices(i).is_empty(), "partition {i} is empty");
+            assert!(
+                pr.vertices(i).len() <= avg * 3,
+                "partition {i} too large: {}",
+                pr.vertices(i).len()
+            );
+        }
+    }
+
+    #[test]
+    fn boundary_is_a_small_fraction_on_grids() {
+        let g = grid(20, 20, WeightRange::new(1, 9), 5);
+        let pr = partition_region_growing(&g, 4, 3);
+        pr.validate(&g).unwrap();
+        // On a 400-vertex grid with 4 parts, the cut should touch well under
+        // half of the vertices.
+        assert!(
+            pr.num_boundary() < g.num_vertices() / 2,
+            "boundary too large: {}",
+            pr.num_boundary()
+        );
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let g = grid(12, 12, WeightRange::new(1, 9), 1);
+        let a = partition_region_growing(&g, 6, 9);
+        let b = partition_region_growing(&g, 6, 9);
+        for v in g.vertices() {
+            assert_eq!(a.partition_of(v), b.partition_of(v));
+        }
+    }
+
+    #[test]
+    fn k_clamped_to_vertex_count() {
+        let g = grid(2, 2, WeightRange::new(1, 9), 1);
+        let pr = partition_region_growing(&g, 100, 1);
+        assert_eq!(pr.num_partitions(), 4);
+        pr.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn single_partition_works() {
+        let g = grid(5, 5, WeightRange::new(1, 9), 1);
+        let pr = partition_region_growing(&g, 1, 1);
+        assert_eq!(pr.num_partitions(), 1);
+        assert_eq!(pr.num_boundary(), 0);
+    }
+
+    #[test]
+    fn geometric_graph_partitioning() {
+        let g = random_geometric(400, 3, WeightRange::new(1, 50), 11);
+        let pr = partition_region_growing(&g, 8, 2);
+        pr.validate(&g).unwrap();
+        for i in 0..8 {
+            assert!(!pr.vertices(i).is_empty());
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_is_fully_assigned() {
+        use htsp_graph::GraphBuilder;
+        let mut b = GraphBuilder::new(8);
+        for i in 0..3 {
+            b.add_edge(VertexId(i), VertexId(i + 1), 1);
+        }
+        for i in 4..7 {
+            b.add_edge(VertexId(i), VertexId(i + 1), 1);
+        }
+        let g = b.build();
+        let pr = partition_region_growing(&g, 2, 3);
+        pr.validate(&g).unwrap();
+        assert_eq!(
+            pr.vertices(0).len() + pr.vertices(1).len(),
+            g.num_vertices()
+        );
+    }
+}

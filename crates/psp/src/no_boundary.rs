@@ -1,0 +1,136 @@
+//! No-boundary query processing (§III-C).
+//!
+//! Under the no-boundary strategy the partition indexes `{L_i}` only know
+//! *within-partition* distances, so every query that may leave a partition
+//! must concatenate partition labels with overlay labels through the boundary
+//! vertices. This is exactly the distance concatenation whose cost the
+//! cross-boundary strategy of §IV-A later removes.
+
+use crate::overlay::OverlayGraph;
+use crate::partition_index::PartitionIndex;
+use crate::partitioned::Partitioned;
+use htsp_graph::{Dist, VertexId, INF};
+use htsp_td::H2HIndex;
+
+/// Distance from `v` to each boundary vertex of its own partition, using the
+/// no-boundary partition index (within-partition distances). If `v` is itself
+/// a boundary vertex the list is just `[(v, 0)]`.
+fn boundary_distances(
+    partitioned: &Partitioned,
+    indexes: &[PartitionIndex],
+    v: VertexId,
+) -> Vec<(VertexId, Dist)> {
+    if partitioned.partition.is_boundary(v) {
+        return vec![(v, Dist::ZERO)];
+    }
+    let pi = partitioned.partition.partition_of(v);
+    let sub = &partitioned.subgraphs[pi];
+    let lv = sub.to_local(v).expect("vertex must map into its partition");
+    indexes[pi]
+        .boundary_local
+        .iter()
+        .map(|&lb| (sub.to_global(lb), indexes[pi].distance_local(lv, lb)))
+        .collect()
+}
+
+/// Answers a query with the no-boundary strategy: `{L_i}` + `L̃` with distance
+/// concatenation (same-partition Case and the four cross-partition cases of
+/// §III-C).
+pub fn no_boundary_distance(
+    partitioned: &Partitioned,
+    indexes: &[PartitionIndex],
+    overlay: &OverlayGraph,
+    overlay_index: &H2HIndex,
+    s: VertexId,
+    t: VertexId,
+) -> Dist {
+    if s == t {
+        return Dist::ZERO;
+    }
+    let overlay_dist = |a: VertexId, b: VertexId| -> Dist {
+        match (overlay.to_local(a), overlay.to_local(b)) {
+            (Some(la), Some(lb)) => overlay_index.distance(la, lb),
+            _ => INF,
+        }
+    };
+    let same = partitioned.partition.same_partition(s, t);
+    let mut best = INF;
+    if same {
+        let pi = partitioned.partition.partition_of(s);
+        let sub = &partitioned.subgraphs[pi];
+        let (ls, lt) = (sub.to_local(s).unwrap(), sub.to_local(t).unwrap());
+        best = indexes[pi].distance_local(ls, lt);
+    }
+    // Concatenated route through the overlay (needed for cross-partition
+    // queries, and possibly shorter than the in-partition route for
+    // same-partition queries under the no-boundary strategy).
+    let from_s = boundary_distances(partitioned, indexes, s);
+    let from_t = boundary_distances(partitioned, indexes, t);
+    for &(bp, dp) in &from_s {
+        if dp.is_inf() {
+            continue;
+        }
+        for &(bq, dq) in &from_t {
+            if dq.is_inf() {
+                continue;
+            }
+            let mid = if bp == bq { Dist::ZERO } else { overlay_dist(bp, bq) };
+            let cand = dp.saturating_add(mid).saturating_add(dq);
+            if cand < best {
+                best = cand;
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition_index::PartitionIndex;
+    use htsp_graph::gen::{grid, WeightRange};
+    use htsp_graph::QuerySet;
+    use htsp_partition::partition_region_growing;
+    use htsp_search::dijkstra_distance;
+    use htsp_td::TreeDecomposition;
+
+    #[test]
+    fn no_boundary_query_matches_dijkstra() {
+        let g = grid(9, 9, WeightRange::new(1, 20), 13);
+        let pr = partition_region_growing(&g, 4, 2);
+        let p = Partitioned::build(g, pr);
+        let indexes: Vec<PartitionIndex> = p.subgraphs.iter().map(PartitionIndex::build).collect();
+        let chs: Vec<&htsp_ch::ContractionHierarchy> =
+            indexes.iter().map(|i| i.hierarchy()).collect();
+        let overlay = OverlayGraph::build(&p, &chs);
+        let overlay_index =
+            H2HIndex::from_decomposition(TreeDecomposition::build(&overlay.graph));
+        let qs = QuerySet::random(&p.graph, 150, 21);
+        for q in &qs {
+            let expect = dijkstra_distance(&p.graph, q.source, q.target);
+            let got = no_boundary_distance(&p, &indexes, &overlay, &overlay_index, q.source, q.target);
+            assert_eq!(got, expect, "no-boundary mismatch for {:?}", q);
+        }
+    }
+
+    #[test]
+    fn same_partition_queries_are_covered() {
+        let g = grid(8, 8, WeightRange::new(1, 15), 5);
+        let pr = partition_region_growing(&g, 4, 7);
+        let p = Partitioned::build(g, pr);
+        let indexes: Vec<PartitionIndex> = p.subgraphs.iter().map(PartitionIndex::build).collect();
+        let chs: Vec<&htsp_ch::ContractionHierarchy> =
+            indexes.iter().map(|i| i.hierarchy()).collect();
+        let overlay = OverlayGraph::build(&p, &chs);
+        let overlay_index =
+            H2HIndex::from_decomposition(TreeDecomposition::build(&overlay.graph));
+        // Pick pairs inside partition 0 explicitly.
+        let members = p.partition.vertices(0);
+        for i in (0..members.len().saturating_sub(1)).step_by(3) {
+            let (s, t) = (members[i], members[i + 1]);
+            let expect = dijkstra_distance(&p.graph, s, t);
+            let got = no_boundary_distance(&p, &indexes, &overlay, &overlay_index, s, t);
+            assert_eq!(got, expect, "same-partition mismatch {s}->{t}");
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Bidirectional Dijkstra — the paper's index-free baseline (*BiDijkstra*).
+//!
+//! The search grows a forward ball from `s` and a backward ball from `t`
+//! (identical on undirected graphs) and stops when the sum of the two frontier
+//! minima can no longer improve the best meeting distance found so far. This
+//! is Q-Stage 1 of both PMHL and PostMHL: it needs no index at all, so it is
+//! available the instant U-Stage 1 has refreshed the edge weights.
+
+use crate::heap::MinHeap;
+use htsp_graph::{Dist, Graph, VertexId, INF};
+
+/// Reusable bidirectional-Dijkstra searcher (keeps its buffers across calls).
+#[derive(Clone, Debug)]
+pub struct BiDijkstra {
+    dist_f: Vec<Dist>,
+    dist_b: Vec<Dist>,
+    visited_f: Vec<bool>,
+    visited_b: Vec<bool>,
+    touched: Vec<VertexId>,
+    heap_f: MinHeap,
+    heap_b: MinHeap,
+}
+
+impl BiDijkstra {
+    /// Creates a searcher for graphs with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        BiDijkstra {
+            dist_f: vec![INF; n],
+            dist_b: vec![INF; n],
+            visited_f: vec![false; n],
+            visited_b: vec![false; n],
+            touched: Vec::new(),
+            heap_f: MinHeap::new(),
+            heap_b: MinHeap::new(),
+        }
+    }
+
+    fn reset(&mut self, n: usize) {
+        if self.dist_f.len() < n {
+            self.dist_f.resize(n, INF);
+            self.dist_b.resize(n, INF);
+            self.visited_f.resize(n, false);
+            self.visited_b.resize(n, false);
+        }
+        for v in self.touched.drain(..) {
+            self.dist_f[v.index()] = INF;
+            self.dist_b[v.index()] = INF;
+            self.visited_f[v.index()] = false;
+            self.visited_b[v.index()] = false;
+        }
+        self.heap_f.clear();
+        self.heap_b.clear();
+    }
+
+    /// Computes the shortest distance between `s` and `t` on the current
+    /// weights of `graph`, or `INF` if they are disconnected.
+    pub fn distance(&mut self, graph: &Graph, s: VertexId, t: VertexId) -> Dist {
+        if s == t {
+            return Dist::ZERO;
+        }
+        let n = graph.num_vertices();
+        self.reset(n);
+
+        self.dist_f[s.index()] = Dist::ZERO;
+        self.dist_b[t.index()] = Dist::ZERO;
+        self.touched.push(s);
+        self.touched.push(t);
+        self.heap_f.push(Dist::ZERO, s);
+        self.heap_b.push(Dist::ZERO, t);
+
+        let mut best = INF;
+        loop {
+            let top_f = self.heap_f.peek().map(|(d, _)| d).unwrap_or(INF);
+            let top_b = self.heap_b.peek().map(|(d, _)| d).unwrap_or(INF);
+            if top_f.is_inf() && top_b.is_inf() {
+                break;
+            }
+            // Standard stopping criterion: no meeting path can beat `best`.
+            if top_f.saturating_add(top_b) >= best {
+                break;
+            }
+            // Expand the smaller frontier.
+            let forward = top_f <= top_b;
+            let (heap, dist_this, visited_this, dist_other) = if forward {
+                (
+                    &mut self.heap_f,
+                    &mut self.dist_f,
+                    &mut self.visited_f,
+                    &self.dist_b,
+                )
+            } else {
+                (
+                    &mut self.heap_b,
+                    &mut self.dist_b,
+                    &mut self.visited_b,
+                    &self.dist_f,
+                )
+            };
+            let (d, v) = match heap.pop() {
+                Some(x) => x,
+                None => break,
+            };
+            if visited_this[v.index()] {
+                continue;
+            }
+            visited_this[v.index()] = true;
+            // Meeting check.
+            let other = dist_other[v.index()];
+            if other.is_finite() {
+                let cand = d.saturating_add(other);
+                if cand < best {
+                    best = cand;
+                }
+            }
+            for arc in graph.arcs(v) {
+                let nd = d.saturating_add_weight(arc.weight);
+                let slot = &mut dist_this[arc.to.index()];
+                if nd < *slot {
+                    if slot.is_inf() && dist_other[arc.to.index()].is_inf() {
+                        self.touched.push(arc.to);
+                    } else if slot.is_inf() {
+                        // Already touched by the other direction; still record
+                        // once so reset clears this side too.
+                        self.touched.push(arc.to);
+                    }
+                    *slot = nd;
+                    heap.push(nd, arc.to);
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Convenience wrapper allocating a fresh searcher for one query.
+pub fn bidijkstra_distance(graph: &Graph, s: VertexId, t: VertexId) -> Dist {
+    BiDijkstra::new(graph.num_vertices()).distance(graph, s, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra_distance;
+    use htsp_graph::gen::{grid, random_geometric, WeightRange};
+    use htsp_graph::{GraphBuilder, QuerySet};
+
+    #[test]
+    fn same_vertex_is_zero() {
+        let g = grid(3, 3, WeightRange::default(), 1);
+        assert_eq!(bidijkstra_distance(&g, VertexId(4), VertexId(4)), Dist(0));
+    }
+
+    #[test]
+    fn disconnected_is_inf() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(VertexId(0), VertexId(1), 1);
+        b.add_edge(VertexId(2), VertexId(3), 1);
+        let g = b.build();
+        assert_eq!(bidijkstra_distance(&g, VertexId(0), VertexId(2)), INF);
+    }
+
+    #[test]
+    fn matches_dijkstra_on_grid() {
+        let g = grid(9, 9, WeightRange::new(1, 20), 5);
+        let qs = QuerySet::random(&g, 200, 17);
+        let mut bd = BiDijkstra::new(g.num_vertices());
+        for q in &qs {
+            assert_eq!(
+                bd.distance(&g, q.source, q.target),
+                dijkstra_distance(&g, q.source, q.target),
+                "mismatch for {:?}",
+                q
+            );
+        }
+    }
+
+    #[test]
+    fn matches_dijkstra_on_geometric_graph() {
+        let g = random_geometric(250, 3, WeightRange::new(1, 100), 9);
+        let qs = QuerySet::random(&g, 100, 23);
+        let mut bd = BiDijkstra::new(g.num_vertices());
+        for q in &qs {
+            assert_eq!(
+                bd.distance(&g, q.source, q.target),
+                dijkstra_distance(&g, q.source, q.target)
+            );
+        }
+    }
+
+    #[test]
+    fn correct_after_weight_updates() {
+        let mut g = grid(6, 6, WeightRange::new(5, 15), 2);
+        let mut bd = BiDijkstra::new(g.num_vertices());
+        let before = bd.distance(&g, VertexId(0), VertexId(35));
+        // Double every edge weight: distances must exactly double.
+        let updates: Vec<_> = g.edges().map(|(e, _, _, w)| (e, w * 2)).collect();
+        for (e, w) in updates {
+            g.set_edge_weight(e, w);
+        }
+        let after = bd.distance(&g, VertexId(0), VertexId(35));
+        assert_eq!(after.0, before.0 * 2);
+    }
+}

@@ -1,0 +1,167 @@
+//! A small binary min-heap keyed by distance.
+//!
+//! `std::collections::BinaryHeap` is a max-heap and requires `Reverse`
+//! wrappers; this dedicated min-heap keeps the hot search loops free of
+//! wrapper noise and allows lazy deletion (stale entries are skipped when the
+//! popped distance no longer matches the current tentative distance).
+
+use htsp_graph::{Dist, VertexId};
+
+/// A binary min-heap of `(Dist, VertexId)` entries ordered by distance.
+#[derive(Clone, Debug, Default)]
+pub struct MinHeap {
+    data: Vec<(Dist, VertexId)>,
+}
+
+impl MinHeap {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        MinHeap { data: Vec::new() }
+    }
+
+    /// Creates an empty heap with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        MinHeap {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of entries (including stale ones awaiting lazy deletion).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the heap holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Removes all entries but keeps the allocation (for workspace reuse).
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Pushes an entry.
+    #[inline]
+    pub fn push(&mut self, d: Dist, v: VertexId) {
+        self.data.push((d, v));
+        self.sift_up(self.data.len() - 1);
+    }
+
+    /// Returns the minimum entry without removing it.
+    #[inline]
+    pub fn peek(&self) -> Option<(Dist, VertexId)> {
+        self.data.first().copied()
+    }
+
+    /// Removes and returns the minimum entry.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(Dist, VertexId)> {
+        if self.data.is_empty() {
+            return None;
+        }
+        let top = self.data[0];
+        let last = self.data.pop().unwrap();
+        if !self.data.is_empty() {
+            self.data[0] = last;
+            self.sift_down(0);
+        }
+        Some(top)
+    }
+
+    #[inline]
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.data[i].0 < self.data[parent].0 {
+                self.data.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    #[inline]
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.data.len();
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut smallest = i;
+            if l < n && self.data[l].0 < self.data[smallest].0 {
+                smallest = l;
+            }
+            if r < n && self.data[r].0 < self.data[smallest].0 {
+                smallest = r;
+            }
+            if smallest == i {
+                break;
+            }
+            self.data.swap(i, smallest);
+            i = smallest;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_ascending_order() {
+        let mut h = MinHeap::new();
+        for (d, v) in [(5u32, 0u32), (1, 1), (9, 2), (3, 3), (3, 4), (0, 5)] {
+            h.push(Dist(d), VertexId(v));
+        }
+        let mut last = Dist(0);
+        let mut count = 0;
+        while let Some((d, _)) = h.pop() {
+            assert!(d >= last);
+            last = d;
+            count += 1;
+        }
+        assert_eq!(count, 6);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut h = MinHeap::new();
+        h.push(Dist(4), VertexId(9));
+        h.push(Dist(2), VertexId(3));
+        assert_eq!(h.peek(), Some((Dist(2), VertexId(3))));
+        assert_eq!(h.pop(), Some((Dist(2), VertexId(3))));
+        assert_eq!(h.pop(), Some((Dist(4), VertexId(9))));
+        assert_eq!(h.pop(), None);
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut h = MinHeap::with_capacity(16);
+        for i in 0..10 {
+            h.push(Dist(i), VertexId(i));
+        }
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.len(), 0);
+    }
+
+    #[test]
+    fn many_random_pushes_stay_sorted() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let mut h = MinHeap::new();
+        let mut reference = Vec::new();
+        for i in 0..1000u32 {
+            let d = rng.gen_range(0..10_000u32);
+            h.push(Dist(d), VertexId(i));
+            reference.push(d);
+        }
+        reference.sort_unstable();
+        let mut popped = Vec::new();
+        while let Some((d, _)) = h.pop() {
+            popped.push(d.0);
+        }
+        assert_eq!(popped, reference);
+    }
+}

@@ -1,0 +1,28 @@
+//! # htsp-search
+//!
+//! Index-free shortest-path searches on [`htsp_graph::Graph`]:
+//!
+//! * [`dijkstra`] — single-source Dijkstra with early termination, multi-target
+//!   variants, and bounded (witness) searches used by CH contraction;
+//! * [`bidijkstra`] — bidirectional Dijkstra, the paper's index-free baseline
+//!   (*BiDijkstra*, §III) and the Q-Stage-1 fallback of PMHL/PostMHL;
+//! * [`astar`] — A* with a caller-supplied admissible heuristic (used by the
+//!   examples to show the API on landmark-style heuristics).
+//!
+//! These searches are "naturally dynamic": they always read the current edge
+//! weights, so they remain correct immediately after U-Stage 1 applies an
+//! update batch to the graph.
+
+#![warn(missing_docs)]
+
+pub mod astar;
+pub mod bidijkstra;
+pub mod dijkstra;
+pub mod heap;
+
+pub use astar::astar_distance;
+pub use bidijkstra::{bidijkstra_distance, BiDijkstra};
+pub use dijkstra::{
+    dijkstra_all, dijkstra_bounded, dijkstra_distance, dijkstra_to_targets, DijkstraWorkspace,
+};
+pub use heap::MinHeap;

@@ -1,0 +1,277 @@
+//! DH2H: dynamic maintenance of the H2H index.
+//!
+//! Maintenance proceeds in the two phases of [33] (and Figure 7's U-Stages 2-3
+//! use exactly these phases per partition):
+//!
+//! 1. **Bottom-up shortcut update** — delegated to the DCH repair of the
+//!    underlying contraction hierarchy
+//!    ([`htsp_ch::ContractionHierarchy::apply_batch`]); it returns the set of
+//!    tree nodes whose shortcut arrays changed.
+//! 2. **Top-down label update** — a pruned depth-first pass over the tree that
+//!    recomputes the distance arrays of every node whose own shortcuts changed
+//!    or that lies below an ancestor whose labels changed. Subtrees containing
+//!    no affected node are skipped entirely.
+//!
+//! The label phase dominates the cost (this is the paper's motivation for
+//! PMHL/PostMHL: DH2H queries are fast but repairs are slow), and the returned
+//! [`H2HUpdateReport`] exposes both phase durations so the throughput
+//! simulator can model the index-unavailable window.
+
+use crate::h2h::{compute_label, H2HIndex};
+use htsp_ch::ShortcutChange;
+use htsp_graph::{EdgeUpdate, Graph, VertexId};
+use std::time::{Duration, Instant};
+
+/// Outcome of one DH2H maintenance round.
+#[derive(Clone, Debug, Default)]
+pub struct H2HUpdateReport {
+    /// Shortcuts whose weight changed during the bottom-up phase.
+    pub shortcut_changes: Vec<ShortcutChange>,
+    /// Vertices whose distance arrays changed during the top-down phase
+    /// (the affected vertex set `V_A` consumed by PMHL's U-Stage 5).
+    pub affected_labels: Vec<VertexId>,
+    /// Number of tree nodes whose labels were recomputed (even if unchanged).
+    pub labels_recomputed: usize,
+    /// Wall-clock duration of the bottom-up shortcut phase.
+    pub shortcut_time: Duration,
+    /// Wall-clock duration of the top-down label phase.
+    pub label_time: Duration,
+}
+
+impl H2HUpdateReport {
+    /// Total maintenance time.
+    pub fn total_time(&self) -> Duration {
+        self.shortcut_time + self.label_time
+    }
+}
+
+impl H2HIndex {
+    /// Repairs the index after the updates in `batch` have been applied to
+    /// `graph` (the graph must already hold the new weights).
+    pub fn apply_batch(&mut self, graph: &Graph, batch: &[EdgeUpdate]) -> H2HUpdateReport {
+        let t0 = Instant::now();
+        let shortcut_changes = self.update_shortcuts(graph, batch);
+        let shortcut_time = t0.elapsed();
+
+        let t1 = Instant::now();
+        let changed: Vec<VertexId> = shortcut_changes.iter().map(|c| c.from).collect();
+        let (affected_labels, labels_recomputed) = self.update_labels_for(&changed);
+        let label_time = t1.elapsed();
+
+        H2HUpdateReport {
+            shortcut_changes,
+            affected_labels,
+            labels_recomputed,
+            shortcut_time,
+            label_time,
+        }
+    }
+
+    /// Phase 1 only: bottom-up shortcut update (shared with DCH). The label
+    /// arrays are *not* repaired; CH-style queries on the shortcut arrays are
+    /// correct after this call, H2H queries are not until
+    /// [`H2HIndex::update_labels_for`] runs. Used by the multi-stage indexes
+    /// (PMHL U-Stage 2 / PostMHL U-Stage 2).
+    pub fn update_shortcuts(
+        &mut self,
+        graph: &Graph,
+        batch: &[EdgeUpdate],
+    ) -> Vec<ShortcutChange> {
+        let (td, _) = self.parts_mut();
+        td.hierarchy_mut().apply_batch(graph, batch)
+    }
+
+    /// Phase 2 only: top-down label update given the vertices whose shortcut
+    /// arrays changed in phase 1. Returns `(vertices whose labels changed,
+    /// number of labels recomputed)`.
+    pub fn update_labels_for(&mut self, sc_changed: &[VertexId]) -> (Vec<VertexId>, usize) {
+        self.update_labels(sc_changed.iter().copied())
+    }
+
+    /// Top-down label update: recomputes the distance arrays of every node
+    /// whose shortcut array changed (`sc_changed`) and of every node below an
+    /// ancestor whose labels changed. Returns the vertices whose labels
+    /// actually changed and the number of recomputed nodes.
+    pub(crate) fn update_labels(
+        &mut self,
+        sc_changed: impl Iterator<Item = VertexId>,
+    ) -> (Vec<VertexId>, usize) {
+        let n = self.decomposition().num_vertices();
+        let mut is_sc_changed = vec![false; n];
+        let mut any = false;
+        let mut seeds: Vec<VertexId> = Vec::new();
+        for v in sc_changed {
+            if !is_sc_changed[v.index()] {
+                is_sc_changed[v.index()] = true;
+                seeds.push(v);
+                any = true;
+            }
+        }
+        if !any {
+            return (Vec::new(), 0);
+        }
+        // Mark every vertex whose subtree contains an affected node so the
+        // DFS can prune unaffected branches.
+        let mut subtree_affected = vec![false; n];
+        {
+            let td = self.decomposition();
+            for &v in &seeds {
+                let mut cur = Some(v);
+                while let Some(x) = cur {
+                    if subtree_affected[x.index()] {
+                        break;
+                    }
+                    subtree_affected[x.index()] = true;
+                    cur = td.parent(x);
+                }
+            }
+        }
+
+        let mut affected_labels = Vec::new();
+        let mut recomputed = 0usize;
+        let (td, dis) = self.parts_mut();
+        for &root in td.roots() {
+            if !subtree_affected[root.index()] {
+                continue;
+            }
+            // DFS frames: (vertex, next child index, ancestor-changed flag for
+            // this vertex's children).
+            let mut path: Vec<VertexId> = Vec::new();
+            let mut stack: Vec<(VertexId, usize, bool)> = vec![(root, 0, false)];
+            // The flag passed *into* each vertex; parallel stack to `stack`.
+            let mut in_flags: Vec<bool> = vec![false];
+            while let Some(&mut (v, ref mut ci, ref mut child_flag)) = stack.last_mut() {
+                if *ci == 0 {
+                    let flag_in = *in_flags.last().unwrap();
+                    let need = flag_in || is_sc_changed[v.index()];
+                    let mut changed = false;
+                    if need {
+                        let new_label = compute_label(td, dis, v, &path);
+                        recomputed += 1;
+                        if new_label != dis[v.index()] {
+                            dis[v.index()] = new_label;
+                            changed = true;
+                            affected_labels.push(v);
+                        }
+                    }
+                    *child_flag = flag_in || changed;
+                    path.push(v);
+                }
+                if *ci < td.children(v).len() {
+                    let c = td.children(v)[*ci];
+                    *ci += 1;
+                    let cf = *child_flag;
+                    if cf || subtree_affected[c.index()] {
+                        stack.push((c, 0, false));
+                        in_flags.push(cf);
+                    }
+                } else {
+                    path.pop();
+                    stack.pop();
+                    in_flags.pop();
+                }
+            }
+        }
+        (affected_labels, recomputed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htsp_graph::gen::{grid, grid_with_diagonals, WeightRange};
+    use htsp_graph::{QuerySet, UpdateGenerator};
+    use htsp_search::dijkstra_distance;
+
+    fn check(g: &Graph, h2h: &H2HIndex, count: usize, seed: u64) {
+        let qs = QuerySet::random(g, count, seed);
+        for q in &qs {
+            assert_eq!(
+                h2h.distance(q.source, q.target),
+                dijkstra_distance(g, q.source, q.target),
+                "DH2H mismatch for {:?}",
+                q
+            );
+        }
+    }
+
+    #[test]
+    fn decrease_batch_keeps_h2h_exact() {
+        let mut g = grid(8, 8, WeightRange::new(10, 40), 3);
+        let mut h2h = H2HIndex::build(&g);
+        let mut gen = UpdateGenerator::new(1);
+        gen.decrease_fraction = 1.0;
+        let batch = gen.generate(&g, 25);
+        g.apply_batch(&batch);
+        let report = h2h.apply_batch(&g, batch.as_slice());
+        assert!(!report.shortcut_changes.is_empty());
+        assert!(!report.affected_labels.is_empty());
+        check(&g, &h2h, 200, 2);
+    }
+
+    #[test]
+    fn increase_batch_keeps_h2h_exact() {
+        let mut g = grid(8, 8, WeightRange::new(10, 40), 5);
+        let mut h2h = H2HIndex::build(&g);
+        let mut gen = UpdateGenerator::new(2);
+        gen.decrease_fraction = 0.0;
+        let batch = gen.generate(&g, 25);
+        g.apply_batch(&batch);
+        h2h.apply_batch(&g, batch.as_slice());
+        check(&g, &h2h, 200, 3);
+    }
+
+    #[test]
+    fn repeated_mixed_batches_keep_h2h_exact() {
+        let mut g = grid_with_diagonals(7, 7, WeightRange::new(5, 60), 0.2, 4);
+        let mut h2h = H2HIndex::build(&g);
+        let mut gen = UpdateGenerator::new(3);
+        for round in 0..4 {
+            let batch = gen.generate(&g, 15);
+            g.apply_batch(&batch);
+            h2h.apply_batch(&g, batch.as_slice());
+            check(&g, &h2h, 80, 50 + round);
+        }
+    }
+
+    #[test]
+    fn updated_index_matches_fresh_rebuild() {
+        let mut g = grid(6, 6, WeightRange::new(5, 30), 7);
+        let mut h2h = H2HIndex::build(&g);
+        let mut gen = UpdateGenerator::new(4);
+        let batch = gen.generate(&g, 12);
+        g.apply_batch(&batch);
+        h2h.apply_batch(&g, batch.as_slice());
+        // A freshly built index with the same order must carry identical labels.
+        let fresh = H2HIndex::from_decomposition(
+            crate::decomposition::TreeDecomposition::build_with_order(
+                &g,
+                h2h.decomposition().order().clone(),
+            ),
+        );
+        for v in g.vertices() {
+            assert_eq!(h2h.label(v), fresh.label(v), "labels of {v} diverge");
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let g = grid(5, 5, WeightRange::new(1, 9), 7);
+        let mut h2h = H2HIndex::build(&g);
+        let report = h2h.apply_batch(&g, &[]);
+        assert!(report.shortcut_changes.is_empty());
+        assert!(report.affected_labels.is_empty());
+        assert_eq!(report.labels_recomputed, 0);
+    }
+
+    #[test]
+    fn report_times_are_recorded() {
+        let mut g = grid(6, 6, WeightRange::new(10, 30), 9);
+        let mut h2h = H2HIndex::build(&g);
+        let mut gen = UpdateGenerator::new(5);
+        let batch = gen.generate(&g, 10);
+        g.apply_batch(&batch);
+        let report = h2h.apply_batch(&g, batch.as_slice());
+        assert!(report.total_time() >= report.label_time);
+    }
+}

@@ -1,0 +1,270 @@
+//! The H2H (Hierarchical 2-Hop labeling) index.
+//!
+//! For every tree node `X(v)` the index stores the distance array `X(v).dis`:
+//! the shortest distance from `v` to each of its ancestors (indexed by the
+//! ancestor's depth), with the final entry `d(v, v) = 0`. The position array
+//! `X(v).pos` of the paper is not materialized: a neighbor's position in the
+//! ancestor array is simply its tree depth, available from the decomposition.
+//!
+//! A query `q(s, t)` finds the LCA `X` of the endpoints and minimizes
+//! `X(s).dis[i] + X(t).dis[i]` over the positions `i` of `X`'s bag members
+//! (§III-B, Example 2).
+
+use crate::decomposition::TreeDecomposition;
+use htsp_graph::{Dist, Graph, VertexId, INF};
+
+/// The H2H index: a tree decomposition plus per-node distance arrays.
+#[derive(Clone, Debug)]
+pub struct H2HIndex {
+    td: TreeDecomposition,
+    /// `dis[v][d]` = distance from `v` to its ancestor at depth `d`;
+    /// `dis[v][depth(v)] = 0`.
+    dis: Vec<Vec<Dist>>,
+}
+
+impl H2HIndex {
+    /// Builds the index from scratch with the default MDE ordering.
+    pub fn build(graph: &Graph) -> Self {
+        let td = TreeDecomposition::build(graph);
+        Self::from_decomposition(td)
+    }
+
+    /// Builds the distance arrays over an existing decomposition.
+    pub fn from_decomposition(td: TreeDecomposition) -> Self {
+        let n = td.num_vertices();
+        let mut dis: Vec<Vec<Dist>> = vec![Vec::new(); n];
+        // Top-down: every ancestor is labeled before its descendants.
+        // Maintain the ancestor path explicitly with a DFS.
+        for &root in td.roots() {
+            let mut path: Vec<VertexId> = Vec::new();
+            // Frames: (vertex, next child index).
+            let mut stack: Vec<(VertexId, usize)> = vec![(root, 0)];
+            while let Some(&mut (v, ref mut ci)) = stack.last_mut() {
+                if *ci == 0 {
+                    dis[v.index()] = compute_label(&td, &dis, v, &path);
+                    path.push(v);
+                }
+                if *ci < td.children(v).len() {
+                    let c = td.children(v)[*ci];
+                    *ci += 1;
+                    stack.push((c, 0));
+                } else {
+                    path.pop();
+                    stack.pop();
+                }
+            }
+        }
+        H2HIndex { td, dis }
+    }
+
+    /// The underlying tree decomposition.
+    pub fn decomposition(&self) -> &TreeDecomposition {
+        &self.td
+    }
+
+    /// Decomposes the index into its tree decomposition and label arrays.
+    ///
+    /// Used by indexes (e.g. PostMHL) that take over label maintenance with
+    /// their own staging while reusing the H2H construction.
+    pub fn into_parts(self) -> (TreeDecomposition, Vec<Vec<Dist>>) {
+        (self.td, self.dis)
+    }
+
+    /// Mutable access used by the DH2H maintenance module.
+    pub(crate) fn parts_mut(&mut self) -> (&mut TreeDecomposition, &mut Vec<Vec<Dist>>) {
+        (&mut self.td, &mut self.dis)
+    }
+
+    /// Distance array of `v` (`X(v).dis`).
+    pub fn label(&self, v: VertexId) -> &[Dist] {
+        &self.dis[v.index()]
+    }
+
+    /// Shortest distance between `s` and `t`, `INF` if disconnected.
+    pub fn distance(&self, s: VertexId, t: VertexId) -> Dist {
+        if s == t {
+            return Dist::ZERO;
+        }
+        let x = match self.td.lca(s, t) {
+            Some(x) => x,
+            None => return INF,
+        };
+        if x == s {
+            return self.dis[t.index()][self.td.depth(s) as usize];
+        }
+        if x == t {
+            return self.dis[s.index()][self.td.depth(t) as usize];
+        }
+        let ds = &self.dis[s.index()];
+        let dt = &self.dis[t.index()];
+        let mut best = INF;
+        // Positions of the LCA's bag members (its separator), plus the LCA itself.
+        let x_depth = self.td.depth(x) as usize;
+        let cand = ds[x_depth].saturating_add(dt[x_depth]);
+        if cand < best {
+            best = cand;
+        }
+        for &(u, _) in self.td.bag(x) {
+            let i = self.td.depth(u) as usize;
+            let cand = ds[i].saturating_add(dt[i]);
+            if cand < best {
+                best = cand;
+            }
+        }
+        best
+    }
+
+    /// Number of label entries stored (the `|L|` statistic of Exp. 2).
+    pub fn num_label_entries(&self) -> usize {
+        self.dis.iter().map(|d| d.len()).sum()
+    }
+
+    /// Approximate index size in bytes (labels + shortcut arrays).
+    pub fn index_size_bytes(&self) -> usize {
+        self.num_label_entries() * std::mem::size_of::<Dist>()
+            + self.td.hierarchy().index_size_bytes()
+    }
+}
+
+/// Computes the distance array of `v` given the labels of all its ancestors.
+///
+/// `path` is the root-to-parent ancestor list of `v` (so `path[d]` is the
+/// ancestor at depth `d`).
+pub(crate) fn compute_label(
+    td: &TreeDecomposition,
+    dis: &[Vec<Dist>],
+    v: VertexId,
+    path: &[VertexId],
+) -> Vec<Dist> {
+    let depth_v = td.depth(v) as usize;
+    debug_assert_eq!(path.len(), depth_v);
+    let mut label = vec![INF; depth_v + 1];
+    label[depth_v] = Dist::ZERO;
+    let bag = td.bag(v);
+    for (d, &a) in path.iter().enumerate() {
+        let mut best = INF;
+        for &(u, w) in bag {
+            let du = td.depth(u) as usize;
+            let rest = if du == d {
+                // a == u
+                Dist::ZERO
+            } else if d < du {
+                // a is an ancestor of u: read u's label.
+                dis[u.index()][d]
+            } else {
+                // u is an ancestor of a: read a's label at u's depth.
+                dis[a.index()][du]
+            };
+            let cand = rest.saturating_add_weight(w);
+            if cand < best {
+                best = cand;
+            }
+        }
+        label[d] = best;
+    }
+    label
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htsp_graph::gen::{grid, grid_with_diagonals, random_geometric, WeightRange};
+    use htsp_graph::{GraphBuilder, QuerySet};
+    use htsp_search::dijkstra_distance;
+
+    fn check(g: &Graph, h2h: &H2HIndex, count: usize, seed: u64) {
+        let qs = QuerySet::random(g, count, seed);
+        for q in &qs {
+            assert_eq!(
+                h2h.distance(q.source, q.target),
+                dijkstra_distance(g, q.source, q.target),
+                "H2H mismatch for {:?}",
+                q
+            );
+        }
+    }
+
+    #[test]
+    fn h2h_exact_on_grid() {
+        let g = grid(8, 8, WeightRange::new(1, 20), 3);
+        let h2h = H2HIndex::build(&g);
+        check(&g, &h2h, 200, 4);
+    }
+
+    #[test]
+    fn h2h_exact_on_grid_with_diagonals() {
+        let g = grid_with_diagonals(7, 9, WeightRange::new(1, 30), 0.25, 6);
+        let h2h = H2HIndex::build(&g);
+        check(&g, &h2h, 200, 5);
+    }
+
+    #[test]
+    fn h2h_exact_on_geometric() {
+        let g = random_geometric(250, 3, WeightRange::new(1, 100), 8);
+        let h2h = H2HIndex::build(&g);
+        check(&g, &h2h, 150, 6);
+    }
+
+    #[test]
+    fn h2h_handles_ancestor_descendant_queries() {
+        let g = grid(6, 6, WeightRange::new(1, 9), 2);
+        let h2h = H2HIndex::build(&g);
+        // Query every vertex against the tree root and its own parent.
+        let td = h2h.decomposition();
+        let root = td.roots()[0];
+        for v in g.vertices() {
+            assert_eq!(h2h.distance(v, root), dijkstra_distance(&g, v, root));
+            if let Some(p) = td.parent(v) {
+                assert_eq!(h2h.distance(v, p), dijkstra_distance(&g, v, p));
+            }
+            assert_eq!(h2h.distance(v, v), Dist::ZERO);
+        }
+    }
+
+    #[test]
+    fn h2h_disconnected_components_are_inf() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(VertexId(0), VertexId(1), 2);
+        b.add_edge(VertexId(2), VertexId(3), 5);
+        let g = b.build();
+        let h2h = H2HIndex::build(&g);
+        assert_eq!(h2h.distance(VertexId(0), VertexId(3)), INF);
+        assert_eq!(h2h.distance(VertexId(0), VertexId(1)), Dist(2));
+        assert_eq!(h2h.distance(VertexId(2), VertexId(3)), Dist(5));
+    }
+
+    #[test]
+    fn label_lengths_match_depth() {
+        let g = grid(6, 6, WeightRange::new(1, 9), 7);
+        let h2h = H2HIndex::build(&g);
+        let td = h2h.decomposition();
+        for v in g.vertices() {
+            assert_eq!(h2h.label(v).len(), td.depth(v) as usize + 1);
+            assert_eq!(*h2h.label(v).last().unwrap(), Dist::ZERO);
+        }
+    }
+
+    #[test]
+    fn labels_store_true_ancestor_distances() {
+        let g = grid(5, 5, WeightRange::new(1, 9), 9);
+        let h2h = H2HIndex::build(&g);
+        let td = h2h.decomposition();
+        for v in g.vertices() {
+            for (d, &a) in td.ancestors(v).iter().enumerate() {
+                assert_eq!(
+                    h2h.label(v)[d],
+                    dijkstra_distance(&g, v, a),
+                    "label of {v} towards ancestor {a}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn index_size_is_reported() {
+        let g = grid(6, 6, WeightRange::new(1, 9), 7);
+        let h2h = H2HIndex::build(&g);
+        assert!(h2h.num_label_entries() >= g.num_vertices());
+        assert!(h2h.index_size_bytes() > 0);
+    }
+}

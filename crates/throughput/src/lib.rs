@@ -1,0 +1,27 @@
+//! # htsp-throughput
+//!
+//! The HTSP system model (§II) and throughput measurement harness.
+//!
+//! Given any [`DynamicSpIndex`], the harness replays update batches and a
+//! query workload, measures the per-stage update timeline and per-stage query
+//! latency, and evaluates:
+//!
+//! * the **Lemma 1 bound** on the maximum average throughput `λ*_q` (an M/G/1
+//!   response-time constraint combined with the update-installability
+//!   constraint `t_u < δt`), and
+//! * the **staged throughput**: the number of queries the system can serve per
+//!   second of the update interval when each maintenance stage releases a
+//!   faster query stage (the yellow area of Figure 1), which is what the
+//!   multi-stage indexes improve.
+//!
+//! It also records the **QPS evolution** over the update interval (Fig. 13).
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod model;
+pub mod simulator;
+
+pub use config::SystemConfig;
+pub use model::{lemma1_bound, staged_throughput, QueryStats};
+pub use simulator::{BatchOutcome, QpsPoint, ThroughputHarness, ThroughputResult};

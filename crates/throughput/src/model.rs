@@ -1,0 +1,150 @@
+//! The analytical throughput model of §II (Lemma 1) and the staged-throughput
+//! integral of Figure 1.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean and variance of the query (processing) time, in seconds.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct QueryStats {
+    /// Average query time `t_q` (seconds).
+    pub mean: f64,
+    /// Variance `V_q` of the query time (seconds²).
+    pub variance: f64,
+}
+
+impl QueryStats {
+    /// Computes mean/variance from a sample of per-query latencies (seconds).
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return QueryStats::default();
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let variance = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        QueryStats { mean, variance }
+    }
+}
+
+/// Lemma 1: the maximum average throughput supported by a single-stage index
+/// with query statistics `stats`, update time `t_u`, update interval `δt`,
+/// and response-time QoS `R*_q`. Returns queries per second (0 if the system
+/// cannot even install the updates in time).
+///
+/// `λ*_q ≤ min( 2(R* − t_q) / (V_q + 2 R* t_q − t_q²),  (δt − t_u) / (t_q δt) )`
+pub fn lemma1_bound(stats: QueryStats, t_u: f64, delta_t: f64, r_star: f64) -> f64 {
+    let t_q = stats.mean;
+    if t_q <= 0.0 {
+        return f64::INFINITY;
+    }
+    if t_u >= delta_t || r_star <= t_q {
+        // Updates cannot be installed in time, or even an unloaded system
+        // violates the QoS: zero throughput.
+        return 0.0;
+    }
+    let denom = stats.variance + 2.0 * r_star * t_q - t_q * t_q;
+    let mg1 = if denom <= 0.0 {
+        f64::INFINITY
+    } else {
+        2.0 * (r_star - t_q) / denom
+    };
+    let update_constraint = (delta_t - t_u) / (t_q * delta_t);
+    mg1.min(update_constraint).max(0.0)
+}
+
+/// The staged-throughput integral of Figure 1: given the per-stage
+/// `(stage_duration_seconds, stage_query_time_seconds)` pairs covering the
+/// maintenance window (in completion order) and the final-stage query time,
+/// returns the average number of queries the system can process per second of
+/// the update interval `δt`.
+///
+/// During the work of stage `i+1` the queries are served by the machinery
+/// released at the end of stage `i`; after the last stage the final machinery
+/// serves queries for the remaining `δt − t_u` seconds.
+pub fn staged_throughput(stages: &[(f64, f64)], final_query_time: f64, delta_t: f64) -> f64 {
+    let t_u: f64 = stages.iter().map(|&(d, _)| d).sum();
+    if t_u >= delta_t {
+        return 0.0;
+    }
+    let mut processed = 0.0;
+    // Queries served while stage i+1 is being installed use stage i's speed.
+    for i in 1..stages.len() {
+        let duration = stages[i].0;
+        let query_time = stages[i - 1].1;
+        if query_time > 0.0 {
+            processed += duration / query_time;
+        }
+    }
+    if final_query_time > 0.0 {
+        processed += (delta_t - t_u) / final_query_time;
+    }
+    processed / delta_t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_stats_from_samples() {
+        let s = QueryStats::from_samples(&[1.0, 3.0]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.variance - 1.0).abs() < 1e-12);
+        assert_eq!(QueryStats::from_samples(&[]).mean, 0.0);
+    }
+
+    #[test]
+    fn lemma1_zero_when_updates_do_not_fit() {
+        let stats = QueryStats {
+            mean: 1e-4,
+            variance: 0.0,
+        };
+        assert_eq!(lemma1_bound(stats, 200.0, 120.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn lemma1_faster_queries_give_higher_throughput() {
+        let fast = QueryStats {
+            mean: 1e-5,
+            variance: 1e-12,
+        };
+        let slow = QueryStats {
+            mean: 1e-3,
+            variance: 1e-8,
+        };
+        let a = lemma1_bound(fast, 10.0, 120.0, 1.0);
+        let b = lemma1_bound(slow, 10.0, 120.0, 1.0);
+        assert!(a > b);
+        assert!(b > 0.0);
+    }
+
+    #[test]
+    fn lemma1_longer_update_reduces_throughput() {
+        let stats = QueryStats {
+            mean: 1e-4,
+            variance: 1e-10,
+        };
+        let a = lemma1_bound(stats, 5.0, 120.0, 1.0);
+        let b = lemma1_bound(stats, 60.0, 120.0, 1.0);
+        assert!(a >= b);
+    }
+
+    #[test]
+    fn staged_throughput_beats_single_stage_with_slow_final_wait() {
+        // A multi-stage index that can already answer (slowly) during its
+        // maintenance window processes strictly more queries than one that is
+        // blocked for the whole window.
+        let delta_t = 120.0;
+        let staged = staged_throughput(
+            &[(0.0, 1e-2), (5.0, 1e-4), (20.0, 1e-5)],
+            1e-5,
+            delta_t,
+        );
+        let blocked = staged_throughput(&[(25.0, 1e-5)], 1e-5, delta_t);
+        assert!(staged > blocked);
+    }
+
+    #[test]
+    fn staged_throughput_zero_when_update_exceeds_interval() {
+        assert_eq!(staged_throughput(&[(130.0, 1e-4)], 1e-4, 120.0), 0.0);
+    }
+}

@@ -1,0 +1,242 @@
+//! The throughput harness: drives any [`DynamicSpIndex`] through a sequence of
+//! update batches, measures its staged availability and per-stage query
+//! latency, and evaluates the throughput metrics of §VII.
+
+use crate::config::SystemConfig;
+use crate::model::{lemma1_bound, staged_throughput, QueryStats};
+use htsp_graph::{DynamicSpIndex, Graph, QuerySet, UpdateBatch, UpdateGenerator};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One point of the QPS-evolution curve (Fig. 13): at `elapsed` seconds after
+/// the batch arrived, the available query stage sustains `qps` queries/second.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct QpsPoint {
+    /// Seconds since the batch arrival at which this stage became available.
+    pub elapsed: f64,
+    /// Sustained queries per second of that stage (`1 / t_q`).
+    pub qps: f64,
+}
+
+/// The measured outcome of one update batch.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BatchOutcome {
+    /// Total update time `t_u` in seconds.
+    pub update_time: f64,
+    /// Per-stage `(stage duration, stage query time)` pairs in completion
+    /// order; the stage query time is measured right after the stage ends.
+    pub stages: Vec<(f64, f64)>,
+    /// Query statistics of the final (fastest) stage.
+    pub final_stats: QueryStats,
+    /// QPS evolution samples across the maintenance window.
+    pub qps_evolution: Vec<QpsPoint>,
+}
+
+/// Aggregated result over all batches for one algorithm.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ThroughputResult {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Average update time `t_u` (seconds).
+    pub avg_update_time: f64,
+    /// Average final-stage query time `t_q` (seconds).
+    pub avg_query_time: f64,
+    /// Lemma 1 throughput bound `λ*_q` (queries/second).
+    pub lemma1_throughput: f64,
+    /// Staged throughput (queries/second over the interval, Figure 1 area).
+    pub staged_throughput: f64,
+    /// Index size in bytes after the last batch.
+    pub index_size_bytes: usize,
+    /// Per-batch details.
+    pub batches: Vec<BatchOutcome>,
+}
+
+impl ThroughputResult {
+    /// The throughput estimate used in the comparison figures: the Lemma 1
+    /// QoS bound capped by the staged service capacity.
+    pub fn throughput(&self) -> f64 {
+        self.lemma1_throughput.min(self.staged_throughput)
+    }
+}
+
+/// Drives indexes through batches and measures throughput.
+pub struct ThroughputHarness {
+    /// System-model parameters.
+    pub config: SystemConfig,
+    /// Seed for workload generation.
+    pub seed: u64,
+    /// Number of update batches to replay.
+    pub num_batches: usize,
+}
+
+impl ThroughputHarness {
+    /// Creates a harness with the given configuration.
+    pub fn new(config: SystemConfig, seed: u64, num_batches: usize) -> Self {
+        ThroughputHarness {
+            config,
+            seed,
+            num_batches,
+        }
+    }
+
+    /// Measures the average query latency of the index's *current* best stage
+    /// over a query sample. Returns per-query latencies in seconds.
+    fn measure_queries(
+        index: &mut dyn DynamicSpIndex,
+        graph: &Graph,
+        queries: &QuerySet,
+    ) -> Vec<f64> {
+        let mut samples = Vec::with_capacity(queries.len());
+        for q in queries {
+            let t = Instant::now();
+            let _ = index.distance(graph, q.source, q.target);
+            samples.push(t.elapsed().as_secs_f64());
+        }
+        samples
+    }
+
+    /// Measures the average query latency of one explicit stage.
+    fn measure_stage(
+        index: &mut dyn DynamicSpIndex,
+        graph: &Graph,
+        queries: &QuerySet,
+        stage: usize,
+    ) -> f64 {
+        if queries.is_empty() {
+            return 0.0;
+        }
+        let t = Instant::now();
+        for q in queries {
+            let _ = index.distance_at_stage(graph, stage, q.source, q.target);
+        }
+        t.elapsed().as_secs_f64() / queries.len() as f64
+    }
+
+    /// Runs the full measurement for one algorithm: `num_batches` update
+    /// batches are generated, applied and repaired, and query latency is
+    /// measured per stage. Returns the aggregated result.
+    pub fn run(&self, graph: &Graph, index: &mut dyn DynamicSpIndex) -> ThroughputResult {
+        let mut working = graph.clone();
+        let mut gen = UpdateGenerator::new(self.seed);
+        let queries = QuerySet::random(&working, self.config.query_sample, self.seed ^ 0x5eed);
+        let stage_sample = QuerySet::random(
+            &working,
+            (self.config.query_sample / 4).max(10),
+            self.seed ^ 0xabcd,
+        );
+
+        let mut batches = Vec::with_capacity(self.num_batches);
+        for _ in 0..self.num_batches {
+            let batch: UpdateBatch = gen.generate(&working, self.config.update_volume);
+            working.apply_batch(&batch);
+            let timeline = index.apply_batch(&working, &batch);
+            let update_time = timeline.total().as_secs_f64();
+
+            // Per-stage query time: stage i of the timeline corresponds to
+            // query stage i of the index (clamped to the available range).
+            let n_qstages = index.num_query_stages();
+            let mut stages = Vec::with_capacity(timeline.stages.len());
+            let mut qps_evolution = Vec::new();
+            let mut elapsed = 0.0;
+            for (i, s) in timeline.stages.iter().enumerate() {
+                let qstage = i.min(n_qstages - 1);
+                let tq = Self::measure_stage(index, &working, &stage_sample, qstage);
+                elapsed += s.duration.as_secs_f64();
+                stages.push((s.duration.as_secs_f64(), tq));
+                qps_evolution.push(QpsPoint {
+                    elapsed,
+                    qps: if tq > 0.0 { 1.0 / tq } else { f64::INFINITY },
+                });
+            }
+            // Final-stage statistics over the full sample.
+            let samples = Self::measure_queries(index, &working, &queries);
+            let final_stats = QueryStats::from_samples(&samples);
+            batches.push(BatchOutcome {
+                update_time,
+                stages,
+                final_stats,
+                qps_evolution,
+            });
+        }
+
+        let avg_update_time =
+            batches.iter().map(|b| b.update_time).sum::<f64>() / batches.len().max(1) as f64;
+        let avg_query_time =
+            batches.iter().map(|b| b.final_stats.mean).sum::<f64>() / batches.len().max(1) as f64;
+        let avg_variance =
+            batches.iter().map(|b| b.final_stats.variance).sum::<f64>() / batches.len().max(1) as f64;
+        let stats = QueryStats {
+            mean: avg_query_time,
+            variance: avg_variance,
+        };
+        let lemma1 = lemma1_bound(
+            stats,
+            avg_update_time,
+            self.config.update_interval,
+            self.config.max_response_time,
+        );
+        // Staged throughput averaged over batches.
+        let staged = batches
+            .iter()
+            .map(|b| {
+                staged_throughput(&b.stages, b.final_stats.mean, self.config.update_interval)
+            })
+            .sum::<f64>()
+            / batches.len().max(1) as f64;
+
+        ThroughputResult {
+            algorithm: index.name().to_string(),
+            avg_update_time,
+            avg_query_time,
+            lemma1_throughput: lemma1,
+            staged_throughput: staged,
+            index_size_bytes: index.index_size_bytes(),
+            batches,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htsp_graph::gen::{grid, WeightRange};
+    use htsp_graph::{Dist, UpdateTimeline, VertexId};
+
+    /// A trivial index used to exercise the harness deterministically.
+    struct Fake;
+    impl DynamicSpIndex for Fake {
+        fn name(&self) -> &'static str {
+            "fake"
+        }
+        fn apply_batch(&mut self, _g: &Graph, _b: &UpdateBatch) -> UpdateTimeline {
+            UpdateTimeline::single("noop", std::time::Duration::from_micros(10))
+        }
+        fn distance(&mut self, _g: &Graph, _s: VertexId, _t: VertexId) -> Dist {
+            Dist(1)
+        }
+    }
+
+    #[test]
+    fn harness_produces_consistent_aggregates() {
+        let g = grid(6, 6, WeightRange::new(1, 9), 1);
+        let config = SystemConfig {
+            update_volume: 5,
+            update_interval: 10.0,
+            max_response_time: 1.0,
+            query_sample: 20,
+        };
+        let harness = ThroughputHarness::new(config, 7, 3);
+        let mut idx = Fake;
+        let result = harness.run(&g, &mut idx);
+        assert_eq!(result.algorithm, "fake");
+        assert_eq!(result.batches.len(), 3);
+        assert!(result.avg_update_time > 0.0);
+        assert!(result.avg_query_time > 0.0);
+        assert!(result.throughput() > 0.0);
+        assert!(result.staged_throughput > 0.0);
+        for b in &result.batches {
+            assert_eq!(b.stages.len(), 1);
+            assert_eq!(b.qps_evolution.len(), 1);
+        }
+    }
+}

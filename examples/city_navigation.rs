@@ -1,0 +1,56 @@
+//! City navigation scenario: a ring-radial (European-style) city where most
+//! queries are local (same district) and a few are cross-city.
+//!
+//! This exercises the query classes the paper distinguishes: *same-partition*
+//! queries, served by the post-boundary index, and *cross-partition* queries,
+//! served by the cross-boundary index. Run with
+//! `cargo run --release --example city_navigation`.
+
+use htsp::core::{Pmhl, PmhlConfig};
+use htsp::graph::{gen, DynamicSpIndex, QuerySet};
+
+fn main() {
+    // A ring-radial city: 40 concentric rings with 64 spokes.
+    let road = gen::ring_radial(40, 64, gen::WeightRange::new(1, 30), 11);
+    println!(
+        "city network: {} intersections, {} segments",
+        road.num_vertices(),
+        road.num_edges()
+    );
+
+    let mut index = Pmhl::build(
+        &road,
+        PmhlConfig {
+            num_partitions: 8,
+            num_threads: 4,
+            seed: 3,
+        },
+    );
+    println!(
+        "PMHL built: {} boundary vertices, {:.1} MB",
+        index.num_boundary(),
+        index.index_size_bytes() as f64 / (1024.0 * 1024.0)
+    );
+
+    // Local trips: endpoints close to each other (mostly same partition).
+    let local = QuerySet::random_local(&road, 2000, 50, 5);
+    // Cross-city trips: uniformly random endpoints.
+    let global = QuerySet::random(&road, 2000, 6);
+
+    for (name, set) in [("local (district)", &local), ("cross-city", &global)] {
+        let t = std::time::Instant::now();
+        let mut same_partition = 0usize;
+        for q in set {
+            if index.partitioned().partition.same_partition(q.source, q.target) {
+                same_partition += 1;
+            }
+            let _ = index.distance(&road, q.source, q.target);
+        }
+        println!(
+            "{name:<18}: {} queries, {:.1} µs/query, {:.0}% same-partition",
+            set.len(),
+            t.elapsed().as_secs_f64() * 1e6 / set.len() as f64,
+            100.0 * same_partition as f64 / set.len() as f64
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Quickstart: build a road network, index it with PostMHL, answer queries,
+//! apply a traffic update batch, and keep querying through every stage.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use htsp::core::{PostMhl, PostMhlConfig};
+use htsp::graph::{gen, DynamicSpIndex, QuerySet, UpdateGenerator};
+use htsp::search::dijkstra_distance;
+
+fn main() {
+    // 1. A synthetic city: a 64x64 grid with perturbed travel times.
+    let mut road = gen::grid_with_diagonals(64, 64, gen::WeightRange::new(1, 100), 0.1, 42);
+    println!(
+        "road network: {} intersections, {} segments",
+        road.num_vertices(),
+        road.num_edges()
+    );
+
+    // 2. Build the PostMHL index (the paper's best-performing method).
+    let t = std::time::Instant::now();
+    let mut index = PostMhl::build(&road, PostMhlConfig::default());
+    println!(
+        "PostMHL built in {:.2?} ({} partitions, {} overlay vertices, {:.1} MB)",
+        t.elapsed(),
+        index.num_partitions(),
+        index.num_overlay_vertices(),
+        index.index_size_bytes() as f64 / (1024.0 * 1024.0)
+    );
+
+    // 3. Answer shortest-distance queries and spot-check against Dijkstra.
+    let queries = QuerySet::random(&road, 1000, 7);
+    let t = std::time::Instant::now();
+    for q in &queries {
+        let d = index.distance(&road, q.source, q.target);
+        debug_assert_eq!(d, dijkstra_distance(&road, q.source, q.target));
+    }
+    println!(
+        "answered {} queries in {:.2?} ({:.1} µs/query)",
+        queries.len(),
+        t.elapsed(),
+        t.elapsed().as_secs_f64() * 1e6 / queries.len() as f64
+    );
+
+    // 4. A batch of traffic updates arrives: apply it and repair the index.
+    let batch = UpdateGenerator::new(1).generate(&road, 500);
+    road.apply_batch(&batch);
+    let timeline = index.apply_batch(&road, &batch);
+    println!("update batch of {} edges repaired:", batch.len());
+    for stage in &timeline.stages {
+        println!("  {:<35} {:?}", stage.name, stage.duration);
+    }
+
+    // 5. Queries remain exact at every stage of the repair.
+    let q = &queries.as_slice()[0];
+    for stage in 0..index.num_query_stages() {
+        let d = index.distance_at_stage(&road, stage, q.source, q.target);
+        println!("stage {stage}: d({}, {}) = {}", q.source, q.target, d);
+    }
+}

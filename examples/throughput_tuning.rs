@@ -1,0 +1,73 @@
+//! Throughput tuning: sweep PostMHL's TD-partitioning knobs (`k_e` and the
+//! bandwidth `τ`) on one network and report the resulting update time and
+//! throughput, mirroring Exp. 7 / Exp. 8 of the paper.
+//!
+//! Run with `cargo run --release --example throughput_tuning`.
+
+use htsp::core::{PostMhl, PostMhlConfig};
+use htsp::graph::gen;
+use htsp::partition::TdPartitionConfig;
+use htsp::throughput::{SystemConfig, ThroughputHarness};
+
+fn main() {
+    let road = gen::grid_with_diagonals(48, 48, gen::WeightRange::new(1, 100), 0.08, 33);
+    let config = SystemConfig {
+        update_volume: 200,
+        update_interval: 120.0,
+        max_response_time: 1.0,
+        query_sample: 100,
+    };
+    let harness = ThroughputHarness::new(config, 5, 2);
+
+    println!("-- sweeping expected partition number k_e (τ = 16) --");
+    println!("{:>6} {:>12} {:>12} {:>14}", "k_e", "partitions", "t_u (s)", "λ*_q (q/s)");
+    for ke in [8usize, 16, 32, 64] {
+        let mut idx = PostMhl::build(
+            &road,
+            PostMhlConfig {
+                partitioning: TdPartitionConfig {
+                    bandwidth: 16,
+                    expected_partitions: ke,
+                    beta_lower: 0.1,
+                    beta_upper: 2.0,
+                },
+                num_threads: 4,
+            },
+        );
+        let parts = idx.num_partitions();
+        let r = harness.run(&road, &mut idx);
+        println!(
+            "{:>6} {:>12} {:>12.4} {:>14.1}",
+            ke,
+            parts,
+            r.avg_update_time,
+            r.throughput()
+        );
+    }
+
+    println!("-- sweeping bandwidth τ (k_e = 32) --");
+    println!("{:>6} {:>14} {:>12} {:>14}", "τ", "|V(overlay)|", "t_u (s)", "λ*_q (q/s)");
+    for tau in [8usize, 16, 24, 32] {
+        let mut idx = PostMhl::build(
+            &road,
+            PostMhlConfig {
+                partitioning: TdPartitionConfig {
+                    bandwidth: tau,
+                    expected_partitions: 32,
+                    beta_lower: 0.1,
+                    beta_upper: 2.0,
+                },
+                num_threads: 4,
+            },
+        );
+        let overlay = idx.num_overlay_vertices();
+        let r = harness.run(&road, &mut idx);
+        println!(
+            "{:>6} {:>14} {:>12.4} {:>14.1}",
+            tau,
+            overlay,
+            r.avg_update_time,
+            r.throughput()
+        );
+    }
+}

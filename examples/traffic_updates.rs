@@ -1,0 +1,66 @@
+//! Traffic-update scenario: a stream of update batches hits the index every
+//! interval while queries keep arriving (the Figure 1 situation). The example
+//! compares how DH2H (fast queries, slow repair), DCH (fast repair, slow
+//! queries) and PostMHL (multi-stage) spend the same maintenance window.
+//!
+//! Run with `cargo run --release --example traffic_updates`.
+
+use htsp::baselines::{DchBaseline, Dh2hBaseline};
+use htsp::core::{PostMhl, PostMhlConfig};
+use htsp::graph::{gen, DynamicSpIndex, UpdateGenerator};
+use htsp::throughput::{SystemConfig, ThroughputHarness};
+
+fn main() {
+    let road = gen::grid_with_diagonals(48, 48, gen::WeightRange::new(1, 100), 0.1, 21);
+    println!(
+        "network: {} vertices / {} edges; replaying 3 update batches of 300 edges",
+        road.num_vertices(),
+        road.num_edges()
+    );
+
+    let config = SystemConfig {
+        update_volume: 300,
+        update_interval: 120.0,
+        max_response_time: 1.0,
+        query_sample: 200,
+    };
+    let harness = ThroughputHarness::new(config, 9, 3);
+
+    let mut dch = DchBaseline::build(&road);
+    let mut dh2h = Dh2hBaseline::build(&road);
+    let mut postmhl = PostMhl::build(&road, PostMhlConfig::default());
+
+    for result in [
+        harness.run(&road, &mut dch),
+        harness.run(&road, &mut dh2h),
+        harness.run(&road, &mut postmhl),
+    ] {
+        println!(
+            "{:<10} t_u = {:>8.4} s | t_q = {:>8.2} µs | λ*_q ≈ {:>10.1} queries/s",
+            result.algorithm,
+            result.avg_update_time,
+            result.avg_query_time * 1e6,
+            result.throughput()
+        );
+        // Show the QPS staircase of the first batch (Fig. 13).
+        let batch = &result.batches[0];
+        let stairs: Vec<String> = batch
+            .qps_evolution
+            .iter()
+            .map(|p| format!("{:.4}s→{:.0}qps", p.elapsed, p.qps))
+            .collect();
+        println!("            QPS evolution: {}", stairs.join("  "));
+    }
+
+    // Demonstrate staleness-free behaviour: immediately after applying a batch
+    // the answers reflect the new weights.
+    let mut g = road.clone();
+    let batch = UpdateGenerator::new(77).generate(&g, 100);
+    g.apply_batch(&batch);
+    let timeline = postmhl.apply_batch(&g, &batch);
+    println!(
+        "PostMHL repaired one extra batch in {:?} across {} stages",
+        timeline.total(),
+        timeline.stages.len()
+    );
+}

@@ -1,0 +1,59 @@
+//! # htsp
+//!
+//! A from-scratch Rust reproduction of *"High Throughput Shortest Distance
+//! Query Processing on Large Dynamic Road Networks"* (ICDE 2025).
+//!
+//! This facade crate re-exports the public API of every workspace crate so a
+//! downstream user can depend on `htsp` alone:
+//!
+//! * [`graph`] — dynamic road-network model, synthetic generators, DIMACS
+//!   parser, update batches, query workloads.
+//! * [`search`] — Dijkstra / bidirectional Dijkstra / A*.
+//! * [`ch`] — Contraction Hierarchies and DCH maintenance.
+//! * [`td`] — MDE tree decomposition, H2H, DH2H.
+//! * [`partition`] — region-growing partitioning and TD-partitioning.
+//! * [`psp`] — Partitioned Shortest Path machinery (overlay graph, boundary
+//!   strategies, N-CH-P / P-TD-P baselines).
+//! * [`core`] — the paper's contributions: MHL, PMHL, PostMHL.
+//! * [`baselines`] — BiDijkstra, DCH, DH2H and TOAIN wrappers.
+//! * [`throughput`] — the HTSP system model (Lemma 1) and throughput harness.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use htsp::graph::{gen, QuerySet, UpdateGenerator};
+//! use htsp::graph::DynamicSpIndex;
+//! use htsp::core::{PostMhl, PostMhlConfig};
+//!
+//! // Build a small synthetic road network and a PostMHL index over it.
+//! let mut road = gen::grid(16, 16, gen::WeightRange::new(1, 60), 7);
+//! let mut index = PostMhl::build(&road, PostMhlConfig::default());
+//!
+//! // Answer queries.
+//! let queries = QuerySet::random(&road, 10, 3);
+//! for q in &queries {
+//!     let d = index.distance(&road, q.source, q.target);
+//!     assert!(d.is_finite());
+//! }
+//!
+//! // Traffic changes arrive in a batch; apply it and repair the index.
+//! let batch = UpdateGenerator::new(1).generate(&road, 20);
+//! road.apply_batch(&batch);
+//! let timeline = index.apply_batch(&road, &batch);
+//! assert_eq!(timeline.stages.len(), 5);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use htsp_baselines as baselines;
+pub use htsp_ch as ch;
+pub use htsp_core as core;
+pub use htsp_graph as graph;
+pub use htsp_partition as partition;
+pub use htsp_psp as psp;
+pub use htsp_search as search;
+pub use htsp_td as td;
+pub use htsp_throughput as throughput;
+
+/// The version of the reproduction.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

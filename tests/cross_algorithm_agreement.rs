@@ -1,0 +1,94 @@
+//! Cross-crate integration test: every algorithm in the repository must agree
+//! with Dijkstra (and therefore with each other) on the same dynamic workload,
+//! across several update batches — the paper's implicit no-staleness
+//! correctness requirement.
+
+use htsp::baselines::{BiDijkstraBaseline, DchBaseline, Dh2hBaseline, ToainBaseline};
+use htsp::core::{Mhl, Pmhl, PmhlConfig, PostMhl, PostMhlConfig};
+use htsp::graph::{gen, DynamicSpIndex, QuerySet, UpdateGenerator};
+use htsp::psp::{NChP, PTdP};
+use htsp::search::dijkstra_distance;
+
+#[test]
+fn all_algorithms_agree_on_a_dynamic_workload() {
+    let mut g = gen::grid_with_diagonals(12, 12, gen::WeightRange::new(2, 60), 0.15, 77);
+    let mut algorithms: Vec<Box<dyn DynamicSpIndex>> = vec![
+        Box::new(BiDijkstraBaseline::new(g.num_vertices())),
+        Box::new(DchBaseline::build(&g)),
+        Box::new(Dh2hBaseline::build(&g)),
+        Box::new(ToainBaseline::build(&g, 64)),
+        Box::new(NChP::build(&g, 4, 1)),
+        Box::new(PTdP::build(&g, 4, 1)),
+        Box::new(Mhl::build(&g)),
+        Box::new(Pmhl::build(
+            &g,
+            PmhlConfig {
+                num_partitions: 4,
+                num_threads: 2,
+                seed: 3,
+            },
+        )),
+        Box::new(PostMhl::build(&g, PostMhlConfig::default())),
+    ];
+
+    let mut gen_upd = UpdateGenerator::new(9);
+    for round in 0..3u64 {
+        let queries = QuerySet::random(&g, 40, 1000 + round);
+        for q in &queries {
+            let expect = dijkstra_distance(&g, q.source, q.target);
+            for alg in algorithms.iter_mut() {
+                let got = alg.distance(&g, q.source, q.target);
+                assert_eq!(
+                    got,
+                    expect,
+                    "round {round}: {} disagrees with Dijkstra on {:?}",
+                    alg.name(),
+                    q
+                );
+            }
+        }
+        // Next traffic batch.
+        let batch = gen_upd.generate(&g, 25);
+        g.apply_batch(&batch);
+        for alg in algorithms.iter_mut() {
+            let timeline = alg.apply_batch(&g, &batch);
+            assert!(!timeline.stages.is_empty());
+        }
+    }
+}
+
+#[test]
+fn multi_stage_indexes_are_exact_at_every_stage_after_updates() {
+    let mut g = gen::grid(10, 10, gen::WeightRange::new(5, 50), 13);
+    let mut pmhl = Pmhl::build(
+        &g,
+        PmhlConfig {
+            num_partitions: 4,
+            num_threads: 2,
+            seed: 1,
+        },
+    );
+    let mut postmhl = PostMhl::build(&g, PostMhlConfig::default());
+    let mut mhl = Mhl::build(&g);
+
+    let mut gen_upd = UpdateGenerator::new(21);
+    let batch = gen_upd.generate(&g, 30);
+    g.apply_batch(&batch);
+    pmhl.apply_batch(&g, &batch);
+    postmhl.apply_batch(&g, &batch);
+    mhl.apply_batch(&g, &batch);
+
+    let queries = QuerySet::random(&g, 60, 5);
+    for q in &queries {
+        let expect = dijkstra_distance(&g, q.source, q.target);
+        for stage in 0..pmhl.num_query_stages() {
+            assert_eq!(pmhl.distance_at_stage(&g, stage, q.source, q.target), expect);
+        }
+        for stage in 0..postmhl.num_query_stages() {
+            assert_eq!(postmhl.distance_at_stage(&g, stage, q.source, q.target), expect);
+        }
+        for stage in 0..mhl.num_query_stages() {
+            assert_eq!(mhl.distance_at_stage(&g, stage, q.source, q.target), expect);
+        }
+    }
+}

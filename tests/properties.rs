@@ -1,0 +1,108 @@
+//! Property-based tests over the core invariants, spanning several crates:
+//!
+//! * index answers equal Dijkstra on arbitrary generated road networks and
+//!   arbitrary update batches (no staleness, no drift);
+//! * distances are symmetric and satisfy the triangle inequality;
+//! * the tree decomposition and partitioning invariants hold for arbitrary
+//!   generator parameters.
+
+use htsp::core::{PostMhl, PostMhlConfig};
+use htsp::graph::{gen, DynamicSpIndex, Graph, QuerySet, UpdateGenerator, VertexId};
+use htsp::partition::{partition_region_growing, td_partition, TdPartitionConfig};
+use htsp::search::{bidijkstra_distance, dijkstra_distance};
+use htsp::td::TreeDecomposition;
+use proptest::prelude::*;
+
+/// Strategy: a connected road-like graph of modest size.
+fn road_network() -> impl Strategy<Value = Graph> {
+    (4usize..9, 4usize..9, 1u64..1000, 1u32..50).prop_map(|(w, h, seed, maxw)| {
+        gen::grid_with_diagonals(w, h, gen::WeightRange::new(1, maxw.max(2)), 0.2, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn bidijkstra_matches_dijkstra(g in road_network(), seed in 0u64..1000) {
+        let qs = QuerySet::random(&g, 10, seed);
+        for q in &qs {
+            prop_assert_eq!(
+                bidijkstra_distance(&g, q.source, q.target),
+                dijkstra_distance(&g, q.source, q.target)
+            );
+        }
+    }
+
+    #[test]
+    fn distances_are_symmetric_and_triangular(g in road_network(), seed in 0u64..1000) {
+        let qs = QuerySet::random(&g, 6, seed);
+        for q in &qs {
+            let d_st = dijkstra_distance(&g, q.source, q.target);
+            let d_ts = dijkstra_distance(&g, q.target, q.source);
+            prop_assert_eq!(d_st, d_ts);
+            // Triangle inequality through an arbitrary intermediate vertex.
+            let mid = VertexId((q.source.0 + q.target.0) / 2);
+            let via = dijkstra_distance(&g, q.source, mid)
+                .saturating_add(dijkstra_distance(&g, mid, q.target));
+            prop_assert!(d_st <= via);
+        }
+    }
+
+    #[test]
+    fn h2h_is_exact_on_arbitrary_networks(g in road_network(), seed in 0u64..1000) {
+        let h2h = htsp::td::H2HIndex::build(&g);
+        let qs = QuerySet::random(&g, 10, seed);
+        for q in &qs {
+            prop_assert_eq!(h2h.distance(q.source, q.target), dijkstra_distance(&g, q.source, q.target));
+        }
+    }
+
+    #[test]
+    fn postmhl_survives_arbitrary_update_batches(
+        g in road_network(),
+        volume in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let mut graph = g;
+        let mut idx = PostMhl::build(&graph, PostMhlConfig::default());
+        let mut gen_upd = UpdateGenerator::new(seed);
+        let batch = gen_upd.generate(&graph, volume);
+        graph.apply_batch(&batch);
+        idx.apply_batch(&graph, &batch);
+        let qs = QuerySet::random(&graph, 10, seed ^ 0xff);
+        for q in &qs {
+            prop_assert_eq!(
+                idx.distance(&graph, q.source, q.target),
+                dijkstra_distance(&graph, q.source, q.target)
+            );
+        }
+    }
+
+    #[test]
+    fn tree_decomposition_is_valid_for_arbitrary_networks(g in road_network()) {
+        let td = TreeDecomposition::build(&g);
+        prop_assert!(td.validate(&g).is_ok());
+        prop_assert!(td.height() >= 1);
+    }
+
+    #[test]
+    fn partitions_cover_all_vertices(g in road_network(), k in 2usize..8, seed in 0u64..100) {
+        let pr = partition_region_growing(&g, k, seed);
+        prop_assert!(pr.validate(&g).is_ok());
+        let covered: usize = (0..pr.num_partitions()).map(|i| pr.vertices(i).len()).sum();
+        prop_assert_eq!(covered, g.num_vertices());
+    }
+
+    #[test]
+    fn td_partitioning_respects_bandwidth(g in road_network(), tau in 3usize..20) {
+        let td = TreeDecomposition::build(&g);
+        let cfg = TdPartitionConfig { bandwidth: tau, expected_partitions: 8, beta_lower: 0.1, beta_upper: 2.0 };
+        let tp = td_partition(&td, &cfg);
+        for i in 0..tp.num_partitions() {
+            prop_assert!(tp.boundary(i).len() <= tau);
+        }
+        let covered: usize = (0..tp.num_partitions()).map(|i| tp.vertices(i).len()).sum();
+        prop_assert_eq!(covered + tp.overlay_vertices().len(), g.num_vertices());
+    }
+}

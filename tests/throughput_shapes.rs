@@ -1,0 +1,97 @@
+//! Integration test for the qualitative experimental claims ("shapes") that
+//! EXPERIMENTS.md reports — small-scale versions of the paper's headline
+//! results that must keep holding as the code evolves.
+
+use htsp::baselines::{BiDijkstraBaseline, Dh2hBaseline};
+use htsp::core::{PostMhl, PostMhlConfig};
+use htsp::graph::{gen, DynamicSpIndex, QuerySet};
+use htsp::throughput::{staged_throughput, QueryStats, SystemConfig, ThroughputHarness};
+use std::time::Instant;
+
+fn sample_graph() -> htsp::graph::Graph {
+    gen::grid_with_diagonals(24, 24, gen::WeightRange::new(1, 80), 0.1, 5)
+}
+
+#[test]
+fn indexed_queries_are_much_faster_than_bidijkstra() {
+    let g = sample_graph();
+    let queries = QuerySet::random(&g, 200, 3);
+    let mut bd = BiDijkstraBaseline::new(g.num_vertices());
+    let mut h2h = Dh2hBaseline::build(&g);
+    let time = |idx: &mut dyn DynamicSpIndex| {
+        let t = Instant::now();
+        for q in &queries {
+            let _ = idx.distance(&g, q.source, q.target);
+        }
+        t.elapsed().as_secs_f64()
+    };
+    let t_bd = time(&mut bd);
+    let t_h2h = time(&mut h2h);
+    assert!(
+        t_h2h < t_bd,
+        "H2H queries ({t_h2h:.6}s) should beat BiDijkstra ({t_bd:.6}s)"
+    );
+}
+
+#[test]
+fn postmhl_final_stage_matches_h2h_speed_class() {
+    // Theorem 1 / Remark 2: PostMHL's final query stage uses the same LCA
+    // machinery as DH2H, so its per-query time must be in the same order of
+    // magnitude (allow a generous 5x factor for measurement noise).
+    let g = sample_graph();
+    let queries = QuerySet::random(&g, 400, 9);
+    let mut h2h = Dh2hBaseline::build(&g);
+    let mut postmhl = PostMhl::build(&g, PostMhlConfig::default());
+    let time = |idx: &mut dyn DynamicSpIndex| {
+        let t = Instant::now();
+        for q in &queries {
+            let _ = idx.distance(&g, q.source, q.target);
+        }
+        t.elapsed().as_secs_f64() / queries.len() as f64
+    };
+    let t_h2h = time(&mut h2h);
+    let t_post = time(&mut postmhl);
+    assert!(
+        t_post < t_h2h * 5.0,
+        "PostMHL final stage ({t_post:.2e}s) should be within 5x of DH2H ({t_h2h:.2e}s)"
+    );
+}
+
+#[test]
+fn multi_stage_availability_increases_staged_throughput() {
+    // The Figure 1 argument in model form: with identical total update time,
+    // an index that can serve (even slow) queries during maintenance has a
+    // strictly higher staged throughput than one that is blocked throughout.
+    let staged = staged_throughput(&[(0.0, 1e-3), (2.0, 1e-5), (8.0, 1e-6)], 1e-6, 120.0);
+    let blocked = staged_throughput(&[(10.0, 1e-6)], 1e-6, 120.0);
+    assert!(staged > blocked);
+}
+
+#[test]
+fn harness_ranks_postmhl_above_bidijkstra_in_throughput() {
+    let g = sample_graph();
+    let config = SystemConfig {
+        update_volume: 100,
+        update_interval: 120.0,
+        max_response_time: 1.0,
+        query_sample: 60,
+    };
+    let harness = ThroughputHarness::new(config, 3, 1);
+    let mut bd = BiDijkstraBaseline::new(g.num_vertices());
+    let mut post = PostMhl::build(&g, PostMhlConfig::default());
+    let r_bd = harness.run(&g, &mut bd);
+    let r_post = harness.run(&g, &mut post);
+    assert!(
+        r_post.throughput() > r_bd.throughput(),
+        "PostMHL throughput {} should exceed BiDijkstra {}",
+        r_post.throughput(),
+        r_bd.throughput()
+    );
+}
+
+#[test]
+fn query_stats_are_finite_and_positive() {
+    let stats = QueryStats::from_samples(&[1e-5, 2e-5, 3e-5]);
+    assert!(stats.mean > 0.0 && stats.mean.is_finite());
+    assert!(stats.variance >= 0.0);
+}
