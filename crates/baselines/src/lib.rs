@@ -1,8 +1,9 @@
 //! # htsp-baselines
 //!
-//! The non-partitioned baselines of the paper's evaluation (§VII-A), wrapped
-//! behind the common [`DynamicSpIndex`] interface so the throughput harness
-//! can drive every algorithm identically:
+//! The non-partitioned baselines of the paper's evaluation (§VII-A), behind
+//! the read/write index API ([`QueryView`] snapshots published by an
+//! [`IndexMaintainer`]) so the throughput harness and the concurrent
+//! `QueryEngine` can drive every algorithm identically:
 //!
 //! * [`BiDijkstraBaseline`] — index-free bidirectional Dijkstra; zero update
 //!   cost, slow queries.
@@ -20,73 +21,117 @@
 
 use htsp_ch::{ChQuery, ContractionHierarchy, OrderingStrategy, ShortcutMode};
 use htsp_graph::{
-    Dist, DynamicSpIndex, Graph, UpdateBatch, UpdateTimeline, VertexId,
+    Dist, Graph, IndexMaintainer, QueryView, ScratchPool, SnapshotPublisher, UpdateBatch,
+    UpdateTimeline, VertexId,
 };
 use htsp_search::BiDijkstra;
 use htsp_td::H2HIndex;
+use std::sync::Arc;
 use std::time::Instant;
+
+/// Snapshot answering with bidirectional Dijkstra on a frozen graph.
+pub struct BiDijkstraView {
+    graph: Arc<Graph>,
+    scratch: Arc<ScratchPool<BiDijkstra>>,
+}
+
+impl BiDijkstraView {
+    /// Creates a view over `graph`, sharing `scratch` searchers.
+    pub fn new(graph: Arc<Graph>, scratch: Arc<ScratchPool<BiDijkstra>>) -> Self {
+        BiDijkstraView { graph, scratch }
+    }
+}
+
+impl QueryView for BiDijkstraView {
+    fn algorithm(&self) -> &'static str {
+        "BiDijkstra"
+    }
+
+    fn stage(&self) -> usize {
+        0
+    }
+
+    fn distance(&self, s: VertexId, t: VertexId) -> Dist {
+        self.scratch.with(|b| b.distance(&self.graph, s, t))
+    }
+
+    fn graph(&self) -> &Graph {
+        &self.graph
+    }
+}
+
+/// Creates a scratch pool of [`BiDijkstra`] searchers for `n`-vertex graphs.
+pub fn bidijkstra_pool(n: usize) -> Arc<ScratchPool<BiDijkstra>> {
+    Arc::new(ScratchPool::new(move || BiDijkstra::new(n)))
+}
 
 /// Index-free baseline: bidirectional Dijkstra on the live graph.
 pub struct BiDijkstraBaseline {
-    searcher: BiDijkstra,
+    graph: Arc<Graph>,
+    scratch: Arc<ScratchPool<BiDijkstra>>,
 }
 
 impl BiDijkstraBaseline {
-    /// Creates the baseline for graphs with `n` vertices.
-    pub fn new(n: usize) -> Self {
+    /// Creates the baseline over `graph`.
+    pub fn new(graph: &Graph) -> Self {
         BiDijkstraBaseline {
-            searcher: BiDijkstra::new(n),
+            graph: Arc::new(graph.clone()),
+            scratch: bidijkstra_pool(graph.num_vertices()),
         }
     }
 }
 
-impl DynamicSpIndex for BiDijkstraBaseline {
+impl IndexMaintainer for BiDijkstraBaseline {
     fn name(&self) -> &'static str {
         "BiDijkstra"
     }
 
-    fn apply_batch(&mut self, _graph: &Graph, _batch: &UpdateBatch) -> UpdateTimeline {
-        // Index-free: nothing to repair.
-        UpdateTimeline::single("U1: on-spot edge update", std::time::Duration::ZERO)
-    }
-
-    fn distance(&mut self, graph: &Graph, s: VertexId, t: VertexId) -> Dist {
-        self.searcher.distance(graph, s, t)
-    }
-}
-
-/// Dynamic Contraction Hierarchies (DCH) baseline.
-pub struct DchBaseline {
-    ch: ContractionHierarchy,
-    query: ChQuery,
-}
-
-impl DchBaseline {
-    /// Builds the CH index over `graph`.
-    pub fn build(graph: &Graph) -> Self {
-        let ch =
-            ContractionHierarchy::build(graph, OrderingStrategy::MinDegree, ShortcutMode::AllPairs);
-        let n = graph.num_vertices();
-        DchBaseline {
-            ch,
-            query: ChQuery::new(n),
-        }
-    }
-}
-
-impl DynamicSpIndex for DchBaseline {
-    fn name(&self) -> &'static str {
-        "DCH"
-    }
-
-    fn apply_batch(&mut self, graph: &Graph, batch: &UpdateBatch) -> UpdateTimeline {
+    fn apply_batch(
+        &mut self,
+        _graph: &Graph,
+        batch: &UpdateBatch,
+        publisher: &SnapshotPublisher,
+    ) -> UpdateTimeline {
+        // U-Stage 1 is the whole maintenance: install the new weights and
+        // republish; there is no index to repair.
         let t = Instant::now();
-        self.ch.apply_batch(graph, batch.as_slice());
-        UpdateTimeline::single("U2: shortcut update", t.elapsed())
+        Arc::make_mut(&mut self.graph).apply_batch(batch);
+        publisher.publish(self.current_view());
+        UpdateTimeline::single("U1: on-spot edge update", t.elapsed())
     }
 
-    fn distance(&mut self, _graph: &Graph, s: VertexId, t: VertexId) -> Dist {
-        self.query.distance(&self.ch, s, t)
+    fn current_view(&self) -> Arc<dyn QueryView> {
+        Arc::new(BiDijkstraView::new(
+            Arc::clone(&self.graph),
+            Arc::clone(&self.scratch),
+        ))
+    }
+}
+
+/// Snapshot answering with a bidirectional upward search over a frozen
+/// contraction hierarchy. Shared by DCH and TOAIN.
+pub struct ChView {
+    name: &'static str,
+    graph: Arc<Graph>,
+    ch: Arc<ContractionHierarchy>,
+    scratch: Arc<ScratchPool<ChQuery>>,
+}
+
+impl QueryView for ChView {
+    fn algorithm(&self) -> &'static str {
+        self.name
+    }
+
+    fn stage(&self) -> usize {
+        0
+    }
+
+    fn distance(&self, s: VertexId, t: VertexId) -> Dist {
+        self.scratch.with(|q| q.distance(&self.ch, s, t))
+    }
+
+    fn graph(&self) -> &Graph {
+        &self.graph
     }
 
     fn index_size_bytes(&self) -> usize {
@@ -94,37 +139,136 @@ impl DynamicSpIndex for DchBaseline {
     }
 }
 
+/// Creates a scratch pool of [`ChQuery`] states for `n`-vertex hierarchies.
+pub fn ch_query_pool(n: usize) -> Arc<ScratchPool<ChQuery>> {
+    Arc::new(ScratchPool::new(move || ChQuery::new(n)))
+}
+
+/// Dynamic Contraction Hierarchies (DCH) baseline.
+pub struct DchBaseline {
+    graph: Arc<Graph>,
+    ch: Arc<ContractionHierarchy>,
+    scratch: Arc<ScratchPool<ChQuery>>,
+}
+
+impl DchBaseline {
+    /// Builds the CH index over `graph`.
+    pub fn build(graph: &Graph) -> Self {
+        let ch =
+            ContractionHierarchy::build(graph, OrderingStrategy::MinDegree, ShortcutMode::AllPairs);
+        DchBaseline {
+            graph: Arc::new(graph.clone()),
+            ch: Arc::new(ch),
+            scratch: ch_query_pool(graph.num_vertices()),
+        }
+    }
+}
+
+impl IndexMaintainer for DchBaseline {
+    fn name(&self) -> &'static str {
+        "DCH"
+    }
+
+    fn apply_batch(
+        &mut self,
+        _graph: &Graph,
+        batch: &UpdateBatch,
+        publisher: &SnapshotPublisher,
+    ) -> UpdateTimeline {
+        let t = Instant::now();
+        let graph = Arc::make_mut(&mut self.graph);
+        graph.apply_batch(batch);
+        Arc::make_mut(&mut self.ch).apply_batch(graph, batch.as_slice());
+        publisher.publish(self.current_view());
+        UpdateTimeline::single("U2: shortcut update", t.elapsed())
+    }
+
+    fn current_view(&self) -> Arc<dyn QueryView> {
+        Arc::new(ChView {
+            name: "DCH",
+            graph: Arc::clone(&self.graph),
+            ch: Arc::clone(&self.ch),
+            scratch: Arc::clone(&self.scratch),
+        })
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        self.ch.index_size_bytes()
+    }
+}
+
+/// Snapshot answering with H2H label lookups on a frozen index.
+pub struct H2hView {
+    graph: Arc<Graph>,
+    h2h: Arc<H2HIndex>,
+}
+
+impl QueryView for H2hView {
+    fn algorithm(&self) -> &'static str {
+        "DH2H"
+    }
+
+    fn stage(&self) -> usize {
+        0
+    }
+
+    fn distance(&self, s: VertexId, t: VertexId) -> Dist {
+        self.h2h.distance(s, t)
+    }
+
+    fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        self.h2h.index_size_bytes()
+    }
+}
+
 /// Dynamic H2H (DH2H) baseline.
 pub struct Dh2hBaseline {
-    h2h: H2HIndex,
+    graph: Arc<Graph>,
+    h2h: Arc<H2HIndex>,
 }
 
 impl Dh2hBaseline {
     /// Builds the H2H index over `graph`.
     pub fn build(graph: &Graph) -> Self {
         Dh2hBaseline {
-            h2h: H2HIndex::build(graph),
+            graph: Arc::new(graph.clone()),
+            h2h: Arc::new(H2HIndex::build(graph)),
         }
     }
 }
 
-impl DynamicSpIndex for Dh2hBaseline {
+impl IndexMaintainer for Dh2hBaseline {
     fn name(&self) -> &'static str {
         "DH2H"
     }
 
-    fn apply_batch(&mut self, graph: &Graph, batch: &UpdateBatch) -> UpdateTimeline {
-        let t0 = Instant::now();
-        let report = self.h2h.apply_batch(graph, batch.as_slice());
+    fn apply_batch(
+        &mut self,
+        _graph: &Graph,
+        batch: &UpdateBatch,
+        publisher: &SnapshotPublisher,
+    ) -> UpdateTimeline {
+        let graph = Arc::make_mut(&mut self.graph);
+        graph.apply_batch(batch);
+        let report = Arc::make_mut(&mut self.h2h).apply_batch(graph, batch.as_slice());
         let mut timeline = UpdateTimeline::default();
         timeline.push("U2: bottom-up shortcut update", report.shortcut_time);
         timeline.push("U3: top-down label update", report.label_time);
-        let _ = t0;
+        // DH2H has a single query stage: the snapshot only becomes available
+        // once the labels are fully repaired (the Figure 1 pain point).
+        publisher.publish(self.current_view());
         timeline
     }
 
-    fn distance(&mut self, _graph: &Graph, s: VertexId, t: VertexId) -> Dist {
-        self.h2h.distance(s, t)
+    fn current_view(&self) -> Arc<dyn QueryView> {
+        Arc::new(H2hView {
+            graph: Arc::clone(&self.graph),
+            h2h: Arc::clone(&self.h2h),
+        })
     }
 
     fn index_size_bytes(&self) -> usize {
@@ -141,8 +285,9 @@ impl DynamicSpIndex for Dh2hBaseline {
 /// behaviour mirrors how the paper adapts TOAIN (designed for static networks)
 /// to the dynamic setting (§VII-A).
 pub struct ToainBaseline {
-    ch: ContractionHierarchy,
-    query: ChQuery,
+    graph: Arc<Graph>,
+    ch: Arc<ContractionHierarchy>,
+    scratch: Arc<ScratchPool<ChQuery>>,
     /// Number of contraction levels kept (cap on index size / refresh cost).
     pub level_cap: usize,
 }
@@ -152,10 +297,10 @@ impl ToainBaseline {
     /// with shortcut insertion (the remainder keeps only original edges).
     pub fn build(graph: &Graph, level_cap: usize) -> Self {
         let ch = Self::build_capped(graph, level_cap);
-        let n = graph.num_vertices();
         ToainBaseline {
-            ch,
-            query: ChQuery::new(n),
+            graph: Arc::new(graph.clone()),
+            ch: Arc::new(ch),
+            scratch: ch_query_pool(graph.num_vertices()),
             level_cap,
         }
     }
@@ -172,23 +317,41 @@ impl ToainBaseline {
             },
         )
     }
+
+    /// Approximate index size in bytes.
+    pub fn index_size_bytes(&self) -> usize {
+        self.ch.index_size_bytes()
+    }
 }
 
-impl DynamicSpIndex for ToainBaseline {
+impl IndexMaintainer for ToainBaseline {
     fn name(&self) -> &'static str {
         "TOAIN"
     }
 
-    fn apply_batch(&mut self, graph: &Graph, _batch: &UpdateBatch) -> UpdateTimeline {
+    fn apply_batch(
+        &mut self,
+        _graph: &Graph,
+        batch: &UpdateBatch,
+        publisher: &SnapshotPublisher,
+    ) -> UpdateTimeline {
         // TOAIN is a static index: adapt it to dynamic networks by refreshing
         // its shortcuts against the updated graph.
         let t = Instant::now();
-        self.ch = Self::build_capped(graph, self.level_cap);
+        let graph = Arc::make_mut(&mut self.graph);
+        graph.apply_batch(batch);
+        self.ch = Arc::new(Self::build_capped(graph, self.level_cap));
+        publisher.publish(self.current_view());
         UpdateTimeline::single("refresh shortcuts", t.elapsed())
     }
 
-    fn distance(&mut self, _graph: &Graph, s: VertexId, t: VertexId) -> Dist {
-        self.query.distance(&self.ch, s, t)
+    fn current_view(&self) -> Arc<dyn QueryView> {
+        Arc::new(ChView {
+            name: "TOAIN",
+            graph: Arc::clone(&self.graph),
+            ch: Arc::clone(&self.ch),
+            scratch: Arc::clone(&self.scratch),
+        })
     }
 
     fn index_size_bytes(&self) -> usize {
@@ -203,13 +366,14 @@ mod tests {
     use htsp_graph::{QuerySet, UpdateGenerator};
     use htsp_search::dijkstra_distance;
 
-    fn exercise(idx: &mut dyn DynamicSpIndex, g: &mut Graph, seed: u64) {
+    fn exercise(idx: &mut dyn IndexMaintainer, g: &mut Graph, seed: u64) {
         let mut gen = UpdateGenerator::new(seed);
         for round in 0..2 {
             let qs = QuerySet::random(g, 60, seed + 100 + round);
+            let view = idx.current_view();
             for q in &qs {
                 assert_eq!(
-                    idx.distance(g, q.source, q.target),
+                    view.distance(q.source, q.target),
                     dijkstra_distance(g, q.source, q.target),
                     "{} mismatch for {:?}",
                     idx.name(),
@@ -218,17 +382,19 @@ mod tests {
             }
             let batch = gen.generate(g, 15);
             g.apply_batch(&batch);
-            let timeline = idx.apply_batch(g, &batch);
+            let publisher = SnapshotPublisher::new(idx.current_view());
+            let timeline = idx.apply_batch(g, &batch, &publisher);
             assert!(!timeline.stages.is_empty());
+            assert!(publisher.version() >= 1, "no snapshot published");
         }
     }
 
     #[test]
     fn bidijkstra_baseline_is_exact() {
         let mut g = grid(8, 8, WeightRange::new(1, 20), 1);
-        let mut idx = BiDijkstraBaseline::new(g.num_vertices());
+        let mut idx = BiDijkstraBaseline::new(&g);
         exercise(&mut idx, &mut g, 11);
-        assert_eq!(idx.index_size_bytes(), 0);
+        assert_eq!(IndexMaintainer::index_size_bytes(&idx), 0);
     }
 
     #[test]
@@ -236,7 +402,7 @@ mod tests {
         let mut g = grid(8, 8, WeightRange::new(1, 20), 2);
         let mut idx = DchBaseline::build(&g);
         exercise(&mut idx, &mut g, 12);
-        assert!(idx.index_size_bytes() > 0);
+        assert!(IndexMaintainer::index_size_bytes(&idx) > 0);
     }
 
     #[test]
@@ -244,7 +410,7 @@ mod tests {
         let mut g = grid(8, 8, WeightRange::new(1, 20), 3);
         let mut idx = Dh2hBaseline::build(&g);
         exercise(&mut idx, &mut g, 13);
-        assert!(idx.index_size_bytes() > 0);
+        assert!(IndexMaintainer::index_size_bytes(&idx) > 0);
     }
 
     #[test]
@@ -263,5 +429,36 @@ mod tests {
         let small = ToainBaseline::build(&g, 2);
         let large = ToainBaseline::build(&g, 256);
         assert!(small.index_size_bytes() >= large.index_size_bytes());
+    }
+
+    #[test]
+    fn published_snapshots_stay_frozen_while_maintainer_moves_on() {
+        // Copy-on-write contract: a snapshot taken before a batch keeps
+        // answering on the old weights even after the maintainer repairs.
+        let mut g = grid(8, 8, WeightRange::new(5, 15), 6);
+        let mut idx = DchBaseline::build(&g);
+        let old_view = idx.current_view();
+        let old_graph = g.clone();
+
+        let mut gen = UpdateGenerator::new(21);
+        let batch = gen.generate(&g, 20);
+        g.apply_batch(&batch);
+        let publisher = SnapshotPublisher::new(idx.current_view());
+        idx.apply_batch(&g, &batch, &publisher);
+
+        let new_view = publisher.snapshot();
+        let qs = QuerySet::random(&g, 40, 9);
+        for q in &qs {
+            assert_eq!(
+                old_view.distance(q.source, q.target),
+                dijkstra_distance(&old_graph, q.source, q.target),
+                "stale view drifted for {q:?}"
+            );
+            assert_eq!(
+                new_view.distance(q.source, q.target),
+                dijkstra_distance(&g, q.source, q.target),
+                "fresh view wrong for {q:?}"
+            );
+        }
     }
 }

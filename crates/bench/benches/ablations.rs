@@ -7,16 +7,18 @@
 //!   MHL (the gap is what the intermediate stages buy during maintenance).
 //! * A3 — TD-partitioning vs. region-growing partitioning: final-stage query
 //!   latency of PostMHL vs. PMHL (Theorem 1: PostMHL reaches the H2H optimum).
+//!
+//! Run with `cargo bench -p htsp-bench --bench ablations`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use htsp_bench::micro;
 use htsp_core::{Mhl, Pmhl, PmhlConfig, PostMhl, PostMhlConfig};
 use htsp_graph::gen::{grid_with_diagonals, WeightRange};
-use htsp_graph::{DynamicSpIndex, QuerySet};
+use htsp_graph::{IndexMaintainer, QuerySet};
 
-fn ablation_cross_boundary(c: &mut Criterion) {
+fn ablation_cross_boundary() {
     let g = grid_with_diagonals(32, 32, WeightRange::new(1, 100), 0.1, 42);
     let queries = QuerySet::random(&g, 256, 9);
-    let mut pmhl = Pmhl::build(
+    let pmhl = Pmhl::build(
         &g,
         PmhlConfig {
             num_partitions: 8,
@@ -24,49 +26,49 @@ fn ablation_cross_boundary(c: &mut Criterion) {
             seed: 1,
         },
     );
-    let mut group = c.benchmark_group("ablation_cross_boundary");
-    group.sample_size(10);
+    let mut group = micro::group("ablation_cross_boundary");
     // Stage 3 = post-boundary (concatenation for cross-partition queries).
-    group.bench_function("post_boundary_concatenation", |b| {
-        let mut it = queries.as_slice().iter().cycle();
-        b.iter(|| {
-            let q = it.next().unwrap();
-            pmhl.distance_at_stage(&g, 3, q.source, q.target)
-        })
+    let post_boundary = pmhl.view_at_stage(3);
+    let mut i = 0usize;
+    group.bench("post_boundary_concatenation", || {
+        let q = &queries.as_slice()[i % queries.len()];
+        i += 1;
+        post_boundary.distance(q.source, q.target)
     });
     // Stage 4 = cross-boundary (flat 2-hop join).
-    group.bench_function("cross_boundary_2hop", |b| {
-        let mut it = queries.as_slice().iter().cycle();
-        b.iter(|| {
-            let q = it.next().unwrap();
-            pmhl.distance_at_stage(&g, 4, q.source, q.target)
-        })
+    let cross_boundary = pmhl.view_at_stage(4);
+    let mut i = 0usize;
+    group.bench("cross_boundary_2hop", || {
+        let q = &queries.as_slice()[i % queries.len()];
+        i += 1;
+        cross_boundary.distance(q.source, q.target)
     });
-    group.finish();
 }
 
-fn ablation_multistage(c: &mut Criterion) {
+fn ablation_multistage() {
     let g = grid_with_diagonals(32, 32, WeightRange::new(1, 100), 0.1, 42);
     let queries = QuerySet::random(&g, 256, 11);
-    let mut mhl = Mhl::build(&g);
-    let mut group = c.benchmark_group("ablation_multistage");
-    group.sample_size(10);
-    for (name, stage) in [("bidijkstra_stage", 0usize), ("ch_stage", 1), ("h2h_stage", 2)] {
-        group.bench_function(name, |b| {
-            let mut it = queries.as_slice().iter().cycle();
-            b.iter(|| {
-                let q = it.next().unwrap();
-                mhl.distance_at_stage(&g, stage, q.source, q.target)
-            })
+    let mhl = Mhl::build(&g);
+    let mut group = micro::group("ablation_multistage");
+    for (name, stage) in [
+        ("bidijkstra_stage", 0usize),
+        ("ch_stage", 1),
+        ("h2h_stage", 2),
+    ] {
+        let view = mhl.view_at_stage(stage);
+        let mut i = 0usize;
+        group.bench(name, || {
+            let q = &queries.as_slice()[i % queries.len()];
+            i += 1;
+            view.distance(q.source, q.target)
         });
     }
-    group.finish();
 }
 
-fn ablation_td_partitioning(c: &mut Criterion) {
+fn ablation_td_partitioning() {
     let g = grid_with_diagonals(32, 32, WeightRange::new(1, 100), 0.1, 42);
     let queries = QuerySet::random(&g, 256, 13);
-    let mut pmhl = Pmhl::build(
+    let pmhl = Pmhl::build(
         &g,
         PmhlConfig {
             num_partitions: 8,
@@ -74,30 +76,26 @@ fn ablation_td_partitioning(c: &mut Criterion) {
             seed: 1,
         },
     );
-    let mut postmhl = PostMhl::build(&g, PostMhlConfig::default());
-    let mut group = c.benchmark_group("ablation_td_partitioning");
-    group.sample_size(10);
-    group.bench_function("pmhl_region_growing_final_stage", |b| {
-        let mut it = queries.as_slice().iter().cycle();
-        b.iter(|| {
-            let q = it.next().unwrap();
-            pmhl.distance(&g, q.source, q.target)
-        })
+    let postmhl = PostMhl::build(&g, PostMhlConfig::default());
+    let mut group = micro::group("ablation_td_partitioning");
+    let pmhl_view = pmhl.current_view();
+    let mut i = 0usize;
+    group.bench("pmhl_region_growing_final_stage", || {
+        let q = &queries.as_slice()[i % queries.len()];
+        i += 1;
+        pmhl_view.distance(q.source, q.target)
     });
-    group.bench_function("postmhl_td_partitioning_final_stage", |b| {
-        let mut it = queries.as_slice().iter().cycle();
-        b.iter(|| {
-            let q = it.next().unwrap();
-            postmhl.distance(&g, q.source, q.target)
-        })
+    let postmhl_view = postmhl.current_view();
+    let mut i = 0usize;
+    group.bench("postmhl_td_partitioning_final_stage", || {
+        let q = &queries.as_slice()[i % queries.len()];
+        i += 1;
+        postmhl_view.distance(q.source, q.target)
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    ablation_cross_boundary,
-    ablation_multistage,
-    ablation_td_partitioning
-);
-criterion_main!(benches);
+fn main() {
+    ablation_cross_boundary();
+    ablation_multistage();
+    ablation_td_partitioning();
+}

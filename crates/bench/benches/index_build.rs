@@ -1,44 +1,29 @@
 //! Fig. 11(a): index construction time per algorithm.
+//!
+//! Run with `cargo bench -p htsp-bench --bench index_build`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use htsp_baselines::{DchBaseline, Dh2hBaseline};
+use htsp_bench::micro;
 use htsp_core::{Pmhl, PmhlConfig, PostMhl, PostMhlConfig};
 use htsp_graph::gen::{grid_with_diagonals, WeightRange};
 use htsp_psp::{NChP, PTdP};
 
-fn bench_build(c: &mut Criterion) {
+fn main() {
     let g = grid_with_diagonals(40, 40, WeightRange::new(1, 100), 0.1, 42);
-    let mut group = c.benchmark_group("index_build");
-    group.sample_size(10);
-    group.bench_with_input(BenchmarkId::new("DCH", g.num_vertices()), &g, |b, g| {
-        b.iter(|| DchBaseline::build(g))
+    let mut group = micro::group(&format!("index_build (|V| = {})", g.num_vertices()));
+    group.bench("DCH", || DchBaseline::build(&g));
+    group.bench("DH2H", || Dh2hBaseline::build(&g));
+    group.bench("N-CH-P", || NChP::build(&g, 8, 1));
+    group.bench("P-TD-P", || PTdP::build(&g, 8, 1));
+    group.bench("PMHL", || {
+        Pmhl::build(
+            &g,
+            PmhlConfig {
+                num_partitions: 8,
+                num_threads: 4,
+                seed: 1,
+            },
+        )
     });
-    group.bench_with_input(BenchmarkId::new("DH2H", g.num_vertices()), &g, |b, g| {
-        b.iter(|| Dh2hBaseline::build(g))
-    });
-    group.bench_with_input(BenchmarkId::new("N-CH-P", g.num_vertices()), &g, |b, g| {
-        b.iter(|| NChP::build(g, 8, 1))
-    });
-    group.bench_with_input(BenchmarkId::new("P-TD-P", g.num_vertices()), &g, |b, g| {
-        b.iter(|| PTdP::build(g, 8, 1))
-    });
-    group.bench_with_input(BenchmarkId::new("PMHL", g.num_vertices()), &g, |b, g| {
-        b.iter(|| {
-            Pmhl::build(
-                g,
-                PmhlConfig {
-                    num_partitions: 8,
-                    num_threads: 4,
-                    seed: 1,
-                },
-            )
-        })
-    });
-    group.bench_with_input(BenchmarkId::new("PostMHL", g.num_vertices()), &g, |b, g| {
-        b.iter(|| PostMhl::build(g, PostMhlConfig::default()))
-    });
-    group.finish();
+    group.bench("PostMHL", || PostMhl::build(&g, PostMhlConfig::default()));
 }
-
-criterion_group!(benches, bench_build);
-criterion_main!(benches);

@@ -1,32 +1,35 @@
 //! Fig. 11(b): query latency per algorithm (fully updated index).
+//!
+//! Run with `cargo bench -p htsp-bench --bench query_latency`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use htsp_baselines::{BiDijkstraBaseline, DchBaseline, Dh2hBaseline};
+use htsp_bench::micro;
 use htsp_core::{Pmhl, PmhlConfig, PostMhl, PostMhlConfig};
 use htsp_graph::gen::{grid_with_diagonals, WeightRange};
-use htsp_graph::{DynamicSpIndex, QuerySet};
+use htsp_graph::{IndexMaintainer, QuerySet};
 use htsp_psp::{NChP, PTdP};
 
-fn bench_queries(c: &mut Criterion) {
+fn main() {
     let g = grid_with_diagonals(40, 40, WeightRange::new(1, 100), 0.1, 42);
     let queries = QuerySet::random(&g, 256, 7);
-    let mut group = c.benchmark_group("query_latency");
-    group.sample_size(10);
+    let mut group = micro::group("query_latency");
 
+    // The snapshot is taken once, outside the timed loop: the bench measures
+    // query latency, not per-call view construction.
     macro_rules! bench_alg {
         ($name:expr, $idx:expr) => {{
-            let mut idx = $idx;
-            group.bench_function($name, |b| {
-                let mut it = queries.as_slice().iter().cycle();
-                b.iter(|| {
-                    let q = it.next().unwrap();
-                    idx.distance(&g, q.source, q.target)
-                })
+            let idx = $idx;
+            let view = idx.current_view();
+            let mut i = 0usize;
+            group.bench($name, || {
+                let q = &queries.as_slice()[i % queries.len()];
+                i += 1;
+                view.distance(q.source, q.target)
             });
         }};
     }
 
-    bench_alg!("BiDijkstra", BiDijkstraBaseline::new(g.num_vertices()));
+    bench_alg!("BiDijkstra", BiDijkstraBaseline::new(&g));
     bench_alg!("DCH", DchBaseline::build(&g));
     bench_alg!("DH2H", Dh2hBaseline::build(&g));
     bench_alg!("N-CH-P", NChP::build(&g, 8, 1));
@@ -43,8 +46,4 @@ fn bench_queries(c: &mut Criterion) {
         )
     );
     bench_alg!("PostMHL", PostMhl::build(&g, PostMhlConfig::default()));
-    group.finish();
 }
-
-criterion_group!(benches, bench_queries);
-criterion_main!(benches);

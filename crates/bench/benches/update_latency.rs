@@ -1,33 +1,37 @@
 //! Fig. 11(c): batch-update (index maintenance) latency per algorithm.
+//!
+//! Timed through the staged-snapshot API, so the numbers include the
+//! copy-on-write cost of keeping the pre-batch snapshot servable during the
+//! repair — the realistic serving-mode price, not bare repair work (see the
+//! measurement caveat in `htsp_graph::index_api`).
+//!
+//! Run with `cargo bench -p htsp-bench --bench update_latency`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use htsp_baselines::{DchBaseline, Dh2hBaseline};
+use htsp_bench::micro;
 use htsp_core::{Pmhl, PmhlConfig, PostMhl, PostMhlConfig};
 use htsp_graph::gen::{grid_with_diagonals, WeightRange};
 use htsp_graph::{DynamicSpIndex, UpdateGenerator};
 use htsp_psp::{NChP, PTdP};
 
-fn bench_updates(c: &mut Criterion) {
+fn main() {
     let g = grid_with_diagonals(32, 32, WeightRange::new(1, 100), 0.1, 42);
-    let mut group = c.benchmark_group("update_latency");
-    group.sample_size(10);
+    let mut group = micro::group("update_latency (batch of 100 edges)");
 
     macro_rules! bench_alg {
         ($name:expr, $build:expr) => {{
-            group.bench_function($name, |b| {
-                b.iter_batched(
-                    || {
-                        let idx = $build;
-                        let mut gen = UpdateGenerator::new(3);
-                        let batch = gen.generate(&g, 100);
-                        let mut updated = g.clone();
-                        updated.apply_batch(&batch);
-                        (idx, updated, batch)
-                    },
-                    |(mut idx, updated, batch)| idx.apply_batch(&updated, &batch),
-                    criterion::BatchSize::LargeInput,
-                )
-            });
+            group.bench_with_setup(
+                $name,
+                || {
+                    let idx = $build;
+                    let mut gen = UpdateGenerator::new(3);
+                    let batch = gen.generate(&g, 100);
+                    let mut updated = g.clone();
+                    updated.apply_batch(&batch);
+                    (idx, updated, batch)
+                },
+                |(mut idx, updated, batch)| idx.apply_batch(&updated, &batch),
+            );
         }};
     }
 
@@ -47,8 +51,4 @@ fn bench_updates(c: &mut Criterion) {
         )
     );
     bench_alg!("PostMHL", PostMhl::build(&g, PostMhlConfig::default()));
-    group.finish();
 }
-
-criterion_group!(benches, bench_updates);
-criterion_main!(benches);

@@ -1,0 +1,233 @@
+//! `bench-pr1` — emits the machine-readable `BENCH_pr1.json` perf snapshot:
+//! measured QPS (concurrent `QueryEngine`, 4 workers) next to the modeled
+//! Lemma 1 bound for PostMHL, PMHL, DCH, and BiDijkstra on a 64×64 grid.
+//!
+//! Usage: `cargo run --release -p htsp-bench --bin bench-pr1 [output.json]`
+//!
+//! Later PRs append their own `BENCH_prN.json`, giving the repository a perf
+//! trajectory to compare against.
+
+use htsp_baselines::{BiDijkstraBaseline, DchBaseline};
+use htsp_core::{Pmhl, PmhlConfig, PostMhl, PostMhlConfig};
+use htsp_graph::gen::{grid_with_diagonals, WeightRange};
+use htsp_graph::IndexMaintainer;
+use htsp_throughput::{QueryEngine, SystemConfig, ThroughputHarness};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Minimal JSON value writer (serde is unavailable offline).
+enum Json {
+    Num(f64),
+    Int(u64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(&'static str, Json)>),
+}
+
+impl Json {
+    fn render(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        match self {
+            Json::Num(x) => {
+                if x.is_finite() {
+                    write!(out, "{x}").unwrap();
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Int(x) => write!(out, "{x}").unwrap(),
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32).unwrap(),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    write!(out, "{pad}  ").unwrap();
+                    item.render(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                write!(out, "{pad}]").unwrap();
+            }
+            Json::Obj(fields) => {
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    write!(out, "{pad}  \"{k}\": ").unwrap();
+                    v.render(out, indent + 1);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                write!(out, "{pad}}}").unwrap();
+            }
+        }
+    }
+
+    fn to_string_pretty(&self) -> String {
+        let mut s = String::new();
+        self.render(&mut s, 0);
+        s.push('\n');
+        s
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr1.json".to_string());
+
+    // The ISSUE-mandated workload: a 64×64 grid road network.
+    let road = grid_with_diagonals(64, 64, WeightRange::new(1, 100), 0.1, 42);
+    eprintln!(
+        "bench-pr1: 64x64 grid, |V| = {}, |E| = {}",
+        road.num_vertices(),
+        road.num_edges()
+    );
+
+    let system = SystemConfig {
+        update_volume: 200,
+        update_interval: 120.0,
+        max_response_time: 1.0,
+        query_sample: 100,
+    };
+    let harness = ThroughputHarness::new(system, 7, 2);
+    let engine = QueryEngine::builder()
+        .workers(4)
+        .batches(3)
+        .update_volume(200)
+        .pause_between_batches(Duration::from_millis(100))
+        .seed(7)
+        .build();
+
+    type Factory<'a> = Box<dyn Fn() -> Box<dyn IndexMaintainer> + 'a>;
+    let algorithms: Vec<(&'static str, Factory)> = vec![
+        (
+            "BiDijkstra",
+            Box::new(|| Box::new(BiDijkstraBaseline::new(&road))),
+        ),
+        ("DCH", Box::new(|| Box::new(DchBaseline::build(&road)))),
+        (
+            "PMHL",
+            Box::new(|| {
+                Box::new(Pmhl::build(
+                    &road,
+                    PmhlConfig {
+                        num_partitions: 8,
+                        num_threads: 4,
+                        seed: 1,
+                    },
+                ))
+            }),
+        ),
+        (
+            "PostMHL",
+            Box::new(|| Box::new(PostMhl::build(&road, PostMhlConfig::default()))),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, build) in &algorithms {
+        // Fresh maintainers per phase: both harness and engine generate their
+        // batches from the same seed against the pristine graph, so reusing
+        // one instance would make the engine's replays no-op repairs.
+        eprintln!("bench-pr1: running {name} (model harness)...");
+        let mut maintainer = build();
+        let model = harness.run(&road, maintainer.as_mut());
+        eprintln!("bench-pr1: running {name} (concurrent engine)...");
+        let mut maintainer = build();
+        let measured = engine.run(&road, maintainer.as_mut());
+        eprintln!(
+            "bench-pr1: {name}: modeled λ*_q = {:.1} q/s, measured = {:.1} q/s ({} queries)",
+            model.throughput(),
+            measured.measured_qps,
+            measured.total_queries
+        );
+        rows.push(Json::Obj(vec![
+            ("algorithm", Json::Str(name.to_string())),
+            ("lemma1_qps", Json::Num(model.lemma1_throughput)),
+            ("staged_qps", Json::Num(model.staged_throughput)),
+            ("modeled_qps", Json::Num(model.throughput())),
+            ("avg_update_time_s", Json::Num(model.avg_update_time)),
+            ("avg_query_time_us", Json::Num(model.avg_query_time * 1e6)),
+            ("index_bytes", Json::Int(model.index_size_bytes as u64)),
+            ("measured_qps", Json::Num(measured.measured_qps)),
+            ("measured_queries", Json::Int(measured.total_queries)),
+            ("measured_wall_time_s", Json::Num(measured.wall_time)),
+            ("query_workers", Json::Int(measured.num_workers as u64)),
+            (
+                "per_stage_queries",
+                Json::Arr(
+                    measured
+                        .per_stage_queries
+                        .iter()
+                        .map(|&c| Json::Int(c))
+                        .collect(),
+                ),
+            ),
+            (
+                "snapshot_publications",
+                Json::Arr(
+                    measured
+                        .publications
+                        .iter()
+                        .map(|&(t, s)| {
+                            Json::Obj(vec![
+                                ("elapsed_s", Json::Num(t)),
+                                ("stage", Json::Int(s as u64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]));
+    }
+
+    let doc = Json::Obj(vec![
+        ("bench", Json::Str("pr1".to_string())),
+        (
+            "description",
+            Json::Str(
+                "Measured QPS (concurrent QueryEngine) vs modeled Lemma 1 bound after the \
+                 QueryView/IndexMaintainer API split"
+                    .to_string(),
+            ),
+        ),
+        (
+            "graph",
+            Json::Obj(vec![
+                ("kind", Json::Str("grid_with_diagonals 64x64".to_string())),
+                ("vertices", Json::Int(road.num_vertices() as u64)),
+                ("edges", Json::Int(road.num_edges() as u64)),
+            ]),
+        ),
+        (
+            "system",
+            Json::Obj(vec![
+                ("update_volume", Json::Int(system.update_volume as u64)),
+                ("update_interval_s", Json::Num(system.update_interval)),
+                ("max_response_time_s", Json::Num(system.max_response_time)),
+            ]),
+        ),
+        ("algorithms", Json::Arr(rows)),
+    ]);
+
+    std::fs::write(&out_path, doc.to_string_pretty()).expect("write BENCH_pr1.json");
+    eprintln!("bench-pr1: wrote {out_path}");
+}

@@ -32,6 +32,9 @@ use htsp_partition::TdPartitionConfig;
 use htsp_throughput::{SystemConfig, ThroughputHarness};
 use std::time::Instant;
 
+/// A deferred algorithm constructor (used to time index construction).
+type AlgorithmFactory<'a> = Box<dyn Fn() -> Box<dyn DynamicSpIndex> + 'a>;
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let which = args.get(1).map(|s| s.as_str()).unwrap_or("all");
@@ -103,7 +106,10 @@ fn exp1_partition_number(full: bool) {
     let (name, g) = &experiment_graphs(full)[0];
     println!("dataset: {name}");
     let harness = ThroughputHarness::new(laptop_config(), 7, 2);
-    println!("{:>5} {:>8} {:>14} {:>14}", "k", "|B|", "t_u (s)", "λ*_q (q/s)");
+    println!(
+        "{:>5} {:>8} {:>14} {:>14}",
+        "k", "|B|", "t_u (s)", "λ*_q (q/s)"
+    );
     for k in [4usize, 8, 16, 32] {
         let mut pmhl = Pmhl::build(
             g,
@@ -137,14 +143,18 @@ fn exp2_index_performance(full: bool) {
         let mut updated = g.clone();
         updated.apply_batch(&batch);
         // Construction time is measured by rebuilding each algorithm.
-        let specs: Vec<(&str, Box<dyn Fn() -> Box<dyn DynamicSpIndex>>)> = vec![
+        let specs: Vec<(&str, AlgorithmFactory)> = vec![
             (
                 "DCH",
-                Box::new(|| Box::new(htsp_baselines::DchBaseline::build(&g)) as Box<dyn DynamicSpIndex>),
+                Box::new(|| {
+                    Box::new(htsp_baselines::DchBaseline::build(&g)) as Box<dyn DynamicSpIndex>
+                }),
             ),
             (
                 "DH2H",
-                Box::new(|| Box::new(htsp_baselines::Dh2hBaseline::build(&g)) as Box<dyn DynamicSpIndex>),
+                Box::new(|| {
+                    Box::new(htsp_baselines::Dh2hBaseline::build(&g)) as Box<dyn DynamicSpIndex>
+                }),
             ),
             (
                 "N-CH-P",
@@ -170,7 +180,8 @@ fn exp2_index_performance(full: bool) {
             (
                 "PostMHL",
                 Box::new(|| {
-                    Box::new(PostMhl::build(&g, PostMhlConfig::default())) as Box<dyn DynamicSpIndex>
+                    Box::new(PostMhl::build(&g, PostMhlConfig::default()))
+                        as Box<dyn DynamicSpIndex>
                 }),
             ),
         ];
@@ -276,12 +287,17 @@ fn exp6_thread_scaling(full: bool) {
     let (name, g) = &experiment_graphs(full)[0];
     println!("dataset: {name}");
     let harness = ThroughputHarness::new(laptop_config(), 5, 2);
-    let max_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let max_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
     let mut thread_counts = vec![1usize, 2, 4];
     if max_threads >= 8 {
         thread_counts.push(8);
     }
-    println!("{:>8} {:>16} {:>16} {:>14}", "threads", "PMHL t_u (s)", "PostMHL t_u (s)", "PostMHL λ*");
+    println!(
+        "{:>8} {:>16} {:>16} {:>14}",
+        "threads", "PMHL t_u (s)", "PostMHL t_u (s)", "PostMHL λ*"
+    );
     for &p in &thread_counts {
         let mut pmhl = Pmhl::build(
             g,
@@ -321,7 +337,10 @@ fn exp7_postmhl_ke(full: bool) {
     let (name, g) = &experiment_graphs(full)[0];
     println!("dataset: {name}");
     let harness = ThroughputHarness::new(laptop_config(), 5, 2);
-    println!("{:>6} {:>12} {:>14} {:>14}", "k_e", "partitions", "t_u (s)", "λ*_q (q/s)");
+    println!(
+        "{:>6} {:>12} {:>14} {:>14}",
+        "k_e", "partitions", "t_u (s)", "λ*_q (q/s)"
+    );
     for ke in [4usize, 8, 16, 32, 64] {
         let mut idx = PostMhl::build(
             g,

@@ -5,18 +5,21 @@
 //!
 //! The `htsp-experiments` binary (see `src/bin/experiments.rs`) exposes one
 //! subcommand per experiment (Exp. 1 – Exp. 8 plus the dataset table), and the
-//! Criterion benches under `benches/` cover the micro-level measurements
-//! (index construction, query latency per algorithm, update latency per
-//! algorithm, and the ablations listed in DESIGN.md).
+//! benches under `benches/` (plain `harness = false` programs built on
+//! [`micro`]) cover the micro-level measurements (index construction, query
+//! latency per algorithm, update latency per algorithm, and the ablations
+//! listed in DESIGN.md).
 //!
 //! This library crate holds the shared plumbing: dataset presets, algorithm
-//! registry, and table formatting.
+//! registry, table formatting, and the [`micro`] timing loop.
 
 #![warn(missing_docs)]
 
+pub mod micro;
+
 use htsp_baselines::{BiDijkstraBaseline, DchBaseline, Dh2hBaseline, ToainBaseline};
 use htsp_core::{Pmhl, PmhlConfig, PostMhl, PostMhlConfig};
-use htsp_graph::{gen, DynamicSpIndex, Graph};
+use htsp_graph::{gen, Graph, IndexMaintainer};
 use htsp_partition::TdPartitionConfig;
 use htsp_psp::{NChP, PTdP};
 use htsp_throughput::{SystemConfig, ThroughputHarness, ThroughputResult};
@@ -63,8 +66,8 @@ pub fn build_algorithms(
     set: AlgorithmSet,
     k: usize,
     threads: usize,
-) -> Vec<Box<dyn DynamicSpIndex>> {
-    let mut out: Vec<Box<dyn DynamicSpIndex>> = Vec::new();
+) -> Vec<Box<dyn IndexMaintainer>> {
+    let mut out: Vec<Box<dyn IndexMaintainer>> = Vec::new();
     let pmhl_cfg = PmhlConfig {
         num_partitions: k,
         num_threads: threads,
@@ -93,7 +96,7 @@ pub fn build_algorithms(
             out.push(Box::new(PostMhl::build(graph, postmhl_cfg)));
         }
         AlgorithmSet::All => {
-            out.push(Box::new(BiDijkstraBaseline::new(graph.num_vertices())));
+            out.push(Box::new(BiDijkstraBaseline::new(graph)));
             out.push(Box::new(DchBaseline::build(graph)));
             out.push(Box::new(Dh2hBaseline::build(graph)));
             out.push(Box::new(ToainBaseline::build(graph, 64)));

@@ -1,0 +1,126 @@
+//! A minimal micro-benchmark timing loop used by the `benches/` programs.
+//!
+//! Criterion is unavailable offline, so the bench targets are plain
+//! `harness = false` binaries built on this module: each routine is warmed
+//! up, then run repeatedly until a time budget is spent, and the mean / min
+//! per-iteration wall time is printed in a fixed-width table.
+
+use std::time::{Duration, Instant};
+
+/// Minimum measurement time per benchmark routine.
+const BUDGET: Duration = Duration::from_millis(300);
+/// Iterations used to estimate the per-iteration cost before measuring.
+const WARMUP_ITERS: u32 = 3;
+
+/// One named group of related measurements (mirrors a criterion group).
+pub struct Group(());
+
+/// Starts a measurement group and prints its header.
+pub fn group(name: &str) -> Group {
+    println!("\n== {name} ==");
+    println!(
+        "{:<40} {:>14} {:>14} {:>8}",
+        "routine", "mean", "min", "iters"
+    );
+    Group(())
+}
+
+fn format_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.3} µs", s * 1e6)
+    }
+}
+
+impl Group {
+    /// Measures `routine` (called back-to-back) and prints one table row.
+    pub fn bench<R>(&mut self, label: &str, mut routine: impl FnMut() -> R) -> Duration {
+        // Warm-up and cost estimate.
+        let t = Instant::now();
+        for _ in 0..WARMUP_ITERS {
+            std::hint::black_box(routine());
+        }
+        let est = t.elapsed() / WARMUP_ITERS;
+        let iters = if est.is_zero() {
+            1000
+        } else {
+            (BUDGET.as_nanos() / est.as_nanos().max(1)).clamp(1, 1_000_000) as u32
+        };
+
+        let mut min = Duration::MAX;
+        let total_t = Instant::now();
+        for _ in 0..iters {
+            let it = Instant::now();
+            std::hint::black_box(routine());
+            let e = it.elapsed();
+            if e < min {
+                min = e;
+            }
+        }
+        let mean = total_t.elapsed() / iters;
+        println!(
+            "{:<40} {:>14} {:>14} {:>8}",
+            label,
+            format_duration(mean),
+            format_duration(min),
+            iters
+        );
+        mean
+    }
+
+    /// Measures `routine` with a fresh `setup()` product per iteration;
+    /// only the `routine` portion is timed, but the *untimed* setup cost
+    /// still bounds the iteration count: the loop stops once the overall
+    /// wall clock (setup included) exceeds the budget, so a cheap routine
+    /// with an expensive setup (e.g. a full index rebuild per batch-update
+    /// iteration) cannot run away.
+    pub fn bench_with_setup<S, R>(
+        &mut self,
+        label: &str,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> R,
+    ) -> Duration {
+        const MAX_ITERS: u32 = 50;
+        let wall = Instant::now();
+        let wall_budget = BUDGET * 4;
+        let mut iters = 0u32;
+        let mut min = Duration::MAX;
+        let mut total = Duration::ZERO;
+        while iters == 0 || (iters < MAX_ITERS && wall.elapsed() < wall_budget) {
+            let input = setup();
+            let it = Instant::now();
+            std::hint::black_box(routine(input));
+            let e = it.elapsed();
+            total += e;
+            if e < min {
+                min = e;
+            }
+            iters += 1;
+        }
+        let mean = total / iters;
+        println!(
+            "{:<40} {:>14} {:>14} {:>8}",
+            label,
+            format_duration(mean),
+            format_duration(min),
+            iters
+        );
+        mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_positive_mean() {
+        let mut g = group("smoke");
+        let mean = g.bench("noop-ish", || std::hint::black_box(1u64 + 1));
+        assert!(mean >= Duration::ZERO);
+    }
+}

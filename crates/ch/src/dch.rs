@@ -96,13 +96,16 @@ impl ContractionHierarchy {
                     });
                     // Every pair of v's upward neighbors containing u is
                     // supported by this shortcut: invalidate them.
-                    let ups: Vec<VertexId> =
-                        self.up_arcs(v).iter().map(|&(w, _)| w).collect();
+                    let ups: Vec<VertexId> = self.up_arcs(v).iter().map(|&(w, _)| w).collect();
                     for &w in &ups {
                         if w == u {
                             continue;
                         }
-                        let (lo, hi) = if self.order().higher(w, u) { (u, w) } else { (w, u) };
+                        let (lo, hi) = if self.order().higher(w, u) {
+                            (u, w)
+                        } else {
+                            (w, u)
+                        };
                         affected[lo.index()].insert(hi.0);
                     }
                 }
@@ -172,7 +175,10 @@ mod tests {
         let batch = gen.generate(&g, 20);
         g.apply_batch(&batch);
         let changes = ch.apply_batch(&g, batch.as_slice());
-        assert!(!changes.is_empty(), "weight decreases should change shortcuts");
+        assert!(
+            !changes.is_empty(),
+            "weight decreases should change shortcuts"
+        );
         check_queries(&g, &ch, 120, 5);
     }
 
@@ -207,7 +213,8 @@ mod tests {
     fn updated_ch_matches_freshly_built_ch() {
         let mut g = grid(6, 6, WeightRange::new(5, 25), 13);
         let order = crate::ordering::mde_order(&g);
-        let mut ch = ContractionHierarchy::build_with_order(&g, order.clone(), ShortcutMode::AllPairs);
+        let mut ch =
+            ContractionHierarchy::build_with_order(&g, order.clone(), ShortcutMode::AllPairs);
         let mut gen = UpdateGenerator::new(8);
         let batch = gen.generate(&g, 12);
         g.apply_batch(&batch);

@@ -39,6 +39,12 @@ pub struct ContractionHierarchy {
     extra_shortcuts: usize,
 }
 
+impl AsRef<ContractionHierarchy> for ContractionHierarchy {
+    fn as_ref(&self) -> &ContractionHierarchy {
+        self
+    }
+}
+
 impl ContractionHierarchy {
     /// Builds a CH over `graph` using the given ordering strategy and shortcut
     /// mode.
@@ -76,10 +82,8 @@ impl ContractionHierarchy {
             let v = order.vertex_at(r);
             let vi = v.index();
             // All remaining neighbors are higher-ranked by construction.
-            let mut nbrs: Vec<(VertexId, Weight)> = adj[vi]
-                .iter()
-                .map(|(&u, &w)| (VertexId(u), w))
-                .collect();
+            let mut nbrs: Vec<(VertexId, Weight)> =
+                adj[vi].iter().map(|(&u, &w)| (VertexId(u), w)).collect();
             nbrs.sort_by_key(|&(u, _)| order.rank(u));
             // Record the upward arcs of v.
             up[vi] = nbrs.clone();
@@ -119,8 +123,8 @@ impl ContractionHierarchy {
             adj[vi].shrink_to_fit();
         }
         let mut down: Vec<Vec<VertexId>> = vec![Vec::new(); n];
-        for v in 0..n {
-            for &(u, _) in &up[v] {
+        for (v, ups) in up.iter().enumerate() {
+            for &(u, _) in ups {
                 down[u.index()].push(VertexId::from_index(v));
             }
         }
@@ -264,7 +268,7 @@ fn has_witness(
             }
         }
     }
-    dist.get(&b.0).map_or(false, |&d| d <= limit)
+    dist.get(&b.0).is_some_and(|&d| d <= limit)
 }
 
 #[cfg(test)]
@@ -287,7 +291,8 @@ mod tests {
     #[test]
     fn all_pairs_ch_exact_on_grid() {
         let g = grid(8, 8, WeightRange::new(1, 20), 5);
-        let ch = ContractionHierarchy::build(&g, OrderingStrategy::MinDegree, ShortcutMode::AllPairs);
+        let ch =
+            ContractionHierarchy::build(&g, OrderingStrategy::MinDegree, ShortcutMode::AllPairs);
         check_all_queries(&g, &ch, 150, 11);
     }
 
@@ -307,7 +312,8 @@ mod tests {
     #[test]
     fn witness_pruning_never_adds_more_arcs() {
         let g = grid(10, 10, WeightRange::new(1, 9), 3);
-        let all = ContractionHierarchy::build(&g, OrderingStrategy::MinDegree, ShortcutMode::AllPairs);
+        let all =
+            ContractionHierarchy::build(&g, OrderingStrategy::MinDegree, ShortcutMode::AllPairs);
         let pruned = ContractionHierarchy::build(
             &g,
             OrderingStrategy::MinDegree,
@@ -321,20 +327,26 @@ mod tests {
     #[test]
     fn all_pairs_ch_exact_on_geometric() {
         let g = random_geometric(220, 3, WeightRange::new(1, 50), 19);
-        let ch = ContractionHierarchy::build(&g, OrderingStrategy::MinDegree, ShortcutMode::AllPairs);
+        let ch =
+            ContractionHierarchy::build(&g, OrderingStrategy::MinDegree, ShortcutMode::AllPairs);
         check_all_queries(&g, &ch, 100, 23);
     }
 
     #[test]
     fn up_arcs_point_to_higher_ranks() {
         let g = grid(6, 6, WeightRange::new(1, 7), 2);
-        let ch = ContractionHierarchy::build(&g, OrderingStrategy::MinDegree, ShortcutMode::AllPairs);
+        let ch =
+            ContractionHierarchy::build(&g, OrderingStrategy::MinDegree, ShortcutMode::AllPairs);
         for v in g.vertices() {
             for &(u, _) in ch.up_arcs(v) {
                 assert!(ch.order().higher(u, v), "{u} should outrank {v}");
             }
             // Sorted ascending by rank.
-            let ranks: Vec<u32> = ch.up_arcs(v).iter().map(|&(u, _)| ch.order().rank(u)).collect();
+            let ranks: Vec<u32> = ch
+                .up_arcs(v)
+                .iter()
+                .map(|&(u, _)| ch.order().rank(u))
+                .collect();
             let mut sorted = ranks.clone();
             sorted.sort_unstable();
             assert_eq!(ranks, sorted);
@@ -344,7 +356,8 @@ mod tests {
     #[test]
     fn down_neighbors_are_inverse_of_up() {
         let g = grid(5, 5, WeightRange::new(1, 7), 2);
-        let ch = ContractionHierarchy::build(&g, OrderingStrategy::MinDegree, ShortcutMode::AllPairs);
+        let ch =
+            ContractionHierarchy::build(&g, OrderingStrategy::MinDegree, ShortcutMode::AllPairs);
         for v in g.vertices() {
             for &(u, _) in ch.up_arcs(v) {
                 assert!(ch.down_neighbors(u).contains(&v));
@@ -371,12 +384,19 @@ mod tests {
     #[test]
     fn shortcut_weight_lookup() {
         let g = grid(4, 4, WeightRange::new(2, 2), 2);
-        let ch = ContractionHierarchy::build(&g, OrderingStrategy::MinDegree, ShortcutMode::AllPairs);
+        let ch =
+            ContractionHierarchy::build(&g, OrderingStrategy::MinDegree, ShortcutMode::AllPairs);
         // Every original edge (u, v) must appear as an upward arc of the
         // lower-ranked endpoint with weight <= original.
         for (_, u, v, w) in g.edges() {
-            let (lo, hi) = if ch.order().higher(u, v) { (v, u) } else { (u, v) };
-            let sc = ch.shortcut_weight(lo, hi).expect("edge must be an upward arc");
+            let (lo, hi) = if ch.order().higher(u, v) {
+                (v, u)
+            } else {
+                (u, v)
+            };
+            let sc = ch
+                .shortcut_weight(lo, hi)
+                .expect("edge must be an upward arc");
             assert!(sc <= w);
         }
     }
@@ -384,7 +404,8 @@ mod tests {
     #[test]
     fn index_size_is_positive() {
         let g = grid(5, 5, WeightRange::new(1, 9), 2);
-        let ch = ContractionHierarchy::build(&g, OrderingStrategy::MinDegree, ShortcutMode::AllPairs);
+        let ch =
+            ContractionHierarchy::build(&g, OrderingStrategy::MinDegree, ShortcutMode::AllPairs);
         assert!(ch.index_size_bytes() > 0);
         assert!(ch.num_arcs() >= g.num_edges());
     }

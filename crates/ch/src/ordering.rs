@@ -42,10 +42,7 @@ impl VertexOrder {
             assert_eq!(rank[v.index()], u32::MAX, "vertex {v} appears twice");
             rank[v.index()] = r as u32;
         }
-        VertexOrder {
-            rank,
-            by_rank: seq,
-        }
+        VertexOrder { rank, by_rank: seq }
     }
 
     /// Number of vertices covered by the order.
@@ -113,8 +110,8 @@ pub fn mde_order(graph: &Graph) -> VertexOrder {
     }
     // Max-heap of Reverse((degree, vertex)) == min-heap.
     let mut heap: BinaryHeap<std::cmp::Reverse<(usize, u32)>> = BinaryHeap::with_capacity(n);
-    for v in 0..n {
-        heap.push(std::cmp::Reverse((adj[v].len(), v as u32)));
+    for (v, a) in adj.iter().enumerate() {
+        heap.push(std::cmp::Reverse((a.len(), v as u32)));
     }
     let mut contracted = vec![false; n];
     let mut seq = Vec::with_capacity(n);
@@ -131,7 +128,11 @@ pub fn mde_order(graph: &Graph) -> VertexOrder {
         contracted[vi] = true;
         seq.push(VertexId(v));
         // Connect remaining neighbors into a clique.
-        let nbrs: Vec<u32> = adj[vi].iter().copied().filter(|&u| !contracted[u as usize]).collect();
+        let nbrs: Vec<u32> = adj[vi]
+            .iter()
+            .copied()
+            .filter(|&u| !contracted[u as usize])
+            .collect();
         for (i, &a) in nbrs.iter().enumerate() {
             let ai = a as usize;
             adj[ai].remove(&v);
@@ -235,8 +236,9 @@ mod tests {
     #[test]
     fn boundary_first_order_puts_boundary_on_top() {
         let g = grid(6, 6, WeightRange::default(), 3);
-        let boundary: FxHashSet<VertexId> =
-            [VertexId(0), VertexId(17), VertexId(35)].into_iter().collect();
+        let boundary: FxHashSet<VertexId> = [VertexId(0), VertexId(17), VertexId(35)]
+            .into_iter()
+            .collect();
         let order = boundary_first_order(&g, &boundary);
         let n = g.num_vertices() as u32;
         for v in g.vertices() {

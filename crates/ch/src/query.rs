@@ -97,9 +97,7 @@ impl ChQuery {
             for &(u, w) in ch.up_arcs(v) {
                 let nd = d.saturating_add_weight(w);
                 if nd < dist_this[u.index()] {
-                    if dist_this[u.index()].is_inf() && dist_other[u.index()].is_inf() {
-                        self.touched.push(u);
-                    } else if dist_this[u.index()].is_inf() {
+                    if dist_this[u.index()].is_inf() {
                         self.touched.push(u);
                     }
                     dist_this[u.index()] = nd;

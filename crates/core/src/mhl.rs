@@ -4,16 +4,18 @@
 //! shortcuts DCH needs, so the CH-style query can be released as soon as the
 //! shortcut phase finishes, long before the label phase completes. MHL
 //! packages that observation for a non-partitioned index: it is an H2H index
-//! whose maintenance is split into the two phases, tracking which query
-//! machinery (BiDijkstra → CH → H2H) is currently consistent with the latest
-//! batch.
+//! whose maintenance is split into the two phases, publishing the query
+//! machinery (BiDijkstra → CH → H2H) that is currently consistent with the
+//! latest batch as an immutable snapshot after each phase.
 
 use htsp_ch::ChQuery;
 use htsp_graph::{
-    Dist, DynamicSpIndex, Graph, UpdateBatch, UpdateTimeline, VertexId,
+    Dist, Graph, IndexMaintainer, QueryView, ScratchPool, SnapshotPublisher, UpdateBatch,
+    UpdateTimeline, VertexId,
 };
 use htsp_search::BiDijkstra;
 use htsp_td::H2HIndex;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The query stages of MHL, fastest-available last.
@@ -27,11 +29,88 @@ pub enum MhlStage {
     H2h,
 }
 
+impl MhlStage {
+    fn index(self) -> usize {
+        match self {
+            MhlStage::BiDijkstra => 0,
+            MhlStage::Ch => 1,
+            MhlStage::H2h => 2,
+        }
+    }
+
+    fn from_index(i: usize) -> Self {
+        match i {
+            0 => MhlStage::BiDijkstra,
+            1 => MhlStage::Ch,
+            _ => MhlStage::H2h,
+        }
+    }
+}
+
+/// Immutable MHL snapshot: one graph version, one query stage.
+pub struct MhlView {
+    graph: Arc<Graph>,
+    stage: MhlStage,
+    /// Only the components this view's stage actually reads are pinned —
+    /// anything else would force the maintainer's next `Arc::make_mut` into
+    /// a needless deep clone while this snapshot is current.
+    parts: StageParts,
+}
+
+/// The per-stage component set of an [`MhlView`].
+enum StageParts {
+    BiDijkstra {
+        bidij: Arc<ScratchPool<BiDijkstra>>,
+    },
+    Ch {
+        h2h: Arc<H2HIndex>,
+        ch: Arc<ScratchPool<ChQuery>>,
+    },
+    H2h {
+        h2h: Arc<H2HIndex>,
+    },
+}
+
+impl QueryView for MhlView {
+    fn algorithm(&self) -> &'static str {
+        "MHL"
+    }
+
+    fn stage(&self) -> usize {
+        self.stage.index()
+    }
+
+    fn distance(&self, s: VertexId, t: VertexId) -> Dist {
+        if s == t {
+            return Dist::ZERO;
+        }
+        match &self.parts {
+            StageParts::BiDijkstra { bidij } => bidij.with(|b| b.distance(&self.graph, s, t)),
+            StageParts::Ch { h2h, ch } => {
+                ch.with(|q| q.distance(h2h.decomposition().hierarchy(), s, t))
+            }
+            StageParts::H2h { h2h } => h2h.distance(s, t),
+        }
+    }
+
+    fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        match &self.parts {
+            StageParts::BiDijkstra { .. } => 0,
+            StageParts::Ch { h2h, .. } | StageParts::H2h { h2h } => h2h.index_size_bytes(),
+        }
+    }
+}
+
 /// The multi-stage (non-partitioned) hub labeling index.
 pub struct Mhl {
-    h2h: H2HIndex,
-    ch_query: ChQuery,
-    bidij: BiDijkstra,
+    graph: Arc<Graph>,
+    h2h: Arc<H2HIndex>,
+    bidij: Arc<ScratchPool<BiDijkstra>>,
+    ch: Arc<ScratchPool<ChQuery>>,
     stage: MhlStage,
 }
 
@@ -41,9 +120,10 @@ impl Mhl {
         let h2h = H2HIndex::build(graph);
         let n = graph.num_vertices();
         Mhl {
-            h2h,
-            ch_query: ChQuery::new(n),
-            bidij: BiDijkstra::new(n),
+            graph: Arc::new(graph.clone()),
+            h2h: Arc::new(h2h),
+            bidij: Arc::new(ScratchPool::new(move || BiDijkstra::new(n))),
+            ch: Arc::new(ScratchPool::new(move || ChQuery::new(n))),
             stage: MhlStage::H2h,
         }
     }
@@ -58,20 +138,28 @@ impl Mhl {
         &self.h2h
     }
 
-    /// Answers a query with the machinery of a specific stage (used by the
-    /// QPS-evolution experiment to measure each stage's query time).
-    pub fn distance_with(&mut self, graph: &Graph, stage: MhlStage, s: VertexId, t: VertexId) -> Dist {
-        match stage {
-            MhlStage::BiDijkstra => self.bidij.distance(graph, s, t),
-            MhlStage::Ch => self
-                .ch_query
-                .distance(self.h2h.decomposition().hierarchy(), s, t),
-            MhlStage::H2h => self.h2h.distance(s, t),
-        }
+    fn view_with(&self, stage: MhlStage) -> Arc<dyn QueryView> {
+        let parts = match stage {
+            MhlStage::BiDijkstra => StageParts::BiDijkstra {
+                bidij: Arc::clone(&self.bidij),
+            },
+            MhlStage::Ch => StageParts::Ch {
+                h2h: Arc::clone(&self.h2h),
+                ch: Arc::clone(&self.ch),
+            },
+            MhlStage::H2h => StageParts::H2h {
+                h2h: Arc::clone(&self.h2h),
+            },
+        };
+        Arc::new(MhlView {
+            graph: Arc::clone(&self.graph),
+            stage,
+            parts,
+        })
     }
 }
 
-impl DynamicSpIndex for Mhl {
+impl IndexMaintainer for Mhl {
     fn name(&self) -> &'static str {
         "MHL"
     }
@@ -80,40 +168,44 @@ impl DynamicSpIndex for Mhl {
         3
     }
 
-    fn apply_batch(&mut self, graph: &Graph, batch: &UpdateBatch) -> UpdateTimeline {
+    fn apply_batch(
+        &mut self,
+        _graph: &Graph,
+        batch: &UpdateBatch,
+        publisher: &SnapshotPublisher,
+    ) -> UpdateTimeline {
         let mut timeline = UpdateTimeline::default();
-        // U-Stage 1: the caller already refreshed the graph; BiDijkstra is
-        // immediately available.
+        // U-Stage 1: install the new weights; BiDijkstra on the fresh graph
+        // is immediately available.
+        let t = Instant::now();
+        Arc::make_mut(&mut self.graph).apply_batch(batch);
         self.stage = MhlStage::BiDijkstra;
-        timeline.push("U1: on-spot edge update", std::time::Duration::ZERO);
+        publisher.publish(self.view_with(MhlStage::BiDijkstra));
+        timeline.push("U1: on-spot edge update", t.elapsed());
 
         // U-Stage 2: bottom-up shortcut update → CH query available.
         let t = Instant::now();
-        let changes = self.h2h.update_shortcuts(graph, batch.as_slice());
+        let changes = Arc::make_mut(&mut self.h2h).update_shortcuts(&self.graph, batch.as_slice());
         self.stage = MhlStage::Ch;
+        publisher.publish(self.view_with(MhlStage::Ch));
         timeline.push("U2: shortcut update", t.elapsed());
 
         // U-Stage 3: top-down label update → H2H query available.
         let t = Instant::now();
         let changed: Vec<VertexId> = changes.iter().map(|c| c.from).collect();
-        self.h2h.update_labels_for(&changed);
+        Arc::make_mut(&mut self.h2h).update_labels_for(&changed);
         self.stage = MhlStage::H2h;
+        publisher.publish(self.view_with(MhlStage::H2h));
         timeline.push("U3: label update", t.elapsed());
         timeline
     }
 
-    fn distance(&mut self, graph: &Graph, s: VertexId, t: VertexId) -> Dist {
-        let stage = self.stage;
-        self.distance_with(graph, stage, s, t)
+    fn current_view(&self) -> Arc<dyn QueryView> {
+        self.view_with(self.stage)
     }
 
-    fn distance_at_stage(&mut self, graph: &Graph, stage: usize, s: VertexId, t: VertexId) -> Dist {
-        let stage = match stage {
-            0 => MhlStage::BiDijkstra,
-            1 => MhlStage::Ch,
-            _ => MhlStage::H2h,
-        };
-        self.distance_with(graph, stage, s, t)
+    fn view_at_stage(&self, stage: usize) -> Arc<dyn QueryView> {
+        self.view_with(MhlStage::from_index(stage))
     }
 
     fn index_size_bytes(&self) -> usize {
@@ -136,15 +228,18 @@ mod tests {
         for round in 0..2 {
             let batch = gen.generate(&g, 20);
             g.apply_batch(&batch);
-            let timeline = mhl.apply_batch(&g, &batch);
+            let publisher = SnapshotPublisher::new(mhl.current_view());
+            let timeline = mhl.apply_batch(&g, &batch, &publisher);
             assert_eq!(timeline.stages.len(), 3);
             assert_eq!(mhl.stage(), MhlStage::H2h);
+            // One snapshot per stage was published.
+            assert_eq!(publisher.take_log().len(), 3);
             let qs = QuerySet::random(&g, 60, 11 + round);
             for q in &qs {
                 let expect = dijkstra_distance(&g, q.source, q.target);
                 for stage in 0..3 {
                     assert_eq!(
-                        mhl.distance_at_stage(&g, stage, q.source, q.target),
+                        mhl.view_at_stage(stage).distance(q.source, q.target),
                         expect,
                         "stage {stage} mismatch for {:?}",
                         q
@@ -157,11 +252,13 @@ mod tests {
     #[test]
     fn final_stage_is_h2h_and_size_reported() {
         let g = grid(6, 6, WeightRange::new(1, 9), 5);
-        let mut mhl = Mhl::build(&g);
+        let mhl = Mhl::build(&g);
         assert_eq!(mhl.num_query_stages(), 3);
-        assert!(mhl.index_size_bytes() > 0);
+        assert!(IndexMaintainer::index_size_bytes(&mhl) > 0);
+        let view = mhl.current_view();
+        assert_eq!(view.stage(), 2);
         assert_eq!(
-            mhl.distance(&g, VertexId(0), VertexId(35)),
+            view.distance(VertexId(0), VertexId(35)),
             dijkstra_distance(&g, VertexId(0), VertexId(35))
         );
     }

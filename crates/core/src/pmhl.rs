@@ -8,14 +8,15 @@
 //! * the **cross-boundary** index `L*`.
 //!
 //! After every update batch the five update stages of Figure 7 run in order,
-//! each releasing a faster query stage: BiDijkstra → partitioned CH →
-//! no-boundary → post-boundary → cross-boundary. Per-partition work inside
+//! each publishing a faster query-stage snapshot: BiDijkstra → partitioned CH
+//! → no-boundary → post-boundary → cross-boundary. Per-partition work inside
 //! U-Stages 2 and 3 runs on a configurable number of threads, which is the
 //! lever behind the thread-scaling experiment (Fig. 15).
 
 use htsp_ch::{ContractionHierarchy, ShortcutChange};
 use htsp_graph::{
-    Dist, DynamicSpIndex, Graph, UpdateBatch, UpdateTimeline, VertexId, INF,
+    Dist, Graph, IndexMaintainer, QueryView, ScratchPool, SnapshotPublisher, UpdateBatch,
+    UpdateTimeline, VertexId, INF,
 };
 use htsp_partition::partition_region_growing;
 use htsp_psp::{
@@ -24,7 +25,7 @@ use htsp_psp::{
 };
 use htsp_search::BiDijkstra;
 use htsp_td::{H2HIndex, TreeDecomposition};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// PMHL construction parameters.
@@ -64,17 +65,237 @@ pub enum PmhlStage {
     CrossBoundary,
 }
 
-/// The Partitioned Multi-stage Hub Labeling index.
+impl PmhlStage {
+    fn index(self) -> usize {
+        match self {
+            PmhlStage::BiDijkstra => 0,
+            PmhlStage::Pch => 1,
+            PmhlStage::NoBoundary => 2,
+            PmhlStage::PostBoundary => 3,
+            PmhlStage::CrossBoundary => 4,
+        }
+    }
+
+    fn from_index(i: usize) -> Self {
+        match i {
+            0 => PmhlStage::BiDijkstra,
+            1 => PmhlStage::Pch,
+            2 => PmhlStage::NoBoundary,
+            3 => PmhlStage::PostBoundary,
+            _ => PmhlStage::CrossBoundary,
+        }
+    }
+}
+
+/// Immutable PMHL snapshot: the index components frozen at one graph version,
+/// answering with the machinery of one query stage.
+pub struct PmhlView {
+    partitioned: Arc<Partitioned>,
+    stage: PmhlStage,
+    /// Only the components this view's stage actually reads are pinned —
+    /// anything else would force the maintainer's next `Arc::make_mut` into
+    /// a needless deep clone while this snapshot is current.
+    parts: StageParts,
+}
+
+/// The per-stage component set of a [`PmhlView`].
+enum StageParts {
+    BiDijkstra {
+        bidij: Arc<ScratchPool<BiDijkstra>>,
+    },
+    Pch {
+        partition_indexes: Arc<Vec<PartitionIndex>>,
+        overlay: Arc<OverlayGraph>,
+        overlay_index: Arc<H2HIndex>,
+        pch: Arc<ScratchPool<PchSearcher>>,
+    },
+    NoBoundary {
+        partition_indexes: Arc<Vec<PartitionIndex>>,
+        overlay: Arc<OverlayGraph>,
+        overlay_index: Arc<H2HIndex>,
+    },
+    PostBoundary {
+        post: Arc<PostBoundaryIndexes>,
+        overlay: Arc<OverlayGraph>,
+        overlay_index: Arc<H2HIndex>,
+    },
+    CrossBoundary {
+        post: Arc<PostBoundaryIndexes>,
+        cross: Arc<CrossBoundaryIndex>,
+    },
+}
+
+/// Cross-partition query by `L'_i`/`L\u0303`/`L'_j` concatenation (the
+/// post-boundary cross-partition path, Q-Stage 4).
+fn cross_by_concatenation(
+    partitioned: &Partitioned,
+    post: &PostBoundaryIndexes,
+    overlay: &OverlayGraph,
+    overlay_index: &H2HIndex,
+    s: VertexId,
+    t: VertexId,
+) -> Dist {
+    let to_boundary = |v: VertexId| -> Vec<(VertexId, Dist)> {
+        if partitioned.partition.is_boundary(v) {
+            return vec![(v, Dist::ZERO)];
+        }
+        let pi = partitioned.partition.partition_of(v);
+        let sub = &partitioned.subgraphs[pi];
+        let lv = sub.to_local(v).expect("vertex in its partition");
+        sub.boundary_local
+            .iter()
+            .map(|&lb| (sub.to_global(lb), post.distance_to_boundary(pi, lv, lb)))
+            .collect()
+    };
+    let from_s = to_boundary(s);
+    let from_t = to_boundary(t);
+    let mut best = INF;
+    for &(bp, dp) in &from_s {
+        if dp.is_inf() {
+            continue;
+        }
+        let lbp = match overlay.to_local(bp) {
+            Some(l) => l,
+            None => continue,
+        };
+        for &(bq, dq) in &from_t {
+            if dq.is_inf() {
+                continue;
+            }
+            let mid = if bp == bq {
+                Dist::ZERO
+            } else {
+                match overlay.to_local(bq) {
+                    Some(lbq) => overlay_index.distance(lbp, lbq),
+                    None => INF,
+                }
+            };
+            let cand = dp.saturating_add(mid).saturating_add(dq);
+            if cand < best {
+                best = cand;
+            }
+        }
+    }
+    best
+}
+
+impl QueryView for PmhlView {
+    fn algorithm(&self) -> &'static str {
+        "PMHL"
+    }
+
+    fn stage(&self) -> usize {
+        self.stage.index()
+    }
+
+    fn distance(&self, s: VertexId, t: VertexId) -> Dist {
+        if s == t {
+            return Dist::ZERO;
+        }
+        match &self.parts {
+            StageParts::BiDijkstra { bidij } => {
+                bidij.with(|b| b.distance(&self.partitioned.graph, s, t))
+            }
+            StageParts::Pch {
+                partition_indexes,
+                overlay,
+                overlay_index,
+                pch,
+            } => {
+                let overlay_h = overlay_index.decomposition().hierarchy();
+                pch.with(|p| {
+                    p.distance(
+                        &self.partitioned,
+                        partition_indexes,
+                        overlay,
+                        overlay_h,
+                        s,
+                        t,
+                    )
+                })
+            }
+            StageParts::NoBoundary {
+                partition_indexes,
+                overlay,
+                overlay_index,
+            } => no_boundary_distance(
+                &self.partitioned,
+                partition_indexes,
+                overlay,
+                overlay_index,
+                s,
+                t,
+            ),
+            StageParts::PostBoundary {
+                post,
+                overlay,
+                overlay_index,
+            } => {
+                if self.partitioned.partition.same_partition(s, t) {
+                    let pi = self.partitioned.partition.partition_of(s);
+                    post.same_partition_distance(&self.partitioned, pi, s, t)
+                } else {
+                    cross_by_concatenation(&self.partitioned, post, overlay, overlay_index, s, t)
+                }
+            }
+            StageParts::CrossBoundary { post, cross } => {
+                if self.partitioned.partition.same_partition(s, t) {
+                    let pi = self.partitioned.partition.partition_of(s);
+                    post.same_partition_distance(&self.partitioned, pi, s, t)
+                } else {
+                    cross.cross_distance(s, t)
+                }
+            }
+        }
+    }
+
+    fn graph(&self) -> &Graph {
+        &self.partitioned.graph
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        // Footprint of the components this stage's machinery reads.
+        match &self.parts {
+            StageParts::BiDijkstra { .. } => 0,
+            StageParts::Pch {
+                partition_indexes,
+                overlay_index,
+                ..
+            }
+            | StageParts::NoBoundary {
+                partition_indexes,
+                overlay_index,
+                ..
+            } => {
+                partition_indexes
+                    .iter()
+                    .map(|p| p.index_size_bytes())
+                    .sum::<usize>()
+                    + overlay_index.index_size_bytes()
+            }
+            StageParts::PostBoundary {
+                post,
+                overlay_index,
+                ..
+            } => post.index_size_bytes() + overlay_index.index_size_bytes(),
+            StageParts::CrossBoundary { post, cross } => {
+                post.index_size_bytes() + cross.index_size_bytes()
+            }
+        }
+    }
+}
+
+/// The Partitioned Multi-stage Hub Labeling index (write half).
 pub struct Pmhl {
     config: PmhlConfig,
-    partitioned: Partitioned,
-    partition_indexes: Vec<PartitionIndex>,
-    overlay: OverlayGraph,
-    overlay_index: H2HIndex,
-    post: PostBoundaryIndexes,
-    cross: CrossBoundaryIndex,
-    bidij: BiDijkstra,
-    pch: PchSearcher,
+    partitioned: Arc<Partitioned>,
+    partition_indexes: Arc<Vec<PartitionIndex>>,
+    overlay: Arc<OverlayGraph>,
+    overlay_index: Arc<H2HIndex>,
+    post: Arc<PostBoundaryIndexes>,
+    cross: Arc<CrossBoundaryIndex>,
+    bidij: Arc<ScratchPool<BiDijkstra>>,
+    pch: Arc<ScratchPool<PchSearcher>>,
     stage: PmhlStage,
 }
 
@@ -101,14 +322,14 @@ impl Pmhl {
         let n = graph.num_vertices();
         Pmhl {
             config,
-            partitioned,
-            partition_indexes,
-            overlay,
-            overlay_index,
-            post,
-            cross,
-            bidij: BiDijkstra::new(n),
-            pch: PchSearcher::new(n),
+            partitioned: Arc::new(partitioned),
+            partition_indexes: Arc::new(partition_indexes),
+            overlay: Arc::new(overlay),
+            overlay_index: Arc::new(overlay_index),
+            post: Arc::new(post),
+            cross: Arc::new(cross),
+            bidij: Arc::new(ScratchPool::new(move || BiDijkstra::new(n))),
+            pch: Arc::new(ScratchPool::new(move || PchSearcher::new(n))),
             stage: PmhlStage::CrossBoundary,
         }
     }
@@ -128,95 +349,41 @@ impl Pmhl {
         &self.partitioned
     }
 
-    fn distance_with(&mut self, graph: &Graph, stage: PmhlStage, s: VertexId, t: VertexId) -> Dist {
-        if s == t {
-            return Dist::ZERO;
-        }
-        match stage {
-            PmhlStage::BiDijkstra => self.bidij.distance(graph, s, t),
-            PmhlStage::Pch => {
-                let refs: Vec<&ContractionHierarchy> =
-                    self.partition_indexes.iter().map(|p| p.hierarchy()).collect();
-                let overlay_h = self.overlay_index.decomposition().hierarchy();
-                self.pch
-                    .distance(&self.partitioned, &refs, &self.overlay, overlay_h, s, t)
-            }
-            PmhlStage::NoBoundary => no_boundary_distance(
-                &self.partitioned,
-                &self.partition_indexes,
-                &self.overlay,
-                &self.overlay_index,
-                s,
-                t,
-            ),
-            PmhlStage::PostBoundary => {
-                if self.partitioned.partition.same_partition(s, t) {
-                    let pi = self.partitioned.partition.partition_of(s);
-                    self.post.same_partition_distance(&self.partitioned, pi, s, t)
-                } else {
-                    self.cross_by_concatenation(s, t)
-                }
-            }
-            PmhlStage::CrossBoundary => {
-                if self.partitioned.partition.same_partition(s, t) {
-                    let pi = self.partitioned.partition.partition_of(s);
-                    self.post.same_partition_distance(&self.partitioned, pi, s, t)
-                } else {
-                    self.cross.cross_distance(s, t)
-                }
-            }
-        }
-    }
-
-    /// Cross-partition query by `L'_i`/`L̃`/`L'_j` concatenation (the
-    /// post-boundary cross-partition path, Q-Stage 4).
-    fn cross_by_concatenation(&self, s: VertexId, t: VertexId) -> Dist {
-        let to_boundary = |v: VertexId| -> Vec<(VertexId, Dist)> {
-            if self.partitioned.partition.is_boundary(v) {
-                return vec![(v, Dist::ZERO)];
-            }
-            let pi = self.partitioned.partition.partition_of(v);
-            let sub = &self.partitioned.subgraphs[pi];
-            let lv = sub.to_local(v).expect("vertex in its partition");
-            sub.boundary_local
-                .iter()
-                .map(|&lb| (sub.to_global(lb), self.post.distance_to_boundary(pi, lv, lb)))
-                .collect()
+    fn view_with(&self, stage: PmhlStage) -> Arc<dyn QueryView> {
+        let parts = match stage {
+            PmhlStage::BiDijkstra => StageParts::BiDijkstra {
+                bidij: Arc::clone(&self.bidij),
+            },
+            PmhlStage::Pch => StageParts::Pch {
+                partition_indexes: Arc::clone(&self.partition_indexes),
+                overlay: Arc::clone(&self.overlay),
+                overlay_index: Arc::clone(&self.overlay_index),
+                pch: Arc::clone(&self.pch),
+            },
+            PmhlStage::NoBoundary => StageParts::NoBoundary {
+                partition_indexes: Arc::clone(&self.partition_indexes),
+                overlay: Arc::clone(&self.overlay),
+                overlay_index: Arc::clone(&self.overlay_index),
+            },
+            PmhlStage::PostBoundary => StageParts::PostBoundary {
+                post: Arc::clone(&self.post),
+                overlay: Arc::clone(&self.overlay),
+                overlay_index: Arc::clone(&self.overlay_index),
+            },
+            PmhlStage::CrossBoundary => StageParts::CrossBoundary {
+                post: Arc::clone(&self.post),
+                cross: Arc::clone(&self.cross),
+            },
         };
-        let from_s = to_boundary(s);
-        let from_t = to_boundary(t);
-        let mut best = INF;
-        for &(bp, dp) in &from_s {
-            if dp.is_inf() {
-                continue;
-            }
-            let lbp = match self.overlay.to_local(bp) {
-                Some(l) => l,
-                None => continue,
-            };
-            for &(bq, dq) in &from_t {
-                if dq.is_inf() {
-                    continue;
-                }
-                let mid = if bp == bq {
-                    Dist::ZERO
-                } else {
-                    match self.overlay.to_local(bq) {
-                        Some(lbq) => self.overlay_index.distance(lbp, lbq),
-                        None => INF,
-                    }
-                };
-                let cand = dp.saturating_add(mid).saturating_add(dq);
-                if cand < best {
-                    best = cand;
-                }
-            }
-        }
-        best
+        Arc::new(PmhlView {
+            partitioned: Arc::clone(&self.partitioned),
+            stage,
+            parts,
+        })
     }
 }
 
-impl DynamicSpIndex for Pmhl {
+impl IndexMaintainer for Pmhl {
     fn name(&self) -> &'static str {
         "PMHL"
     }
@@ -225,15 +392,21 @@ impl DynamicSpIndex for Pmhl {
         5
     }
 
-    fn apply_batch(&mut self, _graph: &Graph, batch: &UpdateBatch) -> UpdateTimeline {
+    fn apply_batch(
+        &mut self,
+        _graph: &Graph,
+        batch: &UpdateBatch,
+        publisher: &SnapshotPublisher,
+    ) -> UpdateTimeline {
         let threads = self.config.num_threads.max(1);
         let mut timeline = UpdateTimeline::default();
 
         // U-Stage 1: on-spot edge update of the global graph and the
         // per-partition copies.
         let t0 = Instant::now();
-        let routed = self.partitioned.apply_batch(batch);
+        let routed = Arc::make_mut(&mut self.partitioned).apply_batch(batch);
         self.stage = PmhlStage::BiDijkstra;
+        publisher.publish(self.view_with(PmhlStage::BiDijkstra));
         timeline.push("U1: on-spot edge update", t0.elapsed());
 
         // U-Stage 2: no-boundary shortcut update — each affected partition on
@@ -241,11 +414,11 @@ impl DynamicSpIndex for Pmhl {
         let t1 = Instant::now();
         let per_part: Mutex<Vec<(usize, Vec<ShortcutChange>)>> = Mutex::new(Vec::new());
         {
-            let partitioned = &self.partitioned;
+            let partition_indexes = Arc::make_mut(&mut self.partition_indexes);
+            let partitioned = &*self.partitioned;
             let routed_ref = &routed;
             let per_part_ref = &per_part;
-            let mut jobs: Vec<(usize, &mut PartitionIndex)> = self
-                .partition_indexes
+            let mut jobs: Vec<(usize, &mut PartitionIndex)> = partition_indexes
                 .iter_mut()
                 .enumerate()
                 .filter(|(i, _)| !routed_ref.intra[*i].is_empty())
@@ -268,19 +441,22 @@ impl DynamicSpIndex for Pmhl {
             });
         }
         let per_part = per_part.into_inner().unwrap();
-        let overlay_batch = self
-            .overlay
-            .apply_changes(&self.partitioned, &routed.inter, &per_part);
-        let overlay_sc_changes = self
-            .overlay_index
+        let overlay_batch = Arc::make_mut(&mut self.overlay).apply_changes(
+            &self.partitioned,
+            &routed.inter,
+            &per_part,
+        );
+        let overlay_sc_changes = Arc::make_mut(&mut self.overlay_index)
             .update_shortcuts(&self.overlay.graph, overlay_batch.as_slice());
         self.stage = PmhlStage::Pch;
+        publisher.publish(self.view_with(PmhlStage::Pch));
         timeline.push("U2: no-boundary shortcut update", t1.elapsed());
 
         // U-Stage 3: no-boundary label update — partitions in parallel, then
         // the overlay labels.
         let t2 = Instant::now();
         {
+            let partition_indexes = Arc::make_mut(&mut self.partition_indexes);
             let mut changed_by_partition: rustc_hash::FxHashMap<usize, Vec<VertexId>> =
                 rustc_hash::FxHashMap::default();
             for (i, changes) in &per_part {
@@ -289,8 +465,7 @@ impl DynamicSpIndex for Pmhl {
                     changed_by_partition.insert(*i, changed);
                 }
             }
-            let mut jobs: Vec<(&mut PartitionIndex, Vec<VertexId>)> = self
-                .partition_indexes
+            let mut jobs: Vec<(&mut PartitionIndex, Vec<VertexId>)> = partition_indexes
                 .iter_mut()
                 .enumerate()
                 .filter_map(|(i, idx)| changed_by_partition.remove(&i).map(|c| (idx, c)))
@@ -306,26 +481,28 @@ impl DynamicSpIndex for Pmhl {
                 }
             });
         }
-        let overlay_changed_sc: Vec<VertexId> =
-            overlay_sc_changes.iter().map(|c| c.from).collect();
-        let (overlay_label_changed, _) = self.overlay_index.update_labels_for(&overlay_changed_sc);
+        let overlay_changed_sc: Vec<VertexId> = overlay_sc_changes.iter().map(|c| c.from).collect();
+        let (overlay_label_changed, _) =
+            Arc::make_mut(&mut self.overlay_index).update_labels_for(&overlay_changed_sc);
         self.stage = PmhlStage::NoBoundary;
+        publisher.publish(self.view_with(PmhlStage::NoBoundary));
         timeline.push("U3: no-boundary label update", t2.elapsed());
 
         // U-Stage 4: post-boundary index update.
         let t3 = Instant::now();
-        let (post_changed, _) = self.post.update(
+        let (post_changed, _) = Arc::make_mut(&mut self.post).update(
             &self.partitioned,
             &self.overlay,
             &self.overlay_index,
             &routed.intra,
         );
         self.stage = PmhlStage::PostBoundary;
+        publisher.publish(self.view_with(PmhlStage::PostBoundary));
         timeline.push("U4: post-boundary index update", t3.elapsed());
 
         // U-Stage 5: cross-boundary index update.
         let t4 = Instant::now();
-        self.cross.update(
+        Arc::make_mut(&mut self.cross).update(
             &self.partitioned,
             &self.overlay,
             &self.overlay_index,
@@ -334,24 +511,17 @@ impl DynamicSpIndex for Pmhl {
             &post_changed,
         );
         self.stage = PmhlStage::CrossBoundary;
+        publisher.publish(self.view_with(PmhlStage::CrossBoundary));
         timeline.push("U5: cross-boundary index update", t4.elapsed());
         timeline
     }
 
-    fn distance(&mut self, graph: &Graph, s: VertexId, t: VertexId) -> Dist {
-        let stage = self.stage;
-        self.distance_with(graph, stage, s, t)
+    fn current_view(&self) -> Arc<dyn QueryView> {
+        self.view_with(self.stage)
     }
 
-    fn distance_at_stage(&mut self, graph: &Graph, stage: usize, s: VertexId, t: VertexId) -> Dist {
-        let stage = match stage {
-            0 => PmhlStage::BiDijkstra,
-            1 => PmhlStage::Pch,
-            2 => PmhlStage::NoBoundary,
-            3 => PmhlStage::PostBoundary,
-            _ => PmhlStage::CrossBoundary,
-        };
-        self.distance_with(graph, stage, s, t)
+    fn view_at_stage(&self, stage: usize) -> Arc<dyn QueryView> {
+        self.view_with(PmhlStage::from_index(stage))
     }
 
     fn index_size_bytes(&self) -> usize {
@@ -372,13 +542,13 @@ mod tests {
     use htsp_graph::{QuerySet, UpdateGenerator};
     use htsp_search::dijkstra_distance;
 
-    fn check_all_stages(pmhl: &mut Pmhl, g: &Graph, count: usize, seed: u64) {
+    fn check_all_stages(pmhl: &Pmhl, g: &Graph, count: usize, seed: u64) {
         let qs = QuerySet::random(g, count, seed);
         for q in &qs {
             let expect = dijkstra_distance(g, q.source, q.target);
             for stage in 0..5 {
                 assert_eq!(
-                    pmhl.distance_at_stage(g, stage, q.source, q.target),
+                    pmhl.view_at_stage(stage).distance(q.source, q.target),
                     expect,
                     "PMHL stage {stage} mismatch for {:?}",
                     q
@@ -390,7 +560,7 @@ mod tests {
     #[test]
     fn freshly_built_pmhl_is_exact_at_every_stage() {
         let g = grid(9, 9, WeightRange::new(1, 20), 41);
-        let mut pmhl = Pmhl::build(
+        let pmhl = Pmhl::build(
             &g,
             PmhlConfig {
                 num_partitions: 4,
@@ -400,9 +570,9 @@ mod tests {
         );
         assert_eq!(pmhl.stage(), PmhlStage::CrossBoundary);
         assert_eq!(pmhl.num_query_stages(), 5);
-        assert!(pmhl.index_size_bytes() > 0);
+        assert!(IndexMaintainer::index_size_bytes(&pmhl) > 0);
         assert!(pmhl.num_boundary() > 0);
-        check_all_stages(&mut pmhl, &g, 60, 5);
+        check_all_stages(&pmhl, &g, 60, 5);
     }
 
     #[test]
@@ -420,10 +590,15 @@ mod tests {
         for round in 0..3 {
             let batch = gen.generate(&g, 20);
             g.apply_batch(&batch);
-            let timeline = pmhl.apply_batch(&g, &batch);
+            let publisher = SnapshotPublisher::new(pmhl.current_view());
+            let timeline = pmhl.apply_batch(&g, &batch, &publisher);
             assert_eq!(timeline.stages.len(), 5, "five update stages expected");
             assert_eq!(pmhl.stage(), PmhlStage::CrossBoundary);
-            check_all_stages(&mut pmhl, &g, 40, 100 + round);
+            // Each of the five stages published its snapshot.
+            let log = publisher.take_log();
+            assert_eq!(log.len(), 5);
+            assert_eq!(log.last().unwrap().stage, 4);
+            check_all_stages(&pmhl, &g, 40, 100 + round);
         }
     }
 
@@ -431,21 +606,39 @@ mod tests {
     fn single_threaded_and_multi_threaded_agree() {
         let mut g1 = grid(8, 8, WeightRange::new(5, 30), 47);
         let mut g2 = g1.clone();
-        let mut a = Pmhl::build(&g1, PmhlConfig { num_partitions: 4, num_threads: 1, seed: 5 });
-        let mut b = Pmhl::build(&g2, PmhlConfig { num_partitions: 4, num_threads: 4, seed: 5 });
+        let mut a = Pmhl::build(
+            &g1,
+            PmhlConfig {
+                num_partitions: 4,
+                num_threads: 1,
+                seed: 5,
+            },
+        );
+        let mut b = Pmhl::build(
+            &g2,
+            PmhlConfig {
+                num_partitions: 4,
+                num_threads: 4,
+                seed: 5,
+            },
+        );
         let mut gen1 = UpdateGenerator::new(13);
         let mut gen2 = UpdateGenerator::new(13);
         let batch1 = gen1.generate(&g1, 15);
         let batch2 = gen2.generate(&g2, 15);
         g1.apply_batch(&batch1);
         g2.apply_batch(&batch2);
-        a.apply_batch(&g1, &batch1);
-        b.apply_batch(&g2, &batch2);
+        let pub_a = SnapshotPublisher::new(a.current_view());
+        let pub_b = SnapshotPublisher::new(b.current_view());
+        a.apply_batch(&g1, &batch1, &pub_a);
+        b.apply_batch(&g2, &batch2, &pub_b);
+        let va = a.current_view();
+        let vb = b.current_view();
         let qs = QuerySet::random(&g1, 50, 9);
         for q in &qs {
             assert_eq!(
-                a.distance(&g1, q.source, q.target),
-                b.distance(&g2, q.source, q.target)
+                va.distance(q.source, q.target),
+                vb.distance(q.source, q.target)
             );
         }
     }

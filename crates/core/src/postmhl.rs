@@ -16,18 +16,19 @@
 //! Maintenance (Figure 9) is staged: on-spot edge update → shortcut-array
 //! update → overlay label update → post-boundary update (per partition, in
 //! parallel) → cross-boundary update (per partition, in parallel). Each stage
-//! releases a faster query stage: BiDijkstra → PCH → post-boundary →
-//! cross-boundary (plain H2H query).
+//! that releases faster query machinery publishes an immutable snapshot:
+//! BiDijkstra → PCH → post-boundary → cross-boundary (plain H2H query).
 
 use htsp_ch::ChQuery;
 use htsp_graph::{
-    Dist, DynamicSpIndex, Graph, UpdateBatch, UpdateTimeline, VertexId, INF,
+    Dist, Graph, IndexMaintainer, QueryView, ScratchPool, SnapshotPublisher, UpdateBatch,
+    UpdateTimeline, VertexId, INF,
 };
 use htsp_partition::{td_partition, TdPartition, TdPartitionConfig};
 use htsp_search::BiDijkstra;
 use htsp_td::{H2HIndex, TreeDecomposition};
 use rustc_hash::FxHashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// PostMHL construction parameters (the `τ`, `k_e`, `β_l`, `β_u` of
@@ -62,23 +63,247 @@ pub enum PostMhlStage {
     CrossBoundary,
 }
 
-/// The Post-partitioned Multi-stage Hub Labeling index.
+impl PostMhlStage {
+    fn index(self) -> usize {
+        match self {
+            PostMhlStage::BiDijkstra => 0,
+            PostMhlStage::Pch => 1,
+            PostMhlStage::PostBoundary => 2,
+            PostMhlStage::CrossBoundary => 3,
+        }
+    }
+
+    fn from_index(i: usize) -> Self {
+        match i {
+            0 => PostMhlStage::BiDijkstra,
+            1 => PostMhlStage::Pch,
+            2 => PostMhlStage::PostBoundary,
+            _ => PostMhlStage::CrossBoundary,
+        }
+    }
+}
+
+/// Full H2H distance query over the global labels (the cross-boundary /
+/// final stage; identical machinery to DH2H, per Remark 2).
+fn h2h_distance(td: &TreeDecomposition, dis: &[Vec<Dist>], s: VertexId, t: VertexId) -> Dist {
+    if s == t {
+        return Dist::ZERO;
+    }
+    let x = match td.lca(s, t) {
+        Some(x) => x,
+        None => return INF,
+    };
+    if x == s {
+        return dis[t.index()][td.depth(s) as usize];
+    }
+    if x == t {
+        return dis[s.index()][td.depth(t) as usize];
+    }
+    let ds = &dis[s.index()];
+    let dt = &dis[t.index()];
+    let mut best = INF;
+    let xd = td.depth(x) as usize;
+    let cand = ds[xd].saturating_add(dt[xd]);
+    if cand < best {
+        best = cand;
+    }
+    for &(u, _) in td.bag(x) {
+        let i = td.depth(u) as usize;
+        let cand = ds[i].saturating_add(dt[i]);
+        if cand < best {
+            best = cand;
+        }
+    }
+    best
+}
+
+/// Post-boundary query (Q-Stage 3): same-partition pairs use the
+/// in-partition labels plus `disB`; all other pairs concatenate `disB`
+/// arrays through the overlay.
+fn post_boundary_distance(
+    td: &TreeDecomposition,
+    dis: &[Vec<Dist>],
+    disb: &[Vec<Dist>],
+    tdp: &TdPartition,
+    s: VertexId,
+    t: VertexId,
+) -> Dist {
+    if s == t {
+        return Dist::ZERO;
+    }
+    let ps = tdp.partition_of(s);
+    let pt = tdp.partition_of(t);
+    match (ps, pt) {
+        (Some(pi), Some(pj)) if pi == pj => {
+            let mut best = INF;
+            // Route through any boundary vertex of the shared partition
+            // (the disB rows are ordered like `tdp.boundary(pi)`).
+            for (ds, dt) in disb[s.index()].iter().zip(&disb[t.index()]) {
+                let cand = ds.saturating_add(*dt);
+                if cand < best {
+                    best = cand;
+                }
+            }
+            // Route through the in-partition separator (the LCA's bag
+            // members inside the partition; their label entries belong to
+            // the post-boundary index and are already repaired).
+            if let Some(x) = td.lca(s, t) {
+                if tdp.partition_of(x) == Some(pi) {
+                    let xd = td.depth(x) as usize;
+                    let cand = dis[s.index()][xd].saturating_add(dis[t.index()][xd]);
+                    if cand < best {
+                        best = cand;
+                    }
+                    for &(u, _) in td.bag(x) {
+                        if tdp.partition_of(u) != Some(pi) {
+                            continue;
+                        }
+                        let i = td.depth(u) as usize;
+                        let cand = dis[s.index()][i].saturating_add(dis[t.index()][i]);
+                        if cand < best {
+                            best = cand;
+                        }
+                    }
+                }
+            }
+            best
+        }
+        _ => {
+            // Cross-partition (or overlay endpoints): concatenate through
+            // the boundary vertices using disB and the overlay labels.
+            let sides = |v: VertexId| -> Vec<(VertexId, Dist)> {
+                match tdp.partition_of(v) {
+                    None => vec![(v, Dist::ZERO)],
+                    Some(pi) => tdp
+                        .boundary(pi)
+                        .iter()
+                        .enumerate()
+                        .map(|(j, &b)| (b, disb[v.index()][j]))
+                        .collect(),
+                }
+            };
+            let from_s = sides(s);
+            let from_t = sides(t);
+            let mut best = INF;
+            for &(bp, dp) in &from_s {
+                if dp.is_inf() {
+                    continue;
+                }
+                for &(bq, dq) in &from_t {
+                    if dq.is_inf() {
+                        continue;
+                    }
+                    let mid = if bp == bq {
+                        Dist::ZERO
+                    } else {
+                        // Overlay distance: a plain H2H query, valid as soon
+                        // as the overlay labels are updated (the overlay set
+                        // is upward-closed).
+                        h2h_distance(td, dis, bp, bq)
+                    };
+                    let cand = dp.saturating_add(mid).saturating_add(dq);
+                    if cand < best {
+                        best = cand;
+                    }
+                }
+            }
+            best
+        }
+    }
+}
+
+/// Immutable PostMHL snapshot: one graph version, one query stage.
+pub struct PostMhlView {
+    graph: Arc<Graph>,
+    stage: PostMhlStage,
+    /// Only the components this view's stage actually reads are pinned —
+    /// anything else would force the maintainer's next `Arc::make_mut` into
+    /// a needless deep clone while this snapshot is current.
+    parts: StageParts,
+}
+
+/// The per-stage component set of a [`PostMhlView`].
+enum StageParts {
+    BiDijkstra {
+        bidij: Arc<ScratchPool<BiDijkstra>>,
+    },
+    Pch {
+        td: Arc<TreeDecomposition>,
+        ch: Arc<ScratchPool<ChQuery>>,
+    },
+    PostBoundary {
+        td: Arc<TreeDecomposition>,
+        dis: Arc<Vec<Vec<Dist>>>,
+        disb: Arc<Vec<Vec<Dist>>>,
+        tdp: Arc<TdPartition>,
+    },
+    CrossBoundary {
+        td: Arc<TreeDecomposition>,
+        dis: Arc<Vec<Vec<Dist>>>,
+    },
+}
+
+impl QueryView for PostMhlView {
+    fn algorithm(&self) -> &'static str {
+        "PostMHL"
+    }
+
+    fn stage(&self) -> usize {
+        self.stage.index()
+    }
+
+    fn distance(&self, s: VertexId, t: VertexId) -> Dist {
+        if s == t {
+            return Dist::ZERO;
+        }
+        match &self.parts {
+            StageParts::BiDijkstra { bidij } => bidij.with(|b| b.distance(&self.graph, s, t)),
+            StageParts::Pch { td, ch } => ch.with(|q| q.distance(td.hierarchy(), s, t)),
+            StageParts::PostBoundary { td, dis, disb, tdp } => {
+                post_boundary_distance(td, dis, disb, tdp, s, t)
+            }
+            StageParts::CrossBoundary { td, dis } => h2h_distance(td, dis, s, t),
+        }
+    }
+
+    fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        match &self.parts {
+            StageParts::BiDijkstra { .. } => 0,
+            StageParts::Pch { td, .. } => td.hierarchy().index_size_bytes(),
+            StageParts::PostBoundary { td, dis, disb, .. } => {
+                let labels: usize = dis.iter().map(|d| d.len()).sum::<usize>()
+                    + disb.iter().map(|d| d.len()).sum::<usize>();
+                labels * std::mem::size_of::<Dist>() + td.hierarchy().index_size_bytes()
+            }
+            StageParts::CrossBoundary { td, dis } => {
+                let labels: usize = dis.iter().map(|d| d.len()).sum::<usize>();
+                labels * std::mem::size_of::<Dist>() + td.hierarchy().index_size_bytes()
+            }
+        }
+    }
+}
+
+/// The Post-partitioned Multi-stage Hub Labeling index (write half).
 pub struct PostMhl {
     config: PostMhlConfig,
     /// Own copy of the graph (kept in sync with update batches).
-    graph: Graph,
+    graph: Arc<Graph>,
     /// The global MDE tree decomposition (shared shortcut arrays).
-    td: TreeDecomposition,
+    td: Arc<TreeDecomposition>,
     /// Full distance arrays (`X(v).dis`), indexed by vertex then ancestor depth.
-    dis: Vec<Vec<Dist>>,
+    dis: Arc<Vec<Vec<Dist>>>,
     /// Boundary arrays (`X(v).disB`): for in-partition vertices only, the
     /// global distance to each boundary vertex of its partition (in the order
     /// of [`TdPartition::boundary`]).
-    disb: Vec<Vec<Dist>>,
+    disb: Arc<Vec<Vec<Dist>>>,
     /// The TD-partitioning result.
-    tdp: TdPartition,
-    bidij: BiDijkstra,
-    ch_query: ChQuery,
+    tdp: Arc<TdPartition>,
+    bidij: Arc<ScratchPool<BiDijkstra>>,
+    ch: Arc<ScratchPool<ChQuery>>,
     stage: PostMhlStage,
 }
 
@@ -104,13 +329,13 @@ impl PostMhl {
         }
         PostMhl {
             config,
-            graph: graph.clone(),
-            bidij: BiDijkstra::new(n),
-            ch_query: ChQuery::new(n),
-            td,
-            dis,
-            disb,
-            tdp,
+            graph: Arc::new(graph.clone()),
+            bidij: Arc::new(ScratchPool::new(move || BiDijkstra::new(n))),
+            ch: Arc::new(ScratchPool::new(move || ChQuery::new(n))),
+            td: Arc::new(td),
+            dis: Arc::new(dis),
+            disb: Arc::new(disb),
+            tdp: Arc::new(tdp),
             stage: PostMhlStage::CrossBoundary,
         }
     }
@@ -135,144 +360,37 @@ impl PostMhl {
         &self.tdp
     }
 
-    /// Full H2H distance query over the global labels (the cross-boundary /
-    /// final stage; identical machinery to DH2H, per Remark 2).
-    fn h2h_distance(&self, s: VertexId, t: VertexId) -> Dist {
-        if s == t {
-            return Dist::ZERO;
-        }
-        let x = match self.td.lca(s, t) {
-            Some(x) => x,
-            None => return INF,
+    fn view_with(&self, stage: PostMhlStage) -> Arc<dyn QueryView> {
+        let parts = match stage {
+            PostMhlStage::BiDijkstra => StageParts::BiDijkstra {
+                bidij: Arc::clone(&self.bidij),
+            },
+            PostMhlStage::Pch => StageParts::Pch {
+                td: Arc::clone(&self.td),
+                ch: Arc::clone(&self.ch),
+            },
+            PostMhlStage::PostBoundary => StageParts::PostBoundary {
+                td: Arc::clone(&self.td),
+                dis: Arc::clone(&self.dis),
+                disb: Arc::clone(&self.disb),
+                tdp: Arc::clone(&self.tdp),
+            },
+            PostMhlStage::CrossBoundary => StageParts::CrossBoundary {
+                td: Arc::clone(&self.td),
+                dis: Arc::clone(&self.dis),
+            },
         };
-        if x == s {
-            return self.dis[t.index()][self.td.depth(s) as usize];
-        }
-        if x == t {
-            return self.dis[s.index()][self.td.depth(t) as usize];
-        }
-        let ds = &self.dis[s.index()];
-        let dt = &self.dis[t.index()];
-        let mut best = INF;
-        let xd = self.td.depth(x) as usize;
-        let cand = ds[xd].saturating_add(dt[xd]);
-        if cand < best {
-            best = cand;
-        }
-        for &(u, _) in self.td.bag(x) {
-            let i = self.td.depth(u) as usize;
-            let cand = ds[i].saturating_add(dt[i]);
-            if cand < best {
-                best = cand;
-            }
-        }
-        best
+        Arc::new(PostMhlView {
+            graph: Arc::clone(&self.graph),
+            stage,
+            parts,
+        })
     }
 
-    /// Overlay distance between two overlay vertices: a plain H2H query, valid
-    /// as soon as the overlay labels are updated (their LCA and bag members
-    /// are overlay vertices too, because the overlay set is upward-closed).
+    /// Overlay distance between two overlay vertices (valid as soon as the
+    /// overlay labels are updated).
     fn overlay_distance(&self, a: VertexId, b: VertexId) -> Dist {
-        self.h2h_distance(a, b)
-    }
-
-    /// Post-boundary query (Q-Stage 3): same-partition pairs use the
-    /// in-partition labels plus `disB`; all other pairs concatenate `disB`
-    /// arrays through the overlay.
-    fn post_boundary_distance(&self, s: VertexId, t: VertexId) -> Dist {
-        if s == t {
-            return Dist::ZERO;
-        }
-        let ps = self.tdp.partition_of(s);
-        let pt = self.tdp.partition_of(t);
-        match (ps, pt) {
-            (Some(pi), Some(pj)) if pi == pj => {
-                let boundary = self.tdp.boundary(pi);
-                let mut best = INF;
-                // Route through any boundary vertex of the shared partition.
-                for j in 0..boundary.len() {
-                    let cand = self.disb[s.index()][j].saturating_add(self.disb[t.index()][j]);
-                    if cand < best {
-                        best = cand;
-                    }
-                }
-                // Route through the in-partition separator (the LCA's bag
-                // members inside the partition; their label entries belong to
-                // the post-boundary index and are already repaired).
-                if let Some(x) = self.td.lca(s, t) {
-                    if self.tdp.partition_of(x) == Some(pi) {
-                        let xd = self.td.depth(x) as usize;
-                        let cand = self.dis[s.index()][xd].saturating_add(self.dis[t.index()][xd]);
-                        if cand < best {
-                            best = cand;
-                        }
-                        for &(u, _) in self.td.bag(x) {
-                            if self.tdp.partition_of(u) != Some(pi) {
-                                continue;
-                            }
-                            let i = self.td.depth(u) as usize;
-                            let cand =
-                                self.dis[s.index()][i].saturating_add(self.dis[t.index()][i]);
-                            if cand < best {
-                                best = cand;
-                            }
-                        }
-                    }
-                }
-                best
-            }
-            _ => {
-                // Cross-partition (or overlay endpoints): concatenate through
-                // the boundary vertices using disB and the overlay labels.
-                let sides = |v: VertexId| -> Vec<(VertexId, Dist)> {
-                    match self.tdp.partition_of(v) {
-                        None => vec![(v, Dist::ZERO)],
-                        Some(pi) => self
-                            .tdp
-                            .boundary(pi)
-                            .iter()
-                            .enumerate()
-                            .map(|(j, &b)| (b, self.disb[v.index()][j]))
-                            .collect(),
-                    }
-                };
-                let from_s = sides(s);
-                let from_t = sides(t);
-                let mut best = INF;
-                for &(bp, dp) in &from_s {
-                    if dp.is_inf() {
-                        continue;
-                    }
-                    for &(bq, dq) in &from_t {
-                        if dq.is_inf() {
-                            continue;
-                        }
-                        let mid = if bp == bq {
-                            Dist::ZERO
-                        } else {
-                            self.overlay_distance(bp, bq)
-                        };
-                        let cand = dp.saturating_add(mid).saturating_add(dq);
-                        if cand < best {
-                            best = cand;
-                        }
-                    }
-                }
-                best
-            }
-        }
-    }
-
-    fn distance_with(&mut self, stage: PostMhlStage, s: VertexId, t: VertexId) -> Dist {
-        match stage {
-            PostMhlStage::BiDijkstra => {
-                let graph = &self.graph;
-                self.bidij.distance(graph, s, t)
-            }
-            PostMhlStage::Pch => self.ch_query.distance(self.td.hierarchy(), s, t),
-            PostMhlStage::PostBoundary => self.post_boundary_distance(s, t),
-            PostMhlStage::CrossBoundary => self.h2h_distance(s, t),
-        }
+        h2h_distance(&self.td, &self.dis, a, b)
     }
 
     /// Recomputes the labels of the overlay vertices affected by the shortcut
@@ -286,12 +404,14 @@ impl PostMhl {
         let mut anc_or_self_changed = vec![false; n];
         let topdown: Vec<VertexId> = self.td.topdown_order().to_vec();
         let mut path_cache: Vec<VertexId> = Vec::new();
+        let td = &self.td;
+        let tdp = &self.tdp;
+        let dis = Arc::make_mut(&mut self.dis);
         for v in topdown {
-            if self.tdp.partition_of(v).is_some() {
+            if tdp.partition_of(v).is_some() {
                 continue; // partition subtrees are handled in U-Stages 4-5
             }
-            let parent_changed = self
-                .td
+            let parent_changed = td
                 .parent(v)
                 .map(|p| anc_or_self_changed[p.index()])
                 .unwrap_or(false);
@@ -299,10 +419,10 @@ impl PostMhl {
             let mut self_changed = false;
             if need {
                 path_cache.clear();
-                path_cache.extend(self.td.ancestors(v));
-                let new_label = compute_full_label(&self.td, &self.dis, v, &path_cache);
-                if new_label != self.dis[v.index()] {
-                    self.dis[v.index()] = new_label;
+                path_cache.extend(td.ancestors(v));
+                let new_label = compute_full_label(td, dis, v, &path_cache);
+                if new_label != dis[v.index()] {
+                    dis[v.index()] = new_label;
                     self_changed = true;
                 }
             }
@@ -358,7 +478,7 @@ struct CrossPassResult {
     rows: Vec<(VertexId, Vec<Dist>)>,
 }
 
-impl DynamicSpIndex for PostMhl {
+impl IndexMaintainer for PostMhl {
     fn name(&self) -> &'static str {
         "PostMHL"
     }
@@ -367,23 +487,29 @@ impl DynamicSpIndex for PostMhl {
         4
     }
 
-    fn apply_batch(&mut self, _graph: &Graph, batch: &UpdateBatch) -> UpdateTimeline {
+    fn apply_batch(
+        &mut self,
+        _graph: &Graph,
+        batch: &UpdateBatch,
+        publisher: &SnapshotPublisher,
+    ) -> UpdateTimeline {
         let threads = self.config.num_threads.max(1);
         let mut timeline = UpdateTimeline::default();
 
         // U-Stage 1: on-spot edge update of the internal graph copy.
         let t0 = Instant::now();
-        self.graph.apply_batch(batch);
+        Arc::make_mut(&mut self.graph).apply_batch(batch);
         self.stage = PostMhlStage::BiDijkstra;
+        publisher.publish(self.view_with(PostMhlStage::BiDijkstra));
         timeline.push("U1: on-spot edge update", t0.elapsed());
 
         // U-Stage 2: shortcut-array update (shared by every component).
         let t1 = Instant::now();
-        let changes = self
-            .td
+        let changes = Arc::make_mut(&mut self.td)
             .hierarchy_mut()
             .apply_batch(&self.graph, batch.as_slice());
         self.stage = PostMhlStage::Pch;
+        publisher.publish(self.view_with(PostMhlStage::Pch));
         timeline.push("U2: shortcut array update", t1.elapsed());
 
         let n = self.td.num_vertices();
@@ -392,7 +518,9 @@ impl DynamicSpIndex for PostMhl {
             sc_changed[c.from.index()] = true;
         }
 
-        // U-Stage 3: overlay label update.
+        // U-Stage 3: overlay label update. (No new query stage: the overlay
+        // labels alone cannot answer arbitrary queries, so nothing is
+        // published until the post-boundary stage completes.)
         let t2 = Instant::now();
         let anc_changed = self.update_overlay_labels(&sc_changed);
         timeline.push("U3: overlay index update", t2.elapsed());
@@ -408,11 +536,7 @@ impl DynamicSpIndex for PostMhl {
                 .parent(root)
                 .map(|p| anc_changed[p.index()])
                 .unwrap_or(false);
-            let member_sc_changed = self
-                .tdp
-                .vertices(pi)
-                .iter()
-                .any(|&v| sc_changed[v.index()]);
+            let member_sc_changed = self.tdp.vertices(pi).iter().any(|&v| sc_changed[v.index()]);
             if root_parent_changed || member_sc_changed {
                 affected.push(pi);
             }
@@ -437,15 +561,22 @@ impl DynamicSpIndex for PostMhl {
                 }
             });
         }
-        for res in post_results.into_inner().unwrap() {
-            let root_depth = self.td.depth(self.tdp.roots()[res.partition]) as usize;
-            for (v, new_disb, new_seg) in res.rows {
-                self.disb[v.index()] = new_disb;
-                let row = &mut self.dis[v.index()];
-                row[root_depth..].copy_from_slice(&new_seg);
+        {
+            let td = &self.td;
+            let tdp = &self.tdp;
+            let dis = Arc::make_mut(&mut self.dis);
+            let disb = Arc::make_mut(&mut self.disb);
+            for res in post_results.into_inner().unwrap() {
+                let root_depth = td.depth(tdp.roots()[res.partition]) as usize;
+                for (v, new_disb, new_seg) in res.rows {
+                    disb[v.index()] = new_disb;
+                    let row = &mut dis[v.index()];
+                    row[root_depth..].copy_from_slice(&new_seg);
+                }
             }
         }
         self.stage = PostMhlStage::PostBoundary;
+        publisher.publish(self.view_with(PostMhlStage::PostBoundary));
         timeline.push("U4: post-boundary index update", t3.elapsed());
 
         // U-Stage 5: cross-boundary update (overlay-ancestor label entries),
@@ -467,30 +598,27 @@ impl DynamicSpIndex for PostMhl {
                 }
             });
         }
-        for res in cross_results.into_inner().unwrap() {
-            for (v, new_seg) in res.rows {
-                let row = &mut self.dis[v.index()];
-                row[..new_seg.len()].copy_from_slice(&new_seg);
+        {
+            let dis = Arc::make_mut(&mut self.dis);
+            for res in cross_results.into_inner().unwrap() {
+                for (v, new_seg) in res.rows {
+                    let row = &mut dis[v.index()];
+                    row[..new_seg.len()].copy_from_slice(&new_seg);
+                }
             }
         }
         self.stage = PostMhlStage::CrossBoundary;
+        publisher.publish(self.view_with(PostMhlStage::CrossBoundary));
         timeline.push("U5: cross-boundary index update", t4.elapsed());
         timeline
     }
 
-    fn distance(&mut self, _graph: &Graph, s: VertexId, t: VertexId) -> Dist {
-        let stage = self.stage;
-        self.distance_with(stage, s, t)
+    fn current_view(&self) -> Arc<dyn QueryView> {
+        self.view_with(self.stage)
     }
 
-    fn distance_at_stage(&mut self, _graph: &Graph, stage: usize, s: VertexId, t: VertexId) -> Dist {
-        let stage = match stage {
-            0 => PostMhlStage::BiDijkstra,
-            1 => PostMhlStage::Pch,
-            2 => PostMhlStage::PostBoundary,
-            _ => PostMhlStage::CrossBoundary,
-        };
-        self.distance_with(stage, s, t)
+    fn view_at_stage(&self, stage: usize) -> Arc<dyn QueryView> {
+        self.view_with(PostMhlStage::from_index(stage))
     }
 
     fn index_size_bytes(&self) -> usize {
@@ -686,13 +814,13 @@ mod tests {
         }
     }
 
-    fn check_all_stages(idx: &mut PostMhl, g: &Graph, count: usize, seed: u64) {
+    fn check_all_stages(idx: &PostMhl, g: &Graph, count: usize, seed: u64) {
         let qs = QuerySet::random(g, count, seed);
         for q in &qs {
             let expect = dijkstra_distance(g, q.source, q.target);
             for stage in 0..4 {
                 assert_eq!(
-                    idx.distance_at_stage(g, stage, q.source, q.target),
+                    idx.view_at_stage(stage).distance(q.source, q.target),
                     expect,
                     "PostMHL stage {stage} mismatch for {:?}",
                     q
@@ -704,12 +832,12 @@ mod tests {
     #[test]
     fn freshly_built_postmhl_is_exact_at_every_stage() {
         let g = grid(10, 10, WeightRange::new(1, 20), 51);
-        let mut idx = PostMhl::build(&g, config(8, 12, 2));
+        let idx = PostMhl::build(&g, config(8, 12, 2));
         assert!(idx.num_partitions() >= 2);
         assert!(idx.num_overlay_vertices() > 0);
         assert_eq!(idx.num_query_stages(), 4);
-        assert!(idx.index_size_bytes() > 0);
-        check_all_stages(&mut idx, &g, 80, 3);
+        assert!(IndexMaintainer::index_size_bytes(&idx) > 0);
+        check_all_stages(&idx, &g, 80, 3);
     }
 
     #[test]
@@ -720,10 +848,15 @@ mod tests {
         for round in 0..3 {
             let batch = gen.generate(&g, 25);
             g.apply_batch(&batch);
-            let timeline = idx.apply_batch(&g, &batch);
+            let publisher = SnapshotPublisher::new(idx.current_view());
+            let timeline = idx.apply_batch(&g, &batch, &publisher);
             assert_eq!(timeline.stages.len(), 5);
             assert_eq!(idx.stage(), PostMhlStage::CrossBoundary);
-            check_all_stages(&mut idx, &g, 50, 200 + round);
+            // Four query stages published (U3 releases no new machinery).
+            let log = publisher.take_log();
+            assert_eq!(log.len(), 4);
+            assert_eq!(log.last().unwrap().stage, 3);
+            check_all_stages(&idx, &g, 50, 200 + round);
         }
     }
 
@@ -739,13 +872,17 @@ mod tests {
         let batch2 = gen2.generate(&g2, 20);
         g1.apply_batch(&batch1);
         g2.apply_batch(&batch2);
-        a.apply_batch(&g1, &batch1);
-        b.apply_batch(&g2, &batch2);
+        let pub_a = SnapshotPublisher::new(a.current_view());
+        let pub_b = SnapshotPublisher::new(b.current_view());
+        a.apply_batch(&g1, &batch1, &pub_a);
+        b.apply_batch(&g2, &batch2, &pub_b);
+        let va = a.current_view();
+        let vb = b.current_view();
         let qs = QuerySet::random(&g1, 60, 17);
         for q in &qs {
             assert_eq!(
-                a.distance(&g1, q.source, q.target),
-                b.distance(&g2, q.source, q.target)
+                va.distance(q.source, q.target),
+                vb.distance(q.source, q.target)
             );
         }
     }

@@ -152,7 +152,9 @@ pub fn random_geometric(n: usize, k: usize, weights: WeightRange, seed: u64) -> 
     assert!(n >= 2, "need at least two vertices");
     assert!(k >= 1, "need at least one neighbor per vertex");
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
 
     let span = (weights.max - weights.min) as f64;
     let weight_of = |a: (f64, f64), b: (f64, f64)| -> Weight {
@@ -262,7 +264,7 @@ fn connect_components(g: Graph, pts: &[(f64, f64)], weights: WeightRange) -> Gra
                     continue;
                 }
                 let d = (pts[i].0 - pts[j].0).powi(2) + (pts[i].1 - pts[j].1).powi(2);
-                if best.map_or(true, |(bd, _, _)| d < bd) {
+                if best.is_none_or(|(bd, _, _)| d < bd) {
                     best = Some((d, i, j));
                 }
             }

@@ -489,10 +489,8 @@ mod tests {
         let mut g = triangle();
         let (e01, _) = g.find_edge(VertexId(0), VertexId(1)).unwrap();
         let (e12, _) = g.find_edge(VertexId(1), VertexId(2)).unwrap();
-        let batch = UpdateBatch::from_updates(vec![
-            EdgeUpdate::new(e01, 3, 6),
-            EdgeUpdate::new(e12, 4, 2),
-        ]);
+        let batch =
+            UpdateBatch::from_updates(vec![EdgeUpdate::new(e01, 3, 6), EdgeUpdate::new(e12, 4, 2)]);
         let applied = g.apply_batch(&batch);
         assert_eq!(applied.len(), 2);
         assert_eq!(g.edge_weight(e01), 6);

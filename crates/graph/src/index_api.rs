@@ -1,18 +1,70 @@
-//! The common interface implemented by every dynamic shortest-distance index
-//! in this repository (BiDijkstra, DCH, DH2H, N-CH-P, P-TD-P, TOAIN, PMHL,
-//! PostMHL).
+//! The read/write index API every dynamic shortest-distance index in this
+//! repository implements (BiDijkstra, DCH, DH2H, N-CH-P, P-TD-P, TOAIN, MHL,
+//! PMHL, PostMHL).
 //!
-//! The throughput harness (crate `htsp-throughput`) drives all algorithms
-//! through this trait: it applies an update batch, observes the *staged*
-//! availability timeline the index reports (Figure 1 of the paper), measures
-//! per-stage query latency, and feeds both into the throughput model of
-//! Lemma 1.
+//! # Why two traits
+//!
+//! The paper's whole premise (Figure 1, §II) is that a road-network index
+//! must keep serving queries *while* it is being repaired after a traffic
+//! update batch. That requires the query side and the maintenance side to be
+//! separate objects with separate ownership:
+//!
+//! * [`QueryView`] is the **read half**: an immutable, `Send + Sync`
+//!   snapshot that answers `distance(s, t)` from shared references on any
+//!   number of threads. A view is frozen at a specific graph version and a
+//!   specific query stage; it never observes in-flight maintenance.
+//! * [`IndexMaintainer`] is the **write half**: it owns the mutable index
+//!   machinery, repairs it when a batch arrives, and *publishes* a fresh
+//!   `Arc<dyn QueryView>` through a [`SnapshotPublisher`] at the end of each
+//!   completed update stage — the staged availability of Figure 1. Query
+//!   threads atomically pick up the newest snapshot and immediately run at
+//!   that stage's speed.
+//!
+//! The contract mirrors the paper's system model: when a batch arrives the
+//! maintainer first installs the new edge weights (U-Stage 1), after which a
+//! view answering exactly on the *new* weights (via index-free search) is
+//! published; each further update stage releases a faster view. Every
+//! published view is internally consistent — it reports the graph snapshot
+//! it answers on via [`QueryView::graph`], and its answers are exact w.r.t.
+//! that snapshot (no staleness, no torn reads).
+//!
+//! Snapshot isolation is implemented by copy-on-write: maintainers keep
+//! their components in [`Arc`]s and mutate through [`Arc::make_mut`], so a
+//! published view keeps the pre-mutation data alive while the maintainer
+//! works on a private copy. When no snapshot is outstanding the mutation is
+//! in-place and free.
+//!
+//! **Measurement caveat:** because every stage *publishes* a snapshot, the
+//! next stage's `Arc::make_mut` usually does clone the component it
+//! mutates, and that clone runs inside the stage timer. Reported per-stage
+//! durations (and therefore `t_u` and the Lemma 1 bound) include this
+//! snapshot-isolation cost, which is O(component size) rather than
+//! O(change size). That is the honest price of staying servable during
+//! maintenance; shrinking it with per-row/per-partition `Arc` granularity
+//! is tracked as future work in ROADMAP.md.
+//!
+//! # Throughput measurement
+//!
+//! The harness in `htsp-throughput` drives maintainers through update
+//! batches and measures per-stage query latency to evaluate the Lemma 1
+//! throughput bound; its `QueryEngine` additionally runs real query worker
+//! threads against the published snapshots to report *measured* QPS curves.
+//!
+//! # The legacy trait
+//!
+//! [`DynamicSpIndex`] is the old single-object `&mut self` interface. It is
+//! kept as a deprecation shim: a blanket impl makes every
+//! [`IndexMaintainer`] usable through it, so pre-split call sites keep
+//! compiling. New code should use the split traits; the shim cannot serve
+//! queries concurrently with maintenance.
 
 use crate::graph::Graph;
 use crate::queries::Query;
 use crate::types::{Dist, VertexId};
 use crate::updates::UpdateBatch;
-use std::time::Duration;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
 /// One completed update stage: after `elapsed_in_stage` of work the stage's
 /// index became available and queries can run at that stage's speed.
@@ -61,13 +113,177 @@ impl UpdateTimeline {
     }
 }
 
-/// A dynamic shortest-distance index driven by the throughput harness.
+/// An immutable, concurrently shareable snapshot of a shortest-distance
+/// index: the **read half** of the API.
 ///
-/// The contract mirrors the paper's system model (§II): when a batch arrives
-/// the caller first applies it to the graph (U-Stage 1 happens inside
-/// [`DynamicSpIndex::apply_batch`] implementations that need it), then the
-/// index repairs itself; queries issued afterwards must reflect the new
-/// weights exactly (no staleness).
+/// A view is pinned to one graph version and one query stage. All methods
+/// take `&self`; implementations keep per-query working memory in a
+/// [`ScratchPool`](crate::scratch::ScratchPool) so any number of threads can
+/// query one view simultaneously. The trait is object-safe: maintainers
+/// publish `Arc<dyn QueryView>` snapshots.
+pub trait QueryView: Send + Sync {
+    /// Short algorithm name used in experiment tables (e.g. `"PostMHL"`).
+    fn algorithm(&self) -> &'static str;
+
+    /// The 0-based query stage this view serves
+    /// (`IndexMaintainer::num_query_stages() - 1` = fully repaired).
+    fn stage(&self) -> usize;
+
+    /// Answers `q(s, t)` exactly on this view's graph snapshot.
+    fn distance(&self, s: VertexId, t: VertexId) -> Dist;
+
+    /// The graph snapshot this view answers on. Every answer of
+    /// [`QueryView::distance`] equals a fresh Dijkstra run on this graph.
+    fn graph(&self) -> &Graph;
+
+    /// Approximate index size in bytes (0 for index-free views).
+    fn index_size_bytes(&self) -> usize {
+        0
+    }
+
+    /// Convenience: answers a [`Query`].
+    fn query(&self, q: &Query) -> Dist {
+        self.distance(q.source, q.target)
+    }
+}
+
+/// The channel through which a maintainer publishes snapshots and query
+/// threads pick them up.
+///
+/// `publish` atomically replaces the current snapshot; `snapshot` hands any
+/// thread an owned `Arc` of the newest view. A monotonically increasing
+/// version and a publication log (instants + stages) let the measurement
+/// harness correlate observed throughput with stage availability.
+pub struct SnapshotPublisher {
+    slot: RwLock<Arc<dyn QueryView>>,
+    version: AtomicU64,
+    log: Mutex<Vec<PublishEvent>>,
+}
+
+/// One publication: which stage became available and when.
+#[derive(Clone, Copy, Debug)]
+pub struct PublishEvent {
+    /// When the snapshot was published.
+    pub at: Instant,
+    /// The query stage of the published view.
+    pub stage: usize,
+    /// Publisher version right after this publication.
+    pub version: u64,
+}
+
+impl SnapshotPublisher {
+    /// Creates a publisher holding `initial` as the current snapshot.
+    pub fn new(initial: Arc<dyn QueryView>) -> Self {
+        SnapshotPublisher {
+            slot: RwLock::new(initial),
+            version: AtomicU64::new(0),
+            log: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Atomically replaces the current snapshot (called by the maintainer at
+    /// the end of each completed update stage).
+    pub fn publish(&self, view: Arc<dyn QueryView>) {
+        let stage = view.stage();
+        {
+            let mut slot = self.slot.write().expect("publisher poisoned");
+            *slot = view;
+        }
+        let version = self.version.fetch_add(1, Ordering::AcqRel) + 1;
+        self.log
+            .lock()
+            .expect("publisher log poisoned")
+            .push(PublishEvent {
+                at: Instant::now(),
+                stage,
+                version,
+            });
+    }
+
+    /// Returns an owned handle to the newest snapshot.
+    pub fn snapshot(&self) -> Arc<dyn QueryView> {
+        Arc::clone(&self.slot.read().expect("publisher poisoned"))
+    }
+
+    /// Number of publications so far.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Drains and returns the publication log.
+    pub fn take_log(&self) -> Vec<PublishEvent> {
+        std::mem::take(&mut self.log.lock().expect("publisher log poisoned"))
+    }
+}
+
+impl std::fmt::Debug for SnapshotPublisher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotPublisher")
+            .field("version", &self.version())
+            .finish()
+    }
+}
+
+/// The **write half** of the API: owns the mutable index machinery and
+/// repairs it after each update batch, publishing staged snapshots.
+///
+/// The contract (mirroring §II and Figure 1 of the paper):
+///
+/// 1. `apply_batch(graph, batch, publisher)` is called once per batch with
+///    the already-updated global graph and the batch itself. The maintainer
+///    installs the new weights in its own graph copy (U-Stage 1) and then
+///    runs its repair stages in order.
+/// 2. At the end of every completed stage that releases new (or faster)
+///    query machinery, the maintainer calls [`SnapshotPublisher::publish`]
+///    with a view that answers exactly on the new weights.
+/// 3. Between publications the previously published snapshot stays valid —
+///    query threads keep using it; they are never blocked and never observe
+///    a half-repaired index.
+pub trait IndexMaintainer: Send {
+    /// Short algorithm name used in experiment tables (e.g. `"PostMHL"`).
+    fn name(&self) -> &'static str;
+
+    /// Number of query stages this index exposes (1 for single-stage
+    /// indexes).
+    fn num_query_stages(&self) -> usize {
+        1
+    }
+
+    /// Repairs the index after `batch` has been applied to `graph`,
+    /// publishing a snapshot at the end of each completed stage. Returns the
+    /// staged availability timeline.
+    fn apply_batch(
+        &mut self,
+        graph: &Graph,
+        batch: &UpdateBatch,
+        publisher: &SnapshotPublisher,
+    ) -> UpdateTimeline;
+
+    /// A snapshot of the fastest fully-repaired query machinery.
+    fn current_view(&self) -> Arc<dyn QueryView>;
+
+    /// A snapshot using the machinery of query stage `stage` (0-based) over
+    /// the *current* (fully repaired) data — used by the harness to measure
+    /// each stage's query speed. Single-stage indexes ignore `stage`.
+    fn view_at_stage(&self, stage: usize) -> Arc<dyn QueryView> {
+        let _ = stage;
+        self.current_view()
+    }
+
+    /// Approximate index size in bytes (0 for index-free algorithms).
+    fn index_size_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// The legacy single-object index interface (pre read/write split).
+///
+/// **Deprecated** in favour of [`IndexMaintainer`] + [`QueryView`]: because
+/// `distance` takes `&mut self`, queries and maintenance can never overlap
+/// under this trait, so a system built on it can only *model* throughput,
+/// not serve it. A blanket impl keeps every [`IndexMaintainer`] usable
+/// through this trait so existing call sites compile unchanged; each call
+/// takes a fresh snapshot, which costs a few `Arc` clones.
 pub trait DynamicSpIndex {
     /// Short algorithm name used in experiment tables (e.g. `"PostMHL"`).
     fn name(&self) -> &'static str;
@@ -89,13 +305,7 @@ pub trait DynamicSpIndex {
     /// (0-based; stage `num_query_stages() - 1` equals [`Self::distance`]).
     ///
     /// Single-stage indexes ignore `stage`.
-    fn distance_at_stage(
-        &mut self,
-        graph: &Graph,
-        stage: usize,
-        s: VertexId,
-        t: VertexId,
-    ) -> Dist {
+    fn distance_at_stage(&mut self, graph: &Graph, stage: usize, s: VertexId, t: VertexId) -> Dist {
         let _ = stage;
         self.distance(graph, s, t)
     }
@@ -108,6 +318,44 @@ pub trait DynamicSpIndex {
     /// Convenience: answers a [`Query`].
     fn query(&mut self, graph: &Graph, q: &Query) -> Dist {
         self.distance(graph, q.source, q.target)
+    }
+}
+
+/// Deprecation shim: every maintainer is usable through the legacy trait.
+///
+/// The `graph` arguments are ignored — the maintainer's own (identical)
+/// graph snapshot answers instead, which is what makes the legacy calls safe
+/// against torn reads.
+impl<M: IndexMaintainer + ?Sized> DynamicSpIndex for M {
+    fn name(&self) -> &'static str {
+        IndexMaintainer::name(self)
+    }
+
+    fn apply_batch(&mut self, graph: &Graph, batch: &UpdateBatch) -> UpdateTimeline {
+        let publisher = SnapshotPublisher::new(self.current_view());
+        IndexMaintainer::apply_batch(self, graph, batch, &publisher)
+    }
+
+    fn num_query_stages(&self) -> usize {
+        IndexMaintainer::num_query_stages(self)
+    }
+
+    fn distance(&mut self, _graph: &Graph, s: VertexId, t: VertexId) -> Dist {
+        self.current_view().distance(s, t)
+    }
+
+    fn distance_at_stage(
+        &mut self,
+        _graph: &Graph,
+        stage: usize,
+        s: VertexId,
+        t: VertexId,
+    ) -> Dist {
+        self.view_at_stage(stage).distance(s, t)
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        IndexMaintainer::index_size_bytes(self)
     }
 }
 
@@ -131,5 +379,78 @@ mod tests {
         let t = UpdateTimeline::single("only", Duration::from_micros(3));
         assert_eq!(t.stages.len(), 1);
         assert_eq!(t.total(), Duration::from_micros(3));
+    }
+
+    /// A constant view for exercising the publisher.
+    struct Fixed {
+        stage: usize,
+        graph: Graph,
+    }
+
+    impl QueryView for Fixed {
+        fn algorithm(&self) -> &'static str {
+            "fixed"
+        }
+        fn stage(&self) -> usize {
+            self.stage
+        }
+        fn distance(&self, _s: VertexId, _t: VertexId) -> Dist {
+            Dist(self.stage as u32)
+        }
+        fn graph(&self) -> &Graph {
+            &self.graph
+        }
+    }
+
+    fn tiny_graph() -> Graph {
+        let mut b = crate::graph::GraphBuilder::new(2);
+        b.add_edge(VertexId(0), VertexId(1), 1);
+        b.build()
+    }
+
+    #[test]
+    fn publisher_swaps_snapshots_and_logs() {
+        let publisher = SnapshotPublisher::new(Arc::new(Fixed {
+            stage: 0,
+            graph: tiny_graph(),
+        }));
+        assert_eq!(publisher.version(), 0);
+        assert_eq!(publisher.snapshot().stage(), 0);
+
+        publisher.publish(Arc::new(Fixed {
+            stage: 1,
+            graph: tiny_graph(),
+        }));
+        assert_eq!(publisher.version(), 1);
+        assert_eq!(publisher.snapshot().stage(), 1);
+        assert_eq!(
+            publisher.snapshot().distance(VertexId(0), VertexId(1)),
+            Dist(1)
+        );
+
+        let log = publisher.take_log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].stage, 1);
+        assert_eq!(log[0].version, 1);
+        assert!(publisher.take_log().is_empty());
+    }
+
+    #[test]
+    fn query_view_is_object_safe_send_sync() {
+        fn assert_send_sync<T: Send + Sync + ?Sized>() {}
+        assert_send_sync::<dyn QueryView>();
+        // Snapshots can be shared across threads.
+        let view: Arc<dyn QueryView> = Arc::new(Fixed {
+            stage: 0,
+            graph: tiny_graph(),
+        });
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let v = Arc::clone(&view);
+                scope.spawn(move || {
+                    assert_eq!(v.distance(VertexId(0), VertexId(1)), Dist(0));
+                });
+            }
+        });
     }
 }

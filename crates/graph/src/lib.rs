@@ -19,6 +19,12 @@
 //!   datasets can be dropped in when available.
 //! * [`queries`] — shortest-distance query workloads: uniform random pairs and
 //!   Poisson-process arrival timestamps (§II system model).
+//! * [`index_api`] — the read/write index API: immutable, thread-safe
+//!   [`QueryView`] snapshots published by an [`IndexMaintainer`] through a
+//!   [`SnapshotPublisher`] at the end of each completed update stage
+//!   (Figure 1), plus the legacy [`DynamicSpIndex`] shim.
+//! * [`scratch`] — the [`ScratchPool`] that lets one immutable view serve
+//!   many query threads, each with its own search working memory.
 //!
 //! # Quick example
 //!
@@ -40,11 +46,16 @@ pub mod gen;
 pub mod graph;
 pub mod index_api;
 pub mod queries;
+pub mod scratch;
 pub mod types;
 pub mod updates;
 
 pub use graph::{Graph, GraphBuilder, NeighborIter};
-pub use index_api::{DynamicSpIndex, StageReport, UpdateTimeline};
+pub use index_api::{
+    DynamicSpIndex, IndexMaintainer, PublishEvent, QueryView, SnapshotPublisher, StageReport,
+    UpdateTimeline,
+};
 pub use queries::{Query, QuerySet, QueryWorkload};
+pub use scratch::ScratchPool;
 pub use types::{Dist, EdgeId, VertexId, Weight, INF};
 pub use updates::{EdgeUpdate, UpdateBatch, UpdateGenerator, UpdateKind};

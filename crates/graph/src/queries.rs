@@ -11,10 +11,9 @@ use crate::types::VertexId;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
 
 /// A single shortest-distance query `q(s, t)`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Query {
     /// Source vertex.
     pub source: VertexId,
@@ -30,7 +29,7 @@ impl Query {
 }
 
 /// A set of queries without timing information.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct QuerySet {
     queries: Vec<Query>,
 }
@@ -118,7 +117,7 @@ impl<'a> IntoIterator for &'a QuerySet {
 }
 
 /// A timed query workload: queries plus Poisson arrival times (seconds).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct QueryWorkload {
     /// The queries, in arrival order.
     pub queries: Vec<Query>,

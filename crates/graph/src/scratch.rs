@@ -1,0 +1,91 @@
+//! A small lock-based pool of reusable query scratch state.
+//!
+//! The searchers in this repository (bidirectional Dijkstra, CH search, PCH
+//! search) keep per-query working memory — distance arrays, visited flags,
+//! binary heaps — that is reset cheaply between queries. Under the
+//! [`QueryView`](crate::index_api::QueryView) contract `distance` takes
+//! `&self` and must be callable from many threads at once, so that working
+//! memory cannot live in the view itself. A [`ScratchPool`] bridges the gap:
+//! each query checks out one scratch object (allocating a fresh one only when
+//! the pool is empty, i.e. at most once per concurrently active thread) and
+//! returns it when done.
+
+use std::sync::Mutex;
+
+/// A pool of reusable scratch objects handed out one per concurrent query.
+pub struct ScratchPool<T> {
+    free: Mutex<Vec<T>>,
+    make: Box<dyn Fn() -> T + Send + Sync>,
+}
+
+impl<T> ScratchPool<T> {
+    /// Creates a pool; `make` builds a fresh scratch object when the pool has
+    /// no idle one (at most once per concurrently active thread).
+    pub fn new(make: impl Fn() -> T + Send + Sync + 'static) -> Self {
+        ScratchPool {
+            free: Mutex::new(Vec::new()),
+            make: Box::new(make),
+        }
+    }
+
+    /// Runs `f` with exclusive access to one scratch object.
+    pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        let mut scratch = self
+            .free
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_else(|| (self.make)());
+        let result = f(&mut scratch);
+        self.free
+            .lock()
+            .expect("scratch pool poisoned")
+            .push(scratch);
+        result
+    }
+
+    /// Number of idle scratch objects currently pooled.
+    pub fn idle(&self) -> usize {
+        self.free.lock().expect("scratch pool poisoned").len()
+    }
+}
+
+impl<T> std::fmt::Debug for ScratchPool<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScratchPool")
+            .field("idle", &self.idle())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn objects_are_reused() {
+        let pool = ScratchPool::new(Vec::<u32>::new);
+        pool.with(|v| v.push(1));
+        assert_eq!(pool.idle(), 1);
+        // The same buffer comes back (still holding its capacity).
+        pool.with(|v| assert_eq!(v.len(), 1));
+        assert_eq!(pool.idle(), 1);
+    }
+
+    #[test]
+    fn concurrent_checkout_allocates_at_most_per_thread() {
+        let pool = Arc::new(ScratchPool::new(|| 0u64));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let pool = Arc::clone(&pool);
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        pool.with(|x| *x += 1);
+                    }
+                });
+            }
+        });
+        assert!(pool.idle() >= 1 && pool.idle() <= 8);
+    }
+}

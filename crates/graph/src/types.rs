@@ -6,11 +6,10 @@
 //! halving the memory footprint matters (see the type-size guidance in the
 //! Rust performance guide).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A compact vertex identifier (index into the graph's vertex arrays).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct VertexId(pub u32);
 
 impl VertexId {
@@ -44,7 +43,7 @@ impl fmt::Display for VertexId {
 }
 
 /// A compact edge identifier (index into the graph's edge arrays).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EdgeId(pub u32);
 
 impl EdgeId {
@@ -71,7 +70,7 @@ pub type Weight = u32;
 /// [`INF`], so `INF + w == INF` and unreachable vertices propagate correctly
 /// through distance concatenation (the PSP query of §III-C chains up to three
 /// distance values).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Dist(pub u32);
 
 /// The "unreachable" sentinel distance.

@@ -12,10 +12,9 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
 
 /// The direction of a weight change.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum UpdateKind {
     /// The edge weight decreased (shortest distances can only shrink).
     Decrease,
@@ -26,7 +25,7 @@ pub enum UpdateKind {
 }
 
 /// A single edge-weight update.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct EdgeUpdate {
     /// The edge whose weight changes.
     pub edge: EdgeId,
@@ -58,7 +57,7 @@ impl EdgeUpdate {
 }
 
 /// A batch of edge-weight updates collected over one update interval `δt`.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct UpdateBatch {
     updates: Vec<EdgeUpdate>,
 }

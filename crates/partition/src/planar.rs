@@ -44,9 +44,7 @@ pub fn partition_region_growing(graph: &Graph, k: usize, seed: u64) -> Partition
         // Pick the non-empty frontier of the currently smallest region.
         let mut best: Option<usize> = None;
         for i in 0..k {
-            if !frontiers[i].is_empty()
-                && best.map_or(true, |b| sizes[i] < sizes[b])
-            {
+            if !frontiers[i].is_empty() && best.is_none_or(|b| sizes[i] < sizes[b]) {
                 best = Some(i);
             }
         }
@@ -82,7 +80,7 @@ pub fn partition_region_growing(graph: &Graph, k: usize, seed: u64) -> Partition
     }
 
     // Refinement sweeps.
-    let max_size = (n + k - 1) / k * 2; // allow up to 2x the average size
+    let max_size = n.div_ceil(k) * 2; // allow up to 2x the average size
     refine(graph, &mut part_of, k, max_size, 3);
 
     PartitionResult::from_assignment(graph, part_of, k)
@@ -103,17 +101,17 @@ fn farthest_point_seeds(graph: &Graph, k: usize, seed: u64) -> Vec<VertexId> {
         let mut best_v = 0usize;
         let mut best_d = 0u32;
         let mut found_unreached = false;
-        for v in 0..n {
+        for (v, &h) in hop.iter().enumerate() {
             if seeds.iter().any(|s| s.index() == v) {
                 continue;
             }
-            if hop[v] == u32::MAX {
+            if h == u32::MAX {
                 best_v = v;
                 found_unreached = true;
                 break;
             }
-            if hop[v] >= best_d {
-                best_d = hop[v];
+            if h >= best_d {
+                best_d = h;
                 best_v = v;
             }
         }

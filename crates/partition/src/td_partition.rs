@@ -257,7 +257,10 @@ mod tests {
         for (i, &a) in tp.roots().iter().enumerate() {
             for (j, &b) in tp.roots().iter().enumerate() {
                 if i != j {
-                    assert!(!td.lca_index().is_ancestor(a, b), "{a} is an ancestor of {b}");
+                    assert!(
+                        !td.lca_index().is_ancestor(a, b),
+                        "{a} is an ancestor of {b}"
+                    );
                 }
             }
         }

@@ -7,6 +7,9 @@
 //!   DH2H as the underlying index. Same-partition queries use the corrected
 //!   partition labels `L'_i`; cross-partition queries concatenate
 //!   `L'_i`, `L̃`, and `L'_j` through the boundary vertices.
+//!
+//! Both are single-stage: one snapshot is published per batch, when the
+//! repair completes.
 
 use crate::overlay::OverlayGraph;
 use crate::partition_index::build_partition_ch;
@@ -15,14 +18,20 @@ use crate::pch::PchSearcher;
 use crate::post_boundary::PostBoundaryIndexes;
 use htsp_ch::{ContractionHierarchy, OrderingStrategy, ShortcutMode};
 use htsp_graph::{
-    Dist, DynamicSpIndex, Graph, UpdateBatch, UpdateTimeline, VertexId, INF,
+    Dist, Graph, IndexMaintainer, QueryView, ScratchPool, SnapshotPublisher, UpdateBatch,
+    UpdateTimeline, VertexId, INF,
 };
 use htsp_partition::{partition_region_growing, PartitionResult};
 use htsp_td::{H2HIndex, TreeDecomposition};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Builds the standard partitioned substrate shared by both baselines.
-fn build_substrate(graph: &Graph, k: usize, seed: u64) -> (Partitioned, Vec<ContractionHierarchy>, OverlayGraph) {
+fn build_substrate(
+    graph: &Graph,
+    k: usize,
+    seed: u64,
+) -> (Partitioned, Vec<ContractionHierarchy>, OverlayGraph) {
     let pr: PartitionResult = partition_region_growing(graph, k, seed);
     let partitioned = Partitioned::build(graph.clone(), pr);
     let chs: Vec<ContractionHierarchy> = partitioned
@@ -35,76 +44,39 @@ fn build_substrate(graph: &Graph, k: usize, seed: u64) -> (Partitioned, Vec<Cont
     (partitioned, chs, overlay)
 }
 
-/// N-CH-P: no-boundary PSP index over DCH.
-pub struct NChP {
-    partitioned: Partitioned,
-    partition_chs: Vec<ContractionHierarchy>,
-    overlay: OverlayGraph,
-    overlay_ch: ContractionHierarchy,
-    searcher: PchSearcher,
+/// Immutable N-CH-P snapshot.
+pub struct NChPView {
+    partitioned: Arc<Partitioned>,
+    partition_chs: Arc<Vec<ContractionHierarchy>>,
+    overlay: Arc<OverlayGraph>,
+    overlay_ch: Arc<ContractionHierarchy>,
+    searcher: Arc<ScratchPool<PchSearcher>>,
 }
 
-impl NChP {
-    /// Builds N-CH-P over `graph` with `k` partitions.
-    pub fn build(graph: &Graph, k: usize, seed: u64) -> Self {
-        let (partitioned, partition_chs, overlay) = build_substrate(graph, k, seed);
-        let overlay_ch = ContractionHierarchy::build(
-            &overlay.graph,
-            OrderingStrategy::MinDegree,
-            ShortcutMode::AllPairs,
-        );
-        let searcher = PchSearcher::new(graph.num_vertices());
-        NChP {
-            partitioned,
-            partition_chs,
-            overlay,
-            overlay_ch,
-            searcher,
-        }
-    }
-
-    /// The partitioned view (for tests and experiments).
-    pub fn partitioned(&self) -> &Partitioned {
-        &self.partitioned
-    }
-}
-
-impl DynamicSpIndex for NChP {
-    fn name(&self) -> &'static str {
+impl QueryView for NChPView {
+    fn algorithm(&self) -> &'static str {
         "N-CH-P"
     }
 
-    fn apply_batch(&mut self, _graph: &Graph, batch: &UpdateBatch) -> UpdateTimeline {
-        let mut timeline = UpdateTimeline::default();
-        let t0 = Instant::now();
-        let routed = self.partitioned.apply_batch(batch);
-        timeline.push("U1: on-spot edge update", t0.elapsed());
-
-        let t1 = Instant::now();
-        let mut per_part = Vec::new();
-        for (i, ch) in self.partition_chs.iter_mut().enumerate() {
-            if routed.intra[i].is_empty() {
-                continue;
-            }
-            let changes = ch.apply_batch(
-                &self.partitioned.subgraphs[i].graph,
-                routed.intra[i].as_slice(),
-            );
-            per_part.push((i, changes));
-        }
-        let overlay_batch = self
-            .overlay
-            .apply_changes(&self.partitioned, &routed.inter, &per_part);
-        self.overlay_ch
-            .apply_batch(&self.overlay.graph, overlay_batch.as_slice());
-        timeline.push("U2: no-boundary shortcut update", t1.elapsed());
-        timeline
+    fn stage(&self) -> usize {
+        0
     }
 
-    fn distance(&mut self, _graph: &Graph, s: VertexId, t: VertexId) -> Dist {
-        let refs: Vec<&ContractionHierarchy> = self.partition_chs.iter().collect();
-        self.searcher
-            .distance(&self.partitioned, &refs, &self.overlay, &self.overlay_ch, s, t)
+    fn distance(&self, s: VertexId, t: VertexId) -> Dist {
+        self.searcher.with(|p| {
+            p.distance(
+                &self.partitioned,
+                &self.partition_chs,
+                &self.overlay,
+                &self.overlay_ch,
+                s,
+                t,
+            )
+        })
+    }
+
+    fn graph(&self) -> &Graph {
+        &self.partitioned.graph
     }
 
     fn index_size_bytes(&self) -> usize {
@@ -116,27 +88,31 @@ impl DynamicSpIndex for NChP {
     }
 }
 
-/// P-TD-P: post-boundary PSP index over DH2H.
-pub struct PTdP {
-    partitioned: Partitioned,
-    partition_chs: Vec<ContractionHierarchy>,
-    overlay: OverlayGraph,
-    overlay_index: H2HIndex,
-    post: PostBoundaryIndexes,
+/// N-CH-P: no-boundary PSP index over DCH (write half).
+pub struct NChP {
+    partitioned: Arc<Partitioned>,
+    partition_chs: Arc<Vec<ContractionHierarchy>>,
+    overlay: Arc<OverlayGraph>,
+    overlay_ch: Arc<ContractionHierarchy>,
+    searcher: Arc<ScratchPool<PchSearcher>>,
 }
 
-impl PTdP {
-    /// Builds P-TD-P over `graph` with `k` partitions.
+impl NChP {
+    /// Builds N-CH-P over `graph` with `k` partitions.
     pub fn build(graph: &Graph, k: usize, seed: u64) -> Self {
         let (partitioned, partition_chs, overlay) = build_substrate(graph, k, seed);
-        let overlay_index = H2HIndex::from_decomposition(TreeDecomposition::build(&overlay.graph));
-        let post = PostBoundaryIndexes::build(&partitioned, &overlay, &overlay_index);
-        PTdP {
-            partitioned,
-            partition_chs,
-            overlay,
-            overlay_index,
-            post,
+        let overlay_ch = ContractionHierarchy::build(
+            &overlay.graph,
+            OrderingStrategy::MinDegree,
+            ShortcutMode::AllPairs,
+        );
+        let n = graph.num_vertices();
+        NChP {
+            partitioned: Arc::new(partitioned),
+            partition_chs: Arc::new(partition_chs),
+            overlay: Arc::new(overlay),
+            overlay_ch: Arc::new(overlay_ch),
+            searcher: Arc::new(ScratchPool::new(move || PchSearcher::new(n))),
         }
     }
 
@@ -144,7 +120,80 @@ impl PTdP {
     pub fn partitioned(&self) -> &Partitioned {
         &self.partitioned
     }
+}
 
+impl IndexMaintainer for NChP {
+    fn name(&self) -> &'static str {
+        "N-CH-P"
+    }
+
+    fn apply_batch(
+        &mut self,
+        _graph: &Graph,
+        batch: &UpdateBatch,
+        publisher: &SnapshotPublisher,
+    ) -> UpdateTimeline {
+        let mut timeline = UpdateTimeline::default();
+        let t0 = Instant::now();
+        let routed = Arc::make_mut(&mut self.partitioned).apply_batch(batch);
+        timeline.push("U1: on-spot edge update", t0.elapsed());
+
+        let t1 = Instant::now();
+        let mut per_part = Vec::new();
+        {
+            let chs = Arc::make_mut(&mut self.partition_chs);
+            for (i, ch) in chs.iter_mut().enumerate() {
+                if routed.intra[i].is_empty() {
+                    continue;
+                }
+                let changes = ch.apply_batch(
+                    &self.partitioned.subgraphs[i].graph,
+                    routed.intra[i].as_slice(),
+                );
+                per_part.push((i, changes));
+            }
+        }
+        let overlay_batch = Arc::make_mut(&mut self.overlay).apply_changes(
+            &self.partitioned,
+            &routed.inter,
+            &per_part,
+        );
+        Arc::make_mut(&mut self.overlay_ch)
+            .apply_batch(&self.overlay.graph, overlay_batch.as_slice());
+        publisher.publish(self.current_view());
+        timeline.push("U2: no-boundary shortcut update", t1.elapsed());
+        timeline
+    }
+
+    fn current_view(&self) -> Arc<dyn QueryView> {
+        Arc::new(NChPView {
+            partitioned: Arc::clone(&self.partitioned),
+            partition_chs: Arc::clone(&self.partition_chs),
+            overlay: Arc::clone(&self.overlay),
+            overlay_ch: Arc::clone(&self.overlay_ch),
+            searcher: Arc::clone(&self.searcher),
+        })
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        self.partition_chs
+            .iter()
+            .map(|c| c.index_size_bytes())
+            .sum::<usize>()
+            + self.overlay_ch.index_size_bytes()
+    }
+}
+
+/// Immutable P-TD-P snapshot.
+pub struct PTdPView {
+    partitioned: Arc<Partitioned>,
+    partition_chs: Arc<Vec<ContractionHierarchy>>,
+    overlay: Arc<OverlayGraph>,
+    overlay_index: Arc<H2HIndex>,
+    post: Arc<PostBoundaryIndexes>,
+}
+
+impl PTdPView {
     /// Distance from a vertex to a boundary vertex of its own partition using
     /// `L'_i` (both global ids).
     fn to_boundary(&self, v: VertexId) -> Vec<(VertexId, Dist)> {
@@ -156,62 +205,34 @@ impl PTdP {
         let lv = sub.to_local(v).expect("vertex must be in its partition");
         sub.boundary_local
             .iter()
-            .map(|&lb| (sub.to_global(lb), self.post.distance_to_boundary(pi, lv, lb)))
+            .map(|&lb| {
+                (
+                    sub.to_global(lb),
+                    self.post.distance_to_boundary(pi, lv, lb),
+                )
+            })
             .collect()
     }
 }
 
-impl DynamicSpIndex for PTdP {
-    fn name(&self) -> &'static str {
+impl QueryView for PTdPView {
+    fn algorithm(&self) -> &'static str {
         "P-TD-P"
     }
 
-    fn apply_batch(&mut self, _graph: &Graph, batch: &UpdateBatch) -> UpdateTimeline {
-        let mut timeline = UpdateTimeline::default();
-        let t0 = Instant::now();
-        let routed = self.partitioned.apply_batch(batch);
-        timeline.push("U1: on-spot edge update", t0.elapsed());
-
-        // No-boundary shortcut + overlay label update (steps 1-3 of the
-        // post-boundary update procedure, Fig. 16).
-        let t1 = Instant::now();
-        let mut per_part = Vec::new();
-        for (i, ch) in self.partition_chs.iter_mut().enumerate() {
-            if routed.intra[i].is_empty() {
-                continue;
-            }
-            let changes = ch.apply_batch(
-                &self.partitioned.subgraphs[i].graph,
-                routed.intra[i].as_slice(),
-            );
-            per_part.push((i, changes));
-        }
-        let overlay_batch = self
-            .overlay
-            .apply_changes(&self.partitioned, &routed.inter, &per_part);
-        self.overlay_index
-            .apply_batch(&self.overlay.graph, overlay_batch.as_slice());
-        timeline.push("U2-3: overlay update", t1.elapsed());
-
-        // Post-boundary index update (steps 4-5).
-        let t2 = Instant::now();
-        self.post.update(
-            &self.partitioned,
-            &self.overlay,
-            &self.overlay_index,
-            &routed.intra,
-        );
-        timeline.push("U4: post-boundary index update", t2.elapsed());
-        timeline
+    fn stage(&self) -> usize {
+        0
     }
 
-    fn distance(&mut self, _graph: &Graph, s: VertexId, t: VertexId) -> Dist {
+    fn distance(&self, s: VertexId, t: VertexId) -> Dist {
         if s == t {
             return Dist::ZERO;
         }
         if self.partitioned.partition.same_partition(s, t) {
             let pi = self.partitioned.partition.partition_of(s);
-            return self.post.same_partition_distance(&self.partitioned, pi, s, t);
+            return self
+                .post
+                .same_partition_distance(&self.partitioned, pi, s, t);
         }
         // Cross-partition: concatenate L'_i, L̃, L'_j.
         let from_s = self.to_boundary(s);
@@ -246,6 +267,115 @@ impl DynamicSpIndex for PTdP {
         best
     }
 
+    fn graph(&self) -> &Graph {
+        &self.partitioned.graph
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        self.partition_chs
+            .iter()
+            .map(|c| c.index_size_bytes())
+            .sum::<usize>()
+            + self.overlay_index.index_size_bytes()
+            + self.post.index_size_bytes()
+    }
+}
+
+/// P-TD-P: post-boundary PSP index over DH2H (write half).
+pub struct PTdP {
+    partitioned: Arc<Partitioned>,
+    partition_chs: Arc<Vec<ContractionHierarchy>>,
+    overlay: Arc<OverlayGraph>,
+    overlay_index: Arc<H2HIndex>,
+    post: Arc<PostBoundaryIndexes>,
+}
+
+impl PTdP {
+    /// Builds P-TD-P over `graph` with `k` partitions.
+    pub fn build(graph: &Graph, k: usize, seed: u64) -> Self {
+        let (partitioned, partition_chs, overlay) = build_substrate(graph, k, seed);
+        let overlay_index = H2HIndex::from_decomposition(TreeDecomposition::build(&overlay.graph));
+        let post = PostBoundaryIndexes::build(&partitioned, &overlay, &overlay_index);
+        PTdP {
+            partitioned: Arc::new(partitioned),
+            partition_chs: Arc::new(partition_chs),
+            overlay: Arc::new(overlay),
+            overlay_index: Arc::new(overlay_index),
+            post: Arc::new(post),
+        }
+    }
+
+    /// The partitioned view (for tests and experiments).
+    pub fn partitioned(&self) -> &Partitioned {
+        &self.partitioned
+    }
+}
+
+impl IndexMaintainer for PTdP {
+    fn name(&self) -> &'static str {
+        "P-TD-P"
+    }
+
+    fn apply_batch(
+        &mut self,
+        _graph: &Graph,
+        batch: &UpdateBatch,
+        publisher: &SnapshotPublisher,
+    ) -> UpdateTimeline {
+        let mut timeline = UpdateTimeline::default();
+        let t0 = Instant::now();
+        let routed = Arc::make_mut(&mut self.partitioned).apply_batch(batch);
+        timeline.push("U1: on-spot edge update", t0.elapsed());
+
+        // No-boundary shortcut + overlay label update (steps 1-3 of the
+        // post-boundary update procedure, Fig. 16).
+        let t1 = Instant::now();
+        let mut per_part = Vec::new();
+        {
+            let chs = Arc::make_mut(&mut self.partition_chs);
+            for (i, ch) in chs.iter_mut().enumerate() {
+                if routed.intra[i].is_empty() {
+                    continue;
+                }
+                let changes = ch.apply_batch(
+                    &self.partitioned.subgraphs[i].graph,
+                    routed.intra[i].as_slice(),
+                );
+                per_part.push((i, changes));
+            }
+        }
+        let overlay_batch = Arc::make_mut(&mut self.overlay).apply_changes(
+            &self.partitioned,
+            &routed.inter,
+            &per_part,
+        );
+        Arc::make_mut(&mut self.overlay_index)
+            .apply_batch(&self.overlay.graph, overlay_batch.as_slice());
+        timeline.push("U2-3: overlay update", t1.elapsed());
+
+        // Post-boundary index update (steps 4-5).
+        let t2 = Instant::now();
+        Arc::make_mut(&mut self.post).update(
+            &self.partitioned,
+            &self.overlay,
+            &self.overlay_index,
+            &routed.intra,
+        );
+        publisher.publish(self.current_view());
+        timeline.push("U4: post-boundary index update", t2.elapsed());
+        timeline
+    }
+
+    fn current_view(&self) -> Arc<dyn QueryView> {
+        Arc::new(PTdPView {
+            partitioned: Arc::clone(&self.partitioned),
+            partition_chs: Arc::clone(&self.partition_chs),
+            overlay: Arc::clone(&self.overlay),
+            overlay_index: Arc::clone(&self.overlay_index),
+            post: Arc::clone(&self.post),
+        })
+    }
+
     fn index_size_bytes(&self) -> usize {
         self.partition_chs
             .iter()
@@ -263,11 +393,12 @@ mod tests {
     use htsp_graph::{QuerySet, UpdateGenerator};
     use htsp_search::dijkstra_distance;
 
-    fn check<I: DynamicSpIndex>(idx: &mut I, g: &Graph, count: usize, seed: u64) {
+    fn check<I: IndexMaintainer>(idx: &I, g: &Graph, count: usize, seed: u64) {
         let qs = QuerySet::random(g, count, seed);
+        let view = idx.current_view();
         for q in &qs {
             assert_eq!(
-                idx.distance(g, q.source, q.target),
+                view.distance(q.source, q.target),
                 dijkstra_distance(g, q.source, q.target),
                 "{} mismatch for {:?}",
                 idx.name(),
@@ -280,14 +411,16 @@ mod tests {
     fn nchp_exact_before_and_after_updates() {
         let mut g = grid(9, 9, WeightRange::new(1, 20), 31);
         let mut idx = NChP::build(&g, 4, 1);
-        check(&mut idx, &g, 120, 3);
+        check(&idx, &g, 120, 3);
         let mut gen = UpdateGenerator::new(5);
         for round in 0..2 {
             let batch = gen.generate(&g, 20);
             g.apply_batch(&batch);
-            let timeline = idx.apply_batch(&g, &batch);
+            let publisher = SnapshotPublisher::new(idx.current_view());
+            let timeline = idx.apply_batch(&g, &batch, &publisher);
             assert!(timeline.stages.len() >= 2);
-            check(&mut idx, &g, 80, 10 + round);
+            assert_eq!(publisher.version(), 1);
+            check(&idx, &g, 80, 10 + round);
         }
     }
 
@@ -295,14 +428,16 @@ mod tests {
     fn ptdp_exact_before_and_after_updates() {
         let mut g = grid(9, 9, WeightRange::new(1, 20), 37);
         let mut idx = PTdP::build(&g, 4, 2);
-        check(&mut idx, &g, 120, 4);
+        check(&idx, &g, 120, 4);
         let mut gen = UpdateGenerator::new(6);
         for round in 0..2 {
             let batch = gen.generate(&g, 20);
             g.apply_batch(&batch);
-            let timeline = idx.apply_batch(&g, &batch);
+            let publisher = SnapshotPublisher::new(idx.current_view());
+            let timeline = idx.apply_batch(&g, &batch, &publisher);
             assert!(timeline.total().as_nanos() > 0);
-            check(&mut idx, &g, 80, 20 + round);
+            assert_eq!(publisher.version(), 1);
+            check(&idx, &g, 80, 20 + round);
         }
     }
 
@@ -311,8 +446,10 @@ mod tests {
         let g = grid(8, 8, WeightRange::new(1, 9), 3);
         let nchp = NChP::build(&g, 4, 1);
         let ptdp = PTdP::build(&g, 4, 1);
-        assert!(nchp.index_size_bytes() > 0);
+        assert!(IndexMaintainer::index_size_bytes(&nchp) > 0);
         // P-TD-P additionally stores labels, so it is the larger index.
-        assert!(ptdp.index_size_bytes() > nchp.index_size_bytes());
+        assert!(
+            IndexMaintainer::index_size_bytes(&ptdp) > IndexMaintainer::index_size_bytes(&nchp)
+        );
     }
 }

@@ -64,9 +64,9 @@ impl CrossBoundaryIndex {
     ) -> Self {
         let n = partitioned.graph.num_vertices();
         let mut labels = vec![Vec::new(); n];
-        for v in 0..n {
+        for (v, label) in labels.iter_mut().enumerate() {
             let vid = VertexId::from_index(v);
-            labels[v] = Self::compute_label(partitioned, overlay, overlay_index, post, vid);
+            *label = Self::compute_label(partitioned, overlay, overlay_index, post, vid);
         }
         CrossBoundaryIndex { labels }
     }

@@ -74,7 +74,11 @@ pub fn no_boundary_distance(
             if dq.is_inf() {
                 continue;
             }
-            let mid = if bp == bq { Dist::ZERO } else { overlay_dist(bp, bq) };
+            let mid = if bp == bq {
+                Dist::ZERO
+            } else {
+                overlay_dist(bp, bq)
+            };
             let cand = dp.saturating_add(mid).saturating_add(dq);
             if cand < best {
                 best = cand;
@@ -103,12 +107,12 @@ mod tests {
         let chs: Vec<&htsp_ch::ContractionHierarchy> =
             indexes.iter().map(|i| i.hierarchy()).collect();
         let overlay = OverlayGraph::build(&p, &chs);
-        let overlay_index =
-            H2HIndex::from_decomposition(TreeDecomposition::build(&overlay.graph));
+        let overlay_index = H2HIndex::from_decomposition(TreeDecomposition::build(&overlay.graph));
         let qs = QuerySet::random(&p.graph, 150, 21);
         for q in &qs {
             let expect = dijkstra_distance(&p.graph, q.source, q.target);
-            let got = no_boundary_distance(&p, &indexes, &overlay, &overlay_index, q.source, q.target);
+            let got =
+                no_boundary_distance(&p, &indexes, &overlay, &overlay_index, q.source, q.target);
             assert_eq!(got, expect, "no-boundary mismatch for {:?}", q);
         }
     }
@@ -122,8 +126,7 @@ mod tests {
         let chs: Vec<&htsp_ch::ContractionHierarchy> =
             indexes.iter().map(|i| i.hierarchy()).collect();
         let overlay = OverlayGraph::build(&p, &chs);
-        let overlay_index =
-            H2HIndex::from_decomposition(TreeDecomposition::build(&overlay.graph));
+        let overlay_index = H2HIndex::from_decomposition(TreeDecomposition::build(&overlay.graph));
         // Pick pairs inside partition 0 explicitly.
         let members = p.partition.vertices(0);
         for i in (0..members.len().saturating_sub(1)).step_by(3) {

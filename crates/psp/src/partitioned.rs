@@ -107,11 +107,7 @@ impl Partitioned {
             for (li, &ge) in global_edge_of.iter().enumerate() {
                 local_edge_of.insert(ge, EdgeId::from_index(li));
             }
-            let boundary_local = partition
-                .boundary(i)
-                .iter()
-                .map(|b| local_of[b])
-                .collect();
+            let boundary_local = partition.boundary(i).iter().map(|b| local_of[b]).collect();
             subgraphs.push(Subgraph {
                 graph: sub,
                 global_of: members.to_vec(),
@@ -264,11 +260,8 @@ mod tests {
         // Craft a batch touching exactly one intra edge.
         let sub0_edge = p.subgraphs[0].global_edge_of[0];
         let w = p.graph.edge_weight(sub0_edge);
-        let batch = UpdateBatch::from_updates(vec![htsp_graph::EdgeUpdate::new(
-            sub0_edge,
-            w,
-            w + 1,
-        )]);
+        let batch =
+            UpdateBatch::from_updates(vec![htsp_graph::EdgeUpdate::new(sub0_edge, w, w + 1)]);
         let routed = p.route_updates(&batch);
         assert_eq!(routed.affected_partitions(), vec![0]);
         assert!(routed.inter.is_empty());

@@ -56,10 +56,10 @@ impl PchSearcher {
     /// Shortest distance between global vertices `s` and `t` over the union of
     /// the partition hierarchies (`partition_chs[i]` indexes partition `i`)
     /// and the overlay hierarchy.
-    pub fn distance(
+    pub fn distance<C: AsRef<ContractionHierarchy>>(
         &mut self,
         partitioned: &Partitioned,
-        partition_chs: &[&ContractionHierarchy],
+        partition_chs: &[C],
         overlay: &OverlayGraph,
         overlay_ch: &ContractionHierarchy,
         s: VertexId,
@@ -89,7 +89,7 @@ impl PchSearcher {
                 let pi = partitioned.partition.partition_of(v);
                 let sub = &partitioned.subgraphs[pi];
                 let lv = sub.to_local(v).expect("vertex must be in its partition");
-                for &(u, w) in partition_chs[pi].up_arcs(lv) {
+                for &(u, w) in partition_chs[pi].as_ref().up_arcs(lv) {
                     out.push((sub.to_global(u), w));
                 }
             }
@@ -165,8 +165,7 @@ mod tests {
         let g = grid(10, 10, WeightRange::new(1, 20), 9);
         let pr = partition_region_growing(&g, k, 2);
         let p = Partitioned::build(g, pr);
-        let chs: Vec<ContractionHierarchy> =
-            p.subgraphs.iter().map(build_partition_ch).collect();
+        let chs: Vec<ContractionHierarchy> = p.subgraphs.iter().map(build_partition_ch).collect();
         let refs: Vec<&ContractionHierarchy> = chs.iter().collect();
         let overlay = OverlayGraph::build(&p, &refs);
         let overlay_ch = ContractionHierarchy::build(

@@ -189,7 +189,10 @@ impl PostBoundaryIndexes {
 
     /// Total label entries across all `L'_i`.
     pub fn index_size_bytes(&self) -> usize {
-        self.partitions.iter().map(|p| p.index.index_size_bytes()).sum()
+        self.partitions
+            .iter()
+            .map(|p| p.index.index_size_bytes())
+            .sum()
     }
 }
 

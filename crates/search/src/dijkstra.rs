@@ -269,9 +269,9 @@ mod tests {
     fn all_distances_match_single_pair() {
         let g = grid(7, 7, WeightRange::new(1, 9), 13);
         let dists = dijkstra_all(&g, VertexId(0));
-        for t in 0..g.num_vertices() {
+        for (t, &d) in dists.iter().enumerate() {
             assert_eq!(
-                dists[t],
+                d,
                 dijkstra_distance(&g, VertexId(0), VertexId::from_index(t))
             );
         }
@@ -346,12 +346,26 @@ mod tests {
         let g = b.build();
         // Avoiding v1 the best path costs 10.
         assert_eq!(
-            dijkstra_bounded(&g, VertexId(0), VertexId(2), VertexId(1), Dist(100), usize::MAX),
+            dijkstra_bounded(
+                &g,
+                VertexId(0),
+                VertexId(2),
+                VertexId(1),
+                Dist(100),
+                usize::MAX
+            ),
             Dist(10)
         );
         // With a limit of 9, no witness is found.
         assert_eq!(
-            dijkstra_bounded(&g, VertexId(0), VertexId(2), VertexId(1), Dist(9), usize::MAX),
+            dijkstra_bounded(
+                &g,
+                VertexId(0),
+                VertexId(2),
+                VertexId(1),
+                Dist(9),
+                usize::MAX
+            ),
             INF
         );
     }
@@ -360,7 +374,14 @@ mod tests {
     fn bounded_search_with_endpoint_as_skip_is_inf() {
         let g = line_graph(&[1, 1]);
         assert_eq!(
-            dijkstra_bounded(&g, VertexId(0), VertexId(2), VertexId(0), Dist(10), usize::MAX),
+            dijkstra_bounded(
+                &g,
+                VertexId(0),
+                VertexId(2),
+                VertexId(0),
+                Dist(10),
+                usize::MAX
+            ),
             INF
         );
     }

@@ -27,7 +27,8 @@ pub struct TreeDecomposition {
 impl TreeDecomposition {
     /// Builds the decomposition with the default MDE ordering.
     pub fn build(graph: &Graph) -> Self {
-        let ch = ContractionHierarchy::build(graph, OrderingStrategy::MinDegree, ShortcutMode::AllPairs);
+        let ch =
+            ContractionHierarchy::build(graph, OrderingStrategy::MinDegree, ShortcutMode::AllPairs);
         Self::from_hierarchy(ch)
     }
 
@@ -52,12 +53,12 @@ impl TreeDecomposition {
         let mut parent = vec![None; n];
         let mut children: Vec<Vec<VertexId>> = vec![Vec::new(); n];
         let mut roots = Vec::new();
-        for v in 0..n {
+        for (v, slot) in parent.iter_mut().enumerate() {
             let vid = VertexId::from_index(v);
             // Parent = lowest-ranked upward neighbor (arcs are sorted by rank).
             match ch.up_arcs(vid).first() {
                 Some(&(p, _)) => {
-                    parent[v] = Some(p);
+                    *slot = Some(p);
                     children[p.index()].push(vid);
                 }
                 None => roots.push(vid),
@@ -74,7 +75,11 @@ impl TreeDecomposition {
                 queue.push_back(c);
             }
         }
-        assert_eq!(topdown.len(), n, "tree decomposition must cover all vertices");
+        assert_eq!(
+            topdown.len(),
+            n,
+            "tree decomposition must cover all vertices"
+        );
         let lca = LcaIndex::build(n, &roots, &children, &depth);
         TreeDecomposition {
             ch,
@@ -199,7 +204,11 @@ impl TreeDecomposition {
         // Property 2: every edge is contained in some bag. Since the bag of
         // the lower-ranked endpoint contains the higher endpoint, check that.
         for (_, u, v, _) in graph.edges() {
-            let (lo, hi) = if self.order().higher(u, v) { (v, u) } else { (u, v) };
+            let (lo, hi) = if self.order().higher(u, v) {
+                (v, u)
+            } else {
+                (u, v)
+            };
             if !self.bag(lo).iter().any(|&(x, _)| x == hi) {
                 return Err(format!("edge {lo}-{hi} not covered by bag of {lo}"));
             }

@@ -72,11 +72,7 @@ impl H2HIndex {
     /// correct after this call, H2H queries are not until
     /// [`H2HIndex::update_labels_for`] runs. Used by the multi-stage indexes
     /// (PMHL U-Stage 2 / PostMHL U-Stage 2).
-    pub fn update_shortcuts(
-        &mut self,
-        graph: &Graph,
-        batch: &[EdgeUpdate],
-    ) -> Vec<ShortcutChange> {
+    pub fn update_shortcuts(&mut self, graph: &Graph, batch: &[EdgeUpdate]) -> Vec<ShortcutChange> {
         let (td, _) = self.parts_mut();
         td.hierarchy_mut().apply_batch(graph, batch)
     }

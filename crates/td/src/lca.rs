@@ -28,12 +28,7 @@ impl LcaIndex {
     ///
     /// `roots` lists the roots of the forest; `children[v]` lists the children
     /// of `v`; `depth[v]` is the depth of `v` (roots have depth 0).
-    pub fn build(
-        n: usize,
-        roots: &[VertexId],
-        children: &[Vec<VertexId>],
-        depth: &[u32],
-    ) -> Self {
+    pub fn build(n: usize, roots: &[VertexId], children: &[Vec<VertexId>], depth: &[u32]) -> Self {
         let mut first = vec![usize::MAX; n];
         let mut tour = Vec::with_capacity(2 * n);
         let mut tour_depth = Vec::with_capacity(2 * n);

@@ -1,9 +1,7 @@
 //! System-model parameters (Table II of the paper).
 
-use serde::{Deserialize, Serialize};
-
 /// Parameters of the batch-update system model (§II).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct SystemConfig {
     /// Update volume `|U|`: number of edge updates per batch.
     pub update_volume: usize,

@@ -1,0 +1,445 @@
+//! The concurrent query engine: **measured** throughput, not modeled.
+//!
+//! [`QueryEngine`] runs `num_workers` query worker threads that continuously
+//! answer shortest-distance queries against the snapshot currently published
+//! in a [`SnapshotPublisher`], while the calling thread acts as the
+//! maintenance thread: it replays update batches through an
+//! [`IndexMaintainer`], which publishes a fresh snapshot at the end of each
+//! completed update stage (the staged availability of Figure 1).
+//!
+//! Workers are never blocked by maintenance and never observe a
+//! half-repaired index: they always query the latest *published* snapshot,
+//! which is frozen by copy-on-write. The engine records every query
+//! completion in per-worker time-bucket histograms and tags it with the
+//! stage of the view that answered, yielding the measured QPS-over-time
+//! curve that the paper's Figure 13 models analytically.
+//!
+//! With [`QueryEngineConfig::verify`] enabled, every answer is re-derived
+//! with a fresh Dijkstra run on the answering view's own graph snapshot —
+//! the no-torn-reads / no-staleness check used by the concurrency
+//! integration test (this is orders of magnitude slower than serving, so it
+//! is off by default).
+
+use htsp_graph::{
+    Graph, IndexMaintainer, QuerySet, SnapshotPublisher, UpdateGenerator, UpdateTimeline,
+};
+use htsp_search::dijkstra_distance;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`QueryEngine`] run.
+#[derive(Clone, Debug)]
+pub struct QueryEngineConfig {
+    /// Number of query worker threads.
+    pub num_workers: usize,
+    /// Number of update batches the maintenance thread replays.
+    pub num_batches: usize,
+    /// Edge updates per batch (`|U|`).
+    pub update_volume: usize,
+    /// Serving-only time between batches (a scaled-down update interval; the
+    /// workers keep hammering the final-stage snapshot during it).
+    pub pause_between_batches: Duration,
+    /// Size of the random query pool workers draw from.
+    pub query_pool: usize,
+    /// Width of one bucket of the QPS-over-time histogram.
+    pub bucket: Duration,
+    /// Verify every answer against a fresh Dijkstra run on the answering
+    /// view's graph snapshot (slow; for correctness tests).
+    pub verify: bool,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for QueryEngineConfig {
+    fn default() -> Self {
+        QueryEngineConfig {
+            num_workers: 4,
+            num_batches: 3,
+            update_volume: 100,
+            pause_between_batches: Duration::from_millis(50),
+            query_pool: 512,
+            bucket: Duration::from_millis(10),
+            verify: false,
+            seed: 7,
+        }
+    }
+}
+
+/// Builder for [`QueryEngine`].
+#[derive(Clone, Debug, Default)]
+pub struct QueryEngineBuilder {
+    config: QueryEngineConfig,
+}
+
+impl QueryEngineBuilder {
+    /// Sets the number of query worker threads.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.config.num_workers = n.max(1);
+        self
+    }
+
+    /// Sets the number of update batches to replay.
+    pub fn batches(mut self, n: usize) -> Self {
+        self.config.num_batches = n;
+        self
+    }
+
+    /// Sets the number of edge updates per batch.
+    pub fn update_volume(mut self, v: usize) -> Self {
+        self.config.update_volume = v;
+        self
+    }
+
+    /// Sets the serving-only pause between batches.
+    pub fn pause_between_batches(mut self, d: Duration) -> Self {
+        self.config.pause_between_batches = d;
+        self
+    }
+
+    /// Sets the size of the random query pool.
+    pub fn query_pool(mut self, n: usize) -> Self {
+        self.config.query_pool = n.max(1);
+        self
+    }
+
+    /// Sets the QPS histogram bucket width.
+    pub fn bucket(mut self, d: Duration) -> Self {
+        self.config.bucket = d;
+        self
+    }
+
+    /// Enables per-answer Dijkstra verification (slow).
+    pub fn verify(mut self, on: bool) -> Self {
+        self.config.verify = on;
+        self
+    }
+
+    /// Sets the workload seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.config.seed = s;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> QueryEngine {
+        QueryEngine {
+            config: self.config,
+        }
+    }
+}
+
+/// One bucket of the measured QPS-over-time curve.
+#[derive(Clone, Copy, Debug)]
+pub struct QpsSample {
+    /// Seconds since the engine started (bucket start).
+    pub elapsed: f64,
+    /// Measured queries per second inside this bucket.
+    pub qps: f64,
+}
+
+/// The result of one [`QueryEngine`] run.
+#[derive(Clone, Debug)]
+pub struct EngineReport {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Number of query worker threads that ran.
+    pub num_workers: usize,
+    /// Total queries answered across all workers.
+    pub total_queries: u64,
+    /// Wall-clock duration of the run in seconds.
+    pub wall_time: f64,
+    /// Overall measured throughput (`total_queries / wall_time`).
+    pub measured_qps: f64,
+    /// Queries answered per query stage (index = stage).
+    pub per_stage_queries: Vec<u64>,
+    /// Measured QPS per time bucket (the Fig. 13 staircase, observed).
+    pub qps_curve: Vec<QpsSample>,
+    /// Snapshot publications: `(elapsed seconds, stage)` in publication order.
+    pub publications: Vec<(f64, usize)>,
+    /// Update timeline of every replayed batch.
+    pub timelines: Vec<UpdateTimeline>,
+    /// Number of answers that failed Dijkstra verification (always 0 unless
+    /// `verify` was enabled and the index is broken).
+    pub verify_failures: u64,
+    /// Description of the first verification failure, if any.
+    pub first_failure: Option<String>,
+}
+
+struct WorkerTally {
+    answered: u64,
+    per_stage: Vec<u64>,
+    /// Query completions per time bucket.
+    histogram: Vec<u64>,
+    failures: u64,
+    first_failure: Option<String>,
+}
+
+/// Measures real query throughput while an index is being maintained.
+pub struct QueryEngine {
+    config: QueryEngineConfig,
+}
+
+impl QueryEngine {
+    /// Starts building an engine.
+    pub fn builder() -> QueryEngineBuilder {
+        QueryEngineBuilder::default()
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &QueryEngineConfig {
+        &self.config
+    }
+
+    /// Runs the engine: `num_workers` query threads race the maintenance
+    /// loop (executed on the calling thread) over `num_batches` update
+    /// batches, all against `maintainer`'s published snapshots.
+    pub fn run(&self, graph: &Graph, maintainer: &mut dyn IndexMaintainer) -> EngineReport {
+        let cfg = &self.config;
+        let num_stages = maintainer.num_query_stages();
+        let queries = QuerySet::random(graph, cfg.query_pool, cfg.seed ^ 0x51ab);
+        let publisher = SnapshotPublisher::new(maintainer.current_view());
+        let stop = AtomicBool::new(false);
+        let start = Instant::now();
+        let bucket_nanos = cfg.bucket.as_nanos().max(1) as u64;
+
+        let mut working = graph.clone();
+        let mut gen = UpdateGenerator::new(cfg.seed);
+        let mut timelines = Vec::with_capacity(cfg.num_batches);
+
+        // If the maintenance loop (or anything else in the scope body)
+        // panics, the workers must still be told to stop — otherwise
+        // `thread::scope` joins threads that spin forever and the process
+        // hangs instead of propagating the panic.
+        struct StopGuard<'a>(&'a AtomicBool);
+        impl Drop for StopGuard<'_> {
+            fn drop(&mut self) {
+                self.0.store(true, Ordering::Relaxed);
+            }
+        }
+
+        let tallies: Vec<WorkerTally> = std::thread::scope(|scope| {
+            let _stop_on_unwind = StopGuard(&stop);
+            let mut handles = Vec::with_capacity(cfg.num_workers);
+            for w in 0..cfg.num_workers {
+                let publisher = &publisher;
+                let stop = &stop;
+                let queries = &queries;
+                let verify = cfg.verify;
+                handles.push(scope.spawn(move || {
+                    let mut tally = WorkerTally {
+                        answered: 0,
+                        per_stage: vec![0; num_stages],
+                        histogram: Vec::new(),
+                        failures: 0,
+                        first_failure: None,
+                    };
+                    let mut i = w; // stride through the pool, worker-offset
+                    while !stop.load(Ordering::Relaxed) {
+                        let view = publisher.snapshot();
+                        let q = &queries.as_slice()[i % queries.len()];
+                        i += 1;
+                        let d = view.distance(q.source, q.target);
+                        if verify {
+                            // The answer must be exact on the graph snapshot
+                            // that was current when the query was answered.
+                            let expect = dijkstra_distance(view.graph(), q.source, q.target);
+                            if d != expect {
+                                tally.failures += 1;
+                                if tally.first_failure.is_none() {
+                                    tally.first_failure = Some(format!(
+                                        "{} stage {}: d({}, {}) = {:?}, Dijkstra says {:?}",
+                                        view.algorithm(),
+                                        view.stage(),
+                                        q.source,
+                                        q.target,
+                                        d,
+                                        expect
+                                    ));
+                                }
+                            }
+                        }
+                        let stage = view.stage().min(num_stages - 1);
+                        tally.per_stage[stage] += 1;
+                        let bucket = (start.elapsed().as_nanos() as u64 / bucket_nanos) as usize;
+                        if tally.histogram.len() <= bucket {
+                            tally.histogram.resize(bucket + 1, 0);
+                        }
+                        tally.histogram[bucket] += 1;
+                        tally.answered += 1;
+                    }
+                    tally
+                }));
+            }
+
+            // Maintenance loop on this thread: replay the batches, publishing
+            // staged snapshots as repairs complete, then let the workers
+            // drain against the final stage for the configured pause.
+            for _ in 0..cfg.num_batches {
+                let batch = gen.generate(&working, cfg.update_volume);
+                working.apply_batch(&batch);
+                let timeline = maintainer.apply_batch(&working, &batch, &publisher);
+                timelines.push(timeline);
+                if !cfg.pause_between_batches.is_zero() {
+                    std::thread::sleep(cfg.pause_between_batches);
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+
+        let wall_time = start.elapsed().as_secs_f64();
+        let total_queries: u64 = tallies.iter().map(|t| t.answered).sum();
+        let mut per_stage_queries = vec![0u64; num_stages];
+        let mut histogram: Vec<u64> = Vec::new();
+        let mut verify_failures = 0;
+        let mut first_failure = None;
+        for t in &tallies {
+            for (s, c) in t.per_stage.iter().enumerate() {
+                per_stage_queries[s] += c;
+            }
+            if histogram.len() < t.histogram.len() {
+                histogram.resize(t.histogram.len(), 0);
+            }
+            for (b, c) in t.histogram.iter().enumerate() {
+                histogram[b] += c;
+            }
+            verify_failures += t.failures;
+            if first_failure.is_none() {
+                first_failure = t.first_failure.clone();
+            }
+        }
+        let bucket_secs = cfg.bucket.as_secs_f64();
+        let qps_curve = histogram
+            .iter()
+            .enumerate()
+            .map(|(b, &c)| {
+                let bucket_start = b as f64 * bucket_secs;
+                // The run usually stops mid-bucket: divide the last bucket by
+                // the time actually spent inside it, not the full width.
+                let span = (wall_time - bucket_start).clamp(f64::MIN_POSITIVE, bucket_secs);
+                QpsSample {
+                    elapsed: bucket_start,
+                    qps: c as f64 / span,
+                }
+            })
+            .collect();
+        let publications = publisher
+            .take_log()
+            .into_iter()
+            .map(|e| {
+                let elapsed = e.at.saturating_duration_since(start).as_secs_f64();
+                (elapsed, e.stage)
+            })
+            .collect();
+
+        EngineReport {
+            algorithm: maintainer.name().to_string(),
+            num_workers: cfg.num_workers,
+            total_queries,
+            wall_time,
+            measured_qps: if wall_time > 0.0 {
+                total_queries as f64 / wall_time
+            } else {
+                0.0
+            },
+            per_stage_queries,
+            qps_curve,
+            publications,
+            timelines,
+            verify_failures,
+            first_failure,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htsp_graph::gen::{grid, WeightRange};
+    use htsp_graph::{Dist, QueryView, UpdateBatch, VertexId};
+    use std::sync::Arc;
+
+    /// A trivial single-stage maintainer for exercising the engine.
+    struct Fake {
+        graph: Arc<Graph>,
+    }
+
+    struct FakeView {
+        graph: Arc<Graph>,
+    }
+
+    impl QueryView for FakeView {
+        fn algorithm(&self) -> &'static str {
+            "fake"
+        }
+        fn stage(&self) -> usize {
+            0
+        }
+        fn distance(&self, s: VertexId, t: VertexId) -> Dist {
+            if s == t {
+                Dist::ZERO
+            } else {
+                Dist(1)
+            }
+        }
+        fn graph(&self) -> &Graph {
+            &self.graph
+        }
+    }
+
+    impl IndexMaintainer for Fake {
+        fn name(&self) -> &'static str {
+            "fake"
+        }
+        fn apply_batch(
+            &mut self,
+            _graph: &Graph,
+            batch: &UpdateBatch,
+            publisher: &SnapshotPublisher,
+        ) -> UpdateTimeline {
+            Arc::make_mut(&mut self.graph).apply_batch(batch);
+            publisher.publish(self.current_view());
+            UpdateTimeline::single("noop", Duration::from_micros(10))
+        }
+        fn current_view(&self) -> Arc<dyn QueryView> {
+            Arc::new(FakeView {
+                graph: Arc::clone(&self.graph),
+            })
+        }
+    }
+
+    #[test]
+    fn engine_counts_queries_and_publications() {
+        let g = grid(6, 6, WeightRange::new(1, 9), 1);
+        let mut fake = Fake {
+            graph: Arc::new(g.clone()),
+        };
+        let engine = QueryEngine::builder()
+            .workers(4)
+            .batches(2)
+            .update_volume(5)
+            .pause_between_batches(Duration::from_millis(20))
+            .build();
+        let report = engine.run(&g, &mut fake);
+        assert_eq!(report.algorithm, "fake");
+        assert_eq!(report.num_workers, 4);
+        assert!(report.total_queries > 0, "workers answered no queries");
+        assert!(report.measured_qps > 0.0);
+        assert_eq!(report.timelines.len(), 2);
+        assert_eq!(report.publications.len(), 2);
+        assert_eq!(report.verify_failures, 0);
+        // Full buckets account for their exact counts; the final bucket is
+        // divided by its (shorter) actual span, so the reconstruction is a
+        // lower bound on the total.
+        let bucket_secs = engine.config().bucket.as_secs_f64();
+        let histogram_total: f64 = report.qps_curve.iter().map(|s| s.qps * bucket_secs).sum();
+        assert!(histogram_total.round() as u64 >= report.total_queries);
+        assert!(report
+            .qps_curve
+            .iter()
+            .all(|s| s.qps.is_finite() && s.qps >= 0.0));
+    }
+}

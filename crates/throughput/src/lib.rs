@@ -1,10 +1,11 @@
 //! # htsp-throughput
 //!
-//! The HTSP system model (§II) and throughput measurement harness.
+//! The HTSP system model (§II) and both throughput harnesses.
 //!
-//! Given any [`DynamicSpIndex`], the harness replays update batches and a
-//! query workload, measures the per-stage update timeline and per-stage query
-//! latency, and evaluates:
+//! Given any [`htsp_graph::IndexMaintainer`], the **model harness**
+//! ([`ThroughputHarness`]) replays update batches and a query workload,
+//! measures the per-stage update timeline and per-stage query latency via
+//! [`htsp_graph::QueryView`] snapshots, and evaluates:
 //!
 //! * the **Lemma 1 bound** on the maximum average throughput `λ*_q` (an M/G/1
 //!   response-time constraint combined with the update-installability
@@ -15,13 +16,20 @@
 //!   multi-stage indexes improve.
 //!
 //! It also records the **QPS evolution** over the update interval (Fig. 13).
+//!
+//! The **concurrent engine** ([`QueryEngine`]) goes beyond the model: it
+//! runs real query worker threads against the published snapshots while the
+//! maintenance thread repairs the index, and reports the *measured* QPS
+//! curve next to the modeled one.
 
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod engine;
 pub mod model;
 pub mod simulator;
 
 pub use config::SystemConfig;
+pub use engine::{EngineReport, QpsSample, QueryEngine, QueryEngineBuilder, QueryEngineConfig};
 pub use model::{lemma1_bound, staged_throughput, QueryStats};
 pub use simulator::{BatchOutcome, QpsPoint, ThroughputHarness, ThroughputResult};

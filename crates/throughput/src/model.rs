@@ -1,10 +1,8 @@
 //! The analytical throughput model of §II (Lemma 1) and the staged-throughput
 //! integral of Figure 1.
 
-use serde::{Deserialize, Serialize};
-
 /// Mean and variance of the query (processing) time, in seconds.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct QueryStats {
     /// Average query time `t_q` (seconds).
     pub mean: f64,
@@ -134,11 +132,7 @@ mod tests {
         // maintenance window processes strictly more queries than one that is
         // blocked for the whole window.
         let delta_t = 120.0;
-        let staged = staged_throughput(
-            &[(0.0, 1e-2), (5.0, 1e-4), (20.0, 1e-5)],
-            1e-5,
-            delta_t,
-        );
+        let staged = staged_throughput(&[(0.0, 1e-2), (5.0, 1e-4), (20.0, 1e-5)], 1e-5, delta_t);
         let blocked = staged_throughput(&[(25.0, 1e-5)], 1e-5, delta_t);
         assert!(staged > blocked);
     }

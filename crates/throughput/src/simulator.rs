@@ -1,16 +1,19 @@
-//! The throughput harness: drives any [`DynamicSpIndex`] through a sequence of
-//! update batches, measures its staged availability and per-stage query
-//! latency, and evaluates the throughput metrics of §VII.
+//! The throughput harness: drives any [`IndexMaintainer`] through a sequence
+//! of update batches, measures its staged availability and per-stage query
+//! latency via [`QueryView`] snapshots, and evaluates the throughput metrics
+//! of §VII. (For *measured* concurrent throughput, see
+//! [`crate::engine::QueryEngine`].)
 
 use crate::config::SystemConfig;
 use crate::model::{lemma1_bound, staged_throughput, QueryStats};
-use htsp_graph::{DynamicSpIndex, Graph, QuerySet, UpdateBatch, UpdateGenerator};
-use serde::{Deserialize, Serialize};
-use std::time::Instant;
+use htsp_graph::{
+    Graph, IndexMaintainer, QuerySet, QueryView, SnapshotPublisher, UpdateBatch, UpdateGenerator,
+};
+use std::time::{Duration, Instant};
 
 /// One point of the QPS-evolution curve (Fig. 13): at `elapsed` seconds after
 /// the batch arrived, the available query stage sustains `qps` queries/second.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct QpsPoint {
     /// Seconds since the batch arrival at which this stage became available.
     pub elapsed: f64,
@@ -19,7 +22,7 @@ pub struct QpsPoint {
 }
 
 /// The measured outcome of one update batch.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct BatchOutcome {
     /// Total update time `t_u` in seconds.
     pub update_time: f64,
@@ -33,7 +36,7 @@ pub struct BatchOutcome {
 }
 
 /// Aggregated result over all batches for one algorithm.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ThroughputResult {
     /// Algorithm name.
     pub algorithm: String,
@@ -79,35 +82,26 @@ impl ThroughputHarness {
         }
     }
 
-    /// Measures the average query latency of the index's *current* best stage
-    /// over a query sample. Returns per-query latencies in seconds.
-    fn measure_queries(
-        index: &mut dyn DynamicSpIndex,
-        graph: &Graph,
-        queries: &QuerySet,
-    ) -> Vec<f64> {
+    /// Measures per-query latencies (seconds) of `view` over a query sample.
+    fn measure_queries(view: &dyn QueryView, queries: &QuerySet) -> Vec<f64> {
         let mut samples = Vec::with_capacity(queries.len());
         for q in queries {
             let t = Instant::now();
-            let _ = index.distance(graph, q.source, q.target);
+            let _ = view.distance(q.source, q.target);
             samples.push(t.elapsed().as_secs_f64());
         }
         samples
     }
 
     /// Measures the average query latency of one explicit stage.
-    fn measure_stage(
-        index: &mut dyn DynamicSpIndex,
-        graph: &Graph,
-        queries: &QuerySet,
-        stage: usize,
-    ) -> f64 {
+    fn measure_stage(index: &dyn IndexMaintainer, queries: &QuerySet, stage: usize) -> f64 {
         if queries.is_empty() {
             return 0.0;
         }
+        let view = index.view_at_stage(stage);
         let t = Instant::now();
         for q in queries {
-            let _ = index.distance_at_stage(graph, stage, q.source, q.target);
+            let _ = view.distance(q.source, q.target);
         }
         t.elapsed().as_secs_f64() / queries.len() as f64
     }
@@ -115,7 +109,7 @@ impl ThroughputHarness {
     /// Runs the full measurement for one algorithm: `num_batches` update
     /// batches are generated, applied and repaired, and query latency is
     /// measured per stage. Returns the aggregated result.
-    pub fn run(&self, graph: &Graph, index: &mut dyn DynamicSpIndex) -> ThroughputResult {
+    pub fn run(&self, graph: &Graph, index: &mut dyn IndexMaintainer) -> ThroughputResult {
         let mut working = graph.clone();
         let mut gen = UpdateGenerator::new(self.seed);
         let queries = QuerySet::random(&working, self.config.query_sample, self.seed ^ 0x5eed);
@@ -129,19 +123,39 @@ impl ThroughputHarness {
         for _ in 0..self.num_batches {
             let batch: UpdateBatch = gen.generate(&working, self.config.update_volume);
             working.apply_batch(&batch);
-            let timeline = index.apply_batch(&working, &batch);
+            // The model harness is sequential: the publisher collects the
+            // staged snapshots; per-stage speed is measured afterwards.
+            let publisher = SnapshotPublisher::new(index.current_view());
+            let apply_start = Instant::now();
+            let timeline = index.apply_batch(&working, &batch, &publisher);
+            let publications = publisher.take_log();
             let update_time = timeline.total().as_secs_f64();
 
-            // Per-stage query time: stage i of the timeline corresponds to
-            // query stage i of the index (clamped to the available range).
+            // Per-stage query time: the query stage available at the end of
+            // timeline stage i is the one most recently *published* by then
+            // (update stages that release no machinery — e.g. PostMHL's
+            // overlay pass — keep the previous stage's speed). The stage-end
+            // instants are reconstructed from the stage durations, which
+            // under-estimates them by untimed gaps, so a publication is
+            // never credited early; the final stage is by contract the
+            // fully-repaired one.
             let n_qstages = index.num_query_stages();
             let mut stages = Vec::with_capacity(timeline.stages.len());
             let mut qps_evolution = Vec::new();
             let mut elapsed = 0.0;
+            let mut current_qstage = 0usize;
             for (i, s) in timeline.stages.iter().enumerate() {
-                let qstage = i.min(n_qstages - 1);
-                let tq = Self::measure_stage(index, &working, &stage_sample, qstage);
                 elapsed += s.duration.as_secs_f64();
+                let stage_end = apply_start + Duration::from_secs_f64(elapsed);
+                if let Some(e) = publications.iter().rfind(|e| e.at <= stage_end) {
+                    current_qstage = e.stage;
+                }
+                let qstage = if i + 1 == timeline.stages.len() {
+                    n_qstages - 1
+                } else {
+                    current_qstage.min(n_qstages - 1)
+                };
+                let tq = Self::measure_stage(index, &stage_sample, qstage);
                 stages.push((s.duration.as_secs_f64(), tq));
                 qps_evolution.push(QpsPoint {
                     elapsed,
@@ -149,7 +163,7 @@ impl ThroughputHarness {
                 });
             }
             // Final-stage statistics over the full sample.
-            let samples = Self::measure_queries(index, &working, &queries);
+            let samples = Self::measure_queries(&*index.current_view(), &queries);
             let final_stats = QueryStats::from_samples(&samples);
             batches.push(BatchOutcome {
                 update_time,
@@ -163,8 +177,8 @@ impl ThroughputHarness {
             batches.iter().map(|b| b.update_time).sum::<f64>() / batches.len().max(1) as f64;
         let avg_query_time =
             batches.iter().map(|b| b.final_stats.mean).sum::<f64>() / batches.len().max(1) as f64;
-        let avg_variance =
-            batches.iter().map(|b| b.final_stats.variance).sum::<f64>() / batches.len().max(1) as f64;
+        let avg_variance = batches.iter().map(|b| b.final_stats.variance).sum::<f64>()
+            / batches.len().max(1) as f64;
         let stats = QueryStats {
             mean: avg_query_time,
             variance: avg_variance,
@@ -178,9 +192,7 @@ impl ThroughputHarness {
         // Staged throughput averaged over batches.
         let staged = batches
             .iter()
-            .map(|b| {
-                staged_throughput(&b.stages, b.final_stats.mean, self.config.update_interval)
-            })
+            .map(|b| staged_throughput(&b.stages, b.final_stats.mean, self.config.update_interval))
             .sum::<f64>()
             / batches.len().max(1) as f64;
 
@@ -201,18 +213,50 @@ mod tests {
     use super::*;
     use htsp_graph::gen::{grid, WeightRange};
     use htsp_graph::{Dist, UpdateTimeline, VertexId};
+    use std::sync::Arc;
 
     /// A trivial index used to exercise the harness deterministically.
-    struct Fake;
-    impl DynamicSpIndex for Fake {
+    struct Fake {
+        graph: Arc<Graph>,
+    }
+
+    struct FakeView {
+        graph: Arc<Graph>,
+    }
+
+    impl QueryView for FakeView {
+        fn algorithm(&self) -> &'static str {
+            "fake"
+        }
+        fn stage(&self) -> usize {
+            0
+        }
+        fn distance(&self, _s: VertexId, _t: VertexId) -> Dist {
+            Dist(1)
+        }
+        fn graph(&self) -> &Graph {
+            &self.graph
+        }
+    }
+
+    impl IndexMaintainer for Fake {
         fn name(&self) -> &'static str {
             "fake"
         }
-        fn apply_batch(&mut self, _g: &Graph, _b: &UpdateBatch) -> UpdateTimeline {
+        fn apply_batch(
+            &mut self,
+            _g: &Graph,
+            batch: &UpdateBatch,
+            publisher: &SnapshotPublisher,
+        ) -> UpdateTimeline {
+            Arc::make_mut(&mut self.graph).apply_batch(batch);
+            publisher.publish(self.current_view());
             UpdateTimeline::single("noop", std::time::Duration::from_micros(10))
         }
-        fn distance(&mut self, _g: &Graph, _s: VertexId, _t: VertexId) -> Dist {
-            Dist(1)
+        fn current_view(&self) -> Arc<dyn QueryView> {
+            Arc::new(FakeView {
+                graph: Arc::clone(&self.graph),
+            })
         }
     }
 
@@ -226,7 +270,9 @@ mod tests {
             query_sample: 20,
         };
         let harness = ThroughputHarness::new(config, 7, 3);
-        let mut idx = Fake;
+        let mut idx = Fake {
+            graph: Arc::new(g.clone()),
+        };
         let result = harness.run(&g, &mut idx);
         assert_eq!(result.algorithm, "fake");
         assert_eq!(result.batches.len(), 3);

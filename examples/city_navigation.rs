@@ -3,11 +3,12 @@
 //!
 //! This exercises the query classes the paper distinguishes: *same-partition*
 //! queries, served by the post-boundary index, and *cross-partition* queries,
-//! served by the cross-boundary index. Run with
+//! served by the cross-boundary index. All queries go through one immutable
+//! snapshot of the index. Run with
 //! `cargo run --release --example city_navigation`.
 
 use htsp::core::{Pmhl, PmhlConfig};
-use htsp::graph::{gen, DynamicSpIndex, QuerySet};
+use htsp::graph::{gen, IndexMaintainer, QuerySet};
 
 fn main() {
     // A ring-radial city: 40 concentric rings with 64 spokes.
@@ -18,7 +19,7 @@ fn main() {
         road.num_edges()
     );
 
-    let mut index = Pmhl::build(
+    let index = Pmhl::build(
         &road,
         PmhlConfig {
             num_partitions: 8,
@@ -29,7 +30,7 @@ fn main() {
     println!(
         "PMHL built: {} boundary vertices, {:.1} MB",
         index.num_boundary(),
-        index.index_size_bytes() as f64 / (1024.0 * 1024.0)
+        IndexMaintainer::index_size_bytes(&index) as f64 / (1024.0 * 1024.0)
     );
 
     // Local trips: endpoints close to each other (mostly same partition).
@@ -37,14 +38,19 @@ fn main() {
     // Cross-city trips: uniformly random endpoints.
     let global = QuerySet::random(&road, 2000, 6);
 
+    let view = index.current_view();
     for (name, set) in [("local (district)", &local), ("cross-city", &global)] {
         let t = std::time::Instant::now();
         let mut same_partition = 0usize;
         for q in set {
-            if index.partitioned().partition.same_partition(q.source, q.target) {
+            if index
+                .partitioned()
+                .partition
+                .same_partition(q.source, q.target)
+            {
                 same_partition += 1;
             }
-            let _ = index.distance(&road, q.source, q.target);
+            let _ = view.distance(q.source, q.target);
         }
         println!(
             "{name:<18}: {} queries, {:.1} µs/query, {:.0}% same-partition",

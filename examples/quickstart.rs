@@ -1,10 +1,11 @@
-//! Quickstart: build a road network, index it with PostMHL, answer queries,
-//! apply a traffic update batch, and keep querying through every stage.
+//! Quickstart: build a road network, index it with PostMHL, answer queries
+//! through an immutable snapshot, apply a traffic update batch, and watch the
+//! staged snapshots get published while the repair runs.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
 use htsp::core::{PostMhl, PostMhlConfig};
-use htsp::graph::{gen, DynamicSpIndex, QuerySet, UpdateGenerator};
+use htsp::graph::{gen, IndexMaintainer, QuerySet, SnapshotPublisher, UpdateGenerator};
 use htsp::search::dijkstra_distance;
 
 fn main() {
@@ -24,14 +25,17 @@ fn main() {
         t.elapsed(),
         index.num_partitions(),
         index.num_overlay_vertices(),
-        index.index_size_bytes() as f64 / (1024.0 * 1024.0)
+        IndexMaintainer::index_size_bytes(&index) as f64 / (1024.0 * 1024.0)
     );
 
-    // 3. Answer shortest-distance queries and spot-check against Dijkstra.
+    // 3. Take an immutable snapshot and answer shortest-distance queries
+    //    (any number of threads could share this view; see the
+    //    `traffic_updates` example for the concurrent engine).
+    let view = index.current_view();
     let queries = QuerySet::random(&road, 1000, 7);
     let t = std::time::Instant::now();
     for q in &queries {
-        let d = index.distance(&road, q.source, q.target);
+        let d = view.distance(q.source, q.target);
         debug_assert_eq!(d, dijkstra_distance(&road, q.source, q.target));
     }
     println!(
@@ -42,18 +46,24 @@ fn main() {
     );
 
     // 4. A batch of traffic updates arrives: apply it and repair the index.
+    //    The publisher receives a fresh snapshot at the end of each completed
+    //    update stage (Figure 1's staged availability).
     let batch = UpdateGenerator::new(1).generate(&road, 500);
     road.apply_batch(&batch);
-    let timeline = index.apply_batch(&road, &batch);
+    let publisher = SnapshotPublisher::new(index.current_view());
+    let timeline = index.apply_batch(&road, &batch, &publisher);
     println!("update batch of {} edges repaired:", batch.len());
     for stage in &timeline.stages {
         println!("  {:<35} {:?}", stage.name, stage.duration);
+    }
+    for event in publisher.take_log() {
+        println!("  snapshot published for query stage {}", event.stage);
     }
 
     // 5. Queries remain exact at every stage of the repair.
     let q = &queries.as_slice()[0];
     for stage in 0..index.num_query_stages() {
-        let d = index.distance_at_stage(&road, stage, q.source, q.target);
+        let d = index.view_at_stage(stage).distance(q.source, q.target);
         println!("stage {stage}: d({}, {}) = {}", q.source, q.target, d);
     }
 }

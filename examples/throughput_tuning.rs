@@ -20,7 +20,10 @@ fn main() {
     let harness = ThroughputHarness::new(config, 5, 2);
 
     println!("-- sweeping expected partition number k_e (τ = 16) --");
-    println!("{:>6} {:>12} {:>12} {:>14}", "k_e", "partitions", "t_u (s)", "λ*_q (q/s)");
+    println!(
+        "{:>6} {:>12} {:>12} {:>14}",
+        "k_e", "partitions", "t_u (s)", "λ*_q (q/s)"
+    );
     for ke in [8usize, 16, 32, 64] {
         let mut idx = PostMhl::build(
             &road,
@@ -46,7 +49,10 @@ fn main() {
     }
 
     println!("-- sweeping bandwidth τ (k_e = 32) --");
-    println!("{:>6} {:>14} {:>12} {:>14}", "τ", "|V(overlay)|", "t_u (s)", "λ*_q (q/s)");
+    println!(
+        "{:>6} {:>14} {:>12} {:>14}",
+        "τ", "|V(overlay)|", "t_u (s)", "λ*_q (q/s)"
+    );
     for tau in [8usize, 16, 24, 32] {
         let mut idx = PostMhl::build(
             &road,

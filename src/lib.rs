@@ -20,28 +20,44 @@
 //!
 //! # Quickstart
 //!
+//! The index API is split into a read half and a write half: an
+//! [`graph::IndexMaintainer`] owns the mutable machinery and publishes
+//! immutable, thread-safe [`graph::QueryView`] snapshots through a
+//! [`graph::SnapshotPublisher`] at the end of each completed update stage,
+//! so queries keep flowing while the repair runs.
+//!
 //! ```
-//! use htsp::graph::{gen, QuerySet, UpdateGenerator};
-//! use htsp::graph::DynamicSpIndex;
+//! use htsp::graph::{gen, IndexMaintainer, QuerySet, SnapshotPublisher, UpdateGenerator};
 //! use htsp::core::{PostMhl, PostMhlConfig};
 //!
 //! // Build a small synthetic road network and a PostMHL index over it.
 //! let mut road = gen::grid(16, 16, gen::WeightRange::new(1, 60), 7);
 //! let mut index = PostMhl::build(&road, PostMhlConfig::default());
 //!
-//! // Answer queries.
+//! // Answer queries through an immutable snapshot (shareable across any
+//! // number of threads).
+//! let view = index.current_view();
 //! let queries = QuerySet::random(&road, 10, 3);
 //! for q in &queries {
-//!     let d = index.distance(&road, q.source, q.target);
+//!     let d = view.distance(q.source, q.target);
 //!     assert!(d.is_finite());
 //! }
 //!
 //! // Traffic changes arrive in a batch; apply it and repair the index.
+//! // Each completed update stage publishes a fresh snapshot.
 //! let batch = UpdateGenerator::new(1).generate(&road, 20);
 //! road.apply_batch(&batch);
-//! let timeline = index.apply_batch(&road, &batch);
+//! let publisher = SnapshotPublisher::new(index.current_view());
+//! let timeline = index.apply_batch(&road, &batch, &publisher);
 //! assert_eq!(timeline.stages.len(), 5);
+//! assert_eq!(publisher.version(), 4); // 4 query stages published
+//! assert!(publisher.snapshot().distance(queries.as_slice()[0].source,
+//!                                       queries.as_slice()[0].target).is_finite());
 //! ```
+//!
+//! To *measure* throughput under concurrent maintenance, see
+//! [`throughput::QueryEngine`]; the legacy `&mut self` trait
+//! [`graph::DynamicSpIndex`] remains available as a deprecation shim.
 
 #![warn(missing_docs)]
 

@@ -1,0 +1,134 @@
+//! Concurrency integration test for the read/write index API: query worker
+//! threads race a maintenance thread through the [`QueryEngine`], and every
+//! answer must be exact on the graph snapshot that was current when the
+//! query was answered — no torn reads, no staleness beyond the published
+//! stage.
+//!
+//! The engine's `verify` mode re-derives every answer with a fresh Dijkstra
+//! run on the answering view's own graph ([`QueryView::graph`]), which is
+//! exactly that assertion: a worker may observe an older published stage
+//! (fine — that view carries the older graph and is exact on it), but it may
+//! never observe a half-repaired index.
+
+use htsp::baselines::{BiDijkstraBaseline, DchBaseline};
+use htsp::core::{Pmhl, PmhlConfig, PostMhl, PostMhlConfig};
+use htsp::graph::{gen, Graph, IndexMaintainer};
+use htsp::throughput::QueryEngine;
+use std::time::Duration;
+
+fn road() -> Graph {
+    gen::grid_with_diagonals(12, 12, gen::WeightRange::new(2, 60), 0.15, 23)
+}
+
+fn race(maintainer: &mut dyn IndexMaintainer, workers: usize) {
+    let g = road();
+    let engine = QueryEngine::builder()
+        .workers(workers)
+        .batches(4)
+        .update_volume(30)
+        .pause_between_batches(Duration::from_millis(25))
+        .query_pool(256)
+        .verify(true)
+        .seed(91)
+        .build();
+    let report = engine.run(&g, maintainer);
+    assert_eq!(
+        report.verify_failures,
+        0,
+        "{} returned answers that disagree with Dijkstra on the answering \
+         snapshot's graph; first failure: {}",
+        report.algorithm,
+        report.first_failure.as_deref().unwrap_or("<missing>")
+    );
+    assert!(
+        report.total_queries > 0,
+        "{}: workers answered no queries",
+        report.algorithm
+    );
+    assert_eq!(report.num_workers, workers);
+    assert_eq!(report.timelines.len(), 4);
+    // Every batch published at least one snapshot.
+    assert!(
+        report.publications.len() >= 4,
+        "{}: expected ≥4 publications, saw {:?}",
+        report.algorithm,
+        report.publications
+    );
+    // The per-stage tally is consistent with the total.
+    assert_eq!(
+        report.per_stage_queries.iter().sum::<u64>(),
+        report.total_queries
+    );
+}
+
+#[test]
+fn postmhl_serves_exact_answers_while_maintenance_races() {
+    let g = road();
+    let mut idx = PostMhl::build(&g, PostMhlConfig::default());
+    race(&mut idx, 4);
+}
+
+#[test]
+fn pmhl_serves_exact_answers_while_maintenance_races() {
+    let g = road();
+    let mut idx = Pmhl::build(
+        &g,
+        PmhlConfig {
+            num_partitions: 4,
+            num_threads: 2,
+            seed: 3,
+        },
+    );
+    race(&mut idx, 4);
+}
+
+#[test]
+fn dch_baseline_serves_exact_answers_while_maintenance_races() {
+    let g = road();
+    let mut idx = DchBaseline::build(&g);
+    race(&mut idx, 4);
+}
+
+#[test]
+fn bidijkstra_baseline_serves_exact_answers_while_maintenance_races() {
+    let g = road();
+    let mut idx = BiDijkstraBaseline::new(&g);
+    race(&mut idx, 6);
+}
+
+#[test]
+fn multi_stage_snapshots_are_observed_during_maintenance() {
+    // With enough batches and slow-ish repairs, the workers must observe at
+    // least two distinct stages of PostMHL: an early (BiDijkstra/PCH)
+    // snapshot that is current during the multi-millisecond repair, and the
+    // final cross-boundary one that serves between batches.
+    let g = gen::grid_with_diagonals(24, 24, gen::WeightRange::new(2, 60), 0.1, 29);
+    let mut idx = PostMhl::build(&g, PostMhlConfig::default());
+    let engine = QueryEngine::builder()
+        .workers(4)
+        .batches(6)
+        .update_volume(150)
+        .pause_between_batches(Duration::from_millis(10))
+        .query_pool(256)
+        .seed(17)
+        .build();
+    let report = engine.run(&g, &mut idx);
+    let stages_hit = report.per_stage_queries.iter().filter(|&&c| c > 0).count();
+    assert!(
+        stages_hit >= 2,
+        "workers never observed an intermediate snapshot - staged publication is broken: {:?}",
+        report.per_stage_queries
+    );
+    // The publication log must show the staged release pattern: every batch
+    // publishes intermediate stages before ending at the final stage.
+    let final_stage = idx.num_query_stages() - 1;
+    assert_eq!(
+        report.publications.last().map(|&(_, s)| s),
+        Some(final_stage)
+    );
+    assert!(
+        report.publications.iter().any(|&(_, s)| s < final_stage),
+        "no intermediate stage was ever published: {:?}",
+        report.publications
+    );
+}

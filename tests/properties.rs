@@ -5,65 +5,112 @@
 //! * distances are symmetric and satisfy the triangle inequality;
 //! * the tree decomposition and partitioning invariants hold for arbitrary
 //!   generator parameters.
+//!
+//! The cases are drawn from a seeded generator (a hand-rolled stand-in for
+//! `proptest`, which is unavailable offline): each test replays `CASES`
+//! pseudo-random parameter tuples and reports the failing tuple on panic.
 
 use htsp::core::{PostMhl, PostMhlConfig};
 use htsp::graph::{gen, DynamicSpIndex, Graph, QuerySet, UpdateGenerator, VertexId};
 use htsp::partition::{partition_region_growing, td_partition, TdPartitionConfig};
 use htsp::search::{bidijkstra_distance, dijkstra_distance};
 use htsp::td::TreeDecomposition;
-use proptest::prelude::*;
 
-/// Strategy: a connected road-like graph of modest size.
-fn road_network() -> impl Strategy<Value = Graph> {
-    (4usize..9, 4usize..9, 1u64..1000, 1u32..50).prop_map(|(w, h, seed, maxw)| {
-        gen::grid_with_diagonals(w, h, gen::WeightRange::new(1, maxw.max(2)), 0.2, seed)
-    })
+const CASES: u64 = 24;
+
+/// Cheap deterministic parameter stream (SplitMix64).
+struct Params(u64);
+
+impl Params {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// A connected road-like graph of modest size plus the tuple that made it.
+fn road_network(p: &mut Params) -> (Graph, String) {
+    let w = p.range(4, 9) as usize;
+    let h = p.range(4, 9) as usize;
+    let seed = p.range(1, 1000);
+    let maxw = p.range(2, 50) as u32;
+    let g = gen::grid_with_diagonals(w, h, gen::WeightRange::new(1, maxw), 0.2, seed);
+    (g, format!("w={w} h={h} seed={seed} maxw={maxw}"))
+}
 
-    #[test]
-    fn bidijkstra_matches_dijkstra(g in road_network(), seed in 0u64..1000) {
+#[test]
+fn bidijkstra_matches_dijkstra() {
+    let mut p = Params(1);
+    for case in 0..CASES {
+        let (g, desc) = road_network(&mut p);
+        let seed = p.range(0, 1000);
         let qs = QuerySet::random(&g, 10, seed);
         for q in &qs {
-            prop_assert_eq!(
+            assert_eq!(
                 bidijkstra_distance(&g, q.source, q.target),
-                dijkstra_distance(&g, q.source, q.target)
+                dijkstra_distance(&g, q.source, q.target),
+                "case {case} ({desc}, qseed={seed}): mismatch for {q:?}"
             );
         }
     }
+}
 
-    #[test]
-    fn distances_are_symmetric_and_triangular(g in road_network(), seed in 0u64..1000) {
+#[test]
+fn distances_are_symmetric_and_triangular() {
+    let mut p = Params(2);
+    for case in 0..CASES {
+        let (g, desc) = road_network(&mut p);
+        let seed = p.range(0, 1000);
         let qs = QuerySet::random(&g, 6, seed);
         for q in &qs {
             let d_st = dijkstra_distance(&g, q.source, q.target);
             let d_ts = dijkstra_distance(&g, q.target, q.source);
-            prop_assert_eq!(d_st, d_ts);
+            assert_eq!(d_st, d_ts, "case {case} ({desc}): asymmetric distance");
             // Triangle inequality through an arbitrary intermediate vertex.
             let mid = VertexId((q.source.0 + q.target.0) / 2);
             let via = dijkstra_distance(&g, q.source, mid)
                 .saturating_add(dijkstra_distance(&g, mid, q.target));
-            prop_assert!(d_st <= via);
+            assert!(
+                d_st <= via,
+                "case {case} ({desc}): triangle inequality violated for {q:?}"
+            );
         }
     }
+}
 
-    #[test]
-    fn h2h_is_exact_on_arbitrary_networks(g in road_network(), seed in 0u64..1000) {
+#[test]
+fn h2h_is_exact_on_arbitrary_networks() {
+    let mut p = Params(3);
+    for case in 0..CASES {
+        let (g, desc) = road_network(&mut p);
+        let seed = p.range(0, 1000);
         let h2h = htsp::td::H2HIndex::build(&g);
         let qs = QuerySet::random(&g, 10, seed);
         for q in &qs {
-            prop_assert_eq!(h2h.distance(q.source, q.target), dijkstra_distance(&g, q.source, q.target));
+            assert_eq!(
+                h2h.distance(q.source, q.target),
+                dijkstra_distance(&g, q.source, q.target),
+                "case {case} ({desc}, qseed={seed}): H2H mismatch for {q:?}"
+            );
         }
     }
+}
 
-    #[test]
-    fn postmhl_survives_arbitrary_update_batches(
-        g in road_network(),
-        volume in 1usize..40,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn postmhl_survives_arbitrary_update_batches() {
+    let mut p = Params(4);
+    for case in 0..CASES {
+        let (g, desc) = road_network(&mut p);
+        let volume = p.range(1, 40) as usize;
+        let seed = p.range(0, 1000);
         let mut graph = g;
         let mut idx = PostMhl::build(&graph, PostMhlConfig::default());
         let mut gen_upd = UpdateGenerator::new(seed);
@@ -72,37 +119,65 @@ proptest! {
         idx.apply_batch(&graph, &batch);
         let qs = QuerySet::random(&graph, 10, seed ^ 0xff);
         for q in &qs {
-            prop_assert_eq!(
+            assert_eq!(
                 idx.distance(&graph, q.source, q.target),
-                dijkstra_distance(&graph, q.source, q.target)
+                dijkstra_distance(&graph, q.source, q.target),
+                "case {case} ({desc}, volume={volume}, seed={seed}): stale answer for {q:?}"
             );
         }
     }
+}
 
-    #[test]
-    fn tree_decomposition_is_valid_for_arbitrary_networks(g in road_network()) {
+#[test]
+fn tree_decomposition_is_valid_for_arbitrary_networks() {
+    let mut p = Params(5);
+    for case in 0..CASES {
+        let (g, desc) = road_network(&mut p);
         let td = TreeDecomposition::build(&g);
-        prop_assert!(td.validate(&g).is_ok());
-        prop_assert!(td.height() >= 1);
+        assert!(td.validate(&g).is_ok(), "case {case} ({desc}): invalid TD");
+        assert!(td.height() >= 1, "case {case} ({desc}): degenerate TD");
     }
+}
 
-    #[test]
-    fn partitions_cover_all_vertices(g in road_network(), k in 2usize..8, seed in 0u64..100) {
+#[test]
+fn partitions_cover_all_vertices() {
+    let mut p = Params(6);
+    for case in 0..CASES {
+        let (g, desc) = road_network(&mut p);
+        let k = p.range(2, 8) as usize;
+        let seed = p.range(0, 100);
         let pr = partition_region_growing(&g, k, seed);
-        prop_assert!(pr.validate(&g).is_ok());
+        assert!(pr.validate(&g).is_ok(), "case {case} ({desc}, k={k})");
         let covered: usize = (0..pr.num_partitions()).map(|i| pr.vertices(i).len()).sum();
-        prop_assert_eq!(covered, g.num_vertices());
+        assert_eq!(covered, g.num_vertices(), "case {case} ({desc}, k={k})");
     }
+}
 
-    #[test]
-    fn td_partitioning_respects_bandwidth(g in road_network(), tau in 3usize..20) {
+#[test]
+fn td_partitioning_respects_bandwidth() {
+    let mut p = Params(7);
+    for case in 0..CASES {
+        let (g, desc) = road_network(&mut p);
+        let tau = p.range(3, 20) as usize;
         let td = TreeDecomposition::build(&g);
-        let cfg = TdPartitionConfig { bandwidth: tau, expected_partitions: 8, beta_lower: 0.1, beta_upper: 2.0 };
+        let cfg = TdPartitionConfig {
+            bandwidth: tau,
+            expected_partitions: 8,
+            beta_lower: 0.1,
+            beta_upper: 2.0,
+        };
         let tp = td_partition(&td, &cfg);
         for i in 0..tp.num_partitions() {
-            prop_assert!(tp.boundary(i).len() <= tau);
+            assert!(
+                tp.boundary(i).len() <= tau,
+                "case {case} ({desc}, tau={tau}): boundary exceeds bandwidth"
+            );
         }
         let covered: usize = (0..tp.num_partitions()).map(|i| tp.vertices(i).len()).sum();
-        prop_assert_eq!(covered + tp.overlay_vertices().len(), g.num_vertices());
+        assert_eq!(
+            covered + tp.overlay_vertices().len(),
+            g.num_vertices(),
+            "case {case} ({desc}, tau={tau}): vertices not covered"
+        );
     }
 }

@@ -4,7 +4,7 @@
 
 use htsp::baselines::{BiDijkstraBaseline, Dh2hBaseline};
 use htsp::core::{PostMhl, PostMhlConfig};
-use htsp::graph::{gen, DynamicSpIndex, QuerySet};
+use htsp::graph::{gen, IndexMaintainer, QuerySet, QueryView};
 use htsp::throughput::{staged_throughput, QueryStats, SystemConfig, ThroughputHarness};
 use std::time::Instant;
 
@@ -16,17 +16,17 @@ fn sample_graph() -> htsp::graph::Graph {
 fn indexed_queries_are_much_faster_than_bidijkstra() {
     let g = sample_graph();
     let queries = QuerySet::random(&g, 200, 3);
-    let mut bd = BiDijkstraBaseline::new(g.num_vertices());
-    let mut h2h = Dh2hBaseline::build(&g);
-    let time = |idx: &mut dyn DynamicSpIndex| {
+    let bd = BiDijkstraBaseline::new(&g);
+    let h2h = Dh2hBaseline::build(&g);
+    let time = |view: &dyn QueryView| {
         let t = Instant::now();
         for q in &queries {
-            let _ = idx.distance(&g, q.source, q.target);
+            let _ = view.distance(q.source, q.target);
         }
         t.elapsed().as_secs_f64()
     };
-    let t_bd = time(&mut bd);
-    let t_h2h = time(&mut h2h);
+    let t_bd = time(&*bd.current_view());
+    let t_h2h = time(&*h2h.current_view());
     assert!(
         t_h2h < t_bd,
         "H2H queries ({t_h2h:.6}s) should beat BiDijkstra ({t_bd:.6}s)"
@@ -40,17 +40,17 @@ fn postmhl_final_stage_matches_h2h_speed_class() {
     // magnitude (allow a generous 5x factor for measurement noise).
     let g = sample_graph();
     let queries = QuerySet::random(&g, 400, 9);
-    let mut h2h = Dh2hBaseline::build(&g);
-    let mut postmhl = PostMhl::build(&g, PostMhlConfig::default());
-    let time = |idx: &mut dyn DynamicSpIndex| {
+    let h2h = Dh2hBaseline::build(&g);
+    let postmhl = PostMhl::build(&g, PostMhlConfig::default());
+    let time = |view: &dyn QueryView| {
         let t = Instant::now();
         for q in &queries {
-            let _ = idx.distance(&g, q.source, q.target);
+            let _ = view.distance(q.source, q.target);
         }
         t.elapsed().as_secs_f64() / queries.len() as f64
     };
-    let t_h2h = time(&mut h2h);
-    let t_post = time(&mut postmhl);
+    let t_h2h = time(&*h2h.current_view());
+    let t_post = time(&*postmhl.current_view());
     assert!(
         t_post < t_h2h * 5.0,
         "PostMHL final stage ({t_post:.2e}s) should be within 5x of DH2H ({t_h2h:.2e}s)"
@@ -77,7 +77,7 @@ fn harness_ranks_postmhl_above_bidijkstra_in_throughput() {
         query_sample: 60,
     };
     let harness = ThroughputHarness::new(config, 3, 1);
-    let mut bd = BiDijkstraBaseline::new(g.num_vertices());
+    let mut bd = BiDijkstraBaseline::new(&g);
     let mut post = PostMhl::build(&g, PostMhlConfig::default());
     let r_bd = harness.run(&g, &mut bd);
     let r_post = harness.run(&g, &mut post);

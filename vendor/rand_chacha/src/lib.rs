@@ -1,0 +1,189 @@
+//! Offline stand-in for the `rand_chacha` crate: [`ChaCha8Rng`], a genuine
+//! ChaCha stream cipher with 8 rounds driving the vendored `rand` traits.
+//!
+//! The keystream is a faithful ChaCha8 implementation (D. J. Bernstein's
+//! quarter-round schedule, 64-bit block counter); `seed_from_u64` expands the
+//! seed with SplitMix64 like upstream `rand`. Streams are deterministic per
+//! seed across platforms, though not bit-identical to upstream `rand_chacha`
+//! (which draws words from the block in a different order).
+
+use rand::{RngCore, SeedableRng};
+
+const ROUNDS: usize = 8;
+const WORDS_PER_BLOCK: usize = 16;
+
+/// A ChaCha8 random number generator.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    /// Key (8 words) retained to regenerate blocks.
+    key: [u32; 8],
+    /// Stream nonce (2 words).
+    nonce: [u32; 2],
+    /// 64-bit block counter of the *next* block.
+    counter: u64,
+    /// Current decoded block.
+    block: [u32; WORDS_PER_BLOCK],
+    /// Next word index within `block` (WORDS_PER_BLOCK = exhausted).
+    cursor: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+fn chacha_block(key: &[u32; 8], counter: u64, nonce: &[u32; 2]) -> [u32; WORDS_PER_BLOCK] {
+    // "expand 32-byte k"
+    let mut state: [u32; 16] = [
+        0x6170_7865,
+        0x3320_646e,
+        0x7962_2d32,
+        0x6b20_6574,
+        key[0],
+        key[1],
+        key[2],
+        key[3],
+        key[4],
+        key[5],
+        key[6],
+        key[7],
+        counter as u32,
+        (counter >> 32) as u32,
+        nonce[0],
+        nonce[1],
+    ];
+    let initial = state;
+    for _ in 0..ROUNDS / 2 {
+        // Column round.
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    for (s, i) in state.iter_mut().zip(initial) {
+        *s = s.wrapping_add(i);
+    }
+    state
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        self.block = chacha_block(&self.key, self.counter, &self.nonce);
+        self.counter = self.counter.wrapping_add(1);
+        self.cursor = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut key = [0u32; 8];
+        for pair in key.chunks_mut(2) {
+            let w = splitmix64(&mut sm);
+            pair[0] = w as u32;
+            if pair.len() > 1 {
+                pair[1] = (w >> 32) as u32;
+            }
+        }
+        ChaCha8Rng {
+            key,
+            nonce: [0, 0],
+            counter: 0,
+            block: [0; WORDS_PER_BLOCK],
+            cursor: WORDS_PER_BLOCK,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        if self.cursor + 2 > WORDS_PER_BLOCK {
+            self.refill();
+        }
+        let lo = self.block[self.cursor] as u64;
+        let hi = self.block[self.cursor + 1] as u64;
+        self.cursor += 2;
+        lo | (hi << 32)
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor >= WORDS_PER_BLOCK {
+            self.refill();
+        }
+        let w = self.block[self.cursor];
+        self.cursor += 1;
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn ietf_test_vector_block_zero() {
+        // RFC 8439 §2.3.2 uses 20 rounds; instead verify the 8-round cipher
+        // against itself structurally: block changes with counter and key.
+        let key = [1, 2, 3, 4, 5, 6, 7, 8];
+        let b0 = chacha_block(&key, 0, &[0, 0]);
+        let b1 = chacha_block(&key, 1, &[0, 0]);
+        assert_ne!(b0, b1);
+        let other = chacha_block(&[9, 2, 3, 4, 5, 6, 7, 8], 0, &[0, 0]);
+        assert_ne!(b0, other);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn range_sampling_is_roughly_uniform() {
+        let mut r = ChaCha8Rng::seed_from_u64(9);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[r.gen_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (700..1300).contains(&c),
+                "bucket count {c} far from uniform"
+            );
+        }
+    }
+}
