@@ -7,10 +7,10 @@
 //!
 //! * [`BiDijkstraBaseline`] — index-free bidirectional Dijkstra; zero update
 //!   cost, slow queries.
-//! * [`DchBaseline`] — Dynamic Contraction Hierarchies [32]: fast shortcut
+//! * [`DchBaseline`] — Dynamic Contraction Hierarchies \[32\]: fast shortcut
 //!   repair, CH-speed queries.
-//! * [`Dh2hBaseline`] — Dynamic H2H [33]: fastest queries, slow label repair.
-//! * [`ToainBaseline`] — a simplified TOAIN/SCOB [37]: a throughput-adaptive
+//! * [`Dh2hBaseline`] — Dynamic H2H \[33\]: fastest queries, slow label repair.
+//! * [`ToainBaseline`] — a simplified TOAIN/SCOB \[37\]: a throughput-adaptive
 //!   CH whose *level cap* trades query speed against the cost of refreshing
 //!   the index on every batch (the paper adapts TOAIN to dynamic networks by
 //!   rebuilding its shortcuts per batch; we reproduce that behaviour).
@@ -19,12 +19,12 @@
 
 #![warn(missing_docs)]
 
-use htsp_ch::{ChQuery, ContractionHierarchy, OrderingStrategy, ShortcutMode};
+use htsp_ch::{ChQuery, ChQuerySession, ContractionHierarchy, OrderingStrategy, ShortcutMode};
 use htsp_graph::{
-    Dist, Graph, IndexMaintainer, QueryView, ScratchPool, SnapshotPublisher, UpdateBatch,
-    UpdateTimeline, VertexId,
+    Dist, FallbackSession, Graph, IndexMaintainer, QuerySession, QueryView, ScratchPool,
+    SnapshotPublisher, UpdateBatch, UpdateTimeline, VertexId,
 };
-use htsp_search::BiDijkstra;
+use htsp_search::{BiDijkstra, BiDijkstraSession};
 use htsp_td::H2HIndex;
 use std::sync::Arc;
 use std::time::Instant;
@@ -53,6 +53,10 @@ impl QueryView for BiDijkstraView {
 
     fn distance(&self, s: VertexId, t: VertexId) -> Dist {
         self.scratch.with(|b| b.distance(&self.graph, s, t))
+    }
+
+    fn session(&self) -> Box<dyn QuerySession + '_> {
+        Box::new(BiDijkstraSession::new(&self.graph, self.scratch.checkout()))
     }
 
     fn graph(&self) -> &Graph {
@@ -128,6 +132,10 @@ impl QueryView for ChView {
 
     fn distance(&self, s: VertexId, t: VertexId) -> Dist {
         self.scratch.with(|q| q.distance(&self.ch, s, t))
+    }
+
+    fn session(&self) -> Box<dyn QuerySession + '_> {
+        Box::new(ChQuerySession::new(&self.ch, self.scratch.checkout()))
     }
 
     fn graph(&self) -> &Graph {
@@ -214,6 +222,12 @@ impl QueryView for H2hView {
 
     fn distance(&self, s: VertexId, t: VertexId) -> Dist {
         self.h2h.distance(s, t)
+    }
+
+    fn session(&self) -> Box<dyn QuerySession + '_> {
+        // A label lookup needs no scratch; the per-target loop is already
+        // the optimal one-to-many algorithm for a 2-hop labeling.
+        Box::new(FallbackSession::new(self))
     }
 
     fn graph(&self) -> &Graph {

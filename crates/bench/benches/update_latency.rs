@@ -11,7 +11,7 @@ use htsp_baselines::{DchBaseline, Dh2hBaseline};
 use htsp_bench::micro;
 use htsp_core::{Pmhl, PmhlConfig, PostMhl, PostMhlConfig};
 use htsp_graph::gen::{grid_with_diagonals, WeightRange};
-use htsp_graph::{DynamicSpIndex, UpdateGenerator};
+use htsp_graph::{IndexMaintainer, SnapshotPublisher, UpdateGenerator};
 use htsp_psp::{NChP, PTdP};
 
 fn main() {
@@ -28,9 +28,14 @@ fn main() {
                     let batch = gen.generate(&g, 100);
                     let mut updated = g.clone();
                     updated.apply_batch(&batch);
-                    (idx, updated, batch)
+                    // An outstanding snapshot, as in serving mode: the repair
+                    // pays the copy-on-write cost it would pay in production.
+                    let publisher = SnapshotPublisher::new(idx.current_view());
+                    (idx, updated, batch, publisher)
                 },
-                |(mut idx, updated, batch)| idx.apply_batch(&updated, &batch),
+                |(mut idx, updated, batch, publisher)| {
+                    idx.apply_batch(&updated, &batch, &publisher)
+                },
             );
         }};
     }

@@ -8,85 +8,12 @@
 //! trajectory to compare against.
 
 use htsp_baselines::{BiDijkstraBaseline, DchBaseline};
+use htsp_bench::json::Json;
 use htsp_core::{Pmhl, PmhlConfig, PostMhl, PostMhlConfig};
 use htsp_graph::gen::{grid_with_diagonals, WeightRange};
 use htsp_graph::IndexMaintainer;
 use htsp_throughput::{QueryEngine, SystemConfig, ThroughputHarness};
-use std::fmt::Write as _;
 use std::time::Duration;
-
-/// Minimal JSON value writer (serde is unavailable offline).
-enum Json {
-    Num(f64),
-    Int(u64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(&'static str, Json)>),
-}
-
-impl Json {
-    fn render(&self, out: &mut String, indent: usize) {
-        let pad = "  ".repeat(indent);
-        match self {
-            Json::Num(x) => {
-                if x.is_finite() {
-                    write!(out, "{x}").unwrap();
-                } else {
-                    out.push_str("null");
-                }
-            }
-            Json::Int(x) => write!(out, "{x}").unwrap(),
-            Json::Str(s) => {
-                out.push('"');
-                for c in s.chars() {
-                    match c {
-                        '"' => out.push_str("\\\""),
-                        '\\' => out.push_str("\\\\"),
-                        '\n' => out.push_str("\\n"),
-                        c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32).unwrap(),
-                        c => out.push(c),
-                    }
-                }
-                out.push('"');
-            }
-            Json::Arr(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push_str("[\n");
-                for (i, item) in items.iter().enumerate() {
-                    write!(out, "{pad}  ").unwrap();
-                    item.render(out, indent + 1);
-                    if i + 1 < items.len() {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                }
-                write!(out, "{pad}]").unwrap();
-            }
-            Json::Obj(fields) => {
-                out.push_str("{\n");
-                for (i, (k, v)) in fields.iter().enumerate() {
-                    write!(out, "{pad}  \"{k}\": ").unwrap();
-                    v.render(out, indent + 1);
-                    if i + 1 < fields.len() {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                }
-                write!(out, "{pad}}}").unwrap();
-            }
-        }
-    }
-
-    fn to_string_pretty(&self) -> String {
-        let mut s = String::new();
-        self.render(&mut s, 0);
-        s.push('\n');
-        s
-    }
-}
 
 fn main() {
     let out_path = std::env::args()

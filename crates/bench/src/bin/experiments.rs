@@ -27,13 +27,13 @@ use htsp_bench::{
     run_throughput_comparison, AlgorithmSet,
 };
 use htsp_core::{Pmhl, PmhlConfig, PostMhl, PostMhlConfig};
-use htsp_graph::{DynamicSpIndex, Graph, QuerySet, UpdateGenerator};
+use htsp_graph::{Graph, IndexMaintainer, QuerySet, SnapshotPublisher, UpdateGenerator};
 use htsp_partition::TdPartitionConfig;
 use htsp_throughput::{SystemConfig, ThroughputHarness};
 use std::time::Instant;
 
 /// A deferred algorithm constructor (used to time index construction).
-type AlgorithmFactory<'a> = Box<dyn Fn() -> Box<dyn DynamicSpIndex> + 'a>;
+type AlgorithmFactory<'a> = Box<dyn Fn() -> Box<dyn IndexMaintainer> + 'a>;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -147,22 +147,22 @@ fn exp2_index_performance(full: bool) {
             (
                 "DCH",
                 Box::new(|| {
-                    Box::new(htsp_baselines::DchBaseline::build(&g)) as Box<dyn DynamicSpIndex>
+                    Box::new(htsp_baselines::DchBaseline::build(&g)) as Box<dyn IndexMaintainer>
                 }),
             ),
             (
                 "DH2H",
                 Box::new(|| {
-                    Box::new(htsp_baselines::Dh2hBaseline::build(&g)) as Box<dyn DynamicSpIndex>
+                    Box::new(htsp_baselines::Dh2hBaseline::build(&g)) as Box<dyn IndexMaintainer>
                 }),
             ),
             (
                 "N-CH-P",
-                Box::new(|| Box::new(htsp_psp::NChP::build(&g, 8, 1)) as Box<dyn DynamicSpIndex>),
+                Box::new(|| Box::new(htsp_psp::NChP::build(&g, 8, 1)) as Box<dyn IndexMaintainer>),
             ),
             (
                 "P-TD-P",
-                Box::new(|| Box::new(htsp_psp::PTdP::build(&g, 8, 1)) as Box<dyn DynamicSpIndex>),
+                Box::new(|| Box::new(htsp_psp::PTdP::build(&g, 8, 1)) as Box<dyn IndexMaintainer>),
             ),
             (
                 "PMHL",
@@ -174,14 +174,14 @@ fn exp2_index_performance(full: bool) {
                             num_threads: 4,
                             seed: 1,
                         },
-                    )) as Box<dyn DynamicSpIndex>
+                    )) as Box<dyn IndexMaintainer>
                 }),
             ),
             (
                 "PostMHL",
                 Box::new(|| {
                     Box::new(PostMhl::build(&g, PostMhlConfig::default()))
-                        as Box<dyn DynamicSpIndex>
+                        as Box<dyn IndexMaintainer>
                 }),
             ),
         ];
@@ -193,12 +193,19 @@ fn exp2_index_performance(full: bool) {
             let t0 = Instant::now();
             let mut idx = build();
             let t_c = t0.elapsed().as_secs_f64();
+            // Query time through one session on the current snapshot (the
+            // serving hot path: scratch checked out once).
+            let view = idx.current_view();
+            let mut session = view.session();
             let t1 = Instant::now();
             for q in &queries {
-                let _ = idx.distance(&g, q.source, q.target);
+                let _ = session.query(q);
             }
             let t_q = t1.elapsed().as_secs_f64() / queries.len() as f64;
-            let timeline = idx.apply_batch(&updated, &batch);
+            drop(session);
+            drop(view);
+            let publisher = SnapshotPublisher::new(idx.current_view());
+            let timeline = idx.apply_batch(&updated, &batch, &publisher);
             println!(
                 "{:<10} {:>12.3} {:>12.2} {:>14.2} {:>12.4}",
                 name,
@@ -391,12 +398,16 @@ fn exp8_postmhl_bandwidth(full: bool) {
             },
         );
         let overlay = idx.num_overlay_vertices();
-        // Q-Stage 3 (post-boundary) query time.
+        // Q-Stage 3 (post-boundary) query time, through a stage-pinned session.
+        let view = idx.view_at_stage(2);
+        let mut session = view.session();
         let t = Instant::now();
         for q in &queries {
-            let _ = idx.distance_at_stage(g, 2, q.source, q.target);
+            let _ = session.query(q);
         }
         let q3 = t.elapsed().as_secs_f64() / queries.len() as f64;
+        drop(session);
+        drop(view);
         let r = harness.run(g, &mut idx);
         println!(
             "{:>6} {:>12} {:>18.2} {:>14.4} {:>14.1}",

@@ -1,0 +1,103 @@
+//! A minimal JSON value writer for the `BENCH_prN.json` perf snapshots
+//! (serde is unavailable offline; the vendored crates are stand-ins).
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+pub enum Json {
+    /// A floating-point number (`null` when not finite).
+    Num(f64),
+    /// An unsigned integer.
+    Int(u64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with ordered fields.
+    Obj(Vec<(&'static str, Json)>),
+}
+
+impl Json {
+    fn render(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        match self {
+            Json::Num(x) => {
+                if x.is_finite() {
+                    write!(out, "{x}").unwrap();
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Int(x) => write!(out, "{x}").unwrap(),
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32).unwrap(),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    write!(out, "{pad}  ").unwrap();
+                    item.render(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                write!(out, "{pad}]").unwrap();
+            }
+            Json::Obj(fields) => {
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    write!(out, "{pad}  \"{k}\": ").unwrap();
+                    v.render(out, indent + 1);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                write!(out, "{pad}}}").unwrap();
+            }
+        }
+    }
+
+    /// Renders the value as pretty-printed JSON with a trailing newline.
+    pub fn to_string_pretty(&self) -> String {
+        let mut s = String::new();
+        self.render(&mut s, 0);
+        s.push('\n');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_values_and_escapes() {
+        let doc = Json::Obj(vec![
+            ("name", Json::Str("a \"quoted\"\nline".to_string())),
+            ("nan", Json::Num(f64::NAN)),
+            ("xs", Json::Arr(vec![Json::Int(1), Json::Num(2.5)])),
+            ("empty", Json::Arr(Vec::new())),
+        ]);
+        let s = doc.to_string_pretty();
+        assert!(s.contains("\"a \\\"quoted\\\"\\nline\""));
+        assert!(s.contains("\"nan\": null"));
+        assert!(s.contains("\"empty\": []"));
+        assert!(s.ends_with("}\n"));
+    }
+}

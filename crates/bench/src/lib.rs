@@ -15,6 +15,7 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod micro;
 
 use htsp_baselines::{BiDijkstraBaseline, DchBaseline, Dh2hBaseline, ToainBaseline};

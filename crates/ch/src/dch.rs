@@ -11,8 +11,8 @@
 //! ascending rank order ("bottom-up"): whenever a shortcut of a lower-ranked
 //! vertex changes, it invalidates every pair of its upward neighbors, which
 //! are re-derived when their own (higher) rank is reached. This is the
-//! shortcut-centric paradigm of DCH [32], which is also the first phase of
-//! DH2H maintenance [33] (Lemma 4), and runs identically for weight increases
+//! shortcut-centric paradigm of DCH \[32\], which is also the first phase of
+//! DH2H maintenance \[33\] (Lemma 4), and runs identically for weight increases
 //! and decreases because each affected shortcut is recomputed from all of its
 //! supports.
 

@@ -38,4 +38,4 @@ pub mod query;
 pub use dch::ShortcutChange;
 pub use hierarchy::{ContractionHierarchy, ShortcutMode};
 pub use ordering::{boundary_first_order, mde_order, OrderingStrategy, VertexOrder};
-pub use query::ChQuery;
+pub use query::{ChQuery, ChQuerySession};

@@ -20,8 +20,11 @@
 //!   (Figure 8), with H2H-equivalent final query speed (Theorem 1) and
 //!   partition-parallel maintenance.
 //!
-//! All three implement [`htsp_graph::DynamicSpIndex`], so the throughput
-//! harness treats them uniformly with the baselines.
+//! All three implement [`htsp_graph::IndexMaintainer`] and publish
+//! [`htsp_graph::QueryView`] snapshots (with per-thread
+//! [`htsp_graph::QuerySession`]s for batched workloads), so the throughput
+//! harness, the concurrent engine, and the distance service treat them
+//! uniformly with the baselines.
 
 #![warn(missing_docs)]
 

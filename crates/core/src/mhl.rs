@@ -8,12 +8,12 @@
 //! machinery (BiDijkstra → CH → H2H) that is currently consistent with the
 //! latest batch as an immutable snapshot after each phase.
 
-use htsp_ch::ChQuery;
+use htsp_ch::{ChQuery, ChQuerySession};
 use htsp_graph::{
-    Dist, Graph, IndexMaintainer, QueryView, ScratchPool, SnapshotPublisher, UpdateBatch,
-    UpdateTimeline, VertexId,
+    Dist, FallbackSession, Graph, IndexMaintainer, QuerySession, QueryView, ScratchPool,
+    SnapshotPublisher, UpdateBatch, UpdateTimeline, VertexId,
 };
-use htsp_search::BiDijkstra;
+use htsp_search::{BiDijkstra, BiDijkstraSession};
 use htsp_td::H2HIndex;
 use std::sync::Arc;
 use std::time::Instant;
@@ -90,6 +90,20 @@ impl QueryView for MhlView {
                 ch.with(|q| q.distance(h2h.decomposition().hierarchy(), s, t))
             }
             StageParts::H2h { h2h } => h2h.distance(s, t),
+        }
+    }
+
+    fn session(&self) -> Box<dyn QuerySession + '_> {
+        match &self.parts {
+            StageParts::BiDijkstra { bidij } => {
+                Box::new(BiDijkstraSession::new(&self.graph, bidij.checkout()))
+            }
+            StageParts::Ch { h2h, ch } => Box::new(ChQuerySession::new(
+                h2h.decomposition().hierarchy(),
+                ch.checkout(),
+            )),
+            // Label lookups: the per-target loop is already optimal.
+            StageParts::H2h { .. } => Box::new(FallbackSession::new(self)),
         }
     }
 

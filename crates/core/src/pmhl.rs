@@ -15,15 +15,15 @@
 
 use htsp_ch::{ContractionHierarchy, ShortcutChange};
 use htsp_graph::{
-    Dist, Graph, IndexMaintainer, QueryView, ScratchPool, SnapshotPublisher, UpdateBatch,
-    UpdateTimeline, VertexId, INF,
+    Dist, FallbackSession, Graph, IndexMaintainer, QuerySession, QueryView, ScratchGuard,
+    ScratchPool, SnapshotPublisher, UpdateBatch, UpdateTimeline, VertexId, INF,
 };
 use htsp_partition::partition_region_growing;
 use htsp_psp::{
     no_boundary::no_boundary_distance, CrossBoundaryIndex, OverlayGraph, PartitionIndex,
     Partitioned, PchSearcher, PostBoundaryIndexes,
 };
-use htsp_search::BiDijkstra;
+use htsp_search::{BiDijkstra, BiDijkstraSession};
 use htsp_td::{H2HIndex, TreeDecomposition};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -125,32 +125,40 @@ enum StageParts {
     },
 }
 
+/// The source-side boundary labels `L'_i(v)`: distance from `v` to each
+/// boundary vertex of its partition (global ids). A session computes this
+/// once per source and reuses it across a whole target set.
+fn boundary_labels(
+    partitioned: &Partitioned,
+    post: &PostBoundaryIndexes,
+    v: VertexId,
+) -> Vec<(VertexId, Dist)> {
+    if partitioned.partition.is_boundary(v) {
+        return vec![(v, Dist::ZERO)];
+    }
+    let pi = partitioned.partition.partition_of(v);
+    let sub = &partitioned.subgraphs[pi];
+    let lv = sub.to_local(v).expect("vertex in its partition");
+    sub.boundary_local
+        .iter()
+        .map(|&lb| (sub.to_global(lb), post.distance_to_boundary(pi, lv, lb)))
+        .collect()
+}
+
 /// Cross-partition query by `L'_i`/`L\u0303`/`L'_j` concatenation (the
-/// post-boundary cross-partition path, Q-Stage 4).
+/// post-boundary cross-partition path, Q-Stage 4), with the source side
+/// (`from_s`) precomputed by [`boundary_labels`].
 fn cross_by_concatenation(
     partitioned: &Partitioned,
     post: &PostBoundaryIndexes,
     overlay: &OverlayGraph,
     overlay_index: &H2HIndex,
-    s: VertexId,
+    from_s: &[(VertexId, Dist)],
     t: VertexId,
 ) -> Dist {
-    let to_boundary = |v: VertexId| -> Vec<(VertexId, Dist)> {
-        if partitioned.partition.is_boundary(v) {
-            return vec![(v, Dist::ZERO)];
-        }
-        let pi = partitioned.partition.partition_of(v);
-        let sub = &partitioned.subgraphs[pi];
-        let lv = sub.to_local(v).expect("vertex in its partition");
-        sub.boundary_local
-            .iter()
-            .map(|&lb| (sub.to_global(lb), post.distance_to_boundary(pi, lv, lb)))
-            .collect()
-    };
-    let from_s = to_boundary(s);
-    let from_t = to_boundary(t);
+    let from_t = boundary_labels(partitioned, post, t);
     let mut best = INF;
-    for &(bp, dp) in &from_s {
+    for &(bp, dp) in from_s {
         if dp.is_inf() {
             continue;
         }
@@ -235,7 +243,15 @@ impl QueryView for PmhlView {
                     let pi = self.partitioned.partition.partition_of(s);
                     post.same_partition_distance(&self.partitioned, pi, s, t)
                 } else {
-                    cross_by_concatenation(&self.partitioned, post, overlay, overlay_index, s, t)
+                    let from_s = boundary_labels(&self.partitioned, post, s);
+                    cross_by_concatenation(
+                        &self.partitioned,
+                        post,
+                        overlay,
+                        overlay_index,
+                        &from_s,
+                        t,
+                    )
                 }
             }
             StageParts::CrossBoundary { post, cross } => {
@@ -246,6 +262,40 @@ impl QueryView for PmhlView {
                     cross.cross_distance(s, t)
                 }
             }
+        }
+    }
+
+    fn session(&self) -> Box<dyn QuerySession + '_> {
+        match &self.parts {
+            StageParts::BiDijkstra { bidij } => Box::new(BiDijkstraSession::new(
+                &self.partitioned.graph,
+                bidij.checkout(),
+            )),
+            StageParts::Pch {
+                partition_indexes,
+                overlay,
+                overlay_index,
+                pch,
+            } => Box::new(PmhlPchSession {
+                partitioned: &self.partitioned,
+                partition_indexes,
+                overlay,
+                overlay_h: overlay_index.decomposition().hierarchy(),
+                scratch: pch.checkout(),
+            }),
+            // Post-/cross-boundary stages answer from shared references
+            // without scratch, but their sessions cache the source-side
+            // work (partition lookup, `L'_i(s)` boundary labels) across a
+            // one-to-many target set.
+            StageParts::PostBoundary { .. } | StageParts::CrossBoundary { .. } => {
+                Box::new(PmhlLabelSession {
+                    view: self,
+                    source: None,
+                })
+            }
+            // The no-boundary stage is a pure concatenation lookup with no
+            // hoistable source side.
+            StageParts::NoBoundary { .. } => Box::new(FallbackSession::new(self)),
         }
     }
 
@@ -281,6 +331,93 @@ impl QueryView for PmhlView {
             StageParts::CrossBoundary { post, cross } => {
                 post.index_size_bytes() + cross.index_size_bytes()
             }
+        }
+    }
+}
+
+/// Per-thread Q-Stage-2 (partitioned CH) session: owns one pooled
+/// [`PchSearcher`] for its lifetime.
+struct PmhlPchSession<'a> {
+    partitioned: &'a Partitioned,
+    partition_indexes: &'a [PartitionIndex],
+    overlay: &'a OverlayGraph,
+    overlay_h: &'a ContractionHierarchy,
+    scratch: ScratchGuard<'a, PchSearcher>,
+}
+
+impl QuerySession for PmhlPchSession<'_> {
+    fn distance(&mut self, s: VertexId, t: VertexId) -> Dist {
+        self.scratch.distance(
+            self.partitioned,
+            self.partition_indexes,
+            self.overlay,
+            self.overlay_h,
+            s,
+            t,
+        )
+    }
+}
+
+/// Cached source-side state of a [`PmhlLabelSession`]: the source vertex,
+/// its partition, and (computed lazily — only cross-partition targets need
+/// them) its `L'_i(source)` boundary labels.
+struct SourceState {
+    source: VertexId,
+    partition: usize,
+    labels: Option<Vec<(VertexId, Dist)>>,
+}
+
+/// Per-thread session for the post-/cross-boundary label stages: caches the
+/// source's partition id and (for the post-boundary concatenation path) its
+/// `L'_i(s)` boundary labels, so a one-to-many or matrix row pays the
+/// source-side work once instead of once per target.
+struct PmhlLabelSession<'a> {
+    view: &'a PmhlView,
+    /// State of the most recent source, reused while the source repeats.
+    source: Option<SourceState>,
+}
+
+impl PmhlLabelSession<'_> {
+    fn source_state(&mut self, s: VertexId) -> &mut SourceState {
+        if self.source.as_ref().map(|st| st.source) != Some(s) {
+            self.source = Some(SourceState {
+                source: s,
+                partition: self.view.partitioned.partition.partition_of(s),
+                labels: None,
+            });
+        }
+        self.source.as_mut().expect("just set")
+    }
+}
+
+impl QuerySession for PmhlLabelSession<'_> {
+    fn distance(&mut self, s: VertexId, t: VertexId) -> Dist {
+        if s == t {
+            return Dist::ZERO;
+        }
+        let view = self.view;
+        let state = self.source_state(s);
+        if view.partitioned.partition.partition_of(t) == state.partition {
+            return match &view.parts {
+                StageParts::PostBoundary { post, .. } | StageParts::CrossBoundary { post, .. } => {
+                    post.same_partition_distance(&view.partitioned, state.partition, s, t)
+                }
+                _ => unreachable!("label session only wraps label stages"),
+            };
+        }
+        match &view.parts {
+            StageParts::PostBoundary {
+                post,
+                overlay,
+                overlay_index,
+            } => {
+                let labels = state
+                    .labels
+                    .get_or_insert_with(|| boundary_labels(&view.partitioned, post, s));
+                cross_by_concatenation(&view.partitioned, post, overlay, overlay_index, labels, t)
+            }
+            StageParts::CrossBoundary { cross, .. } => cross.cross_distance(s, t),
+            _ => unreachable!("label session only wraps label stages"),
         }
     }
 }

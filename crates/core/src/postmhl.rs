@@ -19,13 +19,13 @@
 //! that releases faster query machinery publishes an immutable snapshot:
 //! BiDijkstra → PCH → post-boundary → cross-boundary (plain H2H query).
 
-use htsp_ch::ChQuery;
+use htsp_ch::{ChQuery, ChQuerySession};
 use htsp_graph::{
-    Dist, Graph, IndexMaintainer, QueryView, ScratchPool, SnapshotPublisher, UpdateBatch,
-    UpdateTimeline, VertexId, INF,
+    Dist, FallbackSession, Graph, IndexMaintainer, QuerySession, QueryView, ScratchPool,
+    SnapshotPublisher, UpdateBatch, UpdateTimeline, VertexId, INF,
 };
 use htsp_partition::{td_partition, TdPartition, TdPartitionConfig};
-use htsp_search::BiDijkstra;
+use htsp_search::{BiDijkstra, BiDijkstraSession};
 use htsp_td::{H2HIndex, TreeDecomposition};
 use rustc_hash::FxHashMap;
 use std::sync::{Arc, Mutex};
@@ -263,6 +263,24 @@ impl QueryView for PostMhlView {
                 post_boundary_distance(td, dis, disb, tdp, s, t)
             }
             StageParts::CrossBoundary { td, dis } => h2h_distance(td, dis, s, t),
+        }
+    }
+
+    fn session(&self) -> Box<dyn QuerySession + '_> {
+        match &self.parts {
+            StageParts::BiDijkstra { bidij } => {
+                Box::new(BiDijkstraSession::new(&self.graph, bidij.checkout()))
+            }
+            // Q-Stage 2 runs on the shared shortcut arrays, which form a full
+            // contraction hierarchy — the CH session's shared-forward-search
+            // one-to-many applies as-is.
+            StageParts::Pch { td, ch } => {
+                Box::new(ChQuerySession::new(td.hierarchy(), ch.checkout()))
+            }
+            // Label stages: per-target lookups are the batch algorithm.
+            StageParts::PostBoundary { .. } | StageParts::CrossBoundary { .. } => {
+                Box::new(FallbackSession::new(self))
+            }
         }
     }
 

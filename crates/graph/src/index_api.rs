@@ -13,6 +13,10 @@
 //!   snapshot that answers `distance(s, t)` from shared references on any
 //!   number of threads. A view is frozen at a specific graph version and a
 //!   specific query stage; it never observes in-flight maintenance.
+//!   For anything beyond a stray single query, a thread opens a
+//!   [`QuerySession`] on the view ([`QueryView::session`]) and drives its
+//!   point-to-point, one-to-many, and many-to-many workloads through it —
+//!   see *Sessions and batch queries* below.
 //! * [`IndexMaintainer`] is the **write half**: it owns the mutable index
 //!   machinery, repairs it when a batch arrives, and *publishes* a fresh
 //!   `Arc<dyn QueryView>` through a [`SnapshotPublisher`] at the end of each
@@ -43,20 +47,57 @@
 //! maintenance; shrinking it with per-row/per-partition `Arc` granularity
 //! is tracked as future work in ROADMAP.md.
 //!
+//! # Sessions and batch queries
+//!
+//! `QueryView::distance(&self, s, t)` is deliberately stateless: it checks a
+//! scratch object out of a shared [`ScratchPool`](crate::scratch::ScratchPool)
+//! for every call, which makes one-off queries trivially safe from any
+//! thread but pays one pool round-trip (a mutex lock) and one
+//! snapshot-lookup per query. Real traffic is not one-off: a serving thread
+//! answers thousands of queries against the *same* snapshot, and much of it
+//! arrives as one-to-many (one origin, many candidate destinations) or
+//! many-to-many (distance matrices for dispatch/assignment problems).
+//!
+//! [`QuerySession`] is the per-thread object for that shape of traffic. A
+//! thread calls [`QueryView::session`] **once**, which checks out the view's
+//! scratch a single time; the session then owns that working memory for its
+//! whole lifetime (it returns to the pool on drop) and answers
+//!
+//! * [`QuerySession::distance`] — point-to-point, identical answers to
+//!   `QueryView::distance` without the per-call checkout;
+//! * [`QuerySession::one_to_many`] — one source, a slice of targets;
+//! * [`QuerySession::matrix`] — a full `sources × targets` distance
+//!   matrix (many-to-many).
+//!
+//! The batch methods have default implementations that loop over
+//! `distance`, so a correct session is one method long; views whose
+//! machinery can do better override them (a Dijkstra-based view answers
+//! `one_to_many` with a single truncated forward search; a CH-based view
+//! runs the forward upward search once and reuses it for every target;
+//! label-based views are already a per-target lookup, for which the loop
+//! *is* the optimal algorithm).
+//!
+//! A session is pinned to its view: it never observes a newer snapshot.
+//! Long-lived serving threads therefore re-open a session when the
+//! [`SnapshotPublisher`] version advances — see `DistanceService` in
+//! `htsp-throughput` for the reference implementation of that loop.
+//!
 //! # Throughput measurement
 //!
 //! The harness in `htsp-throughput` drives maintainers through update
 //! batches and measures per-stage query latency to evaluate the Lemma 1
 //! throughput bound; its `QueryEngine` additionally runs real query worker
-//! threads against the published snapshots to report *measured* QPS curves.
+//! threads against the published snapshots to report *measured* QPS curves,
+//! in single-call and in session/batched mode.
 //!
 //! # The legacy trait
 //!
 //! [`DynamicSpIndex`] is the old single-object `&mut self` interface. It is
 //! kept as a deprecation shim: a blanket impl makes every
 //! [`IndexMaintainer`] usable through it, so pre-split call sites keep
-//! compiling. New code should use the split traits; the shim cannot serve
-//! queries concurrently with maintenance.
+//! compiling. It is now `#[deprecated]` for real — only its own unit tests
+//! exercise it; the shim cannot serve queries concurrently with
+//! maintenance, cannot batch, and takes a fresh snapshot per call.
 
 use crate::graph::Graph;
 use crate::queries::Query;
@@ -121,6 +162,12 @@ impl UpdateTimeline {
 /// [`ScratchPool`](crate::scratch::ScratchPool) so any number of threads can
 /// query one view simultaneously. The trait is object-safe: maintainers
 /// publish `Arc<dyn QueryView>` snapshots.
+///
+/// `distance(&self, ..)` is the convenience path for stray single queries;
+/// serving threads open a [`QuerySession`] via [`QueryView::session`] and
+/// run their (possibly batched) workload through it — same answers, scratch
+/// checked out once instead of per call, plus one-to-many and matrix
+/// queries.
 pub trait QueryView: Send + Sync {
     /// Short algorithm name used in experiment tables (e.g. `"PostMHL"`).
     fn algorithm(&self) -> &'static str;
@@ -131,6 +178,15 @@ pub trait QueryView: Send + Sync {
 
     /// Answers `q(s, t)` exactly on this view's graph snapshot.
     fn distance(&self, s: VertexId, t: VertexId) -> Dist;
+
+    /// Opens a per-thread query session on this view.
+    ///
+    /// The session owns its search scratch (checked out of the view's pool
+    /// once, returned when the session drops) and is pinned to this view's
+    /// graph version and query stage for its whole lifetime. One session
+    /// serves one thread; any number of sessions can be open on one view at
+    /// the same time.
+    fn session(&self) -> Box<dyn QuerySession + '_>;
 
     /// The graph snapshot this view answers on. Every answer of
     /// [`QueryView::distance`] equals a fresh Dijkstra run on this graph.
@@ -144,6 +200,73 @@ pub trait QueryView: Send + Sync {
     /// Convenience: answers a [`Query`].
     fn query(&self, q: &Query) -> Dist {
         self.distance(q.source, q.target)
+    }
+}
+
+/// A per-thread query session over one frozen [`QueryView`]: the hot path
+/// for point-to-point, one-to-many, and many-to-many (matrix) workloads.
+///
+/// Methods take `&mut self` because the session *owns* its working memory:
+/// the distance arrays, heaps, and visited flags a search needs live inside
+/// the session instead of being checked out of a
+/// [`ScratchPool`](crate::scratch::ScratchPool) per query. Every answer is
+/// exact on the session's view (and therefore on that view's
+/// [`QueryView::graph`] snapshot) — a session never observes maintenance
+/// that happened after its view was published.
+///
+/// The batch methods default to looping over [`QuerySession::distance`],
+/// so implementing `distance` alone yields a correct session;
+/// implementations override them when the underlying machinery can share
+/// work across targets.
+pub trait QuerySession {
+    /// Answers `q(s, t)` exactly on the session's graph snapshot.
+    fn distance(&mut self, s: VertexId, t: VertexId) -> Dist;
+
+    /// Answers `q(source, t)` for every `t` in `targets` (same order).
+    ///
+    /// Equivalent to calling [`QuerySession::distance`] per target;
+    /// implementations override it when one source-side search can be
+    /// shared across all targets.
+    fn one_to_many(&mut self, source: VertexId, targets: &[VertexId]) -> Vec<Dist> {
+        targets.iter().map(|&t| self.distance(source, t)).collect()
+    }
+
+    /// Answers the full `sources × targets` distance matrix; row `i` holds
+    /// the distances from `sources[i]` in target order.
+    fn matrix(&mut self, sources: &[VertexId], targets: &[VertexId]) -> Vec<Vec<Dist>> {
+        sources
+            .iter()
+            .map(|&s| self.one_to_many(s, targets))
+            .collect()
+    }
+
+    /// Convenience: answers a [`Query`].
+    fn query(&mut self, q: &Query) -> Dist {
+        self.distance(q.source, q.target)
+    }
+}
+
+/// The do-nothing-smarter session: forwards every `distance` to the view's
+/// shared-reference path.
+///
+/// The right session for views whose `distance` needs no scratch at all
+/// (pure label lookups like DH2H — a per-target label scan is already the
+/// optimal one-to-many algorithm there). Views that *do* check scratch per
+/// call should implement a session that owns the scratch instead.
+pub struct FallbackSession<'a> {
+    view: &'a dyn QueryView,
+}
+
+impl<'a> FallbackSession<'a> {
+    /// Wraps `view`.
+    pub fn new(view: &'a dyn QueryView) -> Self {
+        FallbackSession { view }
+    }
+}
+
+impl QuerySession for FallbackSession<'_> {
+    fn distance(&mut self, s: VertexId, t: VertexId) -> Dist {
+        self.view.distance(s, t)
     }
 }
 
@@ -183,12 +306,15 @@ impl SnapshotPublisher {
 
     /// Atomically replaces the current snapshot (called by the maintainer at
     /// the end of each completed update stage).
+    ///
+    /// The version bump, the event timestamp, and the log append all happen
+    /// while the slot write lock is held, so concurrent publishers cannot
+    /// produce log events whose `version` order disagrees with their `at`
+    /// order (or with the log's own order).
     pub fn publish(&self, view: Arc<dyn QueryView>) {
         let stage = view.stage();
-        {
-            let mut slot = self.slot.write().expect("publisher poisoned");
-            *slot = view;
-        }
+        let mut slot = self.slot.write().expect("publisher poisoned");
+        *slot = view;
         let version = self.version.fetch_add(1, Ordering::AcqRel) + 1;
         self.log
             .lock()
@@ -203,6 +329,18 @@ impl SnapshotPublisher {
     /// Returns an owned handle to the newest snapshot.
     pub fn snapshot(&self) -> Arc<dyn QueryView> {
         Arc::clone(&self.slot.read().expect("publisher poisoned"))
+    }
+
+    /// Returns the newest snapshot together with the version it was
+    /// published under, read atomically (both under the slot read lock, and
+    /// `publish` updates both under the write lock).
+    ///
+    /// Session-pinning loops need this pairing: reading `snapshot()` and
+    /// `version()` separately can interleave with a publish and tag the old
+    /// view with the new version, which would suppress the re-pin.
+    pub fn versioned_snapshot(&self) -> (u64, Arc<dyn QueryView>) {
+        let slot = self.slot.read().expect("publisher poisoned");
+        (self.version.load(Ordering::Acquire), Arc::clone(&slot))
     }
 
     /// Number of publications so far.
@@ -278,12 +416,18 @@ pub trait IndexMaintainer: Send {
 
 /// The legacy single-object index interface (pre read/write split).
 ///
-/// **Deprecated** in favour of [`IndexMaintainer`] + [`QueryView`]: because
-/// `distance` takes `&mut self`, queries and maintenance can never overlap
-/// under this trait, so a system built on it can only *model* throughput,
-/// not serve it. A blanket impl keeps every [`IndexMaintainer`] usable
-/// through this trait so existing call sites compile unchanged; each call
-/// takes a fresh snapshot, which costs a few `Arc` clones.
+/// **Deprecated** in favour of [`IndexMaintainer`] + [`QueryView`] /
+/// [`QuerySession`]: because `distance` takes `&mut self`, queries and
+/// maintenance can never overlap under this trait, so a system built on it
+/// can only *model* throughput, not serve it. A blanket impl keeps every
+/// [`IndexMaintainer`] usable through this trait so out-of-tree call sites
+/// compile (with a warning); each call takes a fresh snapshot, which costs
+/// a few `Arc` clones. No in-tree code uses the shim any more except its
+/// own unit test.
+#[deprecated(
+    since = "0.2.0",
+    note = "use IndexMaintainer + QueryView::session(); the shim serializes queries and maintenance"
+)]
 pub trait DynamicSpIndex {
     /// Short algorithm name used in experiment tables (e.g. `"PostMHL"`).
     fn name(&self) -> &'static str;
@@ -326,6 +470,7 @@ pub trait DynamicSpIndex {
 /// The `graph` arguments are ignored — the maintainer's own (identical)
 /// graph snapshot answers instead, which is what makes the legacy calls safe
 /// against torn reads.
+#[allow(deprecated)]
 impl<M: IndexMaintainer + ?Sized> DynamicSpIndex for M {
     fn name(&self) -> &'static str {
         IndexMaintainer::name(self)
@@ -397,6 +542,9 @@ mod tests {
         fn distance(&self, _s: VertexId, _t: VertexId) -> Dist {
             Dist(self.stage as u32)
         }
+        fn session(&self) -> Box<dyn QuerySession + '_> {
+            Box::new(FallbackSession::new(self))
+        }
         fn graph(&self) -> &Graph {
             &self.graph
         }
@@ -433,6 +581,111 @@ mod tests {
         assert_eq!(log[0].stage, 1);
         assert_eq!(log[0].version, 1);
         assert!(publisher.take_log().is_empty());
+    }
+
+    #[test]
+    fn session_defaults_loop_over_distance() {
+        let view = Fixed {
+            stage: 3,
+            graph: tiny_graph(),
+        };
+        let mut session = view.session();
+        assert_eq!(session.distance(VertexId(0), VertexId(1)), Dist(3));
+        assert_eq!(
+            session.one_to_many(VertexId(0), &[VertexId(0), VertexId(1)]),
+            vec![Dist(3), Dist(3)]
+        );
+        let m = session.matrix(&[VertexId(0), VertexId(1)], &[VertexId(0)]);
+        assert_eq!(m, vec![vec![Dist(3)], vec![Dist(3)]]);
+        assert_eq!(
+            session.query(&Query::new(VertexId(0), VertexId(1))),
+            Dist(3)
+        );
+    }
+
+    #[test]
+    fn racing_publishers_log_versions_in_timestamp_order() {
+        // Two threads publish concurrently; the log must never show a higher
+        // version with an earlier timestamp (the `at` is taken while the
+        // slot write lock is held).
+        let publisher = SnapshotPublisher::new(Arc::new(Fixed {
+            stage: 0,
+            graph: tiny_graph(),
+        }));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let publisher = &publisher;
+                scope.spawn(move || {
+                    for stage in 0..50 {
+                        publisher.publish(Arc::new(Fixed {
+                            stage,
+                            graph: tiny_graph(),
+                        }));
+                    }
+                });
+            }
+        });
+        let log = publisher.take_log();
+        assert_eq!(log.len(), 200);
+        for pair in log.windows(2) {
+            assert_eq!(pair[1].version, pair[0].version + 1, "log out of order");
+            assert!(
+                pair[0].at <= pair[1].at,
+                "version {} logged at a later instant than version {}",
+                pair[0].version,
+                pair[1].version
+            );
+        }
+    }
+
+    /// The deprecation shim's own coverage: the only place in the tree that
+    /// still drives an index through [`DynamicSpIndex`].
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_shim_still_answers_through_a_maintainer() {
+        struct FixedMaintainer {
+            graph: Graph,
+        }
+        impl IndexMaintainer for FixedMaintainer {
+            fn name(&self) -> &'static str {
+                "fixed"
+            }
+            fn apply_batch(
+                &mut self,
+                _graph: &Graph,
+                _batch: &UpdateBatch,
+                publisher: &SnapshotPublisher,
+            ) -> UpdateTimeline {
+                publisher.publish(self.current_view());
+                UpdateTimeline::single("noop", Duration::from_micros(1))
+            }
+            fn current_view(&self) -> Arc<dyn QueryView> {
+                Arc::new(Fixed {
+                    stage: 0,
+                    graph: self.graph.clone(),
+                })
+            }
+        }
+
+        let mut idx = FixedMaintainer {
+            graph: tiny_graph(),
+        };
+        let legacy: &mut dyn DynamicSpIndex = &mut idx;
+        assert_eq!(legacy.name(), "fixed");
+        assert_eq!(legacy.num_query_stages(), 1);
+        let g = tiny_graph();
+        assert_eq!(legacy.distance(&g, VertexId(0), VertexId(1)), Dist(0));
+        assert_eq!(
+            legacy.distance_at_stage(&g, 0, VertexId(0), VertexId(1)),
+            Dist(0)
+        );
+        assert_eq!(
+            legacy.query(&g, &Query::new(VertexId(0), VertexId(1))),
+            Dist(0)
+        );
+        assert_eq!(legacy.index_size_bytes(), 0);
+        let timeline = legacy.apply_batch(&g, &UpdateBatch::default());
+        assert_eq!(timeline.stages.len(), 1);
     }
 
     #[test]

@@ -22,9 +22,12 @@
 //! * [`index_api`] — the read/write index API: immutable, thread-safe
 //!   [`QueryView`] snapshots published by an [`IndexMaintainer`] through a
 //!   [`SnapshotPublisher`] at the end of each completed update stage
-//!   (Figure 1), plus the legacy [`DynamicSpIndex`] shim.
+//!   (Figure 1). Serving threads open a per-thread [`QuerySession`] on a
+//!   view for point-to-point, one-to-many, and matrix workloads. The legacy
+//!   `DynamicSpIndex` shim is deprecated.
 //! * [`scratch`] — the [`ScratchPool`] that lets one immutable view serve
-//!   many query threads, each with its own search working memory.
+//!   many query threads, each with its own search working memory; sessions
+//!   hold a [`ScratchGuard`] over it for their whole lifetime.
 //!
 //! # Quick example
 //!
@@ -51,11 +54,13 @@ pub mod types;
 pub mod updates;
 
 pub use graph::{Graph, GraphBuilder, NeighborIter};
+#[allow(deprecated)]
+pub use index_api::DynamicSpIndex;
 pub use index_api::{
-    DynamicSpIndex, IndexMaintainer, PublishEvent, QueryView, SnapshotPublisher, StageReport,
-    UpdateTimeline,
+    FallbackSession, IndexMaintainer, PublishEvent, QuerySession, QueryView, SnapshotPublisher,
+    StageReport, UpdateTimeline,
 };
 pub use queries::{Query, QuerySet, QueryWorkload};
-pub use scratch::ScratchPool;
+pub use scratch::{ScratchGuard, ScratchPool};
 pub use types::{Dist, EdgeId, VertexId, Weight, INF};
 pub use updates::{EdgeUpdate, UpdateBatch, UpdateGenerator, UpdateKind};

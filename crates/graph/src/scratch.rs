@@ -9,7 +9,18 @@
 //! each query checks out one scratch object (allocating a fresh one only when
 //! the pool is empty, i.e. at most once per concurrently active thread) and
 //! returns it when done.
+//!
+//! Two checkout styles exist:
+//!
+//! * [`ScratchPool::with`] — scoped, one pool round-trip (a mutex lock pair)
+//!   per call. Used by the stray-single-query path
+//!   [`QueryView::distance`](crate::index_api::QueryView::distance).
+//! * [`ScratchPool::checkout`] — hands out a [`ScratchGuard`] that owns the
+//!   scratch until dropped. This is what
+//!   [`QuerySession`](crate::index_api::QuerySession)s are built on: one
+//!   checkout when the session opens, zero pool traffic per query.
 
+use std::ops::{Deref, DerefMut};
 use std::sync::Mutex;
 
 /// A pool of reusable scratch objects handed out one per concurrent query.
@@ -30,23 +41,64 @@ impl<T> ScratchPool<T> {
 
     /// Runs `f` with exclusive access to one scratch object.
     pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
-        let mut scratch = self
+        let mut guard = self.checkout();
+        f(&mut guard)
+    }
+
+    /// Checks one scratch object out of the pool until the returned guard is
+    /// dropped (at which point it returns, buffers and all, for reuse).
+    ///
+    /// Long-lived holders — query sessions above all — pay the pool mutex
+    /// once here instead of once per query.
+    pub fn checkout(&self) -> ScratchGuard<'_, T> {
+        let item = self
             .free
             .lock()
             .expect("scratch pool poisoned")
             .pop()
             .unwrap_or_else(|| (self.make)());
-        let result = f(&mut scratch);
-        self.free
-            .lock()
-            .expect("scratch pool poisoned")
-            .push(scratch);
-        result
+        ScratchGuard {
+            pool: self,
+            item: Some(item),
+        }
     }
 
     /// Number of idle scratch objects currently pooled.
     pub fn idle(&self) -> usize {
         self.free.lock().expect("scratch pool poisoned").len()
+    }
+}
+
+/// Exclusive ownership of one pooled scratch object; returns it to the pool
+/// on drop. Created by [`ScratchPool::checkout`].
+pub struct ScratchGuard<'a, T> {
+    pool: &'a ScratchPool<T>,
+    item: Option<T>,
+}
+
+impl<T> Deref for ScratchGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.item.as_ref().expect("scratch taken")
+    }
+}
+
+impl<T> DerefMut for ScratchGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.item.as_mut().expect("scratch taken")
+    }
+}
+
+impl<T> Drop for ScratchGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(item) = self.item.take() {
+            self.pool
+                .free
+                .lock()
+                .expect("scratch pool poisoned")
+                .push(item);
+        }
     }
 }
 
@@ -71,6 +123,26 @@ mod tests {
         // The same buffer comes back (still holding its capacity).
         pool.with(|v| assert_eq!(v.len(), 1));
         assert_eq!(pool.idle(), 1);
+    }
+
+    #[test]
+    fn checkout_guard_returns_scratch_on_drop() {
+        let pool = ScratchPool::new(Vec::<u32>::new);
+        {
+            let mut a = pool.checkout();
+            let mut b = pool.checkout();
+            a.push(1);
+            b.push(2);
+            b.push(3);
+            assert_eq!(pool.idle(), 0, "both objects are out");
+        }
+        assert_eq!(pool.idle(), 2, "both objects came back");
+        // The returned buffers keep their state (callers reset lazily).
+        let a = pool.checkout();
+        let b = pool.checkout();
+        let mut lens = [a.len(), b.len()];
+        lens.sort_unstable();
+        assert_eq!(lens, [1, 2]);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //!
 //! * [`planar::partition_region_growing`] — a balanced edge-cut partitioner
 //!   (seeded region growing + boundary-reducing refinement) standing in for
-//!   PUNCH [61], which the paper uses to build PMHL (§V-C). The PSP machinery
+//!   PUNCH \[61\], which the paper uses to build PMHL (§V-C). The PSP machinery
 //!   only needs a balanced planar partition with small boundary sets; see
 //!   DESIGN.md for the substitution argument.
 //! * [`td_partition::td_partition`] — the paper's own Tree-Decomposition-based

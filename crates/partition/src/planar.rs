@@ -1,5 +1,5 @@
 //! Balanced edge-cut partitioning by seeded region growing plus a
-//! boundary-reducing refinement pass — the PUNCH [61] substitute used to
+//! boundary-reducing refinement pass — the PUNCH \[61\] substitute used to
 //! build PMHL partitions (§V-C).
 //!
 //! The algorithm:

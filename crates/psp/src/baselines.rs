@@ -1,9 +1,9 @@
 //! The PSP baselines of the paper's evaluation (§VII-A):
 //!
-//! * [`NChP`] — *N-CH-P* [35]: the update-oriented no-boundary PSP index with
+//! * [`NChP`] — *N-CH-P* \[35\]: the update-oriented no-boundary PSP index with
 //!   DCH as the underlying index. Maintenance only repairs shortcut arrays;
 //!   queries run the Partitioned-CH upward search.
-//! * [`PTdP`] — *P-TD-P* [35]: the query-oriented post-boundary PSP index with
+//! * [`PTdP`] — *P-TD-P* \[35\]: the query-oriented post-boundary PSP index with
 //!   DH2H as the underlying index. Same-partition queries use the corrected
 //!   partition labels `L'_i`; cross-partition queries concatenate
 //!   `L'_i`, `L̃`, and `L'_j` through the boundary vertices.
@@ -18,8 +18,8 @@ use crate::pch::PchSearcher;
 use crate::post_boundary::PostBoundaryIndexes;
 use htsp_ch::{ContractionHierarchy, OrderingStrategy, ShortcutMode};
 use htsp_graph::{
-    Dist, Graph, IndexMaintainer, QueryView, ScratchPool, SnapshotPublisher, UpdateBatch,
-    UpdateTimeline, VertexId, INF,
+    Dist, Graph, IndexMaintainer, QuerySession, QueryView, ScratchGuard, ScratchPool,
+    SnapshotPublisher, UpdateBatch, UpdateTimeline, VertexId, INF,
 };
 use htsp_partition::{partition_region_growing, PartitionResult};
 use htsp_td::{H2HIndex, TreeDecomposition};
@@ -75,6 +75,13 @@ impl QueryView for NChPView {
         })
     }
 
+    fn session(&self) -> Box<dyn QuerySession + '_> {
+        Box::new(NChPSession {
+            view: self,
+            scratch: self.searcher.checkout(),
+        })
+    }
+
     fn graph(&self) -> &Graph {
         &self.partitioned.graph
     }
@@ -85,6 +92,25 @@ impl QueryView for NChPView {
             .map(|c| c.index_size_bytes())
             .sum::<usize>()
             + self.overlay_ch.index_size_bytes()
+    }
+}
+
+/// Per-thread N-CH-P session: owns one pooled [`PchSearcher`].
+struct NChPSession<'a> {
+    view: &'a NChPView,
+    scratch: ScratchGuard<'a, PchSearcher>,
+}
+
+impl QuerySession for NChPSession<'_> {
+    fn distance(&mut self, s: VertexId, t: VertexId) -> Dist {
+        self.scratch.distance(
+            &self.view.partitioned,
+            &self.view.partition_chs,
+            &self.view.overlay,
+            &self.view.overlay_ch,
+            s,
+            t,
+        )
     }
 }
 
@@ -213,32 +239,15 @@ impl PTdPView {
             })
             .collect()
     }
-}
 
-impl QueryView for PTdPView {
-    fn algorithm(&self) -> &'static str {
-        "P-TD-P"
-    }
-
-    fn stage(&self) -> usize {
-        0
-    }
-
-    fn distance(&self, s: VertexId, t: VertexId) -> Dist {
-        if s == t {
-            return Dist::ZERO;
-        }
-        if self.partitioned.partition.same_partition(s, t) {
-            let pi = self.partitioned.partition.partition_of(s);
-            return self
-                .post
-                .same_partition_distance(&self.partitioned, pi, s, t);
-        }
-        // Cross-partition: concatenate L'_i, L̃, L'_j.
-        let from_s = self.to_boundary(s);
+    /// Cross-partition distance to `t` given the precomputed boundary labels
+    /// `from_s` of the source — the `L'_i` ∘ `L̃` ∘ `L'_j` concatenation.
+    /// Sessions compute `from_s` once per source and reuse it across a whole
+    /// target set.
+    fn cross_distance(&self, from_s: &[(VertexId, Dist)], t: VertexId) -> Dist {
         let from_t = self.to_boundary(t);
         let mut best = INF;
-        for &(bp, dp) in &from_s {
+        for &(bp, dp) in from_s {
             if dp.is_inf() {
                 continue;
             }
@@ -265,6 +274,73 @@ impl QueryView for PTdPView {
             }
         }
         best
+    }
+}
+
+/// Per-thread P-TD-P session: label lookups need no scratch, but the session
+/// caches the source-side boundary labels (`L'_i(s)`) so a one-to-many or
+/// matrix row computes them once instead of once per target.
+struct PTdPSession<'a> {
+    view: &'a PTdPView,
+    /// `(source, its boundary labels)` of the most recent cross-partition
+    /// source, reused while the source stays the same.
+    source: Option<(VertexId, Vec<(VertexId, Dist)>)>,
+}
+
+impl PTdPSession<'_> {
+    fn boundary_of(&mut self, s: VertexId) -> &[(VertexId, Dist)] {
+        if self.source.as_ref().map(|(v, _)| *v) != Some(s) {
+            self.source = Some((s, self.view.to_boundary(s)));
+        }
+        &self.source.as_ref().expect("just set").1
+    }
+}
+
+impl QuerySession for PTdPSession<'_> {
+    fn distance(&mut self, s: VertexId, t: VertexId) -> Dist {
+        if s == t {
+            return Dist::ZERO;
+        }
+        if self.view.partitioned.partition.same_partition(s, t) {
+            let pi = self.view.partitioned.partition.partition_of(s);
+            return self
+                .view
+                .post
+                .same_partition_distance(&self.view.partitioned, pi, s, t);
+        }
+        let view = self.view;
+        view.cross_distance(self.boundary_of(s), t)
+    }
+}
+
+impl QueryView for PTdPView {
+    fn algorithm(&self) -> &'static str {
+        "P-TD-P"
+    }
+
+    fn stage(&self) -> usize {
+        0
+    }
+
+    fn distance(&self, s: VertexId, t: VertexId) -> Dist {
+        if s == t {
+            return Dist::ZERO;
+        }
+        if self.partitioned.partition.same_partition(s, t) {
+            let pi = self.partitioned.partition.partition_of(s);
+            return self
+                .post
+                .same_partition_distance(&self.partitioned, pi, s, t);
+        }
+        // Cross-partition: concatenate L'_i, L̃, L'_j.
+        self.cross_distance(&self.to_boundary(s), t)
+    }
+
+    fn session(&self) -> Box<dyn QuerySession + '_> {
+        Box::new(PTdPSession {
+            view: self,
+            source: None,
+        })
     }
 
     fn graph(&self) -> &Graph {

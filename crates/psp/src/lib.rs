@@ -12,7 +12,7 @@
 //!   arrays) built with a boundary-first local order, exposing the
 //!   contraction-generated boundary shortcuts of the *optimized no-boundary
 //!   strategy* (Theorem 2).
-//! * [`overlay::OverlayIndex`] — the overlay graph `G̃` over all boundary
+//! * [`overlay::OverlayGraph`] — the overlay graph `G̃` over all boundary
 //!   vertices and its MHL index `L̃`.
 //! * [`pch::PchSearcher`] — the Partitioned-CH query: a bidirectional upward
 //!   search over the union of the partition and overlay shortcut arrays

@@ -1,7 +1,7 @@
 //! The Partitioned-CH (PCH) query: a bidirectional upward search over the
 //! union of the partition shortcut arrays and the overlay shortcut arrays.
 //!
-//! This is the query engine of N-CH-P [35] and of PMHL's Q-Stage 2: it only
+//! This is the query engine of N-CH-P \[35\] and of PMHL's Q-Stage 2: it only
 //! needs the shortcut arrays, which become consistent right after the
 //! no-boundary shortcut update (U-Stage 2), long before any label is repaired.
 //!

@@ -7,7 +7,7 @@
 //! available the instant U-Stage 1 has refreshed the edge weights.
 
 use crate::heap::MinHeap;
-use htsp_graph::{Dist, Graph, VertexId, INF};
+use htsp_graph::{Dist, Graph, QuerySession, ScratchGuard, VertexId, INF};
 
 /// Reusable bidirectional-Dijkstra searcher (keeps its buffers across calls).
 #[derive(Clone, Debug)]
@@ -132,6 +132,98 @@ impl BiDijkstra {
     }
 }
 
+impl BiDijkstra {
+    /// One-to-many: distances from `s` to every vertex of `targets` (same
+    /// order), computed with a *single* truncated forward Dijkstra that
+    /// stops as soon as the last pending target settles — one search for
+    /// the whole target set instead of one bidirectional search per pair.
+    ///
+    /// Reuses the searcher's forward buffers, so a session-held searcher
+    /// serves interleaved `distance` and `one_to_many` calls without
+    /// reallocation.
+    pub fn one_to_many(&mut self, graph: &Graph, s: VertexId, targets: &[VertexId]) -> Vec<Dist> {
+        if targets.is_empty() {
+            // Without this guard the search below would settle the whole
+            // graph before noticing it has nothing to answer.
+            return Vec::new();
+        }
+        let n = graph.num_vertices();
+        self.reset(n);
+        // Count distinct unsettled targets via the backward-visited flags,
+        // which this forward-only search repurposes as target markers (they
+        // are cleared by `touched` exactly like the search state).
+        let mut pending = 0usize;
+        for &t in targets {
+            if !self.visited_b[t.index()] {
+                self.visited_b[t.index()] = true;
+                self.touched.push(t);
+                pending += 1;
+            }
+        }
+        self.dist_f[s.index()] = Dist::ZERO;
+        if !self.visited_b[s.index()] {
+            // Not already recorded as a target: record `s` for reset().
+            self.touched.push(s);
+        }
+        self.heap_f.push(Dist::ZERO, s);
+        while let Some((d, v)) = self.heap_f.pop() {
+            if self.visited_f[v.index()] {
+                continue;
+            }
+            self.visited_f[v.index()] = true;
+            if self.visited_b[v.index()] {
+                pending -= 1;
+                if pending == 0 {
+                    break;
+                }
+            }
+            for arc in graph.arcs(v) {
+                if self.visited_f[arc.to.index()] {
+                    continue;
+                }
+                let nd = d.saturating_add_weight(arc.weight);
+                let slot = &mut self.dist_f[arc.to.index()];
+                if nd < *slot {
+                    if slot.is_inf() && !self.visited_b[arc.to.index()] {
+                        self.touched.push(arc.to);
+                    }
+                    *slot = nd;
+                    self.heap_f.push(nd, arc.to);
+                }
+            }
+        }
+        targets.iter().map(|&t| self.dist_f[t.index()]).collect()
+    }
+}
+
+/// A [`QuerySession`] over a frozen graph, answering with bidirectional
+/// Dijkstra (point-to-point) and truncated forward Dijkstra (one-to-many).
+///
+/// This is the session type behind every BiDijkstra-stage view in the
+/// repository (the index-free baseline and the Q-Stage-1 fallbacks of MHL,
+/// PMHL, and PostMHL): it owns one pooled searcher for its whole lifetime.
+pub struct BiDijkstraSession<'a> {
+    graph: &'a Graph,
+    scratch: ScratchGuard<'a, BiDijkstra>,
+}
+
+impl<'a> BiDijkstraSession<'a> {
+    /// Opens a session over `graph` holding `scratch` until dropped.
+    pub fn new(graph: &'a Graph, scratch: ScratchGuard<'a, BiDijkstra>) -> Self {
+        BiDijkstraSession { graph, scratch }
+    }
+}
+
+impl QuerySession for BiDijkstraSession<'_> {
+    fn distance(&mut self, s: VertexId, t: VertexId) -> Dist {
+        self.scratch.distance(self.graph, s, t)
+    }
+
+    fn one_to_many(&mut self, source: VertexId, targets: &[VertexId]) -> Vec<Dist> {
+        self.scratch.one_to_many(self.graph, source, targets)
+    }
+}
+
 /// Convenience wrapper allocating a fresh searcher for one query.
 pub fn bidijkstra_distance(graph: &Graph, s: VertexId, t: VertexId) -> Dist {
     BiDijkstra::new(graph.num_vertices()).distance(graph, s, t)
@@ -185,6 +277,74 @@ mod tests {
                 dijkstra_distance(&g, q.source, q.target)
             );
         }
+    }
+
+    #[test]
+    fn one_to_many_matches_individual_searches() {
+        let g = random_geometric(200, 3, WeightRange::new(1, 50), 11);
+        let mut bd = BiDijkstra::new(g.num_vertices());
+        let targets: Vec<VertexId> = (0..40).map(|i| VertexId(i * 5)).collect();
+        for s in [VertexId(0), VertexId(7), VertexId(199)] {
+            let batch = bd.one_to_many(&g, s, &targets);
+            for (i, &t) in targets.iter().enumerate() {
+                assert_eq!(
+                    batch[i],
+                    dijkstra_distance(&g, s, t),
+                    "one_to_many({s}, {t}) diverged"
+                );
+            }
+            // Interleave a point-to-point query: buffers must reset cleanly.
+            assert_eq!(
+                bd.distance(&g, s, VertexId(100)),
+                dijkstra_distance(&g, s, VertexId(100))
+            );
+        }
+    }
+
+    #[test]
+    fn one_to_many_handles_duplicates_source_and_unreachable() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(VertexId(0), VertexId(1), 2);
+        b.add_edge(VertexId(1), VertexId(2), 3);
+        b.add_edge(VertexId(3), VertexId(4), 1); // disconnected component
+        let g = b.build();
+        let mut bd = BiDijkstra::new(5);
+        let targets = [
+            VertexId(2),
+            VertexId(2), // duplicate
+            VertexId(0), // the source itself
+            VertexId(4), // unreachable
+        ];
+        let got = bd.one_to_many(&g, VertexId(0), &targets);
+        assert_eq!(got, vec![Dist(5), Dist(5), Dist(0), INF]);
+        assert!(bd.one_to_many(&g, VertexId(0), &[]).is_empty());
+        // And again, to prove the target markers were fully cleared.
+        let got = bd.one_to_many(&g, VertexId(1), &[VertexId(0), VertexId(3)]);
+        assert_eq!(got, vec![Dist(2), INF]);
+    }
+
+    #[test]
+    fn session_owns_scratch_and_matches_dijkstra() {
+        use htsp_graph::{QuerySession, ScratchPool};
+        let g = grid(7, 7, WeightRange::new(1, 9), 8);
+        let n = g.num_vertices();
+        let pool = ScratchPool::new(move || BiDijkstra::new(n));
+        {
+            let mut session = BiDijkstraSession::new(&g, pool.checkout());
+            assert_eq!(pool.idle(), 0, "session holds the scratch");
+            assert_eq!(
+                session.distance(VertexId(0), VertexId(48)),
+                dijkstra_distance(&g, VertexId(0), VertexId(48))
+            );
+            let targets = [VertexId(3), VertexId(30), VertexId(48)];
+            let batch = session.one_to_many(VertexId(5), &targets);
+            for (i, &t) in targets.iter().enumerate() {
+                assert_eq!(batch[i], dijkstra_distance(&g, VertexId(5), t));
+            }
+            let m = session.matrix(&[VertexId(0), VertexId(10)], &targets);
+            assert_eq!(m[1][2], dijkstra_distance(&g, VertexId(10), VertexId(48)));
+        }
+        assert_eq!(pool.idle(), 1, "scratch returned on session drop");
     }
 
     #[test]

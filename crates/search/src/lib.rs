@@ -21,7 +21,7 @@ pub mod dijkstra;
 pub mod heap;
 
 pub use astar::astar_distance;
-pub use bidijkstra::{bidijkstra_distance, BiDijkstra};
+pub use bidijkstra::{bidijkstra_distance, BiDijkstra, BiDijkstraSession};
 pub use dijkstra::{
     dijkstra_all, dijkstra_bounded, dijkstra_distance, dijkstra_to_targets, DijkstraWorkspace,
 };

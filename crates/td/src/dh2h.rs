@@ -1,6 +1,6 @@
 //! DH2H: dynamic maintenance of the H2H index.
 //!
-//! Maintenance proceeds in the two phases of [33] (and Figure 7's U-Stages 2-3
+//! Maintenance proceeds in the two phases of \[33\] (and Figure 7's U-Stages 2-3
 //! use exactly these phases per partition):
 //!
 //! 1. **Bottom-up shortcut update** — delegated to the DCH repair of the

@@ -1,7 +1,7 @@
 //! Lowest Common Ancestor queries via Euler tour + sparse-table RMQ.
 //!
 //! H2H answers a query through the LCA of the two endpoint tree nodes
-//! (§III-B, [55]); the sparse table gives O(1) LCA after O(n log n)
+//! (§III-B, \[55\]); the sparse table gives O(1) LCA after O(n log n)
 //! preprocessing, negligible next to the label arrays.
 
 use htsp_graph::VertexId;

@@ -15,7 +15,7 @@
 //! On top of the decomposition, [`H2HIndex`] stores for every node the
 //! distance array `X(v).dis` (distances from `v` to each of its ancestors) and
 //! answers queries through the LCA of the two endpoints (§III-B). Dynamic
-//! maintenance ([`H2HIndex::apply_batch`]) runs the two phases of DH2H [33]:
+//! maintenance ([`H2HIndex::apply_batch`]) runs the two phases of DH2H \[33\]:
 //! bottom-up shortcut update (delegated to DCH) followed by top-down label
 //! update over the affected subtrees.
 

@@ -14,6 +14,14 @@
 //! stage of the view that answered, yielding the measured QPS-over-time
 //! curve that the paper's Figure 13 models analytically.
 //!
+//! [`QueryEngineConfig::workload`] selects the serving pattern
+//! ([`WorkloadKind`]): the legacy per-call path (snapshot lookup + scratch
+//! checkout per query) or the session-based batched paths (one
+//! [`QuerySession`](htsp_graph::QuerySession) per published snapshot,
+//! point-to-point bundles, one-to-many fans, or distance matrices). Running
+//! the same index under `SingleCall` and under `Batched` yields the
+//! single-call vs batched QPS comparison reported in `BENCH_pr2.json`.
+//!
 //! With [`QueryEngineConfig::verify`] enabled, every answer is re-derived
 //! with a fresh Dijkstra run on the answering view's own graph snapshot —
 //! the no-torn-reads / no-staleness check used by the concurrency
@@ -21,11 +29,62 @@
 //! is off by default).
 
 use htsp_graph::{
-    Graph, IndexMaintainer, QuerySet, SnapshotPublisher, UpdateGenerator, UpdateTimeline,
+    Graph, IndexMaintainer, Query, QuerySet, QueryView, SnapshotPublisher, UpdateGenerator,
+    UpdateTimeline, VertexId,
 };
 use htsp_search::dijkstra_distance;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
+
+/// The shape of the workload the engine's query workers drive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// One [`QueryView::distance`] call per query, against a freshly looked
+    /// up snapshot each time — the pre-session serving pattern, kept as the
+    /// baseline of the single-call vs batched comparison.
+    SingleCall,
+    /// Point-to-point bundles: each worker opens a session on the current
+    /// snapshot and answers `batch_size` queries through it before checking
+    /// for a newer snapshot.
+    Batched {
+        /// Queries answered per session drain (and per version check).
+        batch_size: usize,
+    },
+    /// One-to-many fans: each batch is one source against `fanout` targets,
+    /// answered by the session's shared-search one-to-many.
+    OneToMany {
+        /// Targets per fan.
+        fanout: usize,
+    },
+    /// Distance matrices: each batch is a `side × side` matrix; throughput
+    /// is reported in pairs per second.
+    Matrix {
+        /// Sources (= targets) per matrix.
+        side: usize,
+    },
+}
+
+impl WorkloadKind {
+    /// `(s, t)` pairs answered per batch of this workload.
+    pub fn pairs_per_batch(&self) -> usize {
+        match *self {
+            WorkloadKind::SingleCall => 1,
+            WorkloadKind::Batched { batch_size } => batch_size.max(1),
+            WorkloadKind::OneToMany { fanout } => fanout.max(1),
+            WorkloadKind::Matrix { side } => side.max(1) * side.max(1),
+        }
+    }
+
+    /// Short label for tables (`single-call`, `batched(64)`, ...).
+    pub fn label(&self) -> String {
+        match *self {
+            WorkloadKind::SingleCall => "single-call".to_string(),
+            WorkloadKind::Batched { batch_size } => format!("batched({batch_size})"),
+            WorkloadKind::OneToMany { fanout } => format!("one-to-many({fanout})"),
+            WorkloadKind::Matrix { side } => format!("matrix({side}x{side})"),
+        }
+    }
+}
 
 /// Configuration of a [`QueryEngine`] run.
 #[derive(Clone, Debug)]
@@ -48,6 +107,8 @@ pub struct QueryEngineConfig {
     pub verify: bool,
     /// Workload seed.
     pub seed: u64,
+    /// The serving pattern the workers drive.
+    pub workload: WorkloadKind,
 }
 
 impl Default for QueryEngineConfig {
@@ -61,6 +122,7 @@ impl Default for QueryEngineConfig {
             bucket: Duration::from_millis(10),
             verify: false,
             seed: 7,
+            workload: WorkloadKind::SingleCall,
         }
     }
 }
@@ -114,6 +176,12 @@ impl QueryEngineBuilder {
         self
     }
 
+    /// Sets the serving pattern (single-call, batched, one-to-many, matrix).
+    pub fn workload(mut self, w: WorkloadKind) -> Self {
+        self.config.workload = w;
+        self
+    }
+
     /// Sets the workload seed.
     pub fn seed(mut self, s: u64) -> Self {
         self.config.seed = s;
@@ -142,9 +210,13 @@ pub struct QpsSample {
 pub struct EngineReport {
     /// Algorithm name.
     pub algorithm: String,
+    /// The serving pattern that produced these numbers.
+    pub workload: WorkloadKind,
     /// Number of query worker threads that ran.
     pub num_workers: usize,
-    /// Total queries answered across all workers.
+    /// Total `(s, t)` pairs answered across all workers (for matrix and
+    /// one-to-many workloads every pair counts, so `measured_qps` is
+    /// pairs per second).
     pub total_queries: u64,
     /// Wall-clock duration of the run in seconds.
     pub wall_time: f64,
@@ -172,6 +244,45 @@ struct WorkerTally {
     histogram: Vec<u64>,
     failures: u64,
     first_failure: Option<String>,
+}
+
+impl WorkerTally {
+    /// Records `pairs` completions answered by `stage` at the current time.
+    fn record(&mut self, stage: usize, pairs: u64, start: Instant, bucket_nanos: u64) {
+        let slot = stage.min(self.per_stage.len() - 1);
+        self.per_stage[slot] += pairs;
+        let bucket = (start.elapsed().as_nanos() as u64 / bucket_nanos) as usize;
+        if self.histogram.len() <= bucket {
+            self.histogram.resize(bucket + 1, 0);
+        }
+        self.histogram[bucket] += pairs;
+        self.answered += pairs;
+    }
+
+    /// Verifies `got` against a fresh Dijkstra run on `view`'s own graph.
+    fn verify_answer(
+        &mut self,
+        view: &dyn QueryView,
+        s: VertexId,
+        t: VertexId,
+        got: htsp_graph::Dist,
+    ) {
+        let expect = dijkstra_distance(view.graph(), s, t);
+        if got != expect {
+            self.failures += 1;
+            if self.first_failure.is_none() {
+                self.first_failure = Some(format!(
+                    "{} stage {}: d({}, {}) = {:?}, Dijkstra says {:?}",
+                    view.algorithm(),
+                    view.stage(),
+                    s,
+                    t,
+                    got,
+                    expect
+                ));
+            }
+        }
+    }
 }
 
 /// Measures real query throughput while an index is being maintained.
@@ -225,6 +336,7 @@ impl QueryEngine {
                 let stop = &stop;
                 let queries = &queries;
                 let verify = cfg.verify;
+                let workload = cfg.workload;
                 handles.push(scope.spawn(move || {
                     let mut tally = WorkerTally {
                         answered: 0,
@@ -234,38 +346,98 @@ impl QueryEngine {
                         first_failure: None,
                     };
                     let mut i = w; // stride through the pool, worker-offset
-                    while !stop.load(Ordering::Relaxed) {
-                        let view = publisher.snapshot();
-                        let q = &queries.as_slice()[i % queries.len()];
-                        i += 1;
-                        let d = view.distance(q.source, q.target);
-                        if verify {
-                            // The answer must be exact on the graph snapshot
-                            // that was current when the query was answered.
-                            let expect = dijkstra_distance(view.graph(), q.source, q.target);
-                            if d != expect {
-                                tally.failures += 1;
-                                if tally.first_failure.is_none() {
-                                    tally.first_failure = Some(format!(
-                                        "{} stage {}: d({}, {}) = {:?}, Dijkstra says {:?}",
-                                        view.algorithm(),
-                                        view.stage(),
-                                        q.source,
-                                        q.target,
-                                        d,
-                                        expect
-                                    ));
+                    match workload {
+                        // The per-call baseline: fresh snapshot lookup and
+                        // per-query scratch checkout every time.
+                        WorkloadKind::SingleCall => {
+                            while !stop.load(Ordering::Relaxed) {
+                                let view = publisher.snapshot();
+                                let q = &queries.as_slice()[i % queries.len()];
+                                i += 1;
+                                let d = view.distance(q.source, q.target);
+                                if verify {
+                                    // The answer must be exact on the graph
+                                    // snapshot that was current when the
+                                    // query was answered.
+                                    tally.verify_answer(&*view, q.source, q.target, d);
+                                }
+                                tally.record(view.stage(), 1, start, bucket_nanos);
+                            }
+                        }
+                        // Session paths: pin one session per published
+                        // snapshot, drain batches through it, re-pin when
+                        // the publisher version advances.
+                        _ => {
+                            while !stop.load(Ordering::Relaxed) {
+                                // Atomic (version, view) read: a publish
+                                // between separate snapshot()/version()
+                                // calls would pin the old view under the
+                                // new version and skip the re-pin.
+                                let (pinned, view) = publisher.versioned_snapshot();
+                                let stage = view.stage();
+                                let mut session = view.session();
+                                while !stop.load(Ordering::Relaxed) && publisher.version() == pinned
+                                {
+                                    let pool = queries.as_slice();
+                                    let next = |i: &mut usize| -> &Query {
+                                        let q = &pool[*i % pool.len()];
+                                        *i += 1;
+                                        q
+                                    };
+                                    match workload {
+                                        // SingleCall never reaches the
+                                        // session path (outer match);
+                                        // treat it as a 1-query bundle so
+                                        // no arm is unreachable.
+                                        WorkloadKind::SingleCall | WorkloadKind::Batched { .. } => {
+                                            for _ in 0..workload.pairs_per_batch() {
+                                                let q = *next(&mut i);
+                                                let d = session.distance(q.source, q.target);
+                                                if verify {
+                                                    tally.verify_answer(
+                                                        &*view, q.source, q.target, d,
+                                                    );
+                                                }
+                                            }
+                                        }
+                                        WorkloadKind::OneToMany { fanout } => {
+                                            let source = next(&mut i).source;
+                                            let targets: Vec<VertexId> = (0..fanout.max(1))
+                                                .map(|_| next(&mut i).target)
+                                                .collect();
+                                            let ds = session.one_to_many(source, &targets);
+                                            if verify {
+                                                for (&t, &d) in targets.iter().zip(&ds) {
+                                                    tally.verify_answer(&*view, source, t, d);
+                                                }
+                                            }
+                                        }
+                                        WorkloadKind::Matrix { side } => {
+                                            let sources: Vec<VertexId> = (0..side.max(1))
+                                                .map(|_| next(&mut i).source)
+                                                .collect();
+                                            let targets: Vec<VertexId> = (0..side.max(1))
+                                                .map(|_| next(&mut i).target)
+                                                .collect();
+                                            let m = session.matrix(&sources, &targets);
+                                            if verify {
+                                                for (&s, row) in sources.iter().zip(&m) {
+                                                    for (&t, &d) in targets.iter().zip(row) {
+                                                        tally.verify_answer(&*view, s, t, d);
+                                                    }
+                                                }
+                                            }
+                                        }
+                                    }
+                                    tally.record(
+                                        stage,
+                                        workload.pairs_per_batch() as u64,
+                                        start,
+                                        bucket_nanos,
+                                    );
                                 }
                             }
                         }
-                        let stage = view.stage().min(num_stages - 1);
-                        tally.per_stage[stage] += 1;
-                        let bucket = (start.elapsed().as_nanos() as u64 / bucket_nanos) as usize;
-                        if tally.histogram.len() <= bucket {
-                            tally.histogram.resize(bucket + 1, 0);
-                        }
-                        tally.histogram[bucket] += 1;
-                        tally.answered += 1;
                     }
                     tally
                 }));
@@ -337,6 +509,7 @@ impl QueryEngine {
 
         EngineReport {
             algorithm: maintainer.name().to_string(),
+            workload: cfg.workload,
             num_workers: cfg.num_workers,
             total_queries,
             wall_time,
@@ -385,6 +558,9 @@ mod tests {
                 Dist(1)
             }
         }
+        fn session(&self) -> Box<dyn htsp_graph::QuerySession + '_> {
+            Box::new(htsp_graph::FallbackSession::new(self))
+        }
         fn graph(&self) -> &Graph {
             &self.graph
         }
@@ -409,6 +585,51 @@ mod tests {
                 graph: Arc::clone(&self.graph),
             })
         }
+    }
+
+    #[test]
+    fn batched_workloads_count_pairs_and_verify() {
+        let g = grid(6, 6, WeightRange::new(1, 9), 2);
+        for workload in [
+            WorkloadKind::Batched { batch_size: 16 },
+            WorkloadKind::OneToMany { fanout: 8 },
+            WorkloadKind::Matrix { side: 4 },
+        ] {
+            let mut fake = Fake {
+                graph: Arc::new(g.clone()),
+            };
+            let engine = QueryEngine::builder()
+                .workers(2)
+                .batches(2)
+                .update_volume(5)
+                .pause_between_batches(Duration::from_millis(10))
+                .workload(workload)
+                .build();
+            let report = engine.run(&g, &mut fake);
+            assert_eq!(report.workload, workload);
+            assert!(report.total_queries > 0, "{workload:?} answered nothing");
+            assert_eq!(
+                report.total_queries % workload.pairs_per_batch() as u64,
+                0,
+                "{workload:?} recorded partial batches"
+            );
+            assert_eq!(
+                report.per_stage_queries.iter().sum::<u64>(),
+                report.total_queries
+            );
+        }
+    }
+
+    #[test]
+    fn workload_labels_and_pair_counts() {
+        assert_eq!(WorkloadKind::SingleCall.pairs_per_batch(), 1);
+        assert_eq!(WorkloadKind::Batched { batch_size: 7 }.pairs_per_batch(), 7);
+        assert_eq!(WorkloadKind::Matrix { side: 5 }.pairs_per_batch(), 25);
+        assert_eq!(WorkloadKind::SingleCall.label(), "single-call");
+        assert_eq!(
+            WorkloadKind::OneToMany { fanout: 3 }.label(),
+            "one-to-many(3)"
+        );
     }
 
     #[test]

@@ -20,16 +20,29 @@
 //! The **concurrent engine** ([`QueryEngine`]) goes beyond the model: it
 //! runs real query worker threads against the published snapshots while the
 //! maintenance thread repairs the index, and reports the *measured* QPS
-//! curve next to the modeled one.
+//! curve next to the modeled one. Its [`WorkloadKind`] selects the serving
+//! pattern: the legacy single-call path, or the session-based batched,
+//! one-to-many, and matrix paths.
+//!
+//! The **distance service** ([`DistanceService`]) is the batch-oriented
+//! serving front-end: clients submit [`QueryBatch`] requests into a queue;
+//! worker threads answer them through per-thread
+//! [`QuerySession`](htsp_graph::QuerySession)s pinned to the currently
+//! published snapshot, re-pinning whenever the maintainer publishes a
+//! fresher stage.
 
 #![warn(missing_docs)]
 
 pub mod config;
 pub mod engine;
 pub mod model;
+pub mod service;
 pub mod simulator;
 
 pub use config::SystemConfig;
-pub use engine::{EngineReport, QpsSample, QueryEngine, QueryEngineBuilder, QueryEngineConfig};
+pub use engine::{
+    EngineReport, QpsSample, QueryEngine, QueryEngineBuilder, QueryEngineConfig, WorkloadKind,
+};
 pub use model::{lemma1_bound, staged_throughput, QueryStats};
+pub use service::{BatchAnswer, BatchTicket, DistanceService, QueryBatch};
 pub use simulator::{BatchOutcome, QpsPoint, ThroughputHarness, ThroughputResult};

@@ -1,0 +1,396 @@
+//! The batched distance-serving front-end: clients submit [`QueryBatch`]
+//! requests, worker threads answer them through per-thread
+//! [`QuerySession`]s pinned to the currently published snapshot.
+//!
+//! This is the serving architecture the paper's system model implies but
+//! never spells out. A [`DistanceService`] owns `N` worker threads and a
+//! FIFO queue of batches. Each worker
+//!
+//! 1. pops a batch from the queue,
+//! 2. **pins a session**: takes the newest snapshot from the shared
+//!    [`SnapshotPublisher`] and opens one [`QuerySession`] on it (one
+//!    scratch checkout, held for the whole pin),
+//! 3. drains batches through that session for as long as the publisher
+//!    version is unchanged, and
+//! 4. **re-pins** — drops the session and takes a fresh snapshot — as soon
+//!    as the maintenance thread publishes a newer stage, so freshly
+//!    repaired (faster) machinery is picked up within one batch.
+//!
+//! Workers never block on maintenance and never observe a half-repaired
+//! index: those guarantees come from the snapshot contract of
+//! [`htsp_graph::index_api`]. What the service adds is the *batch* shape of
+//! real traffic — point-to-point bundles, one-to-many fans (one origin,
+//! many candidate destinations), and full distance matrices — answered by
+//! machinery that shares work across a batch instead of re-entering the
+//! index per pair.
+//!
+//! The maintenance side stays outside the service: whoever owns the
+//! [`IndexMaintainer`](htsp_graph::IndexMaintainer) keeps calling
+//! `apply_batch` with the same publisher the service was started with.
+
+use htsp_graph::{Dist, Query, QuerySession, SnapshotPublisher, VertexId};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// One client request: a bundle of distance queries answered together by a
+/// single session (and therefore by a single snapshot).
+#[derive(Clone, Debug)]
+pub enum QueryBatch {
+    /// Independent `(s, t)` pairs, answered in order.
+    PointToPoint(Vec<Query>),
+    /// One origin, many destinations (e.g. "nearest k depots"): answered
+    /// with the view's one-to-many machinery — a single truncated forward
+    /// search on Dijkstra-like views, a shared forward upward search on CH
+    /// views.
+    OneToMany {
+        /// The common source vertex.
+        source: VertexId,
+        /// The destination vertices.
+        targets: Vec<VertexId>,
+    },
+    /// A full `sources × targets` distance matrix (dispatch / assignment
+    /// workloads).
+    Matrix {
+        /// Row vertices.
+        sources: Vec<VertexId>,
+        /// Column vertices.
+        targets: Vec<VertexId>,
+    },
+}
+
+impl QueryBatch {
+    /// Number of `(s, t)` distances this batch asks for.
+    pub fn num_pairs(&self) -> usize {
+        match self {
+            QueryBatch::PointToPoint(qs) => qs.len(),
+            QueryBatch::OneToMany { targets, .. } => targets.len(),
+            QueryBatch::Matrix { sources, targets } => sources.len() * targets.len(),
+        }
+    }
+}
+
+/// The answer to one [`QueryBatch`], tagged with the snapshot that served it.
+#[derive(Clone, Debug)]
+pub struct BatchAnswer {
+    /// The distances, flattened in request order. For
+    /// [`QueryBatch::Matrix`] the layout is row-major:
+    /// `distances[i * targets.len() + j] = d(sources[i], targets[j])`.
+    pub distances: Vec<Dist>,
+    /// Publisher version of the snapshot that answered.
+    pub snapshot_version: u64,
+    /// Query stage of the snapshot that answered.
+    pub stage: usize,
+    /// Algorithm name of the snapshot that answered.
+    pub algorithm: &'static str,
+}
+
+/// A pending [`BatchAnswer`]; returned by [`DistanceService::submit`].
+pub struct BatchTicket {
+    rx: mpsc::Receiver<BatchAnswer>,
+}
+
+impl BatchTicket {
+    /// Blocks until the batch is answered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service shut down before answering (dropped mid-batch).
+    pub fn wait(self) -> BatchAnswer {
+        self.rx.recv().expect("distance service dropped the batch")
+    }
+
+    /// Non-blocking poll; consumes the ticket only on success.
+    pub fn try_wait(self) -> Result<BatchAnswer, BatchTicket> {
+        match self.rx.try_recv() {
+            Ok(answer) => Ok(answer),
+            Err(_) => Err(self),
+        }
+    }
+}
+
+struct Job {
+    batch: QueryBatch,
+    reply: mpsc::Sender<BatchAnswer>,
+}
+
+struct Shared {
+    publisher: Arc<SnapshotPublisher>,
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Blocks until a job is available or shutdown is flagged.
+    fn pop_blocking(&self) -> Option<Job> {
+        let mut queue = self.queue.lock().expect("service queue poisoned");
+        loop {
+            if let Some(job) = queue.pop_front() {
+                return Some(job);
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            queue = self.available.wait(queue).expect("service queue poisoned");
+        }
+    }
+
+    fn try_pop(&self) -> Option<Job> {
+        self.queue
+            .lock()
+            .expect("service queue poisoned")
+            .pop_front()
+    }
+}
+
+/// Answers `job` through `session`, which is pinned to (`version`, `stage`,
+/// `algorithm`) of the snapshot it was opened on.
+fn answer(
+    session: &mut dyn QuerySession,
+    version: u64,
+    stage: usize,
+    algorithm: &'static str,
+    batch: &QueryBatch,
+) -> BatchAnswer {
+    let distances = match batch {
+        QueryBatch::PointToPoint(qs) => qs.iter().map(|q| session.query(q)).collect(),
+        QueryBatch::OneToMany { source, targets } => session.one_to_many(*source, targets),
+        QueryBatch::Matrix { sources, targets } => session
+            .matrix(sources, targets)
+            .into_iter()
+            .flatten()
+            .collect(),
+    };
+    BatchAnswer {
+        distances,
+        snapshot_version: version,
+        stage,
+        algorithm,
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    // A job carried over from the previous pin because the publisher
+    // version advanced mid-drain.
+    let mut carried: Option<Job> = None;
+    loop {
+        let job = match carried.take().or_else(|| shared.pop_blocking()) {
+            Some(job) => job,
+            None => return, // shutdown with an empty queue
+        };
+        // Pin: newest snapshot, one session, scratch checked out once. The
+        // (version, view) pair is read atomically so a concurrent publish
+        // cannot tag the old view with the new version (which would both
+        // mislabel answers and suppress the re-pin below).
+        let (pinned_version, view) = shared.publisher.versioned_snapshot();
+        let mut session = view.session();
+        let stage = view.stage();
+        let algorithm = view.algorithm();
+
+        let mut job = job;
+        loop {
+            let reply = answer(&mut *session, pinned_version, stage, algorithm, &job.batch);
+            // A closed receiver just means the client lost interest.
+            let _ = job.reply.send(reply);
+            match shared.try_pop() {
+                // Keep draining on the same session while the snapshot is
+                // still the newest one.
+                Some(next) if shared.publisher.version() == pinned_version => job = next,
+                // A newer stage was published: re-pin before answering.
+                Some(next) => {
+                    carried = Some(next);
+                    break;
+                }
+                // Queue drained: drop the session (and its snapshot pin) so
+                // the maintainer can reclaim the COW memory, then park.
+                None => break,
+            }
+        }
+    }
+}
+
+/// A multi-threaded, batch-oriented shortest-distance serving front-end.
+///
+/// See the [module docs](self) for the worker/pinning architecture. Dropping
+/// the service shuts it down: queued batches are still answered, then the
+/// workers exit and are joined.
+pub struct DistanceService {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl DistanceService {
+    /// Starts `num_workers` serving threads against `publisher`'s snapshots.
+    pub fn start(publisher: Arc<SnapshotPublisher>, num_workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            publisher,
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..num_workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("htsp-distance-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn distance worker")
+            })
+            .collect();
+        DistanceService { shared, workers }
+    }
+
+    /// Enqueues a batch; the returned ticket yields the [`BatchAnswer`].
+    pub fn submit(&self, batch: QueryBatch) -> BatchTicket {
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut queue = self.shared.queue.lock().expect("service queue poisoned");
+            queue.push_back(Job { batch, reply: tx });
+        }
+        self.shared.available.notify_one();
+        BatchTicket { rx }
+    }
+
+    /// Convenience: submits and waits in one call.
+    pub fn answer(&self, batch: QueryBatch) -> BatchAnswer {
+        self.submit(batch).wait()
+    }
+
+    /// The publisher this service serves from (hand it to the maintainer).
+    pub fn publisher(&self) -> &Arc<SnapshotPublisher> {
+        &self.shared.publisher
+    }
+
+    /// Number of serving threads.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Flags shutdown, drains the queue, and joins the workers.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.available.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for DistanceService {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+impl std::fmt::Debug for DistanceService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistanceService")
+            .field("num_workers", &self.workers.len())
+            .field("publisher_version", &self.shared.publisher.version())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htsp_baselines::DchBaseline;
+    use htsp_graph::gen::{grid, WeightRange};
+    use htsp_graph::{IndexMaintainer, QuerySet, UpdateGenerator};
+    use htsp_search::dijkstra_distance;
+
+    #[test]
+    fn service_answers_all_batch_shapes_exactly() {
+        let g = grid(9, 9, WeightRange::new(1, 20), 5);
+        let idx = DchBaseline::build(&g);
+        let publisher = Arc::new(SnapshotPublisher::new(idx.current_view()));
+        let service = DistanceService::start(Arc::clone(&publisher), 3);
+
+        let qs = QuerySet::random(&g, 30, 7);
+        let p2p = service.answer(QueryBatch::PointToPoint(qs.as_slice().to_vec()));
+        assert_eq!(p2p.algorithm, "DCH");
+        assert_eq!(p2p.distances.len(), 30);
+        for (q, &d) in qs.iter().zip(&p2p.distances) {
+            assert_eq!(d, dijkstra_distance(&g, q.source, q.target));
+        }
+
+        let targets: Vec<VertexId> = (0..20).map(|i| VertexId(i * 4)).collect();
+        let fan = service.answer(QueryBatch::OneToMany {
+            source: VertexId(40),
+            targets: targets.clone(),
+        });
+        for (i, &t) in targets.iter().enumerate() {
+            assert_eq!(fan.distances[i], dijkstra_distance(&g, VertexId(40), t));
+        }
+
+        let sources = vec![VertexId(0), VertexId(13), VertexId(80)];
+        let m = service.answer(QueryBatch::Matrix {
+            sources: sources.clone(),
+            targets: targets.clone(),
+        });
+        assert_eq!(m.distances.len(), sources.len() * targets.len());
+        for (i, &s) in sources.iter().enumerate() {
+            for (j, &t) in targets.iter().enumerate() {
+                assert_eq!(
+                    m.distances[i * targets.len() + j],
+                    dijkstra_distance(&g, s, t),
+                    "matrix({s}, {t}) diverged"
+                );
+            }
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn workers_repin_when_a_new_snapshot_is_published() {
+        let mut g = grid(8, 8, WeightRange::new(5, 30), 9);
+        let mut idx = DchBaseline::build(&g);
+        let publisher = Arc::new(SnapshotPublisher::new(idx.current_view()));
+        let service = DistanceService::start(Arc::clone(&publisher), 2);
+
+        let qs = QuerySet::random(&g, 10, 3);
+        let before = service.answer(QueryBatch::PointToPoint(qs.as_slice().to_vec()));
+        assert_eq!(before.snapshot_version, 0);
+
+        // Maintenance publishes a new snapshot through the same publisher.
+        let mut gen = UpdateGenerator::new(11);
+        let batch = gen.generate(&g, 20);
+        g.apply_batch(&batch);
+        idx.apply_batch(&g, &batch, &publisher);
+        assert!(publisher.version() >= 1);
+
+        let after = service.answer(QueryBatch::PointToPoint(qs.as_slice().to_vec()));
+        assert_eq!(after.snapshot_version, publisher.version());
+        for (q, &d) in qs.iter().zip(&after.distances) {
+            assert_eq!(d, dijkstra_distance(&g, q.source, q.target));
+        }
+        // The pre-update answers were exact on the *old* graph — snapshot
+        // isolation end to end.
+        drop(service);
+    }
+
+    #[test]
+    fn dropping_the_service_joins_workers() {
+        let g = grid(4, 4, WeightRange::new(1, 5), 1);
+        let idx = DchBaseline::build(&g);
+        let publisher = Arc::new(SnapshotPublisher::new(idx.current_view()));
+        let service = DistanceService::start(publisher, 4);
+        let ticket = service.submit(QueryBatch::OneToMany {
+            source: VertexId(0),
+            targets: vec![VertexId(15)],
+        });
+        drop(service); // shuts down; the queued batch is still answered
+        let answer = ticket.wait();
+        assert_eq!(
+            answer.distances[0],
+            dijkstra_distance(&g, VertexId(0), VertexId(15))
+        );
+    }
+}

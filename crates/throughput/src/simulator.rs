@@ -234,6 +234,9 @@ mod tests {
         fn distance(&self, _s: VertexId, _t: VertexId) -> Dist {
             Dist(1)
         }
+        fn session(&self) -> Box<dyn htsp_graph::QuerySession + '_> {
+            Box::new(htsp_graph::FallbackSession::new(self))
+        }
         fn graph(&self) -> &Graph {
             &self.graph
         }

@@ -4,11 +4,13 @@
 //! This exercises the query classes the paper distinguishes: *same-partition*
 //! queries, served by the post-boundary index, and *cross-partition* queries,
 //! served by the cross-boundary index. All queries go through one immutable
-//! snapshot of the index. Run with
+//! snapshot of the index, each workload through one per-thread session; a
+//! dispatch-style one-to-many workload (one rider, many candidate drivers)
+//! closes the example. Run with
 //! `cargo run --release --example city_navigation`.
 
 use htsp::core::{Pmhl, PmhlConfig};
-use htsp::graph::{gen, IndexMaintainer, QuerySet};
+use htsp::graph::{gen, IndexMaintainer, QuerySet, VertexId};
 
 fn main() {
     // A ring-radial city: 40 concentric rings with 64 spokes.
@@ -39,6 +41,7 @@ fn main() {
     let global = QuerySet::random(&road, 2000, 6);
 
     let view = index.current_view();
+    let mut session = view.session();
     for (name, set) in [("local (district)", &local), ("cross-city", &global)] {
         let t = std::time::Instant::now();
         let mut same_partition = 0usize;
@@ -50,7 +53,7 @@ fn main() {
             {
                 same_partition += 1;
             }
-            let _ = view.distance(q.source, q.target);
+            let _ = session.query(q);
         }
         println!(
             "{name:<18}: {} queries, {:.1} µs/query, {:.0}% same-partition",
@@ -59,4 +62,24 @@ fn main() {
             100.0 * same_partition as f64 / set.len() as f64
         );
     }
+
+    // Dispatch: one rider, 256 candidate drivers — a single one-to-many
+    // batch instead of 256 independent queries.
+    let rider = VertexId(road.num_vertices() as u32 / 2);
+    let drivers: Vec<VertexId> = global.iter().take(256).map(|q| q.target).collect();
+    let t = std::time::Instant::now();
+    let dists = session.one_to_many(rider, &drivers);
+    let (best, d) = drivers
+        .iter()
+        .zip(&dists)
+        .min_by_key(|(_, &d)| d)
+        .expect("at least one driver");
+    println!(
+        "dispatch          : nearest of {} drivers to {} is {} (distance {}), {:.1} µs/pair",
+        drivers.len(),
+        rider,
+        best,
+        d,
+        t.elapsed().as_secs_f64() * 1e6 / drivers.len() as f64
+    );
 }

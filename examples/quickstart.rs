@@ -28,14 +28,16 @@ fn main() {
         IndexMaintainer::index_size_bytes(&index) as f64 / (1024.0 * 1024.0)
     );
 
-    // 3. Take an immutable snapshot and answer shortest-distance queries
-    //    (any number of threads could share this view; see the
+    // 3. Take an immutable snapshot, open a per-thread query session on it,
+    //    and answer shortest-distance queries (any number of threads could
+    //    share this view, each with its own session; see the
     //    `traffic_updates` example for the concurrent engine).
     let view = index.current_view();
+    let mut session = view.session();
     let queries = QuerySet::random(&road, 1000, 7);
     let t = std::time::Instant::now();
     for q in &queries {
-        let d = view.distance(q.source, q.target);
+        let d = session.query(q);
         debug_assert_eq!(d, dijkstra_distance(&road, q.source, q.target));
     }
     println!(
@@ -44,6 +46,31 @@ fn main() {
         t.elapsed(),
         t.elapsed().as_secs_f64() * 1e6 / queries.len() as f64
     );
+
+    // 3b. Batch workloads on the same session: one origin against many
+    //     candidate destinations, and a small distance matrix.
+    let origin = queries.as_slice()[0].source;
+    let destinations: Vec<_> = queries.as_slice()[..64].iter().map(|q| q.target).collect();
+    let t = std::time::Instant::now();
+    let fan = session.one_to_many(origin, &destinations);
+    println!(
+        "one-to-many: {} destinations from {} in {:.2?} (nearest at distance {})",
+        destinations.len(),
+        origin,
+        t.elapsed(),
+        fan.iter().min().unwrap()
+    );
+    let depots: Vec<_> = queries.as_slice()[..8].iter().map(|q| q.source).collect();
+    let matrix = session.matrix(&depots, &destinations[..8]);
+    println!(
+        "matrix: {}x{} pairs, corner d({}, {}) = {}",
+        matrix.len(),
+        matrix[0].len(),
+        depots[0],
+        destinations[0],
+        matrix[0][0]
+    );
+    drop(session);
 
     // 4. A batch of traffic updates arrives: apply it and repair the index.
     //    The publisher receives a fresh snapshot at the end of each completed

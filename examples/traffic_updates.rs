@@ -10,7 +10,7 @@
 use htsp::baselines::{DchBaseline, Dh2hBaseline};
 use htsp::core::{PostMhl, PostMhlConfig};
 use htsp::graph::gen;
-use htsp::throughput::{QueryEngine, SystemConfig, ThroughputHarness};
+use htsp::throughput::{QueryEngine, SystemConfig, ThroughputHarness, WorkloadKind};
 use std::time::Duration;
 
 fn main() {
@@ -58,36 +58,48 @@ fn main() {
 
     // Measured: four query workers hammer the published snapshots while the
     // maintenance thread replays batches. Workers are never blocked; each
-    // answer is exact on the snapshot's own graph version.
-    println!("\n-- measured (4 query workers racing the maintenance thread) --");
-    let engine = QueryEngine::builder()
-        .workers(4)
-        .batches(3)
-        .update_volume(300)
-        .pause_between_batches(Duration::from_millis(100))
-        .seed(9)
-        .build();
-    let mut dch = DchBaseline::build(&road);
-    let mut dh2h = Dh2hBaseline::build(&road);
-    let mut postmhl = PostMhl::build(&road, PostMhlConfig::default());
-    for report in [
-        engine.run(&road, &mut dch),
-        engine.run(&road, &mut dh2h),
-        engine.run(&road, &mut postmhl),
+    // answer is exact on the snapshot's own graph version. The single-call
+    // mode takes a snapshot + scratch per query; the batched mode pins one
+    // session per published snapshot and drains bundles through it.
+    for workload in [
+        WorkloadKind::SingleCall,
+        WorkloadKind::Batched { batch_size: 64 },
+        WorkloadKind::Matrix { side: 8 },
     ] {
         println!(
-            "{:<10} {:>9} queries in {:>6.3} s = {:>10.0} QPS measured | stages hit: {:?}",
-            report.algorithm,
-            report.total_queries,
-            report.wall_time,
-            report.measured_qps,
-            report.per_stage_queries,
+            "\n-- measured, {} (4 query workers racing the maintenance thread) --",
+            workload.label()
         );
-        let pubs: Vec<String> = report
-            .publications
-            .iter()
-            .map(|(t, s)| format!("{t:.3}s→stage {s}"))
-            .collect();
-        println!("            snapshots: {}", pubs.join("  "));
+        let engine = QueryEngine::builder()
+            .workers(4)
+            .batches(3)
+            .update_volume(300)
+            .pause_between_batches(Duration::from_millis(100))
+            .workload(workload)
+            .seed(9)
+            .build();
+        let mut dch = DchBaseline::build(&road);
+        let mut dh2h = Dh2hBaseline::build(&road);
+        let mut postmhl = PostMhl::build(&road, PostMhlConfig::default());
+        for report in [
+            engine.run(&road, &mut dch),
+            engine.run(&road, &mut dh2h),
+            engine.run(&road, &mut postmhl),
+        ] {
+            println!(
+                "{:<10} {:>9} pairs in {:>6.3} s = {:>10.0} pairs/s measured | stages hit: {:?}",
+                report.algorithm,
+                report.total_queries,
+                report.wall_time,
+                report.measured_qps,
+                report.per_stage_queries,
+            );
+            let pubs: Vec<String> = report
+                .publications
+                .iter()
+                .map(|(t, s)| format!("{t:.3}s→stage {s}"))
+                .collect();
+            println!("            snapshots: {}", pubs.join("  "));
+        }
     }
 }

@@ -24,7 +24,9 @@
 //! [`graph::IndexMaintainer`] owns the mutable machinery and publishes
 //! immutable, thread-safe [`graph::QueryView`] snapshots through a
 //! [`graph::SnapshotPublisher`] at the end of each completed update stage,
-//! so queries keep flowing while the repair runs.
+//! so queries keep flowing while the repair runs. Serving threads open a
+//! per-thread [`graph::QuerySession`] on a view and drive point-to-point,
+//! one-to-many, and matrix workloads through it.
 //!
 //! ```
 //! use htsp::graph::{gen, IndexMaintainer, QuerySet, SnapshotPublisher, UpdateGenerator};
@@ -34,14 +36,21 @@
 //! let mut road = gen::grid(16, 16, gen::WeightRange::new(1, 60), 7);
 //! let mut index = PostMhl::build(&road, PostMhlConfig::default());
 //!
-//! // Answer queries through an immutable snapshot (shareable across any
-//! // number of threads).
+//! // Open a session on an immutable snapshot (any number of threads could
+//! // share the view, each with its own session) and answer queries.
 //! let view = index.current_view();
+//! let mut session = view.session();
 //! let queries = QuerySet::random(&road, 10, 3);
 //! for q in &queries {
-//!     let d = view.distance(q.source, q.target);
-//!     assert!(d.is_finite());
+//!     assert!(session.query(q).is_finite());
 //! }
+//! // Batch workloads share work across targets where the machinery allows.
+//! let targets: Vec<_> = queries.iter().map(|q| q.target).collect();
+//! let fan = session.one_to_many(queries.as_slice()[0].source, &targets);
+//! assert_eq!(fan.len(), targets.len());
+//! let m = session.matrix(&targets[..2], &targets);
+//! assert_eq!((m.len(), m[0].len()), (2, targets.len()));
+//! drop(session);
 //!
 //! // Traffic changes arrive in a batch; apply it and repair the index.
 //! // Each completed update stage publishes a fresh snapshot.
@@ -56,8 +65,11 @@
 //! ```
 //!
 //! To *measure* throughput under concurrent maintenance, see
-//! [`throughput::QueryEngine`]; the legacy `&mut self` trait
-//! [`graph::DynamicSpIndex`] remains available as a deprecation shim.
+//! [`throughput::QueryEngine`] (single-call and session-batched workload
+//! modes); to *serve* batched traffic, see [`throughput::DistanceService`]
+//! (a queue of `QueryBatch` requests drained by session-pinning workers).
+//! The legacy `&mut self` trait `DynamicSpIndex` remains available as a
+//! `#[deprecated]` shim.
 
 #![warn(missing_docs)]
 

@@ -12,8 +12,10 @@
 
 use htsp::baselines::{BiDijkstraBaseline, DchBaseline};
 use htsp::core::{Pmhl, PmhlConfig, PostMhl, PostMhlConfig};
-use htsp::graph::{gen, Graph, IndexMaintainer};
-use htsp::throughput::QueryEngine;
+use htsp::graph::{gen, Graph, IndexMaintainer, SnapshotPublisher, UpdateGenerator, VertexId};
+use htsp::search::dijkstra_distance;
+use htsp::throughput::{DistanceService, QueryBatch, QueryEngine, WorkloadKind};
+use std::sync::Arc;
 use std::time::Duration;
 
 fn road() -> Graph {
@@ -94,6 +96,103 @@ fn bidijkstra_baseline_serves_exact_answers_while_maintenance_races() {
     let g = road();
     let mut idx = BiDijkstraBaseline::new(&g);
     race(&mut idx, 6);
+}
+
+#[test]
+fn batched_sessions_race_maintenance_without_staleness() {
+    // The session paths (batched point-to-point, one-to-many fans, matrix
+    // blocks) race the maintenance thread with per-answer Dijkstra
+    // verification: every pair must be exact on the answering session's own
+    // graph snapshot, across re-pins.
+    let g = road();
+    for workload in [
+        WorkloadKind::Batched { batch_size: 16 },
+        WorkloadKind::OneToMany { fanout: 8 },
+        WorkloadKind::Matrix { side: 3 },
+    ] {
+        let mut idx = PostMhl::build(&g, PostMhlConfig::default());
+        let engine = QueryEngine::builder()
+            .workers(4)
+            .batches(3)
+            .update_volume(30)
+            .pause_between_batches(Duration::from_millis(20))
+            .query_pool(256)
+            .verify(true)
+            .workload(workload)
+            .seed(37)
+            .build();
+        let report = engine.run(&g, &mut idx);
+        assert_eq!(
+            report.verify_failures,
+            0,
+            "{} under {workload:?}: first failure: {}",
+            report.algorithm,
+            report.first_failure.as_deref().unwrap_or("<missing>")
+        );
+        assert!(report.total_queries > 0);
+        assert_eq!(report.workload, workload);
+    }
+}
+
+#[test]
+fn distance_service_reaches_fresh_snapshots_during_maintenance() {
+    // A DistanceService keeps answering batches while the maintainer
+    // repairs; after each repair, newly submitted batches must observe a
+    // version at least as new as the published one and answer exactly on
+    // the *current* graph.
+    let mut g = road();
+    let mut idx = Pmhl::build(
+        &g,
+        PmhlConfig {
+            num_partitions: 4,
+            num_threads: 2,
+            seed: 5,
+        },
+    );
+    let publisher = Arc::new(SnapshotPublisher::new(idx.current_view()));
+    let service = DistanceService::start(Arc::clone(&publisher), 3);
+    assert_eq!(service.num_workers(), 3);
+
+    let targets: Vec<VertexId> = (0..24).map(|i| VertexId(i * 6)).collect();
+    let mut gen_upd = UpdateGenerator::new(3);
+    for round in 0..3u64 {
+        // Keep traffic in flight while the repair runs on this thread.
+        let inflight: Vec<_> = (0..8)
+            .map(|i| {
+                service.submit(QueryBatch::OneToMany {
+                    source: VertexId((round as u32 * 31 + i * 7) % 144),
+                    targets: targets.clone(),
+                })
+            })
+            .collect();
+        let batch = gen_upd.generate(&g, 40);
+        g.apply_batch(&batch);
+        idx.apply_batch(&g, &batch, &publisher);
+        for ticket in inflight {
+            // In-flight answers may come from any published stage; exactness
+            // per snapshot is covered by the engine verify tests.
+            let answer = ticket.wait();
+            assert_eq!(answer.distances.len(), targets.len());
+        }
+        // A post-repair batch must see the final published version and be
+        // exact on the current weights.
+        let version = publisher.version();
+        let answer = service.answer(QueryBatch::Matrix {
+            sources: vec![VertexId(0), VertexId(77)],
+            targets: targets.clone(),
+        });
+        assert!(answer.snapshot_version >= version);
+        for (i, &s) in [VertexId(0), VertexId(77)].iter().enumerate() {
+            for (j, &t) in targets.iter().enumerate() {
+                assert_eq!(
+                    answer.distances[i * targets.len() + j],
+                    dijkstra_distance(&g, s, t),
+                    "round {round}: service answer for ({s}, {t}) is stale"
+                );
+            }
+        }
+    }
+    service.shutdown();
 }
 
 #[test]

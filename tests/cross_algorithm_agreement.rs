@@ -3,24 +3,22 @@
 //! across several update batches — the paper's implicit no-staleness
 //! correctness requirement.
 //!
-//! The first test deliberately drives the algorithms through the legacy
-//! [`DynamicSpIndex`] shim to pin down that the blanket impl over
-//! [`IndexMaintainer`](htsp::graph::IndexMaintainer) keeps old call sites
-//! working; the second uses the snapshot API directly.
+//! The first test drives all nine algorithms through the session API (one
+//! [`QuerySession`](htsp::graph::QuerySession) per published snapshot); the
+//! second exercises the per-stage snapshot views of the multi-stage indexes.
+//! (The legacy `DynamicSpIndex` shim is covered by its own unit test in
+//! `htsp-graph`; nothing else uses it any more.)
 
 use htsp::baselines::{BiDijkstraBaseline, DchBaseline, Dh2hBaseline, ToainBaseline};
 use htsp::core::{Mhl, Pmhl, PmhlConfig, PostMhl, PostMhlConfig};
-use htsp::graph::{gen, IndexMaintainer, QuerySet, UpdateGenerator};
+use htsp::graph::{gen, IndexMaintainer, QuerySet, SnapshotPublisher, UpdateGenerator};
 use htsp::psp::{NChP, PTdP};
 use htsp::search::dijkstra_distance;
 
 #[test]
 fn all_algorithms_agree_on_a_dynamic_workload() {
-    // Through the legacy shim on purpose (see module docs); the import is
-    // function-local so the rest of the file resolves to IndexMaintainer.
-    use htsp::graph::DynamicSpIndex;
     let mut g = gen::grid_with_diagonals(12, 12, gen::WeightRange::new(2, 60), 0.15, 77);
-    let mut algorithms: Vec<Box<dyn DynamicSpIndex>> = vec![
+    let mut algorithms: Vec<Box<dyn IndexMaintainer>> = vec![
         Box::new(BiDijkstraBaseline::new(&g)),
         Box::new(DchBaseline::build(&g)),
         Box::new(Dh2hBaseline::build(&g)),
@@ -42,12 +40,13 @@ fn all_algorithms_agree_on_a_dynamic_workload() {
     let mut gen_upd = UpdateGenerator::new(9);
     for round in 0..3u64 {
         let queries = QuerySet::random(&g, 40, 1000 + round);
-        for q in &queries {
-            let expect = dijkstra_distance(&g, q.source, q.target);
-            for alg in algorithms.iter_mut() {
-                let got = alg.distance(&g, q.source, q.target);
+        for alg in algorithms.iter() {
+            let view = alg.current_view();
+            let mut session = view.session();
+            for q in &queries {
+                let expect = dijkstra_distance(&g, q.source, q.target);
                 assert_eq!(
-                    got,
+                    session.distance(q.source, q.target),
                     expect,
                     "round {round}: {} disagrees with Dijkstra on {:?}",
                     alg.name(),
@@ -59,8 +58,10 @@ fn all_algorithms_agree_on_a_dynamic_workload() {
         let batch = gen_upd.generate(&g, 25);
         g.apply_batch(&batch);
         for alg in algorithms.iter_mut() {
-            let timeline = alg.apply_batch(&g, &batch);
+            let publisher = SnapshotPublisher::new(alg.current_view());
+            let timeline = alg.apply_batch(&g, &batch, &publisher);
             assert!(!timeline.stages.is_empty());
+            assert!(publisher.version() >= 1, "{} published nothing", alg.name());
         }
     }
 }

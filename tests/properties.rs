@@ -11,7 +11,9 @@
 //! pseudo-random parameter tuples and reports the failing tuple on panic.
 
 use htsp::core::{PostMhl, PostMhlConfig};
-use htsp::graph::{gen, DynamicSpIndex, Graph, QuerySet, UpdateGenerator, VertexId};
+use htsp::graph::{
+    gen, Graph, IndexMaintainer, QuerySet, SnapshotPublisher, UpdateGenerator, VertexId,
+};
 use htsp::partition::{partition_region_growing, td_partition, TdPartitionConfig};
 use htsp::search::{bidijkstra_distance, dijkstra_distance};
 use htsp::td::TreeDecomposition;
@@ -116,11 +118,14 @@ fn postmhl_survives_arbitrary_update_batches() {
         let mut gen_upd = UpdateGenerator::new(seed);
         let batch = gen_upd.generate(&graph, volume);
         graph.apply_batch(&batch);
-        idx.apply_batch(&graph, &batch);
+        let publisher = SnapshotPublisher::new(idx.current_view());
+        idx.apply_batch(&graph, &batch, &publisher);
+        let view = publisher.snapshot();
+        let mut session = view.session();
         let qs = QuerySet::random(&graph, 10, seed ^ 0xff);
         for q in &qs {
             assert_eq!(
-                idx.distance(&graph, q.source, q.target),
+                session.distance(q.source, q.target),
                 dijkstra_distance(&graph, q.source, q.target),
                 "case {case} ({desc}, volume={volume}, seed={seed}): stale answer for {q:?}"
             );
