@@ -1,0 +1,430 @@
+//! `bench-pr3` — emits `BENCH_pr3.json`: per-stage update latency and
+//! copy-on-write clone telemetry (chunks/bytes actually cloned) for PostMHL
+//! and PMHL, swept over **change-set size** (`|U|`) and **index size** (grid
+//! side), with and without a harness-pinned snapshot outstanding.
+//!
+//! The point of the measurement: before the chunked-COW storage layer, the
+//! first write of every maintenance stage paid an `Arc::make_mut` deep clone
+//! of the whole component it touched — O(index size), regardless of `|U|` —
+//! because a published snapshot is always outstanding. With `CowVec` /
+//! `CowTable` storage the clone volume must
+//!
+//! 1. **grow with `|U|`** (more affected rows → more chunks cloned), and
+//! 2. **stay flat-ish as the index grows** at fixed `|U|` (untouched chunks
+//!    are shared, so index size only enters through chunk-size rounding and
+//!    the depth of the affected label rows) — i.e. grow strictly slower
+//!    than the index itself.
+//!
+//! Two pinning modes are measured per configuration:
+//!
+//! * `pinned` — the harness holds a full final-stage `QueryView` across
+//!   the whole `apply_batch`, the serving worst case: every mutable
+//!   component is shared when its stage first writes it, so the reported
+//!   clone volume is the full snapshot-isolation price of the batch.
+//! * `unpinned` — only the [`SnapshotPublisher`]'s own transient staged
+//!   views exist, each dropped when the next stage publishes. Because every
+//!   stage view pins only the components its query machinery reads, most
+//!   stage writes find their chunks unshared and the clone volume collapses
+//!   — the quantified payoff of per-stage component pinning.
+//!
+//! The `summary` section computes the headline ratios per `|U|`:
+//! `cloned_bytes` growth vs `index_bytes` growth between the smallest and
+//! largest grid, plus monotonicity of `cloned_bytes` in `|U|` on the
+//! largest grid. The asserted flatness probe is the smallest `|U|` — larger
+//! change sets scattered across a laptop-scale table dirty most chunks, at
+//! which point chunk-size rounding (every chunk cloned once) dominates and
+//! the growth ratios converge to the index ratio again.
+//!
+//! Usage: `cargo run --release -p htsp-bench --bin bench-pr3 [--smoke] [output.json]`
+//!
+//! `--smoke` shrinks the sweep so CI can prove the telemetry path end to end
+//! in seconds (and writes to /tmp by default).
+
+use htsp_bench::json::Json;
+use htsp_core::{Pmhl, PmhlConfig, PostMhl, PostMhlConfig};
+use htsp_graph::gen::{grid_with_diagonals, WeightRange};
+use htsp_graph::{EdgeId, EdgeUpdate, Graph, IndexMaintainer, SnapshotPublisher, UpdateBatch};
+
+/// A deterministic "traffic drift" batch: `volume` distinct edges each get
+/// a +1 weight increase.
+///
+/// The paper's halve/double protocol is the right *stress* workload, but at
+/// laptop-scale grids it saturates the affected label set — a batch of even
+/// 10 halved edges changes some ancestor distance of nearly every vertex, so
+/// every chunk is legitimately dirty and clone volume cannot distinguish
+/// change-set-proportional storage from whole-component cloning. The +1
+/// drift keeps the affected label set local, which is exactly the regime the
+/// chunked-COW claim is about (and the common real-traffic case: most
+/// updates are small travel-time drifts, not road closures).
+fn drift_batch(graph: &Graph, volume: usize, salt: u64) -> UpdateBatch {
+    let m = graph.num_edges();
+    let mut batch = UpdateBatch::new();
+    let mut seen = vec![false; m];
+    let mut x = salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut attempts = 0usize;
+    while batch.len() < volume.min(m) && attempts < 64 * m {
+        attempts += 1;
+        // splitmix-style step, deterministic across runs.
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let idx = ((x >> 33) as usize) % m;
+        if seen[idx] {
+            continue;
+        }
+        seen[idx] = true;
+        let e = EdgeId::from_index(idx);
+        let old = graph.edge_weight(e);
+        // +1 increases only: an increase affects exactly the shortest paths
+        // that used the edge, keeping the affected label set local. (A
+        // decrease opens a new shorter route *through* the edge, which on a
+        // small grid perturbs distances towards the top separators for a
+        // large fraction of vertices — a genuinely global change set.)
+        batch.push(EdgeUpdate::new(e, old, old + 1));
+    }
+    batch
+}
+
+struct RoundResult {
+    update_volume: usize,
+    pinned: bool,
+    total_ms: f64,
+    chunks_cloned: u64,
+    bytes_cloned: u64,
+    stages: Vec<(String, f64)>,
+    /// Per publication: (query stage, chunks cloned, bytes cloned).
+    publications: Vec<(usize, u64, u64)>,
+}
+
+/// Replays one update batch through `maintainer`, optionally holding a
+/// final-stage snapshot across the repair, and collects per-stage latency
+/// plus the published clone telemetry.
+fn run_round(
+    maintainer: &mut dyn IndexMaintainer,
+    working: &mut Graph,
+    salt: &mut u64,
+    update_volume: usize,
+    pinned: bool,
+) -> RoundResult {
+    *salt += 1;
+    let batch = drift_batch(working, update_volume, *salt);
+    working.apply_batch(&batch);
+    let publisher = SnapshotPublisher::new(maintainer.current_view());
+    // The serving worst case: a session somewhere still reads the
+    // pre-batch index for the whole repair.
+    let pin = pinned.then(|| maintainer.current_view());
+    let timeline = maintainer.apply_batch(working, &batch, &publisher);
+    drop(pin);
+    let log = publisher.take_log();
+    let chunks_cloned: u64 = log.iter().map(|e| e.cow.chunks_cloned).sum();
+    let bytes_cloned: u64 = log.iter().map(|e| e.cow.bytes_cloned).sum();
+    RoundResult {
+        update_volume,
+        pinned,
+        total_ms: timeline.total().as_secs_f64() * 1e3,
+        chunks_cloned,
+        bytes_cloned,
+        stages: timeline
+            .stages
+            .iter()
+            .map(|s| (s.name.clone(), s.duration.as_secs_f64() * 1e3))
+            .collect(),
+        publications: log
+            .iter()
+            .map(|e| (e.stage, e.cow.chunks_cloned, e.cow.bytes_cloned))
+            .collect(),
+    }
+}
+
+fn round_json(r: &RoundResult) -> Json {
+    Json::Obj(vec![
+        ("update_volume", Json::Int(r.update_volume as u64)),
+        (
+            "pinned",
+            Json::Str(if r.pinned { "pinned" } else { "unpinned" }.to_string()),
+        ),
+        ("total_update_ms", Json::Num(r.total_ms)),
+        ("chunks_cloned", Json::Int(r.chunks_cloned)),
+        ("bytes_cloned", Json::Int(r.bytes_cloned)),
+        (
+            "stages",
+            Json::Arr(
+                r.stages
+                    .iter()
+                    .map(|(name, ms)| {
+                        Json::Obj(vec![
+                            ("name", Json::Str(name.clone())),
+                            ("ms", Json::Num(*ms)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "publications",
+            Json::Arr(
+                r.publications
+                    .iter()
+                    .map(|&(stage, chunks, bytes)| {
+                        Json::Obj(vec![
+                            ("query_stage", Json::Int(stage as u64)),
+                            ("chunks_cloned", Json::Int(chunks)),
+                            ("bytes_cloned", Json::Int(bytes)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+struct GridRun {
+    side: usize,
+    vertices: usize,
+    index_bytes: usize,
+    rounds: Vec<RoundResult>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| {
+            if smoke {
+                "/tmp/BENCH_pr3_smoke.json".to_string()
+            } else {
+                "BENCH_pr3.json".to_string()
+            }
+        });
+    // Small absolute change sets against growing grids: the claim under test
+    // is *clone cost ∝ change set*, which chunk-size rounding hides as soon
+    // as |U| scattered edges dirty every chunk of a small table (a 24x24
+    // grid's whole distance table is ~9 chunks). |U| = 1 is the cleanest
+    // probe: its clone volume must stay at a handful of chunks no matter how
+    // large the index grows.
+    let sides: Vec<usize> = if smoke {
+        vec![10, 16]
+    } else {
+        vec![32, 48, 64]
+    };
+    let volumes: Vec<usize> = if smoke { vec![1, 4] } else { vec![1, 4, 16] };
+    // Clone volume depends on which edges a round happens to perturb;
+    // averaging over several rounds per configuration smooths that out.
+    let reps = if smoke { 1 } else { 4 };
+
+    type Factory = fn(&Graph) -> Box<dyn IndexMaintainer>;
+    let algorithms: Vec<(&'static str, Factory)> = vec![
+        ("PostMHL", |g| {
+            Box::new(PostMhl::build(g, PostMhlConfig::default()))
+        }),
+        ("PMHL", |g| {
+            Box::new(Pmhl::build(
+                g,
+                PmhlConfig {
+                    num_partitions: 8,
+                    num_threads: 4,
+                    seed: 1,
+                },
+            ))
+        }),
+    ];
+
+    let mut algo_rows = Vec::new();
+    let mut summary_rows = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    for (name, build) in &algorithms {
+        let mut grid_runs: Vec<GridRun> = Vec::new();
+        for &side in &sides {
+            let mut working = grid_with_diagonals(side, side, WeightRange::new(1, 100), 0.1, 42);
+            eprintln!(
+                "bench-pr3: {name}: building on {side}x{side} (|V| = {})...",
+                working.num_vertices()
+            );
+            let mut maintainer = build(&working);
+            let mut salt = 7u64;
+            // Warm round: the first batch after construction repairs
+            // build-time artifacts; measured rounds then see steady state.
+            let _ = run_round(
+                maintainer.as_mut(),
+                &mut working,
+                &mut salt,
+                *volumes.first().expect("volumes non-empty"),
+                false,
+            );
+            let mut rounds = Vec::new();
+            for &volume in &volumes {
+                for pinned in [false, true] {
+                    for _ in 0..reps {
+                        let r =
+                            run_round(maintainer.as_mut(), &mut working, &mut salt, volume, pinned);
+                        eprintln!(
+                            "bench-pr3:   {side:>2}x{side:<2} |U| = {volume:<4} {:<8} t_u = {:>8.2} ms, cloned {:>5} chunks / {:>10} bytes",
+                            if pinned { "pinned" } else { "unpinned" },
+                            r.total_ms,
+                            r.chunks_cloned,
+                            r.bytes_cloned,
+                        );
+                        rounds.push(r);
+                    }
+                }
+            }
+            grid_runs.push(GridRun {
+                side,
+                vertices: working.num_vertices(),
+                index_bytes: maintainer.index_size_bytes(),
+                rounds,
+            });
+        }
+
+        // Headline checks. (1) Within the largest grid, pinned cloned bytes
+        // must grow with |U|. (2) At fixed |U|, cloned bytes must grow
+        // strictly slower than the index between the smallest and largest
+        // grid — the old whole-component `Arc::make_mut` clone grew exactly
+        // as fast. The asserted flatness probe is the smallest |U| (larger
+        // change sets re-enter chunk-size rounding as they dirty a larger
+        // share of the chunks).
+        let largest = grid_runs.last().expect("at least one grid");
+        let smallest = grid_runs.first().expect("at least one grid");
+        let smallest_volume = *volumes.first().expect("volumes non-empty");
+        // Mean pinned cloned bytes for one (grid, |U|) configuration.
+        let pinned_at = |run: &GridRun, volume: usize| -> f64 {
+            let picked: Vec<u64> = run
+                .rounds
+                .iter()
+                .filter(|r| r.pinned && r.update_volume == volume)
+                .map(|r| r.bytes_cloned)
+                .collect();
+            picked.iter().sum::<u64>() as f64 / picked.len().max(1) as f64
+        };
+        let pinned_by_volume: Vec<(usize, f64)> = volumes
+            .iter()
+            .map(|&v| (v, pinned_at(largest, v)))
+            .collect();
+        let grows_with_changes = pinned_by_volume.windows(2).all(|w| w[1].1 >= w[0].1);
+        if !grows_with_changes {
+            failures.push(format!(
+                "{name}: pinned cloned bytes not monotone in |U| on the largest grid: {pinned_by_volume:?}"
+            ));
+        }
+        let index_growth = largest.index_bytes as f64 / smallest.index_bytes.max(1) as f64;
+        let mut per_volume_growth = Vec::new();
+        for &volume in &volumes {
+            let clone_growth = pinned_at(largest, volume) / pinned_at(smallest, volume).max(1.0);
+            eprintln!(
+                "bench-pr3: {name}: |U| = {volume} pinned: index {index_growth:.2}x larger -> \
+                 clones {clone_growth:.2}x larger"
+            );
+            if !smoke && volume == smallest_volume && clone_growth >= index_growth {
+                failures.push(format!(
+                    "{name}: at |U| = {volume}, cloned bytes grew {clone_growth:.2}x between \
+                     grids while the index grew {index_growth:.2}x — clone cost still scales \
+                     with index size"
+                ));
+            }
+            per_volume_growth.push(Json::Obj(vec![
+                ("update_volume", Json::Int(volume as u64)),
+                ("cloned_bytes_growth", Json::Num(clone_growth)),
+                (
+                    "flat_vs_index",
+                    Json::Str((clone_growth < index_growth).to_string()),
+                ),
+            ]));
+        }
+        summary_rows.push(Json::Obj(vec![
+            ("algorithm", Json::Str(name.to_string())),
+            ("index_bytes_growth", Json::Num(index_growth)),
+            (
+                "cloned_bytes_growth_by_volume",
+                Json::Arr(per_volume_growth),
+            ),
+            (
+                "cloned_bytes_grow_with_change_set",
+                Json::Str(grows_with_changes.to_string()),
+            ),
+        ]));
+
+        algo_rows.push(Json::Obj(vec![
+            ("algorithm", Json::Str(name.to_string())),
+            (
+                "grids",
+                Json::Arr(
+                    grid_runs
+                        .iter()
+                        .map(|g| {
+                            Json::Obj(vec![
+                                ("side", Json::Int(g.side as u64)),
+                                ("vertices", Json::Int(g.vertices as u64)),
+                                ("index_bytes", Json::Int(g.index_bytes as u64)),
+                                (
+                                    "rounds",
+                                    Json::Arr(g.rounds.iter().map(round_json).collect()),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]));
+    }
+
+    let doc = Json::Obj(vec![
+        ("bench", Json::Str("pr3".to_string())),
+        (
+            "description",
+            Json::Str(
+                "Per-stage update latency and chunked-COW clone telemetry (chunks/bytes cloned) \
+                 vs change-set size and index size, with (pinned) and without (unpinned) a \
+                 harness-held snapshot outstanding across the repair"
+                    .to_string(),
+            ),
+        ),
+        (
+            "sweep",
+            Json::Obj(vec![
+                (
+                    "grid_sides",
+                    Json::Arr(sides.iter().map(|&s| Json::Int(s as u64)).collect()),
+                ),
+                (
+                    "update_volumes",
+                    Json::Arr(volumes.iter().map(|&v| Json::Int(v as u64)).collect()),
+                ),
+                (
+                    "workload",
+                    Json::Str(
+                        "traffic drift: +1 weight increase on |U| distinct edges (decreases, \
+                         like the paper's halve/double protocol, open new shorter routes and \
+                         saturate the affected label set at laptop-scale grids, which makes \
+                         every chunk legitimately dirty and hides the storage-layer effect \
+                         being measured)"
+                            .to_string(),
+                    ),
+                ),
+                (
+                    "pinned",
+                    Json::Str("harness holds a final-stage view across apply_batch".to_string()),
+                ),
+                (
+                    "unpinned",
+                    Json::Str("only the publisher's transient staged views are alive".to_string()),
+                ),
+            ]),
+        ),
+        ("algorithms", Json::Arr(algo_rows)),
+        ("summary", Json::Arr(summary_rows)),
+    ]);
+
+    std::fs::write(&out_path, doc.to_string_pretty()).expect("write BENCH_pr3.json");
+    eprintln!("bench-pr3: wrote {out_path}");
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("bench-pr3: WARNING: {f}");
+        }
+        if !smoke {
+            std::process::exit(1);
+        }
+    }
+}

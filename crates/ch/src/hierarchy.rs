@@ -1,8 +1,10 @@
 //! CH construction: vertex contraction and the upward shortcut graph.
 
 use crate::ordering::{mde_order, OrderingStrategy, VertexOrder};
+use htsp_graph::cow::{CowStats, CowTable, DEFAULT_CHUNK};
 use htsp_graph::{Dist, Graph, VertexId, Weight, INF};
 use rustc_hash::FxHashMap;
+use std::sync::Arc;
 
 /// Controls which shortcuts are materialized during contraction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -26,14 +28,23 @@ pub enum ShortcutMode {
 /// With [`ShortcutMode::AllPairs`] the upward neighbor set of `v` is exactly
 /// the tree-decomposition neighbor set `X(v).N` of the paper, and the shortcut
 /// weights are the `X(v).sc` array (Fig. 8).
+///
+/// Only the shortcut *weights* ever change after construction (weight-only
+/// update batches preserve the arc topology), so the mutable `up` table uses
+/// chunked copy-on-write storage while the order and the downward adjacency
+/// are plain shared `Arc`s: cloning a hierarchy — which every snapshot
+/// publication does transitively — costs chunk-pointer copies, and a repair
+/// that rewrites `k` shortcut arrays clones `O(k / chunk)` chunks rather than
+/// the whole table.
 #[derive(Clone, Debug)]
 pub struct ContractionHierarchy {
-    order: VertexOrder,
+    order: Arc<VertexOrder>,
     /// `up[v]` = (higher-ranked neighbor, shortcut weight), sorted by rank
-    /// ascending.
-    up: Vec<Vec<(VertexId, Weight)>>,
+    /// ascending. Chunk-granular copy-on-write (the only mutable component).
+    up: CowTable<(VertexId, Weight)>,
     /// `down[v]` = vertices that list `v` among their upward neighbors.
-    down: Vec<Vec<VertexId>>,
+    /// Immutable after construction.
+    down: Arc<Vec<Vec<VertexId>>>,
     mode: ShortcutMode,
     /// Number of shortcuts that do not correspond to an original edge.
     extra_shortcuts: usize,
@@ -130,9 +141,9 @@ impl ContractionHierarchy {
         }
         let _ = original_edges;
         ContractionHierarchy {
-            order,
-            up,
-            down,
+            order: Arc::new(order),
+            up: CowTable::from_rows(up, DEFAULT_CHUNK),
+            down: Arc::new(down),
             mode,
             extra_shortcuts,
         }
@@ -141,6 +152,12 @@ impl ContractionHierarchy {
     /// The contraction order.
     pub fn order(&self) -> &VertexOrder {
         &self.order
+    }
+
+    /// Cumulative copy-on-write clone effort of the shortcut arrays (shared
+    /// across all clones of this hierarchy's lineage).
+    pub fn cow_stats(&self) -> CowStats {
+        self.up.stats()
     }
 
     /// The shortcut mode used at construction time.
@@ -158,7 +175,7 @@ impl ContractionHierarchy {
     /// tree decomposition when built with [`ShortcutMode::AllPairs`].
     #[inline]
     pub fn up_arcs(&self, v: VertexId) -> &[(VertexId, Weight)] {
-        &self.up[v.index()]
+        self.up.row(v.index())
     }
 
     /// Vertices whose upward arcs include `v` (the "supporters" used by the
@@ -176,14 +193,15 @@ impl ContractionHierarchy {
             .map(|&(_, w)| w)
     }
 
-    /// Mutable access used by the dynamic-update module.
+    /// Mutable access used by the dynamic-update module (chunk-granular
+    /// copy-on-write: clones `v`'s chunk if a snapshot still shares it).
     pub(crate) fn up_arcs_mut(&mut self, v: VertexId) -> &mut Vec<(VertexId, Weight)> {
-        &mut self.up[v.index()]
+        self.up.make_mut(v.index())
     }
 
     /// Total number of upward arcs (original edges + shortcuts).
     pub fn num_arcs(&self) -> usize {
-        self.up.iter().map(|a| a.len()).sum()
+        self.up.num_entries()
     }
 
     /// Number of shortcut arcs that are not original edges (approximate for

@@ -14,6 +14,7 @@
 //! lever behind the thread-scaling experiment (Fig. 15).
 
 use htsp_ch::{ContractionHierarchy, ShortcutChange};
+use htsp_graph::cow::{CowStats, CowVec};
 use htsp_graph::{
     Dist, FallbackSession, Graph, IndexMaintainer, QuerySession, QueryView, ScratchGuard,
     ScratchPool, SnapshotPublisher, UpdateBatch, UpdateTimeline, VertexId, INF,
@@ -104,13 +105,13 @@ enum StageParts {
         bidij: Arc<ScratchPool<BiDijkstra>>,
     },
     Pch {
-        partition_indexes: Arc<Vec<PartitionIndex>>,
+        partition_indexes: CowVec<PartitionIndex>,
         overlay: Arc<OverlayGraph>,
         overlay_index: Arc<H2HIndex>,
         pch: Arc<ScratchPool<PchSearcher>>,
     },
     NoBoundary {
-        partition_indexes: Arc<Vec<PartitionIndex>>,
+        partition_indexes: CowVec<PartitionIndex>,
         overlay: Arc<OverlayGraph>,
         overlay_index: Arc<H2HIndex>,
     },
@@ -339,7 +340,7 @@ impl QueryView for PmhlView {
 /// [`PchSearcher`] for its lifetime.
 struct PmhlPchSession<'a> {
     partitioned: &'a Partitioned,
-    partition_indexes: &'a [PartitionIndex],
+    partition_indexes: &'a CowVec<PartitionIndex>,
     overlay: &'a OverlayGraph,
     overlay_h: &'a ContractionHierarchy,
     scratch: ScratchGuard<'a, PchSearcher>,
@@ -426,7 +427,11 @@ impl QuerySession for PmhlLabelSession<'_> {
 pub struct Pmhl {
     config: PmhlConfig,
     partitioned: Arc<Partitioned>,
-    partition_indexes: Arc<Vec<PartitionIndex>>,
+    /// One chunk per partition: snapshots share untouched partitions, and a
+    /// maintenance round clones only the partitions its batch actually
+    /// routes updates into (each clone itself shallow — the partition's
+    /// label/shortcut tables are chunked copy-on-write inside `H2HIndex`).
+    partition_indexes: CowVec<PartitionIndex>,
     overlay: Arc<OverlayGraph>,
     overlay_index: Arc<H2HIndex>,
     post: Arc<PostBoundaryIndexes>,
@@ -460,7 +465,7 @@ impl Pmhl {
         Pmhl {
             config,
             partitioned: Arc::new(partitioned),
-            partition_indexes: Arc::new(partition_indexes),
+            partition_indexes: CowVec::from_vec(partition_indexes, 1),
             overlay: Arc::new(overlay),
             overlay_index: Arc::new(overlay_index),
             post: Arc::new(post),
@@ -486,19 +491,36 @@ impl Pmhl {
         &self.partitioned
     }
 
+    /// Cumulative copy-on-write clone effort across every mutable component
+    /// (partition indexes and their tables, overlay labels, post-boundary
+    /// partitions, cross-boundary labels). Per-stage deltas of this figure
+    /// are published with every snapshot.
+    pub fn cow_stats(&self) -> CowStats {
+        let per_partition = self
+            .partition_indexes
+            .iter()
+            .fold(self.partition_indexes.stats(), |acc, p| {
+                acc.plus(p.cow_stats())
+            });
+        per_partition
+            .plus(self.overlay_index.cow_stats())
+            .plus(self.post.cow_stats())
+            .plus(self.cross.cow_stats())
+    }
+
     fn view_with(&self, stage: PmhlStage) -> Arc<dyn QueryView> {
         let parts = match stage {
             PmhlStage::BiDijkstra => StageParts::BiDijkstra {
                 bidij: Arc::clone(&self.bidij),
             },
             PmhlStage::Pch => StageParts::Pch {
-                partition_indexes: Arc::clone(&self.partition_indexes),
+                partition_indexes: self.partition_indexes.clone(),
                 overlay: Arc::clone(&self.overlay),
                 overlay_index: Arc::clone(&self.overlay_index),
                 pch: Arc::clone(&self.pch),
             },
             PmhlStage::NoBoundary => StageParts::NoBoundary {
-                partition_indexes: Arc::clone(&self.partition_indexes),
+                partition_indexes: self.partition_indexes.clone(),
                 overlay: Arc::clone(&self.overlay),
                 overlay_index: Arc::clone(&self.overlay_index),
             },
@@ -537,30 +559,38 @@ impl IndexMaintainer for Pmhl {
     ) -> UpdateTimeline {
         let threads = self.config.num_threads.max(1);
         let mut timeline = UpdateTimeline::default();
+        // Per-stage clone telemetry: every publication carries the chunks /
+        // bytes this stage actually copy-on-wrote.
+        let mut cow_mark = self.cow_stats();
+        let mut publish = |this: &Pmhl, stage: PmhlStage, publisher: &SnapshotPublisher| {
+            let now = this.cow_stats();
+            publisher.publish_with_cow(this.view_with(stage), now.since(cow_mark));
+            cow_mark = now;
+        };
 
         // U-Stage 1: on-spot edge update of the global graph and the
         // per-partition copies.
         let t0 = Instant::now();
         let routed = Arc::make_mut(&mut self.partitioned).apply_batch(batch);
         self.stage = PmhlStage::BiDijkstra;
-        publisher.publish(self.view_with(PmhlStage::BiDijkstra));
+        publish(self, PmhlStage::BiDijkstra, publisher);
         timeline.push("U1: on-spot edge update", t0.elapsed());
 
         // U-Stage 2: no-boundary shortcut update — each affected partition on
-        // its own thread, then the overlay shortcut arrays.
+        // its own thread, then the overlay shortcut arrays. Only the affected
+        // partitions are cloned out from under the outstanding snapshots
+        // (`make_mut_where`, one chunk per partition); the rest stay shared.
         let t1 = Instant::now();
         let per_part: Mutex<Vec<(usize, Vec<ShortcutChange>)>> = Mutex::new(Vec::new());
         {
-            let partition_indexes = Arc::make_mut(&mut self.partition_indexes);
-            let partitioned = &*self.partitioned;
+            let partitioned = Arc::clone(&self.partitioned);
             let routed_ref = &routed;
             let per_part_ref = &per_part;
-            let mut jobs: Vec<(usize, &mut PartitionIndex)> = partition_indexes
-                .iter_mut()
-                .enumerate()
-                .filter(|(i, _)| !routed_ref.intra[*i].is_empty())
-                .collect();
+            let mut jobs: Vec<(usize, &mut PartitionIndex)> = self
+                .partition_indexes
+                .make_mut_where(|i| !routed_ref.intra[i].is_empty());
             let chunk = jobs.len().div_ceil(threads).max(1);
+            let partitioned = &partitioned;
             std::thread::scope(|scope| {
                 for chunk_jobs in jobs.chunks_mut(chunk) {
                     scope.spawn(move || {
@@ -586,14 +616,14 @@ impl IndexMaintainer for Pmhl {
         let overlay_sc_changes = Arc::make_mut(&mut self.overlay_index)
             .update_shortcuts(&self.overlay.graph, overlay_batch.as_slice());
         self.stage = PmhlStage::Pch;
-        publisher.publish(self.view_with(PmhlStage::Pch));
+        publish(self, PmhlStage::Pch, publisher);
         timeline.push("U2: no-boundary shortcut update", t1.elapsed());
 
         // U-Stage 3: no-boundary label update — partitions in parallel, then
-        // the overlay labels.
+        // the overlay labels. Again only partitions with shortcut changes are
+        // cloned (the U2 snapshot re-shared every chunk it pinned).
         let t2 = Instant::now();
         {
-            let partition_indexes = Arc::make_mut(&mut self.partition_indexes);
             let mut changed_by_partition: rustc_hash::FxHashMap<usize, Vec<VertexId>> =
                 rustc_hash::FxHashMap::default();
             for (i, changes) in &per_part {
@@ -602,9 +632,10 @@ impl IndexMaintainer for Pmhl {
                     changed_by_partition.insert(*i, changed);
                 }
             }
-            let mut jobs: Vec<(&mut PartitionIndex, Vec<VertexId>)> = partition_indexes
-                .iter_mut()
-                .enumerate()
+            let mut jobs: Vec<(&mut PartitionIndex, Vec<VertexId>)> = self
+                .partition_indexes
+                .make_mut_where(|i| changed_by_partition.contains_key(&i))
+                .into_iter()
                 .filter_map(|(i, idx)| changed_by_partition.remove(&i).map(|c| (idx, c)))
                 .collect();
             let chunk = jobs.len().div_ceil(threads).max(1);
@@ -622,7 +653,7 @@ impl IndexMaintainer for Pmhl {
         let (overlay_label_changed, _) =
             Arc::make_mut(&mut self.overlay_index).update_labels_for(&overlay_changed_sc);
         self.stage = PmhlStage::NoBoundary;
-        publisher.publish(self.view_with(PmhlStage::NoBoundary));
+        publish(self, PmhlStage::NoBoundary, publisher);
         timeline.push("U3: no-boundary label update", t2.elapsed());
 
         // U-Stage 4: post-boundary index update.
@@ -634,7 +665,7 @@ impl IndexMaintainer for Pmhl {
             &routed.intra,
         );
         self.stage = PmhlStage::PostBoundary;
-        publisher.publish(self.view_with(PmhlStage::PostBoundary));
+        publish(self, PmhlStage::PostBoundary, publisher);
         timeline.push("U4: post-boundary index update", t3.elapsed());
 
         // U-Stage 5: cross-boundary index update.
@@ -648,7 +679,7 @@ impl IndexMaintainer for Pmhl {
             &post_changed,
         );
         self.stage = PmhlStage::CrossBoundary;
-        publisher.publish(self.view_with(PmhlStage::CrossBoundary));
+        publish(self, PmhlStage::CrossBoundary, publisher);
         timeline.push("U5: cross-boundary index update", t4.elapsed());
         timeline
     }

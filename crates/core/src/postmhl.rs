@@ -20,6 +20,7 @@
 //! BiDijkstra → PCH → post-boundary → cross-boundary (plain H2H query).
 
 use htsp_ch::{ChQuery, ChQuerySession};
+use htsp_graph::cow::{CowStats, CowTable, DEFAULT_CHUNK};
 use htsp_graph::{
     Dist, FallbackSession, Graph, IndexMaintainer, QuerySession, QueryView, ScratchPool,
     SnapshotPublisher, UpdateBatch, UpdateTimeline, VertexId, INF,
@@ -85,7 +86,7 @@ impl PostMhlStage {
 
 /// Full H2H distance query over the global labels (the cross-boundary /
 /// final stage; identical machinery to DH2H, per Remark 2).
-fn h2h_distance(td: &TreeDecomposition, dis: &[Vec<Dist>], s: VertexId, t: VertexId) -> Dist {
+fn h2h_distance(td: &TreeDecomposition, dis: &CowTable<Dist>, s: VertexId, t: VertexId) -> Dist {
     if s == t {
         return Dist::ZERO;
     }
@@ -94,13 +95,13 @@ fn h2h_distance(td: &TreeDecomposition, dis: &[Vec<Dist>], s: VertexId, t: Verte
         None => return INF,
     };
     if x == s {
-        return dis[t.index()][td.depth(s) as usize];
+        return dis.row(t.index())[td.depth(s) as usize];
     }
     if x == t {
-        return dis[s.index()][td.depth(t) as usize];
+        return dis.row(s.index())[td.depth(t) as usize];
     }
-    let ds = &dis[s.index()];
-    let dt = &dis[t.index()];
+    let ds = dis.row(s.index());
+    let dt = dis.row(t.index());
     let mut best = INF;
     let xd = td.depth(x) as usize;
     let cand = ds[xd].saturating_add(dt[xd]);
@@ -122,8 +123,8 @@ fn h2h_distance(td: &TreeDecomposition, dis: &[Vec<Dist>], s: VertexId, t: Verte
 /// arrays through the overlay.
 fn post_boundary_distance(
     td: &TreeDecomposition,
-    dis: &[Vec<Dist>],
-    disb: &[Vec<Dist>],
+    dis: &CowTable<Dist>,
+    disb: &CowTable<Dist>,
     tdp: &TdPartition,
     s: VertexId,
     t: VertexId,
@@ -138,7 +139,7 @@ fn post_boundary_distance(
             let mut best = INF;
             // Route through any boundary vertex of the shared partition
             // (the disB rows are ordered like `tdp.boundary(pi)`).
-            for (ds, dt) in disb[s.index()].iter().zip(&disb[t.index()]) {
+            for (ds, dt) in disb.row(s.index()).iter().zip(disb.row(t.index())) {
                 let cand = ds.saturating_add(*dt);
                 if cand < best {
                     best = cand;
@@ -150,7 +151,7 @@ fn post_boundary_distance(
             if let Some(x) = td.lca(s, t) {
                 if tdp.partition_of(x) == Some(pi) {
                     let xd = td.depth(x) as usize;
-                    let cand = dis[s.index()][xd].saturating_add(dis[t.index()][xd]);
+                    let cand = dis.row(s.index())[xd].saturating_add(dis.row(t.index())[xd]);
                     if cand < best {
                         best = cand;
                     }
@@ -159,7 +160,7 @@ fn post_boundary_distance(
                             continue;
                         }
                         let i = td.depth(u) as usize;
-                        let cand = dis[s.index()][i].saturating_add(dis[t.index()][i]);
+                        let cand = dis.row(s.index())[i].saturating_add(dis.row(t.index())[i]);
                         if cand < best {
                             best = cand;
                         }
@@ -178,7 +179,7 @@ fn post_boundary_distance(
                         .boundary(pi)
                         .iter()
                         .enumerate()
-                        .map(|(j, &b)| (b, disb[v.index()][j]))
+                        .map(|(j, &b)| (b, disb.row(v.index())[j]))
                         .collect(),
                 }
             };
@@ -233,13 +234,13 @@ enum StageParts {
     },
     PostBoundary {
         td: Arc<TreeDecomposition>,
-        dis: Arc<Vec<Vec<Dist>>>,
-        disb: Arc<Vec<Vec<Dist>>>,
+        dis: CowTable<Dist>,
+        disb: CowTable<Dist>,
         tdp: Arc<TdPartition>,
     },
     CrossBoundary {
         td: Arc<TreeDecomposition>,
-        dis: Arc<Vec<Vec<Dist>>>,
+        dis: CowTable<Dist>,
     },
 }
 
@@ -293,13 +294,11 @@ impl QueryView for PostMhlView {
             StageParts::BiDijkstra { .. } => 0,
             StageParts::Pch { td, .. } => td.hierarchy().index_size_bytes(),
             StageParts::PostBoundary { td, dis, disb, .. } => {
-                let labels: usize = dis.iter().map(|d| d.len()).sum::<usize>()
-                    + disb.iter().map(|d| d.len()).sum::<usize>();
+                let labels = dis.num_entries() + disb.num_entries();
                 labels * std::mem::size_of::<Dist>() + td.hierarchy().index_size_bytes()
             }
             StageParts::CrossBoundary { td, dis } => {
-                let labels: usize = dis.iter().map(|d| d.len()).sum::<usize>();
-                labels * std::mem::size_of::<Dist>() + td.hierarchy().index_size_bytes()
+                dis.num_entries() * std::mem::size_of::<Dist>() + td.hierarchy().index_size_bytes()
             }
         }
     }
@@ -310,14 +309,18 @@ pub struct PostMhl {
     config: PostMhlConfig,
     /// Own copy of the graph (kept in sync with update batches).
     graph: Arc<Graph>,
-    /// The global MDE tree decomposition (shared shortcut arrays).
+    /// The global MDE tree decomposition (shared shortcut arrays; the
+    /// mutable arc weights are chunked copy-on-write inside the hierarchy).
     td: Arc<TreeDecomposition>,
-    /// Full distance arrays (`X(v).dis`), indexed by vertex then ancestor depth.
-    dis: Arc<Vec<Vec<Dist>>>,
+    /// Full distance arrays (`X(v).dis`), indexed by vertex then ancestor
+    /// depth. Chunk-granular copy-on-write: publishing a snapshot copies the
+    /// chunk spine; a stage that repairs `k` rows clones `O(k / chunk)`
+    /// chunks, not the table.
+    dis: CowTable<Dist>,
     /// Boundary arrays (`X(v).disB`): for in-partition vertices only, the
     /// global distance to each boundary vertex of its partition (in the order
-    /// of [`TdPartition::boundary`]).
-    disb: Arc<Vec<Vec<Dist>>>,
+    /// of [`TdPartition::boundary`]). Chunked copy-on-write like `dis`.
+    disb: CowTable<Dist>,
     /// The TD-partitioning result.
     tdp: Arc<TdPartition>,
     bidij: Arc<ScratchPool<BiDijkstra>>,
@@ -341,7 +344,7 @@ impl PostMhl {
             for &v in tdp.vertices(pi) {
                 disb[v.index()] = boundary
                     .iter()
-                    .map(|&b| dis[v.index()][td.depth(b) as usize])
+                    .map(|&b| dis.row(v.index())[td.depth(b) as usize])
                     .collect();
             }
         }
@@ -351,11 +354,21 @@ impl PostMhl {
             bidij: Arc::new(ScratchPool::new(move || BiDijkstra::new(n))),
             ch: Arc::new(ScratchPool::new(move || ChQuery::new(n))),
             td: Arc::new(td),
-            dis: Arc::new(dis),
-            disb: Arc::new(disb),
+            dis,
+            disb: CowTable::from_rows(disb, DEFAULT_CHUNK),
             tdp: Arc::new(tdp),
             stage: PostMhlStage::CrossBoundary,
         }
+    }
+
+    /// Cumulative copy-on-write clone effort across the index's mutable
+    /// components (distance tables, boundary arrays, shortcut arrays).
+    /// Per-stage deltas of this figure are published with every snapshot.
+    pub fn cow_stats(&self) -> CowStats {
+        self.dis
+            .stats()
+            .plus(self.disb.stats())
+            .plus(self.td.cow_stats())
     }
 
     /// The currently available query stage.
@@ -389,13 +402,13 @@ impl PostMhl {
             },
             PostMhlStage::PostBoundary => StageParts::PostBoundary {
                 td: Arc::clone(&self.td),
-                dis: Arc::clone(&self.dis),
-                disb: Arc::clone(&self.disb),
+                dis: self.dis.clone(),
+                disb: self.disb.clone(),
                 tdp: Arc::clone(&self.tdp),
             },
             PostMhlStage::CrossBoundary => StageParts::CrossBoundary {
                 td: Arc::clone(&self.td),
-                dis: Arc::clone(&self.dis),
+                dis: self.dis.clone(),
             },
         };
         Arc::new(PostMhlView {
@@ -422,9 +435,8 @@ impl PostMhl {
         let mut anc_or_self_changed = vec![false; n];
         let topdown: Vec<VertexId> = self.td.topdown_order().to_vec();
         let mut path_cache: Vec<VertexId> = Vec::new();
-        let td = &self.td;
-        let tdp = &self.tdp;
-        let dis = Arc::make_mut(&mut self.dis);
+        let td = Arc::clone(&self.td);
+        let tdp = Arc::clone(&self.tdp);
         for v in topdown {
             if tdp.partition_of(v).is_some() {
                 continue; // partition subtrees are handled in U-Stages 4-5
@@ -438,9 +450,10 @@ impl PostMhl {
             if need {
                 path_cache.clear();
                 path_cache.extend(td.ancestors(v));
-                let new_label = compute_full_label(td, dis, v, &path_cache);
-                if new_label != dis[v.index()] {
-                    dis[v.index()] = new_label;
+                let new_label = compute_full_label(&td, &self.dis, v, &path_cache);
+                if new_label[..] != *self.dis.row(v.index()) {
+                    // Chunk-granular write: clones at most v's chunk.
+                    *self.dis.make_mut(v.index()) = new_label;
                     self_changed = true;
                 }
             }
@@ -454,7 +467,7 @@ impl PostMhl {
 /// its ancestors (identical to the H2H minimum-distance recurrence).
 fn compute_full_label(
     td: &TreeDecomposition,
-    dis: &[Vec<Dist>],
+    dis: &CowTable<Dist>,
     v: VertexId,
     path: &[VertexId],
 ) -> Vec<Dist> {
@@ -468,9 +481,9 @@ fn compute_full_label(
             let rest = if du == d {
                 Dist::ZERO
             } else if d < du {
-                dis[u.index()][d]
+                dis.row(u.index())[d]
             } else {
-                dis[a.index()][du]
+                dis.row(a.index())[du]
             };
             let cand = rest.saturating_add_weight(w);
             if cand < best {
@@ -513,21 +526,33 @@ impl IndexMaintainer for PostMhl {
     ) -> UpdateTimeline {
         let threads = self.config.num_threads.max(1);
         let mut timeline = UpdateTimeline::default();
+        // Per-stage clone telemetry: every publication carries the chunks /
+        // bytes the stage actually copy-on-wrote (the `since` delta of the
+        // shared component counters).
+        let mut cow_mark = self.cow_stats();
+        let mut publish = |this: &PostMhl, stage: PostMhlStage, publisher: &SnapshotPublisher| {
+            let now = this.cow_stats();
+            publisher.publish_with_cow(this.view_with(stage), now.since(cow_mark));
+            cow_mark = now;
+        };
 
         // U-Stage 1: on-spot edge update of the internal graph copy.
         let t0 = Instant::now();
         Arc::make_mut(&mut self.graph).apply_batch(batch);
         self.stage = PostMhlStage::BiDijkstra;
-        publisher.publish(self.view_with(PostMhlStage::BiDijkstra));
+        publish(self, PostMhlStage::BiDijkstra, publisher);
         timeline.push("U1: on-spot edge update", t0.elapsed());
 
-        // U-Stage 2: shortcut-array update (shared by every component).
+        // U-Stage 2: shortcut-array update (shared by every component). The
+        // decomposition's tree shape is behind a shared `Arc` and the arc
+        // weights are chunked COW, so this `make_mut` is a spine copy, not a
+        // deep clone of the decomposition.
         let t1 = Instant::now();
         let changes = Arc::make_mut(&mut self.td)
             .hierarchy_mut()
             .apply_batch(&self.graph, batch.as_slice());
         self.stage = PostMhlStage::Pch;
-        publisher.publish(self.view_with(PostMhlStage::Pch));
+        publish(self, PostMhlStage::Pch, publisher);
         timeline.push("U2: shortcut array update", t1.elapsed());
 
         let n = self.td.num_vertices();
@@ -580,21 +605,26 @@ impl IndexMaintainer for PostMhl {
             });
         }
         {
-            let td = &self.td;
-            let tdp = &self.tdp;
-            let dis = Arc::make_mut(&mut self.dis);
-            let disb = Arc::make_mut(&mut self.disb);
+            let td = Arc::clone(&self.td);
+            let tdp = Arc::clone(&self.tdp);
             for res in post_results.into_inner().unwrap() {
                 let root_depth = td.depth(tdp.roots()[res.partition]) as usize;
                 for (v, new_disb, new_seg) in res.rows {
-                    disb[v.index()] = new_disb;
-                    let row = &mut dis[v.index()];
-                    row[root_depth..].copy_from_slice(&new_seg);
+                    // Write only rows whose values actually moved, so the
+                    // copy-on-write clone volume tracks the *changed* label
+                    // set, not the recomputed one.
+                    if *self.disb.row(v.index()) != new_disb[..] {
+                        *self.disb.make_mut(v.index()) = new_disb;
+                    }
+                    if self.dis.row(v.index())[root_depth..] != new_seg[..] {
+                        let row = self.dis.make_mut(v.index());
+                        row[root_depth..].copy_from_slice(&new_seg);
+                    }
                 }
             }
         }
         self.stage = PostMhlStage::PostBoundary;
-        publisher.publish(self.view_with(PostMhlStage::PostBoundary));
+        publish(self, PostMhlStage::PostBoundary, publisher);
         timeline.push("U4: post-boundary index update", t3.elapsed());
 
         // U-Stage 5: cross-boundary update (overlay-ancestor label entries),
@@ -616,17 +646,17 @@ impl IndexMaintainer for PostMhl {
                 }
             });
         }
-        {
-            let dis = Arc::make_mut(&mut self.dis);
-            for res in cross_results.into_inner().unwrap() {
-                for (v, new_seg) in res.rows {
-                    let row = &mut dis[v.index()];
+        for res in cross_results.into_inner().unwrap() {
+            for (v, new_seg) in res.rows {
+                // Same changed-rows-only policy as the post-boundary merge.
+                if self.dis.row(v.index())[..new_seg.len()] != new_seg[..] {
+                    let row = self.dis.make_mut(v.index());
                     row[..new_seg.len()].copy_from_slice(&new_seg);
                 }
             }
         }
         self.stage = PostMhlStage::CrossBoundary;
-        publisher.publish(self.view_with(PostMhlStage::CrossBoundary));
+        publish(self, PostMhlStage::CrossBoundary, publisher);
         timeline.push("U5: cross-boundary index update", t4.elapsed());
         timeline
     }
@@ -640,8 +670,7 @@ impl IndexMaintainer for PostMhl {
     }
 
     fn index_size_bytes(&self) -> usize {
-        let labels: usize = self.dis.iter().map(|d| d.len()).sum::<usize>()
-            + self.disb.iter().map(|d| d.len()).sum::<usize>();
+        let labels = self.dis.num_entries() + self.disb.num_entries();
         labels * std::mem::size_of::<Dist>() + self.td.hierarchy().index_size_bytes()
     }
 }
@@ -688,7 +717,7 @@ impl PostMhl {
                                 // In-partition ancestor: read its new disB row.
                                 match new_disb.get(&u.0) {
                                     Some(r) => r[j],
-                                    None => self.disb[u.index()][j],
+                                    None => self.disb.row(u.index())[j],
                                 }
                             } else {
                                 // Overlay ancestor outside B_i: go through the
@@ -718,7 +747,7 @@ impl PostMhl {
                         // ancestor `a` to that boundary vertex, via disB.
                         match new_disb.get(&a.0) {
                             Some(r) => r[k],
-                            None => self.disb[a.index()][k],
+                            None => self.disb.row(a.index())[k],
                         }
                     } else if self.tdp.partition_of(u) != Some(pi) {
                         self.overlay_distance(u, a)
@@ -728,13 +757,13 @@ impl PostMhl {
                         // `a` is an ancestor of `u`: u's in-partition entry.
                         match new_seg.get(&u.0) {
                             Some(r) => r[d - root_depth],
-                            None => self.dis[u.index()][d],
+                            None => self.dis.row(u.index())[d],
                         }
                     } else {
                         // `u` is an ancestor of `a`: a's in-partition entry.
                         match new_seg.get(&a.0) {
                             Some(r) => r[du - root_depth],
-                            None => self.dis[a.index()][du],
+                            None => self.dis.row(a.index())[du],
                         }
                     };
                     let cand = rest.saturating_add_weight(w);
@@ -775,14 +804,14 @@ impl PostMhl {
                         // In-partition neighbor: its (new) cross entry at depth d.
                         match new_prefix.get(&u.0) {
                             Some(r) => r[d],
-                            None => self.dis[u.index()][d],
+                            None => self.dis.row(u.index())[d],
                         }
                     } else if du == d {
                         Dist::ZERO
                     } else if d < du {
-                        self.dis[u.index()][d]
+                        self.dis.row(u.index())[d]
                     } else {
-                        self.dis[a.index()][du]
+                        self.dis.row(a.index())[du]
                     };
                     let cand = rest.saturating_add_weight(w);
                     if cand < best {

@@ -32,20 +32,21 @@
 //! it answers on via [`QueryView::graph`], and its answers are exact w.r.t.
 //! that snapshot (no staleness, no torn reads).
 //!
-//! Snapshot isolation is implemented by copy-on-write: maintainers keep
-//! their components in [`Arc`]s and mutate through [`Arc::make_mut`], so a
-//! published view keeps the pre-mutation data alive while the maintainer
-//! works on a private copy. When no snapshot is outstanding the mutation is
-//! in-place and free.
-//!
-//! **Measurement caveat:** because every stage *publishes* a snapshot, the
-//! next stage's `Arc::make_mut` usually does clone the component it
-//! mutates, and that clone runs inside the stage timer. Reported per-stage
-//! durations (and therefore `t_u` and the Lemma 1 bound) include this
-//! snapshot-isolation cost, which is O(component size) rather than
-//! O(change size). That is the honest price of staying servable during
-//! maintenance; shrinking it with per-row/per-partition `Arc` granularity
-//! is tracked as future work in ROADMAP.md.
+//! Snapshot isolation is implemented by *chunked* copy-on-write
+//! ([`crate::cow`]): the heavy maintainer state — label and distance
+//! tables, shortcut arrays, per-partition indexes — lives in
+//! [`CowVec`](crate::cow::CowVec) / [`CowTable`](crate::cow::CowTable)
+//! containers whose data sits in fixed-size chunks, each behind its own
+//! [`Arc`]. Publishing a view clones only the chunk-pointer spine; a stage
+//! that then repairs `k` rows clones the O(k / chunk_size) chunks those
+//! rows live in, not the whole component. The per-stage snapshot-isolation
+//! cost therefore tracks the **change set**, not the index size, and it is
+//! *measured*: every publication carries the [`CowStats`] delta (chunks and
+//! bytes actually cloned during the stage) in its [`PublishEvent`], which
+//! the `QueryEngine` in `htsp-throughput` aggregates into per-stage
+//! clone-telemetry tallies. When no snapshot is outstanding, chunk writes
+//! are in-place and free. (Small immutable component parts — tree shape,
+//! vertex orders — are plain `Arc`s; they never clone after build.)
 //!
 //! # Sessions and batch queries
 //!
@@ -90,15 +91,11 @@
 //! threads against the published snapshots to report *measured* QPS curves,
 //! in single-call and in session/batched mode.
 //!
-//! # The legacy trait
-//!
-//! [`DynamicSpIndex`] is the old single-object `&mut self` interface. It is
-//! kept as a deprecation shim: a blanket impl makes every
-//! [`IndexMaintainer`] usable through it, so pre-split call sites keep
-//! compiling. It is now `#[deprecated]` for real — only its own unit tests
-//! exercise it; the shim cannot serve queries concurrently with
-//! maintenance, cannot batch, and takes a fresh snapshot per call.
+//! (The legacy single-object `&mut self` trait `DynamicSpIndex`, deprecated
+//! since 0.2.0, has been removed: it serialized queries against maintenance
+//! and nothing in or out of tree used it beyond its own unit test.)
 
+use crate::cow::CowStats;
 use crate::graph::Graph;
 use crate::queries::Query;
 use crate::types::{Dist, VertexId};
@@ -283,7 +280,8 @@ pub struct SnapshotPublisher {
     log: Mutex<Vec<PublishEvent>>,
 }
 
-/// One publication: which stage became available and when.
+/// One publication: which stage became available, when, and what the stage's
+/// repair cost in snapshot-isolation clones.
 #[derive(Clone, Copy, Debug)]
 pub struct PublishEvent {
     /// When the snapshot was published.
@@ -292,6 +290,10 @@ pub struct PublishEvent {
     pub stage: usize,
     /// Publisher version right after this publication.
     pub version: u64,
+    /// Copy-on-write chunks/bytes the maintainer cloned while producing this
+    /// stage (zero when published via [`SnapshotPublisher::publish`], which
+    /// carries no telemetry).
+    pub cow: CowStats,
 }
 
 impl SnapshotPublisher {
@@ -312,6 +314,14 @@ impl SnapshotPublisher {
     /// produce log events whose `version` order disagrees with their `at`
     /// order (or with the log's own order).
     pub fn publish(&self, view: Arc<dyn QueryView>) {
+        self.publish_with_cow(view, CowStats::default());
+    }
+
+    /// Like [`SnapshotPublisher::publish`], but records the copy-on-write
+    /// clone effort (`cow`) the maintainer spent producing this stage — the
+    /// [`CowStats::since`] delta of its component counters — in the
+    /// publication log for the measurement harness.
+    pub fn publish_with_cow(&self, view: Arc<dyn QueryView>, cow: CowStats) {
         let stage = view.stage();
         let mut slot = self.slot.write().expect("publisher poisoned");
         *slot = view;
@@ -323,6 +333,7 @@ impl SnapshotPublisher {
                 at: Instant::now(),
                 stage,
                 version,
+                cow,
             });
     }
 
@@ -411,96 +422,6 @@ pub trait IndexMaintainer: Send {
     /// Approximate index size in bytes (0 for index-free algorithms).
     fn index_size_bytes(&self) -> usize {
         0
-    }
-}
-
-/// The legacy single-object index interface (pre read/write split).
-///
-/// **Deprecated** in favour of [`IndexMaintainer`] + [`QueryView`] /
-/// [`QuerySession`]: because `distance` takes `&mut self`, queries and
-/// maintenance can never overlap under this trait, so a system built on it
-/// can only *model* throughput, not serve it. A blanket impl keeps every
-/// [`IndexMaintainer`] usable through this trait so out-of-tree call sites
-/// compile (with a warning); each call takes a fresh snapshot, which costs
-/// a few `Arc` clones. No in-tree code uses the shim any more except its
-/// own unit test.
-#[deprecated(
-    since = "0.2.0",
-    note = "use IndexMaintainer + QueryView::session(); the shim serializes queries and maintenance"
-)]
-pub trait DynamicSpIndex {
-    /// Short algorithm name used in experiment tables (e.g. `"PostMHL"`).
-    fn name(&self) -> &'static str;
-
-    /// Repairs the index after `batch` has been applied to `graph`.
-    /// Returns the staged availability timeline.
-    fn apply_batch(&mut self, graph: &Graph, batch: &UpdateBatch) -> UpdateTimeline;
-
-    /// Number of query stages this index exposes (1 for single-stage indexes).
-    fn num_query_stages(&self) -> usize {
-        1
-    }
-
-    /// Answers `q(s, t)` with the fastest fully-updated machinery (the final
-    /// query stage).
-    fn distance(&mut self, graph: &Graph, s: VertexId, t: VertexId) -> Dist;
-
-    /// Answers `q(s, t)` using the machinery available at query stage `stage`
-    /// (0-based; stage `num_query_stages() - 1` equals [`Self::distance`]).
-    ///
-    /// Single-stage indexes ignore `stage`.
-    fn distance_at_stage(&mut self, graph: &Graph, stage: usize, s: VertexId, t: VertexId) -> Dist {
-        let _ = stage;
-        self.distance(graph, s, t)
-    }
-
-    /// Approximate index size in bytes (0 for index-free algorithms).
-    fn index_size_bytes(&self) -> usize {
-        0
-    }
-
-    /// Convenience: answers a [`Query`].
-    fn query(&mut self, graph: &Graph, q: &Query) -> Dist {
-        self.distance(graph, q.source, q.target)
-    }
-}
-
-/// Deprecation shim: every maintainer is usable through the legacy trait.
-///
-/// The `graph` arguments are ignored — the maintainer's own (identical)
-/// graph snapshot answers instead, which is what makes the legacy calls safe
-/// against torn reads.
-#[allow(deprecated)]
-impl<M: IndexMaintainer + ?Sized> DynamicSpIndex for M {
-    fn name(&self) -> &'static str {
-        IndexMaintainer::name(self)
-    }
-
-    fn apply_batch(&mut self, graph: &Graph, batch: &UpdateBatch) -> UpdateTimeline {
-        let publisher = SnapshotPublisher::new(self.current_view());
-        IndexMaintainer::apply_batch(self, graph, batch, &publisher)
-    }
-
-    fn num_query_stages(&self) -> usize {
-        IndexMaintainer::num_query_stages(self)
-    }
-
-    fn distance(&mut self, _graph: &Graph, s: VertexId, t: VertexId) -> Dist {
-        self.current_view().distance(s, t)
-    }
-
-    fn distance_at_stage(
-        &mut self,
-        _graph: &Graph,
-        stage: usize,
-        s: VertexId,
-        t: VertexId,
-    ) -> Dist {
-        self.view_at_stage(stage).distance(s, t)
-    }
-
-    fn index_size_bytes(&self) -> usize {
-        IndexMaintainer::index_size_bytes(self)
     }
 }
 
@@ -638,54 +559,31 @@ mod tests {
         }
     }
 
-    /// The deprecation shim's own coverage: the only place in the tree that
-    /// still drives an index through [`DynamicSpIndex`].
     #[test]
-    #[allow(deprecated)]
-    fn legacy_shim_still_answers_through_a_maintainer() {
-        struct FixedMaintainer {
-            graph: Graph,
-        }
-        impl IndexMaintainer for FixedMaintainer {
-            fn name(&self) -> &'static str {
-                "fixed"
-            }
-            fn apply_batch(
-                &mut self,
-                _graph: &Graph,
-                _batch: &UpdateBatch,
-                publisher: &SnapshotPublisher,
-            ) -> UpdateTimeline {
-                publisher.publish(self.current_view());
-                UpdateTimeline::single("noop", Duration::from_micros(1))
-            }
-            fn current_view(&self) -> Arc<dyn QueryView> {
-                Arc::new(Fixed {
-                    stage: 0,
-                    graph: self.graph.clone(),
-                })
-            }
-        }
-
-        let mut idx = FixedMaintainer {
+    fn publish_with_cow_lands_in_the_log() {
+        let publisher = SnapshotPublisher::new(Arc::new(Fixed {
+            stage: 0,
             graph: tiny_graph(),
-        };
-        let legacy: &mut dyn DynamicSpIndex = &mut idx;
-        assert_eq!(legacy.name(), "fixed");
-        assert_eq!(legacy.num_query_stages(), 1);
-        let g = tiny_graph();
-        assert_eq!(legacy.distance(&g, VertexId(0), VertexId(1)), Dist(0));
-        assert_eq!(
-            legacy.distance_at_stage(&g, 0, VertexId(0), VertexId(1)),
-            Dist(0)
+        }));
+        publisher.publish(Arc::new(Fixed {
+            stage: 1,
+            graph: tiny_graph(),
+        }));
+        publisher.publish_with_cow(
+            Arc::new(Fixed {
+                stage: 2,
+                graph: tiny_graph(),
+            }),
+            CowStats {
+                chunks_cloned: 3,
+                bytes_cloned: 4096,
+            },
         );
-        assert_eq!(
-            legacy.query(&g, &Query::new(VertexId(0), VertexId(1))),
-            Dist(0)
-        );
-        assert_eq!(legacy.index_size_bytes(), 0);
-        let timeline = legacy.apply_batch(&g, &UpdateBatch::default());
-        assert_eq!(timeline.stages.len(), 1);
+        let log = publisher.take_log();
+        assert_eq!(log.len(), 2);
+        assert!(log[0].cow.is_zero(), "plain publish carries no telemetry");
+        assert_eq!(log[1].cow.chunks_cloned, 3);
+        assert_eq!(log[1].cow.bytes_cloned, 4096);
     }
 
     #[test]

@@ -23,8 +23,12 @@
 //!   [`QueryView`] snapshots published by an [`IndexMaintainer`] through a
 //!   [`SnapshotPublisher`] at the end of each completed update stage
 //!   (Figure 1). Serving threads open a per-thread [`QuerySession`] on a
-//!   view for point-to-point, one-to-many, and matrix workloads. The legacy
-//!   `DynamicSpIndex` shim is deprecated.
+//!   view for point-to-point, one-to-many, and matrix workloads.
+//! * [`cow`] — the chunked copy-on-write storage layer ([`CowVec`],
+//!   [`CowTable`]) that snapshot isolation rides on: whole-structure clones
+//!   are chunk-pointer copies, element writes clone at most one chunk, and
+//!   per-lineage [`CowStats`] counters report the chunks/bytes each
+//!   maintenance stage actually copied.
 //! * [`scratch`] — the [`ScratchPool`] that lets one immutable view serve
 //!   many query threads, each with its own search working memory; sessions
 //!   hold a [`ScratchGuard`] over it for their whole lifetime.
@@ -44,6 +48,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cow;
 pub mod dimacs;
 pub mod gen;
 pub mod graph;
@@ -53,9 +58,8 @@ pub mod scratch;
 pub mod types;
 pub mod updates;
 
+pub use cow::{CowStats, CowTable, CowVec, RowRead};
 pub use graph::{Graph, GraphBuilder, NeighborIter};
-#[allow(deprecated)]
-pub use index_api::DynamicSpIndex;
 pub use index_api::{
     FallbackSession, IndexMaintainer, PublishEvent, QuerySession, QueryView, SnapshotPublisher,
     StageReport, UpdateTimeline,

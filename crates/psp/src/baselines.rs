@@ -66,7 +66,7 @@ impl QueryView for NChPView {
         self.searcher.with(|p| {
             p.distance(
                 &self.partitioned,
-                &self.partition_chs,
+                &*self.partition_chs,
                 &self.overlay,
                 &self.overlay_ch,
                 s,
@@ -105,7 +105,7 @@ impl QuerySession for NChPSession<'_> {
     fn distance(&mut self, s: VertexId, t: VertexId) -> Dist {
         self.scratch.distance(
             &self.view.partitioned,
-            &self.view.partition_chs,
+            &*self.view.partition_chs,
             &self.view.overlay,
             &self.view.overlay_ch,
             s,

@@ -15,18 +15,24 @@
 use crate::overlay::OverlayGraph;
 use crate::partitioned::Partitioned;
 use crate::post_boundary::PostBoundaryIndexes;
+use htsp_graph::cow::{CowStats, CowTable, DEFAULT_CHUNK};
 use htsp_graph::{Dist, VertexId, INF};
 use htsp_td::H2HIndex;
 use rustc_hash::{FxHashMap, FxHashSet};
 use std::time::Duration;
 
 /// The flat cross-boundary labeling `L*`.
+///
+/// The per-vertex labels live in a chunked copy-on-write [`CowTable`], so a
+/// U-Stage 5 that relabels the interior of `k` affected partitions clones
+/// the chunks those vertices fall in, not the whole labeling, even while a
+/// snapshot pins the pre-update labels.
 #[derive(Clone, Debug)]
 pub struct CrossBoundaryIndex {
     /// `labels[v]` — sorted `(hub global id, distance)` pairs. Hubs are always
     /// overlay (boundary) vertices, which suffices for cross-partition queries
     /// (Lemma 2, cases 2-3).
-    labels: Vec<Vec<(u32, Dist)>>,
+    labels: CowTable<(u32, Dist)>,
 }
 
 /// Extracts the overlay 2-hop label of a boundary vertex as
@@ -68,7 +74,14 @@ impl CrossBoundaryIndex {
             let vid = VertexId::from_index(v);
             *label = Self::compute_label(partitioned, overlay, overlay_index, post, vid);
         }
-        CrossBoundaryIndex { labels }
+        CrossBoundaryIndex {
+            labels: CowTable::from_rows(labels, DEFAULT_CHUNK),
+        }
+    }
+
+    /// Cumulative copy-on-write clone effort of the label table.
+    pub fn cow_stats(&self) -> CowStats {
+        self.labels.stats()
     }
 
     fn compute_label(
@@ -112,13 +125,13 @@ impl CrossBoundaryIndex {
 
     /// Label of `v` (sorted by hub id).
     pub fn label(&self, v: VertexId) -> &[(u32, Dist)] {
-        &self.labels[v.index()]
+        self.labels.row(v.index())
     }
 
     /// Cross-partition distance by a sorted-merge 2-hop join over the two
     /// labels. Returns `INF` if the labels share no hub.
     pub fn cross_distance(&self, s: VertexId, t: VertexId) -> Dist {
-        let (a, b) = (&self.labels[s.index()], &self.labels[t.index()]);
+        let (a, b) = (self.labels.row(s.index()), self.labels.row(t.index()));
         let (mut i, mut j) = (0usize, 0usize);
         let mut best = INF;
         while i < a.len() && j < b.len() {
@@ -162,7 +175,13 @@ impl CrossBoundaryIndex {
         let mut recomputed = 0usize;
         for &b in overlay_changed_boundary {
             let g = overlay.to_global(b);
-            self.labels[g.index()] = overlay_label(overlay, overlay_index, g);
+            let new = overlay_label(overlay, overlay_index, g);
+            // Write only labels whose values moved: the copy-on-write clone
+            // volume then tracks the changed label set, not the recomputed
+            // one.
+            if *self.labels.row(g.index()) != new[..] {
+                *self.labels.make_mut(g.index()) = new;
+            }
             recomputed += 1;
             affected_partitions.insert(partitioned.partition.partition_of(g));
         }
@@ -171,8 +190,10 @@ impl CrossBoundaryIndex {
                 if partitioned.partition.is_boundary(v) {
                     continue;
                 }
-                self.labels[v.index()] =
-                    Self::compute_label(partitioned, overlay, overlay_index, post, v);
+                let new = Self::compute_label(partitioned, overlay, overlay_index, post, v);
+                if *self.labels.row(v.index()) != new[..] {
+                    *self.labels.make_mut(v.index()) = new;
+                }
                 recomputed += 1;
             }
         }
@@ -181,7 +202,7 @@ impl CrossBoundaryIndex {
 
     /// Approximate size of `L*` in bytes.
     pub fn index_size_bytes(&self) -> usize {
-        self.labels.iter().map(|l| l.len()).sum::<usize>() * std::mem::size_of::<(u32, Dist)>()
+        self.labels.num_entries() * std::mem::size_of::<(u32, Dist)>()
     }
 }
 

@@ -15,11 +15,18 @@ use htsp_td::H2HIndex;
 /// Distance from `v` to each boundary vertex of its own partition, using the
 /// no-boundary partition index (within-partition distances). If `v` is itself
 /// a boundary vertex the list is just `[(v, 0)]`.
-fn boundary_distances(
+///
+/// Generic over the index container so both plain slices and the
+/// chunk-granular [`CowVec`](htsp_graph::cow::CowVec) the maintainers keep
+/// their partition indexes in can be queried.
+fn boundary_distances<I>(
     partitioned: &Partitioned,
-    indexes: &[PartitionIndex],
+    indexes: &I,
     v: VertexId,
-) -> Vec<(VertexId, Dist)> {
+) -> Vec<(VertexId, Dist)>
+where
+    I: std::ops::Index<usize, Output = PartitionIndex> + ?Sized,
+{
     if partitioned.partition.is_boundary(v) {
         return vec![(v, Dist::ZERO)];
     }
@@ -36,14 +43,17 @@ fn boundary_distances(
 /// Answers a query with the no-boundary strategy: `{L_i}` + `L̃` with distance
 /// concatenation (same-partition Case and the four cross-partition cases of
 /// §III-C).
-pub fn no_boundary_distance(
+pub fn no_boundary_distance<I>(
     partitioned: &Partitioned,
-    indexes: &[PartitionIndex],
+    indexes: &I,
     overlay: &OverlayGraph,
     overlay_index: &H2HIndex,
     s: VertexId,
     t: VertexId,
-) -> Dist {
+) -> Dist
+where
+    I: std::ops::Index<usize, Output = PartitionIndex> + ?Sized,
+{
     if s == t {
         return Dist::ZERO;
     }

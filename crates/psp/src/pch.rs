@@ -56,15 +56,24 @@ impl PchSearcher {
     /// Shortest distance between global vertices `s` and `t` over the union of
     /// the partition hierarchies (`partition_chs[i]` indexes partition `i`)
     /// and the overlay hierarchy.
-    pub fn distance<C: AsRef<ContractionHierarchy>>(
+    ///
+    /// Generic over the hierarchy container (`P`): plain slices/vectors work,
+    /// and so does the chunk-granular
+    /// [`CowVec`](htsp_graph::cow::CowVec)`<PartitionIndex>` PMHL keeps its
+    /// partition indexes in.
+    pub fn distance<P, C>(
         &mut self,
         partitioned: &Partitioned,
-        partition_chs: &[C],
+        partition_chs: &P,
         overlay: &OverlayGraph,
         overlay_ch: &ContractionHierarchy,
         s: VertexId,
         t: VertexId,
-    ) -> Dist {
+    ) -> Dist
+    where
+        P: std::ops::Index<usize, Output = C> + ?Sized,
+        C: AsRef<ContractionHierarchy>,
+    {
         if s == t {
             return Dist::ZERO;
         }

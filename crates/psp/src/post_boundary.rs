@@ -9,6 +9,7 @@
 
 use crate::overlay::OverlayGraph;
 use crate::partitioned::Partitioned;
+use htsp_graph::cow::{CowStats, CowVec};
 use htsp_graph::{Dist, EdgeId, EdgeUpdate, Graph, GraphBuilder, UpdateBatch, VertexId, Weight};
 use htsp_td::H2HIndex;
 use std::time::Duration;
@@ -30,10 +31,16 @@ pub struct ExtendedPartition {
 }
 
 /// The post-boundary indexes of all partitions.
+///
+/// The extended partitions live in a [`CowVec`] with one partition per
+/// chunk: cloning the whole structure (what snapshot publication does) bumps
+/// one `Arc` per partition, and an update round that repairs `k` partitions
+/// clones exactly those `k` — untouched partitions stay shared with every
+/// outstanding snapshot.
 #[derive(Clone, Debug)]
 pub struct PostBoundaryIndexes {
-    /// One extended partition per partition id.
-    pub partitions: Vec<ExtendedPartition>,
+    /// One extended partition per partition id (chunk size 1).
+    pub partitions: CowVec<ExtendedPartition>,
 }
 
 /// Queries the global distance between two boundary vertices through the
@@ -101,7 +108,19 @@ impl PostBoundaryIndexes {
                 index,
             });
         }
-        PostBoundaryIndexes { partitions }
+        PostBoundaryIndexes {
+            partitions: CowVec::from_vec(partitions, 1),
+        }
+    }
+
+    /// Cumulative copy-on-write clone effort: partition-granular clones of
+    /// the extended partitions plus the chunk clones inside each `L'_i`.
+    pub fn cow_stats(&self) -> CowStats {
+        self.partitions
+            .iter()
+            .fold(self.partitions.stats(), |acc, ext| {
+                acc.plus(ext.index.cow_stats())
+            })
     }
 
     /// Same-partition distance for two global vertices in partition `pi`,
@@ -139,7 +158,13 @@ impl PostBoundaryIndexes {
     ) -> (Vec<usize>, Duration) {
         let start = std::time::Instant::now();
         let mut changed_partitions = Vec::new();
-        for (pi, ext) in self.partitions.iter_mut().enumerate() {
+        // An index loop rather than an iterator: the read pass borrows the
+        // shared partition, and only a non-empty batch upgrades `pi` to a
+        // `make_mut` (which would conflict with any live iterator borrow).
+        #[allow(clippy::needless_range_loop)]
+        for pi in 0..self.partitions.len() {
+            // Read-only pass over the shared partition: decide what changed.
+            let ext = &self.partitions[pi];
             let sub = &partitioned.subgraphs[pi];
             let mut batch = UpdateBatch::new();
             // Plain intra updates first (skip boundary-pair edges; those are
@@ -178,6 +203,9 @@ impl PostBoundaryIndexes {
             if batch.is_empty() {
                 continue;
             }
+            // Only now clone the partition out from under outstanding
+            // snapshots (one chunk = one partition).
+            let ext = self.partitions.make_mut(pi);
             ext.graph.apply_batch(&batch);
             let report = ext.index.apply_batch(&ext.graph, batch.as_slice());
             if !report.affected_labels.is_empty() || !report.shortcut_changes.is_empty() {

@@ -2,7 +2,24 @@
 
 use crate::lca::LcaIndex;
 use htsp_ch::{ContractionHierarchy, OrderingStrategy, ShortcutMode, VertexOrder};
+use htsp_graph::cow::CowStats;
 use htsp_graph::{Graph, VertexId, Weight};
+use std::sync::Arc;
+
+/// The immutable tree shape of a decomposition: parents, children, depths,
+/// orders and the LCA structure. Weight-only update batches never change the
+/// shape (the bags are the CH's fixed arc sets; only shortcut *weights*
+/// move), so all clones of a decomposition share one copy behind an `Arc`.
+#[derive(Debug)]
+struct TreeShape {
+    parent: Vec<Option<VertexId>>,
+    children: Vec<Vec<VertexId>>,
+    depth: Vec<u32>,
+    roots: Vec<VertexId>,
+    /// Vertices in a top-down order (every parent precedes its children).
+    topdown: Vec<VertexId>,
+    lca: LcaIndex,
+}
 
 /// A tree decomposition of a road network obtained by Minimum Degree
 /// Elimination (Definition 1 of the paper).
@@ -12,16 +29,14 @@ use htsp_graph::{Graph, VertexId, Weight};
 /// removed — is exactly the upward-arc set of the underlying
 /// [`ContractionHierarchy`] (Lemma 4). The parent of `X(v)` is the
 /// lowest-ranked vertex of `X(v).N`.
+///
+/// Cloning a decomposition is cheap: the tree shape is shared behind an
+/// `Arc`, and the hierarchy's mutable shortcut table is chunked
+/// copy-on-write — see [`ContractionHierarchy`].
 #[derive(Clone, Debug)]
 pub struct TreeDecomposition {
     ch: ContractionHierarchy,
-    parent: Vec<Option<VertexId>>,
-    children: Vec<Vec<VertexId>>,
-    depth: Vec<u32>,
-    roots: Vec<VertexId>,
-    /// Vertices in a top-down order (every parent precedes its children).
-    topdown: Vec<VertexId>,
-    lca: LcaIndex,
+    shape: Arc<TreeShape>,
 }
 
 impl TreeDecomposition {
@@ -83,12 +98,14 @@ impl TreeDecomposition {
         let lca = LcaIndex::build(n, &roots, &children, &depth);
         TreeDecomposition {
             ch,
-            parent,
-            children,
-            depth,
-            roots,
-            topdown,
-            lca,
+            shape: Arc::new(TreeShape {
+                parent,
+                children,
+                depth,
+                roots,
+                topdown,
+                lca,
+            }),
         }
     }
 
@@ -107,9 +124,15 @@ impl TreeDecomposition {
         self.ch.order()
     }
 
+    /// Cumulative copy-on-write clone effort of the mutable shortcut arrays
+    /// (the tree shape is immutable and never cloned).
+    pub fn cow_stats(&self) -> CowStats {
+        self.ch.cow_stats()
+    }
+
     /// Number of vertices.
     pub fn num_vertices(&self) -> usize {
-        self.parent.len()
+        self.shape.parent.len()
     }
 
     /// The neighbor set `X(v).N` with shortcut weights `X(v).sc`.
@@ -121,39 +144,39 @@ impl TreeDecomposition {
     /// Parent node, `None` for roots.
     #[inline]
     pub fn parent(&self, v: VertexId) -> Option<VertexId> {
-        self.parent[v.index()]
+        self.shape.parent[v.index()]
     }
 
     /// Children of `v`.
     #[inline]
     pub fn children(&self, v: VertexId) -> &[VertexId] {
-        &self.children[v.index()]
+        &self.shape.children[v.index()]
     }
 
     /// Depth of `v` (roots have depth 0); equals the number of ancestors.
     #[inline]
     pub fn depth(&self, v: VertexId) -> u32 {
-        self.depth[v.index()]
+        self.shape.depth[v.index()]
     }
 
     /// Roots of the forest (one per connected component).
     pub fn roots(&self) -> &[VertexId] {
-        &self.roots
+        &self.shape.roots
     }
 
     /// Vertices in an order where every parent precedes its children.
     pub fn topdown_order(&self) -> &[VertexId] {
-        &self.topdown
+        &self.shape.topdown
     }
 
     /// The LCA structure over the decomposition tree.
     pub fn lca_index(&self) -> &LcaIndex {
-        &self.lca
+        &self.shape.lca
     }
 
     /// LCA of two nodes (None if they are in different components).
     pub fn lca(&self, u: VertexId, v: VertexId) -> Option<VertexId> {
-        self.lca.lca(u, v)
+        self.shape.lca.lca(u, v)
     }
 
     /// Returns the ancestors of `v` from the root down to its parent.
@@ -170,7 +193,7 @@ impl TreeDecomposition {
 
     /// Tree height: `max depth + 1` (the `h` of Theorem 5).
     pub fn height(&self) -> u32 {
-        self.depth.iter().copied().max().map_or(0, |d| d + 1)
+        self.shape.depth.iter().copied().max().map_or(0, |d| d + 1)
     }
 
     /// Treewidth upper bound: the maximum bag size minus one (`w` of Theorem 5).
@@ -186,7 +209,7 @@ impl TreeDecomposition {
     pub fn subtree_sizes(&self) -> Vec<u32> {
         let n = self.num_vertices();
         let mut sizes = vec![1u32; n];
-        for &v in self.topdown.iter().rev() {
+        for &v in self.shape.topdown.iter().rev() {
             if let Some(p) = self.parent(v) {
                 sizes[p.index()] += sizes[v.index()];
             }
@@ -234,7 +257,7 @@ impl TreeDecomposition {
             }
             // Every bag member must be an ancestor of v in the tree.
             for &(u, _) in self.bag(vid) {
-                if !self.lca.is_ancestor(u, vid) {
+                if !self.shape.lca.is_ancestor(u, vid) {
                     return Err(format!("bag member {u} of {vid} is not an ancestor"));
                 }
             }

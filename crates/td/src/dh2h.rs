@@ -142,10 +142,10 @@ impl H2HIndex {
                     let need = flag_in || is_sc_changed[v.index()];
                     let mut changed = false;
                     if need {
-                        let new_label = compute_label(td, dis, v, &path);
+                        let new_label = compute_label(td, &*dis, v, &path);
                         recomputed += 1;
-                        if new_label != dis[v.index()] {
-                            dis[v.index()] = new_label;
+                        if new_label[..] != *dis.row(v.index()) {
+                            *dis.make_mut(v.index()) = new_label;
                             changed = true;
                             affected_labels.push(v);
                         }

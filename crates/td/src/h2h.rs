@@ -11,15 +11,22 @@
 //! (§III-B, Example 2).
 
 use crate::decomposition::TreeDecomposition;
+use htsp_graph::cow::{CowStats, CowTable, RowRead, DEFAULT_CHUNK};
 use htsp_graph::{Dist, Graph, VertexId, INF};
 
 /// The H2H index: a tree decomposition plus per-node distance arrays.
+///
+/// The distance arrays live in a chunked copy-on-write [`CowTable`], so
+/// cloning the index (which every published snapshot does transitively) is a
+/// chunk-pointer copy, and a label repair that rewrites `k` rows while a
+/// snapshot is outstanding clones `O(k / chunk)` chunks instead of the whole
+/// table.
 #[derive(Clone, Debug)]
 pub struct H2HIndex {
     td: TreeDecomposition,
     /// `dis[v][d]` = distance from `v` to its ancestor at depth `d`;
     /// `dis[v][depth(v)] = 0`.
-    dis: Vec<Vec<Dist>>,
+    dis: CowTable<Dist>,
 }
 
 impl H2HIndex {
@@ -41,7 +48,7 @@ impl H2HIndex {
             let mut stack: Vec<(VertexId, usize)> = vec![(root, 0)];
             while let Some(&mut (v, ref mut ci)) = stack.last_mut() {
                 if *ci == 0 {
-                    dis[v.index()] = compute_label(&td, &dis, v, &path);
+                    dis[v.index()] = compute_label(&td, &dis[..], v, &path);
                     path.push(v);
                 }
                 if *ci < td.children(v).len() {
@@ -54,7 +61,10 @@ impl H2HIndex {
                 }
             }
         }
-        H2HIndex { td, dis }
+        H2HIndex {
+            td,
+            dis: CowTable::from_rows(dis, DEFAULT_CHUNK),
+        }
     }
 
     /// The underlying tree decomposition.
@@ -62,22 +72,28 @@ impl H2HIndex {
         &self.td
     }
 
-    /// Decomposes the index into its tree decomposition and label arrays.
+    /// Decomposes the index into its tree decomposition and label table.
     ///
     /// Used by indexes (e.g. PostMHL) that take over label maintenance with
     /// their own staging while reusing the H2H construction.
-    pub fn into_parts(self) -> (TreeDecomposition, Vec<Vec<Dist>>) {
+    pub fn into_parts(self) -> (TreeDecomposition, CowTable<Dist>) {
         (self.td, self.dis)
     }
 
     /// Mutable access used by the DH2H maintenance module.
-    pub(crate) fn parts_mut(&mut self) -> (&mut TreeDecomposition, &mut Vec<Vec<Dist>>) {
+    pub(crate) fn parts_mut(&mut self) -> (&mut TreeDecomposition, &mut CowTable<Dist>) {
         (&mut self.td, &mut self.dis)
+    }
+
+    /// Cumulative copy-on-write clone effort of the label table and the
+    /// shortcut arrays (shared by all clones of this index's lineage).
+    pub fn cow_stats(&self) -> CowStats {
+        self.dis.stats().plus(self.td.cow_stats())
     }
 
     /// Distance array of `v` (`X(v).dis`).
     pub fn label(&self, v: VertexId) -> &[Dist] {
-        &self.dis[v.index()]
+        self.dis.row(v.index())
     }
 
     /// Shortest distance between `s` and `t`, `INF` if disconnected.
@@ -90,13 +106,13 @@ impl H2HIndex {
             None => return INF,
         };
         if x == s {
-            return self.dis[t.index()][self.td.depth(s) as usize];
+            return self.dis.row(t.index())[self.td.depth(s) as usize];
         }
         if x == t {
-            return self.dis[s.index()][self.td.depth(t) as usize];
+            return self.dis.row(s.index())[self.td.depth(t) as usize];
         }
-        let ds = &self.dis[s.index()];
-        let dt = &self.dis[t.index()];
+        let ds = self.dis.row(s.index());
+        let dt = self.dis.row(t.index());
         let mut best = INF;
         // Positions of the LCA's bag members (its separator), plus the LCA itself.
         let x_depth = self.td.depth(x) as usize;
@@ -116,7 +132,7 @@ impl H2HIndex {
 
     /// Number of label entries stored (the `|L|` statistic of Exp. 2).
     pub fn num_label_entries(&self) -> usize {
-        self.dis.iter().map(|d| d.len()).sum()
+        self.dis.num_entries()
     }
 
     /// Approximate index size in bytes (labels + shortcut arrays).
@@ -129,10 +145,12 @@ impl H2HIndex {
 /// Computes the distance array of `v` given the labels of all its ancestors.
 ///
 /// `path` is the root-to-parent ancestor list of `v` (so `path[d]` is the
-/// ancestor at depth `d`).
-pub(crate) fn compute_label(
+/// ancestor at depth `d`). Generic over the label storage ([`RowRead`]) so
+/// it serves both the build pass (plain rows under construction) and the
+/// maintenance pass (the frozen [`CowTable`]).
+pub(crate) fn compute_label<R: RowRead<Dist> + ?Sized>(
     td: &TreeDecomposition,
-    dis: &[Vec<Dist>],
+    dis: &R,
     v: VertexId,
     path: &[VertexId],
 ) -> Vec<Dist> {
@@ -150,10 +168,10 @@ pub(crate) fn compute_label(
                 Dist::ZERO
             } else if d < du {
                 // a is an ancestor of u: read u's label.
-                dis[u.index()][d]
+                dis.row(u.index())[d]
             } else {
                 // u is an ancestor of a: read a's label at u's depth.
-                dis[a.index()][du]
+                dis.row(a.index())[du]
             };
             let cand = rest.saturating_add_weight(w);
             if cand < best {

@@ -28,6 +28,7 @@
 //! integration test (this is orders of magnitude slower than serving, so it
 //! is off by default).
 
+use htsp_graph::cow::CowStats;
 use htsp_graph::{
     Graph, IndexMaintainer, Query, QuerySet, QueryView, SnapshotPublisher, UpdateGenerator,
     UpdateTimeline, VertexId,
@@ -228,6 +229,11 @@ pub struct EngineReport {
     pub qps_curve: Vec<QpsSample>,
     /// Snapshot publications: `(elapsed seconds, stage)` in publication order.
     pub publications: Vec<(f64, usize)>,
+    /// Copy-on-write clone effort per query stage (index = stage), summed
+    /// over every publication of that stage: the snapshot-isolation price
+    /// each repair stage actually paid, as reported by the maintainer
+    /// through [`SnapshotPublisher::publish_with_cow`].
+    pub per_stage_cow: Vec<CowStats>,
     /// Update timeline of every replayed batch.
     pub timelines: Vec<UpdateTimeline>,
     /// Number of answers that failed Dijkstra verification (always 0 unless
@@ -498,10 +504,13 @@ impl QueryEngine {
                 }
             })
             .collect();
+        let mut per_stage_cow = vec![CowStats::default(); num_stages];
         let publications = publisher
             .take_log()
             .into_iter()
             .map(|e| {
+                let slot = e.stage.min(num_stages.saturating_sub(1));
+                per_stage_cow[slot] = per_stage_cow[slot].plus(e.cow);
                 let elapsed = e.at.saturating_duration_since(start).as_secs_f64();
                 (elapsed, e.stage)
             })
@@ -521,6 +530,7 @@ impl QueryEngine {
             per_stage_queries,
             qps_curve,
             publications,
+            per_stage_cow,
             timelines,
             verify_failures,
             first_failure,

@@ -68,8 +68,13 @@
 //! [`throughput::QueryEngine`] (single-call and session-batched workload
 //! modes); to *serve* batched traffic, see [`throughput::DistanceService`]
 //! (a queue of `QueryBatch` requests drained by session-pinning workers).
-//! The legacy `&mut self` trait `DynamicSpIndex` remains available as a
-//! `#[deprecated]` shim.
+//!
+//! Snapshot isolation rides on the chunked copy-on-write storage layer in
+//! [`graph::cow`]: label and distance tables live in
+//! [`graph::CowTable`] / [`graph::CowVec`] containers, so publishing a view
+//! copies chunk pointers and a repair stage clones only the chunks its
+//! change set touches — with the chunks/bytes actually cloned reported per
+//! publication in the [`graph::SnapshotPublisher`] log.
 
 #![warn(missing_docs)]
 

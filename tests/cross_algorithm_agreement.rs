@@ -6,8 +6,8 @@
 //! The first test drives all nine algorithms through the session API (one
 //! [`QuerySession`](htsp::graph::QuerySession) per published snapshot); the
 //! second exercises the per-stage snapshot views of the multi-stage indexes.
-//! (The legacy `DynamicSpIndex` shim is covered by its own unit test in
-//! `htsp-graph`; nothing else uses it any more.)
+//! (The legacy `DynamicSpIndex` shim was removed in PR 3; snapshot isolation
+//! under concurrent maintenance is covered by `tests/cow_snapshot_isolation.rs`.)
 
 use htsp::baselines::{BiDijkstraBaseline, DchBaseline, Dh2hBaseline, ToainBaseline};
 use htsp::core::{Mhl, Pmhl, PmhlConfig, PostMhl, PostMhlConfig};
