@@ -12,7 +12,7 @@ use htsp_bench::json::Json;
 use htsp_core::{Pmhl, PmhlConfig, PostMhl, PostMhlConfig};
 use htsp_graph::gen::{grid_with_diagonals, WeightRange};
 use htsp_graph::IndexMaintainer;
-use htsp_throughput::{QueryEngine, SystemConfig, ThroughputHarness};
+use htsp_throughput::{QueryEngine, RoadNetworkServer, SystemConfig, ThroughputHarness};
 use std::time::Duration;
 
 fn main() {
@@ -75,11 +75,13 @@ fn main() {
         // batches from the same seed against the pristine graph, so reusing
         // one instance would make the engine's replays no-op repairs.
         eprintln!("bench-pr1: running {name} (model harness)...");
-        let mut maintainer = build();
-        let model = harness.run(&road, maintainer.as_mut());
+        let server = RoadNetworkServer::host(&road, build());
+        let model = harness.run(&server);
+        server.shutdown();
         eprintln!("bench-pr1: running {name} (concurrent engine)...");
-        let mut maintainer = build();
-        let measured = engine.run(&road, maintainer.as_mut());
+        let server = RoadNetworkServer::host(&road, build());
+        let measured = engine.run(&server);
+        server.shutdown();
         eprintln!(
             "bench-pr1: {name}: modeled λ*_q = {:.1} q/s, measured = {:.1} q/s ({} queries)",
             model.throughput(),

@@ -45,8 +45,10 @@ use htsp_baselines::{BiDijkstraBaseline, DchBaseline};
 use htsp_bench::json::Json;
 use htsp_core::{Pmhl, PmhlConfig, PostMhl, PostMhlConfig};
 use htsp_graph::gen::{grid_with_diagonals, WeightRange};
-use htsp_graph::{Graph, IndexMaintainer};
-use htsp_throughput::{EngineReport, QueryEngine, SystemConfig, ThroughputHarness, WorkloadKind};
+use htsp_graph::IndexMaintainer;
+use htsp_throughput::{
+    EngineReport, QueryEngine, RoadNetworkServer, SystemConfig, ThroughputHarness, WorkloadKind,
+};
 use std::time::Duration;
 
 struct BenchConfig {
@@ -69,19 +71,18 @@ fn engine(cfg: &BenchConfig, workload: WorkloadKind, seed: u64) -> QueryEngine {
         .build()
 }
 
-/// Runs every mode `reps` times round-robin on one shared maintainer
+/// Runs every mode `reps` times round-robin on one shared server
 /// (sound because the comparison batches are empty — see module docs) and
 /// returns the highest-QPS report per mode.
 fn compare_modes(
     cfg: &BenchConfig,
-    road: &Graph,
-    maintainer: &mut dyn IndexMaintainer,
+    server: &RoadNetworkServer,
     modes: &[WorkloadKind],
 ) -> Vec<EngineReport> {
     let mut best: Vec<Option<EngineReport>> = modes.iter().map(|_| None).collect();
     for rep in 0..cfg.reps {
         for (i, &mode) in modes.iter().enumerate() {
-            let report = engine(cfg, mode, 7 + rep as u64).run(road, maintainer);
+            let report = engine(cfg, mode, 7 + rep as u64).run(server);
             eprintln!(
                 "bench-pr2:   rep {rep} {:<14} {:>12.0} pairs/s",
                 mode.label(),
@@ -189,18 +190,14 @@ fn main() {
     let mut regressions = Vec::new();
     for (name, build) in &algorithms {
         eprintln!("bench-pr2: {name}: model harness...");
-        let mut maintainer = build();
-        let model = harness.run(&road, maintainer.as_mut());
-        drop(maintainer);
+        let server = RoadNetworkServer::host(&road, build());
+        let model = harness.run(&server);
+        server.shutdown();
 
         eprintln!("bench-pr2: {name}: comparing serving modes...");
-        let mut maintainer = build();
-        let reports = compare_modes(
-            &cfg,
-            &road,
-            maintainer.as_mut(),
-            &[single, batched, session_p2p, matrix],
-        );
+        let server = RoadNetworkServer::host(&road, build());
+        let reports = compare_modes(&cfg, &server, &[single, batched, session_p2p, matrix]);
+        server.shutdown();
         let (single_report, batched_report, p2p_report, matrix_report) =
             match <[EngineReport; 4]>::try_from(reports) {
                 Ok([s, b, p, m]) => (s, b, p, m),

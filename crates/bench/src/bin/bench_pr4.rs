@@ -1,0 +1,390 @@
+//! `bench-pr4` — emits `BENCH_pr4.json`: sustained **concurrent ingest +
+//! query** throughput of the `RoadNetworkServer` facade, with p50/p99
+//! submit-to-visible latency swept over the [`CoalescePolicy`] knobs (the
+//! update interval Δt and the max batch size `|U|`).
+//!
+//! The measured situation is the paper's Figure 1 run as a deployment, not
+//! a replay: one ingest thread streams single-edge traffic-drift updates
+//! into the server's `UpdateFeed` at a fixed pace, a collector thread
+//! drains each `UpdateTicket::wait_visible()` to record the
+//! submit-to-visible latency (coalescing delay + first-stage repair), and
+//! `clients` closed-loop query threads keep submitting point-to-point
+//! batches to the server's `DistanceService`. Nothing is synchronized by
+//! the bench itself — batching emerges from the policy, which is the knob
+//! under test:
+//!
+//! * a larger Δt (`max_delay`) amortises repair over more updates —
+//!   fewer/larger batches, higher serving headroom — at the price of a
+//!   higher visibility lag floor (an update waits up to Δt before its
+//!   batch even forms): exactly the Lemma 1 trade-off;
+//! * a smaller `max_batch` caps the lag regardless of Δt but pays more
+//!   repairs per second.
+//!
+//! The `summary` section asserts the direction of the first effect: at
+//! fixed `max_batch`, median submit-to-visible latency at the largest Δt
+//! must exceed the median at the smallest Δt. (Only the endpoints are
+//! compared: when Δt drops below the index's repair time `t_u`, the lag
+//! floor is `t_u` itself — Lemma 1's installability constraint `t_u < δt`
+//! surfacing as a latency floor — so adjacent small-Δt points differ only
+//! by noise.)
+//!
+//! Usage: `cargo run --release -p htsp-bench --bin bench-pr4 [--smoke] [output.json]`
+//!
+//! `--smoke` shrinks the sweep so CI can prove the ingest pipeline end to
+//! end in seconds (and writes to /tmp by default).
+
+use htsp_bench::json::Json;
+use htsp_graph::{EdgeId, EdgeUpdate, Query, QuerySet};
+use htsp_throughput::{AlgorithmKind, BuildParams, CoalescePolicy, QueryBatch, RoadNetworkServer};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+struct BenchConfig {
+    smoke: bool,
+    side: usize,
+    /// Wall-clock serving time per configuration.
+    duration: Duration,
+    /// Pause between consecutive update submissions.
+    ingest_pace: Duration,
+    /// Closed-loop query client threads.
+    clients: usize,
+    /// Queries per client batch.
+    queries_per_batch: usize,
+}
+
+struct RunResult {
+    delay_ms: u64,
+    max_batch: usize,
+    updates_submitted: u64,
+    batches_applied: u64,
+    query_pairs: u64,
+    query_pairs_per_s: f64,
+    lag_p50_ms: f64,
+    lag_p99_ms: f64,
+    lag_max_ms: f64,
+    wall_s: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// One sustained concurrent run against `server` under its configured
+/// coalescing policy.
+fn run_config(cfg: &BenchConfig, server: &RoadNetworkServer, policy: CoalescePolicy) -> RunResult {
+    let pool = server.with_graph(|g| QuerySet::random(g, 512, 4242));
+    let stop = AtomicBool::new(false);
+    let pairs = AtomicU64::new(0);
+    let start = Instant::now();
+    let (ticket_tx, ticket_rx) = mpsc::channel();
+
+    let (serving_wall_s, lags_ms): (f64, Vec<f64>) = std::thread::scope(|scope| {
+        // Closed-loop query clients against the DistanceService.
+        for c in 0..cfg.clients {
+            let stop = &stop;
+            let pairs = &pairs;
+            let pool = &pool;
+            scope.spawn(move || {
+                let mut i = c * 17;
+                while !stop.load(Ordering::Relaxed) {
+                    let queries: Vec<Query> = (0..cfg.queries_per_batch)
+                        .map(|_| {
+                            let q = pool.as_slice()[i % pool.len()];
+                            i += 1;
+                            q
+                        })
+                        .collect();
+                    let n = queries.len() as u64;
+                    let _ = server
+                        .submit_queries(QueryBatch::PointToPoint(queries))
+                        .wait();
+                    pairs.fetch_add(n, Ordering::Relaxed);
+                }
+            });
+        }
+        // Ingest: stream single-edge drift updates at the configured pace.
+        // The sender moves into the thread so the collector's channel closes
+        // (and its drain loop ends) exactly when ingestion stops.
+        let ingest_stop = &stop;
+        scope.spawn(move || {
+            let mut salt = 0x5eed_u64;
+            while !ingest_stop.load(Ordering::Relaxed) {
+                salt = salt
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let update = server.with_graph(|g| {
+                    let e = EdgeId::from_index(((salt >> 33) as usize) % g.num_edges());
+                    let w = g.edge_weight(e);
+                    EdgeUpdate::new(e, w, w + 1)
+                });
+                if ticket_tx.send(server.submit(update)).is_err() {
+                    return;
+                }
+                std::thread::sleep(cfg.ingest_pace);
+            }
+        });
+        // Collector: visibility lag of every ticket, in submission order.
+        let collector = scope.spawn(move || {
+            let mut lags = Vec::new();
+            for ticket in ticket_rx.iter() {
+                lags.push(ticket.wait_visible().latency.as_secs_f64() * 1e3);
+            }
+            lags
+        });
+
+        std::thread::sleep(cfg.duration);
+        stop.store(true, Ordering::Relaxed);
+        // Throughput denominator ends here: pairs stop accruing at the stop
+        // flag, while the collector still waits out the last partial
+        // batch's flush (up to max_delay) — counting that drain tail would
+        // bias pairs/s low by an amount that grows with the swept Δt.
+        let serving_wall_s = start.elapsed().as_secs_f64();
+        (
+            serving_wall_s,
+            collector.join().expect("collector panicked"),
+        )
+    });
+
+    let stats = server.feed().stats();
+    let mut sorted = lags_ms.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite lag"));
+    let query_pairs = pairs.load(Ordering::Relaxed);
+    RunResult {
+        delay_ms: policy.max_delay.as_millis() as u64,
+        max_batch: policy.max_batch,
+        updates_submitted: stats.submitted,
+        batches_applied: stats.batches_applied,
+        query_pairs,
+        query_pairs_per_s: query_pairs as f64 / serving_wall_s,
+        lag_p50_ms: percentile(&sorted, 0.50),
+        lag_p99_ms: percentile(&sorted, 0.99),
+        lag_max_ms: sorted.last().copied().unwrap_or(0.0),
+        wall_s: serving_wall_s,
+    }
+}
+
+fn result_json(r: &RunResult) -> Json {
+    Json::Obj(vec![
+        ("coalesce_delta_t_ms", Json::Int(r.delay_ms)),
+        ("coalesce_max_batch", Json::Int(r.max_batch as u64)),
+        ("updates_submitted", Json::Int(r.updates_submitted)),
+        ("batches_applied", Json::Int(r.batches_applied)),
+        (
+            "mean_batch_size",
+            Json::Num(r.updates_submitted as f64 / r.batches_applied.max(1) as f64),
+        ),
+        ("query_pairs", Json::Int(r.query_pairs)),
+        ("query_pairs_per_s", Json::Num(r.query_pairs_per_s)),
+        ("submit_to_visible_p50_ms", Json::Num(r.lag_p50_ms)),
+        ("submit_to_visible_p99_ms", Json::Num(r.lag_p99_ms)),
+        ("submit_to_visible_max_ms", Json::Num(r.lag_max_ms)),
+        ("wall_s", Json::Num(r.wall_s)),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| {
+            if smoke {
+                "/tmp/BENCH_pr4_smoke.json".to_string()
+            } else {
+                "BENCH_pr4.json".to_string()
+            }
+        });
+    let cfg = if smoke {
+        BenchConfig {
+            smoke: true,
+            side: 12,
+            duration: Duration::from_millis(250),
+            ingest_pace: Duration::from_millis(1),
+            clients: 2,
+            queries_per_batch: 16,
+        }
+    } else {
+        BenchConfig {
+            smoke: false,
+            side: 48,
+            duration: Duration::from_millis(2000),
+            ingest_pace: Duration::from_millis(5),
+            clients: 3,
+            queries_per_batch: 32,
+        }
+    };
+
+    let road = htsp_graph::gen::grid_with_diagonals(
+        cfg.side,
+        cfg.side,
+        htsp_graph::gen::WeightRange::new(1, 100),
+        0.1,
+        42,
+    );
+    eprintln!(
+        "bench-pr4: {0}x{0} grid, |V| = {1}, |E| = {2}{3}",
+        cfg.side,
+        road.num_vertices(),
+        road.num_edges(),
+        if cfg.smoke { " (smoke)" } else { "" }
+    );
+
+    // The sweep: Δt at fixed batch cap, then batch cap at fixed Δt.
+    let policies: Vec<CoalescePolicy> = if cfg.smoke {
+        vec![
+            CoalescePolicy::new(32, Duration::from_millis(5)),
+            CoalescePolicy::new(32, Duration::from_millis(25)),
+        ]
+    } else {
+        vec![
+            CoalescePolicy::new(64, Duration::from_millis(10)),
+            CoalescePolicy::new(64, Duration::from_millis(60)),
+            CoalescePolicy::new(64, Duration::from_millis(240)),
+            CoalescePolicy::new(4, Duration::from_millis(240)),
+        ]
+    };
+    let kinds = if cfg.smoke {
+        vec![AlgorithmKind::Dch]
+    } else {
+        vec![AlgorithmKind::Dch, AlgorithmKind::PostMhl]
+    };
+
+    let mut algo_rows = Vec::new();
+    let mut summary_rows = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    for kind in kinds {
+        eprintln!("bench-pr4: building {kind} index...");
+        let mut runs = Vec::new();
+        for &policy in &policies {
+            // A fresh server per configuration: the coalescing policy is
+            // fixed at server start, and ingested +1 drifts accumulate.
+            let server = RoadNetworkServer::builder()
+                .algorithm(kind)
+                .build_params(BuildParams::default())
+                .coalesce(policy)
+                .query_workers(2)
+                .start(&road);
+            let r = run_config(&cfg, &server, policy);
+            server.shutdown();
+            eprintln!(
+                "bench-pr4:   {kind} Δt = {:>3} ms, |U| ≤ {:>3}: {:>8.0} pairs/s | {:>4} updates in {:>3} batches | visible p50 {:>7.2} ms p99 {:>7.2} ms",
+                r.delay_ms, r.max_batch, r.query_pairs_per_s, r.updates_submitted,
+                r.batches_applied, r.lag_p50_ms, r.lag_p99_ms
+            );
+            runs.push(r);
+        }
+
+        // Direction check: at the common batch cap, the p50 lag at the
+        // largest Δt must exceed the p50 at the smallest Δt (see module
+        // docs for why only the endpoints are compared).
+        let fixed_cap = runs
+            .iter()
+            .filter(|r| r.max_batch == if cfg.smoke { 32 } else { 64 })
+            .collect::<Vec<_>>();
+        let delta_t_effect = match (fixed_cap.first(), fixed_cap.last()) {
+            (Some(lo), Some(hi)) => {
+                if hi.lag_p50_ms <= lo.lag_p50_ms {
+                    failures.push(format!(
+                        "{kind}: p50 visibility lag did not grow from the smallest to the largest Δt ({} ms @ Δt = {} ms vs {} ms @ Δt = {} ms)",
+                        lo.lag_p50_ms, lo.delay_ms, hi.lag_p50_ms, hi.delay_ms
+                    ));
+                }
+                hi.lag_p50_ms > lo.lag_p50_ms
+            }
+            _ => false,
+        };
+        // Liveness check: every configuration served queries and applied
+        // every submitted update.
+        for r in &runs {
+            if r.query_pairs == 0 {
+                failures.push(format!(
+                    "{kind}: no queries answered at Δt = {} ms",
+                    r.delay_ms
+                ));
+            }
+            if r.batches_applied == 0 {
+                failures.push(format!(
+                    "{kind}: ingest never flushed at Δt = {} ms",
+                    r.delay_ms
+                ));
+            }
+        }
+        summary_rows.push(Json::Obj(vec![
+            ("algorithm", Json::Str(kind.name().to_string())),
+            (
+                "p50_lag_grows_with_delta_t",
+                Json::Str(delta_t_effect.to_string()),
+            ),
+        ]));
+        algo_rows.push(Json::Obj(vec![
+            ("algorithm", Json::Str(kind.name().to_string())),
+            ("runs", Json::Arr(runs.iter().map(result_json).collect())),
+        ]));
+    }
+
+    let doc = Json::Obj(vec![
+        ("bench", Json::Str("pr4".to_string())),
+        (
+            "description",
+            Json::Str(
+                "Sustained concurrent ingest + query throughput of the RoadNetworkServer \
+                 facade: closed-loop DistanceService clients race a paced UpdateFeed ingest \
+                 stream; submit-to-visible latency (p50/p99) swept over the CoalescePolicy's \
+                 Δt (= Lemma 1's update interval) and max batch size"
+                    .to_string(),
+            ),
+        ),
+        (
+            "graph",
+            Json::Obj(vec![
+                (
+                    "kind",
+                    Json::Str(format!("grid_with_diagonals {0}x{0}", cfg.side)),
+                ),
+                ("vertices", Json::Int(road.num_vertices() as u64)),
+                ("edges", Json::Int(road.num_edges() as u64)),
+            ]),
+        ),
+        (
+            "load",
+            Json::Obj(vec![
+                ("duration_ms", Json::Int(cfg.duration.as_millis() as u64)),
+                (
+                    "ingest_pace_ms",
+                    Json::Int(cfg.ingest_pace.as_millis() as u64),
+                ),
+                ("query_clients", Json::Int(cfg.clients as u64)),
+                ("queries_per_batch", Json::Int(cfg.queries_per_batch as u64)),
+                ("query_workers", Json::Int(2)),
+                (
+                    "workload",
+                    Json::Str(
+                        "+1 weight drift on one random edge per submission (see bench-pr3 for \
+                         why drifts, not halve/double, at laptop scale)"
+                            .to_string(),
+                    ),
+                ),
+            ]),
+        ),
+        ("algorithms", Json::Arr(algo_rows)),
+        ("summary", Json::Arr(summary_rows)),
+    ]);
+
+    std::fs::write(&out_path, doc.to_string_pretty()).expect("write BENCH_pr4.json");
+    eprintln!("bench-pr4: wrote {out_path}");
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("bench-pr4: WARNING: {f}");
+        }
+        if !cfg.smoke {
+            std::process::exit(1);
+        }
+    }
+}

@@ -23,13 +23,13 @@
 //! relative gaps).
 
 use htsp_bench::{
-    build_algorithms, datasets, default_experiment_graphs, format_result_row,
+    datasets, default_experiment_graphs, format_result_row, host_algorithm,
     run_throughput_comparison, AlgorithmSet,
 };
 use htsp_core::{Pmhl, PmhlConfig, PostMhl, PostMhlConfig};
 use htsp_graph::{Graph, IndexMaintainer, QuerySet, SnapshotPublisher, UpdateGenerator};
 use htsp_partition::TdPartitionConfig;
-use htsp_throughput::{SystemConfig, ThroughputHarness};
+use htsp_throughput::{RoadNetworkServer, SystemConfig, ThroughputHarness};
 use std::time::Instant;
 
 /// A deferred algorithm constructor (used to time index construction).
@@ -111,7 +111,7 @@ fn exp1_partition_number(full: bool) {
         "k", "|B|", "t_u (s)", "λ*_q (q/s)"
     );
     for k in [4usize, 8, 16, 32] {
-        let mut pmhl = Pmhl::build(
+        let pmhl = Pmhl::build(
             g,
             PmhlConfig {
                 num_partitions: k,
@@ -120,7 +120,9 @@ fn exp1_partition_number(full: bool) {
             },
         );
         let boundary = pmhl.num_boundary();
-        let r = harness.run(g, &mut pmhl);
+        let server = RoadNetworkServer::host(g, Box::new(pmhl));
+        let r = harness.run(&server);
+        server.shutdown();
         println!(
             "{:>5} {:>8} {:>14.4} {:>14.1}",
             k,
@@ -236,8 +238,10 @@ fn exp4_qps_evolution(full: bool) {
     let (name, g) = &experiment_graphs(full)[0];
     println!("dataset: {name}");
     let harness = ThroughputHarness::new(laptop_config(), 9, 1);
-    for mut alg in build_algorithms(g, AlgorithmSet::Fast, 8, 4) {
-        let r = harness.run(g, alg.as_mut());
+    for &kind in AlgorithmSet::Fast.kinds() {
+        let server = host_algorithm(g, kind, 8, 4);
+        let r = harness.run(&server);
+        server.shutdown();
         let series: Vec<String> = r.batches[0]
             .qps_evolution
             .iter()
@@ -306,7 +310,7 @@ fn exp6_thread_scaling(full: bool) {
         "threads", "PMHL t_u (s)", "PostMHL t_u (s)", "PostMHL λ*"
     );
     for &p in &thread_counts {
-        let mut pmhl = Pmhl::build(
+        let pmhl = Pmhl::build(
             g,
             PmhlConfig {
                 num_partitions: 8,
@@ -314,7 +318,7 @@ fn exp6_thread_scaling(full: bool) {
                 seed: 1,
             },
         );
-        let mut postmhl = PostMhl::build(
+        let postmhl = PostMhl::build(
             g,
             PostMhlConfig {
                 partitioning: TdPartitionConfig {
@@ -326,8 +330,12 @@ fn exp6_thread_scaling(full: bool) {
                 num_threads: p,
             },
         );
-        let r1 = harness.run(g, &mut pmhl);
-        let r2 = harness.run(g, &mut postmhl);
+        let pmhl_server = RoadNetworkServer::host(g, Box::new(pmhl));
+        let r1 = harness.run(&pmhl_server);
+        pmhl_server.shutdown();
+        let postmhl_server = RoadNetworkServer::host(g, Box::new(postmhl));
+        let r2 = harness.run(&postmhl_server);
+        postmhl_server.shutdown();
         println!(
             "{:>8} {:>16.4} {:>16.4} {:>14.1}",
             p,
@@ -349,7 +357,7 @@ fn exp7_postmhl_ke(full: bool) {
         "k_e", "partitions", "t_u (s)", "λ*_q (q/s)"
     );
     for ke in [4usize, 8, 16, 32, 64] {
-        let mut idx = PostMhl::build(
+        let idx = PostMhl::build(
             g,
             PostMhlConfig {
                 partitioning: TdPartitionConfig {
@@ -362,7 +370,9 @@ fn exp7_postmhl_ke(full: bool) {
             },
         );
         let parts = idx.num_partitions();
-        let r = harness.run(g, &mut idx);
+        let server = RoadNetworkServer::host(g, Box::new(idx));
+        let r = harness.run(&server);
+        server.shutdown();
         println!(
             "{:>6} {:>12} {:>14.4} {:>14.1}",
             ke,
@@ -385,7 +395,7 @@ fn exp8_postmhl_bandwidth(full: bool) {
         "τ", "|V(overlay)|", "Q3 t_q (µs)", "t_u (s)", "λ*_q (q/s)"
     );
     for tau in [6usize, 10, 16, 24, 32] {
-        let mut idx = PostMhl::build(
+        let idx = PostMhl::build(
             g,
             PostMhlConfig {
                 partitioning: TdPartitionConfig {
@@ -408,7 +418,9 @@ fn exp8_postmhl_bandwidth(full: bool) {
         let q3 = t.elapsed().as_secs_f64() / queries.len() as f64;
         drop(session);
         drop(view);
-        let r = harness.run(g, &mut idx);
+        let server = RoadNetworkServer::host(g, Box::new(idx));
+        let r = harness.run(&server);
+        server.shutdown();
         println!(
             "{:>6} {:>12} {:>18.2} {:>14.4} {:>14.1}",
             tau,

@@ -10,22 +10,23 @@
 //! latency per algorithm, update latency per algorithm, and the ablations
 //! listed in DESIGN.md).
 //!
-//! This library crate holds the shared plumbing: dataset presets, algorithm
-//! registry, table formatting, and the [`micro`] timing loop.
+//! This library crate holds the shared plumbing: dataset presets, named
+//! slices of the [`AlgorithmKind`] registry (which lives in
+//! `htsp-throughput`), table formatting, and the [`micro`] timing loop.
 
 #![warn(missing_docs)]
 
 pub mod json;
 pub mod micro;
 
-use htsp_baselines::{BiDijkstraBaseline, DchBaseline, Dh2hBaseline, ToainBaseline};
-use htsp_core::{Pmhl, PmhlConfig, PostMhl, PostMhlConfig};
 use htsp_graph::{gen, Graph, IndexMaintainer};
-use htsp_partition::TdPartitionConfig;
-use htsp_psp::{NChP, PTdP};
-use htsp_throughput::{SystemConfig, ThroughputHarness, ThroughputResult};
+use htsp_throughput::{
+    AlgorithmKind, BuildParams, CoalescePolicy, RoadNetworkServer, SystemConfig, ThroughputHarness,
+    ThroughputResult,
+};
 
-/// Which algorithms to instantiate for an experiment.
+/// Which algorithms to instantiate for an experiment. Each set names a slice
+/// of the [`AlgorithmKind`] registry.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AlgorithmSet {
     /// Every algorithm of the paper's comparison (Fig. 11/12).
@@ -34,6 +35,17 @@ pub enum AlgorithmSet {
     OursOnly,
     /// Everything except the slowest baselines (used on larger presets).
     Fast,
+}
+
+impl AlgorithmSet {
+    /// The registry kinds this set names.
+    pub fn kinds(self) -> &'static [AlgorithmKind] {
+        match self {
+            AlgorithmSet::All => &AlgorithmKind::ALL,
+            AlgorithmSet::OursOnly => &AlgorithmKind::OURS,
+            AlgorithmSet::Fast => &AlgorithmKind::FAST,
+        }
+    }
 }
 
 /// The named experiment datasets: laptop-scale stand-ins for Table I.
@@ -58,7 +70,8 @@ pub fn default_experiment_graphs() -> Vec<(String, Graph)> {
     ]
 }
 
-/// Builds the requested algorithm instances over `graph`.
+/// Builds the requested algorithm instances over `graph` through the
+/// [`AlgorithmKind`] registry.
 ///
 /// `k` is the partition count for the partitioned indexes and `threads` the
 /// maintenance thread count.
@@ -68,50 +81,31 @@ pub fn build_algorithms(
     k: usize,
     threads: usize,
 ) -> Vec<Box<dyn IndexMaintainer>> {
-    let mut out: Vec<Box<dyn IndexMaintainer>> = Vec::new();
-    let pmhl_cfg = PmhlConfig {
-        num_partitions: k,
-        num_threads: threads,
-        seed: 1,
-    };
-    let postmhl_cfg = PostMhlConfig {
-        partitioning: TdPartitionConfig {
-            bandwidth: 16,
-            expected_partitions: (k * 4).max(8),
-            beta_lower: 0.1,
-            beta_upper: 2.0,
-        },
-        num_threads: threads,
-    };
-    match set {
-        AlgorithmSet::OursOnly => {
-            out.push(Box::new(Pmhl::build(graph, pmhl_cfg)));
-            out.push(Box::new(PostMhl::build(graph, postmhl_cfg)));
-        }
-        AlgorithmSet::Fast => {
-            out.push(Box::new(DchBaseline::build(graph)));
-            out.push(Box::new(Dh2hBaseline::build(graph)));
-            out.push(Box::new(NChP::build(graph, k, 1)));
-            out.push(Box::new(PTdP::build(graph, k, 1)));
-            out.push(Box::new(Pmhl::build(graph, pmhl_cfg)));
-            out.push(Box::new(PostMhl::build(graph, postmhl_cfg)));
-        }
-        AlgorithmSet::All => {
-            out.push(Box::new(BiDijkstraBaseline::new(graph)));
-            out.push(Box::new(DchBaseline::build(graph)));
-            out.push(Box::new(Dh2hBaseline::build(graph)));
-            out.push(Box::new(ToainBaseline::build(graph, 64)));
-            out.push(Box::new(NChP::build(graph, k, 1)));
-            out.push(Box::new(PTdP::build(graph, k, 1)));
-            out.push(Box::new(Pmhl::build(graph, pmhl_cfg)));
-            out.push(Box::new(PostMhl::build(graph, postmhl_cfg)));
-        }
-    }
-    out
+    let params = BuildParams::new(k, threads);
+    set.kinds()
+        .iter()
+        .map(|kind| kind.build(graph, &params))
+        .collect()
 }
 
-/// Runs the throughput harness for every algorithm in `set` and returns the
-/// per-algorithm results.
+/// Hosts one registry algorithm over `graph` in a measurement-friendly
+/// [`RoadNetworkServer`]: manual flushing only (the harnesses force their
+/// own batch boundaries), no query workers.
+pub fn host_algorithm(
+    graph: &Graph,
+    kind: AlgorithmKind,
+    k: usize,
+    threads: usize,
+) -> RoadNetworkServer {
+    RoadNetworkServer::builder()
+        .algorithm(kind)
+        .build_params(BuildParams::new(k, threads))
+        .coalesce(CoalescePolicy::manual())
+        .start(graph)
+}
+
+/// Runs the throughput harness for every algorithm in `set` (each hosted in
+/// its own [`RoadNetworkServer`]) and returns the per-algorithm results.
 pub fn run_throughput_comparison(
     graph: &Graph,
     set: AlgorithmSet,
@@ -121,9 +115,14 @@ pub fn run_throughput_comparison(
     num_batches: usize,
 ) -> Vec<ThroughputResult> {
     let harness = ThroughputHarness::new(config, 7, num_batches);
-    build_algorithms(graph, set, k, threads)
-        .into_iter()
-        .map(|mut alg| harness.run(graph, alg.as_mut()))
+    set.kinds()
+        .iter()
+        .map(|&kind| {
+            let server = host_algorithm(graph, kind, k, threads);
+            let result = harness.run(&server);
+            server.shutdown();
+            result
+        })
         .collect()
 }
 
@@ -161,5 +160,6 @@ mod tests {
         let names: Vec<_> = algs.iter().map(|a| a.name()).collect();
         assert!(names.contains(&"PMHL"));
         assert!(names.contains(&"PostMHL"));
+        assert_eq!(AlgorithmSet::All.kinds().len(), 9);
     }
 }

@@ -1,6 +1,34 @@
 //! The read/write index API every dynamic shortest-distance index in this
 //! repository implements (BiDijkstra, DCH, DH2H, N-CH-P, P-TD-P, TOAIN, MHL,
-//! PMHL, PostMHL).
+//! PMHL, PostMHL), and the contract the `RoadNetworkServer` facade in
+//! `htsp-throughput` is built on.
+//!
+//! # Where this sits in the serving stack
+//!
+//! The deployed pipeline is **ingest → coalesce → staged maintenance →
+//! publish → sessions**:
+//!
+//! 1. **Ingest** — applications submit single edge-weight updates to an
+//!    `UpdateFeed` (in `htsp-throughput`) and hold an `UpdateTicket` per
+//!    submission.
+//! 2. **Coalesce** — a maintenance thread batches pending updates under a
+//!    `CoalescePolicy` (max batch size `|U|`, max delay Δt). That Δt *is*
+//!    the update interval `δt` of the paper's Lemma 1: with a saturated
+//!    feed the maintainer receives one [`UpdateBatch`] per Δt.
+//! 3. **Staged maintenance** — the batch is handed to an
+//!    [`IndexMaintainer::apply_batch`], which repairs stage by stage.
+//! 4. **Publish** — at the end of every completed stage the maintainer
+//!    publishes an immutable [`QueryView`] through the
+//!    [`SnapshotPublisher`]; tickets resolve against publisher versions
+//!    ([`SnapshotPublisher::wait_for_version`] is the no-polling primitive
+//!    behind `wait_visible()` read-your-writes).
+//! 5. **Sessions** — serving threads open [`QuerySession`]s on published
+//!    views and answer point-to-point / one-to-many / matrix workloads,
+//!    re-pinning when the version advances.
+//!
+//! This module defines layers 3–5 (the graph-level contract); the server,
+//! feed, and registry live in `htsp-throughput` so they can construct every
+//! concrete index.
 //!
 //! # Why two traits
 //!
@@ -83,13 +111,31 @@
 //! [`SnapshotPublisher`] version advances — see `DistanceService` in
 //! `htsp-throughput` for the reference implementation of that loop.
 //!
+//! # Version watching and ticket plumbing
+//!
+//! The publisher is also the synchronization point between writers and
+//! readers. Every publication bumps a monotone version;
+//! [`SnapshotPublisher::wait_for_version`] parks a thread until a target
+//! version is published (condvar wakeup, not polling), which is what gives
+//! update tickets their read-your-writes `wait_visible()`: the feed knows
+//! the batch's first publication will be `version + 1`, so a ticket holder
+//! simply waits for that version and is then guaranteed that
+//! [`SnapshotPublisher::snapshot`] contains its update. Each
+//! [`PublishEvent`] additionally carries the ingest-batch tag installed via
+//! [`SnapshotPublisher::set_batch_tag`], so the publication log attributes
+//! every staged release to the coalesced batch that caused it, and
+//! [`SnapshotPublisher::cow_since`] aggregates a batch's snapshot-isolation
+//! clone cost without draining the log.
+//!
 //! # Throughput measurement
 //!
-//! The harness in `htsp-throughput` drives maintainers through update
-//! batches and measures per-stage query latency to evaluate the Lemma 1
-//! throughput bound; its `QueryEngine` additionally runs real query worker
-//! threads against the published snapshots to report *measured* QPS curves,
-//! in single-call and in session/batched mode.
+//! The harnesses in `htsp-throughput` drive a `RoadNetworkServer` through
+//! update batches: the model harness measures per-stage query latency to
+//! evaluate the Lemma 1 throughput bound; the `QueryEngine` additionally
+//! runs real query worker threads against the published snapshots to report
+//! *measured* QPS curves, in single-call and in session/batched mode; and
+//! `bench-pr4` measures submit-to-visible latency against the coalescing
+//! Δt.
 //!
 //! (The legacy single-object `&mut self` trait `DynamicSpIndex`, deprecated
 //! since 0.2.0, has been removed: it serialized queries against maintenance
@@ -101,7 +147,7 @@ use crate::queries::Query;
 use crate::types::{Dist, VertexId};
 use crate::updates::UpdateBatch;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// One completed update stage: after `elapsed_in_stage` of work the stage's
@@ -278,6 +324,12 @@ pub struct SnapshotPublisher {
     slot: RwLock<Arc<dyn QueryView>>,
     version: AtomicU64,
     log: Mutex<Vec<PublishEvent>>,
+    /// Ingest-batch tag stamped onto every publication (see
+    /// [`SnapshotPublisher::set_batch_tag`]).
+    batch_tag: AtomicU64,
+    /// Version mirror + condvar backing [`SnapshotPublisher::wait_for_version`].
+    watch: Mutex<u64>,
+    watch_cv: Condvar,
 }
 
 /// One publication: which stage became available, when, and what the stage's
@@ -290,6 +342,12 @@ pub struct PublishEvent {
     pub stage: usize,
     /// Publisher version right after this publication.
     pub version: u64,
+    /// The ingest batch this publication belongs to: the tag installed by
+    /// [`SnapshotPublisher::set_batch_tag`] before the maintainer ran (0 when
+    /// no ingest pipeline tagged the publisher — e.g. a directly driven
+    /// maintainer). Lets update tickets and benches attribute staged
+    /// publications to the coalesced batch that caused them.
+    pub batch: u64,
     /// Copy-on-write chunks/bytes the maintainer cloned while producing this
     /// stage (zero when published via [`SnapshotPublisher::publish`], which
     /// carries no telemetry).
@@ -297,12 +355,22 @@ pub struct PublishEvent {
 }
 
 impl SnapshotPublisher {
+    /// Publication-log retention bound: the oldest events are dropped once
+    /// the undrained log exceeds this many entries, so a publisher serving
+    /// indefinitely (no harness calling [`SnapshotPublisher::take_log`])
+    /// uses bounded memory. Harness runs drain per batch/run and stay far
+    /// below this.
+    pub const MAX_LOG_EVENTS: usize = 4096;
+
     /// Creates a publisher holding `initial` as the current snapshot.
     pub fn new(initial: Arc<dyn QueryView>) -> Self {
         SnapshotPublisher {
             slot: RwLock::new(initial),
             version: AtomicU64::new(0),
             log: Mutex::new(Vec::new()),
+            batch_tag: AtomicU64::new(0),
+            watch: Mutex::new(0),
+            watch_cv: Condvar::new(),
         }
     }
 
@@ -326,15 +394,28 @@ impl SnapshotPublisher {
         let mut slot = self.slot.write().expect("publisher poisoned");
         *slot = view;
         let version = self.version.fetch_add(1, Ordering::AcqRel) + 1;
-        self.log
-            .lock()
-            .expect("publisher log poisoned")
-            .push(PublishEvent {
+        {
+            let mut log = self.log.lock().expect("publisher log poisoned");
+            log.push(PublishEvent {
                 at: Instant::now(),
                 stage,
                 version,
+                batch: self.batch_tag.load(Ordering::Acquire),
                 cow,
             });
+            // Long-lived servers publish forever and may never drain the
+            // log; cap it so memory (and `cow_since` scans) stay bounded.
+            // The measurement harnesses drain far below the cap.
+            if log.len() > Self::MAX_LOG_EVENTS {
+                let excess = log.len() - Self::MAX_LOG_EVENTS;
+                log.drain(..excess);
+            }
+        }
+        // Wake version watchers. The mirror is updated while the slot write
+        // lock is still held, so a waiter released by this publication
+        // observes the new snapshot through `snapshot()`.
+        *self.watch.lock().expect("publisher watch poisoned") = version;
+        self.watch_cv.notify_all();
     }
 
     /// Returns an owned handle to the newest snapshot.
@@ -359,9 +440,66 @@ impl SnapshotPublisher {
         self.version.load(Ordering::Acquire)
     }
 
-    /// Drains and returns the publication log.
+    /// Drains and returns the publication log (at most the newest
+    /// [`SnapshotPublisher::MAX_LOG_EVENTS`] events — older ones are
+    /// discarded at publish time if nobody drains).
     pub fn take_log(&self) -> Vec<PublishEvent> {
         std::mem::take(&mut self.log.lock().expect("publisher log poisoned"))
+    }
+
+    /// Blocks until at least `version` publications have happened.
+    ///
+    /// Returns immediately when the publisher is already at (or past)
+    /// `version`. This is the primitive behind update tickets'
+    /// `wait_visible()`: a waiter released by the publication of `version`
+    /// is guaranteed to see a snapshot at least that new from
+    /// [`SnapshotPublisher::snapshot`] — no polling loop required.
+    pub fn wait_for_version(&self, version: u64) {
+        let mut seen = self.watch.lock().expect("publisher watch poisoned");
+        while *seen < version {
+            seen = self.watch_cv.wait(seen).expect("publisher watch poisoned");
+        }
+    }
+
+    /// Like [`SnapshotPublisher::wait_for_version`], but gives up after
+    /// `timeout`. Returns `true` when the version was reached.
+    pub fn wait_for_version_timeout(&self, version: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut seen = self.watch.lock().expect("publisher watch poisoned");
+        while *seen < version {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .watch_cv
+                .wait_timeout(seen, deadline - now)
+                .expect("publisher watch poisoned");
+            seen = guard;
+        }
+        true
+    }
+
+    /// Installs the ingest-batch tag stamped onto subsequent publications
+    /// (see [`PublishEvent::batch`]). Called by the update feed's
+    /// maintenance thread before it hands a coalesced batch to the
+    /// maintainer, so every staged publication of that repair is
+    /// attributable to the batch.
+    pub fn set_batch_tag(&self, batch: u64) {
+        self.batch_tag.store(batch, Ordering::Release);
+    }
+
+    /// Sums the copy-on-write clone telemetry of all logged publications
+    /// newer than `version`, without draining the log. Used by the update
+    /// feed to attach the snapshot-isolation price of one coalesced batch to
+    /// its tickets while leaving the log for the measurement harnesses.
+    pub fn cow_since(&self, version: u64) -> CowStats {
+        self.log
+            .lock()
+            .expect("publisher log poisoned")
+            .iter()
+            .filter(|e| e.version > version)
+            .fold(CowStats::default(), |acc, e| acc.plus(e.cow))
     }
 }
 
@@ -584,6 +722,71 @@ mod tests {
         assert!(log[0].cow.is_zero(), "plain publish carries no telemetry");
         assert_eq!(log[1].cow.chunks_cloned, 3);
         assert_eq!(log[1].cow.bytes_cloned, 4096);
+    }
+
+    #[test]
+    fn wait_for_version_wakes_watchers_without_polling() {
+        let publisher = Arc::new(SnapshotPublisher::new(Arc::new(Fixed {
+            stage: 0,
+            graph: tiny_graph(),
+        })));
+        // Already-satisfied waits return immediately.
+        publisher.wait_for_version(0);
+        assert!(publisher.wait_for_version_timeout(0, Duration::from_millis(1)));
+        // A watcher parked on a future version is released by the publish
+        // and observes a snapshot at least that new.
+        let waiter = {
+            let publisher = Arc::clone(&publisher);
+            std::thread::spawn(move || {
+                publisher.wait_for_version(2);
+                publisher.snapshot().stage()
+            })
+        };
+        publisher.publish(Arc::new(Fixed {
+            stage: 1,
+            graph: tiny_graph(),
+        }));
+        publisher.publish(Arc::new(Fixed {
+            stage: 2,
+            graph: tiny_graph(),
+        }));
+        assert!(waiter.join().expect("waiter panicked") >= 2);
+        // A timeout on a version that never arrives reports false.
+        assert!(!publisher.wait_for_version_timeout(99, Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn publications_carry_the_installed_batch_tag() {
+        let publisher = SnapshotPublisher::new(Arc::new(Fixed {
+            stage: 0,
+            graph: tiny_graph(),
+        }));
+        publisher.publish(Arc::new(Fixed {
+            stage: 0,
+            graph: tiny_graph(),
+        }));
+        publisher.set_batch_tag(7);
+        publisher.publish_with_cow(
+            Arc::new(Fixed {
+                stage: 1,
+                graph: tiny_graph(),
+            }),
+            CowStats {
+                chunks_cloned: 1,
+                bytes_cloned: 64,
+            },
+        );
+        publisher.publish(Arc::new(Fixed {
+            stage: 2,
+            graph: tiny_graph(),
+        }));
+        // cow_since sums without draining.
+        assert_eq!(publisher.cow_since(1).bytes_cloned, 64);
+        assert_eq!(publisher.cow_since(2).bytes_cloned, 0);
+        let log = publisher.take_log();
+        assert_eq!(log[0].batch, 0, "pre-tag publication is untagged");
+        assert_eq!(log[1].batch, 7);
+        assert_eq!(log[2].batch, 7, "tag persists until replaced");
     }
 
     #[test]

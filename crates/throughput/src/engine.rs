@@ -1,11 +1,16 @@
 //! The concurrent query engine: **measured** throughput, not modeled.
 //!
-//! [`QueryEngine`] runs `num_workers` query worker threads that continuously
-//! answer shortest-distance queries against the snapshot currently published
-//! in a [`SnapshotPublisher`], while the calling thread acts as the
-//! maintenance thread: it replays update batches through an
-//! [`IndexMaintainer`], which publishes a fresh snapshot at the end of each
-//! completed update stage (the staged availability of Figure 1).
+//! [`QueryEngine`] is a measurement driver over the
+//! [`RoadNetworkServer`] facade: it runs
+//! `num_workers` query worker threads that continuously answer
+//! shortest-distance queries against the snapshot currently published by the
+//! server, while the calling thread plays the traffic source — it submits
+//! update batches through the server's [`UpdateFeed`](crate::UpdateFeed) and
+//! forces a batch boundary per round, so the server's maintenance thread
+//! repairs the index and publishes a fresh snapshot at the end of each
+//! completed update stage (the staged availability of Figure 1). Because the
+//! engine drives the same public ingest/serve API an application would
+//! deploy, its numbers measure the real stack, not a test harness shortcut.
 //!
 //! Workers are never blocked by maintenance and never observe a
 //! half-repaired index: they always query the latest *published* snapshot,
@@ -28,11 +33,9 @@
 //! integration test (this is orders of magnitude slower than serving, so it
 //! is off by default).
 
+use crate::server::RoadNetworkServer;
 use htsp_graph::cow::CowStats;
-use htsp_graph::{
-    Graph, IndexMaintainer, Query, QuerySet, QueryView, SnapshotPublisher, UpdateGenerator,
-    UpdateTimeline, VertexId,
-};
+use htsp_graph::{Query, QuerySet, QueryView, UpdateGenerator, UpdateTimeline, VertexId};
 use htsp_search::dijkstra_distance;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
@@ -232,10 +235,14 @@ pub struct EngineReport {
     /// Copy-on-write clone effort per query stage (index = stage), summed
     /// over every publication of that stage: the snapshot-isolation price
     /// each repair stage actually paid, as reported by the maintainer
-    /// through [`SnapshotPublisher::publish_with_cow`].
+    /// through [`htsp_graph::SnapshotPublisher::publish_with_cow`].
     pub per_stage_cow: Vec<CowStats>,
     /// Update timeline of every replayed batch.
     pub timelines: Vec<UpdateTimeline>,
+    /// Submit-to-visible latency (seconds) per batch: from the first
+    /// update's submission to the publication of the first snapshot
+    /// containing it, as observed by the batch's `wait_visible()` ticket.
+    pub visibility_lags: Vec<f64>,
     /// Number of answers that failed Dijkstra verification (always 0 unless
     /// `verify` was enabled and the index is broken).
     pub verify_failures: u64,
@@ -307,21 +314,30 @@ impl QueryEngine {
         &self.config
     }
 
-    /// Runs the engine: `num_workers` query threads race the maintenance
-    /// loop (executed on the calling thread) over `num_batches` update
-    /// batches, all against `maintainer`'s published snapshots.
-    pub fn run(&self, graph: &Graph, maintainer: &mut dyn IndexMaintainer) -> EngineReport {
+    /// Runs the engine against a live [`RoadNetworkServer`]: `num_workers`
+    /// query threads race the server's maintenance thread over
+    /// `num_batches` update batches, which the calling thread submits
+    /// through the server's update feed, closing each round with an
+    /// explicit flush boundary. Host the server with
+    /// [`CoalescePolicy::manual`](crate::CoalescePolicy::manual) (what
+    /// [`RoadNetworkServer::host`] does) so each round is exactly one feed
+    /// batch; under an auto-flushing policy a round may split into several
+    /// batches, which the report then merges into one round timeline.
+    ///
+    /// The same server can be measured repeatedly (different workloads,
+    /// repetitions); each run drains the publisher log it produced.
+    pub fn run(&self, server: &RoadNetworkServer) -> EngineReport {
         let cfg = &self.config;
-        let num_stages = maintainer.num_query_stages();
-        let queries = QuerySet::random(graph, cfg.query_pool, cfg.seed ^ 0x51ab);
-        let publisher = SnapshotPublisher::new(maintainer.current_view());
+        let num_stages = server.num_query_stages();
+        let queries = server.with_graph(|g| QuerySet::random(g, cfg.query_pool, cfg.seed ^ 0x51ab));
+        let publisher = &**server.publisher();
         let stop = AtomicBool::new(false);
         let start = Instant::now();
         let bucket_nanos = cfg.bucket.as_nanos().max(1) as u64;
 
-        let mut working = graph.clone();
         let mut gen = UpdateGenerator::new(cfg.seed);
         let mut timelines = Vec::with_capacity(cfg.num_batches);
+        let mut visibility_lags = Vec::with_capacity(cfg.num_batches);
 
         // If the maintenance loop (or anything else in the scope body)
         // panics, the workers must still be told to stop — otherwise
@@ -338,7 +354,6 @@ impl QueryEngine {
             let _stop_on_unwind = StopGuard(&stop);
             let mut handles = Vec::with_capacity(cfg.num_workers);
             for w in 0..cfg.num_workers {
-                let publisher = &publisher;
                 let stop = &stop;
                 let queries = &queries;
                 let verify = cfg.verify;
@@ -449,14 +464,35 @@ impl QueryEngine {
                 }));
             }
 
-            // Maintenance loop on this thread: replay the batches, publishing
-            // staged snapshots as repairs complete, then let the workers
-            // drain against the final stage for the configured pause.
+            // Traffic loop on this thread: submit each round's updates
+            // through the server's feed and force a batch boundary; the
+            // server's maintenance thread coalesces, repairs, and publishes
+            // staged snapshots while the workers keep serving. Then let the
+            // workers drain against the final stage for the configured
+            // pause.
             for _ in 0..cfg.num_batches {
-                let batch = gen.generate(&working, cfg.update_volume);
-                working.apply_batch(&batch);
-                let timeline = maintainer.apply_batch(&working, &batch, &publisher);
-                timelines.push(timeline);
+                let batch = server.with_graph(|g| gen.generate(g, cfg.update_volume));
+                let tickets = server.feed().submit_all(batch.as_slice().iter().copied());
+                let barrier = server.feed().flush();
+                let vis = tickets.first().unwrap_or(&barrier).wait_visible();
+                visibility_lags.push(vis.latency.as_secs_f64());
+                // Under a manual policy (how every bench/test hosts the
+                // server) the whole round is one feed batch and this merge
+                // is a no-op; under an auto-flushing policy the round may
+                // have split into several batches, so the round timeline
+                // concatenates every distinct outcome's stages to keep the
+                // reported t_u covering the full round.
+                let mut seen_batches = std::collections::HashSet::new();
+                let mut round_timeline = UpdateTimeline::default();
+                for ticket in tickets.iter().chain(std::iter::once(&barrier)) {
+                    let outcome = ticket.wait_applied();
+                    if seen_batches.insert(outcome.batch_seq) {
+                        for stage in &outcome.timeline.stages {
+                            round_timeline.push(stage.name.clone(), stage.duration);
+                        }
+                    }
+                }
+                timelines.push(round_timeline);
                 if !cfg.pause_between_batches.is_zero() {
                     std::thread::sleep(cfg.pause_between_batches);
                 }
@@ -517,7 +553,7 @@ impl QueryEngine {
             .collect();
 
         EngineReport {
-            algorithm: maintainer.name().to_string(),
+            algorithm: server.algorithm().to_string(),
             workload: cfg.workload,
             num_workers: cfg.num_workers,
             total_queries,
@@ -532,6 +568,7 @@ impl QueryEngine {
             publications,
             per_stage_cow,
             timelines,
+            visibility_lags,
             verify_failures,
             first_failure,
         }
@@ -541,8 +578,11 @@ impl QueryEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::feed::CoalescePolicy;
     use htsp_graph::gen::{grid, WeightRange};
-    use htsp_graph::{Dist, QueryView, UpdateBatch, VertexId};
+    use htsp_graph::{
+        Dist, Graph, IndexMaintainer, QueryView, SnapshotPublisher, UpdateBatch, VertexId,
+    };
     use std::sync::Arc;
 
     /// A trivial single-stage maintainer for exercising the engine.
@@ -597,6 +637,15 @@ mod tests {
         }
     }
 
+    fn host(g: &Graph) -> RoadNetworkServer {
+        RoadNetworkServer::builder()
+            .maintainer(Box::new(Fake {
+                graph: Arc::new(g.clone()),
+            }))
+            .coalesce(CoalescePolicy::manual())
+            .start(g)
+    }
+
     #[test]
     fn batched_workloads_count_pairs_and_verify() {
         let g = grid(6, 6, WeightRange::new(1, 9), 2);
@@ -605,9 +654,7 @@ mod tests {
             WorkloadKind::OneToMany { fanout: 8 },
             WorkloadKind::Matrix { side: 4 },
         ] {
-            let mut fake = Fake {
-                graph: Arc::new(g.clone()),
-            };
+            let server = host(&g);
             let engine = QueryEngine::builder()
                 .workers(2)
                 .batches(2)
@@ -615,7 +662,8 @@ mod tests {
                 .pause_between_batches(Duration::from_millis(10))
                 .workload(workload)
                 .build();
-            let report = engine.run(&g, &mut fake);
+            let report = engine.run(&server);
+            server.shutdown();
             assert_eq!(report.workload, workload);
             assert!(report.total_queries > 0, "{workload:?} answered nothing");
             assert_eq!(
@@ -645,22 +693,23 @@ mod tests {
     #[test]
     fn engine_counts_queries_and_publications() {
         let g = grid(6, 6, WeightRange::new(1, 9), 1);
-        let mut fake = Fake {
-            graph: Arc::new(g.clone()),
-        };
+        let server = host(&g);
         let engine = QueryEngine::builder()
             .workers(4)
             .batches(2)
             .update_volume(5)
             .pause_between_batches(Duration::from_millis(20))
             .build();
-        let report = engine.run(&g, &mut fake);
+        let report = engine.run(&server);
+        server.shutdown();
         assert_eq!(report.algorithm, "fake");
         assert_eq!(report.num_workers, 4);
         assert!(report.total_queries > 0, "workers answered no queries");
         assert!(report.measured_qps > 0.0);
         assert_eq!(report.timelines.len(), 2);
         assert_eq!(report.publications.len(), 2);
+        assert_eq!(report.visibility_lags.len(), 2);
+        assert!(report.visibility_lags.iter().all(|&l| l >= 0.0));
         assert_eq!(report.verify_failures, 0);
         // Full buckets account for their exact counts; the final bucket is
         // divided by its (shorter) actual span, so the reconstruction is a

@@ -35,7 +35,10 @@
 
 pub mod config;
 pub mod engine;
+pub mod feed;
 pub mod model;
+pub mod registry;
+pub mod server;
 pub mod service;
 pub mod simulator;
 
@@ -43,6 +46,9 @@ pub use config::SystemConfig;
 pub use engine::{
     EngineReport, QpsSample, QueryEngine, QueryEngineBuilder, QueryEngineConfig, WorkloadKind,
 };
+pub use feed::{CoalescePolicy, FeedStats, UpdateFeed, UpdateOutcome, UpdateTicket, Visibility};
 pub use model::{lemma1_bound, staged_throughput, QueryStats};
+pub use registry::{AlgorithmKind, BuildParams};
+pub use server::{RoadNetworkServer, ServerBuilder};
 pub use service::{BatchAnswer, BatchTicket, DistanceService, QueryBatch};
 pub use simulator::{BatchOutcome, QpsPoint, ThroughputHarness, ThroughputResult};

@@ -1,0 +1,216 @@
+//! The first-class algorithm registry: every dynamic shortest-distance index
+//! in the repository, constructible by name through one factory.
+//!
+//! [`AlgorithmKind`] enumerates the nine algorithms of the paper's comparison
+//! (§VII) and [`AlgorithmKind::build`] turns a kind plus [`BuildParams`] into
+//! a boxed [`IndexMaintainer`]. This is the registry the
+//! [`RoadNetworkServer`](crate::RoadNetworkServer) builder consumes, and it
+//! replaces the hand-rolled constructor lists that used to live in
+//! `htsp-bench` and the integration tests: one place decides how a name maps
+//! to index machinery, everywhere else says *which* index it wants.
+
+use htsp_baselines::{BiDijkstraBaseline, DchBaseline, Dh2hBaseline, ToainBaseline};
+use htsp_core::{Mhl, Pmhl, PmhlConfig, PostMhl, PostMhlConfig};
+use htsp_graph::{Graph, IndexMaintainer};
+use htsp_partition::TdPartitionConfig;
+use htsp_psp::{NChP, PTdP};
+
+/// One of the nine dynamic shortest-distance algorithms of the paper's
+/// evaluation, identified independently of its construction parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AlgorithmKind {
+    /// Index-free bidirectional Dijkstra (no repair cost, slow queries).
+    BiDijkstra,
+    /// Dynamic Contraction Hierarchies.
+    Dch,
+    /// Dynamic H2H labelling.
+    Dh2h,
+    /// TOAIN (SCOB-adapted capped CH).
+    Toain,
+    /// No-boundary partitioned CH (N-CH-P).
+    NChP,
+    /// Pre-boundary partitioned tree decomposition (P-TD-P).
+    PTdP,
+    /// Multi-stage Hierarchical Labelling (single-machine MHL).
+    Mhl,
+    /// Partitioned MHL — one of the paper's contributions.
+    Pmhl,
+    /// Post-boundary MHL — the paper's headline contribution.
+    PostMhl,
+}
+
+/// Construction parameters shared by the whole registry.
+///
+/// Every algorithm reads the subset it needs: the partitioned indexes take
+/// `num_partitions` / `seed`, the parallel maintainers take `num_threads`,
+/// TOAIN takes its contraction `toain_level_cap`, and PostMHL derives its
+/// TD-partitioning configuration from `num_partitions` and
+/// `postmhl_bandwidth`.
+#[derive(Clone, Copy, Debug)]
+pub struct BuildParams {
+    /// Partition count `k` for PMHL / N-CH-P / P-TD-P (PostMHL's expected
+    /// partition count `k_e` is derived as `max(4k, 8)`).
+    pub num_partitions: usize,
+    /// Worker threads for partition-parallel maintenance stages.
+    pub num_threads: usize,
+    /// Partitioner seed.
+    pub seed: u64,
+    /// TOAIN contraction level cap.
+    pub toain_level_cap: usize,
+    /// PostMHL TD-partitioning bandwidth `τ`.
+    pub postmhl_bandwidth: usize,
+}
+
+impl Default for BuildParams {
+    fn default() -> Self {
+        BuildParams {
+            num_partitions: 8,
+            num_threads: 4,
+            seed: 1,
+            toain_level_cap: 64,
+            postmhl_bandwidth: 16,
+        }
+    }
+}
+
+impl BuildParams {
+    /// Convenience constructor for the two knobs almost every caller sets.
+    pub fn new(num_partitions: usize, num_threads: usize) -> Self {
+        BuildParams {
+            num_partitions,
+            num_threads,
+            ..BuildParams::default()
+        }
+    }
+
+    /// The PMHL configuration these parameters describe.
+    pub fn pmhl_config(&self) -> PmhlConfig {
+        PmhlConfig {
+            num_partitions: self.num_partitions,
+            num_threads: self.num_threads,
+            seed: self.seed,
+        }
+    }
+
+    /// The PostMHL configuration these parameters describe.
+    pub fn postmhl_config(&self) -> PostMhlConfig {
+        PostMhlConfig {
+            partitioning: TdPartitionConfig {
+                bandwidth: self.postmhl_bandwidth,
+                expected_partitions: (self.num_partitions * 4).max(8),
+                beta_lower: 0.1,
+                beta_upper: 2.0,
+            },
+            num_threads: self.num_threads,
+        }
+    }
+}
+
+impl AlgorithmKind {
+    /// Every algorithm of the paper's comparison, in the canonical table
+    /// order (baselines first, the paper's contributions last).
+    pub const ALL: [AlgorithmKind; 9] = [
+        AlgorithmKind::BiDijkstra,
+        AlgorithmKind::Dch,
+        AlgorithmKind::Dh2h,
+        AlgorithmKind::Toain,
+        AlgorithmKind::NChP,
+        AlgorithmKind::PTdP,
+        AlgorithmKind::Mhl,
+        AlgorithmKind::Pmhl,
+        AlgorithmKind::PostMhl,
+    ];
+
+    /// The paper's contributions only (PMHL + PostMHL).
+    pub const OURS: [AlgorithmKind; 2] = [AlgorithmKind::Pmhl, AlgorithmKind::PostMhl];
+
+    /// Everything except the slowest baselines (used on larger presets).
+    pub const FAST: [AlgorithmKind; 6] = [
+        AlgorithmKind::Dch,
+        AlgorithmKind::Dh2h,
+        AlgorithmKind::NChP,
+        AlgorithmKind::PTdP,
+        AlgorithmKind::Pmhl,
+        AlgorithmKind::PostMhl,
+    ];
+
+    /// The table name of the algorithm; matches
+    /// [`IndexMaintainer::name`] of the built maintainer.
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgorithmKind::BiDijkstra => "BiDijkstra",
+            AlgorithmKind::Dch => "DCH",
+            AlgorithmKind::Dh2h => "DH2H",
+            AlgorithmKind::Toain => "TOAIN",
+            AlgorithmKind::NChP => "N-CH-P",
+            AlgorithmKind::PTdP => "P-TD-P",
+            AlgorithmKind::Mhl => "MHL",
+            AlgorithmKind::Pmhl => "PMHL",
+            AlgorithmKind::PostMhl => "PostMHL",
+        }
+    }
+
+    /// Resolves a table name (as produced by [`AlgorithmKind::name`],
+    /// case-insensitively) back to its kind.
+    pub fn from_name(name: &str) -> Option<AlgorithmKind> {
+        AlgorithmKind::ALL
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(name))
+    }
+
+    /// Builds the index machinery of this kind over `graph`.
+    ///
+    /// Construction is the expensive step (seconds at laptop scale for the
+    /// labelled indexes); the returned maintainer is ready to serve through
+    /// [`IndexMaintainer::current_view`] and to be repaired through
+    /// `apply_batch`.
+    pub fn build(self, graph: &Graph, params: &BuildParams) -> Box<dyn IndexMaintainer> {
+        match self {
+            AlgorithmKind::BiDijkstra => Box::new(BiDijkstraBaseline::new(graph)),
+            AlgorithmKind::Dch => Box::new(DchBaseline::build(graph)),
+            AlgorithmKind::Dh2h => Box::new(Dh2hBaseline::build(graph)),
+            AlgorithmKind::Toain => Box::new(ToainBaseline::build(graph, params.toain_level_cap)),
+            AlgorithmKind::NChP => Box::new(NChP::build(graph, params.num_partitions, params.seed)),
+            AlgorithmKind::PTdP => Box::new(PTdP::build(graph, params.num_partitions, params.seed)),
+            AlgorithmKind::Mhl => Box::new(Mhl::build(graph)),
+            AlgorithmKind::Pmhl => Box::new(Pmhl::build(graph, params.pmhl_config())),
+            AlgorithmKind::PostMhl => Box::new(PostMhl::build(graph, params.postmhl_config())),
+        }
+    }
+}
+
+impl std::fmt::Display for AlgorithmKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htsp_graph::gen::{grid, WeightRange};
+
+    #[test]
+    fn names_round_trip_and_match_the_maintainers() {
+        let g = grid(6, 6, WeightRange::new(1, 10), 2);
+        let params = BuildParams::new(2, 1);
+        for kind in AlgorithmKind::ALL {
+            assert_eq!(AlgorithmKind::from_name(kind.name()), Some(kind));
+            let maintainer = kind.build(&g, &params);
+            assert_eq!(maintainer.name(), kind.name(), "{kind:?} name mismatch");
+            assert!(maintainer.num_query_stages() >= 1);
+        }
+        assert_eq!(
+            AlgorithmKind::from_name("postmhl"),
+            Some(AlgorithmKind::PostMhl)
+        );
+        assert_eq!(AlgorithmKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn subsets_are_subsets_of_all() {
+        for k in AlgorithmKind::OURS.iter().chain(AlgorithmKind::FAST.iter()) {
+            assert!(AlgorithmKind::ALL.contains(k));
+        }
+    }
+}

@@ -1,0 +1,462 @@
+//! The server facade: one object that owns the whole serving stack of the
+//! paper's system model — graph, index maintenance, snapshot publication,
+//! and the batched query front-end.
+//!
+//! ```text
+//!            submit(EdgeUpdate) ──► UpdateFeed ──┐ coalesce (CoalescePolicy)
+//!                                                ▼
+//!                               maintenance thread: apply_batch
+//!                                    │ staged publications
+//!                                    ▼
+//!                             SnapshotPublisher ──► QueryView snapshots
+//!                                    │                    ▲
+//!                                    ▼                    │ sessions
+//!                        ticket.wait_visible()      DistanceService /
+//!                        (read-your-writes)         caller threads
+//! ```
+//!
+//! A [`RoadNetworkServer`] is built from the [`AlgorithmKind`] registry (or
+//! a custom [`IndexMaintainer`]) via [`RoadNetworkServer::builder`]. Once
+//! started, queries and updates run *concurrently*: readers drain published
+//! snapshots and are never blocked by maintenance; writers submit into the
+//! [`UpdateFeed`] and use their [`UpdateTicket`]s for read-your-writes
+//! acknowledgements. The measurement harnesses (`ThroughputHarness`,
+//! `QueryEngine`) are thin drivers over this same facade.
+
+use crate::feed::{CoalescePolicy, UpdateFeed, UpdateTicket};
+use crate::registry::{AlgorithmKind, BuildParams};
+use crate::service::{BatchTicket, DistanceService, QueryBatch};
+use htsp_graph::{
+    Dist, EdgeUpdate, Graph, IndexMaintainer, QueryView, SnapshotPublisher, VertexId,
+};
+use std::sync::mpsc;
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
+
+/// Builder for [`RoadNetworkServer`]; obtained from
+/// [`RoadNetworkServer::builder`].
+pub struct ServerBuilder {
+    algorithm: AlgorithmKind,
+    params: BuildParams,
+    maintainer: Option<Box<dyn IndexMaintainer>>,
+    policy: CoalescePolicy,
+    query_workers: usize,
+}
+
+impl Default for ServerBuilder {
+    fn default() -> Self {
+        ServerBuilder {
+            algorithm: AlgorithmKind::PostMhl,
+            params: BuildParams::default(),
+            maintainer: None,
+            policy: CoalescePolicy::default(),
+            query_workers: 0,
+        }
+    }
+}
+
+impl ServerBuilder {
+    /// Selects the index algorithm from the registry (default:
+    /// [`AlgorithmKind::PostMhl`], the paper's headline contribution).
+    pub fn algorithm(mut self, kind: AlgorithmKind) -> Self {
+        self.algorithm = kind;
+        self
+    }
+
+    /// Sets the registry construction parameters.
+    pub fn build_params(mut self, params: BuildParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Uses an already-built maintainer instead of the registry (custom
+    /// index machinery, or a registry build whose internals the caller
+    /// inspected before hosting it).
+    pub fn maintainer(mut self, maintainer: Box<dyn IndexMaintainer>) -> Self {
+        self.maintainer = Some(maintainer);
+        self
+    }
+
+    /// Sets the update-coalescing policy (batch size / Δt).
+    pub fn coalesce(mut self, policy: CoalescePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Number of [`DistanceService`] worker threads answering
+    /// [`QueryBatch`]es (0 — the default — starts no service; callers query
+    /// snapshots directly).
+    pub fn query_workers(mut self, n: usize) -> Self {
+        self.query_workers = n;
+        self
+    }
+
+    /// Builds the index over `graph` (the expensive step, unless a
+    /// maintainer was supplied), spawns the maintenance thread and the
+    /// optional query workers, and returns the running server.
+    pub fn start(self, graph: &Graph) -> RoadNetworkServer {
+        let maintainer = self
+            .maintainer
+            .unwrap_or_else(|| self.algorithm.build(graph, &self.params));
+        let algorithm = maintainer.name();
+        let num_query_stages = maintainer.num_query_stages();
+        let publisher = Arc::new(SnapshotPublisher::new(maintainer.current_view()));
+        let shared_graph = Arc::new(RwLock::new(graph.clone()));
+        let feed = UpdateFeed::new(Arc::clone(&publisher), Arc::clone(&shared_graph));
+        let policy = self.policy;
+        let maintenance = {
+            let feed = feed.clone();
+            std::thread::Builder::new()
+                .name("htsp-maintenance".to_string())
+                .spawn(move || feed.run_maintenance(maintainer, policy))
+                .expect("spawn maintenance thread")
+        };
+        let service = (self.query_workers > 0)
+            .then(|| DistanceService::start(Arc::clone(&publisher), self.query_workers));
+        RoadNetworkServer {
+            graph: shared_graph,
+            publisher,
+            feed,
+            maintenance: Some(maintenance),
+            service,
+            algorithm,
+            num_query_stages,
+        }
+    }
+}
+
+/// A running dynamic road-network distance server; see the
+/// [module docs](self) for the architecture.
+///
+/// Dropping the server shuts it down (pending updates are still applied and
+/// queued query batches answered); [`RoadNetworkServer::shutdown`] does the
+/// same but hands the index machinery back for reuse.
+pub struct RoadNetworkServer {
+    graph: Arc<RwLock<Graph>>,
+    publisher: Arc<SnapshotPublisher>,
+    feed: UpdateFeed,
+    maintenance: Option<JoinHandle<Box<dyn IndexMaintainer>>>,
+    service: Option<DistanceService>,
+    algorithm: &'static str,
+    num_query_stages: usize,
+}
+
+impl RoadNetworkServer {
+    /// Starts building a server.
+    pub fn builder() -> ServerBuilder {
+        ServerBuilder::default()
+    }
+
+    /// Shorthand: hosts an already-built maintainer over `graph` with
+    /// manual batching ([`CoalescePolicy::manual`]) and no query workers —
+    /// the configuration the measurement harnesses drive, where every round
+    /// is exactly one explicitly flushed batch.
+    pub fn host(graph: &Graph, maintainer: Box<dyn IndexMaintainer>) -> RoadNetworkServer {
+        RoadNetworkServer::builder()
+            .maintainer(maintainer)
+            .coalesce(CoalescePolicy::manual())
+            .start(graph)
+    }
+
+    /// The algorithm name of the hosted index (e.g. `"PostMHL"`).
+    pub fn algorithm(&self) -> &'static str {
+        self.algorithm
+    }
+
+    /// Number of query stages the hosted index exposes.
+    pub fn num_query_stages(&self) -> usize {
+        self.num_query_stages
+    }
+
+    /// The ingestion handle: submit edge-weight updates, get visibility
+    /// tickets. Clone it freely into producer threads.
+    pub fn feed(&self) -> &UpdateFeed {
+        &self.feed
+    }
+
+    /// Convenience: [`UpdateFeed::submit`].
+    pub fn submit(&self, update: EdgeUpdate) -> UpdateTicket {
+        self.feed.submit(update)
+    }
+
+    /// The snapshot publisher queries read from (hand it to custom serving
+    /// threads; the harnesses drain its publication log).
+    pub fn publisher(&self) -> &Arc<SnapshotPublisher> {
+        &self.publisher
+    }
+
+    /// An owned handle to the newest published snapshot.
+    pub fn snapshot(&self) -> Arc<dyn QueryView> {
+        self.publisher.snapshot()
+    }
+
+    /// Convenience single query on the newest snapshot. Serving threads
+    /// should open a session on [`RoadNetworkServer::snapshot`] (or use the
+    /// [`DistanceService`]) instead.
+    pub fn distance(&self, s: VertexId, t: VertexId) -> Dist {
+        self.publisher.snapshot().distance(s, t)
+    }
+
+    /// The batched query front-end, when the server was started with
+    /// [`ServerBuilder::query_workers`] > 0.
+    pub fn query_service(&self) -> Option<&DistanceService> {
+        self.service.as_ref()
+    }
+
+    /// Submits a [`QueryBatch`] to the query front-end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server was built with `query_workers(0)`.
+    pub fn submit_queries(&self, batch: QueryBatch) -> BatchTicket {
+        self.service
+            .as_ref()
+            .expect("server started without query workers")
+            .submit(batch)
+    }
+
+    /// Runs `f` against the server's current graph (brief read lock; the
+    /// graph only changes while a coalesced batch installs its weights).
+    pub fn with_graph<R>(&self, f: impl FnOnce(&Graph) -> R) -> R {
+        f(&self.graph.read().expect("server graph poisoned"))
+    }
+
+    /// Runs `f` on the maintenance thread with exclusive access to the
+    /// index maintainer and returns its result.
+    ///
+    /// The job runs between batches, never mid-repair, so it may block for
+    /// as long as the repair in front of it takes. This is the
+    /// introspection escape hatch the measurement harnesses use
+    /// (per-stage views, index size); serving paths never need it.
+    pub fn with_index<R, F>(&self, f: F) -> R
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut dyn IndexMaintainer) -> R + Send + 'static,
+    {
+        let (tx, rx) = mpsc::channel();
+        self.feed.enqueue_job(Box::new(move |maintainer| {
+            let _ = tx.send(f(maintainer));
+        }));
+        rx.recv().expect("maintenance thread dropped the job")
+    }
+
+    /// Shuts the server down: stops the query workers (queued batches are
+    /// answered first), applies any pending updates, joins the maintenance
+    /// thread, and returns the index machinery.
+    pub fn shutdown(mut self) -> Box<dyn IndexMaintainer> {
+        self.shutdown_inner()
+            .expect("maintenance thread panicked during shutdown")
+    }
+
+    fn shutdown_inner(&mut self) -> Option<Box<dyn IndexMaintainer>> {
+        if let Some(service) = self.service.take() {
+            service.shutdown();
+        }
+        let handle = self.maintenance.take()?;
+        self.feed.begin_shutdown();
+        match handle.join() {
+            Ok(maintainer) => Some(maintainer),
+            Err(panic) => {
+                self.feed.poison_pending("maintenance thread panicked");
+                std::panic::resume_unwind(panic);
+            }
+        }
+    }
+}
+
+impl Drop for RoadNetworkServer {
+    fn drop(&mut self) {
+        if self.maintenance.is_some() && !std::thread::panicking() {
+            let _ = self.shutdown_inner();
+        } else if let Some(service) = self.service.take() {
+            service.shutdown();
+        }
+    }
+}
+
+impl std::fmt::Debug for RoadNetworkServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RoadNetworkServer")
+            .field("algorithm", &self.algorithm)
+            .field("published_version", &self.publisher.version())
+            .field("feed", &self.feed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feed::CoalescePolicy;
+    use htsp_graph::gen::{grid, WeightRange};
+    use htsp_graph::{EdgeId, QuerySet, UpdateBatch};
+    use htsp_search::dijkstra_distance;
+    use std::time::Duration;
+
+    fn drift(g: &Graph, i: usize) -> EdgeUpdate {
+        let e = EdgeId::from_index(i % g.num_edges());
+        let old = g.edge_weight(e);
+        EdgeUpdate::new(e, old, old + 1)
+    }
+
+    #[test]
+    fn size_triggered_coalescing_flushes_exactly_at_max_batch() {
+        let g = grid(8, 8, WeightRange::new(5, 30), 3);
+        let server = RoadNetworkServer::builder()
+            .algorithm(AlgorithmKind::Dch)
+            .coalesce(CoalescePolicy::by_size(4))
+            .start(&g);
+        // Three updates: under the size trigger, nothing may flush.
+        let mut working = g.clone();
+        let tickets: Vec<_> = (0..3)
+            .map(|i| {
+                let u = drift(&working, i * 7);
+                working.apply_batch(&UpdateBatch::from_updates(vec![u]));
+                server.submit(u)
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(tickets.iter().all(|t| t.try_outcome().is_none()));
+        assert_eq!(server.publisher().version(), 0, "batch flushed early");
+        // The fourth trips the size trigger; all four tickets share the
+        // outcome of one coalesced batch.
+        let u = drift(&working, 91);
+        working.apply_batch(&UpdateBatch::from_updates(vec![u]));
+        let last = server.submit(u);
+        let outcome = last.wait_applied();
+        assert_eq!(outcome.batch_len, 4);
+        for t in &tickets {
+            assert_eq!(t.wait_applied().batch_seq, outcome.batch_seq);
+        }
+        assert!(server.publisher().version() >= outcome.first_version);
+        server.shutdown();
+    }
+
+    #[test]
+    fn delay_triggered_coalescing_flushes_after_delta_t() {
+        let g = grid(8, 8, WeightRange::new(5, 30), 5);
+        let server = RoadNetworkServer::builder()
+            .algorithm(AlgorithmKind::Dch)
+            .coalesce(CoalescePolicy::by_delay(Duration::from_millis(25)))
+            .start(&g);
+        let ticket = server.submit(drift(&g, 11));
+        let visibility = ticket.wait_visible();
+        assert!(
+            visibility.latency >= Duration::from_millis(25),
+            "delay-triggered flush fired before Δt: {:?}",
+            visibility.latency
+        );
+        let outcome = ticket.wait_applied();
+        assert_eq!(outcome.batch_len, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn policy_flushes_cap_the_batch_size_but_barriers_drain_everything() {
+        let g = grid(8, 8, WeightRange::new(5, 30), 17);
+        let server = RoadNetworkServer::builder()
+            .algorithm(AlgorithmKind::Dch)
+            .coalesce(CoalescePolicy::by_size(2))
+            .start(&g);
+        let mut working = g.clone();
+        let tickets: Vec<_> = (0..5)
+            .map(|i| {
+                let u = drift(&working, i * 13);
+                working.apply_batch(&UpdateBatch::from_updates(vec![u]));
+                server.submit(u)
+            })
+            .collect();
+        // 5 updates under a cap of 2: the size trigger fires twice (2 + 2);
+        // the leftover single update sits below the trigger until the
+        // explicit barrier drains it.
+        let outcomes: Vec<_> = tickets[..4].iter().map(|t| t.wait_applied()).collect();
+        assert_eq!(outcomes[0].batch_len, 2);
+        assert_eq!(outcomes[1].batch_seq, outcomes[0].batch_seq);
+        assert_eq!(outcomes[2].batch_len, 2);
+        assert_ne!(outcomes[2].batch_seq, outcomes[0].batch_seq);
+        assert!(
+            tickets[4].try_outcome().is_none(),
+            "cap overflow flushed early"
+        );
+        let tail = server.feed().flush();
+        assert_eq!(tail.wait_applied().batch_len, 1);
+        assert_eq!(tickets[4].wait_applied().batch_len, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn an_idle_feed_publishes_nothing() {
+        let g = grid(6, 6, WeightRange::new(1, 9), 7);
+        let server = RoadNetworkServer::builder()
+            .algorithm(AlgorithmKind::Dch)
+            .coalesce(CoalescePolicy::by_delay(Duration::from_millis(5)))
+            .start(&g);
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(server.publisher().version(), 0);
+        assert!(server.publisher().take_log().is_empty());
+        assert_eq!(server.feed().stats().batches_applied, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn forced_flush_applies_even_an_empty_batch() {
+        let g = grid(6, 6, WeightRange::new(1, 9), 9);
+        let server = RoadNetworkServer::builder()
+            .algorithm(AlgorithmKind::Dch)
+            .coalesce(CoalescePolicy::by_size(1_000_000))
+            .start(&g);
+        let ticket = server.feed().flush();
+        let outcome = ticket.wait_applied();
+        assert_eq!(outcome.batch_len, 0);
+        assert!(
+            server.publisher().version() >= 1,
+            "an explicit flush must republish"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn tickets_give_read_your_writes_and_shutdown_returns_the_index() {
+        let g = grid(8, 8, WeightRange::new(5, 30), 11);
+        let server = RoadNetworkServer::builder()
+            .algorithm(AlgorithmKind::Dch)
+            .coalesce(CoalescePolicy::by_size(2))
+            .start(&g);
+        let mut working = g.clone();
+        let u0 = drift(&working, 3);
+        working.apply_batch(&UpdateBatch::from_updates(vec![u0]));
+        let u1 = drift(&working, 57);
+        working.apply_batch(&UpdateBatch::from_updates(vec![u1]));
+        let t0 = server.submit(u0);
+        let _t1 = server.submit(u1);
+        let vis = t0.wait_visible();
+        // Read-your-writes: the newest snapshot answers on a graph that
+        // contains the submitted weight.
+        let view = server.snapshot();
+        assert_eq!(view.graph().edge_weight(u0.edge), u0.new_weight);
+        let qs = QuerySet::random(&working, 12, 5);
+        t0.wait_applied();
+        let view = server.snapshot();
+        for q in &qs {
+            assert_eq!(
+                view.distance(q.source, q.target),
+                dijkstra_distance(view.graph(), q.source, q.target)
+            );
+        }
+        assert!(vis.version >= 1);
+        let maintainer = server.shutdown();
+        assert_eq!(maintainer.name(), "DCH");
+    }
+
+    #[test]
+    fn with_index_runs_between_batches() {
+        let g = grid(6, 6, WeightRange::new(1, 9), 13);
+        let server = RoadNetworkServer::builder()
+            .algorithm(AlgorithmKind::Dch)
+            .start(&g);
+        let (name, stages) = server.with_index(|m| (m.name(), m.num_query_stages()));
+        assert_eq!(name, "DCH");
+        assert_eq!(stages, server.num_query_stages());
+        server.shutdown();
+    }
+}

@@ -34,6 +34,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// One client request: a bundle of distance queries answered together by a
 /// single session (and therefore by a single snapshot).
@@ -88,25 +89,74 @@ pub struct BatchAnswer {
 }
 
 /// A pending [`BatchAnswer`]; returned by [`DistanceService::submit`].
+///
+/// A batch is answered exactly once: after any wait variant has yielded the
+/// answer, further polls return `None`.
 pub struct BatchTicket {
     rx: mpsc::Receiver<BatchAnswer>,
+    answered: std::cell::Cell<bool>,
 }
 
 impl BatchTicket {
+    fn new(rx: mpsc::Receiver<BatchAnswer>) -> Self {
+        BatchTicket {
+            rx,
+            answered: std::cell::Cell::new(false),
+        }
+    }
+
     /// Blocks until the batch is answered.
     ///
     /// # Panics
     ///
-    /// Panics if the service shut down before answering (dropped mid-batch).
+    /// Panics if the service shut down before answering (dropped mid-batch),
+    /// or if the answer was already taken by a previous wait.
     pub fn wait(self) -> BatchAnswer {
+        assert!(!self.answered.get(), "batch answer already taken");
         self.rx.recv().expect("distance service dropped the batch")
     }
 
-    /// Non-blocking poll; consumes the ticket only on success.
-    pub fn try_wait(self) -> Result<BatchAnswer, BatchTicket> {
+    /// Non-blocking poll: the answer if it is already in, `None` otherwise
+    /// (the ticket stays usable either way, so callers can poll in a loop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service shut down before answering (dropped mid-batch).
+    pub fn try_wait(&self) -> Option<BatchAnswer> {
+        if self.answered.get() {
+            return None;
+        }
         match self.rx.try_recv() {
-            Ok(answer) => Ok(answer),
-            Err(_) => Err(self),
+            Ok(answer) => {
+                self.answered.set(true);
+                Some(answer)
+            }
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => {
+                panic!("distance service dropped the batch")
+            }
+        }
+    }
+
+    /// Blocks for at most `timeout`; `None` means the batch was still
+    /// unanswered when the timeout expired (the ticket stays usable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service shut down before answering (dropped mid-batch).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<BatchAnswer> {
+        if self.answered.get() {
+            return None;
+        }
+        match self.rx.recv_timeout(timeout) {
+            Ok(answer) => {
+                self.answered.set(true);
+                Some(answer)
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                panic!("distance service dropped the batch")
+            }
         }
     }
 }
@@ -251,7 +301,7 @@ impl DistanceService {
             queue.push_back(Job { batch, reply: tx });
         }
         self.shared.available.notify_one();
-        BatchTicket { rx }
+        BatchTicket::new(rx)
     }
 
     /// Convenience: submits and waits in one call.
@@ -374,6 +424,37 @@ mod tests {
         // The pre-update answers were exact on the *old* graph — snapshot
         // isolation end to end.
         drop(service);
+    }
+
+    #[test]
+    fn tickets_poll_and_time_out_without_being_consumed() {
+        let g = grid(5, 5, WeightRange::new(1, 5), 2);
+        let idx = DchBaseline::build(&g);
+        let publisher = Arc::new(SnapshotPublisher::new(idx.current_view()));
+        let service = DistanceService::start(publisher, 1);
+        let ticket = service.submit(QueryBatch::PointToPoint(vec![Query::new(
+            VertexId(0),
+            VertexId(24),
+        )]));
+        // Poll until the answer lands; the ticket survives misses.
+        let answer = loop {
+            if let Some(a) = ticket.try_wait() {
+                break a;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        assert_eq!(
+            answer.distances[0],
+            dijkstra_distance(&g, VertexId(0), VertexId(24))
+        );
+        // An answered ticket times out (channel empty) instead of blocking.
+        let again = service.submit(QueryBatch::PointToPoint(vec![Query::new(
+            VertexId(1),
+            VertexId(2),
+        )]));
+        assert!(again.wait_timeout(Duration::from_secs(5)).is_some());
+        assert!(again.wait_timeout(Duration::from_millis(1)).is_none());
+        service.shutdown();
     }
 
     #[test]

@@ -1,14 +1,13 @@
-//! The throughput harness: drives any [`IndexMaintainer`] through a sequence
-//! of update batches, measures its staged availability and per-stage query
-//! latency via [`QueryView`] snapshots, and evaluates the throughput metrics
-//! of §VII. (For *measured* concurrent throughput, see
-//! [`crate::engine::QueryEngine`].)
+//! The throughput harness: drives a [`RoadNetworkServer`] through a sequence
+//! of update batches (submitted through the server's update feed), measures
+//! its staged availability and per-stage query latency via [`QueryView`]
+//! snapshots, and evaluates the throughput metrics of §VII. (For *measured*
+//! concurrent throughput, see [`crate::engine::QueryEngine`].)
 
 use crate::config::SystemConfig;
 use crate::model::{lemma1_bound, staged_throughput, QueryStats};
-use htsp_graph::{
-    Graph, IndexMaintainer, QuerySet, QueryView, SnapshotPublisher, UpdateBatch, UpdateGenerator,
-};
+use crate::server::RoadNetworkServer;
+use htsp_graph::{QuerySet, QueryView, UpdateGenerator};
 use std::time::{Duration, Instant};
 
 /// One point of the QPS-evolution curve (Fig. 13): at `elapsed` seconds after
@@ -93,43 +92,53 @@ impl ThroughputHarness {
         samples
     }
 
-    /// Measures the average query latency of one explicit stage.
-    fn measure_stage(index: &dyn IndexMaintainer, queries: &QuerySet, stage: usize) -> f64 {
-        if queries.is_empty() {
-            return 0.0;
-        }
-        let view = index.view_at_stage(stage);
-        let t = Instant::now();
-        for q in queries {
-            let _ = view.distance(q.source, q.target);
-        }
-        t.elapsed().as_secs_f64() / queries.len() as f64
-    }
-
-    /// Runs the full measurement for one algorithm: `num_batches` update
-    /// batches are generated, applied and repaired, and query latency is
-    /// measured per stage. Returns the aggregated result.
-    pub fn run(&self, graph: &Graph, index: &mut dyn IndexMaintainer) -> ThroughputResult {
-        let mut working = graph.clone();
+    /// Runs the full measurement against a live [`RoadNetworkServer`]:
+    /// `num_batches` update batches are generated from the server's graph,
+    /// submitted through its update feed (one forced batch boundary per
+    /// round), and query latency is measured per stage through the server's
+    /// index-introspection hook. Returns the aggregated result.
+    pub fn run(&self, server: &RoadNetworkServer) -> ThroughputResult {
         let mut gen = UpdateGenerator::new(self.seed);
-        let queries = QuerySet::random(&working, self.config.query_sample, self.seed ^ 0x5eed);
-        let stage_sample = QuerySet::random(
-            &working,
-            (self.config.query_sample / 4).max(10),
-            self.seed ^ 0xabcd,
-        );
+        let (queries, stage_sample) = server.with_graph(|g| {
+            (
+                QuerySet::random(g, self.config.query_sample, self.seed ^ 0x5eed),
+                QuerySet::random(
+                    g,
+                    (self.config.query_sample / 4).max(10),
+                    self.seed ^ 0xabcd,
+                ),
+            )
+        });
 
         let mut batches = Vec::with_capacity(self.num_batches);
         for _ in 0..self.num_batches {
-            let batch: UpdateBatch = gen.generate(&working, self.config.update_volume);
-            working.apply_batch(&batch);
-            // The model harness is sequential: the publisher collects the
-            // staged snapshots; per-stage speed is measured afterwards.
-            let publisher = SnapshotPublisher::new(index.current_view());
-            let apply_start = Instant::now();
-            let timeline = index.apply_batch(&working, &batch, &publisher);
-            let publications = publisher.take_log();
+            let batch = server.with_graph(|g| gen.generate(g, self.config.update_volume));
+            // The model harness is sequential: submit the round's updates,
+            // force the batch boundary, and wait for the staged repair;
+            // per-stage speed is measured afterwards.
+            server.feed().submit_all(batch.as_slice().iter().copied());
+            let outcome = server.feed().flush().wait_applied();
+            let publications = server.publisher().take_log();
+            let timeline = &outcome.timeline;
             let update_time = timeline.total().as_secs_f64();
+            let apply_start = outcome.apply_start;
+
+            // Each query stage's average latency over the (fully repaired)
+            // current data, measured with exclusive access to the index
+            // between batches.
+            let sample = stage_sample.clone();
+            let stage_latency: Vec<f64> = server.with_index(move |index| {
+                (0..index.num_query_stages())
+                    .map(|stage| {
+                        let view = index.view_at_stage(stage);
+                        let t = Instant::now();
+                        for q in &sample {
+                            let _ = view.distance(q.source, q.target);
+                        }
+                        t.elapsed().as_secs_f64() / sample.len().max(1) as f64
+                    })
+                    .collect()
+            });
 
             // Per-stage query time: the query stage available at the end of
             // timeline stage i is the one most recently *published* by then
@@ -139,7 +148,7 @@ impl ThroughputHarness {
             // under-estimates them by untimed gaps, so a publication is
             // never credited early; the final stage is by contract the
             // fully-repaired one.
-            let n_qstages = index.num_query_stages();
+            let n_qstages = server.num_query_stages();
             let mut stages = Vec::with_capacity(timeline.stages.len());
             let mut qps_evolution = Vec::new();
             let mut elapsed = 0.0;
@@ -155,15 +164,16 @@ impl ThroughputHarness {
                 } else {
                     current_qstage.min(n_qstages - 1)
                 };
-                let tq = Self::measure_stage(index, &stage_sample, qstage);
+                let tq = stage_latency[qstage.min(stage_latency.len() - 1)];
                 stages.push((s.duration.as_secs_f64(), tq));
                 qps_evolution.push(QpsPoint {
                     elapsed,
                     qps: if tq > 0.0 { 1.0 / tq } else { f64::INFINITY },
                 });
             }
-            // Final-stage statistics over the full sample.
-            let samples = Self::measure_queries(&*index.current_view(), &queries);
+            // Final-stage statistics over the full sample, against the
+            // published (fully repaired) snapshot.
+            let samples = Self::measure_queries(&*server.snapshot(), &queries);
             let final_stats = QueryStats::from_samples(&samples);
             batches.push(BatchOutcome {
                 update_time,
@@ -197,12 +207,12 @@ impl ThroughputHarness {
             / batches.len().max(1) as f64;
 
         ThroughputResult {
-            algorithm: index.name().to_string(),
+            algorithm: server.algorithm().to_string(),
             avg_update_time,
             avg_query_time,
             lemma1_throughput: lemma1,
             staged_throughput: staged,
-            index_size_bytes: index.index_size_bytes(),
+            index_size_bytes: server.with_index(|index| index.index_size_bytes()),
             batches,
         }
     }
@@ -212,7 +222,9 @@ impl ThroughputHarness {
 mod tests {
     use super::*;
     use htsp_graph::gen::{grid, WeightRange};
-    use htsp_graph::{Dist, UpdateTimeline, VertexId};
+    use htsp_graph::{
+        Dist, Graph, IndexMaintainer, SnapshotPublisher, UpdateBatch, UpdateTimeline, VertexId,
+    };
     use std::sync::Arc;
 
     /// A trivial index used to exercise the harness deterministically.
@@ -273,10 +285,14 @@ mod tests {
             query_sample: 20,
         };
         let harness = ThroughputHarness::new(config, 7, 3);
-        let mut idx = Fake {
-            graph: Arc::new(g.clone()),
-        };
-        let result = harness.run(&g, &mut idx);
+        let server = RoadNetworkServer::host(
+            &g,
+            Box::new(Fake {
+                graph: Arc::new(g.clone()),
+            }),
+        );
+        let result = harness.run(&server);
+        server.shutdown();
         assert_eq!(result.algorithm, "fake");
         assert_eq!(result.batches.len(), 3);
         assert!(result.avg_update_time > 0.0);

@@ -8,6 +8,7 @@ use htsp::core::{PostMhl, PostMhlConfig};
 use htsp::graph::gen;
 use htsp::partition::TdPartitionConfig;
 use htsp::throughput::{SystemConfig, ThroughputHarness};
+use htsp::RoadNetworkServer;
 
 fn main() {
     let road = gen::grid_with_diagonals(48, 48, gen::WeightRange::new(1, 100), 0.08, 33);
@@ -25,7 +26,7 @@ fn main() {
         "k_e", "partitions", "t_u (s)", "λ*_q (q/s)"
     );
     for ke in [8usize, 16, 32, 64] {
-        let mut idx = PostMhl::build(
+        let idx = PostMhl::build(
             &road,
             PostMhlConfig {
                 partitioning: TdPartitionConfig {
@@ -38,7 +39,9 @@ fn main() {
             },
         );
         let parts = idx.num_partitions();
-        let r = harness.run(&road, &mut idx);
+        let server = RoadNetworkServer::host(&road, Box::new(idx));
+        let r = harness.run(&server);
+        server.shutdown();
         println!(
             "{:>6} {:>12} {:>12.4} {:>14.1}",
             ke,
@@ -54,7 +57,7 @@ fn main() {
         "τ", "|V(overlay)|", "t_u (s)", "λ*_q (q/s)"
     );
     for tau in [8usize, 16, 24, 32] {
-        let mut idx = PostMhl::build(
+        let idx = PostMhl::build(
             &road,
             PostMhlConfig {
                 partitioning: TdPartitionConfig {
@@ -67,7 +70,9 @@ fn main() {
             },
         );
         let overlay = idx.num_overlay_vertices();
-        let r = harness.run(&road, &mut idx);
+        let server = RoadNetworkServer::host(&road, Box::new(idx));
+        let r = harness.run(&server);
+        server.shutdown();
         println!(
             "{:>6} {:>14} {:>12.4} {:>14.1}",
             tau,

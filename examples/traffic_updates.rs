@@ -1,17 +1,32 @@
-//! Traffic-update scenario: a stream of update batches hits the index every
-//! interval while queries keep arriving (the Figure 1 situation). The example
-//! compares how DH2H (fast queries, slow repair), DCH (fast repair, slow
-//! queries) and PostMHL (multi-stage) spend the same maintenance window —
-//! first with the Lemma 1 *model*, then with the concurrent `QueryEngine`
-//! actually *measuring* QPS while maintenance races the query workers.
+//! Traffic-update scenario on the `RoadNetworkServer` facade: a stream of
+//! edge-weight updates is *submitted* to a running server while queries keep
+//! arriving (the Figure 1 situation, driven through the public ingest API).
+//!
+//! Three phases:
+//!
+//! 1. **Modeled** — the Lemma 1 harness drives DCH (fast repair, slow
+//!    queries), DH2H (fast queries, slow repair) and PostMHL (multi-stage)
+//!    through hosted servers and reports the modeled throughput bound.
+//! 2. **Measured** — the concurrent `QueryEngine` races real query workers
+//!    against the servers' published snapshots under several workload
+//!    shapes.
+//! 3. **Live ingest** — updates stream into the server's `UpdateFeed` under
+//!    a delay-based `CoalescePolicy` while a `DistanceService` answers
+//!    query batches; every update ticket reports its submit-to-visible
+//!    latency (read-your-writes lag).
 //!
 //! Run with `cargo run --release --example traffic_updates`.
 
-use htsp::baselines::{DchBaseline, Dh2hBaseline};
-use htsp::core::{PostMhl, PostMhlConfig};
-use htsp::graph::gen;
-use htsp::throughput::{QueryEngine, SystemConfig, ThroughputHarness, WorkloadKind};
+use htsp::graph::{gen, EdgeId, EdgeUpdate, Query, VertexId};
+use htsp::throughput::{QueryBatch, QueryEngine, SystemConfig, ThroughputHarness, WorkloadKind};
+use htsp::{AlgorithmKind, CoalescePolicy, RoadNetworkServer};
 use std::time::Duration;
+
+const KINDS: [AlgorithmKind; 3] = [
+    AlgorithmKind::Dch,
+    AlgorithmKind::Dh2h,
+    AlgorithmKind::PostMhl,
+];
 
 fn main() {
     let road = gen::grid_with_diagonals(48, 48, gen::WeightRange::new(1, 100), 0.1, 21);
@@ -29,16 +44,14 @@ fn main() {
     };
     let harness = ThroughputHarness::new(config, 9, 3);
 
-    let mut dch = DchBaseline::build(&road);
-    let mut dh2h = Dh2hBaseline::build(&road);
-    let mut postmhl = PostMhl::build(&road, PostMhlConfig::default());
-
     println!("\n-- modeled (Lemma 1 + staged availability) --");
-    for result in [
-        harness.run(&road, &mut dch),
-        harness.run(&road, &mut dh2h),
-        harness.run(&road, &mut postmhl),
-    ] {
+    for kind in KINDS {
+        let server = RoadNetworkServer::builder()
+            .algorithm(kind)
+            .coalesce(CoalescePolicy::manual())
+            .start(&road);
+        let result = harness.run(&server);
+        server.shutdown();
         println!(
             "{:<10} t_u = {:>8.4} s | t_q = {:>8.2} µs | λ*_q ≈ {:>10.1} queries/s",
             result.algorithm,
@@ -57,10 +70,9 @@ fn main() {
     }
 
     // Measured: four query workers hammer the published snapshots while the
-    // maintenance thread replays batches. Workers are never blocked; each
-    // answer is exact on the snapshot's own graph version. The single-call
-    // mode takes a snapshot + scratch per query; the batched mode pins one
-    // session per published snapshot and drains bundles through it.
+    // server's maintenance thread coalesces and repairs the submitted
+    // batches. Workers are never blocked; each answer is exact on the
+    // snapshot's own graph version.
     for workload in [
         WorkloadKind::SingleCall,
         WorkloadKind::Batched { batch_size: 64 },
@@ -78,14 +90,13 @@ fn main() {
             .workload(workload)
             .seed(9)
             .build();
-        let mut dch = DchBaseline::build(&road);
-        let mut dh2h = Dh2hBaseline::build(&road);
-        let mut postmhl = PostMhl::build(&road, PostMhlConfig::default());
-        for report in [
-            engine.run(&road, &mut dch),
-            engine.run(&road, &mut dh2h),
-            engine.run(&road, &mut postmhl),
-        ] {
+        for kind in KINDS {
+            let server = RoadNetworkServer::builder()
+                .algorithm(kind)
+                .coalesce(CoalescePolicy::manual())
+                .start(&road);
+            let report = engine.run(&server);
+            server.shutdown();
             println!(
                 "{:<10} {:>9} pairs in {:>6.3} s = {:>10.0} pairs/s measured | stages hit: {:?}",
                 report.algorithm,
@@ -102,4 +113,57 @@ fn main() {
             println!("            snapshots: {}", pubs.join("  "));
         }
     }
+
+    // Live ingest: the deployment shape. Updates stream in one by one and
+    // are coalesced by the Δt policy; a DistanceService answers query
+    // batches concurrently; tickets report the submit-to-visible lag.
+    println!("\n-- live ingest (PostMHL server, Δt = 50 ms coalescing, 2 query workers) --");
+    let server = RoadNetworkServer::builder()
+        .algorithm(AlgorithmKind::PostMhl)
+        .coalesce(CoalescePolicy::new(64, Duration::from_millis(50)))
+        .query_workers(2)
+        .start(&road);
+
+    let n = road.num_vertices() as u32;
+    let mut query_tickets = Vec::new();
+    let mut update_tickets = Vec::new();
+    for i in 0..40u32 {
+        // A query batch and an update submission, interleaved — neither
+        // waits for the other.
+        query_tickets.push(
+            server.submit_queries(QueryBatch::PointToPoint(vec![Query::new(
+                VertexId((i * 97) % n),
+                VertexId((i * 53 + 11) % n),
+            )])),
+        );
+        let update = server.with_graph(|g| {
+            let e = EdgeId::from_index((i as usize * 131) % g.num_edges());
+            let w = g.edge_weight(e);
+            EdgeUpdate::new(e, w, w + 5)
+        });
+        update_tickets.push(server.submit(update));
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let mut lags: Vec<f64> = update_tickets
+        .iter()
+        .map(|t| t.wait_visible().latency.as_secs_f64() * 1e3)
+        .collect();
+    let answered = query_tickets
+        .into_iter()
+        .map(|t| t.wait())
+        .filter(|a| !a.distances.is_empty())
+        .count();
+    lags.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let stats = server.feed().stats();
+    println!(
+        "{} updates coalesced into {} batches while {} query batches were answered",
+        stats.updates_applied, stats.batches_applied, answered
+    );
+    println!(
+        "submit-to-visible lag: min {:.1} ms | median {:.1} ms | max {:.1} ms",
+        lags.first().expect("lags"),
+        lags[lags.len() / 2],
+        lags.last().expect("lags")
+    );
+    server.shutdown();
 }

@@ -64,10 +64,47 @@
 //!                                       queries.as_slice()[0].target).is_finite());
 //! ```
 //!
-//! To *measure* throughput under concurrent maintenance, see
-//! [`throughput::QueryEngine`] (single-call and session-batched workload
-//! modes); to *serve* batched traffic, see [`throughput::DistanceService`]
-//! (a queue of `QueryBatch` requests drained by session-pinning workers).
+//! # Serving: the `RoadNetworkServer` facade
+//!
+//! Production deployments do not drive `apply_batch` by hand — they run a
+//! [`RoadNetworkServer`]: one object owning the graph, the index maintenance
+//! thread, the snapshot publisher, and (optionally) a pool of query workers.
+//! Updates stream in asynchronously through its [`UpdateFeed`]
+//! (`submit(EdgeUpdate) -> UpdateTicket`), are coalesced into batches under
+//! a [`CoalescePolicy`] (max batch size `|U|`, max delay Δt — the Δt of
+//! Lemma 1), and each ticket's `wait_visible()` gives read-your-writes:
+//!
+//! ```
+//! use htsp::{AlgorithmKind, CoalescePolicy, RoadNetworkServer};
+//! use htsp::graph::{gen, EdgeId, EdgeUpdate, IndexMaintainer};
+//!
+//! let road = gen::grid(12, 12, gen::WeightRange::new(1, 60), 7);
+//! let server = RoadNetworkServer::builder()
+//!     .algorithm(AlgorithmKind::Dch)       // any of the nine registry kinds
+//!     .coalesce(CoalescePolicy::by_size(2))
+//!     .query_workers(2)                    // batched DistanceService front-end
+//!     .start(&road);
+//!
+//! // Traffic: an edge slows down; submit the change while queries keep
+//! // flowing against the published snapshots.
+//! let e = EdgeId::from_index(17);
+//! let old = road.edge_weight(e);
+//! let t0 = server.submit(EdgeUpdate::new(e, old, old + 30));
+//! let t1 = server.submit(EdgeUpdate::new(e, old + 30, old + 35));
+//! let visibility = t1.wait_visible();      // read-your-writes barrier
+//! assert_eq!(server.snapshot().graph().edge_weight(e), old + 35);
+//! let outcome = t0.wait_applied();         // full staged-repair report
+//! assert_eq!(outcome.batch_len, 2);        // both updates coalesced
+//! let index = server.shutdown();           // machinery handed back
+//! assert_eq!(index.name(), "DCH");
+//! ```
+//!
+//! To *measure* throughput under concurrent maintenance, drive the same
+//! server with [`throughput::QueryEngine`] (single-call and session-batched
+//! workload modes) or the Lemma 1 model harness
+//! [`throughput::ThroughputHarness`]; to *serve* batched traffic, see
+//! [`throughput::DistanceService`] (a queue of `QueryBatch` requests drained
+//! by session-pinning workers, started by `query_workers(n)`).
 //!
 //! Snapshot isolation rides on the chunked copy-on-write storage layer in
 //! [`graph::cow`]: label and distance tables live in
@@ -87,6 +124,12 @@ pub use htsp_psp as psp;
 pub use htsp_search as search;
 pub use htsp_td as td;
 pub use htsp_throughput as throughput;
+
+// The serving facade, re-exported flat: what a deployment touches first.
+pub use htsp_throughput::{
+    AlgorithmKind, BuildParams, CoalescePolicy, RoadNetworkServer, ServerBuilder, UpdateFeed,
+    UpdateOutcome, UpdateTicket, Visibility,
+};
 
 /// The version of the reproduction.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -10,11 +10,11 @@
 //! (fine — that view carries the older graph and is exact on it), but it may
 //! never observe a half-repaired index.
 
-use htsp::baselines::{BiDijkstraBaseline, DchBaseline};
 use htsp::core::{Pmhl, PmhlConfig, PostMhl, PostMhlConfig};
 use htsp::graph::{gen, Graph, IndexMaintainer, SnapshotPublisher, UpdateGenerator, VertexId};
 use htsp::search::dijkstra_distance;
 use htsp::throughput::{DistanceService, QueryBatch, QueryEngine, WorkloadKind};
+use htsp::{AlgorithmKind, RoadNetworkServer};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -22,8 +22,9 @@ fn road() -> Graph {
     gen::grid_with_diagonals(12, 12, gen::WeightRange::new(2, 60), 0.15, 23)
 }
 
-fn race(maintainer: &mut dyn IndexMaintainer, workers: usize) {
+fn race(maintainer: Box<dyn IndexMaintainer>, workers: usize) {
     let g = road();
+    let server = RoadNetworkServer::host(&g, maintainer);
     let engine = QueryEngine::builder()
         .workers(workers)
         .batches(4)
@@ -33,7 +34,8 @@ fn race(maintainer: &mut dyn IndexMaintainer, workers: usize) {
         .verify(true)
         .seed(91)
         .build();
-    let report = engine.run(&g, maintainer);
+    let report = engine.run(&server);
+    server.shutdown();
     assert_eq!(
         report.verify_failures,
         0,
@@ -66,36 +68,35 @@ fn race(maintainer: &mut dyn IndexMaintainer, workers: usize) {
 #[test]
 fn postmhl_serves_exact_answers_while_maintenance_races() {
     let g = road();
-    let mut idx = PostMhl::build(&g, PostMhlConfig::default());
-    race(&mut idx, 4);
+    race(Box::new(PostMhl::build(&g, PostMhlConfig::default())), 4);
 }
 
 #[test]
 fn pmhl_serves_exact_answers_while_maintenance_races() {
     let g = road();
-    let mut idx = Pmhl::build(
-        &g,
-        PmhlConfig {
-            num_partitions: 4,
-            num_threads: 2,
-            seed: 3,
-        },
+    race(
+        Box::new(Pmhl::build(
+            &g,
+            PmhlConfig {
+                num_partitions: 4,
+                num_threads: 2,
+                seed: 3,
+            },
+        )),
+        4,
     );
-    race(&mut idx, 4);
 }
 
 #[test]
 fn dch_baseline_serves_exact_answers_while_maintenance_races() {
     let g = road();
-    let mut idx = DchBaseline::build(&g);
-    race(&mut idx, 4);
+    race(AlgorithmKind::Dch.build(&g, &Default::default()), 4);
 }
 
 #[test]
 fn bidijkstra_baseline_serves_exact_answers_while_maintenance_races() {
     let g = road();
-    let mut idx = BiDijkstraBaseline::new(&g);
-    race(&mut idx, 6);
+    race(AlgorithmKind::BiDijkstra.build(&g, &Default::default()), 6);
 }
 
 #[test]
@@ -110,7 +111,8 @@ fn batched_sessions_race_maintenance_without_staleness() {
         WorkloadKind::OneToMany { fanout: 8 },
         WorkloadKind::Matrix { side: 3 },
     ] {
-        let mut idx = PostMhl::build(&g, PostMhlConfig::default());
+        let server =
+            RoadNetworkServer::host(&g, Box::new(PostMhl::build(&g, PostMhlConfig::default())));
         let engine = QueryEngine::builder()
             .workers(4)
             .batches(3)
@@ -121,7 +123,8 @@ fn batched_sessions_race_maintenance_without_staleness() {
             .workload(workload)
             .seed(37)
             .build();
-        let report = engine.run(&g, &mut idx);
+        let report = engine.run(&server);
+        server.shutdown();
         assert_eq!(
             report.verify_failures,
             0,
@@ -202,7 +205,8 @@ fn multi_stage_snapshots_are_observed_during_maintenance() {
     // snapshot that is current during the multi-millisecond repair, and the
     // final cross-boundary one that serves between batches.
     let g = gen::grid_with_diagonals(24, 24, gen::WeightRange::new(2, 60), 0.1, 29);
-    let mut idx = PostMhl::build(&g, PostMhlConfig::default());
+    let server =
+        RoadNetworkServer::host(&g, Box::new(PostMhl::build(&g, PostMhlConfig::default())));
     let engine = QueryEngine::builder()
         .workers(4)
         .batches(6)
@@ -211,7 +215,7 @@ fn multi_stage_snapshots_are_observed_during_maintenance() {
         .query_pool(256)
         .seed(17)
         .build();
-    let report = engine.run(&g, &mut idx);
+    let report = engine.run(&server);
     let stages_hit = report.per_stage_queries.iter().filter(|&&c| c > 0).count();
     assert!(
         stages_hit >= 2,
@@ -220,7 +224,8 @@ fn multi_stage_snapshots_are_observed_during_maintenance() {
     );
     // The publication log must show the staged release pattern: every batch
     // publishes intermediate stages before ending at the final stage.
-    let final_stage = idx.num_query_stages() - 1;
+    let final_stage = server.num_query_stages() - 1;
+    server.shutdown();
     assert_eq!(
         report.publications.last().map(|&(_, s)| s),
         Some(final_stage)

@@ -15,32 +15,19 @@
 //!    (the telemetry in the publication log is non-zero), and the clone
 //!    volume is bounded by the component sizes.
 
-use htsp::baselines::{BiDijkstraBaseline, DchBaseline, Dh2hBaseline, ToainBaseline};
-use htsp::core::{Mhl, Pmhl, PmhlConfig, PostMhl, PostMhlConfig};
+use htsp::core::{Pmhl, PmhlConfig, PostMhl, PostMhlConfig};
 use htsp::graph::{gen, IndexMaintainer, QuerySet, QueryView, SnapshotPublisher, UpdateGenerator};
-use htsp::psp::{NChP, PTdP};
 use htsp::search::dijkstra_distance;
+use htsp::{AlgorithmKind, BuildParams};
 use std::sync::Arc;
 
+/// All nine registry algorithms, built with small-test parameters.
 fn algorithms(g: &htsp::graph::Graph) -> Vec<Box<dyn IndexMaintainer>> {
-    vec![
-        Box::new(BiDijkstraBaseline::new(g)),
-        Box::new(DchBaseline::build(g)),
-        Box::new(Dh2hBaseline::build(g)),
-        Box::new(ToainBaseline::build(g, 64)),
-        Box::new(NChP::build(g, 4, 1)),
-        Box::new(PTdP::build(g, 4, 1)),
-        Box::new(Mhl::build(g)),
-        Box::new(Pmhl::build(
-            g,
-            PmhlConfig {
-                num_partitions: 4,
-                num_threads: 2,
-                seed: 3,
-            },
-        )),
-        Box::new(PostMhl::build(g, PostMhlConfig::default())),
-    ]
+    let params = BuildParams::new(4, 2);
+    AlgorithmKind::ALL
+        .iter()
+        .map(|kind| kind.build(g, &params))
+        .collect()
 }
 
 /// Every answer of `view` must be exact on `view`'s *own* graph snapshot.

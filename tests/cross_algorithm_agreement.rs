@@ -3,39 +3,28 @@
 //! across several update batches — the paper's implicit no-staleness
 //! correctness requirement.
 //!
-//! The first test drives all nine algorithms through the session API (one
+//! The first test drives all nine algorithms of the [`AlgorithmKind`]
+//! registry through the session API (one
 //! [`QuerySession`](htsp::graph::QuerySession) per published snapshot); the
 //! second exercises the per-stage snapshot views of the multi-stage indexes.
 //! (The legacy `DynamicSpIndex` shim was removed in PR 3; snapshot isolation
-//! under concurrent maintenance is covered by `tests/cow_snapshot_isolation.rs`.)
+//! under concurrent maintenance is covered by `tests/cow_snapshot_isolation.rs`;
+//! read-your-writes through the server facade by `tests/server_visibility.rs`.)
 
-use htsp::baselines::{BiDijkstraBaseline, DchBaseline, Dh2hBaseline, ToainBaseline};
 use htsp::core::{Mhl, Pmhl, PmhlConfig, PostMhl, PostMhlConfig};
 use htsp::graph::{gen, IndexMaintainer, QuerySet, SnapshotPublisher, UpdateGenerator};
-use htsp::psp::{NChP, PTdP};
 use htsp::search::dijkstra_distance;
+use htsp::{AlgorithmKind, BuildParams};
 
 #[test]
 fn all_algorithms_agree_on_a_dynamic_workload() {
     let mut g = gen::grid_with_diagonals(12, 12, gen::WeightRange::new(2, 60), 0.15, 77);
-    let mut algorithms: Vec<Box<dyn IndexMaintainer>> = vec![
-        Box::new(BiDijkstraBaseline::new(&g)),
-        Box::new(DchBaseline::build(&g)),
-        Box::new(Dh2hBaseline::build(&g)),
-        Box::new(ToainBaseline::build(&g, 64)),
-        Box::new(NChP::build(&g, 4, 1)),
-        Box::new(PTdP::build(&g, 4, 1)),
-        Box::new(Mhl::build(&g)),
-        Box::new(Pmhl::build(
-            &g,
-            PmhlConfig {
-                num_partitions: 4,
-                num_threads: 2,
-                seed: 3,
-            },
-        )),
-        Box::new(PostMhl::build(&g, PostMhlConfig::default())),
-    ];
+    let params = BuildParams::new(4, 2);
+    let mut algorithms: Vec<Box<dyn IndexMaintainer>> = AlgorithmKind::ALL
+        .iter()
+        .map(|kind| kind.build(&g, &params))
+        .collect();
+    assert_eq!(algorithms.len(), 9);
 
     let mut gen_upd = UpdateGenerator::new(9);
     for round in 0..3u64 {

@@ -6,6 +6,7 @@ use htsp::baselines::{BiDijkstraBaseline, Dh2hBaseline};
 use htsp::core::{PostMhl, PostMhlConfig};
 use htsp::graph::{gen, IndexMaintainer, QuerySet, QueryView};
 use htsp::throughput::{staged_throughput, QueryStats, SystemConfig, ThroughputHarness};
+use htsp::RoadNetworkServer;
 use std::time::Instant;
 
 fn sample_graph() -> htsp::graph::Graph {
@@ -77,10 +78,13 @@ fn harness_ranks_postmhl_above_bidijkstra_in_throughput() {
         query_sample: 60,
     };
     let harness = ThroughputHarness::new(config, 3, 1);
-    let mut bd = BiDijkstraBaseline::new(&g);
-    let mut post = PostMhl::build(&g, PostMhlConfig::default());
-    let r_bd = harness.run(&g, &mut bd);
-    let r_post = harness.run(&g, &mut post);
+    let bd_server = RoadNetworkServer::host(&g, Box::new(BiDijkstraBaseline::new(&g)));
+    let post_server =
+        RoadNetworkServer::host(&g, Box::new(PostMhl::build(&g, PostMhlConfig::default())));
+    let r_bd = harness.run(&bd_server);
+    let r_post = harness.run(&post_server);
+    bd_server.shutdown();
+    post_server.shutdown();
     assert!(
         r_post.throughput() > r_bd.throughput(),
         "PostMHL throughput {} should exceed BiDijkstra {}",
