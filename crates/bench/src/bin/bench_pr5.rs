@@ -1,0 +1,414 @@
+//! `bench-pr5` — emits `BENCH_pr5.json`: the snapshot-versioned
+//! [`DistanceCache`](htsp_throughput::DistanceCache) measured under Zipf
+//! hot-pair traffic, swept over **skew × cache capacity × update rate**.
+//!
+//! Each run drives the real serving stack: a `RoadNetworkServer` (manual
+//! coalescing, one flushed batch per engine round) measured by the
+//! `QueryEngine` in [`WorkloadKind::HotPairs`] mode — every worker draws
+//! from a deterministic Zipf stream over a universe of hot
+//! origin–destination pairs, exactly the skew real navigation traffic
+//! shows. The same workload runs **cached and uncached** (the cache is the
+//! only difference; the index machinery is reused across runs via
+//! `shutdown()`), so the cached-vs-uncached QPS ratio isolates what the
+//! cache buys:
+//!
+//! * **skew sweep** — hit rate must grow with the Zipf exponent `s` at a
+//!   capacity below the universe (more skew → more of the mass fits);
+//! * **capacity sweep** — hit rate grows with capacity until the universe
+//!   fits, after which it saturates (compulsory + invalidation misses);
+//! * **update-rate sweep** — every publication invalidates by epoch, so a
+//!   higher `|U|`-per-round ingest stream costs hit rate and shows up in
+//!   the submit-to-visible lag alongside.
+//!
+//! The `summary` section asserts the two acceptance directions: cached QPS
+//! ≥ uncached QPS on the skewed workload for the search-based algorithms
+//! (BiDijkstra / DCH / N-CH-P — for label-based PostMHL a ~100 ns lookup
+//! competes with the probe itself, so it is reported but not asserted), and
+//! hit rate strictly increasing with skew.
+//!
+//! Usage: `cargo run --release -p htsp-bench --bin bench-pr5 [--smoke] [output.json]`
+//!
+//! `--smoke` shrinks the sweep so CI proves the cache path end to end in
+//! seconds (and writes to /tmp by default). The nonzero-hit-rate assertion
+//! is enforced even in smoke mode: every push exercises a cache hit.
+
+use htsp_bench::json::Json;
+use htsp_throughput::{
+    AlgorithmKind, BuildParams, CacheConfig, CoalescePolicy, EngineReport, QueryEngine,
+    RoadNetworkServer, WorkloadKind,
+};
+use std::time::Duration;
+
+struct BenchConfig {
+    smoke: bool,
+    side: usize,
+    workers: usize,
+    batches: usize,
+    pause: Duration,
+    /// Hot-pair universe (= engine query-pool size).
+    universe: usize,
+    /// Fixed knobs of the sweeps not currently being swept.
+    fixed_skew: f64,
+    fixed_capacity: usize,
+    fixed_volume: usize,
+}
+
+struct Run {
+    zipf_s: f64,
+    capacity: usize,
+    update_volume: usize,
+    cached: bool,
+    report: EngineReport,
+}
+
+impl Run {
+    fn hit_rate(&self) -> f64 {
+        self.report.cache.map(|c| c.hit_rate()).unwrap_or(0.0)
+    }
+
+    fn lag_p50_s(&self) -> f64 {
+        let mut lags = self.report.visibility_lags.clone();
+        lags.sort_by(|a, b| a.partial_cmp(b).expect("finite lag"));
+        lags.get(lags.len() / 2).copied().unwrap_or(0.0)
+    }
+}
+
+/// One engine run against a freshly started server hosting `maintainer`;
+/// the maintainer (and the drifted graph) are handed back for the next run.
+#[allow(clippy::too_many_arguments)]
+fn run_once(
+    cfg: &BenchConfig,
+    kind: AlgorithmKind,
+    maintainer: Box<dyn htsp_graph::IndexMaintainer>,
+    graph: htsp_graph::Graph,
+    zipf_s: f64,
+    capacity: Option<usize>,
+    update_volume: usize,
+) -> (Run, Box<dyn htsp_graph::IndexMaintainer>, htsp_graph::Graph) {
+    let mut builder = RoadNetworkServer::builder()
+        .maintainer(maintainer)
+        .coalesce(CoalescePolicy::manual());
+    if let Some(capacity) = capacity {
+        builder = builder.result_cache(CacheConfig::with_capacity(capacity));
+    }
+    let server = builder.start(&graph);
+    let engine = QueryEngine::builder()
+        .workers(cfg.workers)
+        .batches(cfg.batches)
+        .update_volume(update_volume)
+        .pause_between_batches(cfg.pause)
+        .query_pool(cfg.universe)
+        .workload(WorkloadKind::HotPairs {
+            zipf_s,
+            universe: cfg.universe,
+        })
+        .seed(4242)
+        .build();
+    let report = engine.run(&server);
+    let graph = server.with_graph(|g| g.clone());
+    let maintainer = server.shutdown();
+    let run = Run {
+        zipf_s,
+        capacity: capacity.unwrap_or(0),
+        update_volume,
+        cached: capacity.is_some(),
+        report,
+    };
+    eprintln!(
+        "bench-pr5:   {kind} s = {zipf_s:>3.1}, cap = {:>6}, |U| = {update_volume:>3}: \
+         {:>9.0} pairs/s | hit rate {:>5.1}% | visible p50 {:>6.2} ms",
+        capacity
+            .map(|c| c.to_string())
+            .unwrap_or_else(|| "off".into()),
+        run.report.measured_qps,
+        run.report
+            .cache
+            .map(|c| c.hit_rate() * 100.0)
+            .unwrap_or(0.0),
+        run.lag_p50_s() * 1e3,
+    );
+    (run, maintainer, graph)
+}
+
+fn run_json(r: &Run) -> Json {
+    let cache = r.report.cache;
+    Json::Obj(vec![
+        ("zipf_s", Json::Num(r.zipf_s)),
+        ("cache_capacity", Json::Int(r.capacity as u64)),
+        ("update_volume", Json::Int(r.update_volume as u64)),
+        ("cached", Json::Str(r.cached.to_string())),
+        ("pairs_per_s", Json::Num(r.report.measured_qps)),
+        ("total_pairs", Json::Int(r.report.total_queries)),
+        ("hit_rate", Json::Num(r.hit_rate())),
+        ("cache_hits", Json::Int(cache.map(|c| c.hits).unwrap_or(0))),
+        (
+            "cache_stale_misses",
+            Json::Int(cache.map(|c| c.stale_misses).unwrap_or(0)),
+        ),
+        (
+            "cache_evictions",
+            Json::Int(cache.map(|c| c.evictions).unwrap_or(0)),
+        ),
+        ("submit_to_visible_p50_s", Json::Num(r.lag_p50_s())),
+        ("wall_s", Json::Num(r.report.wall_time)),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| {
+            if smoke {
+                "/tmp/BENCH_pr5_smoke.json".to_string()
+            } else {
+                "BENCH_pr5.json".to_string()
+            }
+        });
+    let cfg = if smoke {
+        BenchConfig {
+            smoke: true,
+            side: 12,
+            workers: 2,
+            batches: 2,
+            pause: Duration::from_millis(25),
+            universe: 512,
+            fixed_skew: 1.2,
+            fixed_capacity: 64,
+            fixed_volume: 4,
+        }
+    } else {
+        BenchConfig {
+            smoke: false,
+            side: 32,
+            workers: 3,
+            batches: 3,
+            pause: Duration::from_millis(40),
+            universe: 2048,
+            fixed_skew: 1.1,
+            fixed_capacity: 256,
+            fixed_volume: 4,
+        }
+    };
+
+    let road = htsp_graph::gen::grid_with_diagonals(
+        cfg.side,
+        cfg.side,
+        htsp_graph::gen::WeightRange::new(1, 100),
+        0.1,
+        42,
+    );
+    eprintln!(
+        "bench-pr5: {0}x{0} grid, |V| = {1}, |E| = {2}{3}",
+        cfg.side,
+        road.num_vertices(),
+        road.num_edges(),
+        if cfg.smoke { " (smoke)" } else { "" }
+    );
+
+    // The asserted set is search-based (where a hit skips real work);
+    // PostMHL rides along as the label-lookup contrast in the full sweep.
+    let (asserted, contrast): (Vec<AlgorithmKind>, Vec<AlgorithmKind>) = if cfg.smoke {
+        (vec![AlgorithmKind::Dch], vec![])
+    } else {
+        (
+            vec![
+                AlgorithmKind::BiDijkstra,
+                AlgorithmKind::Dch,
+                AlgorithmKind::NChP,
+            ],
+            vec![AlgorithmKind::PostMhl],
+        )
+    };
+    let skews: Vec<f64> = if cfg.smoke {
+        vec![0.0, 1.2]
+    } else {
+        vec![0.0, 0.6, 1.1, 1.6]
+    };
+    let capacities: Vec<usize> = if cfg.smoke {
+        vec![64]
+    } else {
+        vec![64, 512, 4096]
+    };
+    let volumes: Vec<usize> = if cfg.smoke { vec![4] } else { vec![0, 8, 64] };
+
+    let mut algo_rows = Vec::new();
+    let mut summary_rows = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    for kind in asserted.iter().chain(contrast.iter()).copied() {
+        eprintln!("bench-pr5: building {kind} index...");
+        let mut maintainer = kind.build(&road, &BuildParams::default());
+        let mut graph = road.clone();
+        let mut runs: Vec<Run> = Vec::new();
+
+        // 1. Skew sweep, cached + uncached at the fixed capacity.
+        for &s in &skews {
+            for capacity in [None, Some(cfg.fixed_capacity)] {
+                let (run, m, g) =
+                    run_once(&cfg, kind, maintainer, graph, s, capacity, cfg.fixed_volume);
+                maintainer = m;
+                graph = g;
+                runs.push(run);
+            }
+        }
+        // 2. Capacity sweep at the fixed skew (cached; skew sweep already
+        //    produced the capacity = fixed point).
+        for &capacity in &capacities {
+            if capacity == cfg.fixed_capacity {
+                continue;
+            }
+            let (run, m, g) = run_once(
+                &cfg,
+                kind,
+                maintainer,
+                graph,
+                cfg.fixed_skew,
+                Some(capacity),
+                cfg.fixed_volume,
+            );
+            maintainer = m;
+            graph = g;
+            runs.push(run);
+        }
+        // 3. Update-rate sweep at the fixed skew and capacity.
+        for &volume in &volumes {
+            if volume == cfg.fixed_volume {
+                continue;
+            }
+            let (run, m, g) = run_once(
+                &cfg,
+                kind,
+                maintainer,
+                graph,
+                cfg.fixed_skew,
+                Some(cfg.fixed_capacity),
+                volume,
+            );
+            maintainer = m;
+            graph = g;
+            runs.push(run);
+        }
+        drop(maintainer);
+
+        // Direction checks. (a) Nonzero hit rate under skew — enforced even
+        // in smoke mode, so CI proves the cache path on every push.
+        let max_skew = skews.last().copied().unwrap_or(cfg.fixed_skew);
+        let hit_at = |s: f64| {
+            runs.iter()
+                .find(|r| r.cached && r.zipf_s == s && r.update_volume == cfg.fixed_volume)
+                .map(|r| r.hit_rate())
+                .unwrap_or(0.0)
+        };
+        if hit_at(max_skew) <= 0.0 {
+            failures.push(format!(
+                "{kind}: zero hit rate under skew s = {max_skew} — the cache path was not exercised"
+            ));
+        }
+        // (b) Hit rate increases with skew across the sweep.
+        let skew_rates: Vec<f64> = skews.iter().map(|&s| hit_at(s)).collect();
+        let monotone = skew_rates.windows(2).all(|w| w[1] > w[0]);
+        if !monotone {
+            failures.push(format!(
+                "{kind}: hit rate not increasing with skew: {skew_rates:?}"
+            ));
+        }
+        // (c) Cached QPS >= uncached QPS on the skewed workload (asserted
+        // for the search-based set only).
+        let qps_of = |s: f64, cached: bool| {
+            runs.iter()
+                .find(|r| {
+                    r.cached == cached && r.zipf_s == s && r.update_volume == cfg.fixed_volume
+                })
+                .map(|r| r.report.measured_qps)
+                .unwrap_or(0.0)
+        };
+        let cached_wins = qps_of(max_skew, true) >= qps_of(max_skew, false);
+        if !cached_wins && asserted.contains(&kind) {
+            failures.push(format!(
+                "{kind}: cached QPS {:.0} < uncached QPS {:.0} at s = {max_skew}",
+                qps_of(max_skew, true),
+                qps_of(max_skew, false)
+            ));
+        }
+        summary_rows.push(Json::Obj(vec![
+            ("algorithm", Json::Str(kind.name().to_string())),
+            ("asserted", Json::Str(asserted.contains(&kind).to_string())),
+            (
+                "cached_qps_ge_uncached_at_max_skew",
+                Json::Str(cached_wins.to_string()),
+            ),
+            (
+                "hit_rate_increases_with_skew",
+                Json::Str(monotone.to_string()),
+            ),
+            (
+                "speedup_at_max_skew",
+                Json::Num(if qps_of(max_skew, false) > 0.0 {
+                    qps_of(max_skew, true) / qps_of(max_skew, false)
+                } else {
+                    0.0
+                }),
+            ),
+        ]));
+        algo_rows.push(Json::Obj(vec![
+            ("algorithm", Json::Str(kind.name().to_string())),
+            ("runs", Json::Arr(runs.iter().map(run_json).collect())),
+        ]));
+    }
+
+    let doc = Json::Obj(vec![
+        ("bench", Json::Str("pr5".to_string())),
+        (
+            "description",
+            Json::Str(
+                "Snapshot-versioned DistanceCache under Zipf hot-pair traffic: the \
+                 QueryEngine's HotPairs workload measured cached vs uncached over skew x \
+                 cache capacity x update rate, on the RoadNetworkServer facade (manual \
+                 coalescing, one flushed update batch per engine round; every publication \
+                 invalidates the cache by epoch)"
+                    .to_string(),
+            ),
+        ),
+        (
+            "graph",
+            Json::Obj(vec![
+                (
+                    "kind",
+                    Json::Str(format!("grid_with_diagonals {0}x{0}", cfg.side)),
+                ),
+                ("vertices", Json::Int(road.num_vertices() as u64)),
+                ("edges", Json::Int(road.num_edges() as u64)),
+            ]),
+        ),
+        (
+            "load",
+            Json::Obj(vec![
+                (
+                    "workload",
+                    Json::Str("hot-pairs (Zipf over universe)".into()),
+                ),
+                ("universe", Json::Int(cfg.universe as u64)),
+                ("query_workers", Json::Int(cfg.workers as u64)),
+                ("engine_batches", Json::Int(cfg.batches as u64)),
+                ("pause_ms", Json::Int(cfg.pause.as_millis() as u64)),
+                ("fixed_skew", Json::Num(cfg.fixed_skew)),
+                ("fixed_capacity", Json::Int(cfg.fixed_capacity as u64)),
+                ("fixed_update_volume", Json::Int(cfg.fixed_volume as u64)),
+            ]),
+        ),
+        ("algorithms", Json::Arr(algo_rows)),
+        ("summary", Json::Arr(summary_rows)),
+    ]);
+
+    std::fs::write(&out_path, doc.to_string_pretty()).expect("write BENCH_pr5.json");
+    eprintln!("bench-pr5: wrote {out_path}");
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("bench-pr5: FAILURE: {f}");
+        }
+        std::process::exit(1);
+    }
+}

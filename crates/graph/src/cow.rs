@@ -607,4 +607,176 @@ mod tests {
         assert_send_sync::<CowVec<u32>>();
         assert_send_sync::<CowTable<u32>>();
     }
+
+    /// Randomized interleavings of `clone` / drop-clone / `make_mut` /
+    /// `make_mut_where` against a reference model: untouched chunks stay
+    /// pointer-shared with the latest snapshot, touched chunks uniquify
+    /// exactly once, and the lineage counters match the clones the test
+    /// *observed* (predicted from `is_shared` right before each write).
+    #[test]
+    fn randomized_interleavings_keep_aliasing_and_counters_exact() {
+        use rand::{Rng, SeedableRng};
+        use rand_chacha::ChaCha8Rng;
+
+        for seed in 0..6u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let chunk = 1 + rng.gen_range(0..24usize);
+            let n = 64 + rng.gen_range(0..192usize);
+            let chunk_len = |ci: usize| chunk.min(n - ci * chunk);
+
+            let mut v = CowVec::from_vec((0..n as u64).collect(), chunk);
+            let mut model: Vec<u64> = (0..n as u64).collect();
+            // Older snapshots only pin chunks; the latest one also gets its
+            // values checked and its untouched chunks pointer-compared.
+            let mut older: Vec<CowVec<u64>> = Vec::new();
+            let mut latest: Option<(CowVec<u64>, Vec<u64>)> = None;
+            let mut touched_since_latest: std::collections::HashSet<usize> =
+                std::collections::HashSet::new();
+            let mut expected = v.stats();
+            assert!(expected.is_zero());
+
+            for step in 0..150u64 {
+                match rng.gen_range(0..6u32) {
+                    0 => {
+                        if let Some((old, _)) = latest.replace((v.clone(), model.clone())) {
+                            older.push(old);
+                        }
+                        touched_since_latest.clear();
+                    }
+                    1 => {
+                        if !older.is_empty() {
+                            let k = rng.gen_range(0..older.len());
+                            older.swap_remove(k);
+                        }
+                    }
+                    2 | 3 => {
+                        let i = rng.gen_range(0..n);
+                        let ci = i / chunk;
+                        if v.is_shared(i) {
+                            expected.chunks_cloned += 1;
+                            expected.bytes_cloned +=
+                                (chunk_len(ci) * std::mem::size_of::<u64>()) as u64;
+                        }
+                        *v.make_mut(i) = step * 1000 + i as u64;
+                        model[i] = step * 1000 + i as u64;
+                        touched_since_latest.insert(ci);
+                        assert!(!v.is_shared(i), "make_mut left the chunk shared");
+                        // Touched chunks uniquify exactly once: a second
+                        // write to the same chunk must be counter-free.
+                        let before = v.stats();
+                        let j = ci * chunk;
+                        *v.make_mut(j) = model[j];
+                        assert_eq!(v.stats(), before, "chunk uniquified twice");
+                    }
+                    _ => {
+                        let mask: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.05)).collect();
+                        for ci in 0..v.num_chunks() {
+                            let base = ci * chunk;
+                            if !(0..chunk_len(ci)).any(|o| mask[base + o]) {
+                                continue;
+                            }
+                            touched_since_latest.insert(ci);
+                            if v.is_shared(base) {
+                                expected.chunks_cloned += 1;
+                                expected.bytes_cloned +=
+                                    (chunk_len(ci) * std::mem::size_of::<u64>()) as u64;
+                            }
+                        }
+                        for (i, item) in v.make_mut_where(|i| mask[i]) {
+                            *item = step * 1000 + i as u64 + 7;
+                            model[i] = step * 1000 + i as u64 + 7;
+                        }
+                    }
+                }
+                assert_eq!(
+                    v.stats(),
+                    expected,
+                    "counters diverged from observed clones (seed {seed}, step {step})"
+                );
+                // Untouched chunks still alias the latest snapshot's data.
+                if let Some((snap, _)) = &latest {
+                    for ci in 0..v.num_chunks() {
+                        if !touched_since_latest.contains(&ci) {
+                            let base = ci * chunk;
+                            assert!(
+                                std::ptr::eq(snap.get(base), v.get(base)),
+                                "untouched chunk {ci} stopped aliasing (seed {seed}, step {step})"
+                            );
+                        }
+                    }
+                }
+            }
+
+            // End-state: the working copy matches the model, the snapshot is
+            // frozen at its clone point.
+            assert!(v.iter().copied().eq(model.iter().copied()));
+            if let Some((snap, frozen)) = &latest {
+                assert!(
+                    snap.iter().copied().eq(frozen.iter().copied()),
+                    "snapshot drifted (seed {seed})"
+                );
+            }
+        }
+    }
+
+    /// The `CowTable` variant: `make_mut` under random snapshot pressure,
+    /// with the byte counters checked against the *observed* row payloads
+    /// (headers + element bytes of every row in the cloned chunk).
+    #[test]
+    fn randomized_table_interleavings_count_payload_and_freeze_snapshots() {
+        use rand::{Rng, SeedableRng};
+        use rand_chacha::ChaCha8Rng;
+
+        for seed in 0..4u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(0xbeef ^ seed);
+            let chunk = 1 + rng.gen_range(0..8usize);
+            let n = 40 + rng.gen_range(0..40usize);
+            let chunk_len = |ci: usize| chunk.min(n - ci * chunk);
+            let rows: Vec<Vec<u32>> = (0..n).map(|i| vec![i as u32; i % 5]).collect();
+            let mut t = CowTable::from_rows(rows.clone(), chunk);
+            let mut model = rows;
+            let mut snapshot: Option<(CowTable<u32>, Vec<Vec<u32>>)> = None;
+            let mut expected = t.stats();
+
+            for step in 0..120u32 {
+                match rng.gen_range(0..4u32) {
+                    0 => snapshot = Some((t.clone(), model.clone())),
+                    1 => {
+                        if rng.gen_bool(0.5) {
+                            snapshot = None;
+                        }
+                    }
+                    _ => {
+                        let i = rng.gen_range(0..n);
+                        let ci = i / chunk;
+                        if t.is_shared(i) {
+                            let base = ci * chunk;
+                            let headers = chunk_len(ci) * std::mem::size_of::<Vec<u32>>();
+                            let payload: usize = (0..chunk_len(ci))
+                                .map(|o| model[base + o].len() * std::mem::size_of::<u32>())
+                                .sum();
+                            expected.chunks_cloned += 1;
+                            expected.bytes_cloned += (headers + payload) as u64;
+                        }
+                        t.make_mut(i).push(step);
+                        model[i].push(step);
+                        assert!(!t.is_shared(i), "make_mut left the chunk shared");
+                    }
+                }
+                assert_eq!(
+                    t.stats(),
+                    expected,
+                    "table counters diverged (seed {seed}, step {step})"
+                );
+            }
+            for (i, row) in model.iter().enumerate() {
+                assert_eq!(t.row(i), &row[..]);
+            }
+            if let Some((snap, frozen)) = &snapshot {
+                for (i, row) in frozen.iter().enumerate() {
+                    assert_eq!(snap.row(i), &row[..], "table snapshot drifted");
+                }
+            }
+        }
+    }
 }

@@ -313,6 +313,10 @@ impl QuerySession for FallbackSession<'_> {
     }
 }
 
+/// A callback invoked after every publication (see
+/// [`SnapshotPublisher::on_publish`]).
+pub type PublishHook = Arc<dyn Fn(&PublishEvent) + Send + Sync>;
+
 /// The channel through which a maintainer publishes snapshots and query
 /// threads pick them up.
 ///
@@ -330,6 +334,9 @@ pub struct SnapshotPublisher {
     /// Version mirror + condvar backing [`SnapshotPublisher::wait_for_version`].
     watch: Mutex<u64>,
     watch_cv: Condvar,
+    /// Subscribers notified after every publication (see
+    /// [`SnapshotPublisher::on_publish`]).
+    hooks: Mutex<Vec<PublishHook>>,
 }
 
 /// One publication: which stage became available, when, and what the stage's
@@ -371,7 +378,31 @@ impl SnapshotPublisher {
             batch_tag: AtomicU64::new(0),
             watch: Mutex::new(0),
             watch_cv: Condvar::new(),
+            hooks: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Registers a callback that runs after every publication, with the
+    /// published [`PublishEvent`].
+    ///
+    /// This is the epoch plumbing for version-aware consumers (the
+    /// `DistanceCache` in `htsp-throughput` invalidates its entries through
+    /// it): a hook observes every version bump without polling or draining
+    /// the log. Hooks run on the publishing (maintenance) thread *after* the
+    /// snapshot slot and version watch have been updated, so a hook that
+    /// reads [`SnapshotPublisher::snapshot`] sees a view at least as new as
+    /// its event (the hook list is snapshotted before invocation, so a hook
+    /// may even register further hooks or publish itself without
+    /// deadlocking — though a self-publishing hook must terminate the
+    /// recursion). Keep hooks cheap — they extend the publication path —
+    /// and order-tolerant: two racing publishers may deliver their events
+    /// to a hook in either order (consumers should fold events
+    /// monotonically, e.g. with a `fetch_max` on the version).
+    pub fn on_publish(&self, hook: impl Fn(&PublishEvent) + Send + Sync + 'static) {
+        self.hooks
+            .lock()
+            .expect("publisher hooks poisoned")
+            .push(Arc::new(hook));
     }
 
     /// Atomically replaces the current snapshot (called by the maintainer at
@@ -391,31 +422,43 @@ impl SnapshotPublisher {
     /// publication log for the measurement harness.
     pub fn publish_with_cow(&self, view: Arc<dyn QueryView>, cow: CowStats) {
         let stage = view.stage();
-        let mut slot = self.slot.write().expect("publisher poisoned");
-        *slot = view;
-        let version = self.version.fetch_add(1, Ordering::AcqRel) + 1;
+        let event;
         {
-            let mut log = self.log.lock().expect("publisher log poisoned");
-            log.push(PublishEvent {
+            let mut slot = self.slot.write().expect("publisher poisoned");
+            *slot = view;
+            let version = self.version.fetch_add(1, Ordering::AcqRel) + 1;
+            event = PublishEvent {
                 at: Instant::now(),
                 stage,
                 version,
                 batch: self.batch_tag.load(Ordering::Acquire),
                 cow,
-            });
-            // Long-lived servers publish forever and may never drain the
-            // log; cap it so memory (and `cow_since` scans) stay bounded.
-            // The measurement harnesses drain far below the cap.
-            if log.len() > Self::MAX_LOG_EVENTS {
-                let excess = log.len() - Self::MAX_LOG_EVENTS;
-                log.drain(..excess);
+            };
+            {
+                let mut log = self.log.lock().expect("publisher log poisoned");
+                log.push(event);
+                // Long-lived servers publish forever and may never drain the
+                // log; cap it so memory (and `cow_since` scans) stay bounded.
+                // The measurement harnesses drain far below the cap.
+                if log.len() > Self::MAX_LOG_EVENTS {
+                    let excess = log.len() - Self::MAX_LOG_EVENTS;
+                    log.drain(..excess);
+                }
             }
+            // Wake version watchers. The mirror is updated while the slot
+            // write lock is still held, so a waiter released by this
+            // publication observes the new snapshot through `snapshot()`.
+            *self.watch.lock().expect("publisher watch poisoned") = event.version;
+            self.watch_cv.notify_all();
         }
-        // Wake version watchers. The mirror is updated while the slot write
-        // lock is still held, so a waiter released by this publication
-        // observes the new snapshot through `snapshot()`.
-        *self.watch.lock().expect("publisher watch poisoned") = version;
-        self.watch_cv.notify_all();
+        // Hooks run after the slot lock is released, on a snapshot of the
+        // hook list (so a hook may read the publisher or register further
+        // hooks without deadlocking); racing publishers may therefore
+        // deliver events out of version order (see `on_publish`).
+        let hooks: Vec<PublishHook> = self.hooks.lock().expect("publisher hooks poisoned").clone();
+        for hook in &hooks {
+            hook(&event);
+        }
     }
 
     /// Returns an owned handle to the newest snapshot.
@@ -787,6 +830,72 @@ mod tests {
         assert_eq!(log[0].batch, 0, "pre-tag publication is untagged");
         assert_eq!(log[1].batch, 7);
         assert_eq!(log[2].batch, 7, "tag persists until replaced");
+    }
+
+    #[test]
+    fn publish_hooks_observe_every_publication() {
+        use std::sync::atomic::AtomicU64;
+        let publisher = SnapshotPublisher::new(Arc::new(Fixed {
+            stage: 0,
+            graph: tiny_graph(),
+        }));
+        let seen = Arc::new(AtomicU64::new(0));
+        let max_version = Arc::new(AtomicU64::new(0));
+        {
+            let seen = Arc::clone(&seen);
+            let max_version = Arc::clone(&max_version);
+            publisher.on_publish(move |e| {
+                seen.fetch_add(1, Ordering::Relaxed);
+                max_version.fetch_max(e.version, Ordering::Relaxed);
+            });
+        }
+        publisher.set_batch_tag(3);
+        for stage in 0..5 {
+            publisher.publish(Arc::new(Fixed {
+                stage,
+                graph: tiny_graph(),
+            }));
+        }
+        assert_eq!(seen.load(Ordering::Relaxed), 5);
+        assert_eq!(max_version.load(Ordering::Relaxed), publisher.version());
+    }
+
+    #[test]
+    fn a_hook_may_register_further_hooks_without_deadlocking() {
+        use std::sync::atomic::AtomicU64;
+        let publisher = Arc::new(SnapshotPublisher::new(Arc::new(Fixed {
+            stage: 0,
+            graph: tiny_graph(),
+        })));
+        let nested_fires = Arc::new(AtomicU64::new(0));
+        {
+            let publisher = Arc::clone(&publisher);
+            let nested_fires = Arc::clone(&nested_fires);
+            let registered = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            publisher.clone().on_publish(move |_| {
+                // Re-entrant registration: the hook list is snapshotted
+                // before invocation, so this must not deadlock.
+                if !registered.swap(true, Ordering::Relaxed) {
+                    let nested_fires = Arc::clone(&nested_fires);
+                    publisher.on_publish(move |_| {
+                        nested_fires.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }
+        publisher.publish(Arc::new(Fixed {
+            stage: 1,
+            graph: tiny_graph(),
+        }));
+        publisher.publish(Arc::new(Fixed {
+            stage: 2,
+            graph: tiny_graph(),
+        }));
+        assert_eq!(
+            nested_fires.load(Ordering::Relaxed),
+            1,
+            "the hook registered by the first publication must fire on the second"
+        );
     }
 
     #[test]

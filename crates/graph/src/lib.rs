@@ -61,8 +61,8 @@ pub mod updates;
 pub use cow::{CowStats, CowTable, CowVec, RowRead};
 pub use graph::{Graph, GraphBuilder, NeighborIter};
 pub use index_api::{
-    FallbackSession, IndexMaintainer, PublishEvent, QuerySession, QueryView, SnapshotPublisher,
-    StageReport, UpdateTimeline,
+    FallbackSession, IndexMaintainer, PublishEvent, PublishHook, QuerySession, QueryView,
+    SnapshotPublisher, StageReport, UpdateTimeline,
 };
 pub use queries::{Query, QuerySet, QueryWorkload};
 pub use scratch::{ScratchGuard, ScratchPool};

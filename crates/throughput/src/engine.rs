@@ -21,11 +21,24 @@
 //!
 //! [`QueryEngineConfig::workload`] selects the serving pattern
 //! ([`WorkloadKind`]): the legacy per-call path (snapshot lookup + scratch
-//! checkout per query) or the session-based batched paths (one
-//! [`QuerySession`](htsp_graph::QuerySession) per published snapshot,
-//! point-to-point bundles, one-to-many fans, or distance matrices). Running
-//! the same index under `SingleCall` and under `Batched` yields the
-//! single-call vs batched QPS comparison reported in `BENCH_pr2.json`.
+//! checkout per query), the session-based batched paths (one
+//! [`QuerySession`] per published snapshot,
+//! point-to-point bundles, one-to-many fans, or distance matrices), or the
+//! skewed [`WorkloadKind::HotPairs`] mode, where each worker draws from a
+//! deterministic Zipf [`HotPairStream`] over a universe of hot
+//! origin–destination pairs. Running the same index under `SingleCall` and
+//! under `Batched` yields the single-call vs batched QPS comparison of
+//! `BENCH_pr2.json`; running `HotPairs` against a server with and without a
+//! result cache yields the cached vs uncached comparison of
+//! `BENCH_pr5.json`.
+//!
+//! When the server owns a [`DistanceCache`]
+//! ([`ServerBuilder::result_cache`](crate::ServerBuilder::result_cache)),
+//! every session-based worker wraps its session in a
+//! [`CachedSession`] pinned to the worker's snapshot
+//! version, and the report carries the run's cache-stats delta
+//! ([`EngineReport::cache`]). The single-call baseline path never consults
+//! the cache — it is the uncached reference by construction.
 //!
 //! With [`QueryEngineConfig::verify`] enabled, every answer is re-derived
 //! with a fresh Dijkstra run on the answering view's own graph snapshot —
@@ -33,15 +46,20 @@
 //! integration test (this is orders of magnitude slower than serving, so it
 //! is off by default).
 
+use crate::cache::{CacheStats, CachedSession, DistanceCache};
 use crate::server::RoadNetworkServer;
 use htsp_graph::cow::CowStats;
-use htsp_graph::{Query, QuerySet, QueryView, UpdateGenerator, UpdateTimeline, VertexId};
+use htsp_graph::{
+    Query, QuerySession, QuerySet, QueryView, UpdateGenerator, UpdateTimeline, VertexId,
+};
 use htsp_search::dijkstra_distance;
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 /// The shape of the workload the engine's query workers drive.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum WorkloadKind {
     /// One [`QueryView::distance`] call per query, against a freshly looked
     /// up snapshot each time — the pre-session serving pattern, kept as the
@@ -66,13 +84,27 @@ pub enum WorkloadKind {
         /// Sources (= targets) per matrix.
         side: usize,
     },
+    /// Skewed hot-pair traffic: each worker draws queries from the first
+    /// `universe` entries of the query pool under a Zipf(`zipf_s`)
+    /// distribution (rank 1 is the hottest pair), through a deterministic
+    /// per-worker [`HotPairStream`]. The workload real result caches feed
+    /// on — run it against a server with and without
+    /// [`ServerBuilder::result_cache`](crate::ServerBuilder::result_cache)
+    /// for the cached vs uncached QPS comparison of `bench-pr5`.
+    HotPairs {
+        /// Zipf exponent `s` (0 = uniform over the universe; typical
+        /// navigation traffic is ~0.8–1.2; larger = more skew).
+        zipf_s: f64,
+        /// Number of distinct hot pairs (capped at the query-pool size).
+        universe: usize,
+    },
 }
 
 impl WorkloadKind {
     /// `(s, t)` pairs answered per batch of this workload.
     pub fn pairs_per_batch(&self) -> usize {
         match *self {
-            WorkloadKind::SingleCall => 1,
+            WorkloadKind::SingleCall | WorkloadKind::HotPairs { .. } => 1,
             WorkloadKind::Batched { batch_size } => batch_size.max(1),
             WorkloadKind::OneToMany { fanout } => fanout.max(1),
             WorkloadKind::Matrix { side } => side.max(1) * side.max(1),
@@ -86,7 +118,97 @@ impl WorkloadKind {
             WorkloadKind::Batched { batch_size } => format!("batched({batch_size})"),
             WorkloadKind::OneToMany { fanout } => format!("one-to-many({fanout})"),
             WorkloadKind::Matrix { side } => format!("matrix({side}x{side})"),
+            WorkloadKind::HotPairs { zipf_s, universe } => {
+                format!("hot-pairs(s={zipf_s},u={universe})")
+            }
         }
+    }
+}
+
+/// A deterministic sampler of the Zipf distribution over ranks
+/// `0..n`: `P(k) ∝ 1/(k+1)^s`.
+///
+/// Built once (O(n) cumulative table), sampled by binary search on a
+/// uniform draw — no rejection, so one sample consumes exactly one RNG
+/// output and two streams with the same seed stay in lock-step (what makes
+/// [`WorkloadKind::HotPairs`] runs reproducible).
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// A sampler over ranks `0..n` with exponent `s` (`s = 0` is uniform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf universe must be non-empty");
+        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        for c in &mut cdf {
+            *c /= acc;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `false` always (a sampler is never empty); present for clippy parity.
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one rank in `0..len()`.
+    pub fn sample<R: RngCore>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
+    }
+}
+
+/// The deterministic hot-pair query stream behind
+/// [`WorkloadKind::HotPairs`]: a seeded ChaCha8 generator driving a
+/// [`ZipfSampler`].
+///
+/// Streams are pure functions of `(universe, zipf_s, seed, worker)`: two
+/// streams constructed with the same parameters yield identical index
+/// sequences, which is what pins the engine's skewed workload (and its
+/// hit-rate telemetry) across runs.
+pub struct HotPairStream {
+    rng: ChaCha8Rng,
+    zipf: ZipfSampler,
+}
+
+impl HotPairStream {
+    /// A stream over ranks `0..universe` for `worker` (each worker of a run
+    /// gets a decorrelated but deterministic substream of the same seed).
+    pub fn new(universe: usize, zipf_s: f64, seed: u64, worker: usize) -> Self {
+        HotPairStream {
+            rng: ChaCha8Rng::seed_from_u64(
+                seed ^ (worker as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            ),
+            zipf: ZipfSampler::new(universe.max(1), zipf_s),
+        }
+    }
+
+    /// The next rank (pool index) of the stream.
+    pub fn next_index(&mut self) -> usize {
+        self.zipf.sample(&mut self.rng)
+    }
+
+    /// The next query, drawn from the first `universe` entries of `pool`.
+    pub fn next_query(&mut self, pool: &[Query]) -> Query {
+        pool[self.next_index() % pool.len()]
     }
 }
 
@@ -248,6 +370,10 @@ pub struct EngineReport {
     pub verify_failures: u64,
     /// Description of the first verification failure, if any.
     pub first_failure: Option<String>,
+    /// Result-cache telemetry delta over this run (`None` when the server
+    /// runs without a [`DistanceCache`]); `cache.hit_rate()` is the
+    /// headline number of the skewed-workload benchmarks.
+    pub cache: Option<CacheStats>,
 }
 
 struct WorkerTally {
@@ -331,6 +457,11 @@ impl QueryEngine {
         let num_stages = server.num_query_stages();
         let queries = server.with_graph(|g| QuerySet::random(g, cfg.query_pool, cfg.seed ^ 0x51ab));
         let publisher = &**server.publisher();
+        // Session-based workloads consult the server's result cache when it
+        // has one (the single-call baseline path stays cache-free by
+        // design); the report carries the stats delta of this run.
+        let cache: Option<&DistanceCache> = server.cache().map(|c| &**c);
+        let cache_before = cache.map(|c| c.stats());
         let stop = AtomicBool::new(false);
         let start = Instant::now();
         let bucket_nanos = cfg.bucket.as_nanos().max(1) as u64;
@@ -358,6 +489,7 @@ impl QueryEngine {
                 let queries = &queries;
                 let verify = cfg.verify;
                 let workload = cfg.workload;
+                let seed = cfg.seed;
                 handles.push(scope.spawn(move || {
                     let mut tally = WorkerTally {
                         answered: 0,
@@ -389,6 +521,19 @@ impl QueryEngine {
                         // snapshot, drain batches through it, re-pin when
                         // the publisher version advances.
                         _ => {
+                            // The hot-pair stream outlives re-pins: one
+                            // deterministic stream per worker per run.
+                            let mut hot = match workload {
+                                WorkloadKind::HotPairs { zipf_s, universe } => {
+                                    Some(HotPairStream::new(
+                                        universe.clamp(1, queries.len()),
+                                        zipf_s,
+                                        seed,
+                                        w,
+                                    ))
+                                }
+                                _ => None,
+                            };
                             while !stop.load(Ordering::Relaxed) {
                                 // Atomic (version, view) read: a publish
                                 // between separate snapshot()/version()
@@ -396,7 +541,16 @@ impl QueryEngine {
                                 // new version and skip the re-pin.
                                 let (pinned, view) = publisher.versioned_snapshot();
                                 let stage = view.stage();
-                                let mut session = view.session();
+                                // With a result cache, wrap the session so
+                                // repeated pairs skip the search; the
+                                // wrapper carries the pinned version, so a
+                                // cached answer never crosses a publication.
+                                let mut session: Box<dyn QuerySession + '_> = match cache {
+                                    Some(cache) => {
+                                        Box::new(CachedSession::new(view.session(), cache, pinned))
+                                    }
+                                    None => view.session(),
+                                };
                                 while !stop.load(Ordering::Relaxed) && publisher.version() == pinned
                                 {
                                     let pool = queries.as_slice();
@@ -447,6 +601,16 @@ impl QueryEngine {
                                                         tally.verify_answer(&*view, s, t, d);
                                                     }
                                                 }
+                                            }
+                                        }
+                                        WorkloadKind::HotPairs { .. } => {
+                                            let q = hot
+                                                .as_mut()
+                                                .expect("hot-pair stream")
+                                                .next_query(pool);
+                                            let d = session.distance(q.source, q.target);
+                                            if verify {
+                                                tally.verify_answer(&*view, q.source, q.target, d);
                                             }
                                         }
                                     }
@@ -571,6 +735,7 @@ impl QueryEngine {
             visibility_lags,
             verify_failures,
             first_failure,
+            cache: cache.map(|c| c.stats().since(cache_before.unwrap_or_default())),
         }
     }
 }
@@ -683,11 +848,82 @@ mod tests {
         assert_eq!(WorkloadKind::SingleCall.pairs_per_batch(), 1);
         assert_eq!(WorkloadKind::Batched { batch_size: 7 }.pairs_per_batch(), 7);
         assert_eq!(WorkloadKind::Matrix { side: 5 }.pairs_per_batch(), 25);
+        assert_eq!(
+            WorkloadKind::HotPairs {
+                zipf_s: 1.1,
+                universe: 64
+            }
+            .pairs_per_batch(),
+            1
+        );
         assert_eq!(WorkloadKind::SingleCall.label(), "single-call");
         assert_eq!(
             WorkloadKind::OneToMany { fanout: 3 }.label(),
             "one-to-many(3)"
         );
+        assert_eq!(
+            WorkloadKind::HotPairs {
+                zipf_s: 1.1,
+                universe: 64
+            }
+            .label(),
+            "hot-pairs(s=1.1,u=64)"
+        );
+    }
+
+    #[test]
+    fn zipf_sampler_is_deterministic_skewed_and_in_bounds() {
+        let zipf = ZipfSampler::new(100, 1.2);
+        assert_eq!(zipf.len(), 100);
+        assert!(!zipf.is_empty());
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        let mut b = ChaCha8Rng::seed_from_u64(9);
+        let xs: Vec<usize> = (0..5000).map(|_| zipf.sample(&mut a)).collect();
+        let ys: Vec<usize> = (0..5000).map(|_| zipf.sample(&mut b)).collect();
+        assert_eq!(xs, ys, "same seed must give the same stream");
+        assert!(xs.iter().all(|&x| x < 100));
+        // Rank 0 dominates under skew: more mass than a uniform share.
+        let zeros = xs.iter().filter(|&&x| x == 0).count();
+        assert!(zeros > 5000 / 100, "rank 0 drew only {zeros} of 5000");
+        // s = 0 degenerates to (roughly) uniform: rank 0 is no longer
+        // an order of magnitude above its uniform share.
+        let uniform = ZipfSampler::new(100, 0.0);
+        let mut r = ChaCha8Rng::seed_from_u64(9);
+        let uz = (0..5000).filter(|_| uniform.sample(&mut r) == 0).count();
+        assert!(uz < zeros, "s=0 must be less skewed than s=1.2");
+    }
+
+    #[test]
+    fn hot_pairs_workload_serves_and_reports_cache_hits() {
+        use crate::config::CacheConfig;
+        let g = grid(6, 6, WeightRange::new(1, 9), 4);
+        let server = RoadNetworkServer::builder()
+            .maintainer(Box::new(Fake {
+                graph: Arc::new(g.clone()),
+            }))
+            .coalesce(CoalescePolicy::manual())
+            .result_cache(CacheConfig::with_capacity(512))
+            .start(&g);
+        let engine = QueryEngine::builder()
+            .workers(2)
+            .batches(2)
+            .update_volume(4)
+            .pause_between_batches(Duration::from_millis(15))
+            .workload(WorkloadKind::HotPairs {
+                zipf_s: 1.2,
+                universe: 64,
+            })
+            .build();
+        let report = engine.run(&server);
+        server.shutdown();
+        assert!(report.total_queries > 0);
+        let cache = report.cache.expect("cache-enabled server must report");
+        assert_eq!(cache.lookups(), report.total_queries);
+        assert!(
+            cache.hits > 0,
+            "skewed traffic against a cache must produce hits"
+        );
+        assert!(cache.hit_rate() > 0.0 && cache.hit_rate() <= 1.0);
     }
 
     #[test]

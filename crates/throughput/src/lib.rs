@@ -30,9 +30,17 @@
 //! [`QuerySession`](htsp_graph::QuerySession)s pinned to the currently
 //! published snapshot, re-pinning whenever the maintainer publishes a
 //! fresher stage.
+//!
+//! The **result cache** ([`DistanceCache`]) memoizes answers for skewed
+//! (hot-pair) traffic without ever serving a stale one: entries are tagged
+//! with the snapshot version they were computed against and every
+//! publication invalidates by epoch. It is config-gated off by default
+//! ([`ServerBuilder::result_cache`] enables it); [`WorkloadKind::HotPairs`]
+//! is the Zipf-skewed workload that measures it.
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod config;
 pub mod engine;
 pub mod feed;
@@ -42,9 +50,11 @@ pub mod server;
 pub mod service;
 pub mod simulator;
 
-pub use config::SystemConfig;
+pub use cache::{CacheStats, CachedSession, DistanceCache};
+pub use config::{CacheConfig, SystemConfig};
 pub use engine::{
-    EngineReport, QpsSample, QueryEngine, QueryEngineBuilder, QueryEngineConfig, WorkloadKind,
+    EngineReport, HotPairStream, QpsSample, QueryEngine, QueryEngineBuilder, QueryEngineConfig,
+    WorkloadKind, ZipfSampler,
 };
 pub use feed::{CoalescePolicy, FeedStats, UpdateFeed, UpdateOutcome, UpdateTicket, Visibility};
 pub use model::{lemma1_bound, staged_throughput, QueryStats};

@@ -23,6 +23,8 @@
 //! acknowledgements. The measurement harnesses (`ThroughputHarness`,
 //! `QueryEngine`) are thin drivers over this same facade.
 
+use crate::cache::DistanceCache;
+use crate::config::CacheConfig;
 use crate::feed::{CoalescePolicy, UpdateFeed, UpdateTicket};
 use crate::registry::{AlgorithmKind, BuildParams};
 use crate::service::{BatchTicket, DistanceService, QueryBatch};
@@ -41,6 +43,7 @@ pub struct ServerBuilder {
     maintainer: Option<Box<dyn IndexMaintainer>>,
     policy: CoalescePolicy,
     query_workers: usize,
+    cache: Option<CacheConfig>,
 }
 
 impl Default for ServerBuilder {
@@ -51,6 +54,7 @@ impl Default for ServerBuilder {
             maintainer: None,
             policy: CoalescePolicy::default(),
             query_workers: 0,
+            cache: None,
         }
     }
 }
@@ -91,6 +95,19 @@ impl ServerBuilder {
         self
     }
 
+    /// Enables the snapshot-versioned [`DistanceCache`]: the server's
+    /// serving paths ([`RoadNetworkServer::distance`] and the
+    /// [`DistanceService`] workers) consult it before running a search, and
+    /// every snapshot publication invalidates it by epoch (see the
+    /// [`cache`](crate::cache) module docs).
+    ///
+    /// **Off by default** — caching only pays under skewed (hot-pair)
+    /// traffic on search-based views.
+    pub fn result_cache(mut self, config: CacheConfig) -> Self {
+        self.cache = Some(config);
+        self
+    }
+
     /// Builds the index over `graph` (the expensive step, unless a
     /// maintainer was supplied), spawns the maintenance thread and the
     /// optional query workers, and returns the running server.
@@ -101,6 +118,16 @@ impl ServerBuilder {
         let algorithm = maintainer.name();
         let num_query_stages = maintainer.num_query_stages();
         let publisher = Arc::new(SnapshotPublisher::new(maintainer.current_view()));
+        // The result cache, when enabled, hears about every publication
+        // through the publisher's hook: each event folds into the cache's
+        // epoch (monotonically, so racing publishers are harmless), which
+        // is how a batch publish becomes the cache-invalidation boundary.
+        let cache = self.cache.map(|config| {
+            let cache = Arc::new(DistanceCache::new(config));
+            let epoch_cache = Arc::clone(&cache);
+            publisher.on_publish(move |event| epoch_cache.bump_epoch(event.version));
+            cache
+        });
         let shared_graph = Arc::new(RwLock::new(graph.clone()));
         let feed = UpdateFeed::new(Arc::clone(&publisher), Arc::clone(&shared_graph));
         let policy = self.policy;
@@ -111,14 +138,16 @@ impl ServerBuilder {
                 .spawn(move || feed.run_maintenance(maintainer, policy))
                 .expect("spawn maintenance thread")
         };
-        let service = (self.query_workers > 0)
-            .then(|| DistanceService::start(Arc::clone(&publisher), self.query_workers));
+        let service = (self.query_workers > 0).then(|| {
+            DistanceService::with_cache(Arc::clone(&publisher), self.query_workers, cache.clone())
+        });
         RoadNetworkServer {
             graph: shared_graph,
             publisher,
             feed,
             maintenance: Some(maintenance),
             service,
+            cache,
             algorithm,
             num_query_stages,
         }
@@ -137,6 +166,7 @@ pub struct RoadNetworkServer {
     feed: UpdateFeed,
     maintenance: Option<JoinHandle<Box<dyn IndexMaintainer>>>,
     service: Option<DistanceService>,
+    cache: Option<Arc<DistanceCache>>,
     algorithm: &'static str,
     num_query_stages: usize,
 }
@@ -190,11 +220,30 @@ impl RoadNetworkServer {
         self.publisher.snapshot()
     }
 
-    /// Convenience single query on the newest snapshot. Serving threads
-    /// should open a session on [`RoadNetworkServer::snapshot`] (or use the
+    /// Convenience single query on the newest snapshot, consulting the
+    /// result cache first when one is enabled. Serving threads should open
+    /// a session on [`RoadNetworkServer::snapshot`] (or use the
     /// [`DistanceService`]) instead.
     pub fn distance(&self, s: VertexId, t: VertexId) -> Dist {
-        self.publisher.snapshot().distance(s, t)
+        let (version, view) = self.publisher.versioned_snapshot();
+        if let Some(cache) = &self.cache {
+            if let Some(d) = cache.get(s, t, version) {
+                return d;
+            }
+            let d = view.distance(s, t);
+            cache.insert(s, t, version, d);
+            return d;
+        }
+        view.distance(s, t)
+    }
+
+    /// The snapshot-versioned result cache, when the server was started
+    /// with [`ServerBuilder::result_cache`]. Serving loops outside the
+    /// built-in [`DistanceService`] (e.g. the
+    /// [`QueryEngine`](crate::QueryEngine) workers) wrap their sessions in a
+    /// [`CachedSession`](crate::CachedSession) around this handle.
+    pub fn cache(&self) -> Option<&Arc<DistanceCache>> {
+        self.cache.as_ref()
     }
 
     /// The batched query front-end, when the server was started with
@@ -446,6 +495,35 @@ mod tests {
         assert!(vis.version >= 1);
         let maintainer = server.shutdown();
         assert_eq!(maintainer.name(), "DCH");
+    }
+
+    #[test]
+    fn result_cache_serves_hits_and_publications_bump_its_epoch() {
+        let g = grid(8, 8, WeightRange::new(2, 20), 21);
+        let server = RoadNetworkServer::builder()
+            .algorithm(AlgorithmKind::Dch)
+            .coalesce(CoalescePolicy::manual())
+            .result_cache(crate::config::CacheConfig::with_capacity(1024))
+            .start(&g);
+        let cache = Arc::clone(server.cache().expect("cache enabled"));
+        let (s, t) = (htsp_graph::VertexId(3), htsp_graph::VertexId(60));
+        let expect = dijkstra_distance(&g, s, t);
+        assert_eq!(server.distance(s, t), expect); // cold miss, fills
+        assert_eq!(server.distance(s, t), expect); // hit
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.epoch(), 0);
+
+        // A publication (even an empty forced flush republishes the final
+        // stage) reaches the cache through the publisher hook.
+        server.feed().flush().wait_applied();
+        assert!(cache.epoch() >= 1, "publication did not bump the epoch");
+        // The old entry is now from an older version: a stale miss, then a
+        // refill at the new version.
+        assert_eq!(server.distance(s, t), expect);
+        assert!(cache.stats().stale_misses >= 1);
+        assert_eq!(server.distance(s, t), expect);
+        assert_eq!(cache.stats().hits, 2);
+        server.shutdown();
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //! [`IndexMaintainer`](htsp_graph::IndexMaintainer) keeps calling
 //! `apply_batch` with the same publisher the service was started with.
 
+use crate::cache::{CachedSession, DistanceCache};
 use htsp_graph::{Dist, Query, QuerySession, SnapshotPublisher, VertexId};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -90,47 +91,75 @@ pub struct BatchAnswer {
 
 /// A pending [`BatchAnswer`]; returned by [`DistanceService::submit`].
 ///
-/// A batch is answered exactly once: after any wait variant has yielded the
-/// answer, further polls return `None`.
+/// A batch is **answered exactly once** by the service; the ticket caches
+/// the answer on first receipt, so every subsequent wait variant — from any
+/// thread, the ticket is `Sync` and can be shared by reference — yields the
+/// *same* [`BatchAnswer`]. Polls before the answer lands return `None` and
+/// leave the ticket usable.
 pub struct BatchTicket {
-    rx: mpsc::Receiver<BatchAnswer>,
-    answered: std::cell::Cell<bool>,
+    rx: Mutex<mpsc::Receiver<BatchAnswer>>,
+    answer: Mutex<Option<BatchAnswer>>,
 }
 
 impl BatchTicket {
     fn new(rx: mpsc::Receiver<BatchAnswer>) -> Self {
         BatchTicket {
-            rx,
-            answered: std::cell::Cell::new(false),
+            rx: Mutex::new(rx),
+            answer: Mutex::new(None),
         }
     }
 
-    /// Blocks until the batch is answered.
+    fn cached(&self) -> Option<BatchAnswer> {
+        self.answer.lock().expect("ticket answer poisoned").clone()
+    }
+
+    fn store(&self, answer: BatchAnswer) -> BatchAnswer {
+        *self.answer.lock().expect("ticket answer poisoned") = Some(answer.clone());
+        answer
+    }
+
+    /// Blocks until the batch is answered (returns immediately once the
+    /// answer was ever received).
     ///
     /// # Panics
     ///
-    /// Panics if the service shut down before answering (dropped mid-batch),
-    /// or if the answer was already taken by a previous wait.
+    /// Panics if the service shut down before answering (dropped mid-batch).
     pub fn wait(self) -> BatchAnswer {
-        assert!(!self.answered.get(), "batch answer already taken");
-        self.rx.recv().expect("distance service dropped the batch")
+        if let Some(answer) = self.cached() {
+            return answer;
+        }
+        self.rx
+            .into_inner()
+            .expect("ticket receiver poisoned")
+            .recv()
+            .expect("distance service dropped the batch")
     }
 
-    /// Non-blocking poll: the answer if it is already in, `None` otherwise
-    /// (the ticket stays usable either way, so callers can poll in a loop).
+    /// Non-blocking poll: the answer if it is (or ever was) in, `None`
+    /// otherwise — the ticket stays usable either way, so callers can poll
+    /// in a loop, and an already-answered ticket keeps returning the same
+    /// answer. Genuinely non-blocking even when the ticket is shared: if
+    /// another thread currently holds the receiver (a `wait_timeout` in
+    /// progress), the answer is simply not cached yet and this returns
+    /// `None` instead of waiting for that thread.
     ///
     /// # Panics
     ///
     /// Panics if the service shut down before answering (dropped mid-batch).
     pub fn try_wait(&self) -> Option<BatchAnswer> {
-        if self.answered.get() {
-            return None;
+        if let Some(answer) = self.cached() {
+            return Some(answer);
         }
-        match self.rx.try_recv() {
-            Ok(answer) => {
-                self.answered.set(true);
-                Some(answer)
-            }
+        let rx = match self.rx.try_lock() {
+            Ok(rx) => rx,
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+            Err(std::sync::TryLockError::Poisoned(_)) => panic!("ticket receiver poisoned"),
+        };
+        if let Some(answer) = self.cached() {
+            return Some(answer);
+        }
+        match rx.try_recv() {
+            Ok(answer) => Some(self.store(answer)),
             Err(mpsc::TryRecvError::Empty) => None,
             Err(mpsc::TryRecvError::Disconnected) => {
                 panic!("distance service dropped the batch")
@@ -139,20 +168,28 @@ impl BatchTicket {
     }
 
     /// Blocks for at most `timeout`; `None` means the batch was still
-    /// unanswered when the timeout expired (the ticket stays usable).
+    /// unanswered when the timeout expired (the ticket stays usable). Once
+    /// answered, every further call returns that same answer.
+    ///
+    /// Concurrent `wait_timeout` callers on one shared ticket serialize on
+    /// the receiver: a caller may first wait out the receive of the caller
+    /// in front of it (worst case ~2× `timeout` with two callers) — the
+    /// answer whoever receives first caches is returned to everyone.
     ///
     /// # Panics
     ///
     /// Panics if the service shut down before answering (dropped mid-batch).
     pub fn wait_timeout(&self, timeout: Duration) -> Option<BatchAnswer> {
-        if self.answered.get() {
-            return None;
+        if let Some(answer) = self.cached() {
+            return Some(answer);
         }
-        match self.rx.recv_timeout(timeout) {
-            Ok(answer) => {
-                self.answered.set(true);
-                Some(answer)
-            }
+        let rx = self.rx.lock().expect("ticket receiver poisoned");
+        // Re-check: the lock holder in front of us may have cached it.
+        if let Some(answer) = self.cached() {
+            return Some(answer);
+        }
+        match rx.recv_timeout(timeout) {
+            Ok(answer) => Some(self.store(answer)),
             Err(mpsc::RecvTimeoutError::Timeout) => None,
             Err(mpsc::RecvTimeoutError::Disconnected) => {
                 panic!("distance service dropped the batch")
@@ -168,6 +205,9 @@ struct Job {
 
 struct Shared {
     publisher: Arc<SnapshotPublisher>,
+    /// Snapshot-versioned result cache consulted before every search (see
+    /// [`crate::cache`]); `None` serves every query through the session.
+    cache: Option<Arc<DistanceCache>>,
     queue: Mutex<VecDeque<Job>>,
     available: Condvar,
     shutdown: AtomicBool,
@@ -234,9 +274,15 @@ fn worker_loop(shared: &Shared) {
         // Pin: newest snapshot, one session, scratch checked out once. The
         // (version, view) pair is read atomically so a concurrent publish
         // cannot tag the old view with the new version (which would both
-        // mislabel answers and suppress the re-pin below).
+        // mislabel answers and suppress the re-pin below). With a result
+        // cache, the session is wrapped so repeated pairs skip the search;
+        // the wrapper carries the pinned version, so a cached answer can
+        // never cross a publication boundary.
         let (pinned_version, view) = shared.publisher.versioned_snapshot();
-        let mut session = view.session();
+        let mut session: Box<dyn QuerySession + '_> = match &shared.cache {
+            Some(cache) => Box::new(CachedSession::new(view.session(), cache, pinned_version)),
+            None => view.session(),
+        };
         let stage = view.stage();
         let algorithm = view.algorithm();
 
@@ -275,8 +321,20 @@ pub struct DistanceService {
 impl DistanceService {
     /// Starts `num_workers` serving threads against `publisher`'s snapshots.
     pub fn start(publisher: Arc<SnapshotPublisher>, num_workers: usize) -> Self {
+        DistanceService::with_cache(publisher, num_workers, None)
+    }
+
+    /// Like [`DistanceService::start`], but the workers consult `cache`
+    /// before every search (and feed it after), through a
+    /// [`CachedSession`] pinned to each worker's snapshot version.
+    pub fn with_cache(
+        publisher: Arc<SnapshotPublisher>,
+        num_workers: usize,
+        cache: Option<Arc<DistanceCache>>,
+    ) -> Self {
         let shared = Arc::new(Shared {
             publisher,
+            cache,
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -447,13 +505,62 @@ mod tests {
             answer.distances[0],
             dijkstra_distance(&g, VertexId(0), VertexId(24))
         );
-        // An answered ticket times out (channel empty) instead of blocking.
+        // An answered ticket caches: every further wait variant returns the
+        // same answer instead of blocking or coming back empty.
         let again = service.submit(QueryBatch::PointToPoint(vec![Query::new(
             VertexId(1),
             VertexId(2),
         )]));
-        assert!(again.wait_timeout(Duration::from_secs(5)).is_some());
-        assert!(again.wait_timeout(Duration::from_millis(1)).is_none());
+        let first = again
+            .wait_timeout(Duration::from_secs(5))
+            .expect("batch unanswered");
+        let second = again
+            .wait_timeout(Duration::from_millis(1))
+            .expect("answered ticket must keep its answer");
+        assert_eq!(first.distances, second.distances);
+        assert_eq!(first.snapshot_version, second.snapshot_version);
+        assert_eq!(again.try_wait().expect("cached").distances, first.distances);
+        assert_eq!(again.wait().distances, first.distances);
+        service.shutdown();
+    }
+
+    #[test]
+    fn cached_workers_answer_repeats_from_the_cache_without_staleness() {
+        use crate::config::CacheConfig;
+        let mut g = grid(8, 8, WeightRange::new(2, 25), 3);
+        let mut idx = DchBaseline::build(&g);
+        let publisher = Arc::new(SnapshotPublisher::new(idx.current_view()));
+        let cache = Arc::new(DistanceCache::new(CacheConfig::with_capacity(256)));
+        let service =
+            DistanceService::with_cache(Arc::clone(&publisher), 1, Some(Arc::clone(&cache)));
+
+        let qs = QuerySet::random(&g, 8, 11);
+        let batch = QueryBatch::PointToPoint(qs.as_slice().to_vec());
+        let first = service.answer(batch.clone());
+        let second = service.answer(batch.clone());
+        assert_eq!(first.distances, second.distances);
+        assert!(
+            cache.stats().hits >= qs.len() as u64,
+            "the repeated batch must be served from the cache"
+        );
+
+        // A publication invalidates: the same pairs are recomputed on the
+        // new snapshot, never served from version-0 entries.
+        let mut gen = UpdateGenerator::new(5);
+        let update = gen.generate(&g, 15);
+        g.apply_batch(&update);
+        idx.apply_batch(&g, &update, &publisher);
+        cache.bump_epoch(publisher.version());
+        let after = service.answer(batch);
+        assert_eq!(after.snapshot_version, publisher.version());
+        for (q, &d) in qs.iter().zip(&after.distances) {
+            assert_eq!(
+                d,
+                dijkstra_distance(&g, q.source, q.target),
+                "stale cached answer crossed the publication"
+            );
+        }
+        assert!(cache.stats().stale_misses > 0);
         service.shutdown();
     }
 

@@ -1,14 +1,16 @@
 //! Throughput tuning: sweep PostMHL's TD-partitioning knobs (`k_e` and the
 //! bandwidth `τ`) on one network and report the resulting update time and
-//! throughput, mirroring Exp. 7 / Exp. 8 of the paper.
+//! throughput, mirroring Exp. 7 / Exp. 8 of the paper — then sweep the
+//! serving-side knob the paper leaves implicit: the snapshot-versioned
+//! result cache under skewed hot-pair traffic.
 //!
 //! Run with `cargo run --release --example throughput_tuning`.
 
 use htsp::core::{PostMhl, PostMhlConfig};
 use htsp::graph::gen;
 use htsp::partition::TdPartitionConfig;
-use htsp::throughput::{SystemConfig, ThroughputHarness};
-use htsp::RoadNetworkServer;
+use htsp::throughput::{QueryEngine, SystemConfig, ThroughputHarness, WorkloadKind};
+use htsp::{AlgorithmKind, BuildParams, CacheConfig, CoalescePolicy, RoadNetworkServer};
 
 fn main() {
     let road = gen::grid_with_diagonals(48, 48, gen::WeightRange::new(1, 100), 0.08, 33);
@@ -80,5 +82,49 @@ fn main() {
             r.avg_update_time,
             r.throughput()
         );
+    }
+
+    // Serving-side tuning: the result cache under Zipf hot-pair traffic.
+    // The same DCH machinery is reused across configurations (handed back
+    // by shutdown()), so the cache is the only difference per row.
+    println!("-- result cache under Zipf hot-pair traffic (DCH, universe 1024) --");
+    println!(
+        "{:>8} {:>12} {:>14} {:>10}",
+        "zipf s", "cache", "pairs/s", "hit rate"
+    );
+    let mut maintainer = AlgorithmKind::Dch.build(&road, &BuildParams::default());
+    let mut current = road.clone();
+    for s in [0.0, 1.2] {
+        for capacity in [None, Some(256)] {
+            let mut builder = RoadNetworkServer::builder()
+                .maintainer(maintainer)
+                .coalesce(CoalescePolicy::manual());
+            if let Some(capacity) = capacity {
+                builder = builder.result_cache(CacheConfig::with_capacity(capacity));
+            }
+            let server = builder.start(&current);
+            let engine = QueryEngine::builder()
+                .workers(2)
+                .batches(2)
+                .update_volume(20)
+                .query_pool(1024)
+                .workload(WorkloadKind::HotPairs {
+                    zipf_s: s,
+                    universe: 1024,
+                })
+                .build();
+            let report = engine.run(&server);
+            current = server.with_graph(|g| g.clone());
+            maintainer = server.shutdown();
+            println!(
+                "{:>8.1} {:>12} {:>14.0} {:>9.1}%",
+                s,
+                capacity
+                    .map(|c| c.to_string())
+                    .unwrap_or_else(|| "off".into()),
+                report.measured_qps,
+                report.cache.map(|c| c.hit_rate() * 100.0).unwrap_or(0.0),
+            );
+        }
     }
 }

@@ -100,11 +100,18 @@
 //! ```
 //!
 //! To *measure* throughput under concurrent maintenance, drive the same
-//! server with [`throughput::QueryEngine`] (single-call and session-batched
-//! workload modes) or the Lemma 1 model harness
+//! server with [`throughput::QueryEngine`] (single-call, session-batched,
+//! and Zipf hot-pair workload modes) or the Lemma 1 model harness
 //! [`throughput::ThroughputHarness`]; to *serve* batched traffic, see
 //! [`throughput::DistanceService`] (a queue of `QueryBatch` requests drained
 //! by session-pinning workers, started by `query_workers(n)`).
+//!
+//! For skewed traffic, `ServerBuilder::result_cache(CacheConfig)` enables
+//! the snapshot-versioned [`DistanceCache`]: answers are memoized per
+//! `(source, target)` tagged with the publisher version they were computed
+//! against, so a publication implicitly invalidates the cache and a hit can
+//! never cross a version boundary (off by default — see
+//! [`throughput::cache`] for when it helps vs hurts).
 //!
 //! Snapshot isolation rides on the chunked copy-on-write storage layer in
 //! [`graph::cow`]: label and distance tables live in
@@ -127,8 +134,8 @@ pub use htsp_throughput as throughput;
 
 // The serving facade, re-exported flat: what a deployment touches first.
 pub use htsp_throughput::{
-    AlgorithmKind, BuildParams, CoalescePolicy, RoadNetworkServer, ServerBuilder, UpdateFeed,
-    UpdateOutcome, UpdateTicket, Visibility,
+    AlgorithmKind, BuildParams, CacheConfig, CacheStats, CoalescePolicy, DistanceCache,
+    RoadNetworkServer, ServerBuilder, UpdateFeed, UpdateOutcome, UpdateTicket, Visibility,
 };
 
 /// The version of the reproduction.

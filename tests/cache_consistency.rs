@@ -1,0 +1,117 @@
+//! The staleness property of the result cache, for all nine registry
+//! algorithms: **a cache hit must never cross a published version
+//! boundary**. Randomized edge-update batches stream through a
+//! `RoadNetworkServer` with the cache enabled while query batches (with
+//! deliberate hot-pair repeats, so the cache actually serves hits) run
+//! through the `DistanceService`; at the end, every answer — cached or
+//! computed — must equal a fresh Dijkstra run on the graph snapshot of the
+//! version that served it.
+//!
+//! The version→graph correspondence is reconstructed from the update
+//! tickets: a batch's staged publications all answer on the post-batch
+//! graph (U-Stage 1 installs the weights before the first publication), so
+//! the graph at version `v` is the graph of the latest batch whose
+//! `first_version ≤ v` (the initial graph for `v = 0`).
+
+use htsp::graph::{gen, Graph, Query, QuerySet, UpdateGenerator};
+use htsp::search::dijkstra_distance;
+use htsp::throughput::{BatchAnswer, QueryBatch};
+use htsp::{AlgorithmKind, BuildParams, CacheConfig, CoalescePolicy, RoadNetworkServer};
+
+fn graph_at(graphs: &[(u64, Graph)], version: u64) -> &Graph {
+    &graphs
+        .iter()
+        .rev()
+        .find(|(first, _)| *first <= version)
+        .expect("version 0 entry always present")
+        .1
+}
+
+#[test]
+fn cached_answers_never_cross_a_publication_epoch() {
+    for kind in AlgorithmKind::ALL {
+        let mut g = gen::grid_with_diagonals(10, 10, gen::WeightRange::new(2, 60), 0.15, 91);
+        let server = RoadNetworkServer::builder()
+            .algorithm(kind)
+            .build_params(BuildParams::new(4, 2))
+            .coalesce(CoalescePolicy::manual())
+            .query_workers(2)
+            .result_cache(CacheConfig {
+                capacity: 128,
+                shards: 2,
+            })
+            .start(&g);
+        let cache = server.cache().expect("cache enabled").clone();
+
+        // Hot pairs, repeated 3x inside every batch: the repeats are
+        // guaranteed same-version lookups, so the cache must serve hits.
+        let pool = QuerySet::random(&g, 12, 7);
+        let hot: Vec<Query> = pool
+            .iter()
+            .chain(pool.iter())
+            .chain(pool.iter())
+            .copied()
+            .collect();
+
+        // (first_version, graph at that version and until the next entry).
+        let mut graphs: Vec<(u64, Graph)> = vec![(0, g.clone())];
+        let mut answers: Vec<BatchAnswer> = Vec::new();
+        for round in 0..4u64 {
+            // Serve twice per round so same-version repeats accumulate hits.
+            for _ in 0..2 {
+                answers.push(
+                    server
+                        .submit_queries(QueryBatch::PointToPoint(hot.clone()))
+                        .wait(),
+                );
+            }
+            // A randomized update batch through the feed; the manual policy
+            // makes the explicit flush the publication (= invalidation)
+            // boundary.
+            let batch = UpdateGenerator::new(1000 * (round + 1) + kind as u64).generate(&g, 6);
+            g.apply_batch(&batch);
+            server.feed().submit_all(batch.as_slice().iter().copied());
+            let outcome = server.feed().flush().wait_applied();
+            assert_eq!(outcome.batch_len, 6, "{kind}: batch split unexpectedly");
+            graphs.push((outcome.first_version, g.clone()));
+        }
+        answers.push(
+            server
+                .submit_queries(QueryBatch::PointToPoint(hot.clone()))
+                .wait(),
+        );
+
+        // The cache was genuinely exercised: repeats hit, publications
+        // invalidated (stale misses on the first re-query of each round).
+        let stats = cache.stats();
+        assert!(stats.hits > 0, "{kind}: repeated hot pairs never hit");
+        assert!(
+            stats.stale_misses > 0,
+            "{kind}: publications never invalidated an entry"
+        );
+        assert!(stats.inserts > 0);
+        assert!(
+            cache.epoch() >= graphs.last().expect("rounds ran").0,
+            "{kind}: publish events did not reach the cache epoch"
+        );
+
+        // The property: every answer (cache hits included — they are
+        // indistinguishable in the answer, which is the point) is exact on
+        // the graph snapshot of the version that served it.
+        for answer in &answers {
+            let graph = graph_at(&graphs, answer.snapshot_version);
+            for (q, &d) in hot.iter().zip(&answer.distances) {
+                assert_eq!(
+                    d,
+                    dijkstra_distance(graph, q.source, q.target),
+                    "{kind}: answer for ({}, {}) served at version {} does not match \
+                     that version's graph — a cached answer crossed a publication epoch",
+                    q.source,
+                    q.target,
+                    answer.snapshot_version
+                );
+            }
+        }
+        server.shutdown();
+    }
+}

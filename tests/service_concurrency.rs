@@ -1,0 +1,144 @@
+//! Concurrency regression test for the `DistanceService` ticket contract:
+//! `BatchTicket` is `Sync`, so N threads may hammer `try_wait` /
+//! `wait_timeout` on one shared ticket while the snapshot publisher keeps
+//! advancing under the workers. The service answers each batch **exactly
+//! once**; the ticket caches that answer, so every poller — and every
+//! later wait variant, including `wait_timeout` after an answered
+//! `try_wait` — observes the *same* `BatchAnswer`.
+
+use htsp::baselines::DchBaseline;
+use htsp::graph::{gen, IndexMaintainer, Query, QuerySet, SnapshotPublisher};
+use htsp::search::dijkstra_distance;
+use htsp::throughput::{BatchAnswer, DistanceService, QueryBatch};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn answers_equal(a: &BatchAnswer, b: &BatchAnswer) -> bool {
+    a.distances == b.distances
+        && a.snapshot_version == b.snapshot_version
+        && a.stage == b.stage
+        && a.algorithm == b.algorithm
+}
+
+#[test]
+fn shared_tickets_are_answered_once_under_concurrent_polling() {
+    let g = gen::grid(8, 8, gen::WeightRange::new(1, 20), 5);
+    let idx = DchBaseline::build(&g);
+    let view = idx.current_view();
+    let publisher = Arc::new(SnapshotPublisher::new(Arc::clone(&view)));
+    let service = DistanceService::start(Arc::clone(&publisher), 2);
+    let queries = QuerySet::random(&g, 6, 13);
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        // The publisher keeps advancing (same machinery republished, so
+        // answers stay comparable against one graph) — workers re-pin
+        // between batches the whole time.
+        let publisher_thread = {
+            let stop = &stop;
+            let publisher = &publisher;
+            let view = &view;
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    publisher.publish(Arc::clone(view));
+                    std::thread::yield_now();
+                }
+            })
+        };
+
+        for round in 0..24 {
+            let ticket = service.submit(QueryBatch::PointToPoint(queries.as_slice().to_vec()));
+            // 4 threads race on the one shared ticket, mixing the two
+            // polling variants; each returns the answer it observed.
+            // An inner scope bounds the shared borrows so the consuming
+            // `wait()` below can still move the ticket.
+            let observed: Vec<BatchAnswer> = std::thread::scope(|polling| {
+                let ticket = &ticket;
+                let polls: Vec<_> = (0..4)
+                    .map(|p| {
+                        polling.spawn(move || loop {
+                            let got = if (round + p) % 2 == 0 {
+                                ticket.try_wait()
+                            } else {
+                                ticket.wait_timeout(Duration::from_micros(200))
+                            };
+                            if let Some(answer) = got {
+                                return answer;
+                            }
+                        })
+                    })
+                    .collect();
+                polls
+                    .into_iter()
+                    .map(|h| h.join().expect("poller panicked"))
+                    .collect()
+            });
+            // One answer, observed identically by every poller.
+            for other in &observed[1..] {
+                assert!(
+                    answers_equal(&observed[0], other),
+                    "two pollers observed different answers for one ticket"
+                );
+            }
+            // wait_timeout *after* the answered try_wait polls above must
+            // return that same answer (the regression this test pins).
+            let replay = ticket
+                .wait_timeout(Duration::from_millis(1))
+                .expect("answered ticket must keep its answer");
+            assert!(answers_equal(&observed[0], &replay));
+            let replay = ticket.try_wait().expect("cached answer");
+            assert!(answers_equal(&observed[0], &replay));
+            // And the consuming wait agrees too.
+            let last = ticket.wait();
+            assert!(answers_equal(&observed[0], &last));
+            // The answer is correct (the graph never changes, only the
+            // version advances) and tagged with a real version.
+            for (q, &d) in queries.iter().zip(&last.distances) {
+                assert_eq!(d, dijkstra_distance(&g, q.source, q.target));
+            }
+            assert!(last.snapshot_version <= publisher.version());
+        }
+        stop.store(true, Ordering::Relaxed);
+        publisher_thread.join().expect("publisher thread panicked");
+    });
+    service.shutdown();
+}
+
+#[test]
+fn many_threads_submit_and_poll_disjoint_tickets() {
+    // Ticket independence under load: 8 submitter threads each fire 16
+    // batches, polling each to completion; answers never leak between
+    // tickets (each batch queries a distinct pair, so a crossed answer
+    // would be visible as a wrong distance).
+    let g = gen::grid(7, 7, gen::WeightRange::new(1, 15), 3);
+    let idx = DchBaseline::build(&g);
+    let publisher = Arc::new(SnapshotPublisher::new(idx.current_view()));
+    let service = DistanceService::start(publisher, 3);
+    let queries = QuerySet::random(&g, 8 * 16, 29);
+
+    std::thread::scope(|scope| {
+        for w in 0..8usize {
+            let service = &service;
+            let queries = queries.as_slice();
+            let g = &g;
+            scope.spawn(move || {
+                for k in 0..16 {
+                    let q: Query = queries[w * 16 + k];
+                    let ticket = service.submit(QueryBatch::PointToPoint(vec![q]));
+                    let answer = loop {
+                        if let Some(a) = ticket.wait_timeout(Duration::from_millis(5)) {
+                            break a;
+                        }
+                    };
+                    assert_eq!(
+                        answer.distances,
+                        vec![dijkstra_distance(g, q.source, q.target)],
+                        "ticket received another batch's answer"
+                    );
+                }
+            });
+        }
+    });
+    service.shutdown();
+}
