@@ -1,0 +1,434 @@
+//! `bench-pr6` — emits `BENCH_pr6.json`: the partition-sharded serving tier
+//! ([`ShardedFleet`]) measured against the single-`RoadNetworkServer`
+//! baseline under a **paced ingest stream**, swept over shard count ×
+//! update rate.
+//!
+//! Every run replays the *same* pre-generated update stream at a fixed
+//! submission rate (one update every `1/rate` seconds) and records each
+//! update's submit-to-visible lag through its ticket:
+//!
+//! * **baseline** — one server repairs the whole graph per coalesced batch,
+//!   so every update pays the full-graph repair time;
+//! * **fleet** — the router fans each intra-partition update out to the one
+//!   shard owning it; non-boundary updates become visible as soon as their
+//!   (much smaller) shard repairs, while all touched shards repair in
+//!   parallel and the overlay is maintained on the router thread alongside.
+//!
+//! The headline comparison is the **p50 lag of non-boundary updates** at
+//! equal total update rate: a ≥4-shard fleet must beat the single server
+//! (asserted in full mode; reported in smoke mode, where CI timing is too
+//! noisy to gate on). Exactness is always asserted, in both modes: sampled
+//! point-to-point queries — local and cross-shard — must match a global
+//! Dijkstra run on the fleet session's own epoch graph *and* the single
+//! server's answer on the same final weights.
+//!
+//! Query throughput rides along via the engine's sharded mode
+//! (`QueryEngine::run_sharded`), and the JSON carries per-shard
+//! visibility-lag percentiles (p50/p90/p99) next to the fleet QPS.
+//!
+//! Usage: `cargo run --release -p htsp-bench --bin bench-pr6 [--smoke] [output.json]`
+
+use htsp_bench::json::Json;
+use htsp_graph::{gen, EdgeUpdate, Graph, QuerySession, QuerySet, UpdateGenerator};
+use htsp_partition::{partition_region_growing, PartitionResult};
+use htsp_search::dijkstra_distance;
+use htsp_throughput::{
+    AlgorithmKind, CoalescePolicy, FleetConfig, QueryEngine, RoadNetworkServer, ShardedFleet,
+    WorkloadKind,
+};
+use std::time::{Duration, Instant};
+
+struct BenchConfig {
+    smoke: bool,
+    side: usize,
+    shard_counts: Vec<usize>,
+    /// Paced submission rates in updates per second.
+    rates: Vec<f64>,
+    /// Updates per paced stream.
+    stream_len: usize,
+    /// The coalesce policy used by the baseline feed AND the fleet router,
+    /// so both systems batch identically.
+    coalesce: CoalescePolicy,
+    /// Sampled point-to-point pairs for the exactness gate.
+    verify_pairs: usize,
+    /// Partition seed (shared by fleet and classification).
+    seed: u64,
+}
+
+fn percentile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite lag"));
+    let rank = ((q * sorted.len() as f64).ceil() as usize)
+        .saturating_sub(1)
+        .min(sorted.len() - 1);
+    sorted[rank]
+}
+
+/// Pre-generates a deterministic update stream against a drifting mirror of
+/// the initial graph, so every system replays identical `(old, new)` pairs.
+fn make_stream(graph: &Graph, len: usize, seed: u64) -> Vec<EdgeUpdate> {
+    let mut mirror = graph.clone();
+    let mut gen = UpdateGenerator::new(seed);
+    let mut stream = Vec::with_capacity(len);
+    while stream.len() < len {
+        let batch = gen.generate(&mirror, 1);
+        mirror.apply_batch(&batch);
+        stream.extend(batch.iter().copied());
+    }
+    stream.truncate(len);
+    stream
+}
+
+/// `true` if the update touches a partition boundary under `partition`
+/// (either endpoint is a boundary vertex, or the edge crosses partitions).
+fn is_boundary_update(graph: &Graph, partition: &PartitionResult, u: &EdgeUpdate) -> bool {
+    let (a, b) = graph.edge_endpoints(u.edge);
+    !partition.same_partition(a, b) || partition.is_boundary(a) || partition.is_boundary(b)
+}
+
+/// Submits `stream` at `rate` updates/second and drains every ticket's
+/// visibility on a companion thread (tickets resolve in submission order,
+/// so draining in order measures each lag as it lands). Returns
+/// `(all lags, non-boundary lags)` in seconds, per `boundary` flags.
+fn pace<T, F, W>(stream_len: usize, rate: f64, boundary: &[bool], submit: F, wait: W) -> PacedLags
+where
+    F: Fn(usize) -> T,
+    W: Fn(T) -> f64 + Send,
+    T: Send,
+{
+    let interval = Duration::from_secs_f64(1.0 / rate);
+    let (tx, rx) = std::sync::mpsc::channel::<(T, bool)>();
+    std::thread::scope(|scope| {
+        let drain = scope.spawn(move || {
+            let mut all = Vec::new();
+            let mut non_boundary = Vec::new();
+            for (ticket, is_boundary) in rx {
+                let lag = wait(ticket);
+                all.push(lag);
+                if !is_boundary {
+                    non_boundary.push(lag);
+                }
+            }
+            PacedLags { all, non_boundary }
+        });
+        let start = Instant::now();
+        for (i, &is_boundary) in boundary.iter().enumerate().take(stream_len) {
+            let due = start + interval.mul_f64(i as f64);
+            std::thread::sleep(due.saturating_duration_since(Instant::now()));
+            tx.send((submit(i), is_boundary)).expect("drainer alive");
+        }
+        drop(tx);
+        drain.join().expect("drainer panicked")
+    })
+}
+
+struct PacedLags {
+    all: Vec<f64>,
+    non_boundary: Vec<f64>,
+}
+
+fn lag_json(lags: &[f64]) -> Json {
+    Json::Obj(vec![
+        ("count", Json::Int(lags.len() as u64)),
+        ("p50_s", Json::Num(percentile(lags, 0.50))),
+        ("p90_s", Json::Num(percentile(lags, 0.90))),
+        ("p99_s", Json::Num(percentile(lags, 0.99))),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| {
+            if smoke {
+                "/tmp/BENCH_pr6_smoke.json".to_string()
+            } else {
+                "BENCH_pr6.json".to_string()
+            }
+        });
+    let cfg = if smoke {
+        BenchConfig {
+            smoke: true,
+            side: 20,
+            shard_counts: vec![1, 4],
+            rates: vec![200.0],
+            stream_len: 80,
+            coalesce: CoalescePolicy::new(32, Duration::from_millis(20)),
+            verify_pairs: 40,
+            seed: 1,
+        }
+    } else {
+        BenchConfig {
+            smoke: false,
+            side: 64,
+            shard_counts: vec![1, 2, 4, 8],
+            rates: vec![100.0, 400.0],
+            stream_len: 300,
+            coalesce: CoalescePolicy::new(32, Duration::from_millis(20)),
+            verify_pairs: 80,
+            seed: 1,
+        }
+    };
+
+    let road = gen::grid(cfg.side, cfg.side, gen::WeightRange::new(1, 100), 42);
+    eprintln!(
+        "bench-pr6: {0}x{0} grid, |V| = {1}, |E| = {2}{3}",
+        cfg.side,
+        road.num_vertices(),
+        road.num_edges(),
+        if cfg.smoke { " (smoke)" } else { "" }
+    );
+    let stream = make_stream(&road, cfg.stream_len, 7);
+    // Boundary classification per shard count (the fleet uses the same
+    // deterministic partitioner, so this matches the router's view).
+    let classify = |k: usize| -> Vec<bool> {
+        let partition = partition_region_growing(&road, k, cfg.seed);
+        stream
+            .iter()
+            .map(|u| is_boundary_update(&road, &partition, u))
+            .collect()
+    };
+    let engine = QueryEngine::builder()
+        .workers(2)
+        .batches(1)
+        .update_volume(0)
+        .pause_between_batches(Duration::from_millis(50))
+        .query_pool(512)
+        .workload(WorkloadKind::Batched { batch_size: 16 })
+        .seed(4242)
+        .build();
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut rate_rows = Vec::new();
+    let mut summary_rows = Vec::new();
+    for &rate in &cfg.rates {
+        // --- Baseline: one server, whole-graph repairs. ---
+        eprintln!("bench-pr6: rate {rate:>5.0}/s baseline: building dch on the full grid...");
+        let server = RoadNetworkServer::builder()
+            .algorithm(AlgorithmKind::Dch)
+            .coalesce(cfg.coalesce)
+            .start(&road);
+        // Non-boundary classification for the baseline row uses the 4-shard
+        // partition — the acceptance comparison below is fleet(4) vs this.
+        let baseline_boundary = classify(4);
+        let baseline_lags = pace(
+            cfg.stream_len,
+            rate,
+            &baseline_boundary,
+            |i| server.submit(stream[i]),
+            |t| t.wait_visible().latency.as_secs_f64(),
+        );
+        server.feed().wait_idle();
+        let baseline_report = engine.run(&server);
+        eprintln!(
+            "bench-pr6: rate {rate:>5.0}/s baseline: p50 {:.2} ms (non-boundary {:.2} ms), {:.0} pairs/s",
+            percentile(&baseline_lags.all, 0.5) * 1e3,
+            percentile(&baseline_lags.non_boundary, 0.5) * 1e3,
+            baseline_report.measured_qps,
+        );
+
+        // --- Fleet sweep over shard counts at the same rate. ---
+        let mut fleet_rows = Vec::new();
+        let mut p50_by_shards: Vec<(usize, f64)> = Vec::new();
+        for &k in &cfg.shard_counts {
+            eprintln!("bench-pr6: rate {rate:>5.0}/s fleet({k}): building {k} dch shards...");
+            let fleet = ShardedFleet::start(
+                &road,
+                FleetConfig::new(k, AlgorithmKind::Dch).with_coalesce(cfg.coalesce),
+            );
+            let boundary = classify(k);
+            let lags = pace(
+                cfg.stream_len,
+                rate,
+                &boundary,
+                |i| fleet.submit(stream[i]),
+                |t| t.wait_visible().latency.as_secs_f64(),
+            );
+            fleet.wait_idle();
+            let fleet_report = fleet.report();
+            let engine_report = engine.run_sharded(&fleet);
+
+            // Exactness gate: sampled pairs (local and cross-shard) must
+            // match global Dijkstra on the epoch graph AND the single
+            // server's answer on the same fully-applied stream.
+            let mut session = fleet.session();
+            let queries = QuerySet::random(session.graph(), cfg.verify_pairs, 99);
+            let mut cross_checked = 0usize;
+            let partition = partition_region_growing(&road, k, cfg.seed);
+            for q in &queries {
+                let got = session.distance(q.source, q.target);
+                let expect = dijkstra_distance(session.graph(), q.source, q.target);
+                if got != expect {
+                    failures.push(format!(
+                        "fleet({k}) at {rate}/s: d({:?}, {:?}) = {got:?}, Dijkstra says {expect:?}",
+                        q.source, q.target
+                    ));
+                }
+                let single = server.distance(q.source, q.target);
+                if got != single {
+                    failures.push(format!(
+                        "fleet({k}) at {rate}/s: d({:?}, {:?}) = {got:?} differs from the \
+                         single-server answer {single:?}",
+                        q.source, q.target
+                    ));
+                }
+                if partition.partition_of(q.source) != partition.partition_of(q.target) {
+                    cross_checked += 1;
+                }
+            }
+            eprintln!(
+                "bench-pr6: rate {rate:>5.0}/s fleet({k}): p50 {:.2} ms (non-boundary {:.2} ms), \
+                 {:.0} pairs/s, {cross_checked}/{} cross-shard pairs exact",
+                percentile(&lags.all, 0.5) * 1e3,
+                percentile(&lags.non_boundary, 0.5) * 1e3,
+                engine_report.measured_qps,
+                queries.len(),
+            );
+            p50_by_shards.push((k, percentile(&lags.non_boundary, 0.5)));
+
+            let per_shard: Vec<Json> = fleet_report
+                .shards
+                .iter()
+                .map(|s| {
+                    Json::Obj(vec![
+                        ("shard", Json::Int(s.shard as u64)),
+                        ("vertices", Json::Int(s.vertices as u64)),
+                        ("boundary", Json::Int(s.boundary as u64)),
+                        ("updates_routed", Json::Int(s.updates_routed)),
+                        ("batches", Json::Int(s.batches)),
+                        ("visibility_lag", lag_json(&s.visibility_lags)),
+                    ])
+                })
+                .collect();
+            fleet_rows.push(Json::Obj(vec![
+                ("shards", Json::Int(k as u64)),
+                ("fleet_qps", Json::Num(engine_report.measured_qps)),
+                (
+                    "boundary_fraction",
+                    Json::Num(fleet_report.boundary_fraction),
+                ),
+                ("balance", Json::Num(fleet_report.balance)),
+                (
+                    "overlay_vertices",
+                    Json::Int(fleet_report.overlay_vertices as u64),
+                ),
+                (
+                    "overlay_edges",
+                    Json::Int(fleet_report.overlay_edges as u64),
+                ),
+                ("boundary_updates", Json::Int(fleet_report.boundary_updates)),
+                ("fleet_batches", Json::Int(fleet_report.fleet_batches)),
+                ("lag_all", lag_json(&lags.all)),
+                ("lag_non_boundary", lag_json(&lags.non_boundary)),
+                ("per_shard", Json::Arr(per_shard)),
+                ("cross_shard_pairs_checked", Json::Int(cross_checked as u64)),
+            ]));
+            fleet.shutdown();
+        }
+
+        // Acceptance direction: a >= 4-shard fleet beats the baseline's p50
+        // non-boundary lag at equal rate (asserted in full mode only —
+        // smoke CI boxes are too noisy to gate on wall-clock).
+        let baseline_p50 = percentile(&baseline_lags.non_boundary, 0.5);
+        let fleet4_p50 = p50_by_shards
+            .iter()
+            .find(|&&(k, _)| k >= 4)
+            .map(|&(_, p)| p);
+        let improved = fleet4_p50.map(|p| p < baseline_p50).unwrap_or(false);
+        if !improved && !cfg.smoke {
+            failures.push(format!(
+                "rate {rate}/s: fleet(>=4) p50 non-boundary lag {:?} s not below the \
+                 single-server baseline {baseline_p50} s",
+                fleet4_p50
+            ));
+        }
+        summary_rows.push(Json::Obj(vec![
+            ("rate_per_s", Json::Num(rate)),
+            ("baseline_p50_non_boundary_s", Json::Num(baseline_p50)),
+            (
+                "fleet4_p50_non_boundary_s",
+                Json::Num(fleet4_p50.unwrap_or(0.0)),
+            ),
+            ("fleet_beats_baseline", Json::Str(improved.to_string())),
+            (
+                "speedup",
+                Json::Num(match fleet4_p50 {
+                    Some(p) if p > 0.0 => baseline_p50 / p,
+                    _ => 0.0,
+                }),
+            ),
+        ]));
+        rate_rows.push(Json::Obj(vec![
+            ("rate_per_s", Json::Num(rate)),
+            (
+                "baseline",
+                Json::Obj(vec![
+                    ("algorithm", Json::Str("dch".to_string())),
+                    ("qps", Json::Num(baseline_report.measured_qps)),
+                    ("lag_all", lag_json(&baseline_lags.all)),
+                    ("lag_non_boundary", lag_json(&baseline_lags.non_boundary)),
+                ]),
+            ),
+            ("fleets", Json::Arr(fleet_rows)),
+        ]));
+        server.shutdown();
+    }
+
+    let doc = Json::Obj(vec![
+        ("bench", Json::Str("pr6".to_string())),
+        (
+            "description",
+            Json::Str(
+                "Partition-sharded serving tier vs single server under a paced ingest \
+                 stream: one ShardedFleet per shard count (DCH shards, fleet-level \
+                 coalescing, boundary overlay maintained by the router) replays the same \
+                 update stream as a single RoadNetworkServer at equal rate; per-update \
+                 submit-to-visible lag is measured through the tickets, and sampled \
+                 point-to-point answers (local and cross-shard) are asserted equal to \
+                 global Dijkstra and to the single-server answers"
+                    .to_string(),
+            ),
+        ),
+        (
+            "graph",
+            Json::Obj(vec![
+                ("kind", Json::Str(format!("grid {0}x{0}", cfg.side))),
+                ("vertices", Json::Int(road.num_vertices() as u64)),
+                ("edges", Json::Int(road.num_edges() as u64)),
+            ]),
+        ),
+        (
+            "ingest",
+            Json::Obj(vec![
+                ("stream_len", Json::Int(cfg.stream_len as u64)),
+                (
+                    "coalesce_max_batch",
+                    Json::Int(cfg.coalesce.max_batch as u64),
+                ),
+                (
+                    "coalesce_max_delay_ms",
+                    Json::Int(cfg.coalesce.max_delay.as_millis() as u64),
+                ),
+                ("verify_pairs", Json::Int(cfg.verify_pairs as u64)),
+            ]),
+        ),
+        ("rates", Json::Arr(rate_rows)),
+        ("summary", Json::Arr(summary_rows)),
+    ]);
+
+    std::fs::write(&out_path, doc.to_string_pretty()).expect("write BENCH_pr6.json");
+    eprintln!("bench-pr6: wrote {out_path}");
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("bench-pr6: FAILURE: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -30,6 +30,24 @@
 //! feed, and registry live in `htsp-throughput` so they can construct every
 //! concrete index.
 //!
+//! # Sharded serving tier
+//!
+//! The pipeline above scales out by partitioning: `htsp-throughput`'s
+//! `ShardedFleet` runs one complete server (feed + maintainer + publisher)
+//! per partition shard on the shard's induced subgraph, with a front-end
+//! `FleetRouter` over the boundary overlay. The router fans each update to
+//! the shard owning its edge (boundary-incident updates also repair the
+//! overlay), so shard maintainers repair **in parallel** and a non-boundary
+//! update's visibility lag is bounded by its own shard's repair time.
+//! After every routed batch the router publishes a *fleet epoch* — one
+//! pinned [`QueryView`] per shard plus the post-apply global and overlay
+//! graphs, all mutually weight-consistent — and fleet sessions answer
+//! cross-shard pairs by concatenating boundary fans with an overlay run,
+//! exactly (the overlay preserves boundary-to-boundary distances). The
+//! two-trait split below is what makes this tier cheap: a shard server is
+//! just another [`IndexMaintainer`] host, and an epoch is just a vector of
+//! [`QueryView`]s.
+//!
 //! # Why two traits
 //!
 //! The paper's whole premise (Figure 1, §II) is that a road-network index

@@ -123,6 +123,28 @@ impl PartitionResult {
         self.boundary.iter().map(|b| b.len()).max().unwrap_or(0)
     }
 
+    /// Load-balance factor: largest partition size over the ideal `n / k`
+    /// share (1.0 = perfectly balanced). The sharded serving tier reports
+    /// this per fleet, since one oversized shard bounds fleet maintenance.
+    pub fn balance(&self) -> f64 {
+        let n: usize = self.vertices.iter().map(|p| p.len()).sum();
+        if n == 0 || self.vertices.is_empty() {
+            return 1.0;
+        }
+        let ideal = n as f64 / self.vertices.len() as f64;
+        self.max_partition_size() as f64 / ideal
+    }
+
+    /// Fraction of all vertices that are boundary vertices — the share of
+    /// queries and updates that must consult the overlay.
+    pub fn boundary_fraction(&self) -> f64 {
+        let n: usize = self.vertices.iter().map(|p| p.len()).sum();
+        if n == 0 {
+            return 0.0;
+        }
+        self.num_boundary() as f64 / n as f64
+    }
+
     /// Checks internal consistency against the graph; intended for tests.
     pub fn validate(&self, graph: &Graph) -> Result<(), String> {
         if self.part_of.len() != graph.num_vertices() {

@@ -40,7 +40,7 @@ pub mod post_boundary;
 
 pub use baselines::{NChP, PTdP};
 pub use cross_boundary::CrossBoundaryIndex;
-pub use overlay::{OverlayEdgeSource, OverlayGraph};
+pub use overlay::{OverlayEdgeSource, OverlayGraph, OverlayMaintainer};
 pub use partition_index::PartitionIndex;
 pub use partitioned::{Partitioned, RoutedUpdates, Subgraph};
 pub use pch::PchSearcher;

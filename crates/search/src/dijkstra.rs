@@ -107,6 +107,47 @@ pub fn dijkstra_distance_ws(
     ws.distance(t)
 }
 
+/// Multi-source Dijkstra with *seeded* start distances: vertex `v` ends up
+/// at `min_i (seed_dist_i + d(seed_i, v))`.
+///
+/// This is the overlay-hop primitive of the sharded serving tier: seeding the
+/// source partition's boundary vertices with their in-partition distances and
+/// running one search over the overlay graph yields, in a single pass, the
+/// best `source → boundary → boundary'` distance to *every* overlay vertex —
+/// no per-boundary-pair search. Seeds may repeat; `INF` seeds are ignored.
+pub fn dijkstra_multi_source(graph: &Graph, seeds: &[(VertexId, Dist)]) -> Vec<Dist> {
+    let mut ws = DijkstraWorkspace::new(graph.num_vertices());
+    dijkstra_multi_source_ws(graph, seeds, &mut ws);
+    ws.dist.clone()
+}
+
+/// [`dijkstra_multi_source`] reusing a caller-provided workspace; distances
+/// are read back through [`DijkstraWorkspace::distance`].
+pub fn dijkstra_multi_source_ws(
+    graph: &Graph,
+    seeds: &[(VertexId, Dist)],
+    ws: &mut DijkstraWorkspace,
+) {
+    ws.ensure_capacity(graph.num_vertices());
+    ws.reset();
+    for &(v, d) in seeds {
+        if !d.is_inf() {
+            ws.relax(v, d);
+        }
+    }
+    while let Some((d, v)) = ws.heap.pop() {
+        if ws.visited[v.index()] {
+            continue;
+        }
+        ws.visited[v.index()] = true;
+        for arc in graph.arcs(v) {
+            if !ws.visited[arc.to.index()] {
+                ws.relax(arc.to, d.saturating_add_weight(arc.weight));
+            }
+        }
+    }
+}
+
 /// Computes the full single-source shortest-distance vector from `s`.
 pub fn dijkstra_all(graph: &Graph, s: VertexId) -> Vec<Dist> {
     let n = graph.num_vertices();

@@ -23,6 +23,7 @@ pub mod heap;
 pub use astar::astar_distance;
 pub use bidijkstra::{bidijkstra_distance, BiDijkstra, BiDijkstraSession};
 pub use dijkstra::{
-    dijkstra_all, dijkstra_bounded, dijkstra_distance, dijkstra_to_targets, DijkstraWorkspace,
+    dijkstra_all, dijkstra_bounded, dijkstra_distance, dijkstra_multi_source,
+    dijkstra_multi_source_ws, dijkstra_to_targets, DijkstraWorkspace,
 };
 pub use heap::MinHeap;

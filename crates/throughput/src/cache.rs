@@ -148,6 +148,28 @@ impl CacheStats {
     pub fn lookups(self) -> u64 {
         self.hits + self.misses
     }
+
+    /// Folds any number of per-shard (or per-server) readings into one
+    /// aggregate — the fleet-report path, so per-shard cache telemetry sums
+    /// without hand-rolled loops. Equivalent to `iter.sum()` via the
+    /// [`Sum`](std::iter::Sum) impl.
+    pub fn merge(stats: impl IntoIterator<Item = CacheStats>) -> CacheStats {
+        stats
+            .into_iter()
+            .fold(CacheStats::default(), CacheStats::plus)
+    }
+}
+
+impl std::iter::Sum for CacheStats {
+    fn sum<I: Iterator<Item = CacheStats>>(iter: I) -> CacheStats {
+        CacheStats::merge(iter)
+    }
+}
+
+impl<'a> std::iter::Sum<&'a CacheStats> for CacheStats {
+    fn sum<I: Iterator<Item = &'a CacheStats>>(iter: I) -> CacheStats {
+        CacheStats::merge(iter.copied())
+    }
 }
 
 /// Sentinel for "no slot" in the intrusive LRU list.

@@ -47,6 +47,7 @@
 //! is off by default).
 
 use crate::cache::{CacheStats, CachedSession, DistanceCache};
+use crate::fleet::ShardedFleet;
 use crate::server::RoadNetworkServer;
 use htsp_graph::cow::CowStats;
 use htsp_graph::{
@@ -736,6 +737,244 @@ impl QueryEngine {
             verify_failures,
             first_failure,
             cache: cache.map(|c| c.stats().since(cache_before.unwrap_or_default())),
+        }
+    }
+
+    /// Runs the engine against a live [`ShardedFleet`]: query workers pin
+    /// [`FleetSession`](crate::router::FleetSession)s (re-pinning whenever
+    /// the fleet publishes a fresher epoch) while the calling thread
+    /// submits update batches through the fleet router, closing each round
+    /// with a router flush.
+    ///
+    /// The report reuses the single-server [`EngineReport`] shape with the
+    /// fleet-specific simplifications: fleet sessions always serve the
+    /// final (fully repaired) stage, so there is exactly one query stage;
+    /// per-publication logs and timelines live in the
+    /// [`FleetReport`](crate::fleet::FleetReport) instead and are left
+    /// empty here. `visibility_lags` records each round's first-update
+    /// submit-to-visible latency as observed by its composite
+    /// [`FleetTicket`](crate::router::FleetTicket). With `verify` enabled,
+    /// every answer is checked against a Dijkstra run on the session's own
+    /// epoch graph — the fleet-consistency (no torn epochs) check.
+    pub fn run_sharded(&self, fleet: &ShardedFleet) -> EngineReport {
+        let cfg = &self.config;
+        let router = fleet.router();
+        let pool_graph = router.session().graph().clone();
+        let queries = QuerySet::random(&pool_graph, cfg.query_pool, cfg.seed ^ 0x51ab);
+        let cache_before = fleet.report().cache_total();
+        let stop = AtomicBool::new(false);
+        let start = Instant::now();
+        let bucket_nanos = cfg.bucket.as_nanos().max(1) as u64;
+
+        let mut gen = UpdateGenerator::new(cfg.seed);
+        let mut visibility_lags = Vec::with_capacity(cfg.num_batches);
+
+        struct StopGuard<'a>(&'a AtomicBool);
+        impl Drop for StopGuard<'_> {
+            fn drop(&mut self) {
+                self.0.store(true, Ordering::Relaxed);
+            }
+        }
+
+        let tallies: Vec<WorkerTally> = std::thread::scope(|scope| {
+            let _stop_on_unwind = StopGuard(&stop);
+            let mut handles = Vec::with_capacity(cfg.num_workers);
+            for w in 0..cfg.num_workers {
+                let stop = &stop;
+                let queries = &queries;
+                let verify = cfg.verify;
+                let workload = cfg.workload;
+                let seed = cfg.seed;
+                handles.push(scope.spawn(move || {
+                    let mut tally = WorkerTally {
+                        answered: 0,
+                        per_stage: vec![0; 1],
+                        histogram: Vec::new(),
+                        failures: 0,
+                        first_failure: None,
+                    };
+                    let mut i = w;
+                    let mut hot = match workload {
+                        WorkloadKind::HotPairs { zipf_s, universe } => Some(HotPairStream::new(
+                            universe.clamp(1, queries.len()),
+                            zipf_s,
+                            seed,
+                            w,
+                        )),
+                        _ => None,
+                    };
+                    while !stop.load(Ordering::Relaxed) {
+                        // Pin one session per published fleet epoch; every
+                        // answer inside is exact on the epoch's own graph.
+                        let mut session = router.session();
+                        let pinned = session.fleet_version();
+                        while !stop.load(Ordering::Relaxed) && router.fleet_version() == pinned {
+                            let pool = queries.as_slice();
+                            let next = |i: &mut usize| -> Query {
+                                let q = pool[*i % pool.len()];
+                                *i += 1;
+                                q
+                            };
+                            match workload {
+                                WorkloadKind::SingleCall | WorkloadKind::Batched { .. } => {
+                                    for _ in 0..workload.pairs_per_batch() {
+                                        let q = next(&mut i);
+                                        let d = session.distance(q.source, q.target);
+                                        if verify {
+                                            verify_fleet_answer(
+                                                &mut tally, &session, q.source, q.target, d,
+                                            );
+                                        }
+                                    }
+                                }
+                                WorkloadKind::OneToMany { fanout } => {
+                                    let source = next(&mut i).source;
+                                    let targets: Vec<VertexId> =
+                                        (0..fanout.max(1)).map(|_| next(&mut i).target).collect();
+                                    let ds = session.one_to_many(source, &targets);
+                                    if verify {
+                                        for (&t, &d) in targets.iter().zip(&ds) {
+                                            verify_fleet_answer(&mut tally, &session, source, t, d);
+                                        }
+                                    }
+                                }
+                                WorkloadKind::Matrix { side } => {
+                                    let sources: Vec<VertexId> =
+                                        (0..side.max(1)).map(|_| next(&mut i).source).collect();
+                                    let targets: Vec<VertexId> =
+                                        (0..side.max(1)).map(|_| next(&mut i).target).collect();
+                                    let m = session.matrix(&sources, &targets);
+                                    if verify {
+                                        for (&s, row) in sources.iter().zip(&m) {
+                                            for (&t, &d) in targets.iter().zip(row) {
+                                                verify_fleet_answer(&mut tally, &session, s, t, d);
+                                            }
+                                        }
+                                    }
+                                }
+                                WorkloadKind::HotPairs { .. } => {
+                                    let q = hot.as_mut().expect("hot-pair stream").next_query(pool);
+                                    let d = session.distance(q.source, q.target);
+                                    if verify {
+                                        verify_fleet_answer(
+                                            &mut tally, &session, q.source, q.target, d,
+                                        );
+                                    }
+                                }
+                            }
+                            tally.record(0, workload.pairs_per_batch() as u64, start, bucket_nanos);
+                        }
+                    }
+                    tally
+                }));
+            }
+
+            // Traffic loop: each round's updates are generated against the
+            // currently published epoch graph (the router serializes all
+            // batches, so weights are current after the previous round's
+            // wait) and submitted through the fleet router.
+            for _ in 0..cfg.num_batches {
+                let batch = {
+                    let session = router.session();
+                    gen.generate(session.graph(), cfg.update_volume)
+                };
+                let tickets = router.submit_all(batch.as_slice().iter().copied());
+                let barrier = router.flush();
+                let vis = tickets.first().unwrap_or(&barrier).wait_visible();
+                visibility_lags.push(vis.latency.as_secs_f64());
+                barrier.wait_applied();
+                if !cfg.pause_between_batches.is_zero() {
+                    std::thread::sleep(cfg.pause_between_batches);
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+
+        let wall_time = start.elapsed().as_secs_f64();
+        let total_queries: u64 = tallies.iter().map(|t| t.answered).sum();
+        let mut per_stage_queries = vec![0u64; 1];
+        let mut histogram: Vec<u64> = Vec::new();
+        let mut verify_failures = 0;
+        let mut first_failure = None;
+        for t in &tallies {
+            per_stage_queries[0] += t.answered;
+            if histogram.len() < t.histogram.len() {
+                histogram.resize(t.histogram.len(), 0);
+            }
+            for (b, c) in t.histogram.iter().enumerate() {
+                histogram[b] += c;
+            }
+            verify_failures += t.failures;
+            if first_failure.is_none() {
+                first_failure = t.first_failure.clone();
+            }
+        }
+        let bucket_secs = cfg.bucket.as_secs_f64();
+        let qps_curve = histogram
+            .iter()
+            .enumerate()
+            .map(|(b, &c)| {
+                let bucket_start = b as f64 * bucket_secs;
+                let span = (wall_time - bucket_start).clamp(f64::MIN_POSITIVE, bucket_secs);
+                QpsSample {
+                    elapsed: bucket_start,
+                    qps: c as f64 / span,
+                }
+            })
+            .collect();
+
+        EngineReport {
+            algorithm: fleet.algorithm(),
+            workload: cfg.workload,
+            num_workers: cfg.num_workers,
+            total_queries,
+            wall_time,
+            measured_qps: if wall_time > 0.0 {
+                total_queries as f64 / wall_time
+            } else {
+                0.0
+            },
+            per_stage_queries,
+            qps_curve,
+            publications: Vec::new(),
+            per_stage_cow: vec![CowStats::default()],
+            timelines: Vec::new(),
+            visibility_lags,
+            verify_failures,
+            first_failure,
+            cache: fleet
+                .report()
+                .cache_total()
+                .map(|after| after.since(cache_before.unwrap_or_default())),
+        }
+    }
+}
+
+/// Verifies a fleet answer against a Dijkstra run on the session's own
+/// epoch graph (the exactness contract of the sharded query path).
+fn verify_fleet_answer(
+    tally: &mut WorkerTally,
+    session: &crate::router::FleetSession,
+    s: VertexId,
+    t: VertexId,
+    got: htsp_graph::Dist,
+) {
+    let expect = dijkstra_distance(session.graph(), s, t);
+    if got != expect {
+        tally.failures += 1;
+        if tally.first_failure.is_none() {
+            tally.first_failure = Some(format!(
+                "fleet epoch {}: d({}, {}) = {:?}, Dijkstra says {:?}",
+                session.fleet_version(),
+                s,
+                t,
+                got,
+                expect
+            ));
         }
     }
 }

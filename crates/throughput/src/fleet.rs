@@ -1,0 +1,329 @@
+//! The partition-sharded serving tier: a fleet of
+//! [`RoadNetworkServer`]s over the partitions of
+//! one road network, fronted by a [`FleetRouter`].
+//!
+//! [`ShardedFleet::start`] partitions the graph with region growing, builds
+//! one server per shard on the shard's induced subgraph (each with its own
+//! maintenance thread and optional result cache), builds the boundary
+//! [`OverlayGraph`](htsp_psp::OverlayGraph) index, and spawns the router.
+//! The router owns ingest batching (shard servers run a *manual* coalesce
+//! policy), overlay maintenance, and the publication of mutually consistent
+//! fleet epochs — see the [`router`](crate::router) module docs for the
+//! full ingest and query data paths.
+//!
+//! Everything is simulated in-process: "shards" are threads, not machines,
+//! which keeps the visibility semantics of a real deployment (per-shard
+//! publication, fleet-wide epochs) while staying deterministic enough for
+//! exactness tests.
+
+use crate::cache::CacheStats;
+use crate::config::FleetConfig;
+use crate::feed::CoalescePolicy;
+use crate::router::{FleetRouter, FleetSession, FleetTicket, RouterCtx};
+use crate::server::RoadNetworkServer;
+use htsp_graph::cow::CowStats;
+use htsp_graph::dimacs::{read_gr_file, DimacsError};
+use htsp_graph::{Dist, EdgeUpdate, Graph, VertexId};
+use htsp_partition::partition_region_growing;
+use htsp_psp::OverlayMaintainer;
+use std::path::Path;
+use std::sync::atomic::Ordering;
+
+/// A fleet of shard servers plus the front-end router over the boundary
+/// overlay. See the [module docs](self).
+pub struct ShardedFleet {
+    // Declared before `servers` so the router thread (which writes to the
+    // shard feeds) stops before any shard server shuts down.
+    router: FleetRouter,
+    servers: Vec<RoadNetworkServer>,
+    config: FleetConfig,
+}
+
+impl ShardedFleet {
+    /// Partitions `graph` into `config.num_shards` shards, builds one
+    /// server per shard plus the boundary overlay, and spawns the router.
+    ///
+    /// The shard count is clamped to the number of vertices.
+    pub fn start(graph: &Graph, config: FleetConfig) -> ShardedFleet {
+        let k = config.num_shards.clamp(1, graph.num_vertices().max(1));
+        let partition = partition_region_growing(graph, k, config.seed);
+        let core = OverlayMaintainer::build(graph.clone(), partition);
+        let mut servers = Vec::with_capacity(k);
+        for sub in &core.partitioned.subgraphs {
+            let params = config.build_params.for_shard(sub.graph.num_vertices());
+            let maintainer = config.algorithm.build(&sub.graph, &params);
+            let mut builder = RoadNetworkServer::builder()
+                .maintainer(maintainer)
+                .coalesce(CoalescePolicy::manual());
+            if let Some(cache) = config.cache {
+                builder = builder.result_cache(cache);
+            }
+            servers.push(builder.start(&sub.graph));
+        }
+        let ctx = RouterCtx {
+            feeds: servers.iter().map(|s| s.feed().clone()).collect(),
+            publishers: servers.iter().map(|s| s.publisher().clone()).collect(),
+            policy: config.coalesce,
+        };
+        let caches = servers.iter().map(|s| s.cache().cloned()).collect();
+        let router = FleetRouter::spawn(core, ctx, caches);
+        ShardedFleet {
+            router,
+            servers,
+            config,
+        }
+    }
+
+    /// Reads a DIMACS `.gr` network from `path` and starts a fleet over it.
+    pub fn from_dimacs<P: AsRef<Path>>(
+        path: P,
+        config: FleetConfig,
+    ) -> Result<ShardedFleet, DimacsError> {
+        let graph = read_gr_file(path)?;
+        Ok(ShardedFleet::start(&graph, config))
+    }
+
+    /// The front-end router (ingest + sessions).
+    pub fn router(&self) -> &FleetRouter {
+        &self.router
+    }
+
+    /// Number of shards actually running.
+    pub fn num_shards(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// The configuration the fleet was started with.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Human-readable fleet label, e.g. `fleet(4x dch)`.
+    pub fn algorithm(&self) -> String {
+        format!(
+            "fleet({}x {})",
+            self.servers.len(),
+            self.servers.first().map_or("?", |s| s.algorithm())
+        )
+    }
+
+    /// Submits one edge-weight update (global edge ids) to the fleet.
+    pub fn submit(&self, update: EdgeUpdate) -> FleetTicket {
+        self.router.submit(update)
+    }
+
+    /// Forces a fleet batch boundary now.
+    pub fn flush(&self) -> FleetTicket {
+        self.router.flush()
+    }
+
+    /// Blocks until everything submitted so far is visible fleet-wide.
+    pub fn wait_idle(&self) {
+        self.router.wait_idle();
+    }
+
+    /// Opens a query session pinned to the current fleet epoch.
+    pub fn session(&self) -> FleetSession {
+        self.router.session()
+    }
+
+    /// One-shot convenience: `d(s, t)` on the current epoch.
+    pub fn distance(&self, s: VertexId, t: VertexId) -> Dist {
+        self.router.distance(s, t)
+    }
+
+    /// The currently published fleet version (0 = initial build).
+    pub fn epoch_version(&self) -> u64 {
+        self.router.fleet_version()
+    }
+
+    /// Sum of the shard indexes' sizes in bytes.
+    pub fn index_size_bytes(&self) -> usize {
+        self.servers
+            .iter()
+            .map(|s| s.with_index(|i| i.index_size_bytes()))
+            .sum()
+    }
+
+    /// Snapshots the fleet-wide telemetry into a [`FleetReport`].
+    pub fn report(&self) -> FleetReport {
+        let topo = self.router.topology();
+        let tel = self.router.telemetry();
+        let elapsed = tel.started.elapsed().as_secs_f64();
+        let shards = self
+            .servers
+            .iter()
+            .enumerate()
+            .map(|(i, server)| {
+                let st = &tel.shards[i];
+                let (vertices, edges, boundary) = topo.shard_sizes[i];
+                ShardReport {
+                    shard: i,
+                    vertices,
+                    edges,
+                    boundary,
+                    local_queries: st.local_queries.load(Ordering::Relaxed),
+                    cross_queries: st.cross_queries.load(Ordering::Relaxed),
+                    updates_routed: st.updates_routed.load(Ordering::Relaxed),
+                    batches: st.batches.load(Ordering::Relaxed),
+                    visibility_lags: st.lags.lock().expect("telemetry poisoned").clone(),
+                    cow: *st.cow.lock().expect("telemetry poisoned"),
+                    cache: server.cache().map(|c| c.stats()),
+                }
+            })
+            .collect();
+        FleetReport {
+            algorithm: self.algorithm(),
+            num_shards: self.servers.len(),
+            fleet_version: self.router.fleet_version(),
+            fleet_batches: tel.fleet_batches.load(Ordering::Relaxed),
+            boundary_updates: tel.boundary_updates.load(Ordering::Relaxed),
+            overlay_vertices: topo.overlay_vertices,
+            overlay_edges: topo.overlay_edges,
+            balance: topo.balance,
+            boundary_fraction: topo.boundary_fraction,
+            elapsed,
+            shards,
+        }
+    }
+
+    /// Stops the router (draining pending updates) and every shard server.
+    pub fn shutdown(mut self) {
+        self.router.shutdown();
+        for server in self.servers.drain(..) {
+            server.shutdown();
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardedFleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedFleet")
+            .field("algorithm", &self.algorithm())
+            .field("epoch_version", &self.epoch_version())
+            .finish()
+    }
+}
+
+/// Telemetry of one shard server inside a [`FleetReport`].
+#[derive(Clone, Debug)]
+pub struct ShardReport {
+    /// Shard id (= partition id).
+    pub shard: usize,
+    /// Vertices of the shard's induced subgraph.
+    pub vertices: usize,
+    /// Edges of the shard's induced subgraph.
+    pub edges: usize,
+    /// Boundary vertices of the shard.
+    pub boundary: usize,
+    /// Point-to-point pairs answered with both endpoints in this shard.
+    pub local_queries: u64,
+    /// Point-to-point pairs answered with exactly one endpoint here.
+    pub cross_queries: u64,
+    /// Edge updates the router fanned out to this shard.
+    pub updates_routed: u64,
+    /// Update batches this shard repaired.
+    pub batches: u64,
+    /// Submit-to-visible lag (seconds) of every update routed here.
+    pub visibility_lags: Vec<f64>,
+    /// Copy-on-write chunks/bytes the shard's repairs cloned.
+    pub cow: CowStats,
+    /// Result-cache counters, when the fleet runs a cache.
+    pub cache: Option<CacheStats>,
+}
+
+impl ShardReport {
+    /// Total query pairs that touched this shard.
+    pub fn queries(&self) -> u64 {
+        self.local_queries + self.cross_queries
+    }
+
+    /// The `q`-th percentile (0..=1) of this shard's visibility lags, in
+    /// seconds; 0.0 when no update was routed here.
+    pub fn lag_percentile(&self, q: f64) -> f64 {
+        percentile(&self.visibility_lags, q)
+    }
+}
+
+/// Aggregated telemetry of a [`ShardedFleet`].
+#[derive(Clone, Debug)]
+pub struct FleetReport {
+    /// Fleet label, e.g. `fleet(4x dch)`.
+    pub algorithm: String,
+    /// Number of shards.
+    pub num_shards: usize,
+    /// Published fleet version at report time.
+    pub fleet_version: u64,
+    /// Fleet batches processed by the router.
+    pub fleet_batches: u64,
+    /// Updates that were boundary-incident (touched the overlay).
+    pub boundary_updates: u64,
+    /// Overlay graph size: boundary vertices.
+    pub overlay_vertices: usize,
+    /// Overlay graph size: inter edges + partition shortcuts.
+    pub overlay_edges: usize,
+    /// Partition load-balance factor (1.0 = perfect).
+    pub balance: f64,
+    /// Fraction of vertices on a partition boundary.
+    pub boundary_fraction: f64,
+    /// Seconds since the fleet started.
+    pub elapsed: f64,
+    /// Per-shard telemetry.
+    pub shards: Vec<ShardReport>,
+}
+
+impl FleetReport {
+    /// Total query pairs across all shards (cross-shard pairs count once
+    /// per touched shard).
+    pub fn total_queries(&self) -> u64 {
+        self.shards.iter().map(|s| s.queries()).sum()
+    }
+
+    /// Fleet-wide query pairs per second since start.
+    pub fn fleet_qps(&self) -> f64 {
+        if self.elapsed <= 0.0 {
+            return 0.0;
+        }
+        self.total_queries() as f64 / self.elapsed
+    }
+
+    /// Total updates routed to shards.
+    pub fn total_updates(&self) -> u64 {
+        self.shards.iter().map(|s| s.updates_routed).sum()
+    }
+
+    /// The `q`-th percentile (0..=1) of submit-to-visible lag across every
+    /// update routed to any shard, in seconds.
+    pub fn lag_percentile(&self, q: f64) -> f64 {
+        let merged: Vec<f64> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.visibility_lags.iter().copied())
+            .collect();
+        percentile(&merged, q)
+    }
+
+    /// Result-cache counters summed over all shards
+    /// (via [`CacheStats::merge`]); `None` when no shard runs a cache.
+    pub fn cache_total(&self) -> Option<CacheStats> {
+        let stats: Vec<CacheStats> = self.shards.iter().filter_map(|s| s.cache).collect();
+        if stats.is_empty() {
+            None
+        } else {
+            Some(CacheStats::merge(stats))
+        }
+    }
+}
+
+/// Nearest-rank percentile of an unsorted sample; 0.0 on an empty sample.
+fn percentile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("lag samples are finite"));
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize)
+        .saturating_sub(1)
+        .min(sorted.len() - 1);
+    sorted[rank]
+}

@@ -37,6 +37,13 @@
 //! publication invalidates by epoch. It is config-gated off by default
 //! ([`ServerBuilder::result_cache`] enables it); [`WorkloadKind::HotPairs`]
 //! is the Zipf-skewed workload that measures it.
+//!
+//! The **sharded serving tier** ([`ShardedFleet`] + [`FleetRouter`])
+//! partitions the network, runs one [`RoadNetworkServer`] per shard, keeps
+//! a boundary-overlay index update-maintained, and answers cross-shard
+//! queries exactly by concatenating shard boundary fans through one
+//! multi-source overlay search — see the [`fleet`] and [`router`] module
+//! docs.
 
 #![warn(missing_docs)]
 
@@ -44,21 +51,25 @@ pub mod cache;
 pub mod config;
 pub mod engine;
 pub mod feed;
+pub mod fleet;
 pub mod model;
 pub mod registry;
+pub mod router;
 pub mod server;
 pub mod service;
 pub mod simulator;
 
 pub use cache::{CacheStats, CachedSession, DistanceCache};
-pub use config::{CacheConfig, SystemConfig};
+pub use config::{CacheConfig, FleetConfig, SystemConfig};
 pub use engine::{
     EngineReport, HotPairStream, QpsSample, QueryEngine, QueryEngineBuilder, QueryEngineConfig,
     WorkloadKind, ZipfSampler,
 };
 pub use feed::{CoalescePolicy, FeedStats, UpdateFeed, UpdateOutcome, UpdateTicket, Visibility};
+pub use fleet::{FleetReport, ShardReport, ShardedFleet};
 pub use model::{lemma1_bound, staged_throughput, QueryStats};
 pub use registry::{AlgorithmKind, BuildParams};
+pub use router::{FleetRouter, FleetSession, FleetTicket, FleetVisibility};
 pub use server::{RoadNetworkServer, ServerBuilder};
 pub use service::{BatchAnswer, BatchTicket, DistanceService, QueryBatch};
 pub use simulator::{BatchOutcome, QpsPoint, ThroughputHarness, ThroughputResult};

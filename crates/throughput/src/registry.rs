@@ -83,6 +83,21 @@ impl BuildParams {
         }
     }
 
+    /// Scales the parameters down for one shard of a
+    /// [`ShardedFleet`](crate::fleet::ShardedFleet): partition-based shard
+    /// indexes must not over-partition the (much smaller) shard subgraph, so
+    /// the partition count is clamped to keep roughly 16 vertices per inner
+    /// partition, and the per-shard thread count is capped at 2 since the
+    /// fleet already runs one maintenance thread per shard.
+    pub fn for_shard(&self, shard_vertices: usize) -> BuildParams {
+        let cap = (shard_vertices / 16).clamp(2, self.num_partitions.max(2));
+        BuildParams {
+            num_partitions: self.num_partitions.min(cap),
+            num_threads: self.num_threads.min(2),
+            ..*self
+        }
+    }
+
     /// The PMHL configuration these parameters describe.
     pub fn pmhl_config(&self) -> PmhlConfig {
         PmhlConfig {

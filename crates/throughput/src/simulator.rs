@@ -5,9 +5,10 @@
 //! concurrent throughput, see [`crate::engine::QueryEngine`].)
 
 use crate::config::SystemConfig;
+use crate::fleet::ShardedFleet;
 use crate::model::{lemma1_bound, staged_throughput, QueryStats};
 use crate::server::RoadNetworkServer;
-use htsp_graph::{QuerySet, QueryView, UpdateGenerator};
+use htsp_graph::{QuerySession, QuerySet, QueryView, UpdateGenerator};
 use std::time::{Duration, Instant};
 
 /// One point of the QPS-evolution curve (Fig. 13): at `elapsed` seconds after
@@ -213,6 +214,85 @@ impl ThroughputHarness {
             lemma1_throughput: lemma1,
             staged_throughput: staged,
             index_size_bytes: server.with_index(|index| index.index_size_bytes()),
+            batches,
+        }
+    }
+
+    /// Runs the measurement against a [`ShardedFleet`]: each round's batch
+    /// goes through the fleet router (shard fan-out + overlay maintenance)
+    /// and query latency is measured through a fleet session pinned to the
+    /// resulting epoch.
+    ///
+    /// A fleet session always serves the final (fully repaired) epoch, so
+    /// each batch reports exactly one stage whose duration is the full
+    /// round-trip repair time (submit → epoch published); the staged
+    /// throughput therefore degenerates to the Lemma 1 shape, which is the
+    /// honest model for the tier.
+    pub fn run_sharded(&self, fleet: &ShardedFleet) -> ThroughputResult {
+        let mut gen = UpdateGenerator::new(self.seed);
+        let graph = fleet.session().graph().clone();
+        let queries = QuerySet::random(&graph, self.config.query_sample, self.seed ^ 0x5eed);
+
+        let mut batches = Vec::with_capacity(self.num_batches);
+        for _ in 0..self.num_batches {
+            let batch = {
+                let session = fleet.session();
+                gen.generate(session.graph(), self.config.update_volume)
+            };
+            let submit = Instant::now();
+            fleet.router().submit_all(batch.as_slice().iter().copied());
+            fleet.flush().wait_applied();
+            let update_time = submit.elapsed().as_secs_f64();
+
+            let mut session = fleet.session();
+            let mut samples = Vec::with_capacity(queries.len());
+            for q in &queries {
+                let t = Instant::now();
+                let _ = session.distance(q.source, q.target);
+                samples.push(t.elapsed().as_secs_f64());
+            }
+            let final_stats = QueryStats::from_samples(&samples);
+            let tq = final_stats.mean;
+            batches.push(BatchOutcome {
+                update_time,
+                stages: vec![(update_time, tq)],
+                final_stats,
+                qps_evolution: vec![QpsPoint {
+                    elapsed: update_time,
+                    qps: if tq > 0.0 { 1.0 / tq } else { f64::INFINITY },
+                }],
+            });
+        }
+
+        let avg_update_time =
+            batches.iter().map(|b| b.update_time).sum::<f64>() / batches.len().max(1) as f64;
+        let avg_query_time =
+            batches.iter().map(|b| b.final_stats.mean).sum::<f64>() / batches.len().max(1) as f64;
+        let avg_variance = batches.iter().map(|b| b.final_stats.variance).sum::<f64>()
+            / batches.len().max(1) as f64;
+        let stats = QueryStats {
+            mean: avg_query_time,
+            variance: avg_variance,
+        };
+        let lemma1 = lemma1_bound(
+            stats,
+            avg_update_time,
+            self.config.update_interval,
+            self.config.max_response_time,
+        );
+        let staged = batches
+            .iter()
+            .map(|b| staged_throughput(&b.stages, b.final_stats.mean, self.config.update_interval))
+            .sum::<f64>()
+            / batches.len().max(1) as f64;
+
+        ThroughputResult {
+            algorithm: fleet.algorithm(),
+            avg_update_time,
+            avg_query_time,
+            lemma1_throughput: lemma1,
+            staged_throughput: staged,
+            index_size_bytes: fleet.index_size_bytes(),
             batches,
         }
     }

@@ -10,7 +10,10 @@ use htsp::core::{PostMhl, PostMhlConfig};
 use htsp::graph::gen;
 use htsp::partition::TdPartitionConfig;
 use htsp::throughput::{QueryEngine, SystemConfig, ThroughputHarness, WorkloadKind};
-use htsp::{AlgorithmKind, BuildParams, CacheConfig, CoalescePolicy, RoadNetworkServer};
+use htsp::{
+    AlgorithmKind, BuildParams, CacheConfig, CacheStats, CoalescePolicy, FleetConfig,
+    RoadNetworkServer, ShardedFleet,
+};
 
 fn main() {
     let road = gen::grid_with_diagonals(48, 48, gen::WeightRange::new(1, 100), 0.08, 33);
@@ -126,5 +129,42 @@ fn main() {
                 report.cache.map(|c| c.hit_rate() * 100.0).unwrap_or(0.0),
             );
         }
+    }
+
+    // Sharded serving tier: the same engine workload against a fleet, with
+    // per-shard cache telemetry summed into one fleet-wide figure
+    // (`CacheStats` implements `Sum`, so no hand-rolled accumulation).
+    println!("-- sharded fleet under Zipf hot-pair traffic (DCH shards, cache 256) --");
+    println!(
+        "{:>8} {:>12} {:>14} {:>10}",
+        "shards", "bdry %", "pairs/s", "hit rate"
+    );
+    for shards in [2usize, 4] {
+        let fleet = ShardedFleet::start(
+            &road,
+            FleetConfig::new(shards, AlgorithmKind::Dch)
+                .with_cache(CacheConfig::with_capacity(256)),
+        );
+        let engine = QueryEngine::builder()
+            .workers(2)
+            .batches(2)
+            .update_volume(20)
+            .query_pool(1024)
+            .workload(WorkloadKind::HotPairs {
+                zipf_s: 1.2,
+                universe: 1024,
+            })
+            .build();
+        let report = engine.run_sharded(&fleet);
+        let fleet_report = fleet.report();
+        let cache_total: CacheStats = fleet_report.shards.iter().filter_map(|s| s.cache).sum();
+        fleet.shutdown();
+        println!(
+            "{:>8} {:>12.1} {:>14.0} {:>9.1}%",
+            shards,
+            fleet_report.boundary_fraction * 100.0,
+            report.measured_qps,
+            cache_total.hit_rate() * 100.0,
+        );
     }
 }

@@ -135,7 +135,9 @@ pub use htsp_throughput as throughput;
 // The serving facade, re-exported flat: what a deployment touches first.
 pub use htsp_throughput::{
     AlgorithmKind, BuildParams, CacheConfig, CacheStats, CoalescePolicy, DistanceCache,
-    RoadNetworkServer, ServerBuilder, UpdateFeed, UpdateOutcome, UpdateTicket, Visibility,
+    FleetConfig, FleetReport, FleetRouter, FleetSession, FleetTicket, FleetVisibility,
+    RoadNetworkServer, ServerBuilder, ShardReport, ShardedFleet, UpdateFeed, UpdateOutcome,
+    UpdateTicket, Visibility,
 };
 
 /// The version of the reproduction.
