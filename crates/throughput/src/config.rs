@@ -111,6 +111,12 @@ pub struct FleetConfig {
     pub coalesce: CoalescePolicy,
     /// Per-shard result cache; `None` disables caching fleet-wide.
     pub cache: Option<CacheConfig>,
+    /// Bound of the router's ingest queue (pending updates):
+    /// [`FleetRouter::submit`](crate::FleetRouter::submit) blocks at the
+    /// bound (backpressure),
+    /// [`FleetRouter::try_submit`](crate::FleetRouter::try_submit) sheds.
+    /// Clamped to at least 1.
+    pub ingest_bound: usize,
 }
 
 impl Default for FleetConfig {
@@ -124,6 +130,7 @@ impl Default for FleetConfig {
             build_params: BuildParams::default(),
             coalesce: CoalescePolicy::default(),
             cache: None,
+            ingest_bound: FleetConfig::DEFAULT_INGEST_BOUND,
         }
     }
 }
@@ -147,6 +154,17 @@ impl FleetConfig {
     /// Enables the per-shard result cache.
     pub fn with_cache(mut self, cache: CacheConfig) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Default router ingest bound: deep enough that steady-state ingest
+    /// never blocks, shallow enough that a stalled router surfaces as
+    /// backpressure instead of unbounded memory growth.
+    pub const DEFAULT_INGEST_BOUND: usize = 1 << 16;
+
+    /// Replaces the router's ingest-queue bound.
+    pub fn with_ingest_bound(mut self, bound: usize) -> Self {
+        self.ingest_bound = bound;
         self
     }
 }

@@ -133,6 +133,7 @@ impl WorkloadKind {
 /// uniform draw — no rejection, so one sample consumes exactly one RNG
 /// output and two streams with the same seed stay in lock-step (what makes
 /// [`WorkloadKind::HotPairs`] runs reproducible).
+#[derive(Debug)]
 pub struct ZipfSampler {
     cdf: Vec<f64>,
 }
@@ -185,6 +186,7 @@ impl ZipfSampler {
 /// streams constructed with the same parameters yield identical index
 /// sequences, which is what pins the engine's skewed workload (and its
 /// hit-rate telemetry) across runs.
+#[derive(Debug)]
 pub struct HotPairStream {
     rng: ChaCha8Rng,
     zipf: ZipfSampler,

@@ -64,6 +64,7 @@ impl ShardedFleet {
             feeds: servers.iter().map(|s| s.feed().clone()).collect(),
             publishers: servers.iter().map(|s| s.publisher().clone()).collect(),
             policy: config.coalesce,
+            ingest_bound: config.ingest_bound,
         };
         let caches = servers.iter().map(|s| s.cache().cloned()).collect();
         let router = FleetRouter::spawn(core, ctx, caches);
@@ -107,9 +108,36 @@ impl ShardedFleet {
         )
     }
 
-    /// Submits one edge-weight update (global edge ids) to the fleet.
+    /// Submits one edge-weight update (global edge ids) to the fleet;
+    /// blocks while the router's ingest queue is at its bound
+    /// ([`FleetConfig::ingest_bound`]).
     pub fn submit(&self, update: EdgeUpdate) -> FleetTicket {
         self.router.submit(update)
+    }
+
+    /// Non-blocking submission: `None` when the ingest queue is at its
+    /// bound (the update is shed and counted in the report).
+    pub fn try_submit(&self, update: EdgeUpdate) -> Option<FleetTicket> {
+        self.router.try_submit(update)
+    }
+
+    /// A clonable handle to the fleet's query side; see
+    /// [`FleetRouter::query_handle`].
+    pub fn query_handle(&self) -> crate::router::FleetQueryHandle {
+        self.router.query_handle()
+    }
+
+    /// Starts a [`DistanceService`](crate::DistanceService) whose workers
+    /// answer [`QueryBatch`](crate::QueryBatch)es through sessions pinned to
+    /// this fleet's epochs, under `policy` — the fleet-level admission
+    /// point. The caller owns the returned service; it must be shut down
+    /// (or dropped) before the fleet.
+    pub fn start_query_service(
+        &self,
+        num_workers: usize,
+        policy: crate::admission::AdmissionPolicy,
+    ) -> crate::service::DistanceService {
+        crate::service::DistanceService::for_fleet(self.query_handle(), num_workers, policy)
     }
 
     /// Forces a fleet batch boundary now.
@@ -182,6 +210,10 @@ impl ShardedFleet {
             overlay_edges: topo.overlay_edges,
             balance: topo.balance,
             boundary_fraction: topo.boundary_fraction,
+            ingest_depth: self.router.ingest_depth(),
+            ingest_bound: self.router.ingest_bound(),
+            max_ingest_depth: tel.max_ingest_depth.load(Ordering::Relaxed),
+            updates_shed: tel.ingest_shed.load(Ordering::Relaxed),
             elapsed,
             shards,
         }
@@ -266,6 +298,14 @@ pub struct FleetReport {
     pub balance: f64,
     /// Fraction of vertices on a partition boundary.
     pub boundary_fraction: f64,
+    /// Ingest-queue depth (pending updates) at report time.
+    pub ingest_depth: usize,
+    /// Configured bound of the ingest queue.
+    pub ingest_bound: usize,
+    /// High-water mark of the ingest-queue depth.
+    pub max_ingest_depth: u64,
+    /// Updates shed by [`ShardedFleet::try_submit`] at a full ingest queue.
+    pub updates_shed: u64,
     /// Seconds since the fleet started.
     pub elapsed: f64,
     /// Per-shard telemetry.

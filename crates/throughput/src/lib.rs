@@ -47,18 +47,22 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod cache;
 pub mod config;
 pub mod engine;
 pub mod feed;
 pub mod fleet;
+pub mod loadgen;
 pub mod model;
 pub mod registry;
 pub mod router;
 pub mod server;
 pub mod service;
 pub mod simulator;
+pub mod slo;
 
+pub use admission::{AdmissionPolicy, ServiceStats, ShutdownReport, SubmitOutcome};
 pub use cache::{CacheStats, CachedSession, DistanceCache};
 pub use config::{CacheConfig, FleetConfig, SystemConfig};
 pub use engine::{
@@ -67,9 +71,14 @@ pub use engine::{
 };
 pub use feed::{CoalescePolicy, FeedStats, UpdateFeed, UpdateOutcome, UpdateTicket, Visibility};
 pub use fleet::{FleetReport, ShardReport, ShardedFleet};
+pub use loadgen::{
+    find_knee, ArrivalProcess, ClassReport, LoadProfile, LoadReport, OpenLoopStream, RequestClass,
+    RequestMix, ScheduledRequest,
+};
 pub use model::{lemma1_bound, staged_throughput, QueryStats};
 pub use registry::{AlgorithmKind, BuildParams};
-pub use router::{FleetRouter, FleetSession, FleetTicket, FleetVisibility};
+pub use router::{FleetQueryHandle, FleetRouter, FleetSession, FleetTicket, FleetVisibility};
 pub use server::{RoadNetworkServer, ServerBuilder};
-pub use service::{BatchAnswer, BatchTicket, DistanceService, QueryBatch};
+pub use service::{BatchAnswer, BatchResult, BatchTicket, DistanceService, QueryBatch};
 pub use simulator::{BatchOutcome, QpsPoint, ThroughputHarness, ThroughputResult};
+pub use slo::{LatencyHistogram, SloCheck, SloTarget, SloVerdict};

@@ -144,6 +144,11 @@ pub(crate) struct FleetTelemetry {
     pub shards: Vec<ShardTelemetry>,
     pub boundary_updates: AtomicU64,
     pub fleet_batches: AtomicU64,
+    /// Updates rejected by [`FleetRouter::try_submit`] at a full ingest
+    /// queue.
+    pub ingest_shed: AtomicU64,
+    /// High-water mark of the ingest queue depth.
+    pub max_ingest_depth: AtomicU64,
     pub started: Instant,
 }
 
@@ -162,6 +167,8 @@ impl FleetTelemetry {
                 .collect(),
             boundary_updates: AtomicU64::new(0),
             fleet_batches: AtomicU64::new(0),
+            ingest_shed: AtomicU64::new(0),
+            max_ingest_depth: AtomicU64::new(0),
             started: Instant::now(),
         }
     }
@@ -332,6 +339,9 @@ struct RouterEntry {
 
 struct RouterState {
     pending: Vec<RouterEntry>,
+    /// Pending entries that are updates (barriers don't count against the
+    /// ingest bound); kept as a counter so admission is O(1).
+    pending_updates: usize,
     oldest: Option<Instant>,
     barrier: bool,
     shutdown: bool,
@@ -340,6 +350,11 @@ struct RouterState {
 struct RouterShared {
     state: Mutex<RouterState>,
     wake: Condvar,
+    /// Signalled when the router drains `pending`, releasing submitters
+    /// blocked on the ingest bound.
+    space: Condvar,
+    /// Maximum pending updates before `submit` blocks / `try_submit` sheds.
+    ingest_bound: usize,
     epoch: Mutex<Arc<FleetEpoch>>,
     epoch_cv: Condvar,
 }
@@ -349,6 +364,7 @@ pub(crate) struct RouterCtx {
     pub feeds: Vec<UpdateFeed>,
     pub publishers: Vec<Arc<SnapshotPublisher>>,
     pub policy: CoalescePolicy,
+    pub ingest_bound: usize,
 }
 
 /// The ingest/query front-end of a
@@ -382,11 +398,14 @@ impl FleetRouter {
         let shared = Arc::new(RouterShared {
             state: Mutex::new(RouterState {
                 pending: Vec::new(),
+                pending_updates: 0,
                 oldest: None,
                 barrier: false,
                 shutdown: false,
             }),
             wake: Condvar::new(),
+            space: Condvar::new(),
+            ingest_bound: ctx.ingest_bound.max(1),
             epoch: Mutex::new(initial),
             epoch_cv: Condvar::new(),
         });
@@ -407,24 +426,85 @@ impl FleetRouter {
 
     /// Enqueues one edge-weight update (global edge ids); the composite
     /// ticket resolves per touched component.
+    ///
+    /// The ingest queue is bounded (see
+    /// [`FleetConfig::ingest_bound`](crate::config::FleetConfig::ingest_bound)):
+    /// when `pending` is at the bound this call **blocks** until the router
+    /// drains a batch — backpressure, so a runaway producer cannot queue
+    /// updates without limit. Use [`FleetRouter::try_submit`] to shed
+    /// instead of blocking.
     pub fn submit(&self, update: EdgeUpdate) -> FleetTicket {
         let cell = FleetTicketCell::new();
         let submitted_at = Instant::now();
         {
             let mut state = self.shared.state.lock().expect("router poisoned");
+            while !state.shutdown && state.pending_updates >= self.shared.ingest_bound {
+                state = self.shared.space.wait(state).expect("router poisoned");
+            }
             if state.shutdown {
                 cell.fail("fleet is shut down");
             } else {
-                state.oldest.get_or_insert(submitted_at);
-                state.pending.push(RouterEntry {
-                    update: Some(update),
-                    cell: Arc::clone(&cell),
-                    submitted_at,
-                });
+                self.push_update(&mut state, update, &cell, submitted_at);
             }
         }
         self.shared.wake.notify_all();
         FleetTicket { cell, submitted_at }
+    }
+
+    /// Non-blocking admission: like [`FleetRouter::submit`], but an ingest
+    /// queue at its bound sheds the update (returns `None`, counted in the
+    /// fleet report) instead of blocking the producer.
+    pub fn try_submit(&self, update: EdgeUpdate) -> Option<FleetTicket> {
+        let cell = FleetTicketCell::new();
+        let submitted_at = Instant::now();
+        {
+            let mut state = self.shared.state.lock().expect("router poisoned");
+            if !state.shutdown && state.pending_updates >= self.shared.ingest_bound {
+                self.telemetry.ingest_shed.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            if state.shutdown {
+                cell.fail("fleet is shut down");
+            } else {
+                self.push_update(&mut state, update, &cell, submitted_at);
+            }
+        }
+        self.shared.wake.notify_all();
+        Some(FleetTicket { cell, submitted_at })
+    }
+
+    fn push_update(
+        &self,
+        state: &mut RouterState,
+        update: EdgeUpdate,
+        cell: &Arc<FleetTicketCell>,
+        submitted_at: Instant,
+    ) {
+        state.oldest.get_or_insert(submitted_at);
+        state.pending_updates += 1;
+        self.telemetry
+            .max_ingest_depth
+            .fetch_max(state.pending_updates as u64, Ordering::Relaxed);
+        state.pending.push(RouterEntry {
+            update: Some(update),
+            cell: Arc::clone(cell),
+            submitted_at,
+        });
+    }
+
+    /// Current depth of the ingest queue (pending updates, barriers
+    /// excluded).
+    pub fn ingest_depth(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("router poisoned")
+            .pending_updates
+    }
+
+    /// The configured ingest bound.
+    pub fn ingest_bound(&self) -> usize {
+        self.shared.ingest_bound
     }
 
     /// Submits every update of an iterator; tickets come back in order.
@@ -467,14 +547,20 @@ impl FleetRouter {
 
     /// Opens a query session pinned to the current fleet epoch.
     pub fn session(&self) -> FleetSession {
-        let epoch = Arc::clone(&*self.shared.epoch.lock().expect("router poisoned"));
-        let n = epoch.overlay.num_vertices();
-        FleetSession {
+        self.query_handle().session()
+    }
+
+    /// A cheap, clonable, `'static` handle to the fleet's query side
+    /// (epoch, topology, caches), detached from the router's lifetime
+    /// management — what a fleet-backed
+    /// [`DistanceService`](crate::DistanceService) pins its worker
+    /// sessions through.
+    pub fn query_handle(&self) -> FleetQueryHandle {
+        FleetQueryHandle {
+            shared: Arc::clone(&self.shared),
             topo: Arc::clone(&self.topo),
-            epoch,
-            caches: Arc::clone(&self.caches),
             telemetry: Arc::clone(&self.telemetry),
-            ws: DijkstraWorkspace::new(n),
+            caches: Arc::clone(&self.caches),
         }
     }
 
@@ -501,6 +587,8 @@ impl FleetRouter {
             state.shutdown = true;
         }
         self.shared.wake.notify_all();
+        // Submitters blocked on the ingest bound must observe the shutdown.
+        self.shared.space.notify_all();
         match handle.join() {
             Ok(core) => Some(core),
             Err(_) => {
@@ -547,15 +635,15 @@ fn run_router(
         let drained: Vec<RouterEntry> = {
             let mut state = shared.state.lock().expect("router poisoned");
             loop {
-                let pending_updates = state.pending.iter().filter(|e| e.update.is_some()).count();
                 let deadline = state.oldest.map(|t| t + ctx.policy.max_delay);
                 let flush_now = state.barrier
                     || (state.shutdown && !state.pending.is_empty())
-                    || pending_updates >= ctx.policy.max_batch
+                    || state.pending_updates >= ctx.policy.max_batch
                     || deadline.is_some_and(|d| Instant::now() >= d);
                 if flush_now {
                     state.barrier = false;
                     state.oldest = None;
+                    state.pending_updates = 0;
                     break std::mem::take(&mut state.pending);
                 }
                 if state.shutdown {
@@ -574,6 +662,9 @@ fn run_router(
                 };
             }
         };
+        // The ingest queue was just drained: release submitters blocked on
+        // the bound.
+        shared.space.notify_all();
 
         // Classify every update, translate intra updates to shard-local edge
         // ids, and resolve each ticket's routed component.
@@ -676,6 +767,49 @@ fn run_router(
         for entry in &drained {
             entry.cell.resolve_epoch(fleet_version);
         }
+    }
+}
+
+/// A clonable, `'static` handle to the query side of a fleet: opens
+/// [`FleetSession`]s pinned to the current epoch without borrowing the
+/// [`FleetRouter`]. This is what a fleet-backed
+/// [`DistanceService`](crate::DistanceService) hands its worker threads;
+/// obtained from [`FleetRouter::query_handle`] /
+/// [`ShardedFleet::query_handle`](crate::ShardedFleet::query_handle).
+#[derive(Clone)]
+pub struct FleetQueryHandle {
+    shared: Arc<RouterShared>,
+    topo: Arc<FleetTopology>,
+    telemetry: Arc<FleetTelemetry>,
+    caches: Arc<Vec<Option<Arc<DistanceCache>>>>,
+}
+
+impl FleetQueryHandle {
+    /// The currently published fleet version.
+    pub fn fleet_version(&self) -> u64 {
+        self.shared.epoch.lock().expect("router poisoned").version
+    }
+
+    /// Opens a query session pinned to the current fleet epoch.
+    pub fn session(&self) -> FleetSession {
+        let epoch = Arc::clone(&*self.shared.epoch.lock().expect("router poisoned"));
+        let n = epoch.overlay.num_vertices();
+        FleetSession {
+            topo: Arc::clone(&self.topo),
+            epoch,
+            caches: Arc::clone(&self.caches),
+            telemetry: Arc::clone(&self.telemetry),
+            ws: DijkstraWorkspace::new(n),
+        }
+    }
+}
+
+impl std::fmt::Debug for FleetQueryHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetQueryHandle")
+            .field("shards", &self.topo.num_shards())
+            .field("fleet_version", &self.fleet_version())
+            .finish()
     }
 }
 

@@ -23,6 +23,7 @@
 //! acknowledgements. The measurement harnesses (`ThroughputHarness`,
 //! `QueryEngine`) are thin drivers over this same facade.
 
+use crate::admission::AdmissionPolicy;
 use crate::cache::DistanceCache;
 use crate::config::CacheConfig;
 use crate::feed::{CoalescePolicy, UpdateFeed, UpdateTicket};
@@ -44,6 +45,7 @@ pub struct ServerBuilder {
     policy: CoalescePolicy,
     query_workers: usize,
     cache: Option<CacheConfig>,
+    admission: AdmissionPolicy,
 }
 
 impl Default for ServerBuilder {
@@ -55,6 +57,7 @@ impl Default for ServerBuilder {
             policy: CoalescePolicy::default(),
             query_workers: 0,
             cache: None,
+            admission: AdmissionPolicy::Block,
         }
     }
 }
@@ -92,6 +95,14 @@ impl ServerBuilder {
     /// snapshots directly).
     pub fn query_workers(mut self, n: usize) -> Self {
         self.query_workers = n;
+        self
+    }
+
+    /// Sets the [`AdmissionPolicy`] of the [`DistanceService`] queue
+    /// (default: [`AdmissionPolicy::Block`], the legacy unbounded queue).
+    /// Only meaningful together with [`ServerBuilder::query_workers`].
+    pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.admission = policy;
         self
     }
 
@@ -139,7 +150,12 @@ impl ServerBuilder {
                 .expect("spawn maintenance thread")
         };
         let service = (self.query_workers > 0).then(|| {
-            DistanceService::with_cache(Arc::clone(&publisher), self.query_workers, cache.clone())
+            DistanceService::with_policy(
+                Arc::clone(&publisher),
+                self.query_workers,
+                cache.clone(),
+                self.admission,
+            )
         });
         RoadNetworkServer {
             graph: shared_graph,

@@ -31,6 +31,11 @@ pub struct BatchOutcome {
     pub stages: Vec<(f64, f64)>,
     /// Query statistics of the final (fastest) stage.
     pub final_stats: QueryStats,
+    /// Tail (p95) query latency of the final stage in seconds, from a
+    /// [`LatencyHistogram`](crate::LatencyHistogram) over the same samples
+    /// as [`BatchOutcome::final_stats`] — the quantity the open-loop SLO
+    /// sweeps bound, next to the model's mean.
+    pub p95_query_time: f64,
     /// QPS evolution samples across the maintenance window.
     pub qps_evolution: Vec<QpsPoint>,
 }
@@ -176,10 +181,15 @@ impl ThroughputHarness {
             // published (fully repaired) snapshot.
             let samples = Self::measure_queries(&*server.snapshot(), &queries);
             let final_stats = QueryStats::from_samples(&samples);
+            let mut tail = crate::slo::LatencyHistogram::new();
+            for s in &samples {
+                tail.record(Duration::from_secs_f64(*s));
+            }
             batches.push(BatchOutcome {
                 update_time,
                 stages,
                 final_stats,
+                p95_query_time: tail.quantile(0.95).as_secs_f64(),
                 qps_evolution,
             });
         }
@@ -253,10 +263,15 @@ impl ThroughputHarness {
             }
             let final_stats = QueryStats::from_samples(&samples);
             let tq = final_stats.mean;
+            let mut tail = crate::slo::LatencyHistogram::new();
+            for s in &samples {
+                tail.record(Duration::from_secs_f64(*s));
+            }
             batches.push(BatchOutcome {
                 update_time,
                 stages: vec![(update_time, tq)],
                 final_stats,
+                p95_query_time: tail.quantile(0.95).as_secs_f64(),
                 qps_evolution: vec![QpsPoint {
                     elapsed: update_time,
                     qps: if tq > 0.0 { 1.0 / tq } else { f64::INFINITY },

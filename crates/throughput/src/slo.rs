@@ -1,0 +1,330 @@
+//! Streaming latency accounting and SLO verdicts for the open-loop load
+//! subsystem.
+//!
+//! The core type is [`LatencyHistogram`]: a fixed-size logarithmic-bucket
+//! histogram over nanosecond latencies (the classic HDR layout — one octave
+//! per power of two, [`SUB_BUCKETS`] linear sub-buckets per octave), so
+//! recording is O(1), memory is a few kilobytes regardless of sample count,
+//! and any quantile is recoverable with a bounded relative error of
+//! `1 / SUB_BUCKETS` (~3%). No dependencies, no allocation after
+//! construction — it can sit on the hot path of a load generator.
+//!
+//! [`SloTarget`] turns a histogram into an explicit pass/fail
+//! [`SloVerdict`]: each configured quantile target (p50/p95/p99) is checked
+//! against the recorded distribution, and the verdict carries the achieved
+//! values so reports can show *how far* a run was from its SLO, not just
+//! that it missed.
+
+use std::time::Duration;
+
+/// Linear sub-buckets per power-of-two octave; bounds the relative error of
+/// any reported quantile to `1 / SUB_BUCKETS` (~3.1%).
+pub const SUB_BUCKETS: usize = 32;
+
+const SUB_BITS: u32 = SUB_BUCKETS.trailing_zeros();
+/// Largest bucket index reachable for a `u64` nanosecond value.
+const NUM_BUCKETS: usize = (63 - SUB_BITS as usize) * SUB_BUCKETS + SUB_BUCKETS * 2;
+
+/// A streaming log-bucket latency histogram (see the [module docs](self)).
+///
+/// Values are recorded in nanoseconds; sub-nanosecond durations land in the
+/// first bucket. The histogram is cheap to merge, so per-thread instances
+/// can be folded into a run-wide one.
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum_ns: u128,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; NUM_BUCKETS],
+            total: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+
+    /// Bucket index of a nanosecond value. Values below `2 * SUB_BUCKETS`
+    /// map to themselves (exact); above that, one octave per power of two
+    /// with `SUB_BUCKETS` linear sub-buckets.
+    fn index_of(ns: u64) -> usize {
+        let v = ns.max(1);
+        let bits = 64 - v.leading_zeros(); // highest set bit + 1
+        if bits <= SUB_BITS + 1 {
+            return v as usize;
+        }
+        let exp = bits - 1 - SUB_BITS;
+        let mantissa = (v >> exp) as usize; // in [SUB_BUCKETS, 2 * SUB_BUCKETS)
+        ((exp as usize) << SUB_BITS) + mantissa
+    }
+
+    /// Inclusive upper bound (ns) of bucket `idx` — what quantile queries
+    /// report, so reported values never undershoot the true quantile.
+    fn bucket_upper_bound(idx: usize) -> u64 {
+        if idx < 2 * SUB_BUCKETS {
+            return idx as u64;
+        }
+        let exp = (idx >> SUB_BITS) as u32 - 1;
+        let mantissa = (idx - ((exp as usize + 1) << SUB_BITS) + SUB_BUCKETS) as u64;
+        ((mantissa + 1) << exp) - 1
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Duration) {
+        self.record_ns(latency.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Records one latency sample given in nanoseconds.
+    pub fn record_ns(&mut self, ns: u64) {
+        self.counts[Self::index_of(ns)] += 1;
+        self.total += 1;
+        self.sum_ns += ns as u128;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Mean recorded latency; zero on an empty histogram.
+    pub fn mean(&self) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos((self.sum_ns / self.total as u128) as u64)
+    }
+
+    /// Largest recorded latency (exact, not bucketed).
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// The `q`-th quantile (0..=1, nearest rank) of the recorded latencies,
+    /// reported as the containing bucket's upper bound (≤3.1% relative
+    /// overshoot). Zero on an empty histogram.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return Duration::from_nanos(Self::bucket_upper_bound(idx).min(self.max_ns));
+            }
+        }
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// Folds `other` into `self` (for per-thread histogram aggregation).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.total)
+            .field("p50", &self.quantile(0.50))
+            .field("p95", &self.quantile(0.95))
+            .field("p99", &self.quantile(0.99))
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+/// Explicit latency SLO targets: quantile bounds on submit-to-answer
+/// latency. Unset quantiles are not checked.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SloTarget {
+    /// Median latency bound.
+    pub p50: Option<Duration>,
+    /// 95th-percentile latency bound.
+    pub p95: Option<Duration>,
+    /// 99th-percentile latency bound.
+    pub p99: Option<Duration>,
+}
+
+impl SloTarget {
+    /// The most common serving SLO shape: a single p95 bound.
+    pub fn p95(bound: Duration) -> Self {
+        SloTarget {
+            p95: Some(bound),
+            ..SloTarget::default()
+        }
+    }
+
+    /// Adds a p50 bound.
+    pub fn with_p50(mut self, bound: Duration) -> Self {
+        self.p50 = Some(bound);
+        self
+    }
+
+    /// Adds a p99 bound.
+    pub fn with_p99(mut self, bound: Duration) -> Self {
+        self.p99 = Some(bound);
+        self
+    }
+
+    /// Evaluates every configured quantile bound against `histogram` into a
+    /// pass/fail [`SloVerdict`]. An empty histogram fails: a run that
+    /// answered nothing has not met any latency SLO.
+    pub fn evaluate(&self, histogram: &LatencyHistogram) -> SloVerdict {
+        let mut checks = Vec::new();
+        for (quantile, target) in [(0.50, self.p50), (0.95, self.p95), (0.99, self.p99)] {
+            if let Some(target) = target {
+                let achieved = histogram.quantile(quantile);
+                checks.push(SloCheck {
+                    quantile,
+                    target,
+                    achieved,
+                    pass: !histogram.is_empty() && achieved <= target,
+                });
+            }
+        }
+        let passed = !checks.is_empty() && checks.iter().all(|c| c.pass);
+        SloVerdict { checks, passed }
+    }
+}
+
+/// One evaluated quantile bound of an [`SloTarget`].
+#[derive(Clone, Copy, Debug)]
+pub struct SloCheck {
+    /// The quantile checked (0.50 / 0.95 / 0.99).
+    pub quantile: f64,
+    /// The configured bound.
+    pub target: Duration,
+    /// The achieved latency at that quantile.
+    pub achieved: Duration,
+    /// Whether the achieved latency met the bound.
+    pub pass: bool,
+}
+
+/// The pass/fail outcome of evaluating an [`SloTarget`] over a run.
+#[derive(Clone, Debug)]
+pub struct SloVerdict {
+    /// Every configured quantile check with its achieved value.
+    pub checks: Vec<SloCheck>,
+    /// `true` iff at least one check was configured and all of them passed.
+    pub passed: bool,
+}
+
+impl std::fmt::Display for SloVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", if self.passed { "PASS" } else { "FAIL" })?;
+        for c in &self.checks {
+            write!(
+                f,
+                " [p{:02.0} {:?} ≤ {:?}: {}]",
+                c.quantile * 100.0,
+                c.achieved,
+                c.target,
+                if c.pass { "ok" } else { "violated" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_contiguous_and_bounds_dominate_values() {
+        // Every value maps into a bucket whose upper bound is >= the value
+        // and overshoots by at most 1/SUB_BUCKETS.
+        let mut prev_idx = 0usize;
+        for shift in 0..50 {
+            for off in [0u64, 1, 3] {
+                let v = (1u64 << shift) + off;
+                let idx = LatencyHistogram::index_of(v);
+                assert!(idx >= prev_idx || v < 2 * SUB_BUCKETS as u64);
+                prev_idx = prev_idx.max(idx);
+                let ub = LatencyHistogram::bucket_upper_bound(idx);
+                assert!(ub >= v, "upper bound {ub} < value {v}");
+                assert!(
+                    (ub - v) as f64 <= v as f64 / SUB_BUCKETS as f64 + 1.0,
+                    "bucket too wide at {v}: upper bound {ub}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_track_a_known_distribution() {
+        let mut h = LatencyHistogram::new();
+        // 1..=1000 µs, one sample each.
+        for us in 1..=1000u64 {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile(0.50).as_micros() as f64;
+        let p95 = h.quantile(0.95).as_micros() as f64;
+        let p99 = h.quantile(0.99).as_micros() as f64;
+        assert!((p50 - 500.0).abs() / 500.0 < 0.05, "p50 = {p50}");
+        assert!((p95 - 950.0).abs() / 950.0 < 0.05, "p95 = {p95}");
+        assert!((p99 - 990.0).abs() / 990.0 < 0.05, "p99 = {p99}");
+        assert_eq!(h.max(), Duration::from_micros(1000));
+        assert!(h.mean() >= Duration::from_micros(450));
+        assert!(h.mean() <= Duration::from_micros(550));
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_into_one() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut all = LatencyHistogram::new();
+        for i in 0..500u64 {
+            let v = (i * 7919) % 100_000 + 1;
+            if i % 2 == 0 { &mut a } else { &mut b }.record_ns(v);
+            all.record_ns(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        for q in [0.1, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), all.quantile(q));
+        }
+    }
+
+    #[test]
+    fn slo_verdicts_pass_and_fail_on_the_right_side() {
+        let mut h = LatencyHistogram::new();
+        for us in 1..=100u64 {
+            h.record(Duration::from_micros(us));
+        }
+        let pass = SloTarget::p95(Duration::from_micros(200)).evaluate(&h);
+        assert!(pass.passed, "{pass}");
+        let fail = SloTarget::p95(Duration::from_micros(50)).evaluate(&h);
+        assert!(!fail.passed, "{fail}");
+        assert_eq!(fail.checks.len(), 1);
+        assert!(fail.checks[0].achieved > fail.checks[0].target);
+        // An empty histogram never passes.
+        let empty = SloTarget::p95(Duration::from_secs(1)).evaluate(&LatencyHistogram::new());
+        assert!(!empty.passed);
+    }
+}

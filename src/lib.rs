@@ -104,7 +104,13 @@
 //! and Zipf hot-pair workload modes) or the Lemma 1 model harness
 //! [`throughput::ThroughputHarness`]; to *serve* batched traffic, see
 //! [`throughput::DistanceService`] (a queue of `QueryBatch` requests drained
-//! by session-pinning workers, started by `query_workers(n)`).
+//! by session-pinning workers, started by `query_workers(n)`). The service
+//! queue is governed by an [`AdmissionPolicy`] (unbounded blocking, bounded
+//! shedding, or per-request deadlines), and the open-loop load subsystem
+//! ([`throughput::loadgen`]) measures it the way real traffic would: seeded
+//! Poisson arrival streams, weighted request mixes, latency histograms with
+//! p50/p95/p99 [`SloTarget`] verdicts, and a knee search for the highest
+//! offered rate that still meets the SLO.
 //!
 //! For skewed traffic, `ServerBuilder::result_cache(CacheConfig)` enables
 //! the snapshot-versioned [`DistanceCache`]: answers are memoized per
@@ -134,10 +140,11 @@ pub use htsp_throughput as throughput;
 
 // The serving facade, re-exported flat: what a deployment touches first.
 pub use htsp_throughput::{
-    AlgorithmKind, BuildParams, CacheConfig, CacheStats, CoalescePolicy, DistanceCache,
-    FleetConfig, FleetReport, FleetRouter, FleetSession, FleetTicket, FleetVisibility,
-    RoadNetworkServer, ServerBuilder, ShardReport, ShardedFleet, UpdateFeed, UpdateOutcome,
-    UpdateTicket, Visibility,
+    AdmissionPolicy, AlgorithmKind, BuildParams, CacheConfig, CacheStats, CoalescePolicy,
+    DistanceCache, DistanceService, FleetConfig, FleetQueryHandle, FleetReport, FleetRouter,
+    FleetSession, FleetTicket, FleetVisibility, LatencyHistogram, LoadProfile, LoadReport,
+    RoadNetworkServer, ServerBuilder, ServiceStats, ShardReport, ShardedFleet, SloTarget,
+    SloVerdict, SubmitOutcome, UpdateFeed, UpdateOutcome, UpdateTicket, Visibility,
 };
 
 /// The version of the reproduction.
