@@ -67,9 +67,7 @@ impl Run {
     }
 
     fn lag_p50_s(&self) -> f64 {
-        let mut lags = self.report.visibility_lags.clone();
-        lags.sort_by(|a, b| a.partial_cmp(b).expect("finite lag"));
-        lags.get(lags.len() / 2).copied().unwrap_or(0.0)
+        self.report.visibility_lags.quantile_secs(0.5)
     }
 }
 

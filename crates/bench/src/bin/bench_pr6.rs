@@ -33,8 +33,8 @@ use htsp_graph::{gen, EdgeUpdate, Graph, QuerySession, QuerySet, UpdateGenerator
 use htsp_partition::{partition_region_growing, PartitionResult};
 use htsp_search::dijkstra_distance;
 use htsp_throughput::{
-    AlgorithmKind, CoalescePolicy, FleetConfig, QueryEngine, RoadNetworkServer, ShardedFleet,
-    WorkloadKind,
+    AlgorithmKind, CoalescePolicy, FleetConfig, LatencyHistogram, QueryEngine, RoadNetworkServer,
+    ShardedFleet, WorkloadKind,
 };
 use std::time::{Duration, Instant};
 
@@ -53,18 +53,6 @@ struct BenchConfig {
     verify_pairs: usize,
     /// Partition seed (shared by fleet and classification).
     seed: u64,
-}
-
-fn percentile(samples: &[f64], q: f64) -> f64 {
-    if samples.is_empty() {
-        return 0.0;
-    }
-    let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite lag"));
-    let rank = ((q * sorted.len() as f64).ceil() as usize)
-        .saturating_sub(1)
-        .min(sorted.len() - 1);
-    sorted[rank]
 }
 
 /// Pre-generates a deterministic update stream against a drifting mirror of
@@ -103,13 +91,13 @@ where
     let (tx, rx) = std::sync::mpsc::channel::<(T, bool)>();
     std::thread::scope(|scope| {
         let drain = scope.spawn(move || {
-            let mut all = Vec::new();
-            let mut non_boundary = Vec::new();
+            let mut all = LatencyHistogram::new();
+            let mut non_boundary = LatencyHistogram::new();
             for (ticket, is_boundary) in rx {
                 let lag = wait(ticket);
-                all.push(lag);
+                all.record_secs(lag);
                 if !is_boundary {
-                    non_boundary.push(lag);
+                    non_boundary.record_secs(lag);
                 }
             }
             PacedLags { all, non_boundary }
@@ -126,16 +114,16 @@ where
 }
 
 struct PacedLags {
-    all: Vec<f64>,
-    non_boundary: Vec<f64>,
+    all: LatencyHistogram,
+    non_boundary: LatencyHistogram,
 }
 
-fn lag_json(lags: &[f64]) -> Json {
+fn lag_json(lags: &LatencyHistogram) -> Json {
     Json::Obj(vec![
-        ("count", Json::Int(lags.len() as u64)),
-        ("p50_s", Json::Num(percentile(lags, 0.50))),
-        ("p90_s", Json::Num(percentile(lags, 0.90))),
-        ("p99_s", Json::Num(percentile(lags, 0.99))),
+        ("count", Json::Int(lags.count())),
+        ("p50_s", Json::Num(lags.quantile_secs(0.50))),
+        ("p90_s", Json::Num(lags.quantile_secs(0.90))),
+        ("p99_s", Json::Num(lags.quantile_secs(0.99))),
     ])
 }
 
@@ -229,8 +217,8 @@ fn main() {
         let baseline_report = engine.run(&server);
         eprintln!(
             "bench-pr6: rate {rate:>5.0}/s baseline: p50 {:.2} ms (non-boundary {:.2} ms), {:.0} pairs/s",
-            percentile(&baseline_lags.all, 0.5) * 1e3,
-            percentile(&baseline_lags.non_boundary, 0.5) * 1e3,
+            baseline_lags.all.quantile_secs(0.5) * 1e3,
+            baseline_lags.non_boundary.quantile_secs(0.5) * 1e3,
             baseline_report.measured_qps,
         );
 
@@ -286,12 +274,12 @@ fn main() {
             eprintln!(
                 "bench-pr6: rate {rate:>5.0}/s fleet({k}): p50 {:.2} ms (non-boundary {:.2} ms), \
                  {:.0} pairs/s, {cross_checked}/{} cross-shard pairs exact",
-                percentile(&lags.all, 0.5) * 1e3,
-                percentile(&lags.non_boundary, 0.5) * 1e3,
+                lags.all.quantile_secs(0.5) * 1e3,
+                lags.non_boundary.quantile_secs(0.5) * 1e3,
                 engine_report.measured_qps,
                 queries.len(),
             );
-            p50_by_shards.push((k, percentile(&lags.non_boundary, 0.5)));
+            p50_by_shards.push((k, lags.non_boundary.quantile_secs(0.5)));
 
             let per_shard: Vec<Json> = fleet_report
                 .shards
@@ -336,7 +324,7 @@ fn main() {
         // Acceptance direction: a >= 4-shard fleet beats the baseline's p50
         // non-boundary lag at equal rate (asserted in full mode only —
         // smoke CI boxes are too noisy to gate on wall-clock).
-        let baseline_p50 = percentile(&baseline_lags.non_boundary, 0.5);
+        let baseline_p50 = baseline_lags.non_boundary.quantile_secs(0.5);
         let fleet4_p50 = p50_by_shards
             .iter()
             .find(|&&(k, _)| k >= 4)

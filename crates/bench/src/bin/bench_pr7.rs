@@ -30,9 +30,10 @@ use htsp_bench::json::Json;
 use htsp_graph::{gen, Graph, Query, QuerySet, UpdateGenerator};
 use htsp_search::dijkstra_distance;
 use htsp_throughput::{
-    find_knee, AdmissionPolicy, AlgorithmKind, ArrivalProcess, DistanceService, FleetConfig,
-    LoadProfile, LoadReport, QueryBatch, RequestClass, RequestMix, RoadNetworkServer, ShardedFleet,
-    SloTarget,
+    find_knee, run_open_loop_with_telemetry, validate_json, validate_prometheus, AdmissionPolicy,
+    AlgorithmKind, ArrivalProcess, CacheConfig, DistanceService, FleetConfig, LoadProfile,
+    LoadReport, QueryBatch, RequestClass, RequestMix, RoadNetworkServer, ShardedFleet, SloTarget,
+    TelemetryHub,
 };
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -84,10 +85,23 @@ impl Deployment<'_> {
 
     fn service(&self, workers: usize, policy: AdmissionPolicy) -> DistanceService {
         match self {
-            Deployment::Single(server) => {
-                DistanceService::with_policy(Arc::clone(server.publisher()), workers, None, policy)
-            }
+            Deployment::Single(server) => DistanceService::with_telemetry(
+                Arc::clone(server.publisher()),
+                workers,
+                server.cache().cloned(),
+                policy,
+                Arc::clone(server.telemetry()),
+            ),
             Deployment::Fleet(fleet) => fleet.start_query_service(workers, policy),
+        }
+    }
+
+    /// The deployment-wide telemetry hub (shared between the single server
+    /// and the fleet's router tier; see `main`).
+    fn hub(&self) -> &Arc<TelemetryHub> {
+        match self {
+            Deployment::Single(server) => server.telemetry(),
+            Deployment::Fleet(fleet) => fleet.telemetry(),
         }
     }
 
@@ -192,7 +206,7 @@ fn measure(
             }
             i
         });
-        let report = htsp_throughput::loadgen::run_open_loop(&service, &profile, pool);
+        let report = run_open_loop_with_telemetry(&service, &profile, pool, Some(dep.hub()));
         stop.store(true, Ordering::Relaxed);
         updates.join().expect("update stream panicked");
         report
@@ -358,11 +372,22 @@ fn main() {
             "bench-pr7: building {kind:?} single server and {}-shard fleet...",
             cfg.shards
         );
+        // One hub for the whole deployment pair: the single server's
+        // ingest/stage/publish/admission/cache metrics and the fleet's
+        // router-tier metrics land in the same registry, so one snapshot
+        // covers the full pipeline (the telemetry gate below).
+        let hub = Arc::new(TelemetryHub::new());
         let server = RoadNetworkServer::builder()
             .algorithm(kind)
             .query_workers(0)
+            .result_cache(CacheConfig::with_capacity(4096))
+            .telemetry(Arc::clone(&hub))
             .start(&road);
-        let fleet = ShardedFleet::start(&road, FleetConfig::new(cfg.shards, kind));
+        let fleet = ShardedFleet::start_with_telemetry(
+            &road,
+            FleetConfig::new(cfg.shards, kind),
+            Arc::clone(&hub),
+        );
 
         for dep in [Deployment::Single(&server), Deployment::Fleet(&fleet)] {
             let tag = format!("{}/{}", format!("{kind:?}").to_lowercase(), dep.label());
@@ -494,6 +519,49 @@ fn main() {
                 ),
                 ("fleet_ingest", fleet_ingest),
             ]));
+        }
+        // Telemetry gate (both modes): one snapshot over the shared hub
+        // must export valid Prometheus exposition covering every pipeline
+        // family, valid Chrome trace JSON, and balanced spans — and the
+        // knee runs must have filled the maintenance-stage histograms.
+        let snap = hub.snapshot();
+        if let Err(e) = validate_prometheus(&snap.prometheus) {
+            failures.push(format!("{kind:?}: invalid Prometheus exposition: {e}"));
+        }
+        if let Err(e) = validate_json(&snap.chrome_trace) {
+            failures.push(format!("{kind:?}: invalid Chrome trace JSON: {e}"));
+        }
+        if !snap.spans_balanced() {
+            failures.push(format!(
+                "{kind:?}: unbalanced spans: {} opened, {} closed",
+                snap.spans_opened, snap.spans_closed
+            ));
+        }
+        for family in [
+            "htsp_ingest_",
+            "htsp_stage_seconds",
+            "htsp_publish_",
+            "htsp_admission_",
+            "htsp_cache_",
+            "htsp_fleet_",
+            "htsp_loadgen_",
+        ] {
+            if !snap.prometheus.contains(family) {
+                failures.push(format!(
+                    "{kind:?}: snapshot is missing the {family}* metric family"
+                ));
+            }
+        }
+        let stage_samples: u64 = hub
+            .histogram_values()
+            .iter()
+            .filter(|(name, _)| name.starts_with("htsp_stage_seconds"))
+            .map(|(_, h)| h.count())
+            .sum();
+        if stage_samples == 0 {
+            failures.push(format!(
+                "{kind:?}: htsp_stage_seconds histograms are empty after the knee runs"
+            ));
         }
         fleet.shutdown();
         server.shutdown();

@@ -29,6 +29,9 @@
 //!   are chunk-pointer copies, element writes clone at most one chunk, and
 //!   per-lineage [`CowStats`] counters report the chunks/bytes each
 //!   maintenance stage actually copied.
+//! * [`obs`] — the observability contract ([`TraceId`], [`SpanSink`]): the
+//!   trace-id and span-recording vocabulary pipeline hooks use to report
+//!   where time went, implemented by the serving tier's telemetry hub.
 //! * [`scratch`] — the [`ScratchPool`] that lets one immutable view serve
 //!   many query threads, each with its own search working memory; sessions
 //!   hold a [`ScratchGuard`] over it for their whole lifetime.
@@ -53,6 +56,7 @@ pub mod dimacs;
 pub mod gen;
 pub mod graph;
 pub mod index_api;
+pub mod obs;
 pub mod queries;
 pub mod scratch;
 pub mod types;
@@ -64,6 +68,7 @@ pub use index_api::{
     FallbackSession, IndexMaintainer, PublishEvent, PublishHook, QuerySession, QueryView,
     SnapshotPublisher, StageReport, UpdateTimeline,
 };
+pub use obs::{NullSink, SpanSink, TraceId};
 pub use queries::{Query, QuerySet, QueryWorkload};
 pub use scratch::{ScratchGuard, ScratchPool};
 pub use types::{Dist, EdgeId, VertexId, Weight, INF};

@@ -1,0 +1,137 @@
+//! Observability vocabulary shared across the pipeline: trace ids and the
+//! span-sink hook the serving tier's telemetry hub implements.
+//!
+//! The graph crate owns the *write side* of the pipeline (the
+//! [`SnapshotPublisher`](crate::SnapshotPublisher) and its publish hooks),
+//! while the serving tier owns the telemetry hub that aggregates what
+//! happened. This module is the thin contract between them, so the graph
+//! crate never depends on the throughput crate:
+//!
+//! * [`TraceId`] — a process-unique id minted once per logical request
+//!   (one edge update submitted to a feed, one query batch submitted to a
+//!   service) and carried through every pipeline stage, so the stages of a
+//!   single request can be reconstructed from a flat span stream;
+//! * [`SpanSink`] — the object-safe recording hook: pipeline code reports
+//!   completed spans (a named interval attributed to a trace) and instant
+//!   events to whatever sink is wired in;
+//! * [`NullSink`] — the no-op sink, for running without telemetry.
+//!
+//! Sinks receive *completed* intervals (`start`, `end` both known), which
+//! keeps the hook trivially balanced — a recorded span is by construction
+//! both opened and closed — and keeps the hot path to one virtual call
+//! after the interval finishes, instead of two around it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Global trace-id source; ids are process-unique and never reused.
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A process-unique id attributed to one logical request for its whole
+/// trip through the pipeline (see the [module docs](self)).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// Mints a fresh id (monotone within the process, starting at 1; id 0
+    /// is reserved for "untraced").
+    pub fn next() -> TraceId {
+        TraceId(NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// The reserved "no trace attached" id.
+    pub const NONE: TraceId = TraceId(0);
+
+    /// `true` for every id minted by [`TraceId::next`].
+    pub fn is_real(&self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Where pipeline code reports completed spans and instant events.
+///
+/// Implementations must be cheap and non-blocking enough to sit on the
+/// maintenance and query hot paths (the serving tier's hub uses a bounded
+/// ring buffer behind a short mutex), and must tolerate being called from
+/// any thread.
+pub trait SpanSink: Send + Sync {
+    /// Records a completed interval `[start, end]` named `name` in category
+    /// `cat`, attributed to `trace`.
+    fn span(
+        &self,
+        trace: TraceId,
+        cat: &'static str,
+        name: &'static str,
+        start: Instant,
+        end: Instant,
+    );
+
+    /// Records an instantaneous event at `at` (a terminal marker such as a
+    /// shed or an expiry, or a point occurrence such as a publication).
+    fn event(&self, trace: TraceId, cat: &'static str, name: &'static str, at: Instant);
+
+    /// `false` when recording is currently a no-op, so callers can skip
+    /// assembling span arguments entirely.
+    fn is_recording(&self) -> bool {
+        true
+    }
+}
+
+/// The no-op sink: every record is discarded.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl SpanSink for NullSink {
+    fn span(&self, _: TraceId, _: &'static str, _: &'static str, _: Instant, _: Instant) {}
+    fn event(&self, _: TraceId, _: &'static str, _: &'static str, _: Instant) {}
+    fn is_recording(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_ids_are_unique_and_real() {
+        let a = TraceId::next();
+        let b = TraceId::next();
+        assert_ne!(a, b);
+        assert!(a.is_real() && b.is_real());
+        assert!(!TraceId::NONE.is_real());
+        assert_eq!(format!("{a}"), format!("{}", a.0));
+    }
+
+    #[test]
+    fn trace_ids_are_unique_across_threads() {
+        let ids: Vec<Vec<TraceId>> = std::thread::scope(|s| {
+            (0..4)
+                .map(|_| s.spawn(|| (0..1000).map(|_| TraceId::next()).collect()))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        let mut all: Vec<u64> = ids.into_iter().flatten().map(|t| t.0).collect();
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n, "trace ids collided across threads");
+    }
+
+    #[test]
+    fn null_sink_reports_not_recording() {
+        let sink = NullSink;
+        assert!(!sink.is_recording());
+        let now = Instant::now();
+        sink.span(TraceId::next(), "c", "n", now, now);
+        sink.event(TraceId::NONE, "c", "n", now);
+    }
+}

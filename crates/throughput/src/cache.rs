@@ -81,6 +81,7 @@
 //! ```
 
 use crate::config::CacheConfig;
+use crate::telemetry::{Counter, TelemetryHub};
 use htsp_graph::{Dist, QuerySession, VertexId};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -188,6 +189,33 @@ struct Slot {
     next: u32,
 }
 
+/// One shard's telemetry: lock-free [`Counter`] handles, readable without
+/// the shard mutex and registerable into a [`TelemetryHub`] as labeled
+/// `htsp_cache_*` series — the registry is the single source of truth;
+/// [`CacheStats`] is a snapshot of these counters.
+#[derive(Clone, Default)]
+struct ShardMetrics {
+    hits: Counter,
+    misses: Counter,
+    stale_misses: Counter,
+    inserts: Counter,
+    evictions: Counter,
+    stale_evictions: Counter,
+}
+
+impl ShardMetrics {
+    fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            stale_misses: self.stale_misses.get(),
+            inserts: self.inserts.get(),
+            evictions: self.evictions.get(),
+            stale_evictions: self.stale_evictions.get(),
+        }
+    }
+}
+
 /// One independently locked cache segment: a fixed-capacity LRU map.
 struct Shard {
     map: rustc_hash::FxHashMap<(VertexId, VertexId), u32>,
@@ -197,7 +225,7 @@ struct Shard {
     /// Least-recently-used slot (NIL when empty).
     tail: u32,
     capacity: usize,
-    stats: CacheStats,
+    stats: ShardMetrics,
 }
 
 impl Shard {
@@ -208,7 +236,7 @@ impl Shard {
             head: NIL,
             tail: NIL,
             capacity,
-            stats: CacheStats::default(),
+            stats: ShardMetrics::default(),
         }
     }
 
@@ -253,19 +281,19 @@ impl Shard {
     fn get(&mut self, key: (VertexId, VertexId), version: u64) -> Option<Dist> {
         match self.map.get(&key).copied() {
             Some(i) if self.slots[i as usize].version == version => {
-                self.stats.hits += 1;
+                self.stats.hits.inc();
                 self.touch(i);
                 Some(self.slots[i as usize].dist)
             }
             Some(_) => {
                 // Cached, but computed against another snapshot: a miss by
                 // contract (a hit must never cross a publication boundary).
-                self.stats.misses += 1;
-                self.stats.stale_misses += 1;
+                self.stats.misses.inc();
+                self.stats.stale_misses.inc();
                 None
             }
             None => {
-                self.stats.misses += 1;
+                self.stats.misses.inc();
                 None
             }
         }
@@ -282,16 +310,16 @@ impl Shard {
                 return;
             }
             // Lazy overwrite: the pair is already cached; replace in place.
-            self.stats.inserts += 1;
+            self.stats.inserts.inc();
             if slot.version < version {
-                self.stats.stale_evictions += 1;
+                self.stats.stale_evictions.inc();
             }
             slot.version = version;
             slot.dist = dist;
             self.touch(i);
             return;
         }
-        self.stats.inserts += 1;
+        self.stats.inserts.inc();
         let i = if self.slots.len() < self.capacity {
             self.slots.push(Slot {
                 key,
@@ -308,7 +336,7 @@ impl Shard {
             self.unlink(i);
             let evicted_key = self.slots[i as usize].key;
             self.map.remove(&evicted_key);
-            self.stats.evictions += 1;
+            self.stats.evictions.inc();
             let slot = &mut self.slots[i as usize];
             slot.key = key;
             slot.version = version;
@@ -438,8 +466,30 @@ impl DistanceCache {
     pub fn per_shard_stats(&self) -> Vec<CacheStats> {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").stats)
+            .map(|s| s.lock().expect("cache shard poisoned").stats.snapshot())
             .collect()
+    }
+
+    /// Adopts every shard's counters into `hub` as labeled
+    /// `htsp_cache_*_total{shard="i"}` series. The handles are shared, not
+    /// copied: the registry and [`DistanceCache::stats`] read the same
+    /// atomics, so there is one source of truth for cache telemetry.
+    pub fn register_metrics(&self, hub: &TelemetryHub) {
+        for (i, shard) in self.shards.iter().enumerate() {
+            let m = shard.lock().expect("cache shard poisoned").stats.clone();
+            let shard_label = i.to_string();
+            let labels: &[(&str, &str)] = &[("shard", &shard_label)];
+            hub.register_counter("htsp_cache_hits_total", labels, &m.hits);
+            hub.register_counter("htsp_cache_misses_total", labels, &m.misses);
+            hub.register_counter("htsp_cache_stale_misses_total", labels, &m.stale_misses);
+            hub.register_counter("htsp_cache_inserts_total", labels, &m.inserts);
+            hub.register_counter("htsp_cache_evictions_total", labels, &m.evictions);
+            hub.register_counter(
+                "htsp_cache_stale_evictions_total",
+                labels,
+                &m.stale_evictions,
+            );
+        }
     }
 }
 

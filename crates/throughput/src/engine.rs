@@ -49,6 +49,7 @@
 use crate::cache::{CacheStats, CachedSession, DistanceCache};
 use crate::fleet::ShardedFleet;
 use crate::server::RoadNetworkServer;
+use crate::slo::LatencyHistogram;
 use htsp_graph::cow::CowStats;
 use htsp_graph::{
     Query, QuerySession, QuerySet, QueryView, UpdateGenerator, UpdateTimeline, VertexId,
@@ -364,10 +365,10 @@ pub struct EngineReport {
     pub per_stage_cow: Vec<CowStats>,
     /// Update timeline of every replayed batch.
     pub timelines: Vec<UpdateTimeline>,
-    /// Submit-to-visible latency (seconds) per batch: from the first
-    /// update's submission to the publication of the first snapshot
-    /// containing it, as observed by the batch's `wait_visible()` ticket.
-    pub visibility_lags: Vec<f64>,
+    /// Submit-to-visible latency per batch: from the first update's
+    /// submission to the publication of the first snapshot containing it,
+    /// as observed by the batch's `wait_visible()` ticket.
+    pub visibility_lags: LatencyHistogram,
     /// Number of answers that failed Dijkstra verification (always 0 unless
     /// `verify` was enabled and the index is broken).
     pub verify_failures: u64,
@@ -471,7 +472,7 @@ impl QueryEngine {
 
         let mut gen = UpdateGenerator::new(cfg.seed);
         let mut timelines = Vec::with_capacity(cfg.num_batches);
-        let mut visibility_lags = Vec::with_capacity(cfg.num_batches);
+        let mut visibility_lags = LatencyHistogram::new();
 
         // If the maintenance loop (or anything else in the scope body)
         // panics, the workers must still be told to stop — otherwise
@@ -642,7 +643,7 @@ impl QueryEngine {
                 let tickets = server.feed().submit_all(batch.as_slice().iter().copied());
                 let barrier = server.feed().flush();
                 let vis = tickets.first().unwrap_or(&barrier).wait_visible();
-                visibility_lags.push(vis.latency.as_secs_f64());
+                visibility_lags.record(vis.latency);
                 // Under a manual policy (how every bench/test hosts the
                 // server) the whole round is one feed batch and this merge
                 // is a no-op; under an auto-flushing policy the round may
@@ -769,7 +770,7 @@ impl QueryEngine {
         let bucket_nanos = cfg.bucket.as_nanos().max(1) as u64;
 
         let mut gen = UpdateGenerator::new(cfg.seed);
-        let mut visibility_lags = Vec::with_capacity(cfg.num_batches);
+        let mut visibility_lags = LatencyHistogram::new();
 
         struct StopGuard<'a>(&'a AtomicBool);
         impl Drop for StopGuard<'_> {
@@ -883,7 +884,7 @@ impl QueryEngine {
                 let tickets = router.submit_all(batch.as_slice().iter().copied());
                 let barrier = router.flush();
                 let vis = tickets.first().unwrap_or(&barrier).wait_visible();
-                visibility_lags.push(vis.latency.as_secs_f64());
+                visibility_lags.record(vis.latency);
                 barrier.wait_applied();
                 if !cfg.pause_between_batches.is_zero() {
                     std::thread::sleep(cfg.pause_between_batches);
@@ -1185,8 +1186,8 @@ mod tests {
         assert!(report.measured_qps > 0.0);
         assert_eq!(report.timelines.len(), 2);
         assert_eq!(report.publications.len(), 2);
-        assert_eq!(report.visibility_lags.len(), 2);
-        assert!(report.visibility_lags.iter().all(|&l| l >= 0.0));
+        assert_eq!(report.visibility_lags.count(), 2);
+        assert!(report.visibility_lags.quantile_secs(0.5) >= 0.0);
         assert_eq!(report.verify_failures, 0);
         // Full buckets account for their exact counts; the final bucket is
         // divided by its (shorter) actual span, so the reconstruction is a

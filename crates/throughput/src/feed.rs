@@ -27,9 +27,11 @@
 //! while the maintenance thread repairs, exactly as before — the feed only
 //! moves the *submission* side off the caller's thread.
 
+use crate::telemetry::{Counter, Gauge, Histogram, TelemetryHub};
 use htsp_graph::cow::CowStats;
 use htsp_graph::{
-    EdgeUpdate, Graph, IndexMaintainer, SnapshotPublisher, UpdateBatch, UpdateTimeline,
+    EdgeUpdate, Graph, IndexMaintainer, PublishEvent, SnapshotPublisher, TraceId, UpdateBatch,
+    UpdateTimeline,
 };
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex, RwLock};
@@ -265,6 +267,39 @@ struct PendingEntry {
     update: Option<EdgeUpdate>,
     cell: Arc<TicketCell>,
     submitted_at: Instant,
+    /// Trace id minted at submission (barrier entries carry
+    /// [`TraceId::NONE`]); every span of this update's trip through
+    /// coalescing, repair, and publication carries it.
+    trace: TraceId,
+}
+
+/// The feed's registered metric handles; [`FeedStats`] reads from these.
+struct FeedMetrics {
+    submitted: Counter,
+    batches_applied: Counter,
+    updates_applied: Counter,
+    publishes: Counter,
+    cow_chunks: Counter,
+    cow_bytes: Counter,
+    version: Gauge,
+    coalesce_wait: Histogram,
+    apply: Histogram,
+}
+
+impl FeedMetrics {
+    fn register(hub: &TelemetryHub) -> Self {
+        FeedMetrics {
+            submitted: hub.counter("htsp_ingest_submitted_total"),
+            batches_applied: hub.counter("htsp_ingest_batches_total"),
+            updates_applied: hub.counter("htsp_ingest_updates_applied_total"),
+            publishes: hub.counter("htsp_publish_total"),
+            cow_chunks: hub.counter("htsp_publish_cow_chunks_total"),
+            cow_bytes: hub.counter("htsp_publish_cow_bytes_total"),
+            version: hub.gauge("htsp_publish_version"),
+            coalesce_wait: hub.histogram("htsp_ingest_coalesce_seconds"),
+            apply: hub.histogram("htsp_ingest_apply_seconds"),
+        }
+    }
 }
 
 /// A job executed on the maintenance thread between batches, with exclusive
@@ -281,7 +316,6 @@ struct FeedState {
     jobs: VecDeque<IndexJob>,
     /// The maintenance thread is between draining and resolving a batch.
     applying: bool,
-    stats: FeedStats,
 }
 
 struct FeedShared {
@@ -292,6 +326,8 @@ struct FeedShared {
     wake: Condvar,
     /// Wakes `flush()` waiters (queue drained and batch resolved).
     drained: Condvar,
+    hub: Arc<TelemetryHub>,
+    metrics: FeedMetrics,
 }
 
 /// The ingestion handle of a [`RoadNetworkServer`](crate::RoadNetworkServer):
@@ -307,17 +343,22 @@ impl UpdateFeed {
     pub fn submit(&self, update: EdgeUpdate) -> UpdateTicket {
         let cell = TicketCell::new();
         let submitted_at = Instant::now();
+        let trace = TraceId::next();
         {
             let mut state = self.shared.state.lock().expect("feed poisoned");
             if state.shutdown {
                 cell.advance(TicketPhase::Failed("feed is shut down"));
             } else {
-                state.stats.submitted += 1;
+                self.shared.metrics.submitted.inc();
+                self.shared
+                    .hub
+                    .record_event(trace, "update", "submit", submitted_at);
                 state.oldest.get_or_insert(submitted_at);
                 state.pending.push(PendingEntry {
                     update: Some(update),
                     cell: Arc::clone(&cell),
                     submitted_at,
+                    trace,
                 });
             }
         }
@@ -355,6 +396,7 @@ impl UpdateFeed {
                     update: None,
                     cell: Arc::clone(&cell),
                     submitted_at,
+                    trace: TraceId::NONE,
                 });
             }
         }
@@ -386,9 +428,19 @@ impl UpdateFeed {
             .count()
     }
 
-    /// Cumulative ingest counters.
+    /// Cumulative ingest counters, read from the telemetry registry (the
+    /// same series the Prometheus export renders).
     pub fn stats(&self) -> FeedStats {
-        self.shared.state.lock().expect("feed poisoned").stats
+        FeedStats {
+            submitted: self.shared.metrics.submitted.get(),
+            batches_applied: self.shared.metrics.batches_applied.get(),
+            updates_applied: self.shared.metrics.updates_applied.get(),
+        }
+    }
+
+    /// The telemetry hub this feed records into.
+    pub fn telemetry(&self) -> &Arc<TelemetryHub> {
+        &self.shared.hub
     }
 
     /// Enqueues a job that runs on the maintenance thread with exclusive
@@ -409,7 +461,12 @@ impl UpdateFeed {
         self.shared.wake.notify_all();
     }
 
-    pub(crate) fn new(publisher: Arc<SnapshotPublisher>, graph: Arc<RwLock<Graph>>) -> Self {
+    pub(crate) fn new(
+        publisher: Arc<SnapshotPublisher>,
+        graph: Arc<RwLock<Graph>>,
+        hub: Arc<TelemetryHub>,
+    ) -> Self {
+        let metrics = FeedMetrics::register(&hub);
         UpdateFeed {
             shared: Arc::new(FeedShared {
                 publisher,
@@ -421,10 +478,11 @@ impl UpdateFeed {
                     shutdown: false,
                     jobs: VecDeque::new(),
                     applying: false,
-                    stats: FeedStats::default(),
                 }),
                 wake: Condvar::new(),
                 drained: Condvar::new(),
+                hub,
+                metrics,
             }),
         }
     }
@@ -438,6 +496,30 @@ impl UpdateFeed {
     ) -> Box<dyn IndexMaintainer> {
         let shared = &*self.shared;
         let mut batch_seq = 0u64;
+        // Capture each publication so per-update publish/visible spans can
+        // be attributed after the repair returns: publish hooks run
+        // synchronously on this thread inside `apply_batch`, so once it
+        // returns, every publication of the batch has been captured. The
+        // same hook drives the publish counters/gauge, so publications are
+        // counted exactly once no matter how many feeds or services share
+        // the hub.
+        let captured: Arc<Mutex<Vec<PublishEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        {
+            let captured = Arc::clone(&captured);
+            let hub = Arc::clone(&shared.hub);
+            let publishes = shared.metrics.publishes.clone();
+            let cow_chunks = shared.metrics.cow_chunks.clone();
+            let cow_bytes = shared.metrics.cow_bytes.clone();
+            let version = shared.metrics.version.clone();
+            shared.publisher.on_publish(move |ev: &PublishEvent| {
+                publishes.inc();
+                cow_chunks.add(ev.cow.chunks_cloned);
+                cow_bytes.add(ev.cow.bytes_cloned);
+                version.set(ev.version);
+                hub.record_event(TraceId::NONE, "update", "publish", ev.at);
+                captured.lock().expect("publish capture poisoned").push(*ev);
+            });
+        }
         loop {
             // Phase 1 under the state lock: run jobs, decide whether to
             // flush, or sleep until something changes.
@@ -502,6 +584,22 @@ impl UpdateFeed {
             // Phase 2, lock released: build and apply the batch. Submitters
             // keep enqueuing into the next batch meanwhile.
             batch_seq += 1;
+            let drained_at = Instant::now();
+            for entry in &drained {
+                if entry.trace.is_real() {
+                    shared
+                        .metrics
+                        .coalesce_wait
+                        .record(drained_at.saturating_duration_since(entry.submitted_at));
+                    shared.hub.record_span(
+                        entry.trace,
+                        "update",
+                        "coalesce",
+                        entry.submitted_at,
+                        drained_at,
+                    );
+                }
+            }
             let batch =
                 UpdateBatch::from_updates(drained.iter().filter_map(|e| e.update).collect());
             let version_before = shared.publisher.version();
@@ -524,6 +622,7 @@ impl UpdateFeed {
             let apply_start = Instant::now();
             let timeline = maintainer.apply_batch(&graph, &batch, &shared.publisher);
             drop(graph);
+            self.record_batch_telemetry(&drained, &timeline, apply_start, first_version, &captured);
             let outcome = Arc::new(UpdateOutcome {
                 batch_seq,
                 batch_len: batch.len(),
@@ -535,11 +634,11 @@ impl UpdateFeed {
             });
             // Stats before ticket resolution: a caller waking from
             // `wait_applied` must already see this batch counted.
+            shared.metrics.batches_applied.inc();
+            shared.metrics.updates_applied.add(batch.len() as u64);
             {
                 let mut state = shared.state.lock().expect("feed poisoned");
                 state.applying = false;
-                state.stats.batches_applied += 1;
-                state.stats.updates_applied += batch.len() as u64;
             }
             for entry in &drained {
                 entry
@@ -547,6 +646,71 @@ impl UpdateFeed {
                     .advance(TicketPhase::Resolved(Arc::clone(&outcome)));
             }
             shared.drained.notify_all();
+        }
+    }
+
+    /// Records the per-batch repair telemetry: the apply-time histogram,
+    /// one `htsp_stage_seconds{stage=...}` sample and one stage span per
+    /// maintainer stage (stage spans are batch-scoped; they carry the trace
+    /// of the batch's *first* update as the representative, so that update
+    /// is reconstructable end-to-end by trace id), plus the per-update
+    /// publish/visible spans against the first publication containing the
+    /// batch.
+    fn record_batch_telemetry(
+        &self,
+        drained: &[PendingEntry],
+        timeline: &UpdateTimeline,
+        apply_start: Instant,
+        first_version: u64,
+        captured: &Mutex<Vec<PublishEvent>>,
+    ) {
+        let shared = &*self.shared;
+        shared.metrics.apply.record(timeline.total());
+        let rep = drained
+            .iter()
+            .find(|e| e.trace.is_real())
+            .map(|e| e.trace)
+            .unwrap_or(TraceId::NONE);
+        let mut cursor = apply_start;
+        for stage in &timeline.stages {
+            let end = cursor + stage.duration;
+            shared
+                .hub
+                .labeled_histogram("htsp_stage_seconds", &[("stage", &stage.name)])
+                .record(stage.duration);
+            shared.hub.record_span(
+                rep,
+                "update",
+                crate::telemetry::intern(&stage.name),
+                cursor,
+                end,
+            );
+            cursor = end;
+        }
+        let publications: Vec<PublishEvent> = captured
+            .lock()
+            .expect("publish capture poisoned")
+            .drain(..)
+            .collect();
+        let visible_at = publications
+            .iter()
+            .find(|e| e.version >= first_version)
+            .map(|e| e.at);
+        if let Some(vis) = visible_at {
+            for entry in drained {
+                if entry.trace.is_real() {
+                    shared
+                        .hub
+                        .record_span(entry.trace, "update", "publish", apply_start, vis);
+                    shared.hub.record_span(
+                        entry.trace,
+                        "update",
+                        "visible",
+                        entry.submitted_at,
+                        vis,
+                    );
+                }
+            }
         }
     }
 
@@ -570,7 +734,7 @@ impl std::fmt::Debug for UpdateFeed {
         let state = self.shared.state.lock().expect("feed poisoned");
         f.debug_struct("UpdateFeed")
             .field("pending", &state.pending.len())
-            .field("stats", &state.stats)
+            .field("stats", &self.stats())
             .finish()
     }
 }

@@ -21,13 +21,15 @@ use crate::config::FleetConfig;
 use crate::feed::CoalescePolicy;
 use crate::router::{FleetRouter, FleetSession, FleetTicket, RouterCtx};
 use crate::server::RoadNetworkServer;
+use crate::slo::LatencyHistogram;
+use crate::telemetry::TelemetryHub;
 use htsp_graph::cow::CowStats;
 use htsp_graph::dimacs::{read_gr_file, DimacsError};
 use htsp_graph::{Dist, EdgeUpdate, Graph, VertexId};
 use htsp_partition::partition_region_growing;
 use htsp_psp::OverlayMaintainer;
 use std::path::Path;
-use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 /// A fleet of shard servers plus the front-end router over the boundary
 /// overlay. See the [module docs](self).
@@ -37,6 +39,7 @@ pub struct ShardedFleet {
     router: FleetRouter,
     servers: Vec<RoadNetworkServer>,
     config: FleetConfig,
+    hub: Arc<TelemetryHub>,
 }
 
 impl ShardedFleet {
@@ -45,6 +48,20 @@ impl ShardedFleet {
     ///
     /// The shard count is clamped to the number of vertices.
     pub fn start(graph: &Graph, config: FleetConfig) -> ShardedFleet {
+        ShardedFleet::start_with_telemetry(graph, config, Arc::new(TelemetryHub::new()))
+    }
+
+    /// Like [`ShardedFleet::start`], but registers the router tier's
+    /// `htsp_fleet_*` metrics and batch-stage spans on `hub` — pass the
+    /// deployment-wide hub so one snapshot covers routing next to the
+    /// serving and ingest metrics. Each shard *server* keeps its own
+    /// private hub (shards model separate machines); the fleet hub holds
+    /// the per-shard routing series instead.
+    pub fn start_with_telemetry(
+        graph: &Graph,
+        config: FleetConfig,
+        hub: Arc<TelemetryHub>,
+    ) -> ShardedFleet {
         let k = config.num_shards.clamp(1, graph.num_vertices().max(1));
         let partition = partition_region_growing(graph, k, config.seed);
         let core = OverlayMaintainer::build(graph.clone(), partition);
@@ -65,6 +82,7 @@ impl ShardedFleet {
             publishers: servers.iter().map(|s| s.publisher().clone()).collect(),
             policy: config.coalesce,
             ingest_bound: config.ingest_bound,
+            hub: Arc::clone(&hub),
         };
         let caches = servers.iter().map(|s| s.cache().cloned()).collect();
         let router = FleetRouter::spawn(core, ctx, caches);
@@ -72,7 +90,13 @@ impl ShardedFleet {
             router,
             servers,
             config,
+            hub,
         }
+    }
+
+    /// The fleet's telemetry hub (router-tier metrics and spans).
+    pub fn telemetry(&self) -> &Arc<TelemetryHub> {
+        &self.hub
     }
 
     /// Reads a DIMACS `.gr` network from `path` and starts a fleet over it.
@@ -137,7 +161,12 @@ impl ShardedFleet {
         num_workers: usize,
         policy: crate::admission::AdmissionPolicy,
     ) -> crate::service::DistanceService {
-        crate::service::DistanceService::for_fleet(self.query_handle(), num_workers, policy)
+        crate::service::DistanceService::for_fleet_with_telemetry(
+            self.query_handle(),
+            num_workers,
+            policy,
+            Arc::clone(&self.hub),
+        )
     }
 
     /// Forces a fleet batch boundary now.
@@ -190,12 +219,15 @@ impl ShardedFleet {
                     vertices,
                     edges,
                     boundary,
-                    local_queries: st.local_queries.load(Ordering::Relaxed),
-                    cross_queries: st.cross_queries.load(Ordering::Relaxed),
-                    updates_routed: st.updates_routed.load(Ordering::Relaxed),
-                    batches: st.batches.load(Ordering::Relaxed),
-                    visibility_lags: st.lags.lock().expect("telemetry poisoned").clone(),
-                    cow: *st.cow.lock().expect("telemetry poisoned"),
+                    local_queries: st.local_queries.get(),
+                    cross_queries: st.cross_queries.get(),
+                    updates_routed: st.updates_routed.get(),
+                    batches: st.batches.get(),
+                    visibility_lags: st.lags.snapshot(),
+                    cow: CowStats {
+                        chunks_cloned: st.cow_chunks.get(),
+                        bytes_cloned: st.cow_bytes.get(),
+                    },
                     cache: server.cache().map(|c| c.stats()),
                 }
             })
@@ -204,16 +236,16 @@ impl ShardedFleet {
             algorithm: self.algorithm(),
             num_shards: self.servers.len(),
             fleet_version: self.router.fleet_version(),
-            fleet_batches: tel.fleet_batches.load(Ordering::Relaxed),
-            boundary_updates: tel.boundary_updates.load(Ordering::Relaxed),
+            fleet_batches: tel.fleet_batches.get(),
+            boundary_updates: tel.boundary_updates.get(),
             overlay_vertices: topo.overlay_vertices,
             overlay_edges: topo.overlay_edges,
             balance: topo.balance,
             boundary_fraction: topo.boundary_fraction,
             ingest_depth: self.router.ingest_depth(),
             ingest_bound: self.router.ingest_bound(),
-            max_ingest_depth: tel.max_ingest_depth.load(Ordering::Relaxed),
-            updates_shed: tel.ingest_shed.load(Ordering::Relaxed),
+            max_ingest_depth: tel.ingest_depth.max(),
+            updates_shed: tel.ingest_shed.get(),
             elapsed,
             shards,
         }
@@ -256,8 +288,8 @@ pub struct ShardReport {
     pub updates_routed: u64,
     /// Update batches this shard repaired.
     pub batches: u64,
-    /// Submit-to-visible lag (seconds) of every update routed here.
-    pub visibility_lags: Vec<f64>,
+    /// Submit-to-visible lag of every update routed here.
+    pub visibility_lags: LatencyHistogram,
     /// Copy-on-write chunks/bytes the shard's repairs cloned.
     pub cow: CowStats,
     /// Result-cache counters, when the fleet runs a cache.
@@ -273,7 +305,7 @@ impl ShardReport {
     /// The `q`-th percentile (0..=1) of this shard's visibility lags, in
     /// seconds; 0.0 when no update was routed here.
     pub fn lag_percentile(&self, q: f64) -> f64 {
-        percentile(&self.visibility_lags, q)
+        self.visibility_lags.quantile_secs(q)
     }
 }
 
@@ -335,12 +367,11 @@ impl FleetReport {
     /// The `q`-th percentile (0..=1) of submit-to-visible lag across every
     /// update routed to any shard, in seconds.
     pub fn lag_percentile(&self, q: f64) -> f64 {
-        let merged: Vec<f64> = self
-            .shards
-            .iter()
-            .flat_map(|s| s.visibility_lags.iter().copied())
-            .collect();
-        percentile(&merged, q)
+        let mut merged = LatencyHistogram::new();
+        for s in &self.shards {
+            merged.merge(&s.visibility_lags);
+        }
+        merged.quantile_secs(q)
     }
 
     /// Result-cache counters summed over all shards
@@ -353,17 +384,4 @@ impl FleetReport {
             Some(CacheStats::merge(stats))
         }
     }
-}
-
-/// Nearest-rank percentile of an unsorted sample; 0.0 on an empty sample.
-fn percentile(samples: &[f64], q: f64) -> f64 {
-    if samples.is_empty() {
-        return 0.0;
-    }
-    let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("lag samples are finite"));
-    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize)
-        .saturating_sub(1)
-        .min(sorted.len() - 1);
-    sorted[rank]
 }

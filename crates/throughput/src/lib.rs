@@ -44,6 +44,14 @@
 //! queries exactly by concatenating shard boundary fans through one
 //! multi-source overlay search — see the [`fleet`] and [`router`] module
 //! docs.
+//!
+//! The **telemetry hub** ([`TelemetryHub`]) is the unified observability
+//! layer over all of the above: a metrics registry (counters, gauges,
+//! labeled latency histograms on the single [`LatencyHistogram`] quantile
+//! type) plus a bounded span recorder that follows each update and each
+//! query batch by trace id across every pipeline stage, exporting
+//! Prometheus text exposition and Chrome trace-event JSON — see the
+//! [`telemetry`] module docs.
 
 #![warn(missing_docs)]
 
@@ -61,6 +69,7 @@ pub mod server;
 pub mod service;
 pub mod simulator;
 pub mod slo;
+pub mod telemetry;
 
 pub use admission::{AdmissionPolicy, ServiceStats, ShutdownReport, SubmitOutcome};
 pub use cache::{CacheStats, CachedSession, DistanceCache};
@@ -72,8 +81,8 @@ pub use engine::{
 pub use feed::{CoalescePolicy, FeedStats, UpdateFeed, UpdateOutcome, UpdateTicket, Visibility};
 pub use fleet::{FleetReport, ShardReport, ShardedFleet};
 pub use loadgen::{
-    find_knee, ArrivalProcess, ClassReport, LoadProfile, LoadReport, OpenLoopStream, RequestClass,
-    RequestMix, ScheduledRequest,
+    find_knee, run_open_loop, run_open_loop_with_telemetry, ArrivalProcess, ClassReport,
+    LoadProfile, LoadReport, OpenLoopStream, RequestClass, RequestMix, ScheduledRequest,
 };
 pub use model::{lemma1_bound, staged_throughput, QueryStats};
 pub use registry::{AlgorithmKind, BuildParams};
@@ -82,3 +91,7 @@ pub use server::{RoadNetworkServer, ServerBuilder};
 pub use service::{BatchAnswer, BatchResult, BatchTicket, DistanceService, QueryBatch};
 pub use simulator::{BatchOutcome, QpsPoint, ThroughputHarness, ThroughputResult};
 pub use slo::{LatencyHistogram, SloCheck, SloTarget, SloVerdict};
+pub use telemetry::{
+    intern, validate_json, validate_prometheus, Counter, Gauge, Histogram, Reporter, SpanGuard,
+    TelemetryHub, TelemetrySnapshot,
+};

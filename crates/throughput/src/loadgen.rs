@@ -483,6 +483,49 @@ pub fn run_open_loop(
     profile: &LoadProfile,
     pool: &[Query],
 ) -> LoadReport {
+    run_open_loop_with_telemetry(service, profile, pool, None)
+}
+
+/// Like [`run_open_loop`], but additionally folds the run's per-class
+/// outcome into `hub` when one is given: each mix class contributes a
+/// `htsp_loadgen_latency_seconds{class=...}` histogram and
+/// `htsp_loadgen_{offered,answered,shed,expired}_total{class=...}`
+/// counters (plus an unlabeled `htsp_loadgen_abandoned_total`), so the
+/// load generator's view of the run sits in the same snapshot as the
+/// service's admission counters. Counters accumulate across runs on the
+/// same hub.
+pub fn run_open_loop_with_telemetry(
+    service: &DistanceService,
+    profile: &LoadProfile,
+    pool: &[Query],
+    hub: Option<&crate::telemetry::TelemetryHub>,
+) -> LoadReport {
+    let report = run_open_loop_inner(service, profile, pool);
+    if let Some(hub) = hub {
+        for c in &report.per_class {
+            let labels: &[(&str, &str)] = &[("class", c.class.label())];
+            hub.labeled_histogram("htsp_loadgen_latency_seconds", labels)
+                .merge_from(&c.latency);
+            hub.labeled_counter("htsp_loadgen_offered_total", labels)
+                .add(c.offered);
+            hub.labeled_counter("htsp_loadgen_answered_total", labels)
+                .add(c.answered);
+            hub.labeled_counter("htsp_loadgen_shed_total", labels)
+                .add(c.shed);
+            hub.labeled_counter("htsp_loadgen_expired_total", labels)
+                .add(c.expired);
+        }
+        hub.counter("htsp_loadgen_abandoned_total")
+            .add(report.abandoned);
+    }
+    report
+}
+
+fn run_open_loop_inner(
+    service: &DistanceService,
+    profile: &LoadProfile,
+    pool: &[Query],
+) -> LoadReport {
     let clients = profile.clients.max(1);
     let per_client = profile
         .arrivals

@@ -43,13 +43,13 @@
 use crate::cache::{CachedSession, DistanceCache};
 use crate::feed::CoalescePolicy;
 use crate::feed::{UpdateFeed, UpdateTicket};
-use htsp_graph::cow::CowStats;
+use crate::telemetry::{Counter, Gauge, Histogram, TelemetryHub};
 use htsp_graph::{
-    Dist, EdgeUpdate, Graph, QuerySession, QueryView, SnapshotPublisher, UpdateBatch, VertexId, INF,
+    Dist, EdgeUpdate, Graph, QuerySession, QueryView, SnapshotPublisher, TraceId, UpdateBatch,
+    VertexId, INF,
 };
 use htsp_psp::OverlayMaintainer;
 use htsp_search::{dijkstra_multi_source_ws, DijkstraWorkspace};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -130,25 +130,31 @@ impl FleetTopology {
 }
 
 /// Per-shard telemetry counters, written by sessions and the router thread.
+/// The handles are [`TelemetryHub`] metric types so the fleet's hub and the
+/// [`FleetReport`](crate::fleet::FleetReport) read the same atomics — one
+/// source of truth for router-tier telemetry.
 pub(crate) struct ShardTelemetry {
-    pub local_queries: AtomicU64,
-    pub cross_queries: AtomicU64,
-    pub updates_routed: AtomicU64,
-    pub batches: AtomicU64,
-    pub lags: Mutex<Vec<f64>>,
-    pub cow: Mutex<CowStats>,
+    pub local_queries: Counter,
+    pub cross_queries: Counter,
+    pub updates_routed: Counter,
+    pub batches: Counter,
+    /// Submit-to-visible lag of every update routed to this shard.
+    pub lags: Histogram,
+    pub cow_chunks: Counter,
+    pub cow_bytes: Counter,
 }
 
 /// Fleet-wide telemetry shared by router, sessions, and the report.
 pub(crate) struct FleetTelemetry {
     pub shards: Vec<ShardTelemetry>,
-    pub boundary_updates: AtomicU64,
-    pub fleet_batches: AtomicU64,
+    pub boundary_updates: Counter,
+    pub fleet_batches: Counter,
     /// Updates rejected by [`FleetRouter::try_submit`] at a full ingest
     /// queue.
-    pub ingest_shed: AtomicU64,
-    /// High-water mark of the ingest queue depth.
-    pub max_ingest_depth: AtomicU64,
+    pub ingest_shed: Counter,
+    /// Ingest queue depth; every `set` maintains the high-water mark, so
+    /// the report's max is the same `fetch_max` path as the gauge's.
+    pub ingest_depth: Gauge,
     pub started: Instant,
 }
 
@@ -157,20 +163,46 @@ impl FleetTelemetry {
         FleetTelemetry {
             shards: (0..k)
                 .map(|_| ShardTelemetry {
-                    local_queries: AtomicU64::new(0),
-                    cross_queries: AtomicU64::new(0),
-                    updates_routed: AtomicU64::new(0),
-                    batches: AtomicU64::new(0),
-                    lags: Mutex::new(Vec::new()),
-                    cow: Mutex::new(CowStats::default()),
+                    local_queries: Counter::new(),
+                    cross_queries: Counter::new(),
+                    updates_routed: Counter::new(),
+                    batches: Counter::new(),
+                    lags: Histogram::new(),
+                    cow_chunks: Counter::new(),
+                    cow_bytes: Counter::new(),
                 })
                 .collect(),
-            boundary_updates: AtomicU64::new(0),
-            fleet_batches: AtomicU64::new(0),
-            ingest_shed: AtomicU64::new(0),
-            max_ingest_depth: AtomicU64::new(0),
+            boundary_updates: Counter::new(),
+            fleet_batches: Counter::new(),
+            ingest_shed: Counter::new(),
+            ingest_depth: Gauge::new(),
             started: Instant::now(),
         }
+    }
+
+    /// Adopts every handle into `hub` as `htsp_fleet_*` series (per-shard
+    /// series labeled `shard="i"`).
+    fn register(&self, hub: &TelemetryHub) {
+        for (i, s) in self.shards.iter().enumerate() {
+            let shard = i.to_string();
+            let labels: &[(&str, &str)] = &[("shard", &shard)];
+            hub.register_counter("htsp_fleet_local_queries_total", labels, &s.local_queries);
+            hub.register_counter("htsp_fleet_cross_queries_total", labels, &s.cross_queries);
+            hub.register_counter("htsp_fleet_updates_routed_total", labels, &s.updates_routed);
+            hub.register_counter("htsp_fleet_shard_batches_total", labels, &s.batches);
+            hub.register_counter("htsp_fleet_cow_chunks_total", labels, &s.cow_chunks);
+            hub.register_counter("htsp_fleet_cow_bytes_total", labels, &s.cow_bytes);
+            hub.register_histogram("htsp_fleet_visibility_lag_seconds", labels, &s.lags);
+        }
+        let no_labels: &[(&str, &str)] = &[];
+        hub.register_counter(
+            "htsp_fleet_boundary_updates_total",
+            no_labels,
+            &self.boundary_updates,
+        );
+        hub.register_counter("htsp_fleet_epochs_total", no_labels, &self.fleet_batches);
+        hub.register_counter("htsp_fleet_ingest_shed_total", no_labels, &self.ingest_shed);
+        hub.register_gauge("htsp_fleet_ingest_depth", no_labels, &self.ingest_depth);
     }
 }
 
@@ -365,6 +397,9 @@ pub(crate) struct RouterCtx {
     pub publishers: Vec<Arc<SnapshotPublisher>>,
     pub policy: CoalescePolicy,
     pub ingest_bound: usize,
+    /// The fleet's telemetry hub: fleet metrics register here and the
+    /// router thread records its batch-stage spans into it.
+    pub hub: Arc<TelemetryHub>,
 }
 
 /// The ingest/query front-end of a
@@ -388,6 +423,7 @@ impl FleetRouter {
     ) -> Self {
         let topo = Arc::new(FleetTopology::build(&core));
         let telemetry = Arc::new(FleetTelemetry::new(topo.num_shards()));
+        telemetry.register(&ctx.hub);
         let initial = Arc::new(FleetEpoch {
             version: 0,
             global: Arc::new(core.partitioned.graph.clone()),
@@ -460,7 +496,7 @@ impl FleetRouter {
         {
             let mut state = self.shared.state.lock().expect("router poisoned");
             if !state.shutdown && state.pending_updates >= self.shared.ingest_bound {
-                self.telemetry.ingest_shed.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.ingest_shed.inc();
                 return None;
             }
             if state.shutdown {
@@ -482,9 +518,11 @@ impl FleetRouter {
     ) {
         state.oldest.get_or_insert(submitted_at);
         state.pending_updates += 1;
+        // The gauge's `set` is the single high-water-mark path; the report's
+        // `max_ingest_depth` reads it back.
         self.telemetry
-            .max_ingest_depth
-            .fetch_max(state.pending_updates as u64, Ordering::Relaxed);
+            .ingest_depth
+            .set(state.pending_updates as u64);
         state.pending.push(RouterEntry {
             update: Some(update),
             cell: Arc::clone(cell),
@@ -665,6 +703,8 @@ fn run_router(
         // The ingest queue was just drained: release submitters blocked on
         // the bound.
         shared.space.notify_all();
+        telemetry.ingest_depth.set(0);
+        let batch_started = Instant::now();
 
         // Classify every update, translate intra updates to shard-local edge
         // ids, and resolve each ticket's routed component.
@@ -688,12 +728,12 @@ fn run_router(
                 shard_updates[i].push(EdgeUpdate::new(le, u.old_weight, u.new_weight));
                 shard_entries[i].push(idx);
                 if p.partition.is_boundary(a) || p.partition.is_boundary(b) {
-                    telemetry.boundary_updates.fetch_add(1, Ordering::Relaxed);
+                    telemetry.boundary_updates.inc();
                 }
             } else {
                 // Inter-partition edge: no shard owns it; the overlay does.
                 entry.cell.resolve_routed(None, true);
-                telemetry.boundary_updates.fetch_add(1, Ordering::Relaxed);
+                telemetry.boundary_updates.inc();
             }
         }
 
@@ -717,13 +757,21 @@ fn run_router(
             flush_tickets[i] = Some(ctx.feeds[i].flush());
             telemetry.shards[i]
                 .updates_routed
-                .fetch_add(shard_entries[i].len() as u64, Ordering::Relaxed);
+                .add(shard_entries[i].len() as u64);
         }
 
         // Overlay maintenance on this thread while the shards repair.
         let batch = UpdateBatch::from_updates(updates);
         if !batch.is_empty() {
+            let overlay_started = Instant::now();
             core.apply(&batch);
+            ctx.hub.record_span(
+                TraceId::NONE,
+                "fleet",
+                "overlay_apply",
+                overlay_started,
+                Instant::now(),
+            );
         }
 
         // Wait for each touched shard's first publication and record the
@@ -732,9 +780,10 @@ fn run_router(
             if let Some(ticket) = &flush_tickets[i] {
                 ticket.wait_visible();
                 let now = Instant::now();
-                let mut lags = telemetry.shards[i].lags.lock().expect("telemetry poisoned");
                 for &idx in &shard_entries[i] {
-                    lags.push(now.duration_since(drained[idx].submitted_at).as_secs_f64());
+                    telemetry.shards[i]
+                        .lags
+                        .record(now.duration_since(drained[idx].submitted_at));
                 }
             }
         }
@@ -743,15 +792,17 @@ fn run_router(
         for (i, ticket) in flush_tickets.iter().enumerate() {
             if let Some(ticket) = ticket {
                 let outcome = ticket.wait_applied();
-                let mut cow = telemetry.shards[i].cow.lock().expect("telemetry poisoned");
-                *cow = cow.plus(outcome.cow);
-                telemetry.shards[i].batches.fetch_add(1, Ordering::Relaxed);
+                telemetry.shards[i]
+                    .cow_chunks
+                    .add(outcome.cow.chunks_cloned);
+                telemetry.shards[i].cow_bytes.add(outcome.cow.bytes_cloned);
+                telemetry.shards[i].batches.inc();
             }
         }
 
         // Publish the next fleet epoch: a mutually consistent capture.
         fleet_version += 1;
-        telemetry.fleet_batches.fetch_add(1, Ordering::Relaxed);
+        telemetry.fleet_batches.inc();
         let epoch = Arc::new(FleetEpoch {
             version: fleet_version,
             global: Arc::new(core.partitioned.graph.clone()),
@@ -764,6 +815,13 @@ fn run_router(
             *slot = epoch;
         }
         shared.epoch_cv.notify_all();
+        ctx.hub.record_span(
+            TraceId::NONE,
+            "fleet",
+            "epoch",
+            batch_started,
+            Instant::now(),
+        );
         for entry in &drained {
             entry.cell.resolve_epoch(fleet_version);
         }
@@ -873,16 +931,10 @@ impl FleetSession {
 
     fn count(&self, si: usize, ti: usize, pairs: u64) {
         if si == ti {
-            self.telemetry.shards[si]
-                .local_queries
-                .fetch_add(pairs, Ordering::Relaxed);
+            self.telemetry.shards[si].local_queries.add(pairs);
         } else {
-            self.telemetry.shards[si]
-                .cross_queries
-                .fetch_add(pairs, Ordering::Relaxed);
-            self.telemetry.shards[ti]
-                .cross_queries
-                .fetch_add(pairs, Ordering::Relaxed);
+            self.telemetry.shards[si].cross_queries.add(pairs);
+            self.telemetry.shards[ti].cross_queries.add(pairs);
         }
     }
 }

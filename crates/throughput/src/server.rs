@@ -29,6 +29,7 @@ use crate::config::CacheConfig;
 use crate::feed::{CoalescePolicy, UpdateFeed, UpdateTicket};
 use crate::registry::{AlgorithmKind, BuildParams};
 use crate::service::{BatchTicket, DistanceService, QueryBatch};
+use crate::telemetry::TelemetryHub;
 use htsp_graph::{
     Dist, EdgeUpdate, Graph, IndexMaintainer, QueryView, SnapshotPublisher, VertexId,
 };
@@ -46,6 +47,7 @@ pub struct ServerBuilder {
     query_workers: usize,
     cache: Option<CacheConfig>,
     admission: AdmissionPolicy,
+    telemetry: Option<Arc<TelemetryHub>>,
 }
 
 impl Default for ServerBuilder {
@@ -58,6 +60,7 @@ impl Default for ServerBuilder {
             query_workers: 0,
             cache: None,
             admission: AdmissionPolicy::Block,
+            telemetry: None,
         }
     }
 }
@@ -119,6 +122,15 @@ impl ServerBuilder {
         self
     }
 
+    /// Records the server's ingest, maintenance, publish, admission, and
+    /// cache telemetry into `hub` instead of a private hub — pass one hub to
+    /// every component of a deployment so a single
+    /// [`TelemetryHub::snapshot`] covers the whole pipeline.
+    pub fn telemetry(mut self, hub: Arc<TelemetryHub>) -> Self {
+        self.telemetry = Some(hub);
+        self
+    }
+
     /// Builds the index over `graph` (the expensive step, unless a
     /// maintainer was supplied), spawns the maintenance thread and the
     /// optional query workers, and returns the running server.
@@ -129,18 +141,26 @@ impl ServerBuilder {
         let algorithm = maintainer.name();
         let num_query_stages = maintainer.num_query_stages();
         let publisher = Arc::new(SnapshotPublisher::new(maintainer.current_view()));
+        let hub = self
+            .telemetry
+            .unwrap_or_else(|| Arc::new(TelemetryHub::new()));
         // The result cache, when enabled, hears about every publication
         // through the publisher's hook: each event folds into the cache's
         // epoch (monotonically, so racing publishers are harmless), which
         // is how a batch publish becomes the cache-invalidation boundary.
         let cache = self.cache.map(|config| {
             let cache = Arc::new(DistanceCache::new(config));
+            cache.register_metrics(&hub);
             let epoch_cache = Arc::clone(&cache);
             publisher.on_publish(move |event| epoch_cache.bump_epoch(event.version));
             cache
         });
         let shared_graph = Arc::new(RwLock::new(graph.clone()));
-        let feed = UpdateFeed::new(Arc::clone(&publisher), Arc::clone(&shared_graph));
+        let feed = UpdateFeed::new(
+            Arc::clone(&publisher),
+            Arc::clone(&shared_graph),
+            Arc::clone(&hub),
+        );
         let policy = self.policy;
         let maintenance = {
             let feed = feed.clone();
@@ -150,11 +170,12 @@ impl ServerBuilder {
                 .expect("spawn maintenance thread")
         };
         let service = (self.query_workers > 0).then(|| {
-            DistanceService::with_policy(
+            DistanceService::with_telemetry(
                 Arc::clone(&publisher),
                 self.query_workers,
                 cache.clone(),
                 self.admission,
+                Arc::clone(&hub),
             )
         });
         RoadNetworkServer {
@@ -166,6 +187,7 @@ impl ServerBuilder {
             cache,
             algorithm,
             num_query_stages,
+            hub,
         }
     }
 }
@@ -185,6 +207,7 @@ pub struct RoadNetworkServer {
     cache: Option<Arc<DistanceCache>>,
     algorithm: &'static str,
     num_query_stages: usize,
+    hub: Arc<TelemetryHub>,
 }
 
 impl RoadNetworkServer {
@@ -260,6 +283,12 @@ impl RoadNetworkServer {
     /// [`CachedSession`](crate::CachedSession) around this handle.
     pub fn cache(&self) -> Option<&Arc<DistanceCache>> {
         self.cache.as_ref()
+    }
+
+    /// The telemetry hub every component of this server records into
+    /// (snapshot it for the Prometheus / Chrome-trace exports).
+    pub fn telemetry(&self) -> &Arc<TelemetryHub> {
+        &self.hub
     }
 
     /// The batched query front-end, when the server was started with

@@ -48,9 +48,10 @@
 use crate::admission::{AdmissionPolicy, ServiceStats, ShutdownReport, SubmitOutcome};
 use crate::cache::{CachedSession, DistanceCache};
 use crate::router::FleetQueryHandle;
-use htsp_graph::{Dist, Query, QuerySession, SnapshotPublisher, VertexId};
+use crate::telemetry::{Counter, Gauge, Histogram, TelemetryHub};
+use htsp_graph::{Dist, Query, QuerySession, SnapshotPublisher, TraceId, VertexId};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -310,6 +311,11 @@ struct Job {
     /// `generated_at + budget` under a [`AdmissionPolicy::Deadline`];
     /// `None` otherwise.
     deadline: Option<Instant>,
+    /// The trace id minted at submission; every span of this batch's trip
+    /// through queue and execution carries it.
+    trace: TraceId,
+    /// When the batch entered the queue (its `query.queue` span start).
+    accepted_at: Instant,
 }
 
 /// What the workers answer from: a single server's publisher, or a whole
@@ -325,17 +331,40 @@ enum Backend {
     Fleet(FleetQueryHandle),
 }
 
-#[derive(Default)]
-struct StatCounters {
-    submitted: AtomicU64,
-    accepted: AtomicU64,
-    shed: AtomicU64,
-    expired_at_submit: AtomicU64,
-    expired_in_queue: AtomicU64,
-    abandoned: AtomicU64,
-    answered: AtomicU64,
-    answered_pairs: AtomicU64,
-    max_queue_depth: AtomicU64,
+/// The service's registered metric handles. [`ServiceStats`] is a read-out
+/// of these registry series — the registry is the single source of truth.
+struct ServiceMetrics {
+    submitted: Counter,
+    accepted: Counter,
+    shed: Counter,
+    expired_at_submit: Counter,
+    expired_in_queue: Counter,
+    abandoned: Counter,
+    answered: Counter,
+    answered_pairs: Counter,
+    /// Queue depth after every push/pop; its high-water mark (folded by the
+    /// gauge's single `fetch_max` path) is `ServiceStats::max_queue_depth`.
+    queue_depth: Gauge,
+    queue_wait: Histogram,
+    execute: Histogram,
+}
+
+impl ServiceMetrics {
+    fn register(hub: &TelemetryHub) -> Self {
+        ServiceMetrics {
+            submitted: hub.counter("htsp_admission_submitted_total"),
+            accepted: hub.counter("htsp_admission_accepted_total"),
+            shed: hub.counter("htsp_admission_shed_total"),
+            expired_at_submit: hub.counter("htsp_admission_expired_at_submit_total"),
+            expired_in_queue: hub.counter("htsp_admission_expired_in_queue_total"),
+            abandoned: hub.counter("htsp_admission_abandoned_total"),
+            answered: hub.counter("htsp_admission_answered_total"),
+            answered_pairs: hub.counter("htsp_admission_answered_pairs_total"),
+            queue_depth: hub.gauge("htsp_admission_queue_depth"),
+            queue_wait: hub.histogram("htsp_query_queue_seconds"),
+            execute: hub.histogram("htsp_query_execute_seconds"),
+        }
+    }
 }
 
 struct Shared {
@@ -344,7 +373,8 @@ struct Shared {
     queue: Mutex<VecDeque<Job>>,
     available: Condvar,
     shutdown: AtomicBool,
-    stats: StatCounters,
+    hub: Arc<TelemetryHub>,
+    stats: ServiceMetrics,
 }
 
 impl Shared {
@@ -353,6 +383,7 @@ impl Shared {
         let mut queue = self.queue.lock().expect("service queue poisoned");
         loop {
             if let Some(job) = queue.pop_front() {
+                self.stats.queue_depth.set(queue.len() as u64);
                 return Some(job);
             }
             if self.shutdown.load(Ordering::Acquire) {
@@ -363,10 +394,12 @@ impl Shared {
     }
 
     fn try_pop(&self) -> Option<Job> {
-        self.queue
-            .lock()
-            .expect("service queue poisoned")
-            .pop_front()
+        let mut queue = self.queue.lock().expect("service queue poisoned");
+        let job = queue.pop_front();
+        if job.is_some() {
+            self.stats.queue_depth.set(queue.len() as u64);
+        }
+        job
     }
 
     /// Serves one popped job: discards it unexecuted when its deadline has
@@ -379,17 +412,28 @@ impl Shared {
         algorithm: &'static str,
         job: Job,
     ) {
-        if job.deadline.is_some_and(|d| Instant::now() >= d) {
-            self.stats.expired_in_queue.fetch_add(1, Ordering::Relaxed);
+        let popped_at = Instant::now();
+        self.stats
+            .queue_wait
+            .record(popped_at.saturating_duration_since(job.accepted_at));
+        self.hub
+            .record_span(job.trace, "query", "queue", job.accepted_at, popped_at);
+        if job.deadline.is_some_and(|d| popped_at >= d) {
+            self.stats.expired_in_queue.inc();
+            self.hub
+                .record_event(job.trace, "query", "expired", popped_at);
             let _ = job.reply.send(BatchResult::Expired);
             return;
         }
         let pairs = job.batch.num_pairs() as u64;
         let reply = answer(session, version, stage, algorithm, &job.batch);
-        self.stats.answered.fetch_add(1, Ordering::Relaxed);
         self.stats
-            .answered_pairs
-            .fetch_add(pairs, Ordering::Relaxed);
+            .execute
+            .record(reply.answered_at.saturating_duration_since(popped_at));
+        self.hub
+            .record_span(job.trace, "query", "execute", popped_at, reply.answered_at);
+        self.stats.answered.inc();
+        self.stats.answered_pairs.add(pairs);
         // A closed receiver just means the client lost interest.
         let _ = job.reply.send(BatchResult::Answered(reply));
     }
@@ -441,6 +485,7 @@ fn worker_loop(shared: &Shared) {
                 // wrapped so repeated pairs skip the search; the wrapper
                 // carries the pinned version, so a cached answer can never
                 // cross a publication boundary.
+                let pin_start = Instant::now();
                 let (pinned_version, view) = publisher.versioned_snapshot();
                 let mut session: Box<dyn QuerySession + '_> = match cache {
                     Some(cache) => {
@@ -450,6 +495,9 @@ fn worker_loop(shared: &Shared) {
                 };
                 let stage = view.stage();
                 let algorithm = view.algorithm();
+                shared
+                    .hub
+                    .record_span(TraceId::NONE, "query", "pin", pin_start, Instant::now());
                 let mut job = job;
                 loop {
                     shared.serve(&mut *session, pinned_version, stage, algorithm, job);
@@ -474,8 +522,12 @@ fn worker_loop(shared: &Shared) {
                 // Same pin/drain/re-pin protocol over fleet epochs: one
                 // FleetSession (a mutually consistent set of shard views +
                 // overlay) held while the fleet version is unchanged.
+                let pin_start = Instant::now();
                 let mut session = handle.session();
                 let pinned_version = session.fleet_version();
+                shared
+                    .hub
+                    .record_span(TraceId::NONE, "query", "pin", pin_start, Instant::now());
                 let mut job = job;
                 loop {
                     shared.serve(&mut session, pinned_version, 0, "fleet", job);
@@ -532,7 +584,32 @@ impl DistanceService {
         cache: Option<Arc<DistanceCache>>,
         policy: AdmissionPolicy,
     ) -> Self {
-        DistanceService::spawn(Backend::Single { publisher, cache }, num_workers, policy)
+        DistanceService::with_telemetry(
+            publisher,
+            num_workers,
+            cache,
+            policy,
+            Arc::new(TelemetryHub::new()),
+        )
+    }
+
+    /// Like [`DistanceService::with_policy`], but admission counters, queue
+    /// gauges, latency histograms, and query spans land in `hub` — the hub a
+    /// deployment shares across its server, feed, cache, and load generator
+    /// so one [`TelemetryHub::snapshot`] covers the whole pipeline.
+    pub fn with_telemetry(
+        publisher: Arc<SnapshotPublisher>,
+        num_workers: usize,
+        cache: Option<Arc<DistanceCache>>,
+        policy: AdmissionPolicy,
+        hub: Arc<TelemetryHub>,
+    ) -> Self {
+        DistanceService::spawn(
+            Backend::Single { publisher, cache },
+            num_workers,
+            policy,
+            hub,
+        )
     }
 
     /// Starts a service whose workers answer batches through
@@ -544,17 +621,40 @@ impl DistanceService {
         num_workers: usize,
         policy: AdmissionPolicy,
     ) -> Self {
-        DistanceService::spawn(Backend::Fleet(handle), num_workers, policy)
+        DistanceService::for_fleet_with_telemetry(
+            handle,
+            num_workers,
+            policy,
+            Arc::new(TelemetryHub::new()),
+        )
     }
 
-    fn spawn(backend: Backend, num_workers: usize, policy: AdmissionPolicy) -> Self {
+    /// [`DistanceService::for_fleet`] with an explicit shared hub (normally
+    /// the fleet's own, so service and router metrics land together).
+    pub fn for_fleet_with_telemetry(
+        handle: FleetQueryHandle,
+        num_workers: usize,
+        policy: AdmissionPolicy,
+        hub: Arc<TelemetryHub>,
+    ) -> Self {
+        DistanceService::spawn(Backend::Fleet(handle), num_workers, policy, hub)
+    }
+
+    fn spawn(
+        backend: Backend,
+        num_workers: usize,
+        policy: AdmissionPolicy,
+        hub: Arc<TelemetryHub>,
+    ) -> Self {
+        let stats = ServiceMetrics::register(&hub);
         let shared = Arc::new(Shared {
             backend,
             policy,
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
-            stats: StatCounters::default(),
+            hub,
+            stats,
         });
         let workers = (0..num_workers.max(1))
             .map(|i| {
@@ -597,12 +697,16 @@ impl DistanceService {
     /// long ago may be `Expired` on arrival.
     pub fn try_submit_at(&self, batch: QueryBatch, generated_at: Instant) -> SubmitOutcome {
         let stats = &self.shared.stats;
-        stats.submitted.fetch_add(1, Ordering::Relaxed);
+        let hub = &self.shared.hub;
+        let trace = TraceId::next();
+        stats.submitted.inc();
+        hub.record_event(trace, "query", "submit", generated_at);
         let deadline = match self.shared.policy {
             AdmissionPolicy::Deadline { budget } => {
                 let deadline = generated_at + budget;
                 if Instant::now() >= deadline {
-                    stats.expired_at_submit.fetch_add(1, Ordering::Relaxed);
+                    stats.expired_at_submit.inc();
+                    hub.record_event(trace, "query", "expired", Instant::now());
                     return SubmitOutcome::Expired;
                 }
                 Some(deadline)
@@ -614,7 +718,8 @@ impl DistanceService {
             let mut queue = self.shared.queue.lock().expect("service queue poisoned");
             if let AdmissionPolicy::Shed { max_depth } = self.shared.policy {
                 if queue.len() >= max_depth {
-                    stats.shed.fetch_add(1, Ordering::Relaxed);
+                    stats.shed.inc();
+                    hub.record_event(trace, "query", "shed", Instant::now());
                     return SubmitOutcome::Shed;
                 }
             }
@@ -622,12 +727,15 @@ impl DistanceService {
                 batch,
                 reply: tx,
                 deadline,
+                trace,
+                accepted_at: generated_at,
             });
-            stats
-                .max_queue_depth
-                .fetch_max(queue.len() as u64, Ordering::Relaxed);
+            // The gauge's `set` both stores the live depth and folds the
+            // high-water mark through its single `fetch_max` path, so
+            // racing submitters can never under-report the maximum.
+            stats.queue_depth.set(queue.len() as u64);
         }
-        stats.accepted.fetch_add(1, Ordering::Relaxed);
+        stats.accepted.inc();
         self.shared.available.notify_one();
         SubmitOutcome::Accepted(BatchTicket::new(rx))
     }
@@ -646,26 +754,33 @@ impl DistanceService {
         self.shared.policy
     }
 
-    /// Snapshot of the admission/execution counters and queue depth.
+    /// Snapshot of the admission/execution counters and queue depth, read
+    /// straight from the telemetry registry (the single source of truth —
+    /// the same series the Prometheus export renders).
     pub fn stats(&self) -> ServiceStats {
         let stats = &self.shared.stats;
         ServiceStats {
-            submitted: stats.submitted.load(Ordering::Relaxed),
-            accepted: stats.accepted.load(Ordering::Relaxed),
-            shed: stats.shed.load(Ordering::Relaxed),
-            expired_at_submit: stats.expired_at_submit.load(Ordering::Relaxed),
-            expired_in_queue: stats.expired_in_queue.load(Ordering::Relaxed),
-            abandoned: stats.abandoned.load(Ordering::Relaxed),
-            answered: stats.answered.load(Ordering::Relaxed),
-            answered_pairs: stats.answered_pairs.load(Ordering::Relaxed),
+            submitted: stats.submitted.get(),
+            accepted: stats.accepted.get(),
+            shed: stats.shed.get(),
+            expired_at_submit: stats.expired_at_submit.get(),
+            expired_in_queue: stats.expired_in_queue.get(),
+            abandoned: stats.abandoned.get(),
+            answered: stats.answered.get(),
+            answered_pairs: stats.answered_pairs.get(),
             queue_depth: self
                 .shared
                 .queue
                 .lock()
                 .expect("service queue poisoned")
                 .len(),
-            max_queue_depth: stats.max_queue_depth.load(Ordering::Relaxed) as usize,
+            max_queue_depth: stats.queue_depth.max() as usize,
         }
+    }
+
+    /// The telemetry hub this service records into.
+    pub fn telemetry(&self) -> &Arc<TelemetryHub> {
+        &self.shared.hub
     }
 
     /// The publisher this service serves from (hand it to the maintainer).
@@ -710,12 +825,18 @@ impl DistanceService {
             if drain {
                 (queue.len(), Vec::new())
             } else {
-                (0, queue.drain(..).collect::<Vec<Job>>())
+                let jobs: Vec<Job> = queue.drain(..).collect();
+                self.shared.stats.queue_depth.set(0);
+                (0, jobs)
             }
         };
         let abandoned_count = abandoned.len();
+        let now = Instant::now();
         for job in abandoned {
-            self.shared.stats.abandoned.fetch_add(1, Ordering::Relaxed);
+            self.shared.stats.abandoned.inc();
+            self.shared
+                .hub
+                .record_event(job.trace, "query", "abandoned", now);
             let _ = job.reply.send(BatchResult::Abandoned);
         }
         self.shared.available.notify_all();
@@ -1019,5 +1140,143 @@ mod tests {
         assert_eq!(answered + abandoned, tickets.len());
         assert_eq!(report.abandoned, abandoned);
         assert_eq!(report.drained, 0);
+    }
+
+    #[test]
+    fn spans_stay_balanced_under_concurrent_shed_and_expired_load() {
+        use crate::telemetry::{validate_json, validate_prometheus, TelemetryHub};
+        let g = grid(8, 8, WeightRange::new(1, 20), 9);
+        let idx = DchBaseline::build(&g);
+        let publisher = Arc::new(SnapshotPublisher::new(idx.current_view()));
+        let hub = Arc::new(TelemetryHub::new());
+
+        // Concurrent submitters against one worker and a depth bound of 1:
+        // many batches shed, the rest are answered — every accepted batch
+        // must close its queue and execute spans exactly once.
+        let shedding = DistanceService::with_telemetry(
+            Arc::clone(&publisher),
+            1,
+            None,
+            AdmissionPolicy::Shed { max_depth: 1 },
+            Arc::clone(&hub),
+        );
+        let qs = QuerySet::random(&g, 32, 7);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        let batch = QueryBatch::PointToPoint(qs.as_slice().to_vec());
+                        if let SubmitOutcome::Accepted(t) = shedding.try_submit(batch) {
+                            let _ = t.wait_result();
+                        }
+                    }
+                });
+            }
+        });
+        let shed_stats = shedding.stats();
+        assert!(
+            shed_stats.shed > 0,
+            "the tight bound must shed under a 4-way burst"
+        );
+        shedding.shutdown();
+
+        // The expired-at-submit path is deterministic: a request generated
+        // well past its deadline budget is refused before it is enqueued.
+        let deadline = DistanceService::with_telemetry(
+            Arc::clone(&publisher),
+            1,
+            None,
+            AdmissionPolicy::Deadline {
+                budget: Duration::from_millis(5),
+            },
+            Arc::clone(&hub),
+        );
+        let q = QueryBatch::PointToPoint(vec![Query::new(VertexId(0), VertexId(63))]);
+        let stale = Instant::now()
+            .checked_sub(Duration::from_millis(50))
+            .expect("process uptime exceeds 50ms");
+        for _ in 0..8 {
+            match deadline.try_submit_at(q.clone(), stale) {
+                SubmitOutcome::Expired => {}
+                SubmitOutcome::Accepted(t) => {
+                    let _ = t.wait_result();
+                }
+                SubmitOutcome::Shed => panic!("no shed policy in force"),
+            }
+        }
+        // Best-effort exercise of the expired-in-queue path: a burst of
+        // fresh requests whose budget may lapse while queued.
+        let pending: Vec<BatchTicket> = (0..16)
+            .filter_map(|_| deadline.try_submit(q.clone()).ticket())
+            .collect();
+        for t in pending {
+            let _ = t.wait_result();
+        }
+        assert!(deadline.stats().expired_at_submit > 0);
+        deadline.shutdown();
+
+        let snap = hub.snapshot();
+        assert!(snap.spans_opened > 0);
+        assert!(
+            snap.spans_balanced(),
+            "{} spans opened vs {} closed",
+            snap.spans_opened,
+            snap.spans_closed
+        );
+        validate_prometheus(&snap.prometheus).expect("valid exposition");
+        validate_json(&snap.chrome_trace).expect("valid trace JSON");
+    }
+
+    #[test]
+    fn telemetry_overhead_stays_within_the_five_percent_qps_budget() {
+        use crate::telemetry::TelemetryHub;
+        let g = grid(16, 16, WeightRange::new(1, 40), 2);
+        let idx = DchBaseline::build(&g);
+        let publisher = Arc::new(SnapshotPublisher::new(idx.current_view()));
+        let pool: Vec<Query> = QuerySet::random(&g, 64, 3).as_slice().to_vec();
+
+        let qps = |hub: Arc<TelemetryHub>| -> f64 {
+            let service = DistanceService::with_telemetry(
+                Arc::clone(&publisher),
+                1,
+                None,
+                AdmissionPolicy::Block,
+                hub,
+            );
+            for chunk in pool.chunks(8).take(4) {
+                service.answer(QueryBatch::PointToPoint(chunk.to_vec()));
+            }
+            let iters = 300usize;
+            let start = Instant::now();
+            for i in 0..iters {
+                let off = (i * 8) % 56;
+                let chunk = &pool[off..off + 8];
+                service.answer(QueryBatch::PointToPoint(chunk.to_vec()));
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            service.shutdown();
+            (iters * 8) as f64 / elapsed
+        };
+
+        // Best-of-3 per side, with whole-comparison retries: shared CI
+        // machines jitter far more than the budget being measured, so one
+        // clean round is enough to show the instrumented path keeps pace.
+        let mut ok = false;
+        for _ in 0..5 {
+            let disabled = (0..3)
+                .map(|_| qps(Arc::new(TelemetryHub::disabled())))
+                .fold(0.0f64, f64::max);
+            let enabled = (0..3)
+                .map(|_| qps(Arc::new(TelemetryHub::new())))
+                .fold(0.0f64, f64::max);
+            if enabled >= 0.95 * disabled {
+                ok = true;
+                break;
+            }
+        }
+        assert!(
+            ok,
+            "telemetry overhead exceeded the 5% closed-loop QPS budget"
+        );
     }
 }

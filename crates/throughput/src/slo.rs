@@ -30,7 +30,7 @@ const NUM_BUCKETS: usize = (63 - SUB_BITS as usize) * SUB_BUCKETS + SUB_BUCKETS 
 /// Values are recorded in nanoseconds; sub-nanosecond durations land in the
 /// first bucket. The histogram is cheap to merge, so per-thread instances
 /// can be folded into a run-wide one.
-#[derive(Clone)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct LatencyHistogram {
     counts: Vec<u64>,
     total: u64,
@@ -93,6 +93,15 @@ impl LatencyHistogram {
         self.max_ns = self.max_ns.max(ns);
     }
 
+    /// Records one latency sample given in (non-negative, finite) seconds.
+    /// Negative or non-finite values are clamped to zero; values past
+    /// ~584 years saturate at `u64::MAX` nanoseconds.
+    pub fn record_secs(&mut self, secs: f64) {
+        let secs = if secs.is_finite() { secs.max(0.0) } else { 0.0 };
+        let ns = (secs * 1e9).min(u64::MAX as f64) as u64;
+        self.record_ns(ns);
+    }
+
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
         self.total
@@ -132,6 +141,32 @@ impl LatencyHistogram {
             }
         }
         Duration::from_nanos(self.max_ns)
+    }
+
+    /// The `q`-th quantile in seconds — the floating-point twin of
+    /// [`quantile`](Self::quantile), for reports that carry lags as `f64`
+    /// seconds.
+    pub fn quantile_secs(&self, q: f64) -> f64 {
+        self.quantile(q).as_secs_f64()
+    }
+
+    /// Sum of all recorded samples in nanoseconds (the Prometheus
+    /// histogram `_sum` series).
+    pub fn sum_ns(&self) -> u128 {
+        self.sum_ns
+    }
+
+    /// The non-empty buckets as `(upper_bound_ns, count)` pairs in
+    /// ascending bound order — what an exporter needs to emit cumulative
+    /// `_bucket{le=...}` series without walking the (mostly zero) full
+    /// bucket array.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(idx, &c)| (Self::bucket_upper_bound(idx), c))
+            .collect()
     }
 
     /// Folds `other` into `self` (for per-thread histogram aggregation).
