@@ -21,8 +21,8 @@
 
 use htsp_ch::{ChQuery, ChQuerySession, ContractionHierarchy, OrderingStrategy, ShortcutMode};
 use htsp_graph::{
-    Dist, FallbackSession, Graph, IndexMaintainer, QuerySession, QueryView, ScratchPool,
-    SnapshotPublisher, UpdateBatch, UpdateTimeline, VertexId,
+    ByteReader, ByteWriter, Dist, FallbackSession, Graph, IndexMaintainer, QuerySession, QueryView,
+    ScratchPool, SnapshotError, SnapshotPublisher, UpdateBatch, UpdateTimeline, VertexId,
 };
 use htsp_search::{BiDijkstra, BiDijkstraSession};
 use htsp_td::H2HIndex;
@@ -170,6 +170,30 @@ impl DchBaseline {
             scratch: ch_query_pool(graph.num_vertices()),
         }
     }
+
+    /// Warm restart: reassembles the baseline from `graph` and a hierarchy
+    /// section previously produced by `snapshot_state`, skipping contraction.
+    pub fn from_state(graph: &Graph, state: &[u8]) -> Result<Self, SnapshotError> {
+        let ch = ContractionHierarchy::from_snapshot_bytes(state)?;
+        check_vertex_count(ch.num_vertices(), graph)?;
+        Ok(DchBaseline {
+            graph: Arc::new(graph.clone()),
+            ch: Arc::new(ch),
+            scratch: ch_query_pool(graph.num_vertices()),
+        })
+    }
+}
+
+/// Rejects an index state whose vertex count disagrees with the graph it is
+/// being restored against.
+fn check_vertex_count(index_n: usize, graph: &Graph) -> Result<(), SnapshotError> {
+    if index_n != graph.num_vertices() {
+        return Err(SnapshotError::Malformed(format!(
+            "index state covers {index_n} vertices but the graph has {}",
+            graph.num_vertices()
+        )));
+    }
+    Ok(())
 }
 
 impl IndexMaintainer for DchBaseline {
@@ -202,6 +226,14 @@ impl IndexMaintainer for DchBaseline {
 
     fn index_size_bytes(&self) -> usize {
         self.ch.index_size_bytes()
+    }
+
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        Some(self.ch.to_snapshot_bytes())
+    }
+
+    fn storage_bytes(&self) -> Vec<(&'static str, usize)> {
+        vec![("ch_shortcuts", self.ch.heap_bytes())]
     }
 }
 
@@ -253,6 +285,18 @@ impl Dh2hBaseline {
             h2h: Arc::new(H2HIndex::build(graph)),
         }
     }
+
+    /// Warm restart: reassembles the baseline from `graph` and an H2H
+    /// section previously produced by `snapshot_state`, skipping both
+    /// contraction and label construction.
+    pub fn from_state(graph: &Graph, state: &[u8]) -> Result<Self, SnapshotError> {
+        let h2h = H2HIndex::from_snapshot_bytes(state)?;
+        check_vertex_count(h2h.decomposition().num_vertices(), graph)?;
+        Ok(Dh2hBaseline {
+            graph: Arc::new(graph.clone()),
+            h2h: Arc::new(h2h),
+        })
+    }
 }
 
 impl IndexMaintainer for Dh2hBaseline {
@@ -287,6 +331,20 @@ impl IndexMaintainer for Dh2hBaseline {
 
     fn index_size_bytes(&self) -> usize {
         self.h2h.index_size_bytes()
+    }
+
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        Some(self.h2h.to_snapshot_bytes())
+    }
+
+    fn storage_bytes(&self) -> Vec<(&'static str, usize)> {
+        vec![
+            ("h2h_labels", self.h2h.label_heap_bytes()),
+            (
+                "ch_shortcuts",
+                self.h2h.decomposition().hierarchy().heap_bytes(),
+            ),
+        ]
     }
 }
 
@@ -332,6 +390,27 @@ impl ToainBaseline {
         )
     }
 
+    /// Warm restart: reassembles the baseline from `graph` and a state blob
+    /// previously produced by `snapshot_state` (level cap + hierarchy).
+    pub fn from_state(graph: &Graph, state: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = ByteReader::new(state);
+        let level_cap = r.get_u64("toain level cap")? as usize;
+        let ch = ContractionHierarchy::decode_from(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(SnapshotError::Malformed(format!(
+                "{} trailing bytes after toain state",
+                r.remaining()
+            )));
+        }
+        check_vertex_count(ch.num_vertices(), graph)?;
+        Ok(ToainBaseline {
+            graph: Arc::new(graph.clone()),
+            ch: Arc::new(ch),
+            scratch: ch_query_pool(graph.num_vertices()),
+            level_cap,
+        })
+    }
+
     /// Approximate index size in bytes.
     pub fn index_size_bytes(&self) -> usize {
         self.ch.index_size_bytes()
@@ -370,6 +449,17 @@ impl IndexMaintainer for ToainBaseline {
 
     fn index_size_bytes(&self) -> usize {
         self.ch.index_size_bytes()
+    }
+
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        let mut w = ByteWriter::new();
+        w.put_u64(self.level_cap as u64);
+        self.ch.encode_into(&mut w);
+        Some(w.into_bytes())
+    }
+
+    fn storage_bytes(&self) -> Vec<(&'static str, usize)> {
+        vec![("ch_shortcuts", self.ch.heap_bytes())]
     }
 }
 
@@ -443,6 +533,60 @@ mod tests {
         let small = ToainBaseline::build(&g, 2);
         let large = ToainBaseline::build(&g, 256);
         assert!(small.index_size_bytes() >= large.index_size_bytes());
+    }
+
+    #[test]
+    fn warm_restart_round_trip_matches_cold_build() {
+        let g = grid(8, 8, WeightRange::new(1, 20), 8);
+        let qs = QuerySet::random(&g, 60, 44);
+        let check = |idx: &dyn IndexMaintainer| {
+            let view = idx.current_view();
+            for q in &qs {
+                assert_eq!(
+                    view.distance(q.source, q.target),
+                    dijkstra_distance(&g, q.source, q.target),
+                    "{} warm restart mismatch for {q:?}",
+                    idx.name()
+                );
+            }
+        };
+        let dch = DchBaseline::build(&g);
+        let state = IndexMaintainer::snapshot_state(&dch).expect("dch state");
+        check(&DchBaseline::from_state(&g, &state).expect("dch restore"));
+
+        let dh2h = Dh2hBaseline::build(&g);
+        let state = IndexMaintainer::snapshot_state(&dh2h).expect("dh2h state");
+        check(&Dh2hBaseline::from_state(&g, &state).expect("dh2h restore"));
+
+        let toain = ToainBaseline::build(&g, 64);
+        let state = IndexMaintainer::snapshot_state(&toain).expect("toain state");
+        let restored = ToainBaseline::from_state(&g, &state).expect("toain restore");
+        assert_eq!(restored.level_cap, 64);
+        check(&restored);
+
+        // A state for the wrong graph is rejected, not applied.
+        let other = grid(5, 5, WeightRange::new(1, 9), 1);
+        let state = IndexMaintainer::snapshot_state(&dch).unwrap();
+        assert!(matches!(
+            DchBaseline::from_state(&other, &state),
+            Err(SnapshotError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn storage_bytes_reports_components() {
+        let g = grid(6, 6, WeightRange::new(1, 9), 2);
+        let dch = DchBaseline::build(&g);
+        let parts = IndexMaintainer::storage_bytes(&dch);
+        assert_eq!(parts[0].0, "ch_shortcuts");
+        assert!(parts[0].1 > 0);
+        let dh2h = Dh2hBaseline::build(&g);
+        let parts = IndexMaintainer::storage_bytes(&dh2h);
+        assert_eq!(parts.len(), 2);
+        assert!(parts.iter().all(|&(_, b)| b > 0));
+        // BiDijkstra keeps no index state to snapshot.
+        let bidij = BiDijkstraBaseline::new(&g);
+        assert!(IndexMaintainer::snapshot_state(&bidij).is_none());
     }
 
     #[test]

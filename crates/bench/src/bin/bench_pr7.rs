@@ -182,6 +182,7 @@ fn measure(
         duration: cfg.window,
         seed,
         slo: SloTarget::p95(cfg.slo),
+        pacer: htsp_throughput::Pacer::default(),
     };
     let stop = AtomicBool::new(false);
     let report = std::thread::scope(|scope| {

@@ -1,0 +1,414 @@
+//! `bench-pr9` — emits `BENCH_pr9.json`: the large-graph storage &
+//! persistence benchmark.
+//!
+//! Three sections, each with a hard exactness gate:
+//!
+//! * **streaming ingest** — a ≥1M-edge grid is written to DIMACS `.gr` and
+//!   streamed back through [`load_dimacs_streaming_file`] into the flat
+//!   [`CsrGraph`] (no adjacency-list intermediate). The section records
+//!   ingest throughput and the per-component heap footprint, and asserts
+//!   that the per-block u16 weight quantization is **lossless** (every edge
+//!   weight identical to the source) while shrinking weight storage at
+//!   least 2× against a plain `u64`-per-arc layout.
+//! * **warm restart** — for each algorithm with a native snapshot codec
+//!   (DCH, TOAIN, DH2H, MHL), a server is cold-built, snapshotted through
+//!   [`RoadNetworkServer::save_snapshot`], and restarted through
+//!   [`htsp_throughput::ServerBuilder::start_from_snapshot`]; restored
+//!   answers must equal
+//!   the pre-snapshot answers and a Dijkstra ground truth, and in full
+//!   mode at least two algorithms must restart ≥10× faster than they
+//!   cold-build.
+//! * **serving** — a restored server answers a closed query loop while the
+//!   `htsp_storage_bytes{component=...}` gauges report the live memory
+//!   split, so QPS and bytes land side by side in the JSON; the Prometheus
+//!   export is validated and must carry the storage gauges.
+//!
+//! `--smoke` streams the bundled `fixtures/smoke.gr` (comments and blank
+//! lines interspersed) instead of generating the large grid, also routes it
+//! through [`ShardedFleet::from_dimacs`], and keeps every exactness gate
+//! while dropping the wall-clock ones (CI boxes are too noisy to gate on
+//! timing).
+//!
+//! Usage: `cargo run --release -p htsp-bench --bin bench-pr9 [--smoke] [output.json]`
+
+use htsp_bench::json::Json;
+use htsp_graph::dimacs::{load_dimacs_streaming_file, write_gr_file};
+use htsp_graph::{gen, CsrGraph, Graph, QuerySet};
+use htsp_search::dijkstra_distance;
+use htsp_throughput::{
+    validate_prometheus, AlgorithmKind, BuildParams, CoalescePolicy, FleetConfig,
+    RoadNetworkServer, ShardedFleet, STORAGE_BYTES_METRIC,
+};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+struct BenchConfig {
+    smoke: bool,
+    /// Grid side for the streaming-ingest section (full mode only; smoke
+    /// streams the bundled fixture instead).
+    ingest_side: usize,
+    /// Grid side for the warm-restart and serving sections.
+    restart_side: usize,
+    /// Algorithms measured in the warm-restart section.
+    algorithms: Vec<AlgorithmKind>,
+    /// Sampled point-to-point pairs per exactness gate.
+    verify_pairs: usize,
+    /// Closed-loop query window for the serving section.
+    qps_window: Duration,
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("htsp_pr9_{}_{name}", std::process::id()))
+}
+
+/// The bundled smoke fixture, resolved relative to the crate so the binary
+/// works from any working directory.
+fn fixture_path() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures/smoke.gr"))
+}
+
+/// Asserts the CSR answers queries exactly like the adjacency-list graph
+/// it was streamed against, and returns the sampled pair count.
+fn assert_csr_exact(csr: &CsrGraph, reference: &Graph, pairs: usize, seed: u64) -> usize {
+    assert_eq!(csr.num_vertices(), reference.num_vertices(), "vertex count");
+    assert_eq!(csr.num_edges(), reference.num_edges(), "edge count");
+    let queries = QuerySet::random(reference, pairs, seed);
+    for q in &queries {
+        let via_csr = dijkstra_distance(csr, q.source, q.target);
+        let via_adj = dijkstra_distance(reference, q.source, q.target);
+        assert_eq!(via_csr, via_adj, "CSR answer deviates for {q:?}");
+    }
+    queries.len()
+}
+
+/// Streams a `.gr` file, checks quantization losslessness + compression,
+/// and returns the JSON record for the section.
+fn ingest_section(path: &PathBuf, reference: &Graph, cfg: &BenchConfig) -> Json {
+    let t0 = Instant::now();
+    let csr = load_dimacs_streaming_file(path).expect("stream .gr file");
+    let ingest = t0.elapsed();
+
+    // Lossless quantization: every edge weight round-trips exactly. The
+    // streaming loader assigns edge ids in sorted (u, v) order, so the join
+    // against the reference graph goes through endpoints, not ids.
+    let mut by_endpoints = std::collections::HashMap::with_capacity(reference.num_edges());
+    for (_, u, v, w) in reference.edges() {
+        let key = if u.0 < v.0 { (u, v) } else { (v, u) };
+        by_endpoints.insert(key, w);
+    }
+    for idx in 0..csr.num_edges() {
+        let e = htsp_graph::EdgeId::from_index(idx);
+        let (u, v) = csr.edge_endpoints(e);
+        let key = if u.0 < v.0 { (u, v) } else { (v, u) };
+        let expect = by_endpoints
+            .get(&key)
+            .unwrap_or_else(|| panic!("CSR edge {key:?} missing from reference"));
+        assert_eq!(csr.edge_weight(e), *expect, "weight drifted for {key:?}");
+    }
+    let verified = assert_csr_exact(&csr, reference, cfg.verify_pairs, 1009);
+
+    let fp = csr.heap_bytes();
+    // A plain layout stores one u64 weight per directed arc.
+    let naive_weight_bytes = csr.num_arcs() * std::mem::size_of::<u64>();
+    let ratio = naive_weight_bytes as f64 / fp.weight_bytes.max(1) as f64;
+    assert!(
+        ratio >= 2.0,
+        "quantized weight storage must shrink >= 2x vs u64 (got {ratio:.2}x)"
+    );
+    let edges_per_s = csr.num_edges() as f64 / ingest.as_secs_f64();
+    println!(
+        "ingest: {} vertices, {} edges in {:.2}s ({:.0} edges/s); weights {:.2}x smaller than u64, {verified} pairs exact",
+        csr.num_vertices(),
+        csr.num_edges(),
+        ingest.as_secs_f64(),
+        edges_per_s,
+        ratio
+    );
+
+    Json::Obj(vec![
+        ("file", Json::Str(path.display().to_string())),
+        ("vertices", Json::Int(csr.num_vertices() as u64)),
+        ("edges", Json::Int(csr.num_edges() as u64)),
+        ("ingest_seconds", Json::Num(ingest.as_secs_f64())),
+        ("edges_per_second", Json::Num(edges_per_s)),
+        (
+            "heap_bytes",
+            Json::Obj(vec![
+                ("topology", Json::Int(fp.topology_bytes as u64)),
+                ("weights", Json::Int(fp.weight_bytes as u64)),
+                ("overflow", Json::Int(fp.overflow_bytes as u64)),
+                ("edge_list", Json::Int(fp.edge_list_bytes as u64)),
+                ("total", Json::Int(fp.total() as u64)),
+            ]),
+        ),
+        (
+            "naive_u64_weight_bytes",
+            Json::Int(naive_weight_bytes as u64),
+        ),
+        ("weight_compression_ratio", Json::Num(ratio)),
+        ("overflow_entries", Json::Int(csr.overflow_len() as u64)),
+        ("verified_pairs", Json::Int(verified as u64)),
+    ])
+}
+
+/// Cold-builds, snapshots, warm-restarts one algorithm; returns the JSON
+/// row and whether the restart cleared the 10x bar.
+fn restart_row(kind: AlgorithmKind, graph: &Graph, cfg: &BenchConfig) -> (Json, bool) {
+    let params = BuildParams::new(4, 1);
+    let queries = QuerySet::random(graph, cfg.verify_pairs, 2027);
+
+    let t0 = Instant::now();
+    let server = RoadNetworkServer::builder()
+        .algorithm(kind)
+        .build_params(params)
+        .coalesce(CoalescePolicy::manual())
+        .start(graph);
+    let cold = t0.elapsed();
+
+    let before: Vec<_> = queries
+        .iter()
+        .map(|q| server.distance(q.source, q.target))
+        .collect();
+    let path = temp_path(&format!("{}.snap", kind.name()));
+    server.save_snapshot(&path).expect("save snapshot");
+    let snapshot_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    server.shutdown();
+
+    let t1 = Instant::now();
+    let restored = RoadNetworkServer::builder()
+        .start_from_snapshot(&path)
+        .expect("warm restart");
+    let warm = t1.elapsed();
+
+    for (q, &expect) in queries.iter().zip(&before) {
+        let got = restored.distance(q.source, q.target);
+        assert_eq!(got, expect, "{} drifted across restart", kind.name());
+        assert_eq!(
+            got,
+            dijkstra_distance(graph, q.source, q.target),
+            "{} restored answer disagrees with Dijkstra",
+            kind.name()
+        );
+    }
+    restored.shutdown();
+    let _ = std::fs::remove_file(&path);
+
+    let speedup = cold.as_secs_f64() / warm.as_secs_f64().max(1e-9);
+    println!(
+        "restart {}: cold {:.3}s, warm {:.3}s ({speedup:.1}x), snapshot {snapshot_bytes} bytes",
+        kind.name(),
+        cold.as_secs_f64(),
+        warm.as_secs_f64()
+    );
+    (
+        Json::Obj(vec![
+            ("algorithm", Json::Str(kind.name().to_string())),
+            ("cold_build_seconds", Json::Num(cold.as_secs_f64())),
+            ("warm_restart_seconds", Json::Num(warm.as_secs_f64())),
+            ("speedup", Json::Num(speedup)),
+            ("snapshot_bytes", Json::Int(snapshot_bytes)),
+            ("verified_pairs", Json::Int(queries.len() as u64)),
+            ("answers_exact", Json::Int(1)),
+        ]),
+        speedup >= 10.0,
+    )
+}
+
+/// Serves a closed query loop on a warm-restarted server and reports QPS
+/// next to the live `htsp_storage_bytes` split.
+fn serving_section(graph: &Graph, cfg: &BenchConfig) -> Json {
+    let server = RoadNetworkServer::builder()
+        .algorithm(AlgorithmKind::Dch)
+        .build_params(BuildParams::new(4, 1))
+        .coalesce(CoalescePolicy::manual())
+        .start(graph);
+    let path = temp_path("serving.snap");
+    server.save_snapshot(&path).expect("save snapshot");
+    server.shutdown();
+    let server = RoadNetworkServer::builder()
+        .start_from_snapshot(&path)
+        .expect("warm restart for serving");
+    let _ = std::fs::remove_file(&path);
+
+    let queries = QuerySet::random(graph, 256, 3049);
+    let t0 = Instant::now();
+    let mut answered = 0u64;
+    while t0.elapsed() < cfg.qps_window {
+        for q in &queries {
+            assert!(server.distance(q.source, q.target).is_finite());
+        }
+        answered += queries.len() as u64;
+    }
+    let qps = answered as f64 / t0.elapsed().as_secs_f64();
+
+    let parts = server.refresh_storage_gauges();
+    assert!(
+        parts.iter().any(|&(c, _)| c == "graph"),
+        "graph storage gauge missing"
+    );
+    let prom = server.telemetry().export_prometheus();
+    let samples = validate_prometheus(&prom).expect("prometheus export validates");
+    assert!(
+        prom.contains(&format!("{STORAGE_BYTES_METRIC}{{component=\"graph\"}}")),
+        "{STORAGE_BYTES_METRIC} gauges missing from Prometheus export:\n{prom}"
+    );
+    println!(
+        "serving: {qps:.0} qps next to {} storage components ({} prometheus samples)",
+        parts.len(),
+        samples
+    );
+    server.shutdown();
+
+    let components: Vec<Json> = parts
+        .iter()
+        .map(|&(component, bytes)| {
+            Json::Obj(vec![
+                ("component", Json::Str(component.to_string())),
+                ("bytes", Json::Int(bytes as u64)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("algorithm", Json::Str("DCH".to_string())),
+        ("qps", Json::Num(qps)),
+        ("answered", Json::Int(answered)),
+        ("storage_bytes", Json::Arr(components)),
+        ("prometheus_samples", Json::Int(samples as u64)),
+    ])
+}
+
+/// Smoke-only: routes the bundled fixture through the fleet's streaming
+/// ingest and spot-checks cross-shard answers against Dijkstra.
+fn fleet_smoke_section(reference: &Graph) -> Json {
+    let fleet = ShardedFleet::from_dimacs(fixture_path(), FleetConfig::new(2, AlgorithmKind::Dch))
+        .expect("fleet streaming ingest");
+    let queries = QuerySet::random(reference, 24, 4073);
+    for q in &queries {
+        assert_eq!(
+            fleet.distance(q.source, q.target),
+            dijkstra_distance(reference, q.source, q.target),
+            "fleet answer deviates for {q:?}"
+        );
+    }
+    let shards = fleet.num_shards();
+    fleet.shutdown();
+    println!("fleet: {shards} shards streamed from fixture, 24 pairs exact");
+    Json::Obj(vec![
+        ("shards", Json::Int(shards as u64)),
+        ("verified_pairs", Json::Int(queries.len() as u64)),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| {
+            if smoke {
+                "/tmp/BENCH_pr9_smoke.json".to_string()
+            } else {
+                "BENCH_pr9.json".to_string()
+            }
+        });
+    let cfg = if smoke {
+        BenchConfig {
+            smoke: true,
+            ingest_side: 0, // bundled fixture instead
+            restart_side: 14,
+            algorithms: vec![AlgorithmKind::Dch, AlgorithmKind::Dh2h],
+            verify_pairs: 24,
+            qps_window: Duration::from_millis(200),
+        }
+    } else {
+        BenchConfig {
+            smoke: false,
+            // 724^2 = 524,176 vertices; 2*724*723 = 1,046,904 edges >= 1M.
+            ingest_side: 724,
+            restart_side: 72,
+            algorithms: vec![
+                AlgorithmKind::Dch,
+                AlgorithmKind::Toain,
+                AlgorithmKind::Dh2h,
+                AlgorithmKind::Mhl,
+            ],
+            verify_pairs: 48,
+            qps_window: Duration::from_millis(500),
+        }
+    };
+
+    // --- Section 1: streaming ingest into CSR -------------------------
+    let (gr_path, reference, cleanup_gr) = if cfg.smoke {
+        let path = fixture_path();
+        let reference = htsp_graph::dimacs::read_gr_file(&path).expect("read fixture");
+        (path, reference, false)
+    } else {
+        let big = gen::grid(
+            cfg.ingest_side,
+            cfg.ingest_side,
+            gen::WeightRange::new(1, 100),
+            42,
+        );
+        let path = temp_path("large.gr");
+        write_gr_file(&big, &path).expect("write large .gr");
+        (path, big, true)
+    };
+    let ingest = ingest_section(&gr_path, &reference, &cfg);
+    if cleanup_gr {
+        let _ = std::fs::remove_file(&gr_path);
+    }
+    drop(reference);
+
+    // --- Section 2: snapshot + warm restart ---------------------------
+    let road = gen::grid(
+        cfg.restart_side,
+        cfg.restart_side,
+        gen::WeightRange::new(1, 100),
+        7,
+    );
+    let mut rows = Vec::new();
+    let mut fast_restarts = 0usize;
+    for &kind in &cfg.algorithms {
+        let (row, fast) = restart_row(kind, &road, &cfg);
+        rows.push(row);
+        fast_restarts += usize::from(fast);
+    }
+    if !cfg.smoke {
+        assert!(
+            fast_restarts >= 2,
+            "warm restart must be >=10x faster than cold build for >=2 algorithms \
+             (got {fast_restarts})"
+        );
+    }
+
+    // --- Section 3: QPS next to storage gauges ------------------------
+    let serving = serving_section(&road, &cfg);
+
+    // --- Smoke-only: fleet streaming ingest ---------------------------
+    let fleet = if cfg.smoke {
+        let fixture_ref = htsp_graph::dimacs::read_gr_file(fixture_path()).expect("read fixture");
+        Some(fleet_smoke_section(&fixture_ref))
+    } else {
+        None
+    };
+
+    let mut fields = vec![
+        ("bench", Json::Str("pr9-storage-persistence".to_string())),
+        (
+            "mode",
+            Json::Str(if cfg.smoke { "smoke" } else { "full" }.to_string()),
+        ),
+        ("streaming_ingest", ingest),
+        ("warm_restart", Json::Arr(rows)),
+        ("fast_restarts_10x", Json::Int(fast_restarts as u64)),
+        ("serving", serving),
+    ];
+    if let Some(fleet) = fleet {
+        fields.push(("fleet_smoke", fleet));
+    }
+    let doc = Json::Obj(fields);
+    std::fs::write(&out_path, doc.to_string_pretty()).expect("write BENCH_pr9.json");
+    println!("wrote {out_path}");
+}

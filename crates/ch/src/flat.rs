@@ -1,0 +1,162 @@
+//! Flat CSR-backed read path for the upward shortcut graph.
+//!
+//! The chunked copy-on-write table behind [`ContractionHierarchy`] is ideal
+//! for snapshot publication but pays one pointer chase per row. On large
+//! static deployments (e.g. a freshly warm-restarted index that will only be
+//! queried) the upward arcs can be packed once into a single offsets + arcs
+//! pair — the same struct-of-arrays layout `htsp_graph::storage::CsrGraph`
+//! uses for the base graph. [`UpwardArcs`] abstracts over both
+//! representations so [`crate::ChQuery`] runs unchanged on either.
+
+use crate::hierarchy::ContractionHierarchy;
+use htsp_graph::{VertexId, Weight};
+
+/// Read access to the upward shortcut graph of a contraction hierarchy.
+///
+/// Implemented by [`ContractionHierarchy`] (chunked copy-on-write rows) and
+/// [`FlatHierarchy`] (packed CSR). Query code is generic over this trait, so
+/// the hot bidirectional upward search never commits to one storage layout.
+pub trait UpwardArcs {
+    /// Number of vertices covered by the hierarchy.
+    fn num_vertices(&self) -> usize;
+
+    /// Upward arcs of `v`: higher-ranked neighbors and shortcut weights,
+    /// sorted by rank ascending.
+    fn up_arcs(&self, v: VertexId) -> &[(VertexId, Weight)];
+}
+
+impl UpwardArcs for ContractionHierarchy {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        ContractionHierarchy::num_vertices(self)
+    }
+
+    #[inline]
+    fn up_arcs(&self, v: VertexId) -> &[(VertexId, Weight)] {
+        ContractionHierarchy::up_arcs(self, v)
+    }
+}
+
+impl<H: UpwardArcs + ?Sized> UpwardArcs for std::sync::Arc<H> {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        (**self).num_vertices()
+    }
+
+    #[inline]
+    fn up_arcs(&self, v: VertexId) -> &[(VertexId, Weight)] {
+        (**self).up_arcs(v)
+    }
+}
+
+/// A frozen, flat copy of a hierarchy's upward arcs in CSR layout.
+///
+/// `offsets[v]..offsets[v + 1]` indexes `arcs`; rows keep the rank-ascending
+/// order of the source hierarchy. Immutable by construction — dynamic
+/// maintenance stays on the copy-on-write representation and re-flattens
+/// when a static serving copy is wanted.
+#[derive(Clone, Debug)]
+pub struct FlatHierarchy {
+    offsets: Vec<u32>,
+    arcs: Vec<(VertexId, Weight)>,
+}
+
+impl FlatHierarchy {
+    /// Packs the upward arcs of `ch` into CSR form.
+    pub fn from_hierarchy(ch: &ContractionHierarchy) -> Self {
+        let n = ch.num_vertices();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut arcs = Vec::with_capacity(ch.num_arcs());
+        offsets.push(0u32);
+        for v in 0..n {
+            arcs.extend_from_slice(ch.up_arcs(VertexId::from_index(v)));
+            offsets.push(arcs.len() as u32);
+        }
+        FlatHierarchy { offsets, arcs }
+    }
+
+    /// Total number of upward arcs.
+    pub fn num_arcs(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Measured heap footprint of the packed arrays.
+    pub fn heap_bytes(&self) -> usize {
+        self.offsets.capacity() * std::mem::size_of::<u32>()
+            + self.arcs.capacity() * std::mem::size_of::<(VertexId, Weight)>()
+    }
+}
+
+impl UpwardArcs for FlatHierarchy {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    #[inline]
+    fn up_arcs(&self, v: VertexId) -> &[(VertexId, Weight)] {
+        let lo = self.offsets[v.index()] as usize;
+        let hi = self.offsets[v.index() + 1] as usize;
+        &self.arcs[lo..hi]
+    }
+}
+
+impl ContractionHierarchy {
+    /// Packs this hierarchy's upward arcs into a [`FlatHierarchy`].
+    pub fn flatten(&self) -> FlatHierarchy {
+        FlatHierarchy::from_hierarchy(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::ShortcutMode;
+    use crate::ordering::OrderingStrategy;
+    use crate::query::ChQuery;
+    use htsp_graph::gen::{grid_with_diagonals, WeightRange};
+    use htsp_graph::QuerySet;
+    use htsp_search::dijkstra_distance;
+
+    #[test]
+    fn flat_hierarchy_answers_match_cow_hierarchy() {
+        let g = grid_with_diagonals(9, 9, WeightRange::new(1, 17), 0.2, 21);
+        let ch =
+            ContractionHierarchy::build(&g, OrderingStrategy::MinDegree, ShortcutMode::AllPairs);
+        let flat = ch.flatten();
+        assert_eq!(flat.num_arcs(), ch.num_arcs());
+        assert_eq!(UpwardArcs::num_vertices(&flat), ch.num_vertices());
+        let mut q = ChQuery::new(g.num_vertices());
+        for query in &QuerySet::random(&g, 120, 31) {
+            let expect = dijkstra_distance(&g, query.source, query.target);
+            assert_eq!(q.distance(&ch, query.source, query.target), expect);
+            assert_eq!(q.distance(&flat, query.source, query.target), expect);
+        }
+        // One-to-many over the flat layout too.
+        let targets: Vec<VertexId> = (0..g.num_vertices() as u32)
+            .step_by(5)
+            .map(VertexId)
+            .collect();
+        assert_eq!(
+            q.one_to_many(&flat, VertexId(3), &targets),
+            q.one_to_many(&ch, VertexId(3), &targets)
+        );
+    }
+
+    #[test]
+    fn flat_rows_are_byte_identical_to_source_rows() {
+        let g = grid_with_diagonals(6, 6, WeightRange::new(1, 9), 0.3, 2);
+        let ch = ContractionHierarchy::build(
+            &g,
+            OrderingStrategy::MinDegree,
+            ShortcutMode::WitnessPruned {
+                hop_limit: usize::MAX,
+            },
+        );
+        let flat = ch.flatten();
+        for v in g.vertices() {
+            assert_eq!(UpwardArcs::up_arcs(&flat, v), ch.up_arcs(v));
+        }
+        assert!(flat.heap_bytes() > 0);
+    }
+}

@@ -149,6 +149,36 @@ impl ContractionHierarchy {
         }
     }
 
+    /// Reassembles a hierarchy from its constituent parts without contracting
+    /// anything — the warm-restart path used by the snapshot decoder
+    /// ([`crate::persist`]). `up[v]` must contain only higher-ranked
+    /// neighbors sorted by rank ascending (exactly what [`Self::up_arcs`]
+    /// yields); the downward adjacency is rebuilt by inversion, so a
+    /// round-tripped hierarchy is structurally identical to a freshly built
+    /// one.
+    pub fn from_parts(
+        order: VertexOrder,
+        up: Vec<Vec<(VertexId, Weight)>>,
+        mode: ShortcutMode,
+        extra_shortcuts: usize,
+    ) -> Self {
+        let n = order.len();
+        assert_eq!(up.len(), n, "up table does not cover the order");
+        let mut down: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+        for (v, ups) in up.iter().enumerate() {
+            for &(u, _) in ups {
+                down[u.index()].push(VertexId::from_index(v));
+            }
+        }
+        ContractionHierarchy {
+            order: Arc::new(order),
+            up: CowTable::from_rows(up, DEFAULT_CHUNK),
+            down: Arc::new(down),
+            mode,
+            extra_shortcuts,
+        }
+    }
+
     /// The contraction order.
     pub fn order(&self) -> &VertexOrder {
         &self.order
@@ -214,6 +244,20 @@ impl ContractionHierarchy {
     pub fn index_size_bytes(&self) -> usize {
         self.num_arcs() * std::mem::size_of::<(VertexId, Weight)>()
             + self.num_vertices() * std::mem::size_of::<u32>()
+    }
+
+    /// Measured heap footprint: shortcut-table chunks, downward adjacency,
+    /// and both rank arrays of the order.
+    pub fn heap_bytes(&self) -> usize {
+        let down_bytes = self.down.capacity() * std::mem::size_of::<Vec<VertexId>>()
+            + self
+                .down
+                .iter()
+                .map(|d| d.capacity() * std::mem::size_of::<VertexId>())
+                .sum::<usize>();
+        self.up.heap_bytes()
+            + down_bytes
+            + self.order.len() * (std::mem::size_of::<u32>() + std::mem::size_of::<VertexId>())
     }
 
     /// Computes the shortest distance between `s` and `t` with a bidirectional

@@ -31,11 +31,14 @@
 #![warn(missing_docs)]
 
 pub mod dch;
+pub mod flat;
 pub mod hierarchy;
 pub mod ordering;
+pub mod persist;
 pub mod query;
 
 pub use dch::ShortcutChange;
+pub use flat::{FlatHierarchy, UpwardArcs};
 pub use hierarchy::{ContractionHierarchy, ShortcutMode};
 pub use ordering::{boundary_first_order, mde_order, OrderingStrategy, VertexOrder};
 pub use query::{ChQuery, ChQuerySession};

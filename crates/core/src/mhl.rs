@@ -11,7 +11,7 @@
 use htsp_ch::{ChQuery, ChQuerySession};
 use htsp_graph::{
     Dist, FallbackSession, Graph, IndexMaintainer, QuerySession, QueryView, ScratchPool,
-    SnapshotPublisher, UpdateBatch, UpdateTimeline, VertexId,
+    SnapshotError, SnapshotPublisher, UpdateBatch, UpdateTimeline, VertexId,
 };
 use htsp_search::{BiDijkstra, BiDijkstraSession};
 use htsp_td::H2HIndex;
@@ -142,6 +142,28 @@ impl Mhl {
         }
     }
 
+    /// Warm restart: reassembles the index from `graph` and an H2H section
+    /// previously produced by `snapshot_state`, skipping both contraction and
+    /// label construction. The restored index starts at the H2H stage.
+    pub fn from_state(graph: &Graph, state: &[u8]) -> Result<Self, SnapshotError> {
+        let h2h = H2HIndex::from_snapshot_bytes(state)?;
+        if h2h.decomposition().num_vertices() != graph.num_vertices() {
+            return Err(SnapshotError::Malformed(format!(
+                "index state covers {} vertices but the graph has {}",
+                h2h.decomposition().num_vertices(),
+                graph.num_vertices()
+            )));
+        }
+        let n = graph.num_vertices();
+        Ok(Mhl {
+            graph: Arc::new(graph.clone()),
+            h2h: Arc::new(h2h),
+            bidij: Arc::new(ScratchPool::new(move || BiDijkstra::new(n))),
+            ch: Arc::new(ScratchPool::new(move || ChQuery::new(n))),
+            stage: MhlStage::H2h,
+        })
+    }
+
     /// The stage whose query machinery is currently consistent.
     pub fn stage(&self) -> MhlStage {
         self.stage
@@ -224,6 +246,20 @@ impl IndexMaintainer for Mhl {
 
     fn index_size_bytes(&self) -> usize {
         self.h2h.index_size_bytes()
+    }
+
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        Some(self.h2h.to_snapshot_bytes())
+    }
+
+    fn storage_bytes(&self) -> Vec<(&'static str, usize)> {
+        vec![
+            ("h2h_labels", self.h2h.label_heap_bytes()),
+            (
+                "ch_shortcuts",
+                self.h2h.decomposition().hierarchy().heap_bytes(),
+            ),
+        ]
     }
 }
 

@@ -209,6 +209,18 @@ impl<T: Clone> CowVec<T> {
         self.counters.read()
     }
 
+    /// Heap bytes held by this handle: the chunk-pointer spine plus every
+    /// chunk's payload. Chunks shared with clones are counted in full (each
+    /// handle reports the bytes it keeps alive).
+    pub fn heap_bytes(&self) -> usize {
+        self.chunks.capacity() * std::mem::size_of::<Arc<[T]>>()
+            + self
+                .chunks
+                .iter()
+                .map(|c| c.len() * std::mem::size_of::<T>())
+                .sum::<usize>()
+    }
+
     /// `true` if element `i`'s chunk is currently shared with a clone (a
     /// write through [`CowVec::make_mut`] would have to copy it).
     pub fn is_shared(&self, i: usize) -> bool {
@@ -401,6 +413,21 @@ impl<T: Clone> CowTable<T> {
     /// clones — see the module docs).
     pub fn stats(&self) -> CowStats {
         self.counters.read()
+    }
+
+    /// Heap bytes held by this handle: the spine, the per-row `Vec` headers,
+    /// and every row's element payload. Chunks shared with clones are
+    /// counted in full (each handle reports the bytes it keeps alive).
+    pub fn heap_bytes(&self) -> usize {
+        let mut bytes = self.chunks.capacity() * std::mem::size_of::<Arc<[Vec<T>]>>();
+        for chunk in &self.chunks {
+            bytes += chunk.len() * std::mem::size_of::<Vec<T>>();
+            bytes += chunk
+                .iter()
+                .map(|r| r.capacity() * std::mem::size_of::<T>())
+                .sum::<usize>();
+        }
+        bytes
     }
 
     /// `true` if row `i`'s chunk is currently shared with a clone.

@@ -269,6 +269,50 @@ impl Graph {
         count == n
     }
 
+    /// Heap bytes held by the adjacency lists and edge arrays (the
+    /// pointer-chasing representation the flat [`crate::storage::CsrGraph`]
+    /// is compared against).
+    pub fn heap_bytes(&self) -> usize {
+        let arcs: usize = self.adj.iter().map(|a| a.capacity()).sum();
+        self.adj.capacity() * std::mem::size_of::<Vec<Arc>>()
+            + arcs * std::mem::size_of::<Arc>()
+            + self.edges.capacity() * std::mem::size_of::<(VertexId, VertexId)>()
+            + self.weights.capacity() * std::mem::size_of::<Weight>()
+    }
+
+    /// Builds a graph from an already-normalized edge list: `u < v`, no
+    /// self-loops, no duplicates. Edge ids are positions in `edges`. Callers
+    /// (the CSR converter and the snapshot decoder) validate beforehand;
+    /// this constructor only asserts in debug builds.
+    pub(crate) fn from_normalized_edges(
+        n: usize,
+        edges: Vec<(VertexId, VertexId)>,
+        weights: Vec<Weight>,
+    ) -> Graph {
+        debug_assert_eq!(edges.len(), weights.len());
+        let mut adj: Vec<Vec<Arc>> = vec![Vec::new(); n];
+        for (i, &(u, v)) in edges.iter().enumerate() {
+            debug_assert!(u < v && v.index() < n && weights[i] > 0);
+            let e = EdgeId::from_index(i);
+            let w = weights[i];
+            adj[u.index()].push(Arc {
+                to: v,
+                weight: w,
+                edge: e,
+            });
+            adj[v.index()].push(Arc {
+                to: u,
+                weight: w,
+                edge: e,
+            });
+        }
+        Graph {
+            adj,
+            edges,
+            weights,
+        }
+    }
+
     /// Extracts the vertex-induced subgraph on `vertices`, relabelling the
     /// vertices to `0..k`. Returns the subgraph together with the mapping
     /// `local -> global`.

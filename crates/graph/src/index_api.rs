@@ -622,6 +622,24 @@ pub trait IndexMaintainer: Send {
     fn index_size_bytes(&self) -> usize {
         0
     }
+
+    /// Serializes the built index state for the snapshot file
+    /// ([`crate::snapshot`]), or `None` when the index is cheap enough to
+    /// rebuild deterministically from graph + build parameters (the default).
+    ///
+    /// The encoding is opaque to the snapshot container; the algorithm
+    /// registry in `htsp-throughput` routes the bytes back to the matching
+    /// restore constructor on warm restart.
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Per-component heap footprint `(component, bytes)` for the
+    /// `htsp_storage_bytes{component=}` gauges. Defaults to a single
+    /// `"index"` entry of [`IndexMaintainer::index_size_bytes`].
+    fn storage_bytes(&self) -> Vec<(&'static str, usize)> {
+        vec![("index", self.index_size_bytes())]
+    }
 }
 
 #[cfg(test)]

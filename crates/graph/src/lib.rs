@@ -16,7 +16,14 @@
 //!   model, random geometric graph) used as laptop-scale substitutes for the
 //!   DIMACS / NavInfo datasets of Table I.
 //! * [`dimacs`] — a reader/writer for the DIMACS `.gr` format so the real
-//!   datasets can be dropped in when available.
+//!   datasets can be dropped in when available, including a streaming loader
+//!   that builds CSR storage without an adjacency-list intermediate.
+//! * [`storage`] — the flat large-graph layer: [`CsrGraph`]
+//!   (struct-of-arrays CSR with per-block lossless weight quantization) and
+//!   the [`Adjacency`] trait the index-free searches are generic over.
+//! * [`snapshot`] — the versioned, checksummed index-snapshot wire format
+//!   ([`IndexSnapshot`], [`ByteWriter`]/[`ByteReader`]) behind
+//!   `save_snapshot`/`load_snapshot` warm restarts in `htsp-throughput`.
 //! * [`queries`] — shortest-distance query workloads: uniform random pairs and
 //!   Poisson-process arrival timestamps (§II system model).
 //! * [`index_api`] — the read/write index API: immutable, thread-safe
@@ -59,6 +66,8 @@ pub mod index_api;
 pub mod obs;
 pub mod queries;
 pub mod scratch;
+pub mod snapshot;
+pub mod storage;
 pub mod types;
 pub mod updates;
 
@@ -71,5 +80,7 @@ pub use index_api::{
 pub use obs::{NullSink, SpanSink, TraceId};
 pub use queries::{Query, QuerySet, QueryWorkload};
 pub use scratch::{ScratchGuard, ScratchPool};
+pub use snapshot::{ByteReader, ByteWriter, IndexSnapshot, SnapshotError};
+pub use storage::{Adjacency, CsrFootprint, CsrGraph};
 pub use types::{Dist, EdgeId, VertexId, Weight, INF};
 pub use updates::{EdgeUpdate, UpdateBatch, UpdateGenerator, UpdateKind};

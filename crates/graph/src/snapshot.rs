@@ -1,0 +1,548 @@
+//! Versioned, checksummed index-snapshot format.
+//!
+//! Building a shortest-distance index at metro scale is the expensive step
+//! of the serving pipeline — minutes of contraction and label computation
+//! that a restart should not pay twice. This module is the wire layer for
+//! *warm restart*: a hand-rolled binary writer/reader pair (no serde, same
+//! discipline as the telemetry exposition formats) plus a self-describing
+//! container that `htsp-throughput` uses to persist a built index next to
+//! the graph it answers on.
+//!
+//! # File layout
+//!
+//! | section   | bytes | contents                                        |
+//! |-----------|-------|-------------------------------------------------|
+//! | magic     | 8     | `b"HTSPSNAP"`                                   |
+//! | version   | 4     | format version, little-endian ([`FORMAT_VERSION`]) |
+//! | length    | 8     | payload length in bytes                         |
+//! | payload   | —     | algorithm name, build params, graph, index state |
+//! | checksum  | 8     | FNV-1a-64 over the payload                      |
+//!
+//! Inside the payload every variable-length field is length-prefixed; the
+//! graph section is the normalized edge list in edge-id order (so ids
+//! round-trip exactly), and the index-state section is an opaque
+//! per-algorithm blob produced by `IndexMaintainer::snapshot_state` (absent
+//! for algorithms that rebuild deterministically from graph + params).
+//!
+//! # Error discipline
+//!
+//! Decoding never panics on hostile bytes: every read is bounds-checked
+//! ([`ByteReader`] returns [`SnapshotError::Truncated`]), the magic,
+//! version, and checksum are verified before the payload is interpreted,
+//! and semantic violations (an edge endpoint past the vertex count, a
+//! non-normalized pair, a zero weight) surface as
+//! [`SnapshotError::Malformed`].
+
+use crate::graph::Graph;
+use crate::types::{VertexId, Weight};
+use std::fmt;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Leading magic of every snapshot file.
+pub const MAGIC: &[u8; 8] = b"HTSPSNAP";
+
+/// Current snapshot format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Errors surfaced while reading or writing snapshots. Corrupt input is
+/// always reported through one of these variants — never a panic.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file's format version is not supported by this build.
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build writes and reads.
+        supported: u32,
+    },
+    /// The payload checksum does not match (bit rot or truncated rewrite).
+    ChecksumMismatch {
+        /// Checksum stored in the file.
+        stored: u64,
+        /// Checksum computed over the payload actually read.
+        computed: u64,
+    },
+    /// The input ended before a field could be read completely.
+    Truncated {
+        /// What was being read when the bytes ran out.
+        context: &'static str,
+    },
+    /// The bytes decoded but violate a semantic invariant.
+    Malformed(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            SnapshotError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported snapshot format version {found} (this build supports {supported})"
+            ),
+            SnapshotError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "snapshot checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            SnapshotError::Truncated { context } => {
+                write!(f, "snapshot truncated while reading {context}")
+            }
+            SnapshotError::Malformed(msg) => write!(f, "malformed snapshot: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// FNV-1a 64-bit hash — the snapshot payload checksum.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Little-endian binary writer used by every snapshot encoder.
+#[derive(Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32` length prefix followed by the raw bytes.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_u32(u32::try_from(bytes.len()).expect("section exceeds u32 length"));
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_bytes(s.as_bytes());
+    }
+
+    /// Finishes the writer, returning the accumulated bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns `true` if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Bounds-checked little-endian reader over a byte slice.
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Wraps `buf` at position 0.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], SnapshotError> {
+        if self.remaining() < n {
+            return Err(SnapshotError::Truncated { context });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self, context: &'static str) -> Result<u8, SnapshotError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn get_u16(&mut self, context: &'static str) -> Result<u16, SnapshotError> {
+        Ok(u16::from_le_bytes(
+            self.take(2, context)?.try_into().unwrap(),
+        ))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self, context: &'static str) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, context)?.try_into().unwrap(),
+        ))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self, context: &'static str) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, context)?.try_into().unwrap(),
+        ))
+    }
+
+    /// Reads a `u32`-length-prefixed byte section.
+    pub fn get_bytes(&mut self, context: &'static str) -> Result<&'a [u8], SnapshotError> {
+        let len = self.get_u32(context)? as usize;
+        self.take(len, context)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self, context: &'static str) -> Result<String, SnapshotError> {
+        let bytes = self.get_bytes(context)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| SnapshotError::Malformed(format!("{context}: invalid UTF-8")))
+    }
+}
+
+/// Encodes a graph as its normalized edge list in edge-id order.
+pub fn encode_graph(g: &Graph, w: &mut ByteWriter) {
+    w.put_u32(g.num_vertices() as u32);
+    w.put_u32(g.num_edges() as u32);
+    for (_, u, v, weight) in g.edges() {
+        w.put_u32(u.0);
+        w.put_u32(v.0);
+        w.put_u32(weight);
+    }
+}
+
+/// Decodes a graph encoded by [`encode_graph`], validating every edge
+/// (endpoints in range, normalized `u < v`, no duplicates, positive
+/// weight). Edge ids are reproduced by position.
+pub fn decode_graph(r: &mut ByteReader<'_>) -> Result<Graph, SnapshotError> {
+    let n = r.get_u32("graph vertex count")? as usize;
+    let m = r.get_u32("graph edge count")? as usize;
+    if r.remaining() < m.saturating_mul(12) {
+        return Err(SnapshotError::Truncated {
+            context: "graph edge list",
+        });
+    }
+    let mut edges = Vec::with_capacity(m);
+    let mut weights: Vec<Weight> = Vec::with_capacity(m);
+    let mut seen = rustc_hash::FxHashSet::default();
+    seen.reserve(m);
+    for i in 0..m {
+        let u = r.get_u32("graph edge endpoint")?;
+        let v = r.get_u32("graph edge endpoint")?;
+        let w = r.get_u32("graph edge weight")?;
+        if u >= v {
+            return Err(SnapshotError::Malformed(format!(
+                "edge {i}: endpoints ({u}, {v}) not normalized"
+            )));
+        }
+        if v as usize >= n {
+            return Err(SnapshotError::Malformed(format!(
+                "edge {i}: endpoint {v} out of range for {n} vertices"
+            )));
+        }
+        if w == 0 {
+            return Err(SnapshotError::Malformed(format!("edge {i}: zero weight")));
+        }
+        if !seen.insert((u, v)) {
+            return Err(SnapshotError::Malformed(format!(
+                "edge {i}: duplicate edge ({u}, {v})"
+            )));
+        }
+        edges.push((VertexId(u), VertexId(v)));
+        weights.push(w);
+    }
+    Ok(Graph::from_normalized_edges(n, edges, weights))
+}
+
+/// One persisted index: everything warm restart needs to re-publish a
+/// query view without rebuilding.
+#[derive(Debug)]
+pub struct IndexSnapshot {
+    /// Registry name of the algorithm (e.g. `"DCH"`).
+    pub algorithm: String,
+    /// Opaque encoding of the build parameters (decoded by the registry).
+    pub params: Vec<u8>,
+    /// The graph the index answers on, with edge ids preserved.
+    pub graph: Graph,
+    /// Opaque per-algorithm index state; `None` for algorithms that rebuild
+    /// deterministically from `graph` + `params`.
+    pub state: Option<Vec<u8>>,
+}
+
+impl IndexSnapshot {
+    /// Serializes the snapshot into the framed, checksummed file format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = ByteWriter::new();
+        payload.put_str(&self.algorithm);
+        payload.put_bytes(&self.params);
+        encode_graph(&self.graph, &mut payload);
+        match &self.state {
+            Some(state) => {
+                payload.put_u8(1);
+                payload.put_bytes(state);
+            }
+            None => payload.put_u8(0),
+        }
+        let payload = payload.into_bytes();
+        let mut out = Vec::with_capacity(payload.len() + 28);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        out
+    }
+
+    /// Parses and verifies a snapshot file image (magic, version, length,
+    /// checksum, then payload semantics).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = ByteReader::new(bytes);
+        let magic = r.take(8, "magic")?;
+        if magic != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = r.get_u32("format version")?;
+        if version != FORMAT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let payload_len = r.get_u64("payload length")? as usize;
+        if r.remaining() < payload_len + 8 {
+            return Err(SnapshotError::Truncated { context: "payload" });
+        }
+        let payload = r.take(payload_len, "payload")?;
+        let stored = r.get_u64("checksum")?;
+        let computed = fnv1a64(payload);
+        if stored != computed {
+            return Err(SnapshotError::ChecksumMismatch { stored, computed });
+        }
+        let mut p = ByteReader::new(payload);
+        let algorithm = p.get_str("algorithm name")?;
+        let params = p.get_bytes("build params")?.to_vec();
+        let graph = decode_graph(&mut p)?;
+        let state = match p.get_u8("state flag")? {
+            0 => None,
+            1 => Some(p.get_bytes("index state")?.to_vec()),
+            other => {
+                return Err(SnapshotError::Malformed(format!(
+                    "unknown state flag {other}"
+                )))
+            }
+        };
+        Ok(IndexSnapshot {
+            algorithm,
+            params,
+            graph,
+            state,
+        })
+    }
+
+    /// Writes the snapshot to `path` (tmp-file-free single write; callers
+    /// that need atomicity write to a sibling and rename).
+    pub fn write_to(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(&self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Reads and verifies a snapshot from `path`.
+    pub fn read_from(path: impl AsRef<Path>) -> Result<Self, SnapshotError> {
+        let mut bytes = Vec::new();
+        std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn sample() -> IndexSnapshot {
+        IndexSnapshot {
+            algorithm: "DCH".to_string(),
+            params: vec![1, 2, 3],
+            graph: gen::grid(6, 6, gen::WeightRange::default(), 5),
+            state: Some(vec![9; 100]),
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let snap = sample();
+        let bytes = snap.to_bytes();
+        let back = IndexSnapshot::from_bytes(&bytes).expect("round trip");
+        assert_eq!(back.algorithm, "DCH");
+        assert_eq!(back.params, vec![1, 2, 3]);
+        assert_eq!(back.state.as_deref(), Some(&[9u8; 100][..]));
+        assert_eq!(back.graph.num_edges(), snap.graph.num_edges());
+        for (e, u, v, w) in snap.graph.edges() {
+            assert_eq!(back.graph.edge_endpoints(e), (u, v));
+            assert_eq!(back.graph.edge_weight(e), w);
+        }
+    }
+
+    #[test]
+    fn stateless_round_trip() {
+        let mut snap = sample();
+        snap.state = None;
+        let back = IndexSnapshot::from_bytes(&snap.to_bytes()).expect("round trip");
+        assert!(back.state.is_none());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(
+            IndexSnapshot::from_bytes(&bytes),
+            Err(SnapshotError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[8] = 0xFF;
+        assert!(matches!(
+            IndexSnapshot::from_bytes(&bytes),
+            Err(SnapshotError::UnsupportedVersion { found, supported })
+                if found != FORMAT_VERSION && supported == FORMAT_VERSION
+        ));
+    }
+
+    #[test]
+    fn corruption_fails_the_checksum() {
+        let mut bytes = sample().to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert!(matches!(
+            IndexSnapshot::from_bytes(&bytes),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn every_truncation_point_is_a_typed_error() {
+        let bytes = sample().to_bytes();
+        for len in 0..bytes.len() {
+            let err = IndexSnapshot::from_bytes(&bytes[..len])
+                .expect_err("every strict prefix must fail");
+            assert!(
+                matches!(
+                    err,
+                    SnapshotError::Truncated { .. }
+                        | SnapshotError::ChecksumMismatch { .. }
+                        | SnapshotError::BadMagic
+                        | SnapshotError::UnsupportedVersion { .. }
+                ),
+                "prefix of {len} bytes produced unexpected error: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_graph_sections_are_rejected() {
+        // Hand-assemble a payload with an out-of-range endpoint.
+        let mut payload = ByteWriter::new();
+        payload.put_str("DCH");
+        payload.put_bytes(&[]);
+        payload.put_u32(2); // n
+        payload.put_u32(1); // m
+        payload.put_u32(0);
+        payload.put_u32(7); // v = 7 out of range
+        payload.put_u32(1);
+        payload.put_u8(0);
+        let payload = payload.into_bytes();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        bytes.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        assert!(matches!(
+            IndexSnapshot::from_bytes(&bytes),
+            Err(SnapshotError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn writer_reader_primitives_round_trip() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u16(300);
+        w.put_u32(70_000);
+        w.put_u64(1 << 40);
+        w.put_str("héllo");
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8("a").unwrap(), 7);
+        assert_eq!(r.get_u16("b").unwrap(), 300);
+        assert_eq!(r.get_u32("c").unwrap(), 70_000);
+        assert_eq!(r.get_u64("d").unwrap(), 1 << 40);
+        assert_eq!(r.get_str("e").unwrap(), "héllo");
+        assert_eq!(r.remaining(), 0);
+        assert!(matches!(
+            r.get_u8("past end"),
+            Err(SnapshotError::Truncated {
+                context: "past end"
+            })
+        ));
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Reference vectors for the FNV-1a 64-bit parameters.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -11,8 +11,9 @@
 //! (§III-B, Example 2).
 
 use crate::decomposition::TreeDecomposition;
+use htsp_ch::{ContractionHierarchy, ShortcutMode};
 use htsp_graph::cow::{CowStats, CowTable, RowRead, DEFAULT_CHUNK};
-use htsp_graph::{Dist, Graph, VertexId, INF};
+use htsp_graph::{ByteReader, ByteWriter, Dist, Graph, SnapshotError, VertexId, INF};
 
 /// The H2H index: a tree decomposition plus per-node distance arrays.
 ///
@@ -61,6 +62,21 @@ impl H2HIndex {
                 }
             }
         }
+        H2HIndex {
+            td,
+            dis: CowTable::from_rows(dis, DEFAULT_CHUNK),
+        }
+    }
+
+    /// Reassembles an index from a decomposition and its label rows — the
+    /// warm-restart path used by the snapshot decoder. `dis[v]` must be the
+    /// ancestor-distance array of `v` (length `depth(v) + 1`, last entry 0).
+    pub fn from_parts(td: TreeDecomposition, dis: Vec<Vec<Dist>>) -> Self {
+        assert_eq!(
+            dis.len(),
+            td.num_vertices(),
+            "label table does not cover the decomposition"
+        );
         H2HIndex {
             td,
             dis: CowTable::from_rows(dis, DEFAULT_CHUNK),
@@ -139,6 +155,87 @@ impl H2HIndex {
     pub fn index_size_bytes(&self) -> usize {
         self.num_label_entries() * std::mem::size_of::<Dist>()
             + self.td.hierarchy().index_size_bytes()
+    }
+
+    /// Measured heap footprint of the label table alone (the hierarchy is
+    /// reported separately by [`ContractionHierarchy::heap_bytes`]).
+    pub fn label_heap_bytes(&self) -> usize {
+        self.dis.heap_bytes()
+    }
+
+    /// Appends this index's snapshot section to `w`: the hierarchy section
+    /// followed by one length-prefixed label row per vertex. The tree shape
+    /// is *not* stored — it is a pure function of the hierarchy and is
+    /// rebuilt on decode.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        self.td.hierarchy().encode_into(w);
+        for v in 0..self.td.num_vertices() {
+            let row = self.dis.row(v);
+            w.put_u32(row.len() as u32);
+            for &d in row {
+                w.put_u32(d.0);
+            }
+        }
+    }
+
+    /// Serializes the index section to a standalone byte vector.
+    pub fn to_snapshot_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        self.encode_into(&mut w);
+        w.into_bytes()
+    }
+
+    /// Reads an index section from `r`, validating label shapes against the
+    /// rebuilt tree before reassembly. Corrupt input surfaces as a typed
+    /// [`SnapshotError`], never a panic.
+    pub fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, SnapshotError> {
+        let ch = ContractionHierarchy::decode_from(r)?;
+        if !matches!(ch.mode(), ShortcutMode::AllPairs) {
+            return Err(SnapshotError::Malformed(
+                "H2H snapshot requires an all-pairs hierarchy".to_string(),
+            ));
+        }
+        let td = TreeDecomposition::from_hierarchy(ch);
+        let n = td.num_vertices();
+        let mut dis: Vec<Vec<Dist>> = Vec::with_capacity(n);
+        for v in 0..n {
+            let len = r.get_u32("h2h label length")? as usize;
+            let expect = td.depth(VertexId::from_index(v)) as usize + 1;
+            if len != expect {
+                return Err(SnapshotError::Malformed(format!(
+                    "label of vertex {v} has {len} entries, tree depth demands {expect}"
+                )));
+            }
+            if r.remaining() < len.saturating_mul(4) {
+                return Err(SnapshotError::Truncated {
+                    context: "h2h label row",
+                });
+            }
+            let mut row = Vec::with_capacity(len);
+            for _ in 0..len {
+                row.push(Dist(r.get_u32("h2h label entry")?));
+            }
+            if row.last() != Some(&Dist::ZERO) {
+                return Err(SnapshotError::Malformed(format!(
+                    "label of vertex {v} does not end with the self-distance 0"
+                )));
+            }
+            dis.push(row);
+        }
+        Ok(H2HIndex::from_parts(td, dis))
+    }
+
+    /// Deserializes an index section produced by [`Self::to_snapshot_bytes`].
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = ByteReader::new(bytes);
+        let h2h = Self::decode_from(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(SnapshotError::Malformed(format!(
+                "{} trailing bytes after h2h section",
+                r.remaining()
+            )));
+        }
+        Ok(h2h)
     }
 }
 
@@ -284,5 +381,52 @@ mod tests {
         let h2h = H2HIndex::build(&g);
         assert!(h2h.num_label_entries() >= g.num_vertices());
         assert!(h2h.index_size_bytes() > 0);
+        assert!(h2h.label_heap_bytes() > 0);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_labels_and_answers() {
+        let g = grid_with_diagonals(7, 7, WeightRange::new(1, 19), 0.2, 13);
+        let h2h = H2HIndex::build(&g);
+        let bytes = h2h.to_snapshot_bytes();
+        let back = H2HIndex::from_snapshot_bytes(&bytes).expect("round trip");
+        assert_eq!(back.num_label_entries(), h2h.num_label_entries());
+        for v in g.vertices() {
+            assert_eq!(back.label(v), h2h.label(v));
+        }
+        check(&g, &back, 150, 17);
+    }
+
+    #[test]
+    fn snapshot_corruption_is_typed_never_a_panic() {
+        use htsp_graph::SnapshotError;
+        let g = grid(5, 5, WeightRange::new(1, 9), 3);
+        let h2h = H2HIndex::build(&g);
+        let clean = h2h.to_snapshot_bytes();
+        // Every strict prefix fails with a typed error.
+        for cut in 0..clean.len() {
+            let err =
+                H2HIndex::from_snapshot_bytes(&clean[..cut]).expect_err("strict prefix must fail");
+            assert!(matches!(
+                err,
+                SnapshotError::Truncated { .. } | SnapshotError::Malformed(_)
+            ));
+        }
+        // A label row that no longer ends in 0 is rejected (the encoding
+        // ends with the last vertex's self-distance).
+        let mut bad = clean.clone();
+        let last = bad.len() - 4;
+        bad[last..].copy_from_slice(&7u32.to_le_bytes());
+        assert!(matches!(
+            H2HIndex::from_snapshot_bytes(&bad),
+            Err(SnapshotError::Malformed(_))
+        ));
+        // Trailing garbage is rejected.
+        let mut bad = clean.clone();
+        bad.extend_from_slice(&[0, 0, 0, 0]);
+        assert!(matches!(
+            H2HIndex::from_snapshot_bytes(&bad),
+            Err(SnapshotError::Malformed(_))
+        ));
     }
 }

@@ -24,7 +24,7 @@ use crate::server::RoadNetworkServer;
 use crate::slo::LatencyHistogram;
 use crate::telemetry::TelemetryHub;
 use htsp_graph::cow::CowStats;
-use htsp_graph::dimacs::{read_gr_file, DimacsError};
+use htsp_graph::dimacs::{load_dimacs_streaming_file, DimacsError};
 use htsp_graph::{Dist, EdgeUpdate, Graph, VertexId};
 use htsp_partition::partition_region_growing;
 use htsp_psp::OverlayMaintainer;
@@ -100,11 +100,17 @@ impl ShardedFleet {
     }
 
     /// Reads a DIMACS `.gr` network from `path` and starts a fleet over it.
+    ///
+    /// Ingest goes through the streaming loader: the file is tokenized into
+    /// flat CSR storage directly (no adjacency-list intermediate), which is
+    /// what keeps 10M+-edge networks loadable; the partitioner's mutable
+    /// [`Graph`] is then materialized once from the CSR arrays.
     pub fn from_dimacs<P: AsRef<Path>>(
         path: P,
         config: FleetConfig,
     ) -> Result<ShardedFleet, DimacsError> {
-        let graph = read_gr_file(path)?;
+        let csr = load_dimacs_streaming_file(path)?;
+        let graph = csr.to_graph();
         Ok(ShardedFleet::start(&graph, config))
     }
 

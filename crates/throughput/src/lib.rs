@@ -82,12 +82,12 @@ pub use feed::{CoalescePolicy, FeedStats, UpdateFeed, UpdateOutcome, UpdateTicke
 pub use fleet::{FleetReport, ShardReport, ShardedFleet};
 pub use loadgen::{
     find_knee, run_open_loop, run_open_loop_with_telemetry, ArrivalProcess, ClassReport,
-    LoadProfile, LoadReport, OpenLoopStream, RequestClass, RequestMix, ScheduledRequest,
+    LoadProfile, LoadReport, OpenLoopStream, Pacer, RequestClass, RequestMix, ScheduledRequest,
 };
 pub use model::{lemma1_bound, staged_throughput, QueryStats};
 pub use registry::{AlgorithmKind, BuildParams};
 pub use router::{FleetQueryHandle, FleetRouter, FleetSession, FleetTicket, FleetVisibility};
-pub use server::{RoadNetworkServer, ServerBuilder};
+pub use server::{RoadNetworkServer, ServerBuilder, STORAGE_BYTES_METRIC};
 pub use service::{BatchAnswer, BatchResult, BatchTicket, DistanceService, QueryBatch};
 pub use simulator::{BatchOutcome, QpsPoint, ThroughputHarness, ThroughputResult};
 pub use slo::{LatencyHistogram, SloCheck, SloTarget, SloVerdict};

@@ -11,7 +11,7 @@
 
 use htsp_baselines::{BiDijkstraBaseline, DchBaseline, Dh2hBaseline, ToainBaseline};
 use htsp_core::{Mhl, Pmhl, PmhlConfig, PostMhl, PostMhlConfig};
-use htsp_graph::{Graph, IndexMaintainer};
+use htsp_graph::{ByteReader, ByteWriter, Graph, IndexMaintainer, SnapshotError};
 use htsp_partition::TdPartitionConfig;
 use htsp_psp::{NChP, PTdP};
 
@@ -107,6 +107,42 @@ impl BuildParams {
         }
     }
 
+    /// Serializes the parameters into a snapshot payload section.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        w.put_u32(self.num_partitions as u32);
+        w.put_u32(self.num_threads as u32);
+        w.put_u64(self.seed);
+        w.put_u32(self.toain_level_cap as u32);
+        w.put_u32(self.postmhl_bandwidth as u32);
+    }
+
+    /// Serializes the parameters to a standalone byte vector (the `params`
+    /// section of an [`htsp_graph::IndexSnapshot`]).
+    pub fn to_snapshot_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        self.encode_into(&mut w);
+        w.into_bytes()
+    }
+
+    /// Deserializes parameters produced by [`Self::to_snapshot_bytes`].
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = ByteReader::new(bytes);
+        let params = BuildParams {
+            num_partitions: r.get_u32("build params partitions")? as usize,
+            num_threads: r.get_u32("build params threads")? as usize,
+            seed: r.get_u64("build params seed")?,
+            toain_level_cap: r.get_u32("build params toain cap")? as usize,
+            postmhl_bandwidth: r.get_u32("build params postmhl bandwidth")? as usize,
+        };
+        if r.remaining() != 0 {
+            return Err(SnapshotError::Malformed(format!(
+                "{} trailing bytes after build params",
+                r.remaining()
+            )));
+        }
+        Ok(params)
+    }
+
     /// The PostMHL configuration these parameters describe.
     pub fn postmhl_config(&self) -> PostMhlConfig {
         PostMhlConfig {
@@ -191,6 +227,34 @@ impl AlgorithmKind {
             AlgorithmKind::Pmhl => Box::new(Pmhl::build(graph, params.pmhl_config())),
             AlgorithmKind::PostMhl => Box::new(PostMhl::build(graph, params.postmhl_config())),
         }
+    }
+
+    /// Restores the index machinery of this kind from a snapshot.
+    ///
+    /// Kinds with a native serialized form (DCH, TOAIN, DH2H, MHL) decode
+    /// `state` and skip construction entirely — the warm-restart fast path.
+    /// The remaining kinds rebuild deterministically from the snapshotted
+    /// graph and `params`; BiDijkstra has no index state at all. Corrupt
+    /// `state` bytes surface as a typed [`SnapshotError`], never a panic.
+    pub fn restore(
+        self,
+        graph: &Graph,
+        params: &BuildParams,
+        state: Option<&[u8]>,
+    ) -> Result<Box<dyn IndexMaintainer>, SnapshotError> {
+        let state = match state {
+            Some(bytes) => bytes,
+            None => return Ok(self.build(graph, params)),
+        };
+        Ok(match self {
+            AlgorithmKind::Dch => Box::new(DchBaseline::from_state(graph, state)?),
+            AlgorithmKind::Toain => Box::new(ToainBaseline::from_state(graph, state)?),
+            AlgorithmKind::Dh2h => Box::new(Dh2hBaseline::from_state(graph, state)?),
+            AlgorithmKind::Mhl => Box::new(Mhl::from_state(graph, state)?),
+            // No native codec: the stored state (if any) is ignored and the
+            // index is rebuilt from the snapshotted graph.
+            _ => self.build(graph, params),
+        })
     }
 }
 

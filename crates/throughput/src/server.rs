@@ -29,13 +29,21 @@ use crate::config::CacheConfig;
 use crate::feed::{CoalescePolicy, UpdateFeed, UpdateTicket};
 use crate::registry::{AlgorithmKind, BuildParams};
 use crate::service::{BatchTicket, DistanceService, QueryBatch};
-use crate::telemetry::TelemetryHub;
+use crate::telemetry::{Gauge, TelemetryHub};
 use htsp_graph::{
-    Dist, EdgeUpdate, Graph, IndexMaintainer, QueryView, SnapshotPublisher, VertexId,
+    Dist, EdgeUpdate, Graph, IndexMaintainer, IndexSnapshot, QueryView, SnapshotError,
+    SnapshotPublisher, VertexId,
 };
+use std::path::Path;
 use std::sync::mpsc;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
+
+/// Prometheus metric name of the per-component memory-footprint gauges
+/// (`htsp_storage_bytes{component="..."}`), registered by every server at
+/// start and refreshable via
+/// [`RoadNetworkServer::refresh_storage_gauges`].
+pub const STORAGE_BYTES_METRIC: &str = "htsp_storage_bytes";
 
 /// Builder for [`RoadNetworkServer`]; obtained from
 /// [`RoadNetworkServer::builder`].
@@ -131,6 +139,30 @@ impl ServerBuilder {
         self
     }
 
+    /// Restores a server from an index snapshot file written by
+    /// [`RoadNetworkServer::save_snapshot`]: the graph, algorithm, and build
+    /// parameters all come from the file, and algorithms with a serialized
+    /// index state skip construction entirely (the warm-restart fast path).
+    /// Any corruption — bad magic, version skew, checksum mismatch,
+    /// truncation, malformed sections — surfaces as a typed
+    /// [`SnapshotError`]; this never panics on untrusted input.
+    pub fn start_from_snapshot(
+        self,
+        path: impl AsRef<Path>,
+    ) -> Result<RoadNetworkServer, SnapshotError> {
+        let snap = IndexSnapshot::read_from(path)?;
+        let kind = AlgorithmKind::from_name(&snap.algorithm).ok_or_else(|| {
+            SnapshotError::Malformed(format!("unknown algorithm '{}'", snap.algorithm))
+        })?;
+        let params = BuildParams::from_snapshot_bytes(&snap.params)?;
+        let maintainer = kind.restore(&snap.graph, &params, snap.state.as_deref())?;
+        Ok(self
+            .algorithm(kind)
+            .build_params(params)
+            .maintainer(maintainer)
+            .start(&snap.graph))
+    }
+
     /// Builds the index over `graph` (the expensive step, unless a
     /// maintainer was supplied), spawns the maintenance thread and the
     /// optional query workers, and returns the running server.
@@ -144,6 +176,17 @@ impl ServerBuilder {
         let hub = self
             .telemetry
             .unwrap_or_else(|| Arc::new(TelemetryHub::new()));
+        // Per-component memory accounting: one labeled gauge per index
+        // component plus the graph itself, refreshed on demand.
+        let mut storage_gauges = Vec::new();
+        let mut storage_parts = maintainer.storage_bytes();
+        storage_parts.push(("graph", graph.heap_bytes()));
+        for (component, bytes) in storage_parts {
+            let gauge = Gauge::new();
+            gauge.set(bytes as u64);
+            hub.register_gauge(STORAGE_BYTES_METRIC, &[("component", component)], &gauge);
+            storage_gauges.push((component, gauge));
+        }
         // The result cache, when enabled, hears about every publication
         // through the publisher's hook: each event folds into the cache's
         // epoch (monotonically, so racing publishers are harmless), which
@@ -188,6 +231,8 @@ impl ServerBuilder {
             algorithm,
             num_query_stages,
             hub,
+            params: self.params,
+            storage_gauges: Mutex::new(storage_gauges),
         }
     }
 }
@@ -208,6 +253,8 @@ pub struct RoadNetworkServer {
     algorithm: &'static str,
     num_query_stages: usize,
     hub: Arc<TelemetryHub>,
+    params: BuildParams,
+    storage_gauges: Mutex<Vec<(&'static str, Gauge)>>,
 }
 
 impl RoadNetworkServer {
@@ -332,6 +379,52 @@ impl RoadNetworkServer {
             let _ = tx.send(f(maintainer));
         }));
         rx.recv().expect("maintenance thread dropped the job")
+    }
+
+    /// Writes a versioned, checksummed index snapshot to `path`: the
+    /// current graph, the build parameters, and — for algorithms with a
+    /// native serialized form — the repaired index state, so a later
+    /// [`ServerBuilder::start_from_snapshot`] republishes without
+    /// rebuilding. Runs between batches (same rule as
+    /// [`RoadNetworkServer::with_index`]), so the captured state is always a
+    /// fully repaired index, never a mid-repair one.
+    pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        let graph = self.with_graph(|g| g.clone());
+        let state = self.with_index(|m| m.snapshot_state());
+        IndexSnapshot {
+            algorithm: self.algorithm.to_string(),
+            params: self.params.to_snapshot_bytes(),
+            graph,
+            state,
+        }
+        .write_to(path)
+    }
+
+    /// Re-measures the per-component memory footprint (index components via
+    /// [`IndexMaintainer::storage_bytes`] plus the graph) and updates the
+    /// `htsp_storage_bytes{component=...}` gauges. Components that appear
+    /// for the first time (an index stage grew a new table) are registered
+    /// on the fly. Returns the measured `(component, bytes)` pairs.
+    pub fn refresh_storage_gauges(&self) -> Vec<(&'static str, usize)> {
+        let mut parts = self.with_index(|m| m.storage_bytes());
+        parts.push(("graph", self.with_graph(|g| g.heap_bytes())));
+        let mut gauges = self.storage_gauges.lock().expect("storage gauges poisoned");
+        for &(component, bytes) in &parts {
+            match gauges.iter().find(|(c, _)| *c == component) {
+                Some((_, gauge)) => gauge.set(bytes as u64),
+                None => {
+                    let gauge = Gauge::new();
+                    gauge.set(bytes as u64);
+                    self.hub.register_gauge(
+                        STORAGE_BYTES_METRIC,
+                        &[("component", component)],
+                        &gauge,
+                    );
+                    gauges.push((component, gauge));
+                }
+            }
+        }
+        parts
     }
 
     /// Shuts the server down: stops the query workers (queued batches are

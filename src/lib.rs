@@ -142,9 +142,10 @@ pub use htsp_throughput as throughput;
 pub use htsp_throughput::{
     AdmissionPolicy, AlgorithmKind, BuildParams, CacheConfig, CacheStats, CoalescePolicy,
     DistanceCache, DistanceService, FleetConfig, FleetQueryHandle, FleetReport, FleetRouter,
-    FleetSession, FleetTicket, FleetVisibility, LatencyHistogram, LoadProfile, LoadReport,
+    FleetSession, FleetTicket, FleetVisibility, LatencyHistogram, LoadProfile, LoadReport, Pacer,
     RoadNetworkServer, ServerBuilder, ServiceStats, ShardReport, ShardedFleet, SloTarget,
     SloVerdict, SubmitOutcome, UpdateFeed, UpdateOutcome, UpdateTicket, Visibility,
+    STORAGE_BYTES_METRIC,
 };
 
 /// The version of the reproduction.

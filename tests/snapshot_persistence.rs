@@ -1,0 +1,212 @@
+//! Index snapshots and warm restart, end to end: every algorithm of the
+//! registry saves its state through [`RoadNetworkServer::save_snapshot`],
+//! restarts through [`ServerBuilder::start_from_snapshot`], and answers
+//! exactly as before; corrupt snapshot files are rejected with typed
+//! errors, never panics.
+
+use htsp::graph::gen::{grid, WeightRange};
+use htsp::graph::{IndexSnapshot, QuerySet, SnapshotError};
+use htsp::search::dijkstra_distance;
+use htsp::{AlgorithmKind, BuildParams, CoalescePolicy, RoadNetworkServer};
+use std::path::PathBuf;
+
+fn temp_snapshot_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("htsp_snap_{}_{name}.snap", std::process::id()))
+}
+
+/// Saves, restores, and cross-checks one algorithm end to end.
+fn round_trip(kind: AlgorithmKind) {
+    let g = grid(7, 7, WeightRange::new(1, 25), 31);
+    let params = BuildParams::new(2, 1);
+    let server = RoadNetworkServer::builder()
+        .algorithm(kind)
+        .build_params(params)
+        .coalesce(CoalescePolicy::manual())
+        .start(&g);
+
+    // Drift a few weights so the snapshot captures a repaired index, not
+    // the pristine build.
+    let mut working = g.clone();
+    for i in [3usize, 17, 40] {
+        let e = htsp::graph::EdgeId::from_index(i % working.num_edges());
+        let old = working.edge_weight(e);
+        let update = htsp::graph::EdgeUpdate::new(e, old, old + 2);
+        working.apply_batch(&htsp::graph::UpdateBatch::from_updates(vec![update]));
+        server.submit(update);
+    }
+    server.feed().flush().wait_applied();
+
+    let queries = QuerySet::random(&working, 40, 91);
+    let view = server.snapshot();
+    let before: Vec<_> = queries
+        .iter()
+        .map(|q| view.distance(q.source, q.target))
+        .collect();
+
+    let path = temp_snapshot_path(kind.name());
+    server.save_snapshot(&path).expect("save snapshot");
+    server.shutdown();
+
+    let restored = RoadNetworkServer::builder()
+        .start_from_snapshot(&path)
+        .expect("warm restart");
+    assert_eq!(restored.algorithm(), kind.name());
+    let view = restored.snapshot();
+    // The restored graph carries the drifted weights.
+    restored.with_graph(|rg| {
+        for e in (0..rg.num_edges()).map(htsp::graph::EdgeId::from_index) {
+            assert_eq!(rg.edge_weight(e), working.edge_weight(e));
+        }
+    });
+    for (q, &expect) in queries.iter().zip(&before) {
+        let got = view.distance(q.source, q.target);
+        assert_eq!(
+            got,
+            expect,
+            "{} answer drifted across restart for {q:?}",
+            kind.name()
+        );
+        assert_eq!(
+            got,
+            dijkstra_distance(&working, q.source, q.target),
+            "{} restored answer disagrees with Dijkstra for {q:?}",
+            kind.name()
+        );
+    }
+    restored.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn baseline_algorithms_survive_warm_restart() {
+    for kind in [
+        AlgorithmKind::BiDijkstra,
+        AlgorithmKind::Dch,
+        AlgorithmKind::Dh2h,
+        AlgorithmKind::Toain,
+    ] {
+        round_trip(kind);
+    }
+}
+
+#[test]
+fn partitioned_algorithms_survive_warm_restart() {
+    for kind in [AlgorithmKind::NChP, AlgorithmKind::PTdP] {
+        round_trip(kind);
+    }
+}
+
+#[test]
+fn mhl_family_survives_warm_restart() {
+    for kind in [
+        AlgorithmKind::Mhl,
+        AlgorithmKind::Pmhl,
+        AlgorithmKind::PostMhl,
+    ] {
+        round_trip(kind);
+    }
+}
+
+#[test]
+fn corrupt_snapshot_files_are_rejected_with_typed_errors() {
+    let g = grid(6, 6, WeightRange::new(1, 9), 7);
+    let server = RoadNetworkServer::builder()
+        .algorithm(AlgorithmKind::Dch)
+        .coalesce(CoalescePolicy::manual())
+        .start(&g);
+    let path = temp_snapshot_path("corruption");
+    server.save_snapshot(&path).expect("save snapshot");
+    server.shutdown();
+    let clean = std::fs::read(&path).expect("read snapshot back");
+
+    let restart = |bytes: &[u8]| {
+        std::fs::write(&path, bytes).expect("write corrupt file");
+        match RoadNetworkServer::builder().start_from_snapshot(&path) {
+            Ok(_) => panic!("corrupt snapshot must be rejected"),
+            Err(err) => err,
+        }
+    };
+
+    // Wrong magic.
+    let mut bad = clean.clone();
+    bad[0] = b'X';
+    assert!(matches!(restart(&bad), SnapshotError::BadMagic));
+
+    // Unsupported format version.
+    let mut bad = clean.clone();
+    bad[8] = 0xFF;
+    assert!(matches!(
+        restart(&bad),
+        SnapshotError::UnsupportedVersion { found, .. } if found != 0
+    ));
+
+    // Bit rot in the payload trips the checksum.
+    let mut bad = clean.clone();
+    let mid = clean.len() / 2;
+    bad[mid] ^= 0x40;
+    assert!(matches!(
+        restart(&bad),
+        SnapshotError::ChecksumMismatch { .. }
+    ));
+
+    // Truncation at a few representative points (header, payload, tail).
+    for cut in [4, 20, clean.len() / 2, clean.len() - 3] {
+        let err = restart(&clean[..cut]);
+        assert!(
+            matches!(err, SnapshotError::Truncated { .. }),
+            "truncation at {cut} gave {err:?}"
+        );
+    }
+
+    // The pristine file still restores after all that.
+    std::fs::write(&path, &clean).expect("restore clean file");
+    let server = RoadNetworkServer::builder()
+        .start_from_snapshot(&path)
+        .expect("clean snapshot restores");
+    server.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn snapshot_state_with_wrong_algorithm_name_is_rejected() {
+    let g = grid(5, 5, WeightRange::new(1, 9), 3);
+    let server = RoadNetworkServer::builder()
+        .algorithm(AlgorithmKind::Dch)
+        .coalesce(CoalescePolicy::manual())
+        .start(&g);
+    let path = temp_snapshot_path("bad_name");
+    server.save_snapshot(&path).expect("save snapshot");
+    server.shutdown();
+
+    // Rewrite the algorithm name to something unknown; the checksum is
+    // recomputed so only the registry lookup can fail.
+    let mut snap = IndexSnapshot::read_from(&path).expect("reparse");
+    snap.algorithm = "NotAnAlgorithm".to_string();
+    snap.write_to(&path).expect("rewrite");
+    let err = match RoadNetworkServer::builder().start_from_snapshot(&path) {
+        Ok(_) => panic!("unknown algorithm must be rejected"),
+        Err(err) => err,
+    };
+    assert!(matches!(err, SnapshotError::Malformed(_)), "got {err:?}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn storage_gauges_are_registered_and_refreshable() {
+    let g = grid(6, 6, WeightRange::new(1, 9), 5);
+    let server = RoadNetworkServer::builder()
+        .algorithm(AlgorithmKind::Dh2h)
+        .coalesce(CoalescePolicy::manual())
+        .start(&g);
+    let parts = server.refresh_storage_gauges();
+    assert!(parts.iter().any(|&(c, _)| c == "graph"));
+    assert!(parts.iter().any(|&(c, _)| c == "h2h_labels"));
+    assert!(parts.iter().all(|&(_, bytes)| bytes > 0));
+    let prom = server.telemetry().export_prometheus();
+    assert!(
+        prom.contains("htsp_storage_bytes{component=\"graph\"}"),
+        "missing graph storage gauge in:\n{prom}"
+    );
+    assert!(prom.contains("htsp_storage_bytes{component=\"h2h_labels\"}"));
+    server.shutdown();
+}
