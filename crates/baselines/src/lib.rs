@@ -23,6 +23,7 @@ use htsp_ch::{ChQuery, ChQuerySession, ContractionHierarchy, OrderingStrategy, S
 use htsp_graph::{
     ByteReader, ByteWriter, Dist, FallbackSession, Graph, IndexMaintainer, QuerySession, QueryView,
     ScratchPool, SnapshotError, SnapshotPublisher, UpdateBatch, UpdateTimeline, VertexId,
+    WorkerPool,
 };
 use htsp_search::{BiDijkstra, BiDijkstraSession};
 use htsp_td::H2HIndex;
@@ -162,8 +163,19 @@ pub struct DchBaseline {
 impl DchBaseline {
     /// Builds the CH index over `graph`.
     pub fn build(graph: &Graph) -> Self {
-        let ch =
-            ContractionHierarchy::build(graph, OrderingStrategy::MinDegree, ShortcutMode::AllPairs);
+        Self::build_pooled(graph, &WorkerPool::sequential())
+    }
+
+    /// Builds the CH index with contraction windows computed on `pool`.
+    /// The result is bit-identical to [`DchBaseline::build`] at any thread
+    /// count.
+    pub fn build_pooled(graph: &Graph, pool: &WorkerPool) -> Self {
+        let ch = ContractionHierarchy::build_pooled(
+            graph,
+            OrderingStrategy::MinDegree,
+            ShortcutMode::AllPairs,
+            pool,
+        );
         DchBaseline {
             graph: Arc::new(graph.clone()),
             ch: Arc::new(ch),
@@ -280,9 +292,16 @@ pub struct Dh2hBaseline {
 impl Dh2hBaseline {
     /// Builds the H2H index over `graph`.
     pub fn build(graph: &Graph) -> Self {
+        Self::build_pooled(graph, &WorkerPool::sequential())
+    }
+
+    /// Builds the H2H index with contraction windows and per-level label
+    /// fills computed on `pool`. The result is bit-identical to
+    /// [`Dh2hBaseline::build`] at any thread count.
+    pub fn build_pooled(graph: &Graph, pool: &WorkerPool) -> Self {
         Dh2hBaseline {
             graph: Arc::new(graph.clone()),
-            h2h: Arc::new(H2HIndex::build(graph)),
+            h2h: Arc::new(H2HIndex::build_pooled(graph, pool)),
         }
     }
 
@@ -368,7 +387,13 @@ impl ToainBaseline {
     /// Builds the index; `level_cap` bounds how many vertices are contracted
     /// with shortcut insertion (the remainder keeps only original edges).
     pub fn build(graph: &Graph, level_cap: usize) -> Self {
-        let ch = Self::build_capped(graph, level_cap);
+        Self::build_pooled(graph, level_cap, &WorkerPool::sequential())
+    }
+
+    /// Builds the index with contraction windows computed on `pool`. The
+    /// result is deterministic at any thread count.
+    pub fn build_pooled(graph: &Graph, level_cap: usize, pool: &WorkerPool) -> Self {
+        let ch = Self::build_capped(graph, level_cap, pool);
         ToainBaseline {
             graph: Arc::new(graph.clone()),
             ch: Arc::new(ch),
@@ -377,16 +402,17 @@ impl ToainBaseline {
         }
     }
 
-    fn build_capped(graph: &Graph, level_cap: usize) -> ContractionHierarchy {
+    fn build_capped(graph: &Graph, level_cap: usize, pool: &WorkerPool) -> ContractionHierarchy {
         // A full hierarchy with witness pruning bounded by the cap: a small
         // cap prunes aggressively (cheap, weaker index), a large cap
         // approaches the exact CH.
-        ContractionHierarchy::build(
+        ContractionHierarchy::build_pooled(
             graph,
             OrderingStrategy::MinDegree,
             ShortcutMode::WitnessPruned {
                 hop_limit: level_cap.max(1),
             },
+            pool,
         )
     }
 
@@ -433,7 +459,11 @@ impl IndexMaintainer for ToainBaseline {
         let t = Instant::now();
         let graph = Arc::make_mut(&mut self.graph);
         graph.apply_batch(batch);
-        self.ch = Arc::new(Self::build_capped(graph, self.level_cap));
+        self.ch = Arc::new(Self::build_capped(
+            graph,
+            self.level_cap,
+            &WorkerPool::sequential(),
+        ));
         publisher.publish(self.current_view());
         UpdateTimeline::single("refresh shortcuts", t.elapsed())
     }

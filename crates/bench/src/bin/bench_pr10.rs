@@ -1,0 +1,614 @@
+//! `bench-pr10` — emits `BENCH_pr10.json`: parallel index construction at
+//! million-edge scale.
+//!
+//! * **build scaling** — a ≥1M-edge strip grid goes through the PR 9
+//!   streaming path (written to DIMACS `.gr`, streamed back through
+//!   [`load_dimacs_streaming_file`] into the flat CSR, then expanded to the
+//!   mutable adjacency graph) and is built into a real DCH index at 1, 2, 4,
+//!   and 8 threads; a DH2H index is built at 1 and 4 threads on a
+//!   4096×16 slice of the same topology, streamed through the same path
+//!   (MinDegree elimination of the full-length strip yields a label tree
+//!   deep enough that the DH2H distance table would exceed memory — the
+//!   slice keeps the ladder honest without the 100+ GB label fill). Every
+//!   thread count must produce **bit-identical** `snapshot_state` bytes and
+//!   Dijkstra-exact sampled answers — the worker pool may change how many
+//!   construction tasks are in flight, never which tasks exist or how their
+//!   outputs combine. Each algorithm's row set reports per-thread-count
+//!   wall time next to the warm-restart time of the same index, so
+//!   cold-parallel vs warm-restore lands in one table.
+//! * **speedup gate** — full mode asserts the 4-thread DCH build is ≥2×
+//!   the sequential one, smoke asserts ≥1.3×; on runners with fewer than 4
+//!   cores the wall-clock gate is waived with an explicit `WAIVER` line.
+//!   The determinism gates are never waived.
+//! * **hybrid knee re-sweep** (full mode) — the PR 7 knee search re-run
+//!   with the hybrid sleep-then-spin pacer on single-server DCH and
+//!   PostMHL: fast indexes are measured near their native knee (mix scale
+//!   capped at 32) instead of through 256× mega-batches, and the new knees
+//!   land in the JSON next to the build-scaling numbers.
+//!
+//! `--smoke` streams the bundled `fixtures/smoke.gr` instead of generating
+//! the strip grid, builds at 1 and 4 threads, and keeps every determinism
+//! gate while applying the softer 1.3× wall-clock bar (or its waiver).
+//!
+//! Usage: `cargo run --release -p htsp-bench --bin bench-pr10 [--smoke] [--grid WxH] [output.json]`
+
+use htsp_bench::json::Json;
+use htsp_graph::dimacs::{load_dimacs_streaming_file, write_gr_file};
+use htsp_graph::{available_parallelism, gen, Graph, IndexMaintainer, Query, QuerySet};
+use htsp_search::dijkstra_distance;
+use htsp_throughput::{
+    find_knee, run_open_loop_with_telemetry, AdmissionPolicy, AlgorithmKind, ArrivalProcess,
+    BuildParams, CoalescePolicy, DistanceService, LoadProfile, LoadReport, RequestClass,
+    RequestMix, RoadNetworkServer, SloTarget,
+};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct BenchConfig {
+    smoke: bool,
+    /// Strip-grid dimensions for the streamed DCH build graph (full mode
+    /// only; smoke streams the bundled fixture instead).
+    grid: (usize, usize),
+    /// Strip-grid dimensions for the DH2H ladder: a shorter slice of the
+    /// same topology, because the label tree of the full-length strip is
+    /// deep enough that its distance table would not fit in memory.
+    dh2h_grid: (usize, usize),
+    /// Thread counts for the DCH scaling ladder.
+    dch_threads: Vec<usize>,
+    /// Thread counts for the DH2H scaling ladder (shorter: label fill is
+    /// the heavy stage and two points bound the curve).
+    dh2h_threads: Vec<usize>,
+    /// Sampled point-to-point pairs per exactness gate.
+    verify_pairs: usize,
+    /// Required 4-thread speedup over sequential (waived below 4 cores).
+    min_speedup_at_4: f64,
+    /// Run the hybrid-pacer knee re-sweep section.
+    knees: bool,
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("htsp_pr10_{}_{name}", std::process::id()))
+}
+
+/// The bundled smoke fixture, resolved relative to the crate so the binary
+/// works from any working directory.
+fn fixture_path() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures/smoke.gr"))
+}
+
+/// One thread count on the scaling ladder.
+struct ScalePoint {
+    threads: usize,
+    seconds: f64,
+}
+
+/// Builds `kind` at every thread count of `ladder`, asserting bit-identical
+/// `snapshot_state` bytes and Dijkstra-exact sampled answers throughout.
+/// Returns the timing ladder plus the sequential build (reused for the
+/// warm-restart column so the big graph is not built a fifth time).
+fn scaling_ladder(
+    kind: AlgorithmKind,
+    graph: &Graph,
+    ladder: &[usize],
+    verify_pairs: usize,
+) -> (Vec<ScalePoint>, Box<dyn IndexMaintainer>) {
+    let queries = QuerySet::random(graph, verify_pairs, 2027);
+    let truth: Vec<_> = queries
+        .iter()
+        .map(|q| dijkstra_distance(graph, q.source, q.target))
+        .collect();
+
+    let mut points = Vec::new();
+    // The first (sequential) build and its serialized state, the reference
+    // every later thread count is compared against.
+    type Reference = (Box<dyn IndexMaintainer>, Option<Vec<u8>>);
+    let mut reference: Option<Reference> = None;
+    for &threads in ladder {
+        let params = BuildParams::new(4, threads);
+        let t0 = Instant::now();
+        let built = kind.build(graph, &params);
+        let seconds = t0.elapsed().as_secs_f64();
+        eprintln!(
+            "bench-pr10: {} built at {threads} thread(s) in {seconds:.2}s",
+            kind.name()
+        );
+
+        let state = built.snapshot_state();
+        let view = built.current_view();
+        for (q, &expect) in queries.iter().zip(&truth) {
+            assert_eq!(
+                view.distance(q.source, q.target),
+                expect,
+                "{} at {threads} threads disagrees with Dijkstra for {q:?}",
+                kind.name()
+            );
+        }
+        match &reference {
+            None => {
+                assert!(
+                    state.is_some(),
+                    "{} must carry a native snapshot codec for the byte-equality gate",
+                    kind.name()
+                );
+                reference = Some((built, state));
+            }
+            Some((_, reference_state)) => {
+                assert_eq!(
+                    &state,
+                    reference_state,
+                    "{} snapshot bytes diverge at {threads} threads",
+                    kind.name()
+                );
+            }
+        }
+        points.push(ScalePoint { threads, seconds });
+    }
+    let (sequential, _) = reference.expect("ladder is never empty");
+    (points, sequential)
+}
+
+/// Snapshots the already-built sequential index through a server and times
+/// the warm restart, verifying restored answers against the live server.
+fn warm_restart(
+    kind: AlgorithmKind,
+    graph: &Graph,
+    built: Box<dyn IndexMaintainer>,
+    verify_pairs: usize,
+) -> (f64, u64) {
+    let server = RoadNetworkServer::builder()
+        .algorithm(kind)
+        .build_params(BuildParams::new(4, 1))
+        .maintainer(built)
+        .coalesce(CoalescePolicy::manual())
+        .start(graph);
+    let queries = QuerySet::random(graph, verify_pairs, 3301);
+    let before: Vec<_> = queries
+        .iter()
+        .map(|q| server.distance(q.source, q.target))
+        .collect();
+    let path = temp_path(&format!("{}.snap", kind.name()));
+    server.save_snapshot(&path).expect("save snapshot");
+    let snapshot_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    server.shutdown();
+
+    let t0 = Instant::now();
+    let restored = RoadNetworkServer::builder()
+        .start_from_snapshot(&path)
+        .expect("warm restart");
+    let seconds = t0.elapsed().as_secs_f64();
+    for (q, &expect) in queries.iter().zip(&before) {
+        assert_eq!(
+            restored.distance(q.source, q.target),
+            expect,
+            "{} drifted across warm restart for {q:?}",
+            kind.name()
+        );
+    }
+    restored.shutdown();
+    let _ = std::fs::remove_file(&path);
+    eprintln!(
+        "bench-pr10: {} warm restart in {seconds:.2}s ({snapshot_bytes} snapshot bytes)",
+        kind.name()
+    );
+    (seconds, snapshot_bytes)
+}
+
+/// One algorithm's full section: scaling ladder + warm restart + the
+/// speedup gate. Returns the JSON row and any wall-clock failure.
+fn build_section(
+    kind: AlgorithmKind,
+    graph: &Graph,
+    graph_desc: &str,
+    ladder: &[usize],
+    cfg: &BenchConfig,
+    failures: &mut Vec<String>,
+) -> Json {
+    let (points, sequential) = scaling_ladder(kind, graph, ladder, cfg.verify_pairs);
+    let (warm_seconds, snapshot_bytes) = warm_restart(kind, graph, sequential, cfg.verify_pairs);
+
+    let seq_seconds = points[0].seconds;
+    let at4 = points.iter().find(|p| p.threads == 4);
+    let mut speedup_at_4 = Json::Str("n/a".to_string());
+    let mut waived = false;
+    if let Some(p4) = at4 {
+        let speedup = seq_seconds / p4.seconds.max(1e-9);
+        speedup_at_4 = Json::Num(speedup);
+        if available_parallelism() < 4 {
+            waived = true;
+            println!(
+                "bench-pr10: WAIVER: {} 4-thread speedup gate ({:.2}x measured, >= {:.1}x \
+                 required) waived on a {}-core runner",
+                kind.name(),
+                speedup,
+                cfg.min_speedup_at_4,
+                available_parallelism()
+            );
+        } else if speedup < cfg.min_speedup_at_4 {
+            failures.push(format!(
+                "{}: 4-thread build speedup {speedup:.2}x below the {:.1}x bar \
+                 ({seq_seconds:.2}s sequential vs {:.2}s at 4 threads)",
+                kind.name(),
+                cfg.min_speedup_at_4,
+                p4.seconds
+            ));
+        }
+    }
+
+    let ladder_json: Vec<Json> = points
+        .iter()
+        .map(|p| {
+            Json::Obj(vec![
+                ("threads", Json::Int(p.threads as u64)),
+                ("build_seconds", Json::Num(p.seconds)),
+                (
+                    "speedup_vs_sequential",
+                    Json::Num(seq_seconds / p.seconds.max(1e-9)),
+                ),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("algorithm", Json::Str(kind.name().to_string())),
+        (
+            "graph",
+            Json::Obj(vec![
+                ("kind", Json::Str(graph_desc.to_string())),
+                ("vertices", Json::Int(graph.num_vertices() as u64)),
+                ("edges", Json::Int(graph.num_edges() as u64)),
+            ]),
+        ),
+        ("ladder", Json::Arr(ladder_json)),
+        ("speedup_at_4_threads", speedup_at_4),
+        ("speedup_gate_waived", Json::Str(waived.to_string())),
+        ("snapshot_bytes_identical", Json::Str("true".to_string())),
+        ("warm_restart_seconds", Json::Num(warm_seconds)),
+        ("snapshot_bytes", Json::Int(snapshot_bytes)),
+        ("verified_pairs", Json::Int(cfg.verify_pairs as u64)),
+    ])
+}
+
+/// The PR 7 request mix at a given batch scale (see `bench_pr7.rs`).
+fn request_mix(scale: usize) -> RequestMix {
+    let scale = scale.max(1);
+    let side = ((4.0 * (scale as f64).sqrt()).round() as usize).max(4);
+    RequestMix::new(vec![
+        (RequestClass::PointToPoint { bundle: 8 * scale }, 4.0),
+        (RequestClass::OneToMany { fanout: 12 * scale }, 2.0),
+        (RequestClass::Matrix { side }, 2.0),
+        (
+            RequestClass::HotPairs {
+                universe: 64,
+                zipf_s: 1.1,
+            },
+            2.0,
+        ),
+    ])
+}
+
+/// Update-stream pacing, probe window, and p95 SLO of the knee re-sweep —
+/// the PR 7 full-mode values.
+const SWEEP_UPDATE_RATE: f64 = 40.0;
+const SWEEP_WINDOW: Duration = Duration::from_millis(500);
+const SWEEP_SLO: Duration = Duration::from_millis(150);
+
+/// One open-loop probe against a single server with the hybrid pacer and a
+/// paced update stream — the PR 7 measurement, single-deployment flavor.
+fn measure(
+    server: &RoadNetworkServer,
+    pool: &[Query],
+    scale: usize,
+    rate: f64,
+    seed: u64,
+) -> LoadReport {
+    let service = DistanceService::with_telemetry(
+        Arc::clone(server.publisher()),
+        2,
+        server.cache().cloned(),
+        AdmissionPolicy::Shed { max_depth: 16 },
+        Arc::clone(server.telemetry()),
+    );
+    let profile = LoadProfile {
+        arrivals: ArrivalProcess::Poisson { rate },
+        mix: request_mix(scale),
+        clients: 4,
+        duration: SWEEP_WINDOW,
+        seed,
+        slo: SloTarget::p95(SWEEP_SLO),
+        pacer: htsp_throughput::Pacer::Hybrid {
+            spin_window: Duration::from_micros(200),
+        },
+    };
+    let stop = AtomicBool::new(false);
+    let report = std::thread::scope(|scope| {
+        let updates = scope.spawn(|| {
+            let mut mirror = server.snapshot().graph().clone();
+            let mut gen = htsp_graph::UpdateGenerator::new(seed ^ 0xfeed);
+            let interval = Duration::from_secs_f64(1.0 / SWEEP_UPDATE_RATE);
+            let start = Instant::now();
+            let mut i = 0u32;
+            while !stop.load(Ordering::Relaxed) {
+                let due = start + interval * i;
+                std::thread::sleep(due.saturating_duration_since(Instant::now()));
+                let batch = gen.generate(&mirror, 1);
+                mirror.apply_batch(&batch);
+                for &u in batch.as_slice() {
+                    server.submit(u);
+                }
+                i += 1;
+            }
+        });
+        let report =
+            run_open_loop_with_telemetry(&service, &profile, pool, Some(server.telemetry()));
+        stop.store(true, Ordering::Relaxed);
+        updates.join().expect("update stream panicked");
+        report
+    });
+    service.shutdown();
+    server.feed().wait_idle();
+    report
+}
+
+/// Closed-loop calibration, as in `bench_pr7.rs`.
+fn calibrate(server: &RoadNetworkServer, pool: &[Query], scale: usize) -> f64 {
+    let service = DistanceService::with_telemetry(
+        Arc::clone(server.publisher()),
+        2,
+        server.cache().cloned(),
+        AdmissionPolicy::Block,
+        Arc::clone(server.telemetry()),
+    );
+    let mut stream = htsp_throughput::OpenLoopStream::new(
+        ArrivalProcess::Constant { rate: 1.0 },
+        request_mix(scale),
+        pool,
+        7,
+        0,
+    );
+    for _ in 0..8 {
+        service.answer(stream.next_request().batch);
+    }
+    let t = Instant::now();
+    let mut n = 0u32;
+    while t.elapsed() < Duration::from_millis(300) {
+        service.answer(stream.next_request().batch);
+        n += 1;
+    }
+    let single_thread_rps = n as f64 / t.elapsed().as_secs_f64();
+    service.shutdown();
+    single_thread_rps * 2.0
+}
+
+/// The hybrid-pacer knee re-sweep: single-server DCH and PostMHL on the
+/// PR 7 full-mode grid, mix scale capped at 32 as in the updated
+/// `bench-pr7`, knees recorded next to the build-scaling numbers.
+fn knee_section(failures: &mut Vec<String>) -> Json {
+    let road = gen::grid(32, 32, gen::WeightRange::new(1, 100), 42);
+    let pool: Vec<Query> = QuerySet::random(&road, 256, 17).as_slice().to_vec();
+    let mut rows = Vec::new();
+    for kind in [AlgorithmKind::Dch, AlgorithmKind::PostMhl] {
+        eprintln!("bench-pr10: knee re-sweep: building {} ...", kind.name());
+        let server = RoadNetworkServer::builder()
+            .algorithm(kind)
+            .query_workers(0)
+            .start(&road);
+        let base_capacity = calibrate(&server, &pool, 1);
+        // The post-hybrid scale cap: 32, down from the pre-hybrid 256.
+        let scale = ((base_capacity / 600.0).ceil() as usize).clamp(1, 32);
+        let capacity = if scale == 1 {
+            base_capacity
+        } else {
+            calibrate(&server, &pool, scale)
+        };
+        let hi = (capacity * 2.0).min(48_000.0);
+        let lo = (capacity * 0.05).max(5.0).min(hi * 0.25);
+        eprintln!(
+            "bench-pr10: knee re-sweep: {}: capacity ~{capacity:.0} req/s at mix scale \
+             {scale} (base {base_capacity:.0}), bracket [{lo:.0}, {hi:.0}]",
+            kind.name()
+        );
+        let knee = find_knee(lo, hi, 5, |rate| {
+            let report = measure(&server, &pool, scale, rate, 1000 + rate as u64);
+            let pass = report.verdict.passed && report.loss_fraction() <= 0.01;
+            eprintln!(
+                "bench-pr10: knee re-sweep: {}: probe {rate:>6.0} req/s -> p95 {:>7.2} ms, {}",
+                kind.name(),
+                report.latency.quantile(0.95).as_secs_f64() * 1e3,
+                if pass { "pass" } else { "fail" }
+            );
+            pass
+        });
+        eprintln!(
+            "bench-pr10: knee re-sweep: {}: knee ~{knee:.0} req/s",
+            kind.name()
+        );
+        // The below-knee contract still holds under the hybrid pacer.
+        let below = measure(&server, &pool, scale, knee * 0.7, 7001);
+        if !below.verdict.passed {
+            failures.push(format!(
+                "knee re-sweep: {} below-knee run at {:.0} req/s violates the p95 SLO: {:?}",
+                kind.name(),
+                knee * 0.7,
+                below.latency.quantile(0.95)
+            ));
+        }
+        server.shutdown();
+        rows.push(Json::Obj(vec![
+            ("algorithm", Json::Str(kind.name().to_string())),
+            ("deployment", Json::Str("single".to_string())),
+            ("pacer", Json::Str("hybrid_200us".to_string())),
+            ("mix_scale", Json::Int(scale as u64)),
+            ("closed_loop_capacity_rps", Json::Num(capacity)),
+            ("knee_rps", Json::Num(knee)),
+            (
+                "below_knee_p95_ms",
+                Json::Num(below.latency.quantile(0.95).as_secs_f64() * 1e3),
+            ),
+            (
+                "below_knee_slo_pass",
+                Json::Str(below.verdict.passed.to_string()),
+            ),
+        ]));
+    }
+    Json::Arr(rows)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let grid_override = args.iter().position(|a| a == "--grid").map(|i| {
+        let spec = args.get(i + 1).expect("--grid needs WxH");
+        let (w, h) = spec.split_once('x').expect("--grid WxH");
+        (
+            w.parse().expect("grid width"),
+            h.parse().expect("grid height"),
+        )
+    });
+    // The `--grid` value is positional too; skip it when picking the output
+    // path.
+    let grid_value_idx = args.iter().position(|a| a == "--grid").map(|i| i + 1);
+    let out_path = args
+        .iter()
+        .enumerate()
+        .filter(|&(i, a)| !a.starts_with("--") && Some(i) != grid_value_idx)
+        .map(|(_, a)| a.clone())
+        .next()
+        .unwrap_or_else(|| {
+            if smoke {
+                "/tmp/BENCH_pr10_smoke.json".to_string()
+            } else {
+                "BENCH_pr10.json".to_string()
+            }
+        });
+    let cfg = if smoke {
+        BenchConfig {
+            smoke: true,
+            grid: (0, 0), // bundled fixture instead
+            dh2h_grid: (0, 0),
+            dch_threads: vec![1, 4],
+            dh2h_threads: vec![1, 4],
+            verify_pairs: 24,
+            min_speedup_at_4: 1.3,
+            knees: false,
+        }
+    } else {
+        BenchConfig {
+            smoke: false,
+            // 32768x16 strip: 524,288 vertices, 1,015,792 edges >= 1M.
+            grid: grid_override.unwrap_or((32768, 16)),
+            dh2h_grid: (4096, 16),
+            dch_threads: vec![1, 2, 4, 8],
+            dh2h_threads: vec![1, 4],
+            verify_pairs: 32,
+            min_speedup_at_4: 2.0,
+            knees: true,
+        }
+    };
+
+    // --- The streamed build graphs (PR 9 ingest path) ------------------
+    let stream_strip = |w: usize, h: usize, tag: &str| -> (Graph, String, f64) {
+        let big = gen::grid(w, h, gen::WeightRange::new(1, 100), 42);
+        let path = temp_path(&format!("{tag}.gr"));
+        write_gr_file(&big, &path).expect("write strip .gr");
+        drop(big);
+        let t0 = Instant::now();
+        let csr = load_dimacs_streaming_file(&path).expect("stream strip .gr");
+        let streamed = t0.elapsed().as_secs_f64();
+        let _ = std::fs::remove_file(&path);
+        (csr.to_graph(), format!("strip grid {w}x{h}"), streamed)
+    };
+    let (graph, graph_desc, streamed_seconds, dh2h) = if cfg.smoke {
+        let t0 = Instant::now();
+        let csr = load_dimacs_streaming_file(fixture_path()).expect("stream fixture");
+        let streamed = t0.elapsed().as_secs_f64();
+        (
+            csr.to_graph(),
+            "fixtures/smoke.gr".to_string(),
+            streamed,
+            None,
+        )
+    } else {
+        let (w, h) = cfg.grid;
+        let big = stream_strip(w, h, "strip");
+        let (sw, sh) = cfg.dh2h_grid;
+        let slice = stream_strip(sw, sh, "slice");
+        let (graph, desc, streamed) = big;
+        (graph, desc, streamed, Some(slice))
+    };
+    eprintln!(
+        "bench-pr10: {graph_desc}: |V| = {}, |E| = {} streamed in {streamed_seconds:.2}s \
+         ({} core(s) available)",
+        graph.num_vertices(),
+        graph.num_edges(),
+        available_parallelism()
+    );
+    if !cfg.smoke {
+        assert!(
+            graph.num_edges() >= 1_000_000 || grid_override.is_some(),
+            "full-mode build graph must carry >= 1M edges"
+        );
+    }
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut sections = Vec::new();
+    sections.push(build_section(
+        AlgorithmKind::Dch,
+        &graph,
+        &graph_desc,
+        &cfg.dch_threads,
+        &cfg,
+        &mut failures,
+    ));
+    // The DH2H ladder runs on the shorter slice in full mode (see the
+    // module docs); smoke reuses the fixture graph.
+    let (dh2h_graph, dh2h_desc) = match &dh2h {
+        Some((g, desc, _)) => (g, desc.as_str()),
+        None => (&graph, graph_desc.as_str()),
+    };
+    sections.push(build_section(
+        AlgorithmKind::Dh2h,
+        dh2h_graph,
+        dh2h_desc,
+        &cfg.dh2h_threads,
+        &cfg,
+        &mut failures,
+    ));
+
+    let knees = if cfg.knees {
+        Some(knee_section(&mut failures))
+    } else {
+        None
+    };
+
+    let mut fields = vec![
+        ("bench", Json::Str("pr10-parallel-construction".to_string())),
+        (
+            "mode",
+            Json::Str(if cfg.smoke { "smoke" } else { "full" }.to_string()),
+        ),
+        (
+            "graph",
+            Json::Obj(vec![
+                ("kind", Json::Str(graph_desc)),
+                ("vertices", Json::Int(graph.num_vertices() as u64)),
+                ("edges", Json::Int(graph.num_edges() as u64)),
+                ("stream_seconds", Json::Num(streamed_seconds)),
+            ]),
+        ),
+        ("cores_available", Json::Int(available_parallelism() as u64)),
+        ("build_scaling", Json::Arr(sections)),
+    ];
+    if let Some(knees) = knees {
+        fields.push(("hybrid_knee_sweep", knees));
+    }
+    let doc = Json::Obj(fields);
+    std::fs::write(&out_path, doc.to_string_pretty()).expect("write BENCH_pr10.json");
+    println!("bench-pr10: wrote {out_path}");
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("bench-pr10: FAILURE: {f}");
+        }
+        std::process::exit(1);
+    }
+}

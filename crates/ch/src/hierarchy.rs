@@ -2,6 +2,7 @@
 
 use crate::ordering::{mde_order, OrderingStrategy, VertexOrder};
 use htsp_graph::cow::{CowStats, CowTable, DEFAULT_CHUNK};
+use htsp_graph::par::{chunk_bounds, chunk_of, WorkerPool};
 use htsp_graph::{Dist, Graph, VertexId, Weight, INF};
 use rustc_hash::FxHashMap;
 use std::sync::Arc;
@@ -60,6 +61,19 @@ impl ContractionHierarchy {
     /// Builds a CH over `graph` using the given ordering strategy and shortcut
     /// mode.
     pub fn build(graph: &Graph, strategy: OrderingStrategy, mode: ShortcutMode) -> Self {
+        Self::build_pooled(graph, strategy, mode, &WorkerPool::sequential())
+    }
+
+    /// Builds a CH with construction parallelized over `pool`.
+    ///
+    /// The result is bit-identical for every pool size (see
+    /// [`Self::build_with_order_pooled`] for the contract).
+    pub fn build_pooled(
+        graph: &Graph,
+        strategy: OrderingStrategy,
+        mode: ShortcutMode,
+        pool: &WorkerPool,
+    ) -> Self {
         let order = match strategy {
             OrderingStrategy::MinDegree => mde_order(graph),
             OrderingStrategy::Given(o) => {
@@ -71,11 +85,42 @@ impl ContractionHierarchy {
                 o
             }
         };
-        Self::build_with_order(graph, order, mode)
+        Self::build_with_order_pooled(graph, order, mode, pool)
     }
 
     /// Builds a CH with an explicit [`VertexOrder`].
     pub fn build_with_order(graph: &Graph, order: VertexOrder, mode: ShortcutMode) -> Self {
+        Self::build_with_order_pooled(graph, order, mode, &WorkerPool::sequential())
+    }
+
+    /// Builds a CH with an explicit [`VertexOrder`], parallelized over `pool`.
+    ///
+    /// Contraction proceeds in *windows*: each window eliminates every
+    /// current **local minimum** — an uncontracted vertex all of whose
+    /// current neighbors rank higher. Local minima are mutually non-adjacent
+    /// (of two adjacent vertices, the higher-ranked one has a lower-ranked
+    /// neighbor), so their neighborhoods cannot interfere and the window's
+    /// shortcut ops can be *computed* read-only against window-start state in
+    /// parallel, then *applied* shard-parallel over disjoint adjacency
+    /// ranges, in rank order within each shard.
+    ///
+    /// Determinism contract: the window decomposition is a pure function of
+    /// the graph and the order (never the pool size), so any two pool sizes
+    /// produce bit-identical hierarchies. For [`ShortcutMode::AllPairs`] the
+    /// result moreover equals the classic one-vertex-at-a-time rank-order
+    /// contraction exactly (min-plus elimination of an independent set of
+    /// rank-local minima commutes with rank order), including the
+    /// `extra_shortcuts` count. For [`ShortcutMode::WitnessPruned`] witness
+    /// searches run against window-start state, which is deterministic but
+    /// conservative: a witness missed because a concurrent elimination would
+    /// have improved a path only means an extra (still correct) shortcut is
+    /// kept.
+    pub fn build_with_order_pooled(
+        graph: &Graph,
+        order: VertexOrder,
+        mode: ShortcutMode,
+        pool: &WorkerPool,
+    ) -> Self {
         let n = graph.num_vertices();
         assert_eq!(order.len(), n);
         // Contraction graph: adjacency maps restricted to uncontracted
@@ -87,51 +132,145 @@ impl ContractionHierarchy {
         }
         let mut up: Vec<Vec<(VertexId, Weight)>> = vec![Vec::new(); n];
         let mut extra_shortcuts = 0usize;
-        let original_edges = graph.num_edges();
+        let mut contracted = vec![false; n];
+        // Vertices whose neighborhood changed since their last local-minimum
+        // test: everything initially, then the neighbors of each window's
+        // eliminated set. Kept sorted by rank so windows come out rank-sorted.
+        let mut candidates: Vec<u32> = (0..n as u32).collect();
+        candidates.sort_unstable_by_key(|&v| order.rank(VertexId(v)));
+        let mut queued = vec![true; n];
+        let mut remaining = n;
 
-        for r in 0..n as u32 {
-            let v = order.vertex_at(r);
-            let vi = v.index();
-            // All remaining neighbors are higher-ranked by construction.
-            let mut nbrs: Vec<(VertexId, Weight)> =
-                adj[vi].iter().map(|(&u, &w)| (VertexId(u), w)).collect();
-            nbrs.sort_by_key(|&(u, _)| order.rank(u));
-            // Record the upward arcs of v.
-            up[vi] = nbrs.clone();
-            // Insert shortcuts among the neighbors.
-            for i in 0..nbrs.len() {
-                let (a, wa) = nbrs[i];
-                for &(b, wb) in &nbrs[i + 1..] {
-                    let via = (wa as u64 + wb as u64).min(u32::MAX as u64 - 1) as Weight;
-                    let keep = match mode {
-                        ShortcutMode::AllPairs => true,
-                        ShortcutMode::WitnessPruned { hop_limit } => {
-                            // A shortcut is needed unless a witness path that
-                            // avoids v is at most as short. The witness search
-                            // runs on the *current contraction graph* restricted
-                            // to uncontracted vertices; searching the original
-                            // graph is also correct but slower. We approximate
-                            // with a bounded search over the contraction maps.
-                            !has_witness(&adj, &order, v, a, b, Dist(via), hop_limit)
-                        }
-                    };
-                    if keep {
-                        let existed = adj[a.index()].contains_key(&b.0);
-                        let improved = insert_min(&mut adj[a.index()], b.0, via);
-                        insert_min(&mut adj[b.index()], a.0, via);
-                        if !existed && improved {
-                            extra_shortcuts += 1;
+        while remaining > 0 {
+            // Selection: the current local minima among the candidates. A
+            // vertex that was not a local minimum stays one until a neighbor
+            // is eliminated, and the lowest-ranked uncontracted vertex is
+            // always a local minimum, so the window is never empty.
+            let mut window: Vec<u32> = Vec::new();
+            for &vi in &candidates {
+                queued[vi as usize] = false;
+                if contracted[vi as usize] {
+                    continue;
+                }
+                let rv = order.rank(VertexId(vi));
+                if adj[vi as usize]
+                    .keys()
+                    .all(|&u| order.rank(VertexId(u)) > rv)
+                {
+                    window.push(vi);
+                }
+            }
+            debug_assert!(!window.is_empty(), "stalled with {remaining} uncontracted");
+
+            // Compute phase (read-only, parallel): each eliminated vertex's
+            // rank-sorted upward row and its kept shortcut pairs.
+            let computed: Vec<ContractionResult> = pool.run("ch_contract", window.len(), |i| {
+                let v = VertexId(window[i]);
+                let mut nbrs: Vec<(VertexId, Weight)> = adj[v.index()]
+                    .iter()
+                    .map(|(&u, &w)| (VertexId(u), w))
+                    .collect();
+                nbrs.sort_by_key(|&(u, _)| order.rank(u));
+                let mut pairs: Vec<(u32, u32, Weight)> = Vec::new();
+                for i in 0..nbrs.len() {
+                    let (a, wa) = nbrs[i];
+                    for &(b, wb) in &nbrs[i + 1..] {
+                        let via = (wa as u64 + wb as u64).min(u32::MAX as u64 - 1) as Weight;
+                        let keep = match mode {
+                            ShortcutMode::AllPairs => true,
+                            ShortcutMode::WitnessPruned { hop_limit } => {
+                                // A shortcut is needed unless a path that
+                                // avoids v is at most as short. The search
+                                // runs on the window-start contraction
+                                // graph restricted to uncontracted
+                                // vertices; searching the original graph
+                                // is also correct but slower.
+                                !has_witness(&adj, &order, v, a, b, Dist(via), hop_limit)
+                            }
+                        };
+                        if keep {
+                            pairs.push((a.0, b.0, via));
                         }
                     }
                 }
+                (nbrs, pairs)
+            });
+
+            // Bucket the window's ops per adjacency shard, iterating the
+            // eliminated vertices in rank order so every target map sees its
+            // ops in the same sequence a sequential contraction would emit.
+            let bounds = chunk_bounds(n, pool.threads());
+            let mut ops: Vec<Vec<ApplyOp>> = vec![Vec::new(); bounds.len()];
+            let mut next_candidates: Vec<u32> = Vec::new();
+            for (&v, (row, pairs)) in window.iter().zip(computed) {
+                for &(a, b, via) in &pairs {
+                    ops[chunk_of(&bounds, a as usize)].push(ApplyOp::Insert {
+                        target: a,
+                        other: b,
+                        via,
+                        count: true,
+                    });
+                    ops[chunk_of(&bounds, b as usize)].push(ApplyOp::Insert {
+                        target: b,
+                        other: a,
+                        via,
+                        count: false,
+                    });
+                }
+                for &(u, _) in &row {
+                    ops[chunk_of(&bounds, u.index())].push(ApplyOp::Remove {
+                        target: u.0,
+                        other: v,
+                    });
+                    if !queued[u.index()] {
+                        queued[u.index()] = true;
+                        next_candidates.push(u.0);
+                    }
+                }
+                ops[chunk_of(&bounds, v as usize)].push(ApplyOp::Clear { target: v });
+                up[v as usize] = row;
+                contracted[v as usize] = true;
+                remaining -= 1;
             }
-            // Remove v from the contraction graph.
-            let nbr_ids: Vec<u32> = adj[vi].keys().copied().collect();
-            for u in nbr_ids {
-                adj[u as usize].remove(&v.0);
-            }
-            adj[vi].clear();
-            adj[vi].shrink_to_fit();
+
+            // Apply phase (shard-parallel): each worker owns a contiguous
+            // adjacency range and applies exactly the ops targeting it, in
+            // emission order, counting freshly created shortcut pairs.
+            let created = pool.run_chunks("ch_apply", &mut adj, |ci, offset, chunk| {
+                let mut local = 0usize;
+                for op in &ops[ci] {
+                    match *op {
+                        ApplyOp::Insert {
+                            target,
+                            other,
+                            via,
+                            count,
+                        } => {
+                            let map = &mut chunk[target as usize - offset];
+                            if count {
+                                let existed = map.contains_key(&other);
+                                if insert_min(map, other, via) && !existed {
+                                    local += 1;
+                                }
+                            } else {
+                                insert_min(map, other, via);
+                            }
+                        }
+                        ApplyOp::Remove { target, other } => {
+                            chunk[target as usize - offset].remove(&other);
+                        }
+                        ApplyOp::Clear { target } => {
+                            let map = &mut chunk[target as usize - offset];
+                            map.clear();
+                            map.shrink_to_fit();
+                        }
+                    }
+                }
+                local
+            });
+            extra_shortcuts += created.iter().sum::<usize>();
+            next_candidates.sort_unstable_by_key(|&v| order.rank(VertexId(v)));
+            candidates = next_candidates;
         }
         let mut down: Vec<Vec<VertexId>> = vec![Vec::new(); n];
         for (v, ups) in up.iter().enumerate() {
@@ -139,7 +278,6 @@ impl ContractionHierarchy {
                 down[u.index()].push(VertexId::from_index(v));
             }
         }
-        let _ = original_edges;
         ContractionHierarchy {
             order: Arc::new(order),
             up: CowTable::from_rows(up, DEFAULT_CHUNK),
@@ -265,6 +403,30 @@ impl ContractionHierarchy {
     pub fn distance(&self, s: VertexId, t: VertexId) -> Dist {
         crate::query::ChQuery::new(self.num_vertices()).distance(self, s, t)
     }
+}
+
+/// What the compute phase produces for one eliminated vertex: its
+/// rank-sorted upward row and the kept shortcut pairs `(a, b, via)`.
+type ContractionResult = (Vec<(VertexId, Weight)>, Vec<(u32, u32, Weight)>);
+
+/// One targeted mutation of the contraction graph, bucketed per adjacency
+/// shard by the window apply phase. `target` names the adjacency map the op
+/// touches, so disjoint shards apply their buckets without synchronization.
+#[derive(Clone, Copy, Debug)]
+enum ApplyOp {
+    /// Min-insert the shortcut `target — other`; `count` marks the forward
+    /// direction of a pair, which counts toward `extra_shortcuts` when it
+    /// creates a previously absent arc.
+    Insert {
+        target: u32,
+        other: u32,
+        via: Weight,
+        count: bool,
+    },
+    /// Remove the arc `target — other` (other was eliminated).
+    Remove { target: u32, other: u32 },
+    /// Drop the eliminated vertex's own adjacency.
+    Clear { target: u32 },
 }
 
 /// Inserts `key -> w` keeping the minimum; returns `true` if the map changed.
@@ -461,6 +623,48 @@ mod tests {
                 .expect("edge must be an upward arc");
             assert!(sc <= w);
         }
+    }
+
+    #[test]
+    fn pooled_builds_are_bit_identical_across_thread_counts() {
+        let g = random_geometric(300, 3, WeightRange::new(1, 60), 77);
+        for mode in [
+            ShortcutMode::AllPairs,
+            ShortcutMode::WitnessPruned { hop_limit: 32 },
+        ] {
+            let base = ContractionHierarchy::build_pooled(
+                &g,
+                OrderingStrategy::MinDegree,
+                mode,
+                &WorkerPool::sequential(),
+            );
+            for threads in [2usize, 3, 8] {
+                let ch = ContractionHierarchy::build_pooled(
+                    &g,
+                    OrderingStrategy::MinDegree,
+                    mode,
+                    &WorkerPool::new(threads),
+                );
+                assert_eq!(ch.order(), base.order());
+                assert_eq!(ch.num_extra_shortcuts(), base.num_extra_shortcuts());
+                for v in g.vertices() {
+                    assert_eq!(ch.up_arcs(v), base.up_arcs(v), "{mode:?} row of {v}");
+                    assert_eq!(ch.down_neighbors(v), base.down_neighbors(v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_all_pairs_build_is_exact() {
+        let g = grid(9, 9, WeightRange::new(1, 30), 21);
+        let ch = ContractionHierarchy::build_pooled(
+            &g,
+            OrderingStrategy::MinDegree,
+            ShortcutMode::AllPairs,
+            &WorkerPool::new(4),
+        );
+        check_all_queries(&g, &ch, 150, 33);
     }
 
     #[test]

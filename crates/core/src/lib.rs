@@ -35,3 +35,6 @@ pub mod postmhl;
 pub use mhl::Mhl;
 pub use pmhl::{Pmhl, PmhlConfig};
 pub use postmhl::{PostMhl, PostMhlConfig};
+// The construction worker pool, re-exported so index consumers can drive any
+// `build_pooled` entry point without depending on `htsp-graph` directly.
+pub use htsp_graph::{available_parallelism, StageStats, WorkerPool};

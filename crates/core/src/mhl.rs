@@ -131,7 +131,14 @@ pub struct Mhl {
 impl Mhl {
     /// Builds the index from scratch.
     pub fn build(graph: &Graph) -> Self {
-        let h2h = H2HIndex::build(graph);
+        Self::build_pooled(graph, &htsp_graph::WorkerPool::sequential())
+    }
+
+    /// Builds the index with contraction windows and per-level label fills
+    /// computed on `pool`. Bit-identical to [`Mhl::build`] at any thread
+    /// count.
+    pub fn build_pooled(graph: &Graph, pool: &htsp_graph::WorkerPool) -> Self {
+        let h2h = H2HIndex::build_pooled(graph, pool);
         let n = graph.num_vertices();
         Mhl {
             graph: Arc::new(graph.clone()),

@@ -445,20 +445,29 @@ impl Pmhl {
     /// Builds PMHL over `graph` (Algorithm 3: partition, boundary-first order,
     /// no-boundary → post-boundary → cross-boundary construction).
     pub fn build(graph: &Graph, config: PmhlConfig) -> Self {
+        Self::build_pooled(graph, config, &htsp_graph::WorkerPool::sequential())
+    }
+
+    /// Builds the index with the per-partition and post-boundary stages
+    /// fanned out over `pool`. Identical result at any thread count.
+    pub fn build_pooled(graph: &Graph, config: PmhlConfig, pool: &htsp_graph::WorkerPool) -> Self {
         let pr = partition_region_growing(graph, config.num_partitions, config.seed);
         let partitioned = Partitioned::build(graph.clone(), pr);
-        // Steps 1-3: no-boundary index {L_i} and overlay index L̃.
-        let partition_indexes: Vec<PartitionIndex> = partitioned
-            .subgraphs
-            .iter()
-            .map(PartitionIndex::build)
-            .collect();
+        // Steps 1-3: no-boundary index {L_i} and overlay index L̃. Each L_i
+        // depends only on its own subgraph, so partitions build concurrently.
+        let partition_indexes: Vec<PartitionIndex> =
+            pool.run("pmhl_partition_index", partitioned.subgraphs.len(), |i| {
+                PartitionIndex::build(&partitioned.subgraphs[i])
+            });
         let chs: Vec<&ContractionHierarchy> =
             partition_indexes.iter().map(|p| p.hierarchy()).collect();
         let overlay = OverlayGraph::build(&partitioned, &chs);
-        let overlay_index = H2HIndex::from_decomposition(TreeDecomposition::build(&overlay.graph));
+        let overlay_index = H2HIndex::from_decomposition_pooled(
+            TreeDecomposition::build_pooled(&overlay.graph, pool),
+            pool,
+        );
         // Steps 4-5: post-boundary indexes {L'_i}.
-        let post = PostBoundaryIndexes::build(&partitioned, &overlay, &overlay_index);
+        let post = PostBoundaryIndexes::build_pooled(&partitioned, &overlay, &overlay_index, pool);
         // Step 6: cross-boundary index L*.
         let cross = CrossBoundaryIndex::build(&partitioned, &overlay, &overlay_index, &post);
         let n = graph.num_vertices();

@@ -332,20 +332,41 @@ impl PostMhl {
     /// Builds PostMHL (Algorithm 4): MDE tree decomposition, TD-partitioning,
     /// overlay / post-boundary / cross-boundary indexes.
     pub fn build(graph: &Graph, config: PostMhlConfig) -> Self {
-        let h2h = H2HIndex::build(graph);
+        Self::build_pooled(graph, config, &htsp_graph::WorkerPool::sequential())
+    }
+
+    /// Builds the index with the dominant H2H construction and the boundary
+    /// array fill computed on `pool`. Bit-identical to [`PostMhl::build`] at
+    /// any thread count.
+    pub fn build_pooled(
+        graph: &Graph,
+        config: PostMhlConfig,
+        pool: &htsp_graph::WorkerPool,
+    ) -> Self {
+        let h2h = H2HIndex::build_pooled(graph, pool);
         let (td, dis) = h2h.into_parts();
         let tdp = td_partition(&td, &config.partitioning);
         // At build time every dis entry is a correct global distance, so the
-        // boundary arrays are plain copies of the corresponding entries.
+        // boundary arrays are plain copies of the corresponding entries; each
+        // partition fills a disjoint vertex set, so partitions are parallel
+        // tasks whose rows are scattered into place in partition order.
         let n = graph.num_vertices();
         let mut disb = vec![Vec::new(); n];
-        for pi in 0..tdp.num_partitions() {
+        let per_part = pool.run("postmhl_disb", tdp.num_partitions(), |pi| {
             let boundary = tdp.boundary(pi);
-            for &v in tdp.vertices(pi) {
-                disb[v.index()] = boundary
-                    .iter()
-                    .map(|&b| dis.row(v.index())[td.depth(b) as usize])
-                    .collect();
+            tdp.vertices(pi)
+                .iter()
+                .map(|&v| {
+                    boundary
+                        .iter()
+                        .map(|&b| dis.row(v.index())[td.depth(b) as usize])
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
+        });
+        for (pi, rows) in per_part.into_iter().enumerate() {
+            for (&v, row) in tdp.vertices(pi).iter().zip(rows) {
+                disb[v.index()] = row;
             }
         }
         PostMhl {

@@ -453,6 +453,46 @@ impl<T: Clone> CowTable<T> {
         &mut Arc::get_mut(&mut self.chunks[ci]).expect("chunk just made unique")
             [i % self.chunk_size]
     }
+
+    /// Uniquifies every chunk containing a selected row and returns one
+    /// `(row_index, &mut row)` borrow per selected row, in index order. This
+    /// is the fan-out entry point for level-parallel label fills: uniquify
+    /// once, then hand the disjoint row borrows to worker results.
+    ///
+    /// `select` must be a pure predicate of the index: it is invoked up to
+    /// twice per index (a short-circuiting probe decides whether a chunk
+    /// needs uniquifying, a second pass collects the borrows), so a stateful
+    /// closure would see an order- and chunk-layout-dependent call pattern.
+    pub fn make_mut_where(
+        &mut self,
+        mut select: impl FnMut(usize) -> bool,
+    ) -> Vec<(usize, &mut Vec<T>)> {
+        let chunk_size = self.chunk_size;
+        let mut out = Vec::new();
+        for (ci, chunk) in self.chunks.iter_mut().enumerate() {
+            let base = ci * chunk_size;
+            if !(0..chunk.len()).any(|o| select(base + o)) {
+                continue;
+            }
+            if Arc::get_mut(&mut *chunk).is_none() {
+                let headers = chunk.len() * std::mem::size_of::<Vec<T>>();
+                let payload: usize = chunk
+                    .iter()
+                    .map(|r| r.len() * std::mem::size_of::<T>())
+                    .sum();
+                let cloned: Arc<[Vec<T>]> = chunk.iter().cloned().collect();
+                *chunk = cloned;
+                self.counters.record((headers + payload) as u64);
+            }
+            let slice = Arc::get_mut(chunk).expect("chunk just made unique");
+            for (o, row) in slice.iter_mut().enumerate() {
+                if select(base + o) {
+                    out.push((base + o, row));
+                }
+            }
+        }
+        out
+    }
 }
 
 impl<T> Clone for CowTable<T> {
@@ -586,6 +626,26 @@ mod tests {
         // Second write in the same chunk: free.
         t.make_mut(6).push(1);
         assert_eq!(t.stats().chunks_cloned, 1);
+    }
+
+    #[test]
+    fn cowtable_make_mut_where_hands_out_disjoint_rows_in_index_order() {
+        let rows: Vec<Vec<u32>> = (0..20).map(|i| vec![i as u32]).collect();
+        let mut t = CowTable::from_rows(rows, 4);
+        let snapshot = t.clone();
+        let picked = t.make_mut_where(|i| i % 7 == 2);
+        assert_eq!(
+            picked.iter().map(|&(i, _)| i).collect::<Vec<_>>(),
+            vec![2, 9, 16]
+        );
+        for (i, row) in picked {
+            row.push(i as u32 * 10);
+        }
+        // Chunks 0, 2, 4 were uniquified; chunk 1 (rows 4..8) still aliases.
+        assert_eq!(t.stats().chunks_cloned, 3);
+        assert!(t.is_shared(5));
+        assert_eq!(t.row(9), &[9, 90]);
+        assert_eq!(snapshot.row(9), &[9]);
     }
 
     #[test]

@@ -39,6 +39,10 @@
 //! * [`obs`] — the observability contract ([`TraceId`], [`SpanSink`]): the
 //!   trace-id and span-recording vocabulary pipeline hooks use to report
 //!   where time went, implemented by the serving tier's telemetry hub.
+//! * [`par`] — the scoped construction [`WorkerPool`]: deterministic
+//!   fork/join parallelism (index-ordered results, disjoint mutable chunks)
+//!   with per-stage wall-clock accounting, used by every parallel index
+//!   build in the workspace.
 //! * [`scratch`] — the [`ScratchPool`] that lets one immutable view serve
 //!   many query threads, each with its own search working memory; sessions
 //!   hold a [`ScratchGuard`] over it for their whole lifetime.
@@ -64,6 +68,7 @@ pub mod gen;
 pub mod graph;
 pub mod index_api;
 pub mod obs;
+pub mod par;
 pub mod queries;
 pub mod scratch;
 pub mod snapshot;
@@ -78,6 +83,7 @@ pub use index_api::{
     SnapshotPublisher, StageReport, UpdateTimeline,
 };
 pub use obs::{NullSink, SpanSink, TraceId};
+pub use par::{available_parallelism, StageStats, WorkerPool};
 pub use queries::{Query, QuerySet, QueryWorkload};
 pub use scratch::{ScratchGuard, ScratchPool};
 pub use snapshot::{ByteReader, ByteWriter, IndexSnapshot, SnapshotError};

@@ -1,0 +1,322 @@
+//! The construction worker pool: scoped, dep-free fork/join parallelism with
+//! deterministic result ordering and per-stage accounting.
+//!
+//! Every parallel construction path in the workspace (CH contraction windows,
+//! H2H level fills, per-partition index builds, fleet shard builds) funnels
+//! through a [`WorkerPool`], which guarantees the *determinism contract* of
+//! the parallel-construction subsystem:
+//!
+//! * [`WorkerPool::run`] evaluates a pure function over task indices
+//!   `0..tasks` and returns the results **in index order**, regardless of
+//!   which worker computed what — so a build that consumes the results
+//!   observes exactly the sequence a single-threaded loop would produce.
+//! * [`WorkerPool::run_chunks`] hands each worker a *disjoint contiguous*
+//!   sub-slice of a mutable buffer (split at [`chunk_bounds`]) so sharded
+//!   apply phases cannot race, and again returns per-chunk results in chunk
+//!   order.
+//!
+//! Construction algorithms are written so the *work decomposition* never
+//! depends on the thread count — the pool only changes how many tasks are in
+//! flight, never which tasks exist or how their outputs are combined. A pool
+//! with one thread runs everything inline on the caller, so
+//! [`WorkerPool::sequential`] is the zero-overhead baseline every
+//! equivalence test compares against.
+//!
+//! The pool also keeps per-stage wall-clock and task counters
+//! ([`WorkerPool::stage_stats`]); the serving tier exports them as the
+//! `htsp_build_*` telemetry family.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Accumulated accounting for one named construction stage.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageStats {
+    /// Stage name as passed to [`WorkerPool::run`] / [`WorkerPool::run_chunks`].
+    pub stage: String,
+    /// Number of `run*` invocations recorded under this name.
+    pub runs: usize,
+    /// Total tasks (or chunks) dispatched across those invocations.
+    pub tasks: usize,
+    /// Total wall-clock microseconds spent inside those invocations.
+    pub micros: u64,
+}
+
+/// A small scoped worker pool for construction-time parallelism.
+///
+/// Threads are spawned per `run*` call with [`std::thread::scope`] (no
+/// long-lived workers, no channels, no dependencies), which keeps the pool
+/// trivially `Send + Sync` and lets borrowed closures capture graph state
+/// directly.
+#[derive(Debug)]
+pub struct WorkerPool {
+    threads: usize,
+    stats: Mutex<Vec<StageStats>>,
+}
+
+impl WorkerPool {
+    /// A pool that runs up to `threads` tasks concurrently (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        WorkerPool {
+            threads: threads.max(1),
+            stats: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The single-threaded pool: every task runs inline on the caller.
+    pub fn sequential() -> Self {
+        Self::new(1)
+    }
+
+    /// A pool sized to the machine's available parallelism.
+    pub fn with_available_parallelism() -> Self {
+        Self::new(available_parallelism())
+    }
+
+    /// Number of worker threads this pool uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(0..tasks)` and returns the results in task-index order.
+    ///
+    /// `f` must be a pure function of its index (it may read shared state but
+    /// must not care which thread calls it). With one thread, or one task,
+    /// everything runs inline on the caller.
+    pub fn run<T, F>(&self, stage: &str, tasks: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let start = Instant::now();
+        let workers = self.threads.min(tasks);
+        let out = if workers <= 1 {
+            (0..tasks).map(&f).collect()
+        } else {
+            let next = AtomicUsize::new(0);
+            let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(tasks));
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| {
+                        let mut local: Vec<(usize, T)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= tasks {
+                                break;
+                            }
+                            local.push((i, f(i)));
+                        }
+                        collected.lock().unwrap().extend(local);
+                    });
+                }
+            });
+            let mut pairs = collected.into_inner().unwrap();
+            pairs.sort_unstable_by_key(|&(i, _)| i);
+            debug_assert_eq!(pairs.len(), tasks);
+            pairs.into_iter().map(|(_, t)| t).collect()
+        };
+        self.record(stage, tasks, start);
+        out
+    }
+
+    /// Splits `data` into `self.threads()` contiguous chunks (per
+    /// [`chunk_bounds`]) and runs `f(chunk_index, offset, chunk)` on each
+    /// concurrently. Results come back in chunk order.
+    ///
+    /// Callers that pre-bucket work per chunk must use the same
+    /// [`chunk_bounds`] to agree on the split.
+    pub fn run_chunks<T, R, F>(&self, stage: &str, data: &mut [T], f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, usize, &mut [T]) -> R + Sync,
+    {
+        let start = Instant::now();
+        let bounds = chunk_bounds(data.len(), self.threads);
+        let nchunks = bounds.len();
+        let out = if nchunks <= 1 {
+            let len = data.len();
+            vec![f(0, 0, &mut data[..len])]
+        } else {
+            let mut slots: Vec<(usize, usize, &mut [T])> = Vec::with_capacity(nchunks);
+            let mut rest = data;
+            let mut offset = 0usize;
+            for (ci, &(lo, hi)) in bounds.iter().enumerate() {
+                debug_assert_eq!(lo, offset);
+                let (chunk, tail) = rest.split_at_mut(hi - lo);
+                slots.push((ci, offset, chunk));
+                rest = tail;
+                offset = hi;
+            }
+            let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(nchunks));
+            std::thread::scope(|scope| {
+                for (ci, off, chunk) in slots {
+                    let f = &f;
+                    let results = &results;
+                    scope.spawn(move || {
+                        let r = f(ci, off, chunk);
+                        results.lock().unwrap().push((ci, r));
+                    });
+                }
+            });
+            let mut pairs = results.into_inner().unwrap();
+            pairs.sort_unstable_by_key(|&(i, _)| i);
+            pairs.into_iter().map(|(_, r)| r).collect()
+        };
+        self.record(stage, nchunks, start);
+        out
+    }
+
+    fn record(&self, stage: &str, tasks: usize, start: Instant) {
+        let micros = start.elapsed().as_micros() as u64;
+        let mut stats = self.stats.lock().unwrap();
+        if let Some(s) = stats.iter_mut().find(|s| s.stage == stage) {
+            s.runs += 1;
+            s.tasks += tasks;
+            s.micros += micros;
+        } else {
+            stats.push(StageStats {
+                stage: stage.to_string(),
+                runs: 1,
+                tasks,
+                micros,
+            });
+        }
+    }
+
+    /// Per-stage accounting accumulated so far, in first-seen order.
+    pub fn stage_stats(&self) -> Vec<StageStats> {
+        self.stats.lock().unwrap().clone()
+    }
+}
+
+/// The machine's available parallelism (≥ 1); the default for
+/// `BuildParams::num_threads`.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The contiguous chunk boundaries `run_chunks` uses for a buffer of `len`
+/// elements over `parts` workers: at most `parts` half-open `(lo, hi)`
+/// ranges, sizes differing by at most one, empty chunks elided.
+pub fn chunk_bounds(len: usize, parts: usize) -> Vec<(usize, usize)> {
+    let parts = parts.max(1).min(len.max(1));
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut lo = 0usize;
+    for i in 0..parts {
+        let sz = base + usize::from(i < extra);
+        if sz == 0 {
+            continue;
+        }
+        out.push((lo, lo + sz));
+        lo += sz;
+    }
+    if out.is_empty() {
+        out.push((0, 0));
+    }
+    out
+}
+
+/// The chunk index that owns element `i` under [`chunk_bounds`]`(len, parts)`.
+pub fn chunk_of(bounds: &[(usize, usize)], i: usize) -> usize {
+    bounds
+        .partition_point(|&(_, hi)| hi <= i)
+        .min(bounds.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_returns_results_in_index_order() {
+        for threads in [1, 2, 3, 8] {
+            let pool = WorkerPool::new(threads);
+            let out = pool.run("square", 100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn run_handles_empty_and_single_task() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.run("none", 0, |i| i), Vec::<usize>::new());
+        assert_eq!(pool.run("one", 1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn run_chunks_covers_the_buffer_disjointly() {
+        for threads in [1, 2, 3, 5, 16] {
+            let pool = WorkerPool::new(threads);
+            let mut data = vec![0u32; 97];
+            let sizes = pool.run_chunks("fill", &mut data, |ci, off, chunk| {
+                for (k, x) in chunk.iter_mut().enumerate() {
+                    *x = (off + k) as u32 * 100 + ci as u32;
+                }
+                chunk.len()
+            });
+            assert_eq!(sizes.iter().sum::<usize>(), 97);
+            for (i, &x) in data.iter().enumerate() {
+                assert_eq!(x / 100, i as u32, "element {i} written once at its index");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_bounds_partition_the_range() {
+        for len in [0usize, 1, 7, 64, 97] {
+            for parts in [1usize, 2, 3, 9, 200] {
+                let b = chunk_bounds(len, parts);
+                assert!(b.len() <= parts.max(1));
+                let mut at = 0;
+                for &(lo, hi) in &b {
+                    assert_eq!(lo, at);
+                    assert!(hi >= lo);
+                    at = hi;
+                }
+                assert_eq!(at, len);
+                if len > 0 {
+                    for i in 0..len {
+                        let c = chunk_of(&b, i);
+                        assert!(b[c].0 <= i && i < b[c].1, "element {i} in chunk {c}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stage_stats_accumulate() {
+        let pool = WorkerPool::new(2);
+        pool.run("a", 10, |i| i);
+        pool.run("a", 5, |i| i);
+        pool.run("b", 3, |i| i);
+        let stats = pool.stage_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].stage, "a");
+        assert_eq!(stats[0].runs, 2);
+        assert_eq!(stats[0].tasks, 15);
+        assert_eq!(stats[1].stage, "b");
+        assert_eq!(stats[1].tasks, 3);
+    }
+
+    #[test]
+    fn sequential_pool_runs_inline() {
+        let pool = WorkerPool::sequential();
+        assert_eq!(pool.threads(), 1);
+        let tid = std::thread::current().id();
+        let ids = pool.run("inline", 4, |_| std::thread::current().id());
+        assert!(ids.iter().all(|&id| id == tid));
+    }
+
+    #[test]
+    fn available_parallelism_is_positive() {
+        assert!(available_parallelism() >= 1);
+        assert!(WorkerPool::with_available_parallelism().threads() >= 1);
+    }
+}

@@ -502,6 +502,112 @@ mod tests {
         assert!(fp.total() > 0 && fp.topology_bytes > 0);
     }
 
+    /// Builds a path graph (vertex i — i+1) over `weights`, one edge per
+    /// weight, so a weight *stream* maps 1:1 onto edge ids.
+    fn path_graph(weights: &[Weight]) -> Graph {
+        let mut b = GraphBuilder::new(weights.len() + 1);
+        for (i, &w) in weights.iter().enumerate() {
+            b.add_edge(VertexId(i as u32), VertexId(i as u32 + 1), w);
+        }
+        b.build()
+    }
+
+    /// Property core: the stream must round-trip exactly through the CSR,
+    /// and every edge must survive a `set_edge_weight` re-quantization to a
+    /// permuted weight of the same stream (both the on-grid and the off-grid
+    /// path of the update).
+    fn assert_stream_round_trips(weights: &[Weight]) {
+        let g = path_graph(weights);
+        let mut csr = CsrGraph::from_graph(&g);
+        for (i, &w) in weights.iter().enumerate() {
+            assert_eq!(
+                csr.edge_weight(EdgeId::from_index(i)),
+                w,
+                "edge {i} lost weight {w} in quantization"
+            );
+        }
+        // Re-quantization: rotate the stream by one, then restore. Each set
+        // must be lossless regardless of whether the new weight lands on the
+        // block grid or in the overflow table.
+        for (i, &w) in weights.iter().enumerate() {
+            let rotated = weights[(i + 1) % weights.len()];
+            let e = EdgeId::from_index(i);
+            assert_eq!(csr.set_edge_weight(e, rotated), w);
+            assert_eq!(csr.edge_weight(e), rotated);
+            assert_eq!(csr.set_edge_weight(e, w), rotated);
+            assert_eq!(csr.edge_weight(e), w);
+        }
+        // The round trip also survives conversion back to adjacency lists.
+        let back = csr.to_graph();
+        for (i, &w) in weights.iter().enumerate() {
+            assert_eq!(back.edge_weight(EdgeId::from_index(i)), w);
+        }
+    }
+
+    #[test]
+    fn scale_one_streams_round_trip_exactly() {
+        use rand::{Rng, SeedableRng};
+        // Random small weights: deltas have gcd 1 (scale-1 blocks) and every
+        // tick fits, so nothing may reach the overflow table.
+        for seed in 0..4u64 {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let weights: Vec<Weight> = (0..300).map(|_| rng.gen_range(1..=60_000)).collect();
+            let csr = CsrGraph::from_graph(&path_graph(&weights));
+            assert_eq!(csr.overflow_len(), 0, "seed {seed}: scale-1 overflowed");
+            assert_stream_round_trips(&weights);
+        }
+    }
+
+    #[test]
+    fn all_equal_streams_round_trip_exactly() {
+        // All deltas are 0: the gcd collapses to the scale.max(1) floor and
+        // every tick is 0.
+        for w in [1, 7, 1_000_000, u32::MAX - 1] {
+            let weights = vec![w; 64];
+            let csr = CsrGraph::from_graph(&path_graph(&weights));
+            assert_eq!(csr.overflow_len(), 0, "constant stream {w} overflowed");
+            assert_stream_round_trips(&weights);
+        }
+    }
+
+    #[test]
+    fn overflow_heavy_streams_round_trip_exactly() {
+        use rand::{Rng, SeedableRng};
+        // Weights spread across the whole u32 range with gcd-1 deltas: most
+        // ticks exceed u16, so the overflow table carries the block.
+        for seed in 0..4u64 {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(100 + seed);
+            let mut weights: Vec<Weight> = (0..200).map(|_| rng.gen_range(1..u32::MAX)).collect();
+            weights.push(1); // pin the base low so large weights must overflow
+            let csr = CsrGraph::from_graph(&path_graph(&weights));
+            assert!(
+                csr.overflow_len() * 2 >= weights.len(),
+                "seed {seed}: expected an overflow-heavy block, got {} of {}",
+                csr.overflow_len(),
+                weights.len()
+            );
+            assert_stream_round_trips(&weights);
+        }
+    }
+
+    #[test]
+    fn max_adjacent_weights_round_trip_exactly() {
+        // Weights hugging the top of the Weight domain: base is itself huge,
+        // deltas are tiny, and re-quantization to/from u32::MAX must not
+        // wrap anywhere in `base + tick * scale`.
+        let top = u32::MAX;
+        let weights: Vec<Weight> = (0..40).map(|i| top - (i % 5)).collect();
+        assert_stream_round_trips(&weights);
+        // A mixed stream: one tiny weight forces a scale-1 block whose huge
+        // members can only live in the overflow table.
+        let mut mixed = weights.clone();
+        mixed.push(1);
+        mixed.push(2);
+        let csr = CsrGraph::from_graph(&path_graph(&mixed));
+        assert!(csr.overflow_len() > 0);
+        assert_stream_round_trips(&mixed);
+    }
+
     #[test]
     fn empty_and_single_vertex_graphs() {
         let g = Graph::with_vertices(0);

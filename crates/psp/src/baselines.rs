@@ -19,26 +19,27 @@ use crate::post_boundary::PostBoundaryIndexes;
 use htsp_ch::{ContractionHierarchy, OrderingStrategy, ShortcutMode};
 use htsp_graph::{
     Dist, Graph, IndexMaintainer, QuerySession, QueryView, ScratchGuard, ScratchPool,
-    SnapshotPublisher, UpdateBatch, UpdateTimeline, VertexId, INF,
+    SnapshotPublisher, UpdateBatch, UpdateTimeline, VertexId, WorkerPool, INF,
 };
 use htsp_partition::{partition_region_growing, PartitionResult};
 use htsp_td::{H2HIndex, TreeDecomposition};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Builds the standard partitioned substrate shared by both baselines.
+/// Builds the standard partitioned substrate shared by both baselines; the
+/// per-partition hierarchies build concurrently on `pool`.
 fn build_substrate(
     graph: &Graph,
     k: usize,
     seed: u64,
+    pool: &WorkerPool,
 ) -> (Partitioned, Vec<ContractionHierarchy>, OverlayGraph) {
     let pr: PartitionResult = partition_region_growing(graph, k, seed);
     let partitioned = Partitioned::build(graph.clone(), pr);
-    let chs: Vec<ContractionHierarchy> = partitioned
-        .subgraphs
-        .iter()
-        .map(build_partition_ch)
-        .collect();
+    let chs: Vec<ContractionHierarchy> =
+        pool.run("psp_partition_ch", partitioned.subgraphs.len(), |i| {
+            build_partition_ch(&partitioned.subgraphs[i])
+        });
     let refs: Vec<&ContractionHierarchy> = chs.iter().collect();
     let overlay = OverlayGraph::build(&partitioned, &refs);
     (partitioned, chs, overlay)
@@ -126,11 +127,18 @@ pub struct NChP {
 impl NChP {
     /// Builds N-CH-P over `graph` with `k` partitions.
     pub fn build(graph: &Graph, k: usize, seed: u64) -> Self {
-        let (partitioned, partition_chs, overlay) = build_substrate(graph, k, seed);
-        let overlay_ch = ContractionHierarchy::build(
+        Self::build_pooled(graph, k, seed, &WorkerPool::sequential())
+    }
+
+    /// Builds N-CH-P with per-partition hierarchies constructed concurrently
+    /// on `pool`. Identical result at any thread count.
+    pub fn build_pooled(graph: &Graph, k: usize, seed: u64, pool: &WorkerPool) -> Self {
+        let (partitioned, partition_chs, overlay) = build_substrate(graph, k, seed, pool);
+        let overlay_ch = ContractionHierarchy::build_pooled(
             &overlay.graph,
             OrderingStrategy::MinDegree,
             ShortcutMode::AllPairs,
+            pool,
         );
         let n = graph.num_vertices();
         NChP {
@@ -369,9 +377,19 @@ pub struct PTdP {
 impl PTdP {
     /// Builds P-TD-P over `graph` with `k` partitions.
     pub fn build(graph: &Graph, k: usize, seed: u64) -> Self {
-        let (partitioned, partition_chs, overlay) = build_substrate(graph, k, seed);
-        let overlay_index = H2HIndex::from_decomposition(TreeDecomposition::build(&overlay.graph));
-        let post = PostBoundaryIndexes::build(&partitioned, &overlay, &overlay_index);
+        Self::build_pooled(graph, k, seed, &WorkerPool::sequential())
+    }
+
+    /// Builds P-TD-P with per-partition hierarchies, overlay labels, and
+    /// extended-partition indexes constructed concurrently on `pool`.
+    /// Identical result at any thread count.
+    pub fn build_pooled(graph: &Graph, k: usize, seed: u64, pool: &WorkerPool) -> Self {
+        let (partitioned, partition_chs, overlay) = build_substrate(graph, k, seed, pool);
+        let overlay_index = H2HIndex::from_decomposition_pooled(
+            TreeDecomposition::build_pooled(&overlay.graph, pool),
+            pool,
+        );
+        let post = PostBoundaryIndexes::build_pooled(&partitioned, &overlay, &overlay_index, pool);
         PTdP {
             partitioned: Arc::new(partitioned),
             partition_chs: Arc::new(partition_chs),

@@ -10,7 +10,9 @@
 use crate::overlay::OverlayGraph;
 use crate::partitioned::Partitioned;
 use htsp_graph::cow::{CowStats, CowVec};
-use htsp_graph::{Dist, EdgeId, EdgeUpdate, Graph, GraphBuilder, UpdateBatch, VertexId, Weight};
+use htsp_graph::{
+    Dist, EdgeId, EdgeUpdate, Graph, GraphBuilder, UpdateBatch, VertexId, Weight, WorkerPool,
+};
 use htsp_td::H2HIndex;
 use std::time::Duration;
 
@@ -64,8 +66,25 @@ impl PostBoundaryIndexes {
         overlay: &OverlayGraph,
         overlay_index: &H2HIndex,
     ) -> Self {
-        let mut partitions = Vec::with_capacity(partitioned.num_partitions());
-        for sub in &partitioned.subgraphs {
+        Self::build_pooled(
+            partitioned,
+            overlay,
+            overlay_index,
+            &WorkerPool::sequential(),
+        )
+    }
+
+    /// Builds the extended partitions concurrently on `pool`, one task per
+    /// partition. Each partition's `G'_i`/`L'_i` depends only on the shared
+    /// overlay index, so the result is identical at any thread count.
+    pub fn build_pooled(
+        partitioned: &Partitioned,
+        overlay: &OverlayGraph,
+        overlay_index: &H2HIndex,
+        pool: &WorkerPool,
+    ) -> Self {
+        let partitions = pool.run("post_boundary", partitioned.subgraphs.len(), |pi| {
+            let sub = &partitioned.subgraphs[pi];
             let n = sub.graph.num_vertices();
             let mut builder = GraphBuilder::new(n);
             for (_, u, v, w) in sub.graph.edges() {
@@ -102,12 +121,12 @@ impl PostBoundaryIndexes {
             }
             let graph = builder.build();
             let index = H2HIndex::build(&graph);
-            partitions.push(ExtendedPartition {
+            ExtendedPartition {
                 graph,
                 pair_edges,
                 index,
-            });
-        }
+            }
+        });
         PostBoundaryIndexes {
             partitions: CowVec::from_vec(partitions, 1),
         }

@@ -42,15 +42,40 @@ pub struct TreeDecomposition {
 impl TreeDecomposition {
     /// Builds the decomposition with the default MDE ordering.
     pub fn build(graph: &Graph) -> Self {
-        let ch =
-            ContractionHierarchy::build(graph, OrderingStrategy::MinDegree, ShortcutMode::AllPairs);
+        Self::build_pooled(graph, &htsp_graph::WorkerPool::sequential())
+    }
+
+    /// Builds the decomposition with the contraction windows parallelized
+    /// over `pool`; bit-identical for every pool size (see
+    /// [`ContractionHierarchy::build_with_order_pooled`]).
+    pub fn build_pooled(graph: &Graph, pool: &htsp_graph::WorkerPool) -> Self {
+        let ch = ContractionHierarchy::build_pooled(
+            graph,
+            OrderingStrategy::MinDegree,
+            ShortcutMode::AllPairs,
+            pool,
+        );
         Self::from_hierarchy(ch)
     }
 
     /// Builds the decomposition with an explicit vertex order (used for the
     /// boundary-first orders of the PSP indexes, §IV-B).
     pub fn build_with_order(graph: &Graph, order: VertexOrder) -> Self {
-        let ch = ContractionHierarchy::build_with_order(graph, order, ShortcutMode::AllPairs);
+        Self::build_with_order_pooled(graph, order, &htsp_graph::WorkerPool::sequential())
+    }
+
+    /// [`Self::build_with_order`] with pooled contraction windows.
+    pub fn build_with_order_pooled(
+        graph: &Graph,
+        order: VertexOrder,
+        pool: &htsp_graph::WorkerPool,
+    ) -> Self {
+        let ch = ContractionHierarchy::build_with_order_pooled(
+            graph,
+            order,
+            ShortcutMode::AllPairs,
+            pool,
+        );
         Self::from_hierarchy(ch)
     }
 

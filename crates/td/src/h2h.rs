@@ -13,6 +13,7 @@
 use crate::decomposition::TreeDecomposition;
 use htsp_ch::{ContractionHierarchy, ShortcutMode};
 use htsp_graph::cow::{CowStats, CowTable, RowRead, DEFAULT_CHUNK};
+use htsp_graph::par::WorkerPool;
 use htsp_graph::{ByteReader, ByteWriter, Dist, Graph, SnapshotError, VertexId, INF};
 
 /// The H2H index: a tree decomposition plus per-node distance arrays.
@@ -33,39 +34,55 @@ pub struct H2HIndex {
 impl H2HIndex {
     /// Builds the index from scratch with the default MDE ordering.
     pub fn build(graph: &Graph) -> Self {
-        let td = TreeDecomposition::build(graph);
-        Self::from_decomposition(td)
+        Self::build_pooled(graph, &WorkerPool::sequential())
+    }
+
+    /// Builds the index with both the contraction windows and the label fill
+    /// parallelized over `pool`; bit-identical for every pool size.
+    pub fn build_pooled(graph: &Graph, pool: &WorkerPool) -> Self {
+        let td = TreeDecomposition::build_pooled(graph, pool);
+        Self::from_decomposition_pooled(td, pool)
     }
 
     /// Builds the distance arrays over an existing decomposition.
     pub fn from_decomposition(td: TreeDecomposition) -> Self {
+        Self::from_decomposition_pooled(td, &WorkerPool::sequential())
+    }
+
+    /// Builds the distance arrays over an existing decomposition, filling the
+    /// label table level by level over `pool`.
+    ///
+    /// A label at depth `d` reads only ancestor labels (depths `< d`), so all
+    /// rows of one tree level are independent: each level is computed
+    /// read-only against the table in parallel, then written through
+    /// [`CowTable::make_mut_where`], which hands out exactly the level's
+    /// disjoint row borrows in index order. Both phases are pure functions of
+    /// the decomposition, so every pool size produces a bit-identical table
+    /// (and the same table the old ancestor-path DFS produced).
+    pub fn from_decomposition_pooled(td: TreeDecomposition, pool: &WorkerPool) -> Self {
         let n = td.num_vertices();
-        let mut dis: Vec<Vec<Dist>> = vec![Vec::new(); n];
-        // Top-down: every ancestor is labeled before its descendants.
-        // Maintain the ancestor path explicitly with a DFS.
-        for &root in td.roots() {
-            let mut path: Vec<VertexId> = Vec::new();
-            // Frames: (vertex, next child index).
-            let mut stack: Vec<(VertexId, usize)> = vec![(root, 0)];
-            while let Some(&mut (v, ref mut ci)) = stack.last_mut() {
-                if *ci == 0 {
-                    dis[v.index()] = compute_label(&td, &dis[..], v, &path);
-                    path.push(v);
-                }
-                if *ci < td.children(v).len() {
-                    let c = td.children(v)[*ci];
-                    *ci += 1;
-                    stack.push((c, 0));
-                } else {
-                    path.pop();
-                    stack.pop();
-                }
+        let depth: Vec<u32> = (0..n).map(|v| td.depth(VertexId::from_index(v))).collect();
+        let mut levels: Vec<Vec<VertexId>> = vec![Vec::new(); td.height() as usize];
+        for (v, &d) in depth.iter().enumerate() {
+            levels[d as usize].push(VertexId::from_index(v));
+        }
+        let mut dis: CowTable<Dist> = CowTable::from_rows(vec![Vec::new(); n], DEFAULT_CHUNK);
+        for (d, level) in levels.iter().enumerate() {
+            // Compute phase: read-only against the filled shallower levels.
+            let rows: Vec<Vec<Dist>> = pool.run("h2h_level", level.len(), |i| {
+                let v = level[i];
+                compute_label(&td, &dis, v, &td.ancestors(v))
+            });
+            // Write phase: the level's rows, disjoint by construction. Both
+            // sides are in ascending row-index order, so they zip exactly.
+            let slots = dis.make_mut_where(|i| depth[i] == d as u32);
+            debug_assert_eq!(slots.len(), level.len());
+            for ((slot, row), &v) in slots.into_iter().zip(rows).zip(level) {
+                debug_assert_eq!(slot.0, v.index());
+                *slot.1 = row;
             }
         }
-        H2HIndex {
-            td,
-            dis: CowTable::from_rows(dis, DEFAULT_CHUNK),
-        }
+        H2HIndex { td, dis }
     }
 
     /// Reassembles an index from a decomposition and its label rows — the
@@ -373,6 +390,22 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn pooled_label_fill_is_bit_identical_across_thread_counts() {
+        let g = random_geometric(260, 3, WeightRange::new(1, 80), 41);
+        let base = H2HIndex::build_pooled(&g, &WorkerPool::sequential());
+        for threads in [2usize, 3, 8] {
+            let h2h = H2HIndex::build_pooled(&g, &WorkerPool::new(threads));
+            assert_eq!(h2h.to_snapshot_bytes(), base.to_snapshot_bytes());
+        }
+        // And identical to the plain build entry point.
+        assert_eq!(
+            H2HIndex::build(&g).to_snapshot_bytes(),
+            base.to_snapshot_bytes()
+        );
+        check(&g, &base, 120, 43);
     }
 
     #[test]

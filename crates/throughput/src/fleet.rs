@@ -64,11 +64,26 @@ impl ShardedFleet {
     ) -> ShardedFleet {
         let k = config.num_shards.clamp(1, graph.num_vertices().max(1));
         let partition = partition_region_growing(graph, k, config.seed);
-        let core = OverlayMaintainer::build(graph.clone(), partition);
-        let mut servers = Vec::with_capacity(k);
-        for sub in &core.partitioned.subgraphs {
+        // One pool drives the whole fleet build: the overlay's per-partition
+        // hierarchies, then the shard indexes (one task per shard). Each
+        // shard's index depends only on its own subgraph, so concurrent
+        // construction yields exactly the indexes the sequential loop built.
+        let pool = htsp_graph::WorkerPool::new(config.build_params.threads());
+        let t = std::time::Instant::now();
+        let core = OverlayMaintainer::build_pooled(graph.clone(), partition, &pool);
+        let maintainers = pool.run("fleet_shard_build", core.partitioned.subgraphs.len(), |i| {
+            let sub = &core.partitioned.subgraphs[i];
             let params = config.build_params.for_shard(sub.graph.num_vertices());
-            let maintainer = config.algorithm.build(&sub.graph, &params);
+            config.algorithm.build(&sub.graph, &params)
+        });
+        crate::server::register_build_telemetry(
+            &hub,
+            config.algorithm.name(),
+            &pool,
+            t.elapsed().as_micros() as u64,
+        );
+        let mut servers = Vec::with_capacity(k);
+        for (maintainer, sub) in maintainers.into_iter().zip(&core.partitioned.subgraphs) {
             let mut builder = RoadNetworkServer::builder()
                 .maintainer(maintainer)
                 .coalesce(CoalescePolicy::manual());

@@ -11,7 +11,7 @@
 
 use htsp_baselines::{BiDijkstraBaseline, DchBaseline, Dh2hBaseline, ToainBaseline};
 use htsp_core::{Mhl, Pmhl, PmhlConfig, PostMhl, PostMhlConfig};
-use htsp_graph::{ByteReader, ByteWriter, Graph, IndexMaintainer, SnapshotError};
+use htsp_graph::{ByteReader, ByteWriter, Graph, IndexMaintainer, SnapshotError, WorkerPool};
 use htsp_partition::TdPartitionConfig;
 use htsp_psp::{NChP, PTdP};
 
@@ -65,7 +65,7 @@ impl Default for BuildParams {
     fn default() -> Self {
         BuildParams {
             num_partitions: 8,
-            num_threads: 4,
+            num_threads: htsp_graph::available_parallelism(),
             seed: 1,
             toain_level_cap: 64,
             postmhl_bandwidth: 16,
@@ -81,6 +81,13 @@ impl BuildParams {
             num_threads,
             ..BuildParams::default()
         }
+    }
+
+    /// Worker threads for construction and partition-parallel maintenance
+    /// (≥ 1). This is the thread count [`AlgorithmKind::build`] sizes its
+    /// [`WorkerPool`] with; the built index is identical at any value.
+    pub fn threads(&self) -> usize {
+        self.num_threads.max(1)
     }
 
     /// Scales the parameters down for one shard of a
@@ -216,16 +223,50 @@ impl AlgorithmKind {
     /// [`IndexMaintainer::current_view`] and to be repaired through
     /// `apply_batch`.
     pub fn build(self, graph: &Graph, params: &BuildParams) -> Box<dyn IndexMaintainer> {
+        let pool = WorkerPool::new(params.threads());
+        self.build_pooled(graph, params, &pool)
+    }
+
+    /// Builds the index machinery of this kind with construction stages
+    /// running on `pool`.
+    ///
+    /// The determinism contract of the parallel-construction subsystem: the
+    /// built index — its answers, and for the native-codec kinds its
+    /// serialized state bytes — is identical at every thread count. The pool
+    /// only changes how many construction tasks are in flight, never which
+    /// tasks exist or how their outputs combine.
+    pub fn build_pooled(
+        self,
+        graph: &Graph,
+        params: &BuildParams,
+        pool: &WorkerPool,
+    ) -> Box<dyn IndexMaintainer> {
         match self {
             AlgorithmKind::BiDijkstra => Box::new(BiDijkstraBaseline::new(graph)),
-            AlgorithmKind::Dch => Box::new(DchBaseline::build(graph)),
-            AlgorithmKind::Dh2h => Box::new(Dh2hBaseline::build(graph)),
-            AlgorithmKind::Toain => Box::new(ToainBaseline::build(graph, params.toain_level_cap)),
-            AlgorithmKind::NChP => Box::new(NChP::build(graph, params.num_partitions, params.seed)),
-            AlgorithmKind::PTdP => Box::new(PTdP::build(graph, params.num_partitions, params.seed)),
-            AlgorithmKind::Mhl => Box::new(Mhl::build(graph)),
-            AlgorithmKind::Pmhl => Box::new(Pmhl::build(graph, params.pmhl_config())),
-            AlgorithmKind::PostMhl => Box::new(PostMhl::build(graph, params.postmhl_config())),
+            AlgorithmKind::Dch => Box::new(DchBaseline::build_pooled(graph, pool)),
+            AlgorithmKind::Dh2h => Box::new(Dh2hBaseline::build_pooled(graph, pool)),
+            AlgorithmKind::Toain => Box::new(ToainBaseline::build_pooled(
+                graph,
+                params.toain_level_cap,
+                pool,
+            )),
+            AlgorithmKind::NChP => Box::new(NChP::build_pooled(
+                graph,
+                params.num_partitions,
+                params.seed,
+                pool,
+            )),
+            AlgorithmKind::PTdP => Box::new(PTdP::build_pooled(
+                graph,
+                params.num_partitions,
+                params.seed,
+                pool,
+            )),
+            AlgorithmKind::Mhl => Box::new(Mhl::build_pooled(graph, pool)),
+            AlgorithmKind::Pmhl => Box::new(Pmhl::build_pooled(graph, params.pmhl_config(), pool)),
+            AlgorithmKind::PostMhl => {
+                Box::new(PostMhl::build_pooled(graph, params.postmhl_config(), pool))
+            }
         }
     }
 

@@ -156,26 +156,44 @@ impl ServerBuilder {
         })?;
         let params = BuildParams::from_snapshot_bytes(&snap.params)?;
         let maintainer = kind.restore(&snap.graph, &params, snap.state.as_deref())?;
-        Ok(self
+        let server = self
             .algorithm(kind)
             .build_params(params)
             .maintainer(maintainer)
-            .start(&snap.graph))
+            .start(&snap.graph);
+        // Re-measure through the maintenance thread so `htsp_storage_bytes`
+        // (including components a restored index materializes lazily) is
+        // correct immediately after a warm restart, not only after the next
+        // explicit refresh.
+        server.refresh_storage_gauges();
+        Ok(server)
     }
 
     /// Builds the index over `graph` (the expensive step, unless a
     /// maintainer was supplied), spawns the maintenance thread and the
     /// optional query workers, and returns the running server.
     pub fn start(self, graph: &Graph) -> RoadNetworkServer {
-        let maintainer = self
-            .maintainer
-            .unwrap_or_else(|| self.algorithm.build(graph, &self.params));
-        let algorithm = maintainer.name();
-        let num_query_stages = maintainer.num_query_stages();
-        let publisher = Arc::new(SnapshotPublisher::new(maintainer.current_view()));
         let hub = self
             .telemetry
             .unwrap_or_else(|| Arc::new(TelemetryHub::new()));
+        let maintainer = match self.maintainer {
+            Some(m) => m,
+            None => {
+                // Registry build: run construction on a worker pool sized by
+                // the build params and publish the `htsp_build_*` telemetry
+                // family (per-stage wall time and task counts, thread count,
+                // total build time).
+                let pool = htsp_graph::WorkerPool::new(self.params.threads());
+                let t = std::time::Instant::now();
+                let maintainer = self.algorithm.build_pooled(graph, &self.params, &pool);
+                let total_micros = t.elapsed().as_micros() as u64;
+                register_build_telemetry(&hub, self.algorithm.name(), &pool, total_micros);
+                maintainer
+            }
+        };
+        let algorithm = maintainer.name();
+        let num_query_stages = maintainer.num_query_stages();
+        let publisher = Arc::new(SnapshotPublisher::new(maintainer.current_view()));
         // Per-component memory accounting: one labeled gauge per index
         // component plus the graph itself, refreshed on demand.
         let mut storage_gauges = Vec::new();
@@ -234,6 +252,39 @@ impl ServerBuilder {
             params: self.params,
             storage_gauges: Mutex::new(storage_gauges),
         }
+    }
+}
+
+/// Registers the `htsp_build_*` gauge family for one registry construction:
+/// `htsp_build_threads` and `htsp_build_total_micros` per algorithm, plus
+/// `htsp_build_stage_micros` / `htsp_build_stage_tasks` for every worker-pool
+/// stage the build ran (CH contraction windows, H2H level fills, per-partition
+/// fan-outs).
+pub(crate) fn register_build_telemetry(
+    hub: &TelemetryHub,
+    algorithm: &str,
+    pool: &htsp_graph::WorkerPool,
+    total_micros: u64,
+) {
+    let set = |name: &str, labels: &[(&str, &str)], value: u64| {
+        let gauge = Gauge::new();
+        gauge.set(value);
+        hub.register_gauge(name, labels, &gauge);
+    };
+    set(
+        "htsp_build_threads",
+        &[("algorithm", algorithm)],
+        pool.threads() as u64,
+    );
+    set(
+        "htsp_build_total_micros",
+        &[("algorithm", algorithm)],
+        total_micros,
+    );
+    for stage in pool.stage_stats() {
+        let labels = [("algorithm", algorithm), ("stage", stage.stage.as_str())];
+        set("htsp_build_stage_micros", &labels, stage.micros);
+        set("htsp_build_stage_tasks", &labels, stage.tasks as u64);
     }
 }
 

@@ -210,3 +210,51 @@ fn storage_gauges_are_registered_and_refreshable() {
     assert!(prom.contains("htsp_storage_bytes{component=\"h2h_labels\"}"));
     server.shutdown();
 }
+
+/// Extracts the value of `htsp_storage_bytes{component="<component>"}` from a
+/// Prometheus export.
+fn storage_gauge_value(prom: &str, component: &str) -> u64 {
+    let needle = format!("htsp_storage_bytes{{component=\"{component}\"}}");
+    prom.lines()
+        .find_map(|l| l.strip_prefix(&needle))
+        .unwrap_or_else(|| panic!("missing {needle} in:\n{prom}"))
+        .trim()
+        .parse()
+        .expect("gauge value parses")
+}
+
+#[test]
+fn storage_gauges_are_correct_immediately_after_warm_restart() {
+    let g = grid(7, 7, WeightRange::new(1, 25), 9);
+    let server = RoadNetworkServer::builder()
+        .algorithm(AlgorithmKind::Dh2h)
+        .coalesce(CoalescePolicy::manual())
+        .start(&g);
+    let path = temp_snapshot_path("gauge_gap");
+    server.save_snapshot(&path).expect("save snapshot");
+    server.shutdown();
+
+    let restored = RoadNetworkServer::builder()
+        .start_from_snapshot(&path)
+        .expect("warm restart");
+    // Regression: the gauges must already be correct *before* any explicit
+    // refresh — start_from_snapshot re-measures the restored index itself.
+    let prom = restored.telemetry().export_prometheus();
+    let restored_graph_bytes = restored.with_graph(|rg| rg.heap_bytes()) as u64;
+    assert_eq!(
+        storage_gauge_value(&prom, "graph"),
+        restored_graph_bytes,
+        "graph gauge stale after warm restart"
+    );
+    // An independent re-measurement must agree with what the export showed.
+    for (component, bytes) in restored.refresh_storage_gauges() {
+        assert_eq!(
+            storage_gauge_value(&prom, component),
+            bytes as u64,
+            "{component} gauge stale after warm restart"
+        );
+        assert!(bytes > 0, "{component} measured empty");
+    }
+    restored.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
